@@ -1,0 +1,146 @@
+//! A1 — ablations of the design choices DESIGN.md calls out.
+//!
+//! Four axes, each isolated on the same instance distribution
+//! (500 m × 500 m, N=100, M=600, 10 seeds):
+//!
+//! 1. RFH Phase III sibling merging: Always (paper) vs Never;
+//! 2. RFH Phase IV workload metric: per-round energy (ours) vs the
+//!    paper's literal descendant count;
+//! 3. RFH Phase IV allocator: Lagrange-and-round (paper) vs the
+//!    provably optimal greedy;
+//! 4. charging-gain model: the paper's linear `k(m)=m` vs a sub-linear
+//!    `m^0.85` vs the curve measured by the RF field-experiment
+//!    simulator — how sensitive are the *decisions* to the linearity
+//!    assumption?
+
+use serde::Serialize;
+use wrsn_bench::{mean, run_seeds, save_json, Table};
+use wrsn_charging::{ChargeModel, FieldExperiment};
+use wrsn_core::{
+    AllocatorKind, ChargeSpec, GainKind, Idb, InstanceSampler, MergePolicy, Rfh, Solver,
+    WorkloadMetric,
+};
+use wrsn_geom::Field;
+
+const SEEDS: u64 = 10;
+const N: usize = 100;
+const M: u32 = 600;
+
+#[derive(Serialize)]
+struct Row {
+    axis: &'static str,
+    variant: String,
+    mean_cost_uj: f64,
+}
+
+fn sweep(sampler: &InstanceSampler, solver: &(impl Solver + Sync)) -> f64 {
+    let costs = run_seeds(0..SEEDS, |seed| {
+        let inst = sampler.sample(seed);
+        solver.solve(&inst).expect("solvable").total_cost().as_ujoules()
+    });
+    mean(&costs)
+}
+
+fn main() {
+    let sampler = InstanceSampler::new(Field::square(500.0), N, M);
+    let mut rows = Vec::new();
+
+    // Axis 1: merge policy.
+    for (name, policy) in [("Always (paper)", MergePolicy::Always), ("Never", MergePolicy::Never)] {
+        let cost = sweep(&sampler, &Rfh::iterative(7).merge_policy(policy));
+        rows.push(Row {
+            axis: "merge",
+            variant: name.to_string(),
+            mean_cost_uj: cost,
+        });
+    }
+
+    // Axis 2: workload metric.
+    for (name, metric) in [
+        ("EnergyRate (ours)", WorkloadMetric::EnergyRate),
+        ("DescendantCount (paper literal)", WorkloadMetric::DescendantCount),
+    ] {
+        let cost = sweep(&sampler, &Rfh::iterative(7).workload_metric(metric));
+        rows.push(Row {
+            axis: "workload",
+            variant: name.to_string(),
+            mean_cost_uj: cost,
+        });
+    }
+
+    // Axis 3: allocator.
+    for (name, alloc) in [
+        ("Lagrange+round (paper)", AllocatorKind::LagrangeRounding),
+        ("Greedy marginal (optimal)", AllocatorKind::GreedyMarginal),
+    ] {
+        let cost = sweep(&sampler, &Rfh::iterative(7).allocator(alloc));
+        rows.push(Row {
+            axis: "allocator",
+            variant: name.to_string(),
+            mean_cost_uj: cost,
+        });
+    }
+
+    // Axis 4: gain model (affects the objective itself, so compare the
+    // *relative* IDB-vs-RFH story under each model).
+    let measured = FieldExperiment::default().measured_gain(20.0, 10.0, 12);
+    let measured_gains: Vec<f64> = (1..=12u32)
+        .map(|m| measured.efficiency(m) / measured.efficiency(1))
+        .collect();
+    let gain_models: Vec<(&str, ChargeSpec)> = vec![
+        ("linear k(m)=m (paper)", ChargeSpec::normalized()),
+        ("sublinear m^0.85", ChargeSpec::new(1.0, GainKind::Sublinear(0.85))),
+        (
+            "measured (RF simulator)",
+            ChargeSpec::new(1.0, GainKind::Measured(measured_gains)),
+        ),
+    ];
+    for (name, spec) in gain_models {
+        let s = InstanceSampler::new(Field::square(500.0), N, M).charge(spec);
+        let rfh = sweep(&s, &Rfh::iterative(7));
+        let idb = sweep(&s, &Idb::new(1));
+        rows.push(Row {
+            axis: "gain-model",
+            variant: format!("{name} / RFH"),
+            mean_cost_uj: rfh,
+        });
+        rows.push(Row {
+            axis: "gain-model",
+            variant: format!("{name} / IDB"),
+            mean_cost_uj: idb,
+        });
+    }
+
+    let mut table = Table::new(
+        "Ablations (N=100, M=600, 500x500 m, 10 seeds)",
+        &["axis", "variant", "mean cost uJ"],
+    );
+    for r in &rows {
+        table.row(&[
+            r.axis.to_string(),
+            r.variant.clone(),
+            format!("{:.4}", r.mean_cost_uj),
+        ]);
+    }
+    table.print();
+
+    let get = |axis: &str, needle: &str| {
+        rows.iter()
+            .find(|r| r.axis == axis && r.variant.contains(needle))
+            .map(|r| r.mean_cost_uj)
+            .expect("row exists")
+    };
+    println!(
+        "\nmerge Always vs Never: {:+.2}%",
+        (get("merge", "Always") / get("merge", "Never") - 1.0) * 100.0
+    );
+    println!(
+        "energy-rate vs descendant-count workload: {:+.2}%",
+        (get("workload", "EnergyRate") / get("workload", "Descendant") - 1.0) * 100.0
+    );
+    println!(
+        "lagrange vs greedy allocator: {:+.2}%",
+        (get("allocator", "Lagrange") / get("allocator", "Greedy") - 1.0) * 100.0
+    );
+    save_json("ablations", &rows);
+}

@@ -1,0 +1,124 @@
+//! E3/E4 — Fig. 7(a,b): heuristics vs the optimal solution.
+//!
+//! Small networks in a 200 m × 200 m field, 5 post distributions each:
+//!
+//! - (a) 10 posts, `M ∈ {20, 24, 28, 32, 36}`;
+//! - (b) 36 nodes, `N ∈ {8, 9, 10, 11, 12}`.
+//!
+//! "Optimal" is exact branch-and-bound (same answers as the paper's
+//! naive enumeration — asserted in the test suite). The paper's claims:
+//! IDB(δ=1) matches the optimum almost everywhere; RFH lands within a
+//! few percent; cost falls as nodes are added and as posts are added.
+
+use serde::Serialize;
+use wrsn_bench::{mean, run_seeds, save_json, Table};
+use wrsn_core::{BranchAndBound, Idb, InstanceSampler, Rfh, Solver};
+use wrsn_geom::Field;
+
+const SEEDS: u64 = 5;
+
+#[derive(Serialize)]
+struct Row {
+    experiment: &'static str,
+    posts: usize,
+    nodes: u32,
+    optimal_uj: f64,
+    rfh_uj: f64,
+    idb_uj: f64,
+}
+
+fn sweep(experiment: &'static str, settings: &[(usize, u32)]) -> Vec<Row> {
+    settings
+        .iter()
+        .map(|&(n, m)| {
+            let sampler = InstanceSampler::new(Field::square(200.0), n, m);
+            let results = run_seeds(0..SEEDS, |seed| {
+                let inst = sampler.sample(seed);
+                let opt = BranchAndBound::new().solve(&inst).expect("solvable");
+                let rfh = Rfh::iterative(7).solve(&inst).expect("solvable");
+                let idb = Idb::new(1).solve(&inst).expect("solvable");
+                (
+                    opt.total_cost().as_ujoules(),
+                    rfh.total_cost().as_ujoules(),
+                    idb.total_cost().as_ujoules(),
+                )
+            });
+            Row {
+                experiment,
+                posts: n,
+                nodes: m,
+                optimal_uj: mean(&results.iter().map(|r| r.0).collect::<Vec<_>>()),
+                rfh_uj: mean(&results.iter().map(|r| r.1).collect::<Vec<_>>()),
+                idb_uj: mean(&results.iter().map(|r| r.2).collect::<Vec<_>>()),
+            }
+        })
+        .collect()
+}
+
+fn print_rows(title: &str, vary: &str, rows: &[Row], key: impl Fn(&Row) -> String) {
+    let mut table = Table::new(
+        title,
+        &[vary, "Optimal", "RFH", "IDB(1)", "RFH/Opt", "IDB/Opt"],
+    );
+    for r in rows {
+        table.row(&[
+            key(r),
+            format!("{:.4}", r.optimal_uj),
+            format!("{:.4}", r.rfh_uj),
+            format!("{:.4}", r.idb_uj),
+            format!("{:.3}", r.rfh_uj / r.optimal_uj),
+            format!("{:.3}", r.idb_uj / r.optimal_uj),
+        ]);
+    }
+    table.print();
+}
+
+fn main() {
+    let a = sweep(
+        "fig7a",
+        &[(10, 20), (10, 24), (10, 28), (10, 32), (10, 36)],
+    );
+    print_rows(
+        "Fig. 7(a) — 10 posts, varying node count (uJ, mean of 5 seeds)",
+        "M",
+        &a,
+        |r| r.nodes.to_string(),
+    );
+
+    let b = sweep("fig7b", &[(8, 36), (9, 36), (10, 36), (11, 36), (12, 36)]);
+    print_rows(
+        "Fig. 7(b) — 36 nodes, varying post count (uJ, mean of 5 seeds)",
+        "N",
+        &b,
+        |r| r.posts.to_string(),
+    );
+
+    // Shape checks against the paper's observations.
+    let monotone_a = a.windows(2).all(|w| w[1].optimal_uj <= w[0].optimal_uj * 1.001);
+    println!(
+        "\nshape: Fig 7(a) optimal cost decreases with more nodes  [{}]",
+        if monotone_a { "OK" } else { "MISMATCH" }
+    );
+    let rfh_gap = a
+        .iter()
+        .chain(&b)
+        .map(|r| r.rfh_uj / r.optimal_uj)
+        .fold(0.0f64, f64::max);
+    println!(
+        "shape: worst RFH/Optimal ratio = {rfh_gap:.3} (paper: up to ~1.03)  [{}]",
+        if rfh_gap < 1.15 { "OK" } else { "MISMATCH" }
+    );
+    let idb_gap = a
+        .iter()
+        .chain(&b)
+        .map(|r| r.idb_uj / r.optimal_uj)
+        .fold(0.0f64, f64::max);
+    println!(
+        "shape: worst IDB/Optimal ratio = {idb_gap:.3} (paper: matches optimum on (a), slightly above on (b))  [{}]",
+        if idb_gap < 1.05 { "OK" } else { "MISMATCH" }
+    );
+
+    let mut rows = a;
+    rows.extend(b);
+    save_json("fig7_optimal_comparison", &rows);
+}

@@ -1,0 +1,91 @@
+//! E5 — Fig. 8: impact of the number of sensor nodes (large scale).
+//!
+//! 500 m × 500 m, 100 posts, `M ∈ {200, 400, 600, 800, 1000}`, 20 post
+//! distributions. The paper's claims: IDB(δ=1) leads RFH by a margin
+//! around 5% at M=1000 (IDB 4.6914 uJ vs RFH 4.9283 uJ), while RFH runs
+//! far faster.
+
+use serde::Serialize;
+use std::time::Instant;
+use wrsn_bench::{mean, run_seeds, save_json, std_dev, Table};
+use wrsn_core::{Idb, InstanceSampler, Rfh, Solver};
+use wrsn_geom::Field;
+
+const SEEDS: u64 = 20;
+
+#[derive(Serialize)]
+struct Row {
+    nodes: u32,
+    rfh_uj: f64,
+    rfh_sd: f64,
+    idb_uj: f64,
+    idb_sd: f64,
+    rfh_ms: f64,
+    idb_ms: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for m in [200u32, 400, 600, 800, 1000] {
+        let sampler = InstanceSampler::new(Field::square(500.0), 100, m);
+        let results = run_seeds(0..SEEDS, |seed| {
+            let inst = sampler.sample(seed);
+            let t = Instant::now();
+            let rfh = Rfh::iterative(7).solve(&inst).expect("solvable");
+            let rfh_ms = t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            let idb = Idb::new(1).solve(&inst).expect("solvable");
+            let idb_ms = t.elapsed().as_secs_f64() * 1e3;
+            (
+                rfh.total_cost().as_ujoules(),
+                idb.total_cost().as_ujoules(),
+                rfh_ms,
+                idb_ms,
+            )
+        });
+        let rfh: Vec<f64> = results.iter().map(|r| r.0).collect();
+        let idb: Vec<f64> = results.iter().map(|r| r.1).collect();
+        rows.push(Row {
+            nodes: m,
+            rfh_uj: mean(&rfh),
+            rfh_sd: std_dev(&rfh),
+            idb_uj: mean(&idb),
+            idb_sd: std_dev(&idb),
+            rfh_ms: mean(&results.iter().map(|r| r.2).collect::<Vec<_>>()),
+            idb_ms: mean(&results.iter().map(|r| r.3).collect::<Vec<_>>()),
+        });
+    }
+
+    let mut table = Table::new(
+        "Fig. 8 — impact of node count (N=100, 500x500 m, 20 seeds)",
+        &["M", "RFH uJ", "IDB uJ", "RFH/IDB", "RFH ms", "IDB ms"],
+    );
+    for r in &rows {
+        table.row(&[
+            r.nodes.to_string(),
+            format!("{:.4} ±{:.3}", r.rfh_uj, r.rfh_sd),
+            format!("{:.4} ±{:.3}", r.idb_uj, r.idb_sd),
+            format!("{:.3}", r.rfh_uj / r.idb_uj),
+            format!("{:.2}", r.rfh_ms),
+            format!("{:.2}", r.idb_ms),
+        ]);
+    }
+    table.print();
+
+    let monotone = rows.windows(2).all(|w| w[1].idb_uj <= w[0].idb_uj * 1.001);
+    println!(
+        "\nshape: cost decreases with more nodes  [{}]",
+        if monotone { "OK" } else { "MISMATCH" }
+    );
+    let last = rows.last().expect("non-empty");
+    println!(
+        "shape: at M=1000, RFH/IDB = {:.3} (paper: 4.9283/4.6914 = 1.050)  [{}]",
+        last.rfh_uj / last.idb_uj,
+        if (last.rfh_uj / last.idb_uj - 1.05).abs() < 0.08 { "OK" } else { "CHECK" }
+    );
+    println!(
+        "paper anchors at M=1000: IDB 4.6914 uJ (ours {:.4}), RFH 4.9283 uJ (ours {:.4})",
+        last.idb_uj, last.rfh_uj
+    );
+    save_json("fig8_num_sensors", &rows);
+}

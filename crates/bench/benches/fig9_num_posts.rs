@@ -1,0 +1,72 @@
+//! E6 — Fig. 9: impact of the number of posts (large scale).
+//!
+//! 500 m × 500 m, 600 nodes, `N ∈ {100, 150, 200, 250, 300}`, 20 post
+//! distributions. The paper reports the same ordering as Fig. 8 (IDB
+//! leads RFH), with total cost growing as more posts must report.
+
+use serde::Serialize;
+use wrsn_bench::{mean, run_seeds, save_json, std_dev, Table};
+use wrsn_core::{Idb, InstanceSampler, Rfh, Solver};
+use wrsn_geom::Field;
+
+const SEEDS: u64 = 20;
+
+#[derive(Serialize)]
+struct Row {
+    posts: usize,
+    rfh_uj: f64,
+    rfh_sd: f64,
+    idb_uj: f64,
+    idb_sd: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for n in [100usize, 150, 200, 250, 300] {
+        let sampler = InstanceSampler::new(Field::square(500.0), n, 600);
+        let results = run_seeds(0..SEEDS, |seed| {
+            let inst = sampler.sample(seed);
+            let rfh = Rfh::iterative(7).solve(&inst).expect("solvable");
+            let idb = Idb::new(1).solve(&inst).expect("solvable");
+            (
+                rfh.total_cost().as_ujoules(),
+                idb.total_cost().as_ujoules(),
+            )
+        });
+        let rfh: Vec<f64> = results.iter().map(|r| r.0).collect();
+        let idb: Vec<f64> = results.iter().map(|r| r.1).collect();
+        rows.push(Row {
+            posts: n,
+            rfh_uj: mean(&rfh),
+            rfh_sd: std_dev(&rfh),
+            idb_uj: mean(&idb),
+            idb_sd: std_dev(&idb),
+        });
+    }
+
+    let mut table = Table::new(
+        "Fig. 9 — impact of post count (M=600, 500x500 m, 20 seeds)",
+        &["N", "RFH uJ", "IDB uJ", "RFH/IDB"],
+    );
+    for r in &rows {
+        table.row(&[
+            r.posts.to_string(),
+            format!("{:.4} ±{:.3}", r.rfh_uj, r.rfh_sd),
+            format!("{:.4} ±{:.3}", r.idb_uj, r.idb_sd),
+            format!("{:.3}", r.rfh_uj / r.idb_uj),
+        ]);
+    }
+    table.print();
+
+    let idb_leads = rows.iter().all(|r| r.idb_uj <= r.rfh_uj * 1.001);
+    println!(
+        "\nshape: IDB at or below RFH at every N (same ordering as Fig. 8)  [{}]",
+        if idb_leads { "OK" } else { "MISMATCH" }
+    );
+    let grows = rows.windows(2).all(|w| w[1].idb_uj >= w[0].idb_uj * 0.999);
+    println!(
+        "shape: total cost grows with the number of reporting posts  [{}]",
+        if grows { "OK" } else { "CHECK" }
+    );
+    save_json("fig9_num_posts", &rows);
+}

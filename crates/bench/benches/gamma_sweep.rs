@@ -1,0 +1,86 @@
+//! A3 — channel-quality sweep: the paper's Eq. 1 lets the loss exponent
+//! `γ` range over `[2, 4]` "depending on the quality of channel" but
+//! evaluates only `γ = 4`. How does channel quality change the co-design?
+//!
+//! One might expect low `γ` (good channels) to flatten routing; in fact
+//! the circuitry constant `α` plus reception cost dominate at these
+//! ranges, so maximum-range hops already win at every `γ` and the
+//! co-design barely moves — the same effect that makes Fig. 10 flat. We
+//! measure cost, mean tree depth, and deployment concentration
+//! (max / mean node count) per `γ` to document that.
+
+use serde::Serialize;
+use wrsn_bench::{mean, run_seeds, save_json, Table};
+use wrsn_core::{Idb, InstanceSampler, Solver};
+use wrsn_energy::{Energy, RadioParams};
+use wrsn_geom::Field;
+
+const SEEDS: u64 = 10;
+
+#[derive(Serialize)]
+struct Row {
+    gamma: f64,
+    mean_cost_uj: f64,
+    mean_depth_hops: f64,
+    concentration: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for gamma in [2.0f64, 3.0, 4.0] {
+        // Keep the 75 m hop cost comparable across gammas by rescaling
+        // beta so that e_tx(75 m) is identical to the paper's gamma = 4
+        // setting; gamma then only changes the *shape* of the curve.
+        let e75_target = RadioParams::icdcs2010().tx_energy(75.0).as_njoules() - 50.0;
+        let beta_pj = e75_target * 1e3 / 75f64.powf(gamma);
+        let radio = RadioParams::new(Energy::from_njoules(50.0), beta_pj, gamma);
+        let sampler = InstanceSampler::new(Field::square(500.0), 100, 400).radio(radio);
+        let results = run_seeds(0..SEEDS, |seed| {
+            let inst = sampler.sample(seed);
+            let sol = Idb::new(1).solve(&inst).expect("solvable");
+            let depths: Vec<f64> = (0..inst.num_posts())
+                .map(|p| sol.tree().depth(p) as f64)
+                .collect();
+            let counts = sol.deployment().counts();
+            let max = *counts.iter().max().expect("non-empty") as f64;
+            let avg = counts.iter().map(|&c| f64::from(c)).sum::<f64>() / counts.len() as f64;
+            (
+                sol.total_cost().as_ujoules(),
+                mean(&depths),
+                max / avg,
+            )
+        });
+        rows.push(Row {
+            gamma,
+            mean_cost_uj: mean(&results.iter().map(|r| r.0).collect::<Vec<_>>()),
+            mean_depth_hops: mean(&results.iter().map(|r| r.1).collect::<Vec<_>>()),
+            concentration: mean(&results.iter().map(|r| r.2).collect::<Vec<_>>()),
+        });
+    }
+
+    let mut table = Table::new(
+        "Channel-quality sweep (IDB, N=100, M=400, e_tx(75m) held fixed, 10 seeds)",
+        &["gamma", "cost uJ", "mean depth", "max/mean nodes"],
+    );
+    for r in &rows {
+        table.row(&[
+            format!("{:.0}", r.gamma),
+            format!("{:.4}", r.mean_cost_uj),
+            format!("{:.2}", r.mean_depth_hops),
+            format!("{:.2}", r.concentration),
+        ]);
+    }
+    table.print();
+
+    let depth_spread = (rows[0].mean_depth_hops - rows[2].mean_depth_hops).abs()
+        / rows[2].mean_depth_hops;
+    let cost_spread = (rows[0].mean_cost_uj - rows[2].mean_cost_uj).abs() / rows[2].mean_cost_uj;
+    println!(
+        "\nshape: channel quality barely moves the co-design (depth {:.1}%, cost {:.1}% across \
+         gamma 2..4) — alpha + rx dominate, the same effect that flattens Fig. 10  [{}]",
+        depth_spread * 100.0,
+        cost_spread * 100.0,
+        if depth_spread < 0.05 && cost_spread < 0.10 { "OK" } else { "CHECK" }
+    );
+    save_json("gamma_sweep", &rows);
+}

@@ -1,0 +1,83 @@
+//! E8 — runtime comparison (Criterion).
+//!
+//! The paper's Section VI-D claims "IDB runs much slower than RFH.
+//! Therefore, for large-scale networks, the RFH scheme may be a good
+//! choice considering its much shorter running time and a little worse
+//! performance." This bench quantifies that trade on the paper's
+//! large-scale setting, plus the exact solver at Fig. 7 scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use wrsn_core::{
+    optimal_cost, BranchAndBound, CostEvaluator, Deployment, Idb, InstanceSampler, Rfh, Solver,
+};
+use wrsn_geom::Field;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let sampler = InstanceSampler::new(Field::square(500.0), 100, 400);
+    let inst = sampler.sample(1);
+    let mut group = c.benchmark_group("large-scale N=100 M=400");
+    group.sample_size(20);
+    group.bench_function("RFH basic", |b| {
+        b.iter_batched(|| &inst, |i| Rfh::basic().solve(i).unwrap(), BatchSize::SmallInput)
+    });
+    group.bench_function("RFH iterative(7)", |b| {
+        b.iter_batched(
+            || &inst,
+            |i| Rfh::iterative(7).solve(i).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("IDB delta=1", |b| {
+        b.iter_batched(|| &inst, |i| Idb::new(1).solve(i).unwrap(), BatchSize::SmallInput)
+    });
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let sampler = InstanceSampler::new(Field::square(200.0), 8, 20);
+    let inst = sampler.sample(1);
+    let mut group = c.benchmark_group("small-scale N=8 M=20");
+    group.sample_size(10);
+    group.bench_function("IDB delta=1", |b| {
+        b.iter_batched(|| &inst, |i| Idb::new(1).solve(i).unwrap(), BatchSize::SmallInput)
+    });
+    group.bench_function("branch-and-bound (exact)", |b| {
+        b.iter_batched(
+            || &inst,
+            |i| BranchAndBound::new().solve(i).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_evaluator(c: &mut Criterion) {
+    // The substrate trade that makes IDB and B&B usable at paper scale:
+    // a full from-scratch evaluation vs the reusable evaluator vs the
+    // incremental decrease-only probe.
+    let sampler = InstanceSampler::new(Field::square(500.0), 100, 400);
+    let inst = sampler.sample(1);
+    let dep = Deployment::ones(100);
+    let mut group = c.benchmark_group("deployment evaluation N=100");
+    group.sample_size(50);
+    group.bench_function("optimal_cost (rebuild graph)", |b| {
+        b.iter(|| optimal_cost(&inst, &dep).unwrap())
+    });
+    group.bench_function("CostEvaluator::set_deployment", |b| {
+        let mut eval = CostEvaluator::new(&inst);
+        b.iter(|| eval.set_deployment(dep.counts()).unwrap())
+    });
+    group.bench_function("CostEvaluator::probe_add", |b| {
+        let mut eval = CostEvaluator::new(&inst);
+        eval.set_deployment(dep.counts()).unwrap();
+        let mut p = 0;
+        b.iter(|| {
+            p = (p + 1) % 100;
+            eval.probe_add(p)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics, bench_exact, bench_evaluator);
+criterion_main!(benches);

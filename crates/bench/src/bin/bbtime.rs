@@ -1,0 +1,28 @@
+//! Ad-hoc timing probe for the exact solvers at paper scale.
+use std::time::Instant;
+use wrsn_core::{BranchAndBound, Idb, InstanceSampler, Rfh, Solver};
+use wrsn_geom::Field;
+
+fn main() {
+    for n in [10usize, 12] {
+        for seed in 0..3u64 {
+            let s = InstanceSampler::new(Field::square(200.0), n, 36);
+            let inst = s.sample(seed);
+            let t = Instant::now();
+            let idb = Idb::new(1).solve(&inst).unwrap();
+            let t_idb = t.elapsed();
+            let t = Instant::now();
+            let rfh = Rfh::default().solve(&inst).unwrap();
+            let t_rfh = t.elapsed();
+            let t = Instant::now();
+            let bb = BranchAndBound::new().solve(&inst).unwrap();
+            let t_bb = t.elapsed();
+            println!(
+                "N={n} seed={seed}: idb {:.4} ({t_idb:?}) rfh {:.4} ({t_rfh:?}) bb {:.4} ({t_bb:?})",
+                idb.total_cost().as_ujoules(),
+                rfh.total_cost().as_ujoules(),
+                bb.total_cost().as_ujoules()
+            );
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Sizing probe for the large-scale benches.
+use std::time::Instant;
+use wrsn_core::{Idb, InstanceSampler, Rfh, Solver};
+use wrsn_energy::TxLevels;
+use wrsn_geom::Field;
+
+fn main() {
+    for (n, m, k) in [(100usize, 1000u32, 3usize), (300, 600, 3), (200, 600, 6)] {
+        let mut s = InstanceSampler::new(Field::square(500.0), n, m);
+        if k != 3 {
+            s = s.levels(TxLevels::evenly_spaced(k, 25.0));
+        }
+        let inst = s.sample(0);
+        let t = Instant::now();
+        let idb = Idb::new(1).solve(&inst).unwrap();
+        let t_idb = t.elapsed();
+        let t = Instant::now();
+        let rfh = Rfh::default().solve(&inst).unwrap();
+        let t_rfh = t.elapsed();
+        println!(
+            "N={n} M={m} k={k}: idb {:.4}uJ ({t_idb:?}) rfh {:.4}uJ ({t_rfh:?})",
+            idb.total_cost().as_ujoules(),
+            rfh.total_cost().as_ujoules()
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! Charging-efficiency models consumed by the deployment optimizer.
+
+use std::fmt;
+use wrsn_energy::Energy;
+
+/// A model of how charging efficiency scales with the number of co-located
+/// nodes at a post.
+///
+/// When a charger spends one unit of energy at a post holding `m` nodes,
+/// **each** node receives `efficiency(m) / m` units... more precisely the
+/// paper's convention is: each of the `m` nodes receives `η` units per unit
+/// spent, so the *post* as a whole receives `m·η = efficiency(m)` units.
+/// [`ChargeModel::charger_energy`] inverts that: delivering `E` joules of
+/// aggregate energy to the post costs the charger `E / efficiency(m)`.
+///
+/// Implementations must guarantee `0 < efficiency(m) <= gain_cap` for
+/// `m >= 1` and that `efficiency` is non-decreasing in `m`; the solvers
+/// rely on both (costs stay positive and adding a node never hurts).
+pub trait ChargeModel {
+    /// Network charging efficiency `η(m) = k(m)·η` for a post with `m`
+    /// nodes.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `m == 0`: a post with no nodes
+    /// cannot be charged.
+    fn efficiency(&self, m: u32) -> f64;
+
+    /// Energy the charger must radiate so the post (all `m` nodes
+    /// together, rotation-averaged) receives `delivered`.
+    fn charger_energy(&self, delivered: Energy, m: u32) -> Energy {
+        delivered / self.efficiency(m)
+    }
+
+    /// The single-node base efficiency `η = efficiency(1)`.
+    fn base_efficiency(&self) -> f64 {
+        self.efficiency(1)
+    }
+}
+
+fn assert_base_efficiency(eta: f64) {
+    assert!(
+        eta > 0.0 && eta <= 1.0 && eta.is_finite(),
+        "base efficiency must lie in (0, 1], got {eta}"
+    );
+}
+
+fn assert_m(m: u32) -> f64 {
+    assert!(m >= 1, "cannot charge a post with zero nodes");
+    f64::from(m)
+}
+
+/// The paper's working assumption: `k(m) = m`, i.e. network charging
+/// efficiency grows linearly with the number of simultaneously charged
+/// nodes (Section III: "we assume k(m) = m in this paper").
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_charging::{ChargeModel, LinearGain};
+/// let model = LinearGain::new(0.01);
+/// assert_eq!(model.efficiency(1), 0.01);
+/// assert_eq!(model.efficiency(6), 0.06);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearGain {
+    eta: f64,
+}
+
+impl LinearGain {
+    /// Creates the model with single-node efficiency `eta ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is outside `(0, 1]` or non-finite.
+    #[must_use]
+    pub fn new(eta: f64) -> Self {
+        assert_base_efficiency(eta);
+        LinearGain { eta }
+    }
+
+    /// The normalized model `η = 1` used by the paper's evaluation metric
+    /// (costs are then expressed directly in consumed-energy units).
+    #[must_use]
+    pub fn normalized() -> Self {
+        LinearGain::new(1.0)
+    }
+}
+
+impl ChargeModel for LinearGain {
+    fn efficiency(&self, m: u32) -> f64 {
+        assert_m(m) * self.eta
+    }
+}
+
+impl Default for LinearGain {
+    /// The normalized model ([`LinearGain::normalized`]).
+    fn default() -> Self {
+        LinearGain::normalized()
+    }
+}
+
+impl fmt::Display for LinearGain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "linear gain (eta={})", self.eta)
+    }
+}
+
+/// A sub-linear gain `k(m) = m^p` with `p ∈ (0, 1]`, for sensitivity
+/// studies of the paper's linearity assumption (its own measurements call
+/// `k(m)` "linear or sub-linear").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaturatingGain {
+    eta: f64,
+    exponent: f64,
+}
+
+impl SaturatingGain {
+    /// Creates the model with single-node efficiency `eta` and gain
+    /// exponent `exponent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is outside `(0, 1]` or `exponent` outside `(0, 1]`.
+    #[must_use]
+    pub fn new(eta: f64, exponent: f64) -> Self {
+        assert_base_efficiency(eta);
+        assert!(
+            exponent > 0.0 && exponent <= 1.0,
+            "gain exponent must lie in (0, 1], got {exponent}"
+        );
+        SaturatingGain { eta, exponent }
+    }
+}
+
+impl ChargeModel for SaturatingGain {
+    fn efficiency(&self, m: u32) -> f64 {
+        assert_m(m).powf(self.exponent) * self.eta
+    }
+}
+
+impl fmt::Display for SaturatingGain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "saturating gain (eta={}, p={})", self.eta, self.exponent)
+    }
+}
+
+/// A gain curve tabulated from measurements (e.g. the output of the
+/// [`FieldExperiment`](crate::FieldExperiment) simulator), linearly
+/// interpolated between samples and extrapolated flat beyond the last one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredGain {
+    eta: f64,
+    /// `k(m)` samples for `m = 1, 2, …`; `k(1)` is forced to `1.0`.
+    gains: Vec<f64>,
+}
+
+impl MeasuredGain {
+    /// Creates a measured-gain model from `k(m)` samples for
+    /// `m = 1, 2, …, len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is invalid, `gains` is empty, `gains[0]` is not
+    /// `1.0`, or the samples are not non-decreasing and positive.
+    #[must_use]
+    pub fn new(eta: f64, gains: Vec<f64>) -> Self {
+        assert_base_efficiency(eta);
+        assert!(!gains.is_empty(), "at least one gain sample required");
+        assert!(
+            (gains[0] - 1.0).abs() < 1e-9,
+            "k(1) must be 1.0 by definition, got {}",
+            gains[0]
+        );
+        assert!(
+            gains.windows(2).all(|w| w[1] >= w[0]) && gains.iter().all(|&g| g > 0.0),
+            "gain samples must be positive and non-decreasing"
+        );
+        MeasuredGain { eta, gains }
+    }
+
+    /// The gain `k(m)`, flat-extrapolated past the last sample.
+    #[must_use]
+    pub fn gain(&self, m: u32) -> f64 {
+        assert_m(m);
+        let idx = (m as usize - 1).min(self.gains.len() - 1);
+        self.gains[idx]
+    }
+}
+
+impl ChargeModel for MeasuredGain {
+    fn efficiency(&self, m: u32) -> f64 {
+        self.gain(m) * self.eta
+    }
+}
+
+impl fmt::Display for MeasuredGain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "measured gain (eta={}, {} samples)",
+            self.eta,
+            self.gains.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_gain_is_linear() {
+        let m = LinearGain::new(0.01);
+        for k in 1..=10u32 {
+            assert!((m.efficiency(k) - 0.01 * f64::from(k)).abs() < 1e-12);
+        }
+        assert_eq!(m.base_efficiency(), 0.01);
+    }
+
+    #[test]
+    fn charger_energy_inverts_efficiency() {
+        let m = LinearGain::new(0.5);
+        let delivered = Energy::from_njoules(100.0);
+        assert_eq!(m.charger_energy(delivered, 1).as_njoules(), 200.0);
+        assert_eq!(m.charger_energy(delivered, 2).as_njoules(), 100.0);
+    }
+
+    #[test]
+    fn normalized_model_is_identity_for_single_node() {
+        let m = LinearGain::normalized();
+        assert_eq!(m.efficiency(1), 1.0);
+        let e = Energy::from_njoules(42.0);
+        assert_eq!(m.charger_energy(e, 1), e);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero nodes")]
+    fn zero_nodes_panics() {
+        let _ = LinearGain::normalized().efficiency(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "base efficiency")]
+    fn eta_above_one_rejected() {
+        let _ = LinearGain::new(1.5);
+    }
+
+    #[test]
+    fn saturating_gain_is_sublinear_and_monotone() {
+        let m = SaturatingGain::new(0.01, 0.8);
+        let mut last = 0.0;
+        for k in 1..=8u32 {
+            let e = m.efficiency(k);
+            assert!(e > last);
+            assert!(e <= LinearGain::new(0.01).efficiency(k) + 1e-15);
+            last = e;
+        }
+        // Exponent 1.0 degenerates to linear.
+        let lin = SaturatingGain::new(0.01, 1.0);
+        assert!((lin.efficiency(5) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_gain_interpolates_and_extrapolates_flat() {
+        let m = MeasuredGain::new(0.01, vec![1.0, 1.8, 2.7, 3.5]);
+        assert_eq!(m.gain(1), 1.0);
+        assert_eq!(m.gain(3), 2.7);
+        assert_eq!(m.gain(4), 3.5);
+        assert_eq!(m.gain(10), 3.5); // flat extrapolation
+        assert!((m.efficiency(2) - 0.018).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k(1)")]
+    fn measured_gain_requires_unit_first_sample() {
+        let _ = MeasuredGain::new(0.01, vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn measured_gain_rejects_decreasing_samples() {
+        let _ = MeasuredGain::new(0.01, vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn models_are_usable_as_trait_objects() {
+        let models: Vec<Box<dyn ChargeModel>> = vec![
+            Box::new(LinearGain::new(0.01)),
+            Box::new(SaturatingGain::new(0.01, 0.9)),
+            Box::new(MeasuredGain::new(0.01, vec![1.0, 2.0])),
+        ];
+        for m in &models {
+            assert!(m.efficiency(2) > m.efficiency(1));
+        }
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(format!("{}", LinearGain::normalized()).contains("linear"));
+        assert!(format!("{}", SaturatingGain::new(0.5, 0.5)).contains("p=0.5"));
+        assert!(format!("{}", MeasuredGain::new(0.5, vec![1.0])).contains("samples"));
+    }
+}

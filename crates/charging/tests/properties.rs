@@ -1,0 +1,114 @@
+//! Property tests for charging models and the RF field simulator.
+
+use proptest::prelude::*;
+use wrsn_charging::{ChargeModel, FieldExperiment, LinearGain, MeasuredGain, SaturatingGain};
+use wrsn_energy::Energy;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every gain model is positive and non-decreasing in the node count
+    /// (the invariant the solvers rely on).
+    #[test]
+    fn efficiency_monotone_in_node_count(
+        eta in 0.001f64..1.0,
+        p in 0.1f64..1.0,
+    ) {
+        let models: Vec<Box<dyn ChargeModel>> = vec![
+            Box::new(LinearGain::new(eta)),
+            Box::new(SaturatingGain::new(eta, p)),
+            Box::new(MeasuredGain::new(eta, vec![1.0, 1.5, 1.5, 2.0])),
+        ];
+        for model in &models {
+            let mut last = 0.0;
+            for m in 1..=12u32 {
+                let e = model.efficiency(m);
+                prop_assert!(e > 0.0);
+                prop_assert!(e >= last - 1e-12);
+                last = e;
+            }
+        }
+    }
+
+    /// Charger energy inverts delivery: delivering what the charger's
+    /// output would deliver costs exactly the charger's output.
+    #[test]
+    fn charger_energy_is_inverse(
+        eta in 0.001f64..1.0,
+        m in 1u32..10,
+        nj in 0.0f64..1e6,
+    ) {
+        let model = LinearGain::new(eta);
+        let radiated = Energy::from_njoules(nj);
+        let delivered = radiated * model.efficiency(m);
+        let back = model.charger_energy(delivered, m);
+        prop_assert!((back.as_njoules() - nj).abs() <= 1e-9 * nj.max(1.0));
+    }
+
+    /// Received power decays monotonically with charger distance.
+    #[test]
+    fn power_decays_with_distance(
+        sensors in 1u32..7,
+        spacing in 2.0f64..20.0,
+    ) {
+        let exp = FieldExperiment::default();
+        let mut last = f64::INFINITY;
+        for d in [10.0, 20.0, 40.0, 60.0, 80.0, 100.0, 150.0] {
+            let p = exp.expected_per_node_power_mw(sensors, d, spacing);
+            prop_assert!(p > 0.0);
+            prop_assert!(p < last);
+            last = p;
+        }
+    }
+
+    /// More receivers never *increase* per-node power, and never push
+    /// network efficiency above the per-receiver linear bound.
+    #[test]
+    fn network_efficiency_bounded_by_linear(
+        distance in 10.0f64..120.0,
+        spacing in 2.0f64..20.0,
+    ) {
+        let exp = FieldExperiment::default();
+        let single = exp.expected_per_node_power_mw(1, distance, spacing);
+        let mut last_per_node = f64::INFINITY;
+        for m in 1..=8u32 {
+            let per_node = exp.expected_per_node_power_mw(m, distance, spacing);
+            prop_assert!(per_node <= last_per_node + 1e-12);
+            prop_assert!(per_node <= single + 1e-12);
+            last_per_node = per_node;
+            let k = f64::from(m) * per_node / single;
+            prop_assert!(k <= f64::from(m) + 1e-9);
+        }
+    }
+
+    /// Wider spacing always helps (or is neutral) once multiple
+    /// receivers share the field.
+    #[test]
+    fn spacing_relieves_shadowing(
+        sensors in 2u32..7,
+        distance in 10.0f64..100.0,
+    ) {
+        let exp = FieldExperiment::default();
+        let tight = exp.expected_per_node_power_mw(sensors, distance, 3.0);
+        let loose = exp.expected_per_node_power_mw(sensors, distance, 15.0);
+        prop_assert!(loose >= tight);
+    }
+
+    /// Observations average noisy trials around the expectation, and the
+    /// derived measured-gain curve is a valid model (monotone, k(1)=1).
+    #[test]
+    fn observations_and_gain_curves_consistent(
+        seed in any::<u64>(),
+        distance in 15.0f64..60.0,
+    ) {
+        let exp = FieldExperiment::default();
+        let obs = exp.observe(4, distance, 10.0, 200, seed);
+        let expected = exp.expected_per_node_power_mw(4, distance, 10.0);
+        prop_assert!((obs.per_node_power_mw - expected).abs() / expected < 0.05);
+        let gain = exp.measured_gain(distance, 10.0, 8);
+        prop_assert!(gain.gain(1) == 1.0);
+        for m in 1..8u32 {
+            prop_assert!(gain.gain(m + 1) >= gain.gain(m));
+        }
+    }
+}

@@ -1,0 +1,707 @@
+//! The CLI subcommands, each returning its report as a string so the
+//! whole surface is unit-testable without spawning processes.
+
+use crate::args::{Args, ArgsError};
+use crate::render;
+use serde::Serialize;
+use std::error::Error;
+use std::fmt::Write as _;
+use wrsn_charging::FieldExperiment;
+use wrsn_core::reduction::reduce;
+use wrsn_core::{
+    BranchAndBound, ChargeSpec, ExhaustiveSearch, Idb, Instance, InstanceSampler, InstanceSpec,
+    Rfh, Solution, Solver,
+};
+use wrsn_energy::{Energy, TxLevels};
+use wrsn_geom::Field;
+use wrsn_sat::{CnfFormula, DpllSolver};
+use wrsn_sim::{ChargerPolicy, PatrolTour, SimConfig, Simulator};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+wrsn — wireless-rechargeable sensor network deployment & routing (ICDCS 2010)
+
+USAGE:
+    wrsn <command> [options]
+
+COMMANDS:
+    solve      co-design deployment and routing for a random instance
+    simulate   solve, then run the network in the discrete-event simulator
+    fieldexp   replay the Section II RF charging field experiment
+    reduce     reduce a 3-CNF DIMACS formula to a deployment instance (Section IV)
+    help       show this message (or `wrsn <command> --help`)
+
+Run `wrsn <command> --help` for per-command options.";
+
+const SOLVE_HELP: &str = "\
+wrsn solve — co-design deployment and routing
+
+OPTIONS:
+    --posts N       number of posts                      [default: 100]
+    --nodes M       number of sensor nodes               [default: 400]
+    --field S       square field side in meters          [default: 500]
+    --seed K        RNG seed                             [default: 1]
+    --levels k      number of 25 m power levels          [default: 3]
+    --eta E         single-node charging efficiency      [default: 1.0]
+    --cap C         max nodes per post                   [optional]
+    --algo A        rfh | irfh | idb | bnb | exhaustive  [default: irfh]
+    --draw          render the field map and routing tree as ASCII
+    --save PATH     write the generated instance spec as JSON
+    --load PATH     solve a saved instance spec instead of sampling
+    --svg PATH      write the deployment + routing as an SVG figure
+    --json          machine-readable output";
+
+const SIMULATE_HELP: &str = "\
+wrsn simulate — solve, then run the network over time
+
+All `wrsn solve` options, plus:
+    --rounds R      reporting rounds to simulate         [default: 1000]
+    --bits B        bits per report                      [default: 4000]
+    --battery J     per-node battery capacity in joules  [default: 0.1]
+    --policy P      threshold | tour | none              [default: threshold]
+    --speed V       charger speed (m/s, tour policy)     [default: 5.0]
+    --chargers K    charger fleet size (tour policy)     [default: 1]
+    --power W       charger radiated power in watts (finite => refills take time)
+    --timeline R    sample state of charge every R rounds and plot it
+    --json          machine-readable output";
+
+const FIELDEXP_HELP: &str = "\
+wrsn fieldexp — replay the Section II field experiment
+
+OPTIONS:
+    --seed K        RNG seed for measurement noise       [default: 42]
+    --trials T      trials per grid cell                 [default: 40]
+    --json          machine-readable output";
+
+const REDUCE_HELP: &str = "\
+wrsn reduce — 3-CNF SAT to deployment/routing (the NP-completeness gadget)
+
+OPTIONS:
+    --dimacs PATH   DIMACS CNF file (`-` for stdin)      [required]
+    --solve         solve the gadget exactly and decode the assignment
+    --json          machine-readable output";
+
+/// A fatal CLI error with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for CliError {}
+
+impl From<ArgsError> for CliError {
+    fn from(e: ArgsError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Dispatches a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] carrying the message to print to stderr.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Ok(USAGE.to_string());
+    };
+    let wants_help = rest.iter().any(|a| a == "--help" || a == "-h");
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "solve" if wants_help => Ok(SOLVE_HELP.to_string()),
+        "simulate" if wants_help => Ok(SIMULATE_HELP.to_string()),
+        "fieldexp" if wants_help => Ok(FIELDEXP_HELP.to_string()),
+        "reduce" if wants_help => Ok(REDUCE_HELP.to_string()),
+        "solve" => solve(Args::parse(rest.to_vec())?),
+        "simulate" => simulate(Args::parse(rest.to_vec())?),
+        "fieldexp" => fieldexp(Args::parse(rest.to_vec())?),
+        "reduce" => reduce_cmd(Args::parse(rest.to_vec())?),
+        other => Err(CliError(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn pick_solver(name: &str) -> Result<Box<dyn Solver>, CliError> {
+    Ok(match name {
+        "rfh" => Box::new(Rfh::basic()),
+        "irfh" => Box::new(Rfh::iterative(7)),
+        "idb" => Box::new(Idb::new(1)),
+        "bnb" => Box::new(BranchAndBound::new()),
+        "exhaustive" => Box::new(ExhaustiveSearch::default()),
+        other => {
+            return Err(CliError(format!(
+                "unknown --algo {other:?} (expected rfh|irfh|idb|bnb|exhaustive)"
+            )))
+        }
+    })
+}
+
+struct SolveSetup {
+    instance: Instance,
+    solution: Solution,
+    seed: u64,
+    json: bool,
+}
+
+fn setup_solve(args: &mut Args) -> Result<SolveSetup, CliError> {
+    let posts: usize = args.get_or("posts", "a post count", 100)?;
+    let nodes: u32 = args.get_or("nodes", "a node count", 400)?;
+    let field: f64 = args.get_or("field", "meters", 500.0)?;
+    let seed: u64 = args.get_or("seed", "an integer seed", 1)?;
+    let levels: usize = args.get_or("levels", "a level count", 3)?;
+    let eta: f64 = args.get_or("eta", "an efficiency in (0,1]", 1.0)?;
+    let cap: Option<u32> = args.opt("cap", "a per-post cap")?;
+    let algo: String = args.get_or("algo", "an algorithm name", "irfh".to_string())?;
+    let save: Option<String> = args.opt("save", "a file path")?;
+    let load: Option<String> = args.opt("load", "a file path")?;
+    let json = args.flag("json");
+    if posts == 0 || nodes == 0 || field <= 0.0 || levels == 0 {
+        return Err(CliError("posts, nodes, field and levels must be positive".into()));
+    }
+    if !(eta > 0.0 && eta <= 1.0) {
+        return Err(CliError(format!("--eta must lie in (0, 1], got {eta}")));
+    }
+    let instance = if let Some(path) = load {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CliError(format!("reading {path}: {e}")))?;
+        InstanceSpec::from_json(&text)
+            .map_err(|e| CliError(e.to_string()))?
+            .build()
+            .map_err(|e| CliError(format!("spec in {path}: {e}")))?
+    } else {
+        let mut sampler = InstanceSampler::new(Field::square(field), posts, nodes)
+            .levels(TxLevels::evenly_spaced(levels, 25.0))
+            .charge(ChargeSpec::linear(eta));
+        if let Some(c) = cap {
+            sampler = sampler.max_nodes_per_post(c);
+        }
+        sampler.sample(seed)
+    };
+    if let Some(path) = save {
+        let spec = InstanceSpec::from_instance(&instance)
+            .expect("solve instances are always geometric");
+        std::fs::write(&path, spec.to_json())
+            .map_err(|e| CliError(format!("writing {path}: {e}")))?;
+    }
+    let solver = pick_solver(&algo)?;
+    let solution = solver
+        .solve(&instance)
+        .map_err(|e| CliError(format!("{algo} failed: {e}")))?;
+    Ok(SolveSetup {
+        instance,
+        solution,
+        seed,
+        json,
+    })
+}
+
+#[derive(Serialize)]
+struct SolveReport {
+    algorithm: String,
+    posts: usize,
+    nodes: u32,
+    seed: u64,
+    total_cost_uj: f64,
+    deployment: Vec<u32>,
+    parents: Vec<usize>,
+}
+
+fn solve(mut args: Args) -> Result<String, CliError> {
+    let draw = args.flag("draw");
+    let svg: Option<String> = args.opt("svg", "a file path")?;
+    let setup = setup_solve(&mut args)?;
+    args.finish()?;
+    if let Some(path) = &svg {
+        let geo = setup
+            .instance
+            .geometry()
+            .expect("solve instances are always geometric");
+        let doc = render::render_svg(geo, &setup.solution, 720);
+        std::fs::write(path, doc).map_err(|e| CliError(format!("writing {path}: {e}")))?;
+    }
+    let report = SolveReport {
+        algorithm: setup.solution.algorithm().to_string(),
+        posts: setup.instance.num_posts(),
+        nodes: setup.instance.num_nodes(),
+        seed: setup.seed,
+        total_cost_uj: setup.solution.total_cost().as_ujoules(),
+        deployment: setup.solution.deployment().counts().to_vec(),
+        parents: setup.solution.tree().parents().to_vec(),
+    };
+    if setup.json {
+        return Ok(serde_json::to_string_pretty(&report).expect("serializable"));
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "instance: {}", setup.instance);
+    let _ = writeln!(
+        out,
+        "{}: total recharging cost {}",
+        report.algorithm,
+        setup.solution.total_cost()
+    );
+    let _ = writeln!(out, "deployment: {}", setup.solution.deployment());
+    let _ = writeln!(out, "routing:    {}", setup.solution.tree());
+    if draw {
+        if let Some(geo) = setup.instance.geometry() {
+            let _ = writeln!(out, "
+{}", render::render_field(geo, &setup.solution, 64, 24));
+            let _ = writeln!(out, "{}", render::render_tree(&setup.solution));
+        }
+    }
+    Ok(out)
+}
+
+#[derive(Serialize)]
+struct SimulateReport {
+    algorithm: String,
+    rounds: u64,
+    reports_delivered: u64,
+    reports_lost: u64,
+    charger_energy_j: f64,
+    consumed_energy_j: f64,
+    first_death: Option<(f64, usize)>,
+    analytic_cost_per_round_uj: f64,
+    simulated_cost_per_round_uj: f64,
+    soc_timeline: Vec<(f64, f64, f64)>,
+}
+
+fn simulate(mut args: Args) -> Result<String, CliError> {
+    let rounds: u64 = args.get_or("rounds", "a round count", 1000)?;
+    let bits: u64 = args.get_or("bits", "bits per report", 4000)?;
+    let battery: f64 = args.get_or("battery", "joules", 0.1)?;
+    let policy: String = args.get_or("policy", "threshold|tour|none", "threshold".to_string())?;
+    let speed: f64 = args.get_or("speed", "meters per second", 5.0)?;
+    let chargers: u32 = args.get_or("chargers", "a charger count", 1)?;
+    let timeline: Option<u64> = args.opt("timeline", "a sample interval in rounds")?;
+    let power: f64 = match args.opt::<f64>("power", "charger watts")? {
+        Some(w) if w > 0.0 => w,
+        Some(w) => return Err(CliError(format!("--power must be positive, got {w}"))),
+        None => f64::INFINITY,
+    };
+    let setup = setup_solve(&mut args)?;
+    args.finish()?;
+    if battery <= 0.0 {
+        return Err(CliError("--battery must be positive".into()));
+    }
+    let charger = match policy.as_str() {
+        "threshold" => ChargerPolicy::Threshold {
+            interval_s: 10.0,
+            trigger_soc: 0.5,
+        },
+        "tour" => ChargerPolicy::PatrolTour {
+            speed_mps: speed,
+            trigger_soc: 0.5,
+            chargers,
+        },
+        "none" => ChargerPolicy::None,
+        other => {
+            return Err(CliError(format!(
+                "unknown --policy {other:?} (expected threshold|tour|none)"
+            )))
+        }
+    };
+    if chargers == 0 {
+        return Err(CliError("--chargers must be at least 1".into()));
+    }
+    let config = SimConfig {
+        round_interval_s: 1.0,
+        bits_per_report: bits,
+        battery_capacity: Energy::from_joules(battery),
+        charger,
+        record_soc_every: timeline,
+        charger_power_w: power,
+    };
+    let sim = Simulator::new(&setup.instance, &setup.solution, config);
+    let report = sim.run(rounds);
+    let analytic = setup.solution.total_cost() * bits as f64;
+    let result = SimulateReport {
+        algorithm: setup.solution.algorithm().to_string(),
+        rounds: report.rounds_completed,
+        reports_delivered: report.reports_delivered,
+        reports_lost: report.reports_lost,
+        charger_energy_j: report.charger_energy.as_joules(),
+        consumed_energy_j: report.consumed_energy.as_joules(),
+        first_death: report.first_death,
+        analytic_cost_per_round_uj: analytic.as_ujoules(),
+        simulated_cost_per_round_uj: report.charger_energy_per_round().as_ujoules(),
+        soc_timeline: report.soc_timeline.clone(),
+    };
+    if setup.json {
+        return Ok(serde_json::to_string_pretty(&result).expect("serializable"));
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{report}");
+    let _ = writeln!(
+        out,
+        "charger energy per round: {} (analytic prediction: {})",
+        report.charger_energy_per_round(),
+        analytic
+    );
+    if let Some((t, p)) = report.first_death {
+        let _ = writeln!(out, "first death: post {p} at t={t:.1}s — charger policy too weak");
+    } else {
+        let _ = writeln!(out, "network alive for the whole run");
+    }
+    if let (ChargerPolicy::PatrolTour { .. }, Some(geo)) =
+        (config.charger, setup.instance.geometry())
+    {
+        let tour = PatrolTour::plan(geo.base_station, geo.posts.clone());
+        let _ = writeln!(
+            out,
+            "patrol tour: {:.0} m, cycle {:.1}s at {speed} m/s across {chargers} charger(s)",
+            tour.length(),
+            tour.cycle_s(speed)
+        );
+    }
+    if !report.soc_timeline.is_empty() {
+        let mins: Vec<f64> = report.soc_timeline.iter().map(|&(_, min, _)| min).collect();
+        let means: Vec<f64> = report.soc_timeline.iter().map(|&(_, _, m)| m).collect();
+        let _ = writeln!(out, "state of charge over time (0..100%):");
+        let _ = writeln!(out, "  mean {}", render::sparkline(&means));
+        let _ = writeln!(out, "  min  {}", render::sparkline(&mins));
+    }
+    Ok(out)
+}
+
+#[derive(Serialize)]
+struct FieldExpRow {
+    spacing_cm: f64,
+    distance_cm: f64,
+    sensors: u32,
+    per_node_power_mw: f64,
+    network_efficiency: f64,
+}
+
+fn fieldexp(mut args: Args) -> Result<String, CliError> {
+    let seed: u64 = args.get_or("seed", "an integer seed", 42)?;
+    let trials: u32 = args.get_or("trials", "a trial count", 40)?;
+    let json = args.flag("json");
+    args.finish()?;
+    if trials == 0 {
+        return Err(CliError("--trials must be at least 1".into()));
+    }
+    let exp = FieldExperiment::default();
+    let (sensors, distances, spacings) = FieldExperiment::table_ii_grid();
+    let mut rows = Vec::new();
+    for &sp in &spacings {
+        for &d in &distances {
+            for &m in &sensors {
+                let o = exp.observe(m, d, sp, trials, seed);
+                rows.push(FieldExpRow {
+                    spacing_cm: sp,
+                    distance_cm: d,
+                    sensors: m,
+                    per_node_power_mw: o.per_node_power_mw,
+                    network_efficiency: o.network_efficiency,
+                });
+            }
+        }
+    }
+    if json {
+        return Ok(serde_json::to_string_pretty(&rows).expect("serializable"));
+    }
+    let mut out = String::new();
+    for &sp in &spacings {
+        let _ = writeln!(out, "spacing {sp} cm — per-node received power (mW):");
+        let _ = write!(out, "{:>10}", "distance");
+        for &m in &sensors {
+            let _ = write!(out, "{:>9}", format!("m={m}"));
+        }
+        let _ = writeln!(out);
+        for &d in &distances {
+            let _ = write!(out, "{:>10}", format!("{d:.0} cm"));
+            for &m in &sensors {
+                let row = rows
+                    .iter()
+                    .find(|r| r.spacing_cm == sp && r.distance_cm == d && r.sensors == m)
+                    .expect("full grid");
+                let _ = write!(out, "{:>9.4}", row.per_node_power_mw);
+            }
+            let _ = writeln!(out);
+        }
+    }
+    Ok(out)
+}
+
+#[derive(Serialize)]
+struct ReduceReport {
+    vars: usize,
+    clauses: usize,
+    posts: usize,
+    nodes: u32,
+    bound_w_nj: f64,
+    dpll_satisfiable: bool,
+    optimal_nj: Option<f64>,
+    optimizer_satisfiable: Option<bool>,
+    assignment: Option<Vec<bool>>,
+}
+
+fn reduce_cmd(mut args: Args) -> Result<String, CliError> {
+    let path: String = args.require("dimacs", "a file path or -")?;
+    let do_solve = args.flag("solve");
+    let json = args.flag("json");
+    args.finish()?;
+    let text = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| CliError(format!("reading stdin: {e}")))?;
+        buf
+    } else {
+        std::fs::read_to_string(&path).map_err(|e| CliError(format!("reading {path}: {e}")))?
+    };
+    let formula = CnfFormula::parse_dimacs(&text).map_err(|e| CliError(format!("DIMACS: {e}")))?;
+    let red = reduce(&formula).map_err(|e| CliError(format!("reduction: {e}")))?;
+    let dpll = DpllSolver::new().is_satisfiable(&formula);
+    let mut report = ReduceReport {
+        vars: formula.num_vars(),
+        clauses: formula.num_clauses(),
+        posts: red.instance().num_posts(),
+        nodes: red.instance().num_nodes(),
+        bound_w_nj: red.cost_bound().as_njoules(),
+        dpll_satisfiable: dpll,
+        optimal_nj: None,
+        optimizer_satisfiable: None,
+        assignment: None,
+    };
+    if do_solve {
+        let sol = BranchAndBound::new()
+            .solve(red.instance())
+            .map_err(|e| CliError(format!("solving gadget: {e}")))?;
+        let meets = sol.total_cost().as_njoules() <= report.bound_w_nj * (1.0 + 1e-9);
+        report.optimal_nj = Some(sol.total_cost().as_njoules());
+        report.optimizer_satisfiable = Some(meets);
+        if meets {
+            report.assignment = Some(red.decode(&sol));
+        }
+    }
+    if json {
+        return Ok(serde_json::to_string_pretty(&report).expect("serializable"));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "formula: {} vars, {} clauses -> gadget with {} posts, {} nodes, W = {:.1} nJ",
+        report.vars, report.clauses, report.posts, report.nodes, report.bound_w_nj
+    );
+    let _ = writeln!(out, "DPLL says: {}", if dpll { "SATISFIABLE" } else { "UNSATISFIABLE" });
+    if let (Some(opt), Some(meets)) = (report.optimal_nj, report.optimizer_satisfiable) {
+        let _ = writeln!(
+            out,
+            "optimizer: optimal cost {:.1} nJ {} W -> {}",
+            opt,
+            if meets { "<=" } else { ">" },
+            if meets { "SATISFIABLE" } else { "UNSATISFIABLE" }
+        );
+        if let Some(a) = &report.assignment {
+            let pretty: Vec<String> = a
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| format!("x{}={}", i + 1, v))
+                .collect();
+            let _ = writeln!(out, "assignment: {}", pretty.join(", "));
+        }
+        if meets != dpll {
+            let _ = writeln!(out, "WARNING: optimizer and DPLL disagree — please report a bug");
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(cmd: &str) -> Result<String, CliError> {
+        run(&cmd.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run_str("help").unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn per_command_help() {
+        for cmd in ["solve", "simulate", "fieldexp", "reduce"] {
+            let out = run_str(&format!("{cmd} --help")).unwrap();
+            assert!(out.contains("OPTIONS") || out.contains("options"), "{cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let err = run_str("frobnicate").unwrap_err();
+        assert!(err.0.contains("unknown command"));
+    }
+
+    #[test]
+    fn solve_small_instance() {
+        let out = run_str("solve --posts 6 --nodes 12 --field 150 --seed 3 --algo idb").unwrap();
+        assert!(out.contains("total recharging cost"));
+        assert!(out.contains("deployment["));
+    }
+
+    #[test]
+    fn solve_draw_renders_map_and_tree() {
+        let out =
+            run_str("solve --posts 6 --nodes 12 --field 150 --seed 3 --algo idb --draw").unwrap();
+        assert!(out.contains("base station"));
+        assert!(out.contains("BS\n") || out.contains("BS"));
+        assert!(out.contains("post 0"));
+    }
+
+    #[test]
+    fn solve_json_output_parses() {
+        let out =
+            run_str("solve --posts 5 --nodes 10 --field 150 --seed 2 --algo rfh --json").unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["posts"], 5);
+        assert_eq!(v["deployment"].as_array().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn solve_rejects_bad_algo_and_eta() {
+        assert!(run_str("solve --algo magic --posts 5 --nodes 10 --field 150")
+            .unwrap_err()
+            .0
+            .contains("--algo"));
+        assert!(run_str("solve --eta 2.0 --posts 5 --nodes 10 --field 150")
+            .unwrap_err()
+            .0
+            .contains("eta"));
+    }
+
+    #[test]
+    fn solve_rejects_unknown_option() {
+        let err = run_str("solve --posts 5 --nodes 10 --field 150 --bogus 1").unwrap_err();
+        assert!(err.0.contains("bogus"));
+    }
+
+    #[test]
+    fn solve_writes_svg() {
+        let dir = std::env::temp_dir().join("wrsn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("map.svg");
+        let _ = run_str(&format!(
+            "solve --posts 6 --nodes 12 --field 150 --seed 3 --algo idb --svg {}",
+            path.display()
+        ))
+        .unwrap();
+        let svg = std::fs::read_to_string(&path).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<circle").count(), 6);
+    }
+
+    #[test]
+    fn solve_save_and_load_reproduce_the_same_solution() {
+        let dir = std::env::temp_dir().join("wrsn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.json");
+        let a = run_str(&format!(
+            "solve --posts 6 --nodes 12 --field 150 --seed 3 --algo idb --json --save {}",
+            path.display()
+        ))
+        .unwrap();
+        let b = run_str(&format!("solve --algo idb --json --load {}", path.display())).unwrap();
+        let va: serde_json::Value = serde_json::from_str(&a).unwrap();
+        let vb: serde_json::Value = serde_json::from_str(&b).unwrap();
+        assert_eq!(va["total_cost_uj"], vb["total_cost_uj"]);
+        assert_eq!(va["deployment"], vb["deployment"]);
+    }
+
+    #[test]
+    fn load_rejects_bad_spec() {
+        let dir = std::env::temp_dir().join("wrsn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad-spec.json");
+        std::fs::write(&path, "{\"posts\": []}").unwrap();
+        let err = run_str(&format!("solve --load {}", path.display())).unwrap_err();
+        assert!(err.0.contains("spec") || err.0.contains("parsing"));
+    }
+
+    #[test]
+    fn simulate_round_trip() {
+        let out = run_str(
+            "simulate --posts 5 --nodes 15 --field 150 --seed 4 --algo idb \
+             --rounds 200 --bits 1000 --battery 0.01 --policy threshold --json",
+        )
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["rounds"], 200);
+        assert_eq!(v["reports_lost"], 0);
+    }
+
+    #[test]
+    fn simulate_with_tour_policy() {
+        let out = run_str(
+            "simulate --posts 5 --nodes 15 --field 150 --seed 4 --algo idb \
+             --rounds 200 --policy tour --speed 20 --json",
+        )
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v["charger_energy_j"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn simulate_with_finite_charger_power() {
+        let out = run_str(
+            "simulate --posts 5 --nodes 15 --field 150 --seed 4 --algo idb \
+             --rounds 300 --policy tour --speed 20 --power 3 --json",
+        )
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["rounds"], 300);
+        assert!(run_str("simulate --power 0 --posts 5 --nodes 15 --field 150")
+            .unwrap_err()
+            .0
+            .contains("power"));
+    }
+
+    #[test]
+    fn fieldexp_produces_grid() {
+        let out = run_str("fieldexp --trials 5 --seed 1").unwrap();
+        assert!(out.contains("spacing 5 cm"));
+        assert!(out.contains("spacing 10 cm"));
+        let json = run_str("fieldexp --trials 5 --json").unwrap();
+        let rows: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(rows.as_array().unwrap().len(), 40);
+    }
+
+    #[test]
+    fn reduce_from_file_and_solve() {
+        let dir = std::env::temp_dir().join("wrsn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.cnf");
+        std::fs::write(&path, "p cnf 3 2\n1 -2 3 0\n-1 2 -3 0\n").unwrap();
+        let out = run_str(&format!("reduce --dimacs {} --solve", path.display())).unwrap();
+        assert!(out.contains("SATISFIABLE"));
+        assert!(out.contains("assignment:"));
+        assert!(!out.contains("WARNING"));
+        let json = run_str(&format!("reduce --dimacs {} --solve --json", path.display())).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["dpll_satisfiable"], v["optimizer_satisfiable"]);
+    }
+
+    #[test]
+    fn reduce_rejects_missing_file_and_bad_dimacs() {
+        assert!(run_str("reduce --dimacs /definitely/not/here.cnf")
+            .unwrap_err()
+            .0
+            .contains("reading"));
+        let dir = std::env::temp_dir().join("wrsn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.cnf");
+        std::fs::write(&path, "not dimacs at all").unwrap();
+        assert!(run_str(&format!("reduce --dimacs {}", path.display()))
+            .unwrap_err()
+            .0
+            .contains("DIMACS"));
+    }
+}

@@ -1,0 +1,21 @@
+//! `wrsn` — command-line entry point.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+mod render;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

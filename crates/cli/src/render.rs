@@ -1,0 +1,304 @@
+//! ASCII rendering of fields, deployments, and routing trees for the
+//! terminal (`wrsn solve --draw`).
+
+use wrsn_core::{Geometry, Solution};
+use wrsn_geom::Point;
+
+/// Renders the deployment field as an ASCII map: each post shows its node
+/// count (`+` beyond 9), `B` marks the base station, `.` is empty field.
+///
+/// The map is scaled to at most `width × height` character cells; posts
+/// that collide in a cell show the larger count.
+#[must_use]
+pub fn render_field(geometry: &Geometry, solution: &Solution, width: usize, height: usize) -> String {
+    let width = width.max(8);
+    let height = height.max(4);
+    let mut cells = vec![vec!['.'; width]; height];
+
+    // Bounding box over posts + BS, padded slightly so borders render.
+    let mut min = geometry.base_station;
+    let mut max = geometry.base_station;
+    for p in &geometry.posts {
+        min.x = min.x.min(p.x);
+        min.y = min.y.min(p.y);
+        max.x = max.x.max(p.x);
+        max.y = max.y.max(p.y);
+    }
+    let span_x = (max.x - min.x).max(1e-9);
+    let span_y = (max.y - min.y).max(1e-9);
+    let place = |pt: Point| -> (usize, usize) {
+        let cx = ((pt.x - min.x) / span_x * (width - 1) as f64).round() as usize;
+        // Screen rows grow downward; field y grows upward.
+        let cy = height - 1 - ((pt.y - min.y) / span_y * (height - 1) as f64).round() as usize;
+        (cx.min(width - 1), cy.min(height - 1))
+    };
+
+    for (p, &pt) in geometry.posts.iter().enumerate() {
+        let (cx, cy) = place(pt);
+        let count = solution.deployment().count(p);
+        let glyph = if count > 9 {
+            '+'
+        } else {
+            char::from_digit(count, 10).expect("count <= 9")
+        };
+        // On collision keep the visually larger marker.
+        let existing = cells[cy][cx];
+        if existing == '.' || existing == glyph || glyph == '+' || (existing != '+' && existing < glyph)
+        {
+            cells[cy][cx] = glyph;
+        }
+    }
+    let (bx, by) = place(geometry.base_station);
+    cells[by][bx] = 'B';
+
+    let mut out = String::with_capacity((width + 1) * height);
+    for row in cells {
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str("B = base station; digits = nodes deployed at a post; + = 10 or more\n");
+    out
+}
+
+/// Renders a series of values in `[0, 1]` as a one-line ASCII sparkline
+/// (nine intensity levels, `_` low through `#` high).
+#[must_use]
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: &[u8] = b"_.,:-=+*#";
+    values
+        .iter()
+        .map(|&v| {
+            let clamped = v.clamp(0.0, 1.0);
+            let idx = (clamped * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[idx] as char
+        })
+        .collect()
+}
+
+/// Renders the routing tree as an indented forest rooted at the base
+/// station, annotated with node counts and descendant totals.
+#[must_use]
+pub fn render_tree(solution: &Solution) -> String {
+    let tree = solution.tree();
+    let counts = tree.descendant_counts();
+    let mut out = String::from("BS\n");
+    fn walk(
+        out: &mut String,
+        solution: &Solution,
+        counts: &[usize],
+        node: usize,
+        prefix: &str,
+    ) {
+        let children = solution.tree().children(node);
+        for (i, &c) in children.iter().enumerate() {
+            let last = i + 1 == children.len();
+            let branch = if last { "`- " } else { "|- " };
+            let extent = if counts[c] > 0 {
+                format!(", relays {} post(s)", counts[c])
+            } else {
+                String::new()
+            };
+            out.push_str(prefix);
+            out.push_str(branch);
+            out.push_str(&format!(
+                "post {c} [{} node(s){extent}]\n",
+                solution.deployment().count(c)
+            ));
+            let child_prefix = format!("{prefix}{}", if last { "   " } else { "|  " });
+            walk(out, solution, counts, c, &child_prefix);
+        }
+    }
+    walk(&mut out, solution, &counts, tree.bs(), "");
+    out
+}
+
+/// Renders the deployment and routing tree as a standalone SVG document:
+/// posts as circles with area proportional to their node count, routing
+/// edges as lines, the base station as a filled square. Suitable for
+/// dropping into a paper or README.
+#[must_use]
+pub fn render_svg(geometry: &Geometry, solution: &Solution, width_px: u32) -> String {
+    let width_px = width_px.max(100);
+    let mut min = geometry.base_station;
+    let mut max = geometry.base_station;
+    for p in &geometry.posts {
+        min.x = min.x.min(p.x);
+        min.y = min.y.min(p.y);
+        max.x = max.x.max(p.x);
+        max.y = max.y.max(p.y);
+    }
+    let span_x = (max.x - min.x).max(1e-9);
+    let span_y = (max.y - min.y).max(1e-9);
+    let margin = 24.0;
+    let scale = (f64::from(width_px) - 2.0 * margin) / span_x;
+    let height_px = span_y * scale + 2.0 * margin;
+    let place = |pt: Point| -> (f64, f64) {
+        (
+            margin + (pt.x - min.x) * scale,
+            // SVG y grows downward; field y grows upward.
+            margin + (max.y - pt.y) * scale,
+        )
+    };
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width_px}\" \
+         height=\"{height_px:.0}\" viewBox=\"0 0 {width_px} {height_px:.0}\">\n"
+    ));
+    svg.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+    // Edges first so nodes draw on top.
+    let tree = solution.tree();
+    for p in 0..geometry.posts.len() {
+        let (x1, y1) = place(geometry.posts[p]);
+        let parent = tree.parent(p);
+        let target = if parent == tree.bs() {
+            geometry.base_station
+        } else {
+            geometry.posts[parent]
+        };
+        let (x2, y2) = place(target);
+        svg.push_str(&format!(
+            "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" \
+             stroke=\"#8a8a8a\" stroke-width=\"1\"/>\n"
+        ));
+    }
+    let max_count = solution
+        .deployment()
+        .counts()
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(1) as f64;
+    for (p, &pt) in geometry.posts.iter().enumerate() {
+        let (x, y) = place(pt);
+        let count = f64::from(solution.deployment().count(p));
+        // Area proportional to node count.
+        let r = 4.0 + 8.0 * (count / max_count).sqrt();
+        svg.push_str(&format!(
+            "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"{r:.1}\" fill=\"#3b6ea5\" \
+             fill-opacity=\"0.8\" stroke=\"#1d3a57\"/>\n"
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{x:.1}\" y=\"{:.1}\" font-size=\"9\" text-anchor=\"middle\" \
+             fill=\"white\">{}</text>\n",
+            y + 3.0,
+            solution.deployment().count(p)
+        ));
+    }
+    let (bx, by) = place(geometry.base_station);
+    svg.push_str(&format!(
+        "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"14\" height=\"14\" fill=\"#b3352b\"/>\n",
+        bx - 7.0,
+        by - 7.0
+    ));
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrsn_core::{Idb, InstanceSampler, Solver};
+    use wrsn_geom::Field;
+
+    fn sample() -> (wrsn_core::Instance, Solution) {
+        let inst = InstanceSampler::new(Field::square(150.0), 6, 14).sample(2);
+        let sol = Idb::new(1).solve(&inst).unwrap();
+        (inst, sol)
+    }
+
+    #[test]
+    fn field_map_contains_all_posts_and_the_bs() {
+        let (inst, sol) = sample();
+        let geo = inst.geometry().unwrap();
+        let map = render_field(geo, &sol, 60, 24);
+        let grid: String = map.lines().take(24).collect();
+        assert_eq!(grid.matches('B').count(), 1);
+        // Marker glyphs: at least one digit appears.
+        assert!(map.chars().any(|c| c.is_ascii_digit()));
+        // Legend line present.
+        assert!(map.contains("base station"));
+        // Dimensions respected (+1 legend line).
+        assert_eq!(map.lines().count(), 25);
+        assert!(map.lines().next().unwrap().len() <= 60);
+    }
+
+    #[test]
+    fn field_map_clamps_tiny_dimensions() {
+        let (inst, sol) = sample();
+        let geo = inst.geometry().unwrap();
+        let map = render_field(geo, &sol, 1, 1);
+        assert!(map.lines().count() >= 4);
+    }
+
+    #[test]
+    fn tree_rendering_lists_every_post_once() {
+        let (inst, sol) = sample();
+        let text = render_tree(&sol);
+        for p in 0..inst.num_posts() {
+            assert_eq!(
+                text.matches(&format!("post {p} ")).count(),
+                1,
+                "post {p} in:\n{text}"
+            );
+        }
+        assert!(text.starts_with("BS\n"));
+    }
+
+    #[test]
+    fn tree_rendering_mentions_relays() {
+        let (inst, sol) = sample();
+        let counts = sol.tree().descendant_counts();
+        let text = render_tree(&sol);
+        if counts.iter().any(|&c| c > 0) {
+            assert!(text.contains("relays"), "{text}");
+        }
+        let _ = inst;
+    }
+
+    #[test]
+    fn sparkline_maps_extremes_and_length() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[0.0, 0.5, 1.0, 2.0, -1.0]);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with('_'));
+        assert_eq!(s.chars().nth(2), Some('#'));
+        assert_eq!(s.chars().nth(3), Some('#')); // clamped high
+        assert_eq!(s.chars().nth(4), Some('_')); // clamped low
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let (inst, sol) = sample();
+        let geo = inst.geometry().unwrap();
+        let svg = render_svg(geo, &sol, 480);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One circle + one label per post, one line per post, one BS rect.
+        let n = inst.num_posts();
+        assert_eq!(svg.matches("<circle").count(), n);
+        assert_eq!(svg.matches("<line").count(), n);
+        assert_eq!(svg.matches("<text").count(), n);
+        assert_eq!(svg.matches("fill=\"#b3352b\"").count(), 1);
+        // Balanced tags (no unclosed elements).
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+    }
+
+    #[test]
+    fn svg_clamps_tiny_width() {
+        let (inst, sol) = sample();
+        let geo = inst.geometry().unwrap();
+        let svg = render_svg(geo, &sol, 1);
+        assert!(svg.contains("width=\"100\""));
+    }
+
+    #[test]
+    fn ten_plus_nodes_render_as_plus() {
+        // One heavily loaded post.
+        let inst = InstanceSampler::new(Field::square(100.0), 2, 14).sample(1);
+        let sol = Idb::new(1).solve(&inst).unwrap();
+        if sol.deployment().counts().iter().any(|&c| c > 9) {
+            let map = render_field(inst.geometry().unwrap(), &sol, 40, 12);
+            assert!(map.contains('+'));
+        }
+    }
+}

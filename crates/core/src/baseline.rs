@@ -1,0 +1,298 @@
+//! Charging-**unaware** baseline strategies.
+//!
+//! The paper's motivation (Section I) is that "existing sensor node
+//! deployment and data routing strategies cannot exploit wireless
+//! charging technology to minimize overall energy consumption." These
+//! baselines make that claim measurable: two classic non-rechargeable
+//! design strategies, evaluated under the recharging-cost metric.
+//!
+//! - [`UniformDeployment`] — redundancy-style even spreading: nodes are
+//!   distributed as evenly as possible; routing is the plain
+//!   minimum-energy shortest-path tree.
+//! - [`LifetimeBalanced`] — the classic lifetime-maximization rule:
+//!   allocate nodes proportional to each post's energy burn rate so all
+//!   posts deplete together (max–min lifetime), again over the
+//!   minimum-energy tree.
+//!
+//! Neither strategy concentrates routing workload or weighs charging
+//! efficiency, so both should pay a visibly higher recharging cost than
+//! RFH/IDB — and `LifetimeBalanced` should win the *unplugged lifetime*
+//! metric ([`min_lifetime_rounds`]), which is exactly the trade the
+//! paper describes.
+
+use crate::{optimal_cost, Deployment, Instance, Solution, SolveError, Solver};
+use wrsn_energy::Energy;
+
+/// Spread the `M` nodes as evenly as possible over the posts (classic
+/// redundant deployment), routing over the minimum-energy tree.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_core::{InstanceSampler, Solver, UniformDeployment};
+/// use wrsn_geom::Field;
+///
+/// let inst = InstanceSampler::new(Field::square(150.0), 5, 13).sample(1);
+/// let sol = UniformDeployment::new().solve(&inst)?;
+/// let counts = sol.deployment().counts();
+/// assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
+/// # Ok::<(), wrsn_core::SolveError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UniformDeployment {
+    _private: (),
+}
+
+impl UniformDeployment {
+    /// Creates the baseline.
+    #[must_use]
+    pub fn new() -> Self {
+        UniformDeployment::default()
+    }
+}
+
+impl Solver for UniformDeployment {
+    fn name(&self) -> &'static str {
+        "Uniform"
+    }
+
+    fn solve(&self, instance: &Instance) -> Result<Solution, SolveError> {
+        let n = instance.num_posts();
+        let m = instance.num_nodes();
+        let cap = instance.max_nodes_per_post().unwrap_or(m);
+        let base = m / n as u32;
+        let extra = (m as usize) - (base as usize) * n;
+        let mut counts: Vec<u32> = (0..n)
+            .map(|p| if p < extra { base + 1 } else { base })
+            .collect();
+        // A cap can force redistribution of the remainder.
+        redistribute_over_cap(&mut counts, cap);
+        let dep = Deployment::new(counts);
+        // Charging-unaware routing: the minimum-consumed-energy tree,
+        // i.e. shortest paths with every post treated identically.
+        let (_, tree) = optimal_cost(instance, &Deployment::ones(n))?;
+        Ok(Solution::evaluated(self.name(), instance, dep, tree))
+    }
+}
+
+/// Allocate nodes proportional to each post's per-round energy burn so
+/// that all posts run out together — the classic non-rechargeable
+/// lifetime-maximization deployment — over the minimum-energy tree.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_core::{min_lifetime_rounds, InstanceSampler, LifetimeBalanced, Solver};
+/// use wrsn_energy::Energy;
+/// use wrsn_geom::Field;
+///
+/// let inst = InstanceSampler::new(Field::square(150.0), 5, 15).sample(1);
+/// let sol = LifetimeBalanced::new().solve(&inst)?;
+/// let rounds = min_lifetime_rounds(&inst, &sol, Energy::from_joules(0.1));
+/// assert!(rounds > 0.0);
+/// # Ok::<(), wrsn_core::SolveError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LifetimeBalanced {
+    _private: (),
+}
+
+impl LifetimeBalanced {
+    /// Creates the baseline.
+    #[must_use]
+    pub fn new() -> Self {
+        LifetimeBalanced::default()
+    }
+}
+
+impl Solver for LifetimeBalanced {
+    fn name(&self) -> &'static str {
+        "Lifetime"
+    }
+
+    fn solve(&self, instance: &Instance) -> Result<Solution, SolveError> {
+        let n = instance.num_posts();
+        let m = instance.num_nodes();
+        let cap = instance.max_nodes_per_post().unwrap_or(m);
+        let (_, tree) = optimal_cost(instance, &Deployment::ones(n))?;
+        let burn: Vec<f64> = tree
+            .per_post_energy(instance)
+            .iter()
+            .enumerate()
+            .map(|(p, e)| (*e + instance.sensing_energy(p)).as_njoules())
+            .collect();
+        // Max-min lifetime greedy: always reinforce the post that dies
+        // first (smallest m_p / E_p). Provably optimal for the max-min
+        // objective: each step raises the unique current minimum.
+        let mut counts = vec![1u32; n];
+        for _ in 0..(m - n as u32) {
+            let worst = (0..n)
+                .filter(|&p| counts[p] < cap)
+                .min_by(|&a, &b| {
+                    let la = lifetime_ratio(counts[a], burn[a]);
+                    let lb = lifetime_ratio(counts[b], burn[b]);
+                    la.total_cmp(&lb).then_with(|| a.cmp(&b))
+                })
+                .expect("cap feasibility validated at build time");
+            counts[worst] += 1;
+        }
+        let dep = Deployment::new(counts);
+        Ok(Solution::evaluated(self.name(), instance, dep, tree))
+    }
+}
+
+fn lifetime_ratio(m: u32, burn: f64) -> f64 {
+    if burn <= 0.0 {
+        f64::INFINITY
+    } else {
+        f64::from(m) / burn
+    }
+}
+
+fn redistribute_over_cap(counts: &mut [u32], cap: u32) {
+    let mut overflow = 0u32;
+    for c in counts.iter_mut() {
+        if *c > cap {
+            overflow += *c - cap;
+            *c = cap;
+        }
+    }
+    let mut i = 0;
+    while overflow > 0 {
+        if counts[i] < cap {
+            counts[i] += 1;
+            overflow -= 1;
+        }
+        i = (i + 1) % counts.len();
+    }
+}
+
+/// The network's unplugged lifetime in reporting rounds: the first
+/// moment any post exhausts its pooled battery (`m_p` cells of
+/// `battery_capacity` each, drained by traffic + sensing every round,
+/// one bit per report unit).
+///
+/// # Panics
+///
+/// Panics if the solution does not match the instance or the capacity is
+/// not positive.
+#[must_use]
+pub fn min_lifetime_rounds(
+    instance: &Instance,
+    solution: &Solution,
+    battery_capacity: Energy,
+) -> f64 {
+    assert!(
+        solution.deployment().is_valid_for(instance),
+        "solution does not match instance"
+    );
+    assert!(battery_capacity > Energy::ZERO, "capacity must be positive");
+    let energies = solution.tree().per_post_energy(instance);
+    energies
+        .iter()
+        .enumerate()
+        .map(|(p, &e)| {
+            let per_round = e + instance.sensing_energy(p);
+            if per_round == Energy::ZERO {
+                f64::INFINITY
+            } else {
+                let pool = battery_capacity * f64::from(solution.deployment().count(p));
+                pool / per_round
+            }
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Idb, InstanceSampler, Rfh};
+    use wrsn_geom::Field;
+
+    fn instance() -> Instance {
+        InstanceSampler::new(Field::square(300.0), 20, 80).sample(5)
+    }
+
+    #[test]
+    fn uniform_spreads_evenly() {
+        let inst = instance();
+        let sol = UniformDeployment::new().solve(&inst).unwrap();
+        let counts = sol.deployment().counts();
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max - min <= 1, "{:?}", counts);
+        assert_eq!(sol.deployment().total(), 80);
+    }
+
+    #[test]
+    fn lifetime_balanced_matches_burn_rates() {
+        let inst = instance();
+        let sol = LifetimeBalanced::new().solve(&inst).unwrap();
+        let burn = sol.tree().per_post_energy(&inst);
+        // The hungriest post must hold at least as many nodes as the
+        // median post.
+        let hungriest = (0..20)
+            .max_by(|&a, &b| burn[a].cmp(&burn[b]))
+            .unwrap();
+        let mut counts = sol.deployment().counts().to_vec();
+        counts.sort_unstable();
+        assert!(sol.deployment().count(hungriest) >= counts[10]);
+    }
+
+    #[test]
+    fn charging_aware_solvers_beat_both_baselines_on_cost() {
+        for seed in [1, 9] {
+            let inst = InstanceSampler::new(Field::square(400.0), 40, 160).sample(seed);
+            let idb = Idb::new(1).solve(&inst).unwrap().total_cost();
+            let rfh = Rfh::iterative(7).solve(&inst).unwrap().total_cost();
+            let uniform = UniformDeployment::new().solve(&inst).unwrap().total_cost();
+            let lifetime = LifetimeBalanced::new().solve(&inst).unwrap().total_cost();
+            assert!(idb < uniform, "seed {seed}: idb {idb} vs uniform {uniform}");
+            assert!(idb < lifetime, "seed {seed}: idb {idb} vs lifetime {lifetime}");
+            assert!(rfh < uniform, "seed {seed}: rfh {rfh} vs uniform {uniform}");
+        }
+    }
+
+    #[test]
+    fn lifetime_balanced_wins_unplugged_lifetime() {
+        let inst = instance();
+        let capacity = Energy::from_joules(0.1);
+        let lt = LifetimeBalanced::new().solve(&inst).unwrap();
+        let uni = UniformDeployment::new().solve(&inst).unwrap();
+        let l_lt = min_lifetime_rounds(&inst, &lt, capacity);
+        let l_uni = min_lifetime_rounds(&inst, &uni, capacity);
+        assert!(
+            l_lt >= l_uni,
+            "lifetime-balanced {l_lt} should outlive uniform {l_uni}"
+        );
+    }
+
+    #[test]
+    fn baselines_respect_caps() {
+        let inst = InstanceSampler::new(Field::square(200.0), 6, 18)
+            .max_nodes_per_post(4)
+            .sample(2);
+        for solver in [
+            &UniformDeployment::new() as &dyn Solver,
+            &LifetimeBalanced::new(),
+        ] {
+            let sol = solver.solve(&inst).unwrap();
+            assert!(sol.deployment().counts().iter().all(|&c| c <= 4));
+            assert_eq!(sol.deployment().total(), 18);
+        }
+    }
+
+    #[test]
+    fn redistribute_handles_tight_caps() {
+        let mut counts = vec![5, 1, 1];
+        redistribute_over_cap(&mut counts, 3);
+        assert_eq!(counts.iter().sum::<u32>(), 7);
+        assert!(counts.iter().all(|&c| c <= 3));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(UniformDeployment::new().name(), "Uniform");
+        assert_eq!(LifetimeBalanced::new().name(), "Lifetime");
+    }
+}

@@ -1,0 +1,288 @@
+//! The total-recharging-cost objective.
+//!
+//! For a fixed deployment `m`, transmitting one bit from `u` to `v` costs
+//! the charger
+//!
+//! ```text
+//! c_m(u → v) = e_tx(u,v) / η(m_u)  +  e_rx / η(m_v)      (rx term absent at the BS)
+//! ```
+//!
+//! which is additive along paths — so the *optimal* routing for `m` is
+//! every post's cheapest path to the base station under `c_m`, computable
+//! with a single reverse Dijkstra, and the joint problem is
+//! `min_m Σ_p dist_m(p)`. These functions are the shared substrate of
+//! every solver in this crate.
+
+use crate::{Deployment, Instance, RoutingTree, SolveError};
+use wrsn_energy::Energy;
+use wrsn_graph::{dijkstra_to, Digraph};
+
+/// Builds the digraph whose edge weights (in nanojoules) are per-bit
+/// recharging costs `c_m(u → v)` under `deployment`.
+///
+/// # Panics
+///
+/// Panics if `deployment` does not match the instance's post count.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_core::{cost_digraph, Deployment, InstanceSampler};
+/// use wrsn_geom::Field;
+///
+/// let inst = InstanceSampler::new(Field::square(150.0), 5, 10).sample(1);
+/// let g = cost_digraph(&inst, &Deployment::ones(5));
+/// assert_eq!(g.node_count(), 6); // posts + base station
+/// ```
+#[must_use]
+pub fn cost_digraph(instance: &Instance, deployment: &Deployment) -> Digraph {
+    assert_eq!(
+        deployment.num_posts(),
+        instance.num_posts(),
+        "deployment size does not match instance"
+    );
+    let bs = instance.bs();
+    let mut g = Digraph::new(instance.num_posts() + 1);
+    let eff: Vec<f64> = deployment
+        .counts()
+        .iter()
+        .map(|&m| instance.charge_efficiency(m))
+        .collect();
+    let rx = instance.rx_energy();
+    for u in 0..instance.num_posts() {
+        for &(v, tx) in instance.uplinks(u) {
+            let mut w = tx.as_njoules() / eff[u];
+            if v != bs {
+                w += rx.as_njoules() / eff[v];
+            }
+            g.add_edge(u, v, w);
+        }
+    }
+    g
+}
+
+/// The minimum total recharging cost achievable under `deployment`, and a
+/// routing tree achieving it: every post follows its cheapest path to the
+/// base station under `c_m`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Unroutable`] if some post cannot reach the base
+/// station (impossible for validated instances, but explicit instances
+/// with asymmetric links are checked again here for robustness).
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_core::{optimal_cost, Deployment, InstanceSampler};
+/// use wrsn_geom::Field;
+///
+/// let inst = InstanceSampler::new(Field::square(150.0), 5, 10).sample(1);
+/// let sparse = Deployment::ones(5);
+/// let mut packed = sparse.clone();
+/// for _ in 0..5 { packed.add(0); }
+/// let (c1, _) = optimal_cost(&inst, &sparse)?;
+/// let (c2, tree) = optimal_cost(&inst, &packed)?;
+/// assert!(c2 < c1); // extra nodes make charging cheaper
+/// assert_eq!(tree.num_posts(), 5);
+/// # Ok::<(), wrsn_core::SolveError>(())
+/// ```
+pub fn optimal_cost(
+    instance: &Instance,
+    deployment: &Deployment,
+) -> Result<(Energy, RoutingTree), SolveError> {
+    let g = cost_digraph(instance, deployment);
+    let sp = dijkstra_to(&g, instance.bs());
+    let mut total = 0.0;
+    let mut parents = Vec::with_capacity(instance.num_posts());
+    for p in 0..instance.num_posts() {
+        let Some(d) = sp.distance(p) else {
+            return Err(SolveError::Unroutable { post: p });
+        };
+        // Weighted by the post's report rate; plus the deployment-
+        // dependent recharging cost of its idle (sensing) consumption.
+        total += d * instance.report_rate(p)
+            + instance.sensing_energy(p).as_njoules()
+                / instance.charge_efficiency(deployment.count(p));
+        parents.push(sp.via(p).expect("reachable non-target posts have a next hop"));
+    }
+    let tree = RoutingTree::new(parents, instance)
+        .expect("shortest-path tree uses existing links and is acyclic");
+    Ok((Energy::from_njoules(total), tree))
+}
+
+/// The total recharging cost of a *given* routing tree under `deployment`:
+///
+/// ```text
+/// C = Σ_p E_p / η(m_p)
+/// ```
+///
+/// where `E_p` is the per-round energy of post `p`
+/// ([`RoutingTree::per_post_energy`]). Heuristics that fix a tree first
+/// (RFH) are evaluated with this; it always dominates
+/// [`optimal_cost`]`(instance, deployment)`.
+///
+/// # Panics
+///
+/// Panics if the tree or deployment do not match the instance.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_core::{optimal_cost, tree_cost, Deployment, InstanceSampler};
+/// use wrsn_geom::Field;
+///
+/// let inst = InstanceSampler::new(Field::square(150.0), 5, 10).sample(1);
+/// let dep = Deployment::ones(5);
+/// let (optimal, tree) = optimal_cost(&inst, &dep)?;
+/// // Evaluating the optimal tree reproduces the optimal cost.
+/// let evaluated = tree_cost(&inst, &dep, &tree);
+/// assert!((evaluated.as_njoules() - optimal.as_njoules()).abs() < 1e-9);
+/// # Ok::<(), wrsn_core::SolveError>(())
+/// ```
+#[must_use]
+pub fn tree_cost(instance: &Instance, deployment: &Deployment, tree: &RoutingTree) -> Energy {
+    assert_eq!(deployment.num_posts(), instance.num_posts());
+    let energies = tree.per_post_energy(instance);
+    energies
+        .iter()
+        .enumerate()
+        .zip(deployment.counts())
+        .map(|((p, &e), &m)| (e + instance.sensing_energy(p)) / instance.charge_efficiency(m))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InstanceBuilder;
+
+    fn e(nj: f64) -> Energy {
+        Energy::from_njoules(nj)
+    }
+
+    /// Chain 1 -> 0 -> BS with rx cost 2, tx cost 4.
+    fn chain() -> Instance {
+        InstanceBuilder::new(2, 4)
+            .rx_energy(e(2.0))
+            .uplink(0, 2, e(4.0))
+            .uplink(1, 0, e(4.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn cost_digraph_scales_by_efficiency() {
+        let inst = chain();
+        let dep = Deployment::new(vec![2, 2]);
+        let g = cost_digraph(&inst, &dep);
+        // 1 -> 0: tx 4 / 2 + rx 2 / 2 = 3; 0 -> bs: 4 / 2 = 2.
+        assert_eq!(g.out(1), &[(0, 3.0)]);
+        assert_eq!(g.out(0), &[(2, 2.0)]);
+    }
+
+    #[test]
+    fn optimal_cost_on_chain() {
+        let inst = chain();
+        // All nodes at post 0 except the mandatory one at post 1.
+        let dep = Deployment::new(vec![3, 1]);
+        let (cost, tree) = optimal_cost(&inst, &dep).unwrap();
+        // post0: 4/3; post1: 4/1 + 2/3 (rx at 0) + 4/3 (forward) = 4 + 2.
+        let expected = 4.0 / 3.0 + (4.0 + 2.0 / 3.0 + 4.0 / 3.0);
+        assert!((cost.as_njoules() - expected).abs() < 1e-9);
+        assert_eq!(tree.parents(), &[2, 0]);
+    }
+
+    #[test]
+    fn optimal_cost_picks_route_by_deployment() {
+        // Post 2 can go via post 0 or post 1 (same energies); whichever
+        // holds more nodes is cheaper.
+        let inst = InstanceBuilder::new(3, 5)
+            .rx_energy(e(2.0))
+            .uplink(0, 3, e(4.0))
+            .uplink(1, 3, e(4.0))
+            .uplink(2, 0, e(4.0))
+            .uplink(2, 1, e(4.0))
+            .build()
+            .unwrap();
+        let via0 = Deployment::new(vec![3, 1, 1]);
+        let (_, t0) = optimal_cost(&inst, &via0).unwrap();
+        assert_eq!(t0.parent(2), 0);
+        let via1 = Deployment::new(vec![1, 3, 1]);
+        let (_, t1) = optimal_cost(&inst, &via1).unwrap();
+        assert_eq!(t1.parent(2), 1);
+    }
+
+    #[test]
+    fn tree_cost_matches_optimal_when_tree_is_optimal() {
+        let inst = chain();
+        for dep in [
+            Deployment::new(vec![1, 3]),
+            Deployment::new(vec![2, 2]),
+            Deployment::new(vec![3, 1]),
+        ] {
+            let (cost, tree) = optimal_cost(&inst, &dep).unwrap();
+            let via_tree = tree_cost(&inst, &dep, &tree);
+            assert!(
+                (cost.as_njoules() - via_tree.as_njoules()).abs() < 1e-9,
+                "dep {dep}: {cost} vs {via_tree}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_cost_dominates_optimal() {
+        let inst = InstanceBuilder::new(3, 6)
+            .rx_energy(e(2.0))
+            .uplink(0, 3, e(4.0))
+            .uplink(1, 3, e(16.0))
+            .uplink(1, 0, e(4.0))
+            .uplink(2, 1, e(4.0))
+            .build()
+            .unwrap();
+        let dep = Deployment::new(vec![4, 1, 1]);
+        // Deliberately bad tree: post 1 transmits straight to the BS at
+        // the expensive level.
+        let bad = RoutingTree::new(vec![3, 3, 1], &inst).unwrap();
+        let (opt, _) = optimal_cost(&inst, &dep).unwrap();
+        assert!(tree_cost(&inst, &dep, &bad) > opt);
+    }
+
+    #[test]
+    fn adding_nodes_never_hurts() {
+        let inst = InstanceBuilder::new(2, 6)
+            .rx_energy(e(2.0))
+            .uplink(0, 2, e(4.0))
+            .uplink(1, 0, e(4.0))
+            .build()
+            .unwrap();
+        let base = Deployment::new(vec![1, 1]);
+        let (c0, _) = optimal_cost(&inst, &base).unwrap();
+        for p in 0..2 {
+            let mut d = base.clone();
+            d.add(p);
+            let (c1, _) = optimal_cost(&inst, &d).unwrap();
+            assert!(c1 <= c0, "adding a node at {p} increased cost");
+        }
+    }
+
+    #[test]
+    fn unroutable_detected_for_degenerate_digraph() {
+        // Build a valid instance, then query a deployment; connectivity is
+        // guaranteed, so instead check the error path via a crafted
+        // instance with a one-way link pattern is impossible — the
+        // validator rejects it. Assert that contract here.
+        let err = InstanceBuilder::new(2, 2)
+            .uplink(0, 2, e(1.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, crate::BuildError::Disconnected { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "deployment size")]
+    fn mismatched_deployment_panics() {
+        let inst = chain();
+        let _ = cost_digraph(&inst, &Deployment::new(vec![1]));
+    }
+}

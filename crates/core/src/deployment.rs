@@ -1,0 +1,170 @@
+//! Deployments: how many nodes sit at each post.
+
+use crate::Instance;
+use std::fmt;
+
+/// An assignment of sensor nodes to posts: `counts()[p]` nodes at post
+/// `p`, every post holding at least one.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_core::Deployment;
+///
+/// let d = Deployment::new(vec![2, 1, 3]);
+/// assert_eq!(d.total(), 6);
+/// assert_eq!(d.count(2), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Deployment {
+    counts: Vec<u32>,
+}
+
+impl Deployment {
+    /// Creates a deployment from per-post node counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any post has zero nodes.
+    #[must_use]
+    pub fn new(counts: Vec<u32>) -> Self {
+        assert!(
+            counts.iter().all(|&c| c >= 1),
+            "every post needs at least one node"
+        );
+        Deployment { counts }
+    }
+
+    /// The minimal deployment: one node per post.
+    #[must_use]
+    pub fn ones(num_posts: usize) -> Self {
+        Deployment {
+            counts: vec![1; num_posts],
+        }
+    }
+
+    /// Per-post node counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Node count at post `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of bounds.
+    #[must_use]
+    pub fn count(&self, p: usize) -> u32 {
+        self.counts[p]
+    }
+
+    /// Number of posts.
+    #[must_use]
+    pub fn num_posts(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total deployed nodes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// Adds one node at post `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of bounds.
+    pub fn add(&mut self, p: usize) {
+        self.counts[p] += 1;
+    }
+
+    /// Checks this deployment against an instance: right number of posts,
+    /// exact node budget, and per-post cap respected.
+    #[must_use]
+    pub fn is_valid_for(&self, instance: &Instance) -> bool {
+        self.counts.len() == instance.num_posts()
+            && self.total() == u64::from(instance.num_nodes())
+            && instance
+                .max_nodes_per_post()
+                .is_none_or(|cap| self.counts.iter().all(|&c| c <= cap))
+    }
+}
+
+impl fmt::Display for Deployment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deployment[")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<u32> for Deployment {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        Deployment::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InstanceBuilder;
+    use wrsn_energy::Energy;
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = Deployment::new(vec![1, 4, 2]);
+        assert_eq!(d.num_posts(), 3);
+        assert_eq!(d.total(), 7);
+        assert_eq!(d.count(1), 4);
+        assert_eq!(d.counts(), &[1, 4, 2]);
+    }
+
+    #[test]
+    fn ones_constructor() {
+        let d = Deployment::ones(4);
+        assert_eq!(d.total(), 4);
+        assert!(d.counts().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_count_rejected() {
+        let _ = Deployment::new(vec![1, 0]);
+    }
+
+    #[test]
+    fn add_increments() {
+        let mut d = Deployment::ones(2);
+        d.add(1);
+        d.add(1);
+        assert_eq!(d.counts(), &[1, 3]);
+    }
+
+    #[test]
+    fn validity_against_instance() {
+        let e = Energy::from_njoules(1.0);
+        let inst = InstanceBuilder::new(2, 5)
+            .uplink(0, 2, e)
+            .uplink(1, 0, e)
+            .max_nodes_per_post(3)
+            .build()
+            .unwrap();
+        assert!(Deployment::new(vec![2, 3]).is_valid_for(&inst));
+        assert!(!Deployment::new(vec![1, 4]).is_valid_for(&inst)); // cap
+        assert!(!Deployment::new(vec![2, 2]).is_valid_for(&inst)); // total
+        assert!(!Deployment::new(vec![5]).is_valid_for(&inst)); // posts
+    }
+
+    #[test]
+    fn from_iterator_and_display() {
+        let d: Deployment = [2u32, 1].into_iter().collect();
+        assert_eq!(format!("{d}"), "deployment[2 1]");
+    }
+}

@@ -1,0 +1,397 @@
+//! Exact solvers: exhaustive enumeration and branch-and-bound.
+//!
+//! Both minimize `f(m) = Σ_p dist_m(p → BS)` over integer deployments
+//! `m_i ≥ 1`, `Σ m_i = M` (optionally `m_i ≤ cap`), which is the true
+//! optimum of the joint problem because routing is chosen optimally per
+//! deployment (a single reverse Dijkstra). Exhaustive search is the
+//! paper's "naive method" for small instances; branch-and-bound returns
+//! identical answers and scales to the paper's Fig. 7 settings
+//! (`N ≤ 12`, `M = 36`) by exploiting that `f` is monotone non-increasing
+//! in every coordinate.
+
+use crate::{optimal_cost, CostEvaluator, Deployment, Idb, Instance, Solution, SolveError, Solver};
+
+/// Number of compositions of `nodes` into `posts` parts each in
+/// `[1, cap]` — the exact exhaustive search-space size. Computed by
+/// dynamic programming over the extra-node budget; saturates at
+/// `u128::MAX`.
+fn composition_count(nodes: u32, posts: usize, cap: u32) -> u128 {
+    let extra = (nodes as usize).saturating_sub(posts);
+    let per_post = (cap.saturating_sub(1) as usize).min(extra);
+    // ways[e] = compositions of e extra nodes over the posts seen so far.
+    let mut ways = vec![0u128; extra + 1];
+    ways[0] = 1;
+    for _ in 0..posts {
+        let mut next = vec![0u128; extra + 1];
+        for e in 0..=extra {
+            if ways[e] == 0 {
+                continue;
+            }
+            for add in 0..=per_post.min(extra - e) {
+                let cell = &mut next[e + add];
+                *cell = cell.saturating_add(ways[e]);
+            }
+        }
+        ways = next;
+    }
+    ways[extra]
+}
+
+/// Exhaustive search over every feasible deployment.
+///
+/// Visits `C(M−1, N−1)` compositions (fewer with a per-post cap) and
+/// scores each with one reverse Dijkstra. Refuses instances whose search
+/// space exceeds the configured limit rather than silently running for
+/// hours.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_core::{ExhaustiveSearch, Idb, InstanceSampler, Solver};
+/// use wrsn_geom::Field;
+///
+/// let inst = InstanceSampler::new(Field::square(150.0), 5, 9).sample(1);
+/// let opt = ExhaustiveSearch::default().solve(&inst)?;
+/// let idb = Idb::new(1).solve(&inst)?;
+/// assert!(opt.total_cost() <= idb.total_cost());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExhaustiveSearch {
+    limit: u128,
+}
+
+impl ExhaustiveSearch {
+    /// Creates a search that refuses spaces larger than `limit`
+    /// deployments.
+    #[must_use]
+    pub fn with_limit(limit: u128) -> Self {
+        ExhaustiveSearch { limit }
+    }
+
+    /// The configured search-space ceiling.
+    #[must_use]
+    pub fn limit(&self) -> u128 {
+        self.limit
+    }
+}
+
+impl Default for ExhaustiveSearch {
+    /// A limit of 20 million deployments (seconds of wall-clock on small
+    /// graphs).
+    fn default() -> Self {
+        ExhaustiveSearch::with_limit(20_000_000)
+    }
+}
+
+impl Solver for ExhaustiveSearch {
+    fn name(&self) -> &'static str {
+        "Exhaustive"
+    }
+
+    fn solve(&self, instance: &Instance) -> Result<Solution, SolveError> {
+        let n = instance.num_posts();
+        let m = instance.num_nodes();
+        let cap = instance.max_nodes_per_post().unwrap_or(m);
+        let combinations = composition_count(m, n, cap);
+        if combinations > self.limit {
+            return Err(SolveError::SearchSpaceTooLarge {
+                combinations,
+                limit: self.limit,
+            });
+        }
+        let mut eval = CostEvaluator::new(instance);
+        let mut best: Option<(f64, Vec<u32>)> = None;
+        let mut counts = vec![1u32; n];
+        visit_compositions(&mut counts, 0, m - n as u32, cap, &mut |counts| {
+            if let Some(cost) = eval.set_deployment(counts) {
+                if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+                    best = Some((cost, counts.to_vec()));
+                }
+            }
+        });
+        let (_, counts) = best.ok_or(SolveError::Unroutable { post: 0 })?;
+        let dep = Deployment::new(counts);
+        let (_, tree) = optimal_cost(instance, &dep)?;
+        Ok(Solution::evaluated(self.name(), instance, dep, tree))
+    }
+}
+
+/// Distributes `extra` additional nodes over `counts[start..]` (which all
+/// hold their mandatory 1), never exceeding `cap` per post.
+fn visit_compositions(
+    counts: &mut Vec<u32>,
+    start: usize,
+    extra: u32,
+    cap: u32,
+    visit: &mut impl FnMut(&[u32]),
+) {
+    if start == counts.len() - 1 {
+        if counts[start] + extra <= cap {
+            counts[start] += extra;
+            visit(counts);
+            counts[start] -= extra;
+        }
+        return;
+    }
+    let max_here = extra.min(cap - counts[start]);
+    for c in 0..=max_here {
+        counts[start] += c;
+        visit_compositions(counts, start + 1, extra - c, cap, visit);
+        counts[start] -= c;
+    }
+}
+
+/// Exact branch-and-bound minimization of `f(m)`.
+///
+/// Produces the same optimum as [`ExhaustiveSearch`] (asserted against it
+/// in the test suite) while pruning with two ingredients:
+///
+/// - **Incumbent**: seeded with `IDB(δ=1)`, which is empirically at or
+///   near the optimum.
+/// - **Bound**: for a partial assignment, setting every undecided post to
+///   the largest count it could still receive lower-bounds `f`, because
+///   `f` is monotone non-increasing in every coordinate (extra nodes only
+///   raise charging efficiency).
+///
+/// Posts are branched in decreasing single-node-workload order (hubs
+/// first, large counts first), which makes the incumbent match quickly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BranchAndBound {
+    _private: (),
+}
+
+impl BranchAndBound {
+    /// Creates a branch-and-bound solver.
+    #[must_use]
+    pub fn new() -> Self {
+        BranchAndBound::default()
+    }
+}
+
+impl Solver for BranchAndBound {
+    fn name(&self) -> &'static str {
+        "B&B"
+    }
+
+    fn solve(&self, instance: &Instance) -> Result<Solution, SolveError> {
+        let n = instance.num_posts();
+        let m = instance.num_nodes();
+        let cap = instance.max_nodes_per_post().unwrap_or(m);
+
+        // Incumbent from IDB(1).
+        let seed = Idb::new(1).solve(instance)?;
+        let best_cost = seed.total_cost();
+        let mut best_dep = seed.deployment().clone();
+
+        // Branch order: hubs (largest optimally-routed workload under the
+        // all-ones deployment) first.
+        let ones = Deployment::ones(n);
+        let (_, base_tree) = optimal_cost(instance, &ones)?;
+        let workloads = base_tree.descendant_counts();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| workloads[b].cmp(&workloads[a]).then_with(|| a.cmp(&b)));
+
+        // DFS with the monotone bound.
+        let mut eval = CostEvaluator::new(instance);
+        let mut counts = vec![1u32; n];
+        let extra = m - n as u32;
+        let mut best_cost_nj = best_cost.as_njoules();
+        search(
+            &mut eval,
+            &order,
+            &mut counts,
+            0,
+            extra,
+            cap,
+            &mut best_cost_nj,
+            &mut best_dep,
+        );
+        let (_, tree) = optimal_cost(instance, &best_dep)?;
+        Ok(Solution::evaluated(self.name(), instance, best_dep, tree))
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    eval: &mut CostEvaluator<'_>,
+    order: &[usize],
+    counts: &mut Vec<u32>,
+    depth: usize,
+    extra: u32,
+    cap: u32,
+    best_cost: &mut f64,
+    best_dep: &mut Deployment,
+) {
+    let n = order.len();
+    if depth == n - 1 || extra == 0 {
+        // Complete the assignment: dump the remainder on the last
+        // undecided post (or nowhere if the budget is spent).
+        let p = order[depth.min(n - 1)];
+        if depth == n - 1 {
+            if counts[p] + extra > cap {
+                return;
+            }
+            counts[p] += extra;
+        } else if extra > 0 {
+            unreachable!("extra == 0 handled above");
+        }
+        let candidate = if depth == n - 1 { extra } else { 0 };
+        if let Some(cost) = eval.set_deployment(counts) {
+            if cost < *best_cost {
+                *best_cost = cost;
+                *best_dep = Deployment::new(counts.clone());
+            }
+        }
+        counts[p] -= candidate;
+        return;
+    }
+
+    // Lower bound: every undecided post at the largest count it could
+    // still get.
+    let undecided = &order[depth..];
+    let roomiest = extra.min(cap - 1);
+    let mut relaxed = counts.clone();
+    for &p in undecided {
+        relaxed[p] = (1 + roomiest).min(cap);
+    }
+    if let Some(bound) = eval.set_deployment(&relaxed) {
+        if bound >= *best_cost {
+            return; // even the rosiest completion cannot win
+        }
+    }
+
+    let p = order[depth];
+    let max_here = extra.min(cap - 1);
+    for c in (0..=max_here).rev() {
+        counts[p] += c;
+        search(
+            eval,
+            order,
+            counts,
+            depth + 1,
+            extra - c,
+            cap,
+            best_cost,
+            best_dep,
+        );
+        counts[p] -= c;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InstanceBuilder, InstanceSampler, Rfh};
+    use wrsn_energy::Energy;
+    use wrsn_geom::Field;
+
+    fn e(nj: f64) -> Energy {
+        Energy::from_njoules(nj)
+    }
+
+    #[test]
+    fn composition_counts() {
+        assert_eq!(composition_count(5, 3, 5), 6); // C(4,2)
+        assert_eq!(composition_count(36, 10, 36), 70_607_460); // C(35,9)
+        assert_eq!(composition_count(3, 3, 3), 1);
+        // Capped at 2: choose which posts get the second node.
+        assert_eq!(composition_count(33, 22, 2), 705_432); // C(22,11)
+        assert_eq!(composition_count(6, 3, 2), 1); // all posts at cap
+    }
+
+    #[test]
+    fn exhaustive_finds_known_optimum_on_chain() {
+        // 1 -> 0 -> BS: post 0 forwards everything; brute numbers below.
+        let inst = InstanceBuilder::new(2, 4)
+            .rx_energy(e(2.0))
+            .uplink(0, 2, e(4.0))
+            .uplink(1, 0, e(4.0))
+            .build()
+            .unwrap();
+        let sol = ExhaustiveSearch::default().solve(&inst).unwrap();
+        // Candidates: m=(3,1): 4/3 + 4 + 2/3 + 4/3 = 22/3 ≈ 7.33
+        //             m=(2,2): 4/2 + 4/2 + 2/2 + 4/2 = 7
+        //             m=(1,3): 4 + 4/3 + 2 + 4 = 11.33
+        assert_eq!(sol.deployment().counts(), &[2, 2]);
+        assert!((sol.total_cost().as_njoules() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhaustive_refuses_oversized_spaces() {
+        let inst = InstanceSampler::new(Field::square(300.0), 10, 60).sample(1);
+        let err = ExhaustiveSearch::with_limit(1000).solve(&inst).unwrap_err();
+        assert!(matches!(err, SolveError::SearchSpaceTooLarge { .. }));
+    }
+
+    #[test]
+    fn branch_and_bound_matches_exhaustive() {
+        for seed in 0..6 {
+            let inst = InstanceSampler::new(Field::square(200.0), 6, 6 + 2 * (seed as u32 % 4) + 2)
+                .sample(seed);
+            let ex = ExhaustiveSearch::default().solve(&inst).unwrap();
+            let bb = BranchAndBound::new().solve(&inst).unwrap();
+            assert!(
+                (ex.total_cost().as_njoules() - bb.total_cost().as_njoules()).abs()
+                    < 1e-6 * ex.total_cost().as_njoules().max(1.0),
+                "seed {seed}: exhaustive {} vs b&b {}",
+                ex.total_cost(),
+                bb.total_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_lower_bounds_heuristics() {
+        for seed in [3, 17] {
+            let inst = InstanceSampler::new(Field::square(200.0), 7, 15).sample(seed);
+            let opt = BranchAndBound::new().solve(&inst).unwrap();
+            let rfh = Rfh::default().solve(&inst).unwrap();
+            let idb = Idb::new(1).solve(&inst).unwrap();
+            let tol = 1.0 + 1e-9;
+            assert!(rfh.total_cost().as_njoules() >= opt.total_cost().as_njoules() / tol);
+            assert!(idb.total_cost().as_njoules() >= opt.total_cost().as_njoules() / tol);
+        }
+    }
+
+    #[test]
+    fn respects_cap_constraint() {
+        let inst = InstanceBuilder::new(2, 4)
+            .rx_energy(e(2.0))
+            .uplink(0, 2, e(4.0))
+            .uplink(1, 0, e(4.0))
+            .max_nodes_per_post(3)
+            .build()
+            .unwrap();
+        for solver in [&ExhaustiveSearch::default() as &dyn Solver, &BranchAndBound::new()] {
+            let sol = solver.solve(&inst).unwrap();
+            assert!(sol.deployment().counts().iter().all(|&c| c <= 3));
+            assert_eq!(sol.deployment().total(), 4);
+        }
+    }
+
+    #[test]
+    fn tight_cap_forces_unique_deployment() {
+        // cap 2, M = 2N: every post must hold exactly 2.
+        let inst = InstanceSampler::new(Field::square(100.0), 3, 6)
+            .max_nodes_per_post(2)
+            .sample(4);
+        let sol = ExhaustiveSearch::default().solve(&inst).unwrap();
+        assert_eq!(sol.deployment().counts(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn minimal_budget_single_composition() {
+        let inst = InstanceSampler::new(Field::square(100.0), 4, 4).sample(9);
+        let ex = ExhaustiveSearch::default().solve(&inst).unwrap();
+        let bb = BranchAndBound::new().solve(&inst).unwrap();
+        assert_eq!(ex.deployment().counts(), &[1, 1, 1, 1]);
+        assert_eq!(bb.deployment().counts(), &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ExhaustiveSearch::default().name(), "Exhaustive");
+        assert_eq!(BranchAndBound::new().name(), "B&B");
+    }
+}

@@ -1,0 +1,615 @@
+//! The Routing-First Heuristic (paper Section V-A), basic and iterative.
+//!
+//! One RFH pass runs four phases:
+//!
+//! 1. **Minimum-energy paths** — reverse Dijkstra from the base station on
+//!    the per-bit cost graph, keeping *all* tight edges (the "fat tree").
+//! 2. **Workload-concentrated trimming** — repeatedly take the unprocessed
+//!    post with the most descendants and cut its descendants' escape edges
+//!    (edges to parents outside its subtree), concentrating traffic into
+//!    few hubs; the result is provably a tree.
+//! 3. **Opportunistic sibling merging** — siblings that can reach a
+//!    co-sibling more cheaply than their common parent re-parent onto it.
+//! 4. **Workload-proportional deployment** — allocate the `M` nodes to
+//!    posts minimizing `Σ α_i/m_i` (Lagrange-and-round, or the optimal
+//!    greedy as an ablation).
+//!
+//! The *iterative* variant repeats the pass with edge costs rescaled by
+//! the previous deployment's charging efficiencies; the paper observes
+//! convergence within about seven iterations (Fig. 6).
+
+use crate::{
+    cost_digraph, greedy_allocate, greedy_allocate_by_efficiency, lagrange_allocate, Deployment,
+    GainKind, Instance, RoutingTree, Solution, SolveError, Solver,
+};
+use wrsn_energy::Energy;
+use wrsn_graph::{dijkstra_to, tight_edges, Dag};
+
+/// Phase III behavior: whether sibling posts merge under a group head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergePolicy {
+    /// Merge whenever a sibling is cheaper to reach than the parent (the
+    /// paper's behavior).
+    #[default]
+    Always,
+    /// Skip Phase III (ablation).
+    Never,
+}
+
+/// What "workload" means for the Phase IV allocation weights `α_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkloadMetric {
+    /// Per-round consumed energy `(1 + w_i)·e_tx + w_i·e_rx` — the
+    /// quantity the recharging cost actually depends on (default).
+    #[default]
+    EnergyRate,
+    /// The paper's literal Phase II notion: the raw descendant count.
+    DescendantCount,
+}
+
+/// Which allocator solves the Phase IV minimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocatorKind {
+    /// The paper's Lagrange-multipliers continuous solution with
+    /// round-smallest-and-recurse ([`lagrange_allocate`]).
+    #[default]
+    LagrangeRounding,
+    /// Provably optimal marginal-gain greedy ([`greedy_allocate`]).
+    GreedyMarginal,
+}
+
+/// The Routing-First Heuristic solver.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_core::{InstanceSampler, Rfh, Solver};
+/// use wrsn_geom::Field;
+///
+/// let inst = InstanceSampler::new(Field::square(200.0), 10, 30).sample(3);
+/// let report = Rfh::iterative(7).solve_with_report(&inst)?;
+/// // Iterating never ends worse than the basic single pass.
+/// assert!(report.best().total_cost() <= report.cost_history()[0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rfh {
+    iterations: usize,
+    merge: MergePolicy,
+    workload: WorkloadMetric,
+    allocator: AllocatorKind,
+}
+
+impl Rfh {
+    /// The basic (single-pass) RFH.
+    #[must_use]
+    pub fn basic() -> Self {
+        Rfh::iterative(1)
+    }
+
+    /// Iterative RFH with the given number of passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations == 0`.
+    #[must_use]
+    pub fn iterative(iterations: usize) -> Self {
+        assert!(iterations >= 1, "RFH needs at least one iteration");
+        Rfh {
+            iterations,
+            merge: MergePolicy::default(),
+            workload: WorkloadMetric::default(),
+            allocator: AllocatorKind::default(),
+        }
+    }
+
+    /// Sets the Phase III merge policy.
+    #[must_use]
+    pub fn merge_policy(mut self, merge: MergePolicy) -> Self {
+        self.merge = merge;
+        self
+    }
+
+    /// Sets the Phase IV workload metric.
+    #[must_use]
+    pub fn workload_metric(mut self, workload: WorkloadMetric) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sets the Phase IV allocator.
+    #[must_use]
+    pub fn allocator(mut self, allocator: AllocatorKind) -> Self {
+        self.allocator = allocator;
+        self
+    }
+
+    /// Number of configured iterations.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Runs RFH and returns the full iteration trace alongside the best
+    /// solution found.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Unroutable`] if some post cannot reach the
+    /// base station (impossible for validated instances).
+    pub fn solve_with_report(&self, instance: &Instance) -> Result<RfhReport, SolveError> {
+        let n = instance.num_posts();
+        let mut dep = Deployment::ones(n);
+        let mut history = Vec::with_capacity(self.iterations);
+        let mut best: Option<Solution> = None;
+        for _ in 0..self.iterations {
+            let tree = self.build_tree(instance, &dep)?;
+            let weights = self.workload_weights(instance, &tree);
+            // The paper's Lagrange method and the m-proportional greedy
+            // both assume the linear gain k(m) = m; under any other gain
+            // curve Phase IV must allocate against the actual eta(m).
+            let counts = match (self.allocator, instance.charge().gain()) {
+                (AllocatorKind::LagrangeRounding, GainKind::Linear) => lagrange_allocate(
+                    &weights,
+                    instance.num_nodes(),
+                    instance.max_nodes_per_post(),
+                ),
+                (AllocatorKind::GreedyMarginal, GainKind::Linear) => greedy_allocate(
+                    &weights,
+                    instance.num_nodes(),
+                    instance.max_nodes_per_post(),
+                ),
+                _ => greedy_allocate_by_efficiency(
+                    &weights,
+                    instance.num_nodes(),
+                    instance.max_nodes_per_post(),
+                    |m| instance.charge_efficiency(m),
+                ),
+            };
+            dep = Deployment::new(counts);
+            let sol = Solution::evaluated(self.name(), instance, dep.clone(), tree);
+            history.push(sol.total_cost());
+            if best
+                .as_ref()
+                .is_none_or(|b| sol.total_cost() < b.total_cost())
+            {
+                best = Some(sol);
+            }
+        }
+        Ok(RfhReport {
+            cost_history: history,
+            best: best.expect("at least one iteration ran"),
+        })
+    }
+
+    /// Runs Phases I–III only: builds the minimum-energy,
+    /// workload-concentrated routing tree for the given deployment's edge
+    /// costs, without allocating nodes. Useful for inspecting what the
+    /// heuristic's routing stage does (e.g. how strongly Phase II
+    /// concentrates traffic) independently of Phase IV.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Unroutable`] if some post cannot reach the
+    /// base station.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wrsn_core::{Deployment, InstanceSampler, Rfh};
+    /// use wrsn_geom::Field;
+    ///
+    /// let inst = InstanceSampler::new(Field::square(200.0), 10, 20).sample(1);
+    /// let tree = Rfh::basic().plan_tree(&inst, &Deployment::ones(10))?;
+    /// assert_eq!(tree.num_posts(), 10);
+    /// # Ok::<(), wrsn_core::SolveError>(())
+    /// ```
+    pub fn plan_tree(
+        &self,
+        instance: &Instance,
+        deployment: &Deployment,
+    ) -> Result<RoutingTree, SolveError> {
+        self.build_tree(instance, deployment)
+    }
+
+    /// Phases I–III: build the workload-concentrated routing tree under
+    /// the edge costs induced by `dep`.
+    fn build_tree(
+        &self,
+        instance: &Instance,
+        dep: &Deployment,
+    ) -> Result<RoutingTree, SolveError> {
+        let n = instance.num_posts();
+        let bs = instance.bs();
+        // Phase I: fat tree of all minimum-cost routes.
+        let g = cost_digraph(instance, dep);
+        let sp = dijkstra_to(&g, bs);
+        for p in 0..n {
+            if sp.distance(p).is_none() {
+                return Err(SolveError::Unroutable { post: p });
+            }
+        }
+        let mut dag = Dag::from_parents(tight_edges(&g, &sp));
+
+        // Phase II: trim to a workload-concentrated tree.
+        let mut processed = vec![false; n];
+        for _ in 0..n {
+            let anc = dag.ancestor_sets();
+            let mut counts = vec![0usize; n];
+            for set in anc.iter().take(n) {
+                for a in set.ones().filter(|&a| a < n) {
+                    counts[a] += 1;
+                }
+            }
+            let p = (0..n)
+                .filter(|&p| !processed[p])
+                .max_by(|&a, &b| counts[a].cmp(&counts[b]).then_with(|| b.cmp(&a)))
+                .expect("n unprocessed posts remain");
+            for u in 0..n {
+                if !anc[u].contains(p) {
+                    continue; // u is not a descendant of p
+                }
+                // Cut u's edges to parents outside p's subtree.
+                let escape: Vec<usize> = dag
+                    .parents(u)
+                    .iter()
+                    .copied()
+                    .filter(|&q| q != p && !(q < n && anc[q].contains(p)))
+                    .collect();
+                for q in escape {
+                    dag.remove_edge(u, q);
+                }
+            }
+            processed[p] = true;
+        }
+        let mut parent: Vec<usize> = (0..n)
+            .map(|p| {
+                let ps = dag.parents(p);
+                debug_assert_eq!(ps.len(), 1, "trimming must leave exactly one parent");
+                // Defensive fallback for the (provably impossible) multi-
+                // parent case: follow the Dijkstra next hop.
+                ps.first().copied().unwrap_or_else(|| {
+                    sp.via(p).expect("reachable posts have a next hop")
+                })
+            })
+            .collect();
+
+        // Phase III: opportunistic sibling merging.
+        if self.merge == MergePolicy::Always {
+            merge_siblings(instance, &mut parent);
+        }
+        Ok(RoutingTree::new(parent, instance)
+            .expect("phases I-III produce links that exist and stay acyclic"))
+    }
+
+    fn workload_weights(&self, instance: &Instance, tree: &RoutingTree) -> Vec<f64> {
+        match self.workload {
+            WorkloadMetric::EnergyRate => tree
+                .per_post_energy(instance)
+                .iter()
+                .enumerate()
+                .map(|(p, e)| (*e + instance.sensing_energy(p)).as_njoules())
+                .collect(),
+            WorkloadMetric::DescendantCount => tree
+                .descendant_counts()
+                .iter()
+                .map(|&w| w as f64)
+                .collect(),
+        }
+    }
+}
+
+impl Default for Rfh {
+    /// Iterative RFH with seven passes — the representative configuration
+    /// the paper uses throughout its evaluation.
+    fn default() -> Self {
+        Rfh::iterative(7)
+    }
+}
+
+impl Solver for Rfh {
+    fn name(&self) -> &'static str {
+        if self.iterations == 1 {
+            "RFH"
+        } else {
+            "iRFH"
+        }
+    }
+
+    fn solve(&self, instance: &Instance) -> Result<Solution, SolveError> {
+        Ok(self.solve_with_report(instance)?.best)
+    }
+}
+
+/// Phase III: group children of each node under cheaper-to-reach heads.
+///
+/// Children are visited in decreasing current-workload order; a child
+/// joins the first already-designated head it can reach more cheaply than
+/// its parent, preferring the cheapest such head.
+fn merge_siblings(instance: &Instance, parent: &mut [usize]) {
+    let n = instance.num_posts();
+    let bs = instance.bs();
+    // Current workloads for head preference.
+    let mut counts = vec![0usize; n];
+    for p in 0..n {
+        let mut cur = parent[p];
+        while cur != bs {
+            counts[cur] += 1;
+            cur = parent[cur];
+        }
+    }
+    for v in 0..=n {
+        let mut children: Vec<usize> = (0..n).filter(|&p| parent[p] == v).collect();
+        if children.len() < 2 {
+            continue;
+        }
+        children.sort_by(|&a, &b| counts[b].cmp(&counts[a]).then_with(|| a.cmp(&b)));
+        let mut heads: Vec<usize> = Vec::new();
+        for c in children {
+            let to_parent = instance
+                .tx_energy(c, v)
+                .expect("tree edges exist in the instance");
+            let best_head = heads
+                .iter()
+                .copied()
+                .filter_map(|h| {
+                    instance
+                        .tx_energy(c, h)
+                        .filter(|&e| e < to_parent)
+                        .map(|e| (e, h))
+                })
+                .min_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            match best_head {
+                Some((_, h)) => parent[c] = h,
+                None => heads.push(c),
+            }
+        }
+    }
+}
+
+/// The iteration trace of an RFH run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RfhReport {
+    cost_history: Vec<Energy>,
+    best: Solution,
+}
+
+impl RfhReport {
+    /// Total recharging cost after each iteration — the series the
+    /// paper's Fig. 6 plots.
+    #[must_use]
+    pub fn cost_history(&self) -> &[Energy] {
+        &self.cost_history
+    }
+
+    /// The best solution across all iterations.
+    #[must_use]
+    pub fn best(&self) -> &Solution {
+        &self.best
+    }
+
+    /// Consumes the report, returning the best solution.
+    #[must_use]
+    pub fn into_best(self) -> Solution {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimal_cost, GeometricInstanceBuilder, InstanceBuilder, InstanceSampler};
+    use wrsn_energy::Energy;
+    use wrsn_geom::{Field, Point};
+
+    fn e(nj: f64) -> Energy {
+        Energy::from_njoules(nj)
+    }
+
+    /// The Fig. 4 scenario: three relays A, B, C between leaves and the
+    /// BS; B can carry everything. Leaves 3,4,5 each reach relays; with
+    /// merging/concentration all traffic should funnel through one relay.
+    fn fig4_instance() -> Instance {
+        // Posts: 0=A, 1=B, 2=C (relays), 3,4,5 leaves; BS = 6.
+        InstanceBuilder::new(6, 7)
+            .uplink(0, 6, e(10.0))
+            .uplink(1, 6, e(10.0))
+            .uplink(2, 6, e(10.0))
+            // Leaf 3 reaches A and B; leaf 4 reaches A, B, C; leaf 5 B, C.
+            .uplink(3, 0, e(10.0))
+            .uplink(3, 1, e(10.0))
+            .uplink(4, 0, e(10.0))
+            .uplink(4, 1, e(10.0))
+            .uplink(4, 2, e(10.0))
+            .uplink(5, 1, e(10.0))
+            .uplink(5, 2, e(10.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn trimming_concentrates_workload() {
+        let inst = fig4_instance();
+        let report = Rfh::basic().solve_with_report(&inst).unwrap();
+        let tree = report.best().tree();
+        // All three leaves must share a single relay.
+        let relays: std::collections::HashSet<usize> =
+            [3, 4, 5].iter().map(|&l| tree.parent(l)).collect();
+        assert_eq!(relays.len(), 1, "workload not concentrated: {tree}");
+        // The spare node lands on that relay.
+        let relay = *relays.iter().next().unwrap();
+        assert_eq!(report.best().deployment().count(relay), 2);
+    }
+
+    #[test]
+    fn basic_rfh_beats_even_spread_on_fig4() {
+        let inst = fig4_instance();
+        let sol = Rfh::basic().solve(&inst).unwrap();
+        // Even spread (Fig. 4b): leaves split over A, B, C; extra node
+        // can only halve one relay: cost 3*10 + 2*20 + 20/2 = 8e.
+        // Concentrated (Fig. 4c): 5e + 4e/2 = 7e.
+        assert!(sol.total_cost() <= e(70.0) + e(1e-9));
+    }
+
+    #[test]
+    fn merging_reroutes_cheap_siblings() {
+        // Parent far (cost 16), sibling near (cost 4): child 1 should
+        // re-parent under child 0 when merging is on.
+        let inst = InstanceBuilder::new(3, 4)
+            .uplink(0, 3, e(16.0))
+            .uplink(1, 3, e(16.0))
+            .bidi_link(0, 1, e(4.0))
+            .uplink(2, 0, e(4.0))
+            .build()
+            .unwrap();
+        let with = Rfh::basic().solve(&inst).unwrap();
+        let without = Rfh::basic()
+            .merge_policy(MergePolicy::Never)
+            .solve(&inst)
+            .unwrap();
+        let t = with.tree();
+        let merged = t.parent(0) == 1 || t.parent(1) == 0;
+        assert!(merged, "expected one sibling to merge: {t}");
+        let tn = without.tree();
+        assert_eq!(tn.parent(0), 3);
+        assert_eq!(tn.parent(1), 3);
+        // Merging should pay off here (concentration beats the extra hop).
+        assert!(with.total_cost() <= without.total_cost() + e(1e-9));
+    }
+
+    #[test]
+    fn iterative_never_worse_than_basic() {
+        for seed in 0..5 {
+            let inst = InstanceSampler::new(Field::square(300.0), 20, 60).sample(seed);
+            let basic = Rfh::basic().solve(&inst).unwrap();
+            let iter = Rfh::iterative(7).solve(&inst).unwrap();
+            assert!(
+                iter.total_cost() <= basic.total_cost() + e(1e-6),
+                "seed {seed}: {} vs {}",
+                iter.total_cost(),
+                basic.total_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn report_history_has_one_entry_per_iteration() {
+        let inst = InstanceSampler::new(Field::square(200.0), 8, 24).sample(2);
+        let report = Rfh::iterative(5).solve_with_report(&inst).unwrap();
+        assert_eq!(report.cost_history().len(), 5);
+        let best = report.best().total_cost();
+        assert!(report.cost_history().iter().all(|&c| c >= best));
+    }
+
+    #[test]
+    fn solution_cost_at_least_deployment_optimal() {
+        // RFH's tree can never beat the optimal routing for its own
+        // deployment.
+        let inst = InstanceSampler::new(Field::square(250.0), 15, 45).sample(9);
+        let sol = Rfh::default().solve(&inst).unwrap();
+        let (opt, _) = optimal_cost(&inst, sol.deployment()).unwrap();
+        assert!(sol.total_cost() >= opt - e(1e-9));
+    }
+
+    #[test]
+    fn respects_per_post_cap() {
+        let inst = InstanceSampler::new(Field::square(150.0), 6, 18)
+            .max_nodes_per_post(4)
+            .sample(4);
+        let sol = Rfh::default().solve(&inst).unwrap();
+        assert!(sol.deployment().counts().iter().all(|&m| m <= 4));
+        assert_eq!(sol.deployment().total(), 18);
+    }
+
+    #[test]
+    fn allocator_ablation_greedy_not_worse() {
+        let inst = InstanceSampler::new(Field::square(300.0), 25, 100).sample(5);
+        let lagrange = Rfh::basic().solve(&inst).unwrap();
+        let greedy = Rfh::basic()
+            .allocator(AllocatorKind::GreedyMarginal)
+            .solve(&inst)
+            .unwrap();
+        // Same tree, better allocation: greedy can only improve.
+        assert!(greedy.total_cost() <= lagrange.total_cost() + e(1e-6));
+    }
+
+    #[test]
+    fn descendant_count_metric_still_valid() {
+        let inst = InstanceSampler::new(Field::square(200.0), 10, 30).sample(8);
+        let sol = Rfh::default()
+            .workload_metric(WorkloadMetric::DescendantCount)
+            .solve(&inst)
+            .unwrap();
+        assert!(sol.deployment().is_valid_for(&inst));
+        assert!(sol.total_cost() > Energy::ZERO);
+    }
+
+    #[test]
+    fn single_post_instance() {
+        let inst = GeometricInstanceBuilder::new(vec![Point::new(30.0, 0.0)], 5)
+            .build()
+            .unwrap();
+        let sol = Rfh::default().solve(&inst).unwrap();
+        assert_eq!(sol.deployment().counts(), &[5]);
+        assert_eq!(sol.tree().parent(0), inst.bs());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected() {
+        let _ = Rfh::iterative(0);
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(Rfh::basic().name(), "RFH");
+        assert_eq!(Rfh::iterative(7).name(), "iRFH");
+    }
+
+    #[test]
+    fn phase_two_concentrates_workload_vs_naive_trim() {
+        // Phase II should funnel at least as much traffic through its
+        // busiest relay as a naive "keep the lowest-id tight parent"
+        // trim, on average (that is its entire purpose).
+        use wrsn_graph::{dijkstra_to, tight_edges};
+        let mut concentrated = 0i64;
+        for seed in 0..8 {
+            let inst = InstanceSampler::new(Field::square(400.0), 40, 80).sample(seed);
+            let dep = crate::Deployment::ones(40);
+            let tree = Rfh::basic()
+                .merge_policy(MergePolicy::Never)
+                .plan_tree(&inst, &dep)
+                .unwrap();
+            let rfh_max = *tree.descendant_counts().iter().max().unwrap() as i64;
+            // Naive trim on the same fat tree.
+            let g = crate::cost_digraph(&inst, &dep);
+            let sp = dijkstra_to(&g, inst.bs());
+            let parents = tight_edges(&g, &sp);
+            let naive: Vec<usize> = (0..40).map(|p| parents[p][0]).collect();
+            let naive_tree = RoutingTree::new(naive, &inst).unwrap();
+            let naive_max = *naive_tree.descendant_counts().iter().max().unwrap() as i64;
+            concentrated += rfh_max - naive_max;
+            // Both trees must cost the same raw energy per bit (they use
+            // only minimum-energy paths).
+            let rfh_cost = crate::tree_cost(&inst, &dep, &tree);
+            let naive_cost = crate::tree_cost(&inst, &dep, &naive_tree);
+            assert!(
+                (rfh_cost.as_njoules() - naive_cost.as_njoules()).abs()
+                    < 1e-6 * rfh_cost.as_njoules(),
+                "seed {seed}: phase II must stay on minimum-energy paths"
+            );
+        }
+        assert!(
+            concentrated >= 0,
+            "phase II concentrated less than a naive trim overall ({concentrated})"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let inst = InstanceSampler::new(Field::square(400.0), 30, 90).sample(77);
+        let a = Rfh::default().solve(&inst).unwrap();
+        let b = Rfh::default().solve(&inst).unwrap();
+        assert_eq!(a, b);
+    }
+}

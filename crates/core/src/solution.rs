@@ -1,0 +1,126 @@
+//! Solver output: deployment + routing tree + achieved cost.
+
+use crate::{tree_cost, Deployment, Instance, RoutingTree};
+use std::fmt;
+use wrsn_energy::Energy;
+
+/// A complete answer to a deployment/routing instance.
+///
+/// Produced by any [`Solver`](crate::Solver); the recorded cost is always
+/// the evaluated [`tree_cost`] of the contained deployment and tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    algorithm: &'static str,
+    deployment: Deployment,
+    tree: RoutingTree,
+    cost: Energy,
+}
+
+impl Solution {
+    /// Assembles a solution, evaluating its total recharging cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deployment or tree do not match the instance.
+    #[must_use]
+    pub fn evaluated(
+        algorithm: &'static str,
+        instance: &Instance,
+        deployment: Deployment,
+        tree: RoutingTree,
+    ) -> Self {
+        assert!(
+            deployment.is_valid_for(instance),
+            "deployment violates the instance's node budget or cap"
+        );
+        let cost = tree_cost(instance, &deployment, &tree);
+        Solution {
+            algorithm,
+            deployment,
+            tree,
+            cost,
+        }
+    }
+
+    /// The solver that produced this solution.
+    #[must_use]
+    pub fn algorithm(&self) -> &'static str {
+        self.algorithm
+    }
+
+    /// The node deployment.
+    #[must_use]
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// The routing tree.
+    #[must_use]
+    pub fn tree(&self) -> &RoutingTree {
+        &self.tree
+    }
+
+    /// The total recharging cost: charger energy to compensate one
+    /// reported bit from every post (the paper's evaluation metric).
+    #[must_use]
+    pub fn total_cost(&self) -> Energy {
+        self.cost
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: cost {} with {}",
+            self.algorithm, self.cost, self.deployment
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InstanceBuilder;
+
+    fn e(nj: f64) -> Energy {
+        Energy::from_njoules(nj)
+    }
+
+    fn fixture() -> Instance {
+        InstanceBuilder::new(2, 3)
+            .rx_energy(e(2.0))
+            .uplink(0, 2, e(4.0))
+            .uplink(1, 0, e(4.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn evaluated_computes_tree_cost() {
+        let inst = fixture();
+        let dep = Deployment::new(vec![2, 1]);
+        let tree = RoutingTree::new(vec![2, 0], &inst).unwrap();
+        let sol = Solution::evaluated("test", &inst, dep.clone(), tree.clone());
+        assert_eq!(sol.total_cost(), tree_cost(&inst, &dep, &tree));
+        assert_eq!(sol.algorithm(), "test");
+        assert_eq!(sol.deployment(), &dep);
+        assert_eq!(sol.tree(), &tree);
+    }
+
+    #[test]
+    #[should_panic(expected = "node budget")]
+    fn invalid_deployment_rejected() {
+        let inst = fixture();
+        let tree = RoutingTree::new(vec![2, 0], &inst).unwrap();
+        let _ = Solution::evaluated("test", &inst, Deployment::new(vec![1, 1]), tree);
+    }
+
+    #[test]
+    fn display_names_algorithm() {
+        let inst = fixture();
+        let tree = RoutingTree::new(vec![2, 0], &inst).unwrap();
+        let sol = Solution::evaluated("rfh", &inst, Deployment::new(vec![2, 1]), tree);
+        assert!(format!("{sol}").starts_with("rfh: cost"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Tests for the heterogeneous-traffic extension: per-post report rates
+//! and deployment-independent sensing energy.
+
+use wrsn_core::{
+    optimal_cost, tree_cost, BranchAndBound, BuildError, CostEvaluator, Deployment, Idb,
+    Instance, InstanceBuilder, Rfh, Solver,
+};
+use wrsn_energy::Energy;
+
+fn e(nj: f64) -> Energy {
+    Energy::from_njoules(nj)
+}
+
+/// Chain 1 -> 0 -> BS, rx 2 nJ, tx 4 nJ.
+fn chain(rates: Option<Vec<f64>>, sensing: Option<Vec<Energy>>) -> Instance {
+    let mut b = InstanceBuilder::new(2, 4)
+        .rx_energy(e(2.0))
+        .uplink(0, 2, e(4.0))
+        .uplink(1, 0, e(4.0));
+    if let Some(r) = rates {
+        b = b.report_rates(r);
+    }
+    if let Some(s) = sensing {
+        b = b.sensing_energies(s);
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn default_profile_is_uniform_unit_rate_and_zero_sensing() {
+    let inst = chain(None, None);
+    assert_eq!(inst.report_rates(), &[1.0, 1.0]);
+    assert_eq!(inst.sensing_energy(0), Energy::ZERO);
+}
+
+#[test]
+fn rate_scales_the_per_post_cost_linearly() {
+    let uniform = chain(None, None);
+    let heavy = chain(Some(vec![1.0, 3.0]), None);
+    let dep = Deployment::new(vec![2, 2]);
+    let (c_uniform, _) = optimal_cost(&uniform, &dep).unwrap();
+    let (c_heavy, _) = optimal_cost(&heavy, &dep).unwrap();
+    // Post 1's whole path cost (tx 4 + rx 2/..., all at its rate) is
+    // tripled; post 0's own bit is unchanged.
+    // uniform: post0 = 4/2 = 2; post1 = 4/2 + 2/2 + 4/2 = 5. total 7.
+    // heavy:   post0 = 2;       post1 = 3 * 5 = 15.        total 17.
+    assert!((c_uniform.as_njoules() - 7.0).abs() < 1e-9);
+    assert!((c_heavy.as_njoules() - 17.0).abs() < 1e-9);
+}
+
+#[test]
+fn sensing_energy_adds_deployment_dependent_term() {
+    let plain = chain(None, None);
+    let sensing = chain(None, Some(vec![e(10.0), e(0.0)]));
+    let dep = Deployment::new(vec![2, 2]);
+    let (c0, t0) = optimal_cost(&plain, &dep).unwrap();
+    let (c1, t1) = optimal_cost(&sensing, &dep).unwrap();
+    // Same routes; extra 10 nJ at post 0 recharged at efficiency 2.
+    assert_eq!(t0.parents(), t1.parents());
+    assert!((c1.as_njoules() - c0.as_njoules() - 5.0).abs() < 1e-9);
+    // tree_cost agrees.
+    assert!(
+        (tree_cost(&sensing, &dep, &t1).as_njoules() - c1.as_njoules()).abs() < 1e-9
+    );
+}
+
+#[test]
+fn heavy_sensing_attracts_nodes() {
+    // Two leaf posts, symmetric radio-wise; one burns 100 nJ per round
+    // sensing. The optimizer must park the spare nodes there.
+    let inst = InstanceBuilder::new(2, 6)
+        .uplink(0, 2, e(4.0))
+        .uplink(1, 2, e(4.0))
+        .sensing_energies(vec![e(100.0), e(0.0)])
+        .build()
+        .unwrap();
+    let sol = BranchAndBound::new().solve(&inst).unwrap();
+    assert!(
+        sol.deployment().count(0) > sol.deployment().count(1),
+        "{}",
+        sol.deployment()
+    );
+}
+
+#[test]
+fn heavy_rate_attracts_nodes_and_bends_routes() {
+    // Post 2 can relay via 0 or 1; post 1 is a heavy reporter, so post 1
+    // gets more nodes, which also makes it the cheaper relay.
+    let inst = InstanceBuilder::new(3, 7)
+        .rx_energy(e(2.0))
+        .uplink(0, 3, e(4.0))
+        .uplink(1, 3, e(4.0))
+        .uplink(2, 0, e(4.0))
+        .uplink(2, 1, e(4.0))
+        .report_rates(vec![1.0, 10.0, 1.0])
+        .build()
+        .unwrap();
+    let sol = BranchAndBound::new().solve(&inst).unwrap();
+    assert!(sol.deployment().count(1) > sol.deployment().count(0));
+    assert_eq!(sol.tree().parent(2), 1, "{}", sol.tree());
+}
+
+#[test]
+fn evaluator_matches_reference_with_profiles() {
+    let inst = InstanceBuilder::new(3, 9)
+        .rx_energy(e(2.0))
+        .uplink(0, 3, e(4.0))
+        .uplink(1, 0, e(4.0))
+        .uplink(2, 1, e(4.0))
+        .uplink(2, 0, e(16.0))
+        .report_rates(vec![0.5, 2.0, 4.0])
+        .sensing_energies(vec![e(3.0), e(7.0), e(0.0)])
+        .build()
+        .unwrap();
+    let mut eval = CostEvaluator::new(&inst);
+    let mut counts = vec![1u32, 1, 1];
+    let f = eval.set_deployment(&counts).unwrap();
+    let (reference, _) = optimal_cost(&inst, &Deployment::new(counts.clone())).unwrap();
+    assert!((f - reference.as_njoules()).abs() < 1e-9);
+    // Probe/commit cycle stays exact.
+    for _ in 0..6 {
+        let probes: Vec<f64> = (0..3).map(|p| eval.probe_add(p)).collect();
+        for (p, &probe) in probes.iter().enumerate() {
+            let mut c = counts.clone();
+            c[p] += 1;
+            let (r, _) = optimal_cost(&inst, &Deployment::new(c)).unwrap();
+            assert!(
+                (probe - r.as_njoules()).abs() < 1e-9 * r.as_njoules().max(1.0),
+                "probe {p}: {probe} vs {r}"
+            );
+        }
+        let best = (0..3).min_by(|&a, &b| probes[a].total_cmp(&probes[b])).unwrap();
+        eval.commit_add(best);
+        counts[best] += 1;
+    }
+}
+
+#[test]
+fn solvers_agree_on_profiled_instances() {
+    let inst = InstanceBuilder::new(3, 8)
+        .rx_energy(e(2.0))
+        .uplink(0, 3, e(4.0))
+        .uplink(1, 0, e(4.0))
+        .bidi_link(1, 2, e(4.0))
+        .uplink(2, 0, e(16.0))
+        .report_rates(vec![1.0, 5.0, 0.25])
+        .sensing_energies(vec![e(0.0), e(20.0), e(1.0)])
+        .build()
+        .unwrap();
+    let opt = BranchAndBound::new().solve(&inst).unwrap();
+    let idb = Idb::new(1).solve(&inst).unwrap();
+    let rfh = Rfh::iterative(7).solve(&inst).unwrap();
+    assert!(idb.total_cost().as_njoules() >= opt.total_cost().as_njoules() - 1e-9);
+    assert!(rfh.total_cost().as_njoules() >= opt.total_cost().as_njoules() - 1e-9);
+    assert!(idb.total_cost().as_njoules() <= opt.total_cost().as_njoules() * 1.05);
+}
+
+#[test]
+fn profile_validation_errors() {
+    let base = || {
+        InstanceBuilder::new(2, 2)
+            .uplink(0, 2, e(4.0))
+            .uplink(1, 0, e(4.0))
+    };
+    assert!(matches!(
+        base().report_rates(vec![1.0]).build(),
+        Err(BuildError::BadProfile { what: "report rates", .. })
+    ));
+    assert!(matches!(
+        base().report_rates(vec![1.0, 0.0]).build(),
+        Err(BuildError::InvalidProfileValue { .. })
+    ));
+    assert!(matches!(
+        base().sensing_energies(vec![e(1.0)]).build(),
+        Err(BuildError::BadProfile { what: "sensing energies", .. })
+    ));
+    assert!(matches!(
+        base().report_rates(vec![1.0, f64::NAN]).build(),
+        Err(BuildError::InvalidProfileValue { .. })
+    ));
+}
+
+#[test]
+fn weighted_descendant_rates() {
+    let inst = InstanceBuilder::new(3, 3)
+        .rx_energy(e(2.0))
+        .uplink(0, 3, e(4.0))
+        .uplink(1, 0, e(4.0))
+        .uplink(2, 1, e(4.0))
+        .report_rates(vec![1.0, 2.0, 4.0])
+        .build()
+        .unwrap();
+    let (_, tree) = optimal_cost(&inst, &Deployment::ones(3)).unwrap();
+    assert_eq!(tree.parents(), &[3, 0, 1]);
+    assert_eq!(tree.descendant_rate_sums(&inst), vec![6.0, 4.0, 0.0]);
+    assert_eq!(tree.descendant_counts(), vec![2, 1, 0]);
+    // E_0 = (1 + 6)*4 + 6*2 = 40; E_1 = (2+4)*4 + 4*2 = 32; E_2 = 16.
+    let energies = tree.per_post_energy(&inst);
+    assert_eq!(energies[0], e(40.0));
+    assert_eq!(energies[1], e(32.0));
+    assert_eq!(energies[2], e(16.0));
+}

@@ -1,0 +1,228 @@
+//! A linear rechargeable-battery model for the discrete-event simulator.
+
+use crate::Energy;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`Battery::drain`] when a node attempts to spend more
+/// energy than it has stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainError {
+    /// Energy the operation required.
+    pub required: Energy,
+    /// Energy that was actually available.
+    pub available: Energy,
+}
+
+impl fmt::Display for DrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "battery drained: required {} but only {} available",
+            self.required, self.available
+        )
+    }
+}
+
+impl Error for DrainError {}
+
+/// A rechargeable battery with a fixed capacity and lossless internal
+/// storage (charging losses are modeled by the charger, not the cell).
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_energy::{Battery, Energy};
+///
+/// let mut b = Battery::full(Energy::from_ujoules(100.0));
+/// b.drain(Energy::from_ujoules(30.0))?;
+/// assert_eq!(b.level().as_ujoules(), 70.0);
+/// let overflow = b.charge(Energy::from_ujoules(50.0));
+/// assert_eq!(b.level(), b.capacity());
+/// assert_eq!(overflow.as_ujoules(), 20.0);
+/// # Ok::<(), wrsn_energy::DrainError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    capacity: Energy,
+    level: Energy,
+}
+
+impl Battery {
+    /// Creates a battery with the given capacity and initial level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is negative or non-finite, or if `level` lies
+    /// outside `[0, capacity]`.
+    #[must_use]
+    pub fn new(capacity: Energy, level: Energy) -> Self {
+        assert!(
+            capacity >= Energy::ZERO && capacity.is_finite(),
+            "capacity must be finite and non-negative"
+        );
+        assert!(
+            level >= Energy::ZERO && level <= capacity,
+            "initial level must lie in [0, capacity]"
+        );
+        Battery { capacity, level }
+    }
+
+    /// Creates a battery charged to capacity.
+    #[must_use]
+    pub fn full(capacity: Energy) -> Self {
+        Battery::new(capacity, capacity)
+    }
+
+    /// Creates an empty battery.
+    #[must_use]
+    pub fn empty(capacity: Energy) -> Self {
+        Battery::new(capacity, Energy::ZERO)
+    }
+
+    /// Maximum storable energy.
+    #[must_use]
+    pub fn capacity(&self) -> Energy {
+        self.capacity
+    }
+
+    /// Currently stored energy.
+    #[must_use]
+    pub fn level(&self) -> Energy {
+        self.level
+    }
+
+    /// Fraction of capacity currently stored, in `[0, 1]`. A zero-capacity
+    /// battery reports `0.0`.
+    #[must_use]
+    pub fn state_of_charge(&self) -> f64 {
+        if self.capacity == Energy::ZERO {
+            0.0
+        } else {
+            self.level / self.capacity
+        }
+    }
+
+    /// Returns `true` if the stored energy is zero.
+    #[must_use]
+    pub fn is_depleted(&self) -> bool {
+        self.level == Energy::ZERO
+    }
+
+    /// Removes `amount` from the battery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DrainError`] (leaving the level untouched) if `amount`
+    /// exceeds the stored energy — the simulator treats that as node death.
+    pub fn drain(&mut self, amount: Energy) -> Result<(), DrainError> {
+        if amount > self.level {
+            return Err(DrainError {
+                required: amount,
+                available: self.level,
+            });
+        }
+        self.level -= amount;
+        Ok(())
+    }
+
+    /// Adds `amount` to the battery, saturating at capacity. Returns the
+    /// overflow that did not fit (zero when it all fit), so chargers can
+    /// account for wasted top-up energy.
+    pub fn charge(&mut self, amount: Energy) -> Energy {
+        assert!(
+            amount >= Energy::ZERO,
+            "charge amount must be non-negative"
+        );
+        let headroom = self.capacity - self.level;
+        if amount <= headroom {
+            self.level += amount;
+            Energy::ZERO
+        } else {
+            self.level = self.capacity;
+            amount - headroom
+        }
+    }
+}
+
+impl fmt::Display for Battery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "battery {}/{} ({:.1}%)",
+            self.level,
+            self.capacity,
+            self.state_of_charge() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uj(v: f64) -> Energy {
+        Energy::from_ujoules(v)
+    }
+
+    #[test]
+    fn drain_and_charge_cycle() {
+        let mut b = Battery::full(uj(10.0));
+        b.drain(uj(4.0)).unwrap();
+        assert_eq!(b.level(), uj(6.0));
+        assert_eq!(b.charge(uj(1.0)), Energy::ZERO);
+        assert_eq!(b.level(), uj(7.0));
+    }
+
+    #[test]
+    fn overdraw_is_an_error_and_preserves_level() {
+        let mut b = Battery::new(uj(10.0), uj(3.0));
+        let err = b.drain(uj(5.0)).unwrap_err();
+        assert_eq!(err.required, uj(5.0));
+        assert_eq!(err.available, uj(3.0));
+        assert_eq!(b.level(), uj(3.0));
+        assert!(format!("{err}").contains("drained"));
+    }
+
+    #[test]
+    fn charge_saturates_and_reports_overflow() {
+        let mut b = Battery::new(uj(10.0), uj(9.0));
+        let overflow = b.charge(uj(5.0));
+        assert_eq!(b.level(), uj(10.0));
+        assert_eq!(overflow, uj(4.0));
+    }
+
+    #[test]
+    fn state_of_charge() {
+        let b = Battery::new(uj(20.0), uj(5.0));
+        assert!((b.state_of_charge() - 0.25).abs() < 1e-12);
+        assert_eq!(Battery::empty(Energy::ZERO).state_of_charge(), 0.0);
+    }
+
+    #[test]
+    fn depletion_flag() {
+        let mut b = Battery::new(uj(2.0), uj(1.0));
+        assert!(!b.is_depleted());
+        b.drain(uj(1.0)).unwrap();
+        assert!(b.is_depleted());
+    }
+
+    #[test]
+    fn exact_drain_to_zero_is_ok() {
+        let mut b = Battery::full(uj(1.0));
+        assert!(b.drain(uj(1.0)).is_ok());
+        assert!(b.is_depleted());
+    }
+
+    #[test]
+    #[should_panic(expected = "initial level")]
+    fn level_above_capacity_rejected() {
+        let _ = Battery::new(uj(1.0), uj(2.0));
+    }
+
+    #[test]
+    fn display_shows_percentage() {
+        let b = Battery::new(uj(10.0), uj(5.0));
+        assert!(format!("{b}").contains("50.0%"));
+    }
+}

@@ -1,0 +1,266 @@
+//! The [`Energy`] quantity newtype.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An amount of energy, stored in nanojoules.
+///
+/// Per-bit radio costs in this domain live in the nanojoule range
+/// (`α = 50 nJ/bit`), and the paper reports total recharging costs in
+/// microjoules, so `f64` nanojoules gives ample precision at both ends.
+///
+/// `Energy` implements the arithmetic that is physically meaningful:
+/// addition/subtraction of energies, scaling by a dimensionless factor, and
+/// the ratio of two energies (dimensionless `f64`). It intentionally does
+/// not implement `Mul<Energy>`.
+///
+/// `Energy` is totally ordered via [`f64::total_cmp`]; constructors reject
+/// NaN so ordering is always physically meaningful.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_energy::Energy;
+///
+/// let tx = Energy::from_njoules(91.1);
+/// let rx = Energy::from_njoules(50.0);
+/// let hop = tx + rx;
+/// assert!((hop.as_njoules() - 141.1).abs() < 1e-12);
+/// assert!((hop / 2.0).as_njoules() < tx.as_njoules());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy from nanojoules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nj` is NaN.
+    #[must_use]
+    pub fn from_njoules(nj: f64) -> Self {
+        assert!(!nj.is_nan(), "energy must not be NaN");
+        Energy(nj)
+    }
+
+    /// Creates an energy from microjoules.
+    #[must_use]
+    pub fn from_ujoules(uj: f64) -> Self {
+        Energy::from_njoules(uj * 1e3)
+    }
+
+    /// Creates an energy from joules.
+    #[must_use]
+    pub fn from_joules(j: f64) -> Self {
+        Energy::from_njoules(j * 1e9)
+    }
+
+    /// This energy in nanojoules.
+    #[must_use]
+    pub fn as_njoules(self) -> f64 {
+        self.0
+    }
+
+    /// This energy in microjoules (the unit the paper's figures report).
+    #[must_use]
+    pub fn as_ujoules(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// This energy in joules.
+    #[must_use]
+    pub fn as_joules(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Returns `true` if this energy is a finite quantity.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// The smaller of two energies.
+    #[must_use]
+    pub fn min(self, other: Energy) -> Energy {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two energies.
+    #[must_use]
+    pub fn max(self, other: Energy) -> Energy {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for Energy {}
+
+impl PartialOrd for Energy {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Energy {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Energy {
+    fn sub_assign(&mut self, rhs: Energy) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+
+    fn mul(self, rhs: f64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+
+impl Mul<Energy> for f64 {
+    type Output = Energy;
+
+    fn mul(self, rhs: Energy) -> Energy {
+        Energy(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Energy {
+    type Output = Energy;
+
+    fn div(self, rhs: f64) -> Energy {
+        Energy(self.0 / rhs)
+    }
+}
+
+impl Div<Energy> for Energy {
+    /// The dimensionless ratio of two energies.
+    type Output = f64;
+
+    fn div(self, rhs: Energy) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let abs = self.0.abs();
+        if abs >= 1e9 {
+            write!(f, "{:.4} J", self.as_joules())
+        } else if abs >= 1e3 {
+            write!(f, "{:.4} uJ", self.as_ujoules())
+        } else {
+            write!(f, "{:.4} nJ", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_roundtrip() {
+        let e = Energy::from_joules(1.5);
+        assert!((e.as_njoules() - 1.5e9).abs() < 1e-3);
+        assert!((e.as_ujoules() - 1.5e6).abs() < 1e-6);
+        assert!((e.as_joules() - 1.5).abs() < 1e-12);
+        assert_eq!(Energy::from_ujoules(2.0).as_njoules(), 2000.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Energy::from_njoules(100.0);
+        let b = Energy::from_njoules(40.0);
+        assert_eq!((a + b).as_njoules(), 140.0);
+        assert_eq!((a - b).as_njoules(), 60.0);
+        assert_eq!((a * 0.5).as_njoules(), 50.0);
+        assert_eq!((2.0 * b).as_njoules(), 80.0);
+        assert_eq!((a / 4.0).as_njoules(), 25.0);
+        assert_eq!(a / b, 2.5);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut e = Energy::ZERO;
+        e += Energy::from_njoules(10.0);
+        e -= Energy::from_njoules(4.0);
+        assert_eq!(e.as_njoules(), 6.0);
+    }
+
+    #[test]
+    fn ordering_and_min_max() {
+        let a = Energy::from_njoules(1.0);
+        let b = Energy::from_njoules(2.0);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Energy = (1..=4).map(|i| Energy::from_njoules(f64::from(i))).sum();
+        assert_eq!(total.as_njoules(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Energy::from_njoules(f64::NAN);
+    }
+
+    #[test]
+    fn display_picks_sensible_unit() {
+        assert_eq!(format!("{}", Energy::from_njoules(50.0)), "50.0000 nJ");
+        assert_eq!(format!("{}", Energy::from_ujoules(8.2592)), "8.2592 uJ");
+        assert_eq!(format!("{}", Energy::from_joules(2.0)), "2.0000 J");
+    }
+
+    #[test]
+    fn debug_is_nonempty_for_zero() {
+        assert!(!format!("{:?}", Energy::ZERO).is_empty());
+    }
+}

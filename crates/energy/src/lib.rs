@@ -1,0 +1,35 @@
+//! # wrsn-energy — radio energy model and batteries
+//!
+//! Implements the first-order radio energy model the paper adopts from
+//! Heinzelman et al. (2002): transmitting one bit over distance `d` costs
+//! `α + β·d^γ`, receiving one bit costs `α`. Radios choose among a small set
+//! of discrete transmission power levels, each with a fixed range
+//! ([`TxLevels`]). A simple linear [`Battery`] model backs the discrete-event
+//! simulator.
+//!
+//! All energies are carried in the [`Energy`] newtype (nanojoules
+//! internally) so they cannot be confused with distances or efficiencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use wrsn_energy::{RadioParams, TxLevels};
+//!
+//! let radio = RadioParams::icdcs2010();
+//! let levels = TxLevels::evenly_spaced(3, 25.0); // 25 m, 50 m, 75 m
+//! let lvl = levels.level_for_distance(42.0).unwrap();
+//! assert_eq!(levels.range(lvl), 50.0);
+//! let e = radio.tx_energy(levels.range(lvl));
+//! assert!(e > radio.rx_energy());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod battery;
+mod energy;
+mod radio;
+
+pub use battery::{Battery, DrainError};
+pub use energy::Energy;
+pub use radio::{LevelIdx, RadioParams, TxLevels};

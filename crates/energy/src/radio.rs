@@ -1,0 +1,360 @@
+//! The first-order radio model and discrete transmission power levels.
+
+use crate::Energy;
+use std::fmt;
+
+/// Parameters of the first-order radio energy model (Heinzelman et al. 2002):
+///
+/// ```text
+/// e_tx(d) = α + β·d^γ      e_rx = α
+/// ```
+///
+/// where `α` is the transceiver-circuitry energy per bit, `β` the amplifier
+/// energy coefficient, and `γ ∈ [2, 4]` the channel loss exponent.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_energy::RadioParams;
+///
+/// let radio = RadioParams::icdcs2010();
+/// // 50 nJ circuitry + 0.0013 pJ/bit/m^4 * 75^4 ≈ 91.13 nJ per bit at 75 m.
+/// let e = radio.tx_energy(75.0);
+/// assert!((e.as_njoules() - 91.13).abs() < 0.01);
+/// assert_eq!(radio.rx_energy().as_njoules(), 50.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioParams {
+    alpha: Energy,
+    beta_nj_per_m_gamma: f64,
+    gamma: f64,
+}
+
+impl RadioParams {
+    /// Creates a radio model from `α` (per-bit circuitry energy), `β` in
+    /// **picojoules** per bit per m^γ (the unit the literature quotes it
+    /// in), and the loss exponent `γ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` or `beta_pj` is negative or non-finite, or if
+    /// `gamma` lies outside `[1.0, 6.0]` (the physically plausible window;
+    /// the paper uses values in `[2, 4]`).
+    #[must_use]
+    pub fn new(alpha: Energy, beta_pj: f64, gamma: f64) -> Self {
+        assert!(
+            alpha >= Energy::ZERO && alpha.is_finite(),
+            "alpha must be a finite non-negative energy"
+        );
+        assert!(
+            beta_pj >= 0.0 && beta_pj.is_finite(),
+            "beta must be finite and non-negative, got {beta_pj}"
+        );
+        assert!(
+            (1.0..=6.0).contains(&gamma),
+            "gamma must lie in [1, 6], got {gamma}"
+        );
+        RadioParams {
+            alpha,
+            beta_nj_per_m_gamma: beta_pj * 1e-3, // pJ -> nJ
+            gamma,
+        }
+    }
+
+    /// The exact parameter set of the ICDCS 2010 evaluation:
+    /// `α = 50 nJ/bit`, `β = 0.0013 pJ/bit/m⁴`, `γ = 4`.
+    #[must_use]
+    pub fn icdcs2010() -> Self {
+        RadioParams::new(Energy::from_njoules(50.0), 0.0013, 4.0)
+    }
+
+    /// Per-bit energy to transmit over distance `d` meters: `α + β·d^γ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is negative or non-finite.
+    #[must_use]
+    pub fn tx_energy(&self, d: f64) -> Energy {
+        assert!(
+            d >= 0.0 && d.is_finite(),
+            "transmission distance must be finite and non-negative, got {d}"
+        );
+        self.alpha + Energy::from_njoules(self.beta_nj_per_m_gamma * d.powf(self.gamma))
+    }
+
+    /// Per-bit energy to receive: `α`.
+    #[must_use]
+    pub fn rx_energy(&self) -> Energy {
+        self.alpha
+    }
+
+    /// The circuitry constant `α`.
+    #[must_use]
+    pub fn alpha(&self) -> Energy {
+        self.alpha
+    }
+
+    /// The amplifier coefficient `β`, in picojoules per bit per m^γ.
+    #[must_use]
+    pub fn beta_pj(&self) -> f64 {
+        self.beta_nj_per_m_gamma * 1e3
+    }
+
+    /// The loss exponent `γ`.
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+impl Default for RadioParams {
+    /// The ICDCS 2010 parameter set ([`RadioParams::icdcs2010`]).
+    fn default() -> Self {
+        RadioParams::icdcs2010()
+    }
+}
+
+impl fmt::Display for RadioParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "radio(alpha={}, beta={}pJ/bit/m^{}, gamma={})",
+            self.alpha,
+            self.beta_pj(),
+            self.gamma,
+            self.gamma
+        )
+    }
+}
+
+/// Index of a transmission power level, `0` being the weakest.
+pub type LevelIdx = usize;
+
+/// The discrete transmission power levels `l_1 … l_k` available to every
+/// node, identified by their ranges `d_1 < d_2 < … < d_k` in meters.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_energy::TxLevels;
+///
+/// let levels = TxLevels::evenly_spaced(3, 25.0);
+/// assert_eq!(levels.ranges(), &[25.0, 50.0, 75.0]);
+/// assert_eq!(levels.max_range(), 75.0);
+/// assert_eq!(levels.level_for_distance(50.0), Some(1));
+/// assert_eq!(levels.level_for_distance(50.1), Some(2));
+/// assert_eq!(levels.level_for_distance(80.0), None);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxLevels {
+    ranges: Vec<f64>,
+}
+
+impl TxLevels {
+    /// Creates a level set from strictly increasing positive ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranges` is empty, contains a non-finite or non-positive
+    /// value, or is not strictly increasing.
+    #[must_use]
+    pub fn new(ranges: Vec<f64>) -> Self {
+        assert!(!ranges.is_empty(), "at least one transmission level required");
+        assert!(
+            ranges.iter().all(|d| d.is_finite() && *d > 0.0),
+            "all ranges must be finite and positive"
+        );
+        assert!(
+            ranges.windows(2).all(|w| w[0] < w[1]),
+            "ranges must be strictly increasing"
+        );
+        TxLevels { ranges }
+    }
+
+    /// `k` levels at ranges `step, 2·step, …, k·step` — the scheme the
+    /// paper's "impact of the number of power levels" experiment uses
+    /// (`step = 25 m`).
+    #[must_use]
+    pub fn evenly_spaced(k: usize, step: f64) -> Self {
+        assert!(k > 0, "at least one transmission level required");
+        TxLevels::new((1..=k).map(|i| i as f64 * step).collect())
+    }
+
+    /// The ICDCS 2010 default: ranges `{25, 50, 75}` meters.
+    #[must_use]
+    pub fn icdcs2010() -> Self {
+        TxLevels::evenly_spaced(3, 25.0)
+    }
+
+    /// Number of levels `k`.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The ranges, in increasing order.
+    #[must_use]
+    pub fn ranges(&self) -> &[f64] {
+        &self.ranges
+    }
+
+    /// Range of level `idx` in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.count()`.
+    #[must_use]
+    pub fn range(&self, idx: LevelIdx) -> f64 {
+        self.ranges[idx]
+    }
+
+    /// The maximum communication range `d_max`.
+    #[must_use]
+    pub fn max_range(&self) -> f64 {
+        *self.ranges.last().expect("non-empty by construction")
+    }
+
+    /// The weakest level whose range covers `distance`, or `None` if the
+    /// destination is beyond `d_max` (or the distance is not a finite
+    /// non-negative number).
+    #[must_use]
+    pub fn level_for_distance(&self, distance: f64) -> Option<LevelIdx> {
+        if !distance.is_finite() || distance < 0.0 {
+            return None;
+        }
+        self.ranges.iter().position(|&r| r >= distance)
+    }
+
+    /// Per-bit transmission energy of each level under `radio`, in level
+    /// order. A node transmitting at level `i` always pays for the full
+    /// range `d_i` regardless of the receiver's actual distance.
+    #[must_use]
+    pub fn energies(&self, radio: &RadioParams) -> Vec<Energy> {
+        self.ranges.iter().map(|&d| radio.tx_energy(d)).collect()
+    }
+}
+
+impl Default for TxLevels {
+    /// The ICDCS 2010 level set ([`TxLevels::icdcs2010`]).
+    fn default() -> Self {
+        TxLevels::icdcs2010()
+    }
+}
+
+impl fmt::Display for TxLevels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "levels[")?;
+        for (i, r) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r:.0}m")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icdcs_parameters() {
+        let r = RadioParams::icdcs2010();
+        assert_eq!(r.alpha().as_njoules(), 50.0);
+        assert!((r.beta_pj() - 0.0013).abs() < 1e-12);
+        assert_eq!(r.gamma(), 4.0);
+    }
+
+    #[test]
+    fn tx_energy_at_paper_ranges() {
+        // Hand-computed: e(d) = 50 + 0.0013e-3 * d^4 nJ.
+        let r = RadioParams::icdcs2010();
+        assert!((r.tx_energy(25.0).as_njoules() - 50.5078125).abs() < 1e-9);
+        assert!((r.tx_energy(50.0).as_njoules() - 58.125).abs() < 1e-9);
+        assert!((r.tx_energy(75.0).as_njoules() - 91.1328125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tx_energy_zero_distance_is_alpha() {
+        let r = RadioParams::icdcs2010();
+        assert_eq!(r.tx_energy(0.0), r.alpha());
+    }
+
+    #[test]
+    fn tx_energy_monotone_in_distance() {
+        let r = RadioParams::icdcs2010();
+        let mut last = Energy::ZERO;
+        for d in [0.0, 10.0, 25.0, 60.0, 150.0, 400.0] {
+            let e = r.tx_energy(d);
+            assert!(e >= last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn rx_is_alpha() {
+        let r = RadioParams::new(Energy::from_njoules(42.0), 0.1, 2.0);
+        assert_eq!(r.rx_energy().as_njoules(), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn gamma_out_of_range_rejected() {
+        let _ = RadioParams::new(Energy::from_njoules(50.0), 0.0013, 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance")]
+    fn negative_distance_rejected() {
+        let _ = RadioParams::icdcs2010().tx_energy(-1.0);
+    }
+
+    #[test]
+    fn evenly_spaced_levels() {
+        let l = TxLevels::evenly_spaced(6, 25.0);
+        assert_eq!(l.count(), 6);
+        assert_eq!(l.ranges(), &[25.0, 50.0, 75.0, 100.0, 125.0, 150.0]);
+        assert_eq!(l.max_range(), 150.0);
+    }
+
+    #[test]
+    fn level_selection_boundaries() {
+        let l = TxLevels::icdcs2010();
+        assert_eq!(l.level_for_distance(0.0), Some(0));
+        assert_eq!(l.level_for_distance(25.0), Some(0));
+        assert_eq!(l.level_for_distance(25.000001), Some(1));
+        assert_eq!(l.level_for_distance(75.0), Some(2));
+        assert_eq!(l.level_for_distance(75.000001), None);
+        assert_eq!(l.level_for_distance(f64::NAN), None);
+        assert_eq!(l.level_for_distance(-3.0), None);
+    }
+
+    #[test]
+    fn level_energies_match_radio() {
+        let l = TxLevels::icdcs2010();
+        let r = RadioParams::icdcs2010();
+        let es = l.energies(&r);
+        assert_eq!(es.len(), 3);
+        assert_eq!(es[2], r.tx_energy(75.0));
+        assert!(es[0] < es[1] && es[1] < es[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_increasing_ranges_rejected() {
+        let _ = TxLevels::new(vec![25.0, 25.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_ranges_rejected() {
+        let _ = TxLevels::new(vec![]);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(format!("{}", RadioParams::icdcs2010()).contains("alpha"));
+        assert_eq!(format!("{}", TxLevels::icdcs2010()), "levels[25m, 50m, 75m]");
+    }
+}

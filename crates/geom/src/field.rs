@@ -1,0 +1,342 @@
+//! Deployment fields and post layouts.
+
+use crate::Point;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A rectangular deployment field with the base station at a fixed corner.
+///
+/// The ICDCS 2010 evaluation uses square fields (`200 m × 200 m` for the
+/// optimal-solution comparison, `500 m × 500 m` for the large-scale study)
+/// with the base station at the lower-left corner and posts drawn uniformly
+/// at random. [`Field::random_posts`] reproduces that; the structured
+/// [`Layout`]s support the domain examples (bridges, factory floors).
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_geom::{Field, Layout};
+///
+/// let field = Field::new(200.0, 100.0);
+/// let posts = field.layout_posts(Layout::Grid { cols: 10, rows: 5 });
+/// assert_eq!(posts.len(), 50);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Field {
+    width: f64,
+    height: f64,
+}
+
+impl Field {
+    /// Creates a `width × height` meter field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not strictly positive and finite.
+    #[must_use]
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0 && width.is_finite() && height.is_finite(),
+            "field dimensions must be positive and finite, got {width}x{height}"
+        );
+        Field { width, height }
+    }
+
+    /// Creates a square field with the given side length in meters.
+    #[must_use]
+    pub fn square(side: f64) -> Self {
+        Field::new(side, side)
+    }
+
+    /// Field width in meters.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Field height in meters.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// The base-station location: the lower-left corner, as in the paper.
+    #[must_use]
+    pub fn base_station(&self) -> Point {
+        Point::ORIGIN
+    }
+
+    /// Length of the field diagonal — the maximum possible post-to-base
+    /// distance, useful for bounding hop counts.
+    #[must_use]
+    pub fn diagonal(&self) -> f64 {
+        Point::ORIGIN.distance(Point::new(self.width, self.height))
+    }
+
+    /// Returns `true` if `p` lies inside the field (inclusive of borders).
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+
+    /// Draws `n` post locations uniformly at random, deterministically from
+    /// `seed`. The same `(n, seed)` pair always yields the same posts, which
+    /// keeps every experiment in the workspace reproducible.
+    ///
+    /// ```
+    /// use wrsn_geom::Field;
+    /// let f = Field::square(100.0);
+    /// assert_eq!(f.random_posts(10, 7), f.random_posts(10, 7));
+    /// assert_ne!(f.random_posts(10, 7), f.random_posts(10, 8));
+    /// ```
+    #[must_use]
+    pub fn random_posts(&self, n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point::new(
+                    rng.random_range(0.0..=self.width),
+                    rng.random_range(0.0..=self.height),
+                )
+            })
+            .collect()
+    }
+
+    /// Draws `n` post locations uniformly at random while rejecting any
+    /// candidate closer than `min_separation` meters to an already placed
+    /// post (simple dart-throwing blue-noise sampling). Returns `None` if a
+    /// non-colliding sample cannot be found within a generous retry budget,
+    /// which indicates the requested density is infeasible.
+    #[must_use]
+    pub fn random_posts_separated(
+        &self,
+        n: usize,
+        min_separation: f64,
+        seed: u64,
+    ) -> Option<Vec<Point>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut posts: Vec<Point> = Vec::with_capacity(n);
+        let budget = 1000usize.saturating_mul(n.max(1));
+        let mut attempts = 0usize;
+        while posts.len() < n {
+            attempts += 1;
+            if attempts > budget {
+                return None;
+            }
+            let cand = Point::new(
+                rng.random_range(0.0..=self.width),
+                rng.random_range(0.0..=self.height),
+            );
+            if posts.iter().all(|p| p.distance(cand) >= min_separation) {
+                posts.push(cand);
+            }
+        }
+        Some(posts)
+    }
+
+    /// Generates post locations for a structured [`Layout`].
+    ///
+    /// All generated posts are clamped to lie inside the field.
+    #[must_use]
+    pub fn layout_posts(&self, layout: Layout) -> Vec<Point> {
+        let posts = match layout {
+            Layout::Grid { cols, rows } => self.grid(cols, rows),
+            Layout::Line { n } => self.line(n),
+            Layout::Clusters {
+                centers,
+                per_cluster,
+                radius,
+                seed,
+            } => self.clusters(centers, per_cluster, radius, seed),
+        };
+        posts
+            .into_iter()
+            .map(|p| {
+                Point::new(
+                    p.x.clamp(0.0, self.width),
+                    p.y.clamp(0.0, self.height),
+                )
+            })
+            .collect()
+    }
+
+    fn grid(&self, cols: usize, rows: usize) -> Vec<Point> {
+        let mut out = Vec::with_capacity(cols * rows);
+        for r in 0..rows {
+            for c in 0..cols {
+                // Cell centers, so posts stay off the borders.
+                let x = (c as f64 + 0.5) * self.width / cols as f64;
+                let y = (r as f64 + 0.5) * self.height / rows as f64;
+                out.push(Point::new(x, y));
+            }
+        }
+        out
+    }
+
+    fn line(&self, n: usize) -> Vec<Point> {
+        let y = self.height / 2.0;
+        (0..n)
+            .map(|i| {
+                let t = (i as f64 + 1.0) / (n as f64 + 1.0);
+                Point::new(t * self.width, y)
+            })
+            .collect()
+    }
+
+    fn clusters(&self, centers: usize, per_cluster: usize, radius: f64, seed: u64) -> Vec<Point> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(centers * per_cluster);
+        for _ in 0..centers {
+            let center = Point::new(
+                rng.random_range(0.0..=self.width),
+                rng.random_range(0.0..=self.height),
+            );
+            for _ in 0..per_cluster {
+                let angle = rng.random_range(0.0..std::f64::consts::TAU);
+                let r = radius * rng.random::<f64>().sqrt();
+                out.push(center + Point::new(r * angle.cos(), r * angle.sin()));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}m x {:.0}m field", self.width, self.height)
+    }
+}
+
+/// Structured post layouts for the domain examples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Layout {
+    /// `cols × rows` posts at grid-cell centers (factory floors).
+    Grid {
+        /// Number of columns.
+        cols: usize,
+        /// Number of rows.
+        rows: usize,
+    },
+    /// `n` posts evenly spaced along the horizontal midline (bridge decks,
+    /// pipelines).
+    Line {
+        /// Number of posts.
+        n: usize,
+    },
+    /// Randomly placed cluster centers with posts scattered uniformly in a
+    /// disc around each (environmental hot-spot monitoring).
+    Clusters {
+        /// Number of cluster centers.
+        centers: usize,
+        /// Posts per cluster.
+        per_cluster: usize,
+        /// Cluster disc radius in meters.
+        radius: f64,
+        /// RNG seed for center and offset placement.
+        seed: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_field_dimensions() {
+        let f = Field::square(500.0);
+        assert_eq!(f.width(), 500.0);
+        assert_eq!(f.height(), 500.0);
+        assert!((f.diagonal() - 500.0 * 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        let _ = Field::new(0.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nan_dimension_rejected() {
+        let _ = Field::new(f64::NAN, 10.0);
+    }
+
+    #[test]
+    fn base_station_at_corner() {
+        assert_eq!(Field::square(200.0).base_station(), Point::ORIGIN);
+    }
+
+    #[test]
+    fn random_posts_inside_field_and_deterministic() {
+        let f = Field::new(300.0, 120.0);
+        let a = f.random_posts(250, 99);
+        assert_eq!(a.len(), 250);
+        assert!(a.iter().all(|p| f.contains(*p)));
+        assert_eq!(a, f.random_posts(250, 99));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let f = Field::square(100.0);
+        assert_ne!(f.random_posts(20, 1), f.random_posts(20, 2));
+    }
+
+    #[test]
+    fn separated_posts_respect_min_distance() {
+        let f = Field::square(100.0);
+        let posts = f.random_posts_separated(30, 5.0, 3).expect("feasible");
+        for i in 0..posts.len() {
+            for j in 0..i {
+                assert!(posts[i].distance(posts[j]) >= 5.0);
+            }
+        }
+    }
+
+    #[test]
+    fn separated_posts_infeasible_returns_none() {
+        // 1000 posts at >= 50 m pairwise separation cannot fit in 100x100.
+        let f = Field::square(100.0);
+        assert!(f.random_posts_separated(1000, 50.0, 3).is_none());
+    }
+
+    #[test]
+    fn grid_layout_counts_and_bounds() {
+        let f = Field::new(100.0, 50.0);
+        let posts = f.layout_posts(Layout::Grid { cols: 4, rows: 3 });
+        assert_eq!(posts.len(), 12);
+        assert!(posts.iter().all(|p| f.contains(*p)));
+        // First cell center.
+        assert_eq!(posts[0], Point::new(12.5, 50.0 / 6.0));
+    }
+
+    #[test]
+    fn line_layout_is_evenly_spaced() {
+        let f = Field::new(100.0, 10.0);
+        let posts = f.layout_posts(Layout::Line { n: 4 });
+        assert_eq!(posts.len(), 4);
+        let gap = posts[1].x - posts[0].x;
+        for w in posts.windows(2) {
+            assert!((w[1].x - w[0].x - gap).abs() < 1e-9);
+            assert_eq!(w[0].y, 5.0);
+        }
+    }
+
+    #[test]
+    fn cluster_layout_counts() {
+        let f = Field::square(200.0);
+        let posts = f.layout_posts(Layout::Clusters {
+            centers: 5,
+            per_cluster: 8,
+            radius: 10.0,
+            seed: 11,
+        });
+        assert_eq!(posts.len(), 40);
+        assert!(posts.iter().all(|p| f.contains(*p)));
+    }
+
+    #[test]
+    fn display_mentions_dimensions() {
+        assert_eq!(format!("{}", Field::square(500.0)), "500m x 500m field");
+    }
+}

@@ -1,0 +1,291 @@
+//! Uniform-grid spatial index over a fixed point set.
+
+use crate::Point;
+
+/// A uniform-grid spatial index for radius and nearest-neighbor queries
+/// over a fixed set of points.
+///
+/// Building the post connectivity graph requires, for every post, all other
+/// posts within the maximum transmission range `d_max`. A naive all-pairs
+/// scan is `O(N²)`; the grid index with cell size `d_max` answers each
+/// radius query by inspecting only the 3×3 neighborhood of cells, which
+/// keeps graph construction near-linear for the large-scale experiments.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_geom::{GridIndex, Point};
+///
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0), Point::new(50.0, 50.0)];
+/// let idx = GridIndex::new(&pts, 10.0);
+/// let mut near = idx.within(Point::new(0.0, 0.0), 6.0);
+/// near.sort_unstable();
+/// assert_eq!(near, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    points: Vec<Point>,
+    cell_size: f64,
+    cols: usize,
+    rows: usize,
+    min: Point,
+    /// `cells[r * cols + c]` holds indices of points in that cell.
+    cells: Vec<Vec<u32>>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points` with the given `cell_size` (meters).
+    ///
+    /// A good `cell_size` is the query radius you will use most often.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite, or if any
+    /// point has a non-finite coordinate.
+    #[must_use]
+    pub fn new(points: &[Point], cell_size: f64) -> Self {
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell_size must be positive and finite, got {cell_size}"
+        );
+        assert!(
+            points.iter().all(|p| p.is_finite()),
+            "all indexed points must be finite"
+        );
+        let (min, max) = bounding_box(points);
+        let cols = ((max.x - min.x) / cell_size).floor() as usize + 1;
+        let rows = ((max.y - min.y) / cell_size).floor() as usize + 1;
+        let mut cells = vec![Vec::new(); cols * rows];
+        let idx = GridIndex {
+            points: points.to_vec(),
+            cell_size,
+            cols,
+            rows,
+            min,
+            cells: Vec::new(),
+        };
+        for (i, p) in points.iter().enumerate() {
+            let (c, r) = idx.cell_of(*p);
+            cells[r * cols + c].push(i as u32);
+        }
+        GridIndex { cells, ..idx }
+    }
+
+    /// Number of indexed points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the index contains no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Indices of all points within `radius` meters of `center`
+    /// (inclusive). Order is unspecified.
+    #[must_use]
+    pub fn within(&self, center: Point, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        if self.points.is_empty() || !radius.is_finite() || radius < 0.0 {
+            return out;
+        }
+        let r2 = radius * radius;
+        let reach = (radius / self.cell_size).ceil() as isize;
+        let (cc, cr) = self.cell_of_clamped(center);
+        for dr in -reach..=reach {
+            for dc in -reach..=reach {
+                let c = cc as isize + dc;
+                let r = cr as isize + dr;
+                if c < 0 || r < 0 || c as usize >= self.cols || r as usize >= self.rows {
+                    continue;
+                }
+                for &i in &self.cells[r as usize * self.cols + c as usize] {
+                    if self.points[i as usize].distance_squared(center) <= r2 {
+                        out.push(i as usize);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Index of the point nearest to `center`, or `None` if the index is
+    /// empty. Ties resolve to the lowest index.
+    #[must_use]
+    pub fn nearest(&self, center: Point) -> Option<usize> {
+        // Expanding-ring search: correct because once a candidate is found
+        // at ring k, no point beyond ring k+1 can be closer.
+        if self.points.is_empty() {
+            return None;
+        }
+        let max_ring = self.cols.max(self.rows) as isize;
+        let (cc, cr) = self.cell_of_clamped(center);
+        let mut best: Option<(f64, usize)> = None;
+        for ring in 0..=max_ring {
+            for dr in -ring..=ring {
+                for dc in -ring..=ring {
+                    if dr.abs() != ring && dc.abs() != ring {
+                        continue; // interior already scanned
+                    }
+                    let c = cc as isize + dc;
+                    let r = cr as isize + dr;
+                    if c < 0 || r < 0 || c as usize >= self.cols || r as usize >= self.rows {
+                        continue;
+                    }
+                    for &i in &self.cells[r as usize * self.cols + c as usize] {
+                        let d2 = self.points[i as usize].distance_squared(center);
+                        let better = match best {
+                            None => true,
+                            Some((bd2, bi)) => {
+                                d2 < bd2 || (d2 == bd2 && (i as usize) < bi)
+                            }
+                        };
+                        if better {
+                            best = Some((d2, i as usize));
+                        }
+                    }
+                }
+            }
+            if let Some((bd2, _)) = best {
+                // Safe stopping ring: everything within distance sqrt(bd2)
+                // lies within ceil(sqrt(bd2)/cell) rings of the center cell.
+                let safe = (bd2.sqrt() / self.cell_size).ceil() as isize;
+                if ring >= safe {
+                    break;
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let c = ((p.x - self.min.x) / self.cell_size).floor() as usize;
+        let r = ((p.y - self.min.y) / self.cell_size).floor() as usize;
+        (c.min(self.cols - 1), r.min(self.rows - 1))
+    }
+
+    fn cell_of_clamped(&self, p: Point) -> (usize, usize) {
+        let c = ((p.x - self.min.x) / self.cell_size).floor().max(0.0) as usize;
+        let r = ((p.y - self.min.y) / self.cell_size).floor().max(0.0) as usize;
+        (c.min(self.cols - 1), r.min(self.rows - 1))
+    }
+}
+
+fn bounding_box(points: &[Point]) -> (Point, Point) {
+    let mut min = Point::new(0.0, 0.0);
+    let mut max = Point::new(0.0, 0.0);
+    if let Some(first) = points.first() {
+        min = *first;
+        max = *first;
+        for p in points {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+    }
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Field;
+
+    fn brute_within(pts: &[Point], center: Point, radius: f64) -> Vec<usize> {
+        let r2 = radius * radius;
+        (0..pts.len())
+            .filter(|&i| pts[i].distance_squared(center) <= r2)
+            .collect()
+    }
+
+    #[test]
+    fn within_matches_brute_force() {
+        let f = Field::square(500.0);
+        let pts = f.random_posts(300, 17);
+        let idx = GridIndex::new(&pts, 75.0);
+        for (qi, q) in pts.iter().step_by(13).enumerate() {
+            let radius = 10.0 + (qi as f64) * 17.0 % 120.0;
+            let mut got = idx.within(*q, radius);
+            got.sort_unstable();
+            assert_eq!(got, brute_within(&pts, *q, radius));
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let f = Field::square(300.0);
+        let pts = f.random_posts(150, 5);
+        let idx = GridIndex::new(&pts, 40.0);
+        let queries = f.random_posts(60, 6);
+        for q in queries {
+            let got = idx.nearest(q).unwrap();
+            let want = (0..pts.len())
+                .min_by(|&a, &b| {
+                    pts[a]
+                        .distance_squared(q)
+                        .partial_cmp(&pts[b].distance_squared(q))
+                        .unwrap()
+                })
+                .unwrap();
+            assert_eq!(
+                pts[got].distance_squared(q),
+                pts[want].distance_squared(q),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = GridIndex::new(&[], 10.0);
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+        assert!(idx.within(Point::ORIGIN, 100.0).is_empty());
+        assert_eq!(idx.nearest(Point::ORIGIN), None);
+    }
+
+    #[test]
+    fn single_point() {
+        let idx = GridIndex::new(&[Point::new(5.0, 5.0)], 1.0);
+        assert_eq!(idx.nearest(Point::new(100.0, 100.0)), Some(0));
+        assert_eq!(idx.within(Point::new(5.0, 5.0), 0.0), vec![0]);
+    }
+
+    #[test]
+    fn radius_zero_includes_exact_hits_only() {
+        let pts = vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
+        let idx = GridIndex::new(&pts, 5.0);
+        assert_eq!(idx.within(Point::new(1.0, 1.0), 0.0), vec![0]);
+    }
+
+    #[test]
+    fn query_outside_bounding_box() {
+        let pts = vec![Point::new(10.0, 10.0), Point::new(12.0, 10.0)];
+        let idx = GridIndex::new(&pts, 3.0);
+        assert_eq!(idx.nearest(Point::new(-50.0, -50.0)), Some(0));
+        let mut hits = idx.within(Point::new(-50.0, -50.0), 200.0);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_size")]
+    fn invalid_cell_size_rejected() {
+        let _ = GridIndex::new(&[Point::ORIGIN], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_point_rejected() {
+        let _ = GridIndex::new(&[Point::new(f64::NAN, 0.0)], 1.0);
+    }
+
+    #[test]
+    fn negative_radius_yields_empty() {
+        let idx = GridIndex::new(&[Point::ORIGIN], 1.0);
+        assert!(idx.within(Point::ORIGIN, -1.0).is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # wrsn-geom — planar geometry for sensor-field modeling
+//!
+//! This crate provides the geometric substrate for the `wrsn` workspace:
+//! points in the plane, deployment-field descriptions, deterministic random
+//! post placement, and a uniform-grid spatial index for neighbor queries.
+//!
+//! The ICDCS 2010 evaluation deploys posts uniformly at random inside a
+//! square field with the base station at the lower-left corner; [`Field`]
+//! reproduces that setup, and a handful of structured layouts (grid, line,
+//! clusters) back the domain examples.
+//!
+//! # Examples
+//!
+//! ```
+//! use wrsn_geom::{Field, Point};
+//!
+//! let field = Field::square(500.0);
+//! let posts = field.random_posts(100, 42);
+//! assert_eq!(posts.len(), 100);
+//! assert!(posts.iter().all(|p| field.contains(*p)));
+//! assert_eq!(field.base_station(), Point::new(0.0, 0.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+mod grid;
+mod point;
+
+pub use field::{Field, Layout};
+pub use grid::GridIndex;
+pub use point::Point;

@@ -1,0 +1,214 @@
+//! Points in the Euclidean plane.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point (or displacement vector) in the two-dimensional plane, in meters.
+///
+/// `Point` is a plain value type: `Copy`, cheap, and with the full set of
+/// comparison and hashing traits needed to use it as a map key in layout
+/// code. Coordinates are `f64`; equality is exact bitwise `f64` equality,
+/// which is appropriate because posts are only ever compared against
+/// coordinates they were constructed from.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_geom::Point;
+///
+/// let a = Point::new(3.0, 0.0);
+/// let b = Point::new(0.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// assert_eq!(a + b, Point::new(3.0, 4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate in meters.
+    pub x: f64,
+    /// Vertical coordinate in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates (meters).
+    ///
+    /// ```
+    /// let p = wrsn_geom::Point::new(1.5, -2.0);
+    /// assert_eq!(p.x, 1.5);
+    /// ```
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    ///
+    /// ```
+    /// use wrsn_geom::Point;
+    /// let d = Point::new(1.0, 1.0).distance(Point::new(4.0, 5.0));
+    /// assert_eq!(d, 5.0);
+    /// ```
+    #[must_use]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when
+    /// only comparisons are needed, e.g. in the spatial index).
+    #[must_use]
+    pub fn distance_squared(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean norm of this point viewed as a vector from the origin.
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        self.distance(Point::ORIGIN)
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[must_use]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Linear interpolation: returns `self` when `t == 0.0` and `other`
+    /// when `t == 1.0`. `t` outside `[0, 1]` extrapolates.
+    #[must_use]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Returns `true` if every coordinate is finite (not NaN or infinite).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 7.5);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Point::new(12.25, -0.5);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn pythagorean_triple() {
+        assert_eq!(Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn squared_distance_matches_distance() {
+        let a = Point::new(2.0, 3.0);
+        let b = Point::new(5.0, -1.0);
+        let d = a.distance(b);
+        assert!((a.distance_squared(b) - d * d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(0.5, -3.0);
+        assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        assert_eq!(Point::new(1.0, -2.0) * 3.0, Point::new(3.0, -6.0));
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let m = Point::new(0.0, 0.0).midpoint(Point::new(10.0, 4.0));
+        assert_eq!(m, Point::new(5.0, 2.0));
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(9.0, -7.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), a.midpoint(b));
+    }
+
+    #[test]
+    fn tuple_conversions() {
+        let p: Point = (2.0, 4.0).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (2.0, 4.0));
+    }
+
+    #[test]
+    fn non_finite_detected() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Point::ORIGIN).is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the geometry substrate.
+
+use proptest::prelude::*;
+use wrsn_geom::{Field, GridIndex, Point};
+
+fn arb_points() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0.0f64..500.0, 0.0f64..500.0), 0..120)
+        .prop_map(|pts| pts.into_iter().map(Point::from).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The triangle inequality holds for the distance metric.
+    #[test]
+    fn triangle_inequality(
+        a in (0.0f64..1e3, 0.0f64..1e3),
+        b in (0.0f64..1e3, 0.0f64..1e3),
+        c in (0.0f64..1e3, 0.0f64..1e3),
+    ) {
+        let (a, b, c) = (Point::from(a), Point::from(b), Point::from(c));
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-12);
+    }
+
+    /// Radius queries on the grid index exactly match brute force, for
+    /// arbitrary point sets, query centers, radii, and cell sizes.
+    #[test]
+    fn grid_within_matches_bruteforce(
+        pts in arb_points(),
+        q in (0.0f64..500.0, 0.0f64..500.0),
+        radius in 0.0f64..300.0,
+        cell in 1.0f64..150.0,
+    ) {
+        let q = Point::from(q);
+        let idx = GridIndex::new(&pts, cell);
+        let mut got = idx.within(q, radius);
+        got.sort_unstable();
+        let want: Vec<usize> = (0..pts.len())
+            .filter(|&i| pts[i].distance(q) <= radius)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Nearest-neighbor queries return a point at the true minimum
+    /// distance.
+    #[test]
+    fn grid_nearest_matches_bruteforce(
+        pts in arb_points(),
+        q in (-100.0f64..600.0, -100.0f64..600.0),
+        cell in 1.0f64..150.0,
+    ) {
+        let q = Point::from(q);
+        let idx = GridIndex::new(&pts, cell);
+        match idx.nearest(q) {
+            None => prop_assert!(pts.is_empty()),
+            Some(i) => {
+                let best = pts
+                    .iter()
+                    .map(|p| p.distance(q))
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!((pts[i].distance(q) - best).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Random posts always land inside the field and are seed-stable.
+    #[test]
+    fn random_posts_in_bounds(
+        w in 10.0f64..800.0,
+        h in 10.0f64..800.0,
+        n in 0usize..200,
+        seed in any::<u64>(),
+    ) {
+        let f = Field::new(w, h);
+        let posts = f.random_posts(n, seed);
+        prop_assert_eq!(posts.len(), n);
+        prop_assert!(posts.iter().all(|p| f.contains(*p)));
+        prop_assert_eq!(posts, f.random_posts(n, seed));
+    }
+
+    /// Separated sampling honors the pairwise minimum when it succeeds.
+    #[test]
+    fn separated_posts_honor_min_distance(
+        n in 1usize..25,
+        sep in 1.0f64..30.0,
+        seed in any::<u64>(),
+    ) {
+        let f = Field::square(400.0);
+        if let Some(posts) = f.random_posts_separated(n, sep, seed) {
+            prop_assert_eq!(posts.len(), n);
+            for i in 0..posts.len() {
+                for j in 0..i {
+                    prop_assert!(posts[i].distance(posts[j]) >= sep);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Bellman–Ford reference shortest paths.
+//!
+//! Deliberately simple `O(V·E)` implementation used by the property-test
+//! suite as an independent oracle for [`dijkstra`](crate::dijkstra).
+
+use crate::{Digraph, NodeId};
+
+/// Single-source shortest-path distances by Bellman–Ford relaxation.
+///
+/// Returns one distance per node; unreachable nodes hold `f64::INFINITY`.
+/// Because [`Digraph`] only admits non-negative weights, negative cycles
+/// cannot occur and the result is always well defined.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_graph::{bellman_ford, dijkstra, Digraph};
+///
+/// let mut g = Digraph::new(3);
+/// g.add_edge(0, 1, 4.0);
+/// g.add_edge(0, 2, 1.0);
+/// g.add_edge(2, 1, 2.0);
+/// assert_eq!(bellman_ford(&g, 0), dijkstra(&g, 0).distances());
+/// ```
+#[must_use]
+pub fn bellman_ford(g: &Digraph, source: NodeId) -> Vec<f64> {
+    let n = g.node_count();
+    assert!(source < n, "source {source} out of bounds for {n} nodes");
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source] = 0.0;
+    for _ in 0..n.saturating_sub(1) {
+        let mut changed = false;
+        for (u, v, w) in g.edges() {
+            if dist[u].is_finite() && dist[u] + w < dist[v] {
+                dist[v] = dist[u] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra;
+
+    #[test]
+    fn matches_dijkstra_on_small_graph() {
+        let mut g = Digraph::new(5);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(0, 2, 5.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 4, 1.0);
+        g.add_edge(1, 4, 10.0);
+        assert_eq!(bellman_ford(&g, 0), dijkstra(&g, 0).distances());
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = Digraph::new(2);
+        let d = bellman_ford(&g, 0);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[1], f64::INFINITY);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        assert_eq!(bellman_ford(&Digraph::new(1), 0), vec![0.0]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Compact weighted digraph.
+
+use crate::NodeId;
+use std::fmt;
+
+/// A weighted directed graph over dense node ids `0..node_count`, stored as
+/// per-node out-edge adjacency lists.
+///
+/// Edge weights must be finite and non-negative (they represent per-bit
+/// energies), which keeps every shortest-path routine in this crate valid.
+/// Parallel edges are allowed (the cheaper one simply wins during search);
+/// self-loops are rejected because they can never appear on a shortest path
+/// with positive weights and only mask modeling bugs.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_graph::Digraph;
+///
+/// let mut g = Digraph::new(3);
+/// g.add_edge(0, 1, 2.5);
+/// g.add_edge(1, 2, 1.0);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.out(1), &[(2, 1.0)]);
+/// let r = g.reversed();
+/// assert_eq!(r.out(2), &[(1, 1.0)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Digraph {
+    adj: Vec<Vec<(NodeId, f64)>>,
+    edge_count: usize,
+}
+
+impl Digraph {
+    /// Creates a graph with `n` nodes and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Digraph {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of directed edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds the directed edge `u -> v` with weight `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of bounds, if `u == v`, or if `w`
+    /// is negative or non-finite.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) {
+        let n = self.node_count();
+        assert!(u < n && v < n, "edge ({u}, {v}) out of bounds for {n} nodes");
+        assert!(u != v, "self-loop on node {u} rejected");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "edge weight must be finite and non-negative, got {w}"
+        );
+        self.adj[u].push((v, w));
+        self.edge_count += 1;
+    }
+
+    /// The out-edges of `u` as `(target, weight)` pairs, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds.
+    #[must_use]
+    pub fn out(&self, u: NodeId) -> &[(NodeId, f64)] {
+        &self.adj[u]
+    }
+
+    /// Iterates over all edges as `(u, v, w)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, es)| es.iter().map(move |&(v, w)| (u, v, w)))
+    }
+
+    /// Returns the graph with every edge direction flipped.
+    #[must_use]
+    pub fn reversed(&self) -> Digraph {
+        let mut r = Digraph::new(self.node_count());
+        for (u, v, w) in self.edges() {
+            r.add_edge(v, u, w);
+        }
+        r
+    }
+
+    /// Returns `true` if every node can reach `target` along directed
+    /// edges. Routing instances require this of the base station.
+    #[must_use]
+    pub fn all_reach(&self, target: NodeId) -> bool {
+        assert!(target < self.node_count(), "target out of bounds");
+        // BFS on the reversed adjacency.
+        let mut seen = vec![false; self.node_count()];
+        let rev = self.reversed();
+        let mut stack = vec![target];
+        seen[target] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &(v, _) in rev.out(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == self.node_count()
+    }
+}
+
+impl fmt::Display for Digraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "digraph({} nodes, {} edges)",
+            self.node_count(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Digraph::new(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn add_and_enumerate_edges() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 2, 2.0);
+        g.add_edge(2, 1, 3.0);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1, 1.0), (0, 2, 2.0), (2, 1, 3.0)]);
+    }
+
+    #[test]
+    fn reversal_flips_all_edges() {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(3, 0, 0.5);
+        let r = g.reversed();
+        assert_eq!(r.edge_count(), 3);
+        assert_eq!(r.out(1), &[(0, 1.0)]);
+        assert_eq!(r.out(2), &[(1, 2.0)]);
+        assert_eq!(r.out(0), &[(3, 0.5)]);
+        assert_eq!(r.reversed().edges().count(), g.edges().count());
+    }
+
+    #[test]
+    fn parallel_edges_allowed() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 5.0);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out(0).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        Digraph::new(2).add_edge(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_rejected() {
+        Digraph::new(2).add_edge(0, 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn negative_weight_rejected() {
+        Digraph::new(2).add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn nan_weight_rejected() {
+        Digraph::new(2).add_edge(0, 1, f64::NAN);
+    }
+
+    #[test]
+    fn all_reach_detects_connectivity() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(1, 2, 1.0);
+        assert!(g.all_reach(2));
+        assert!(!g.all_reach(0)); // 1 cannot reach 0
+
+        let lonely = Digraph::new(2);
+        assert!(!lonely.all_reach(0));
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let g = Digraph::new(5);
+        assert_eq!(format!("{g}"), "digraph(5 nodes, 0 edges)");
+    }
+}

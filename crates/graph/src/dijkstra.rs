@@ -1,0 +1,353 @@
+//! Binary-heap Dijkstra, single-source and single-target, plus extraction
+//! of the *tight-edge* subgraph (every edge lying on some shortest path).
+
+use crate::{Digraph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a shortest-path computation: per-node distances and a
+/// shortest-path tree encoded as one `via` edge per reached node.
+///
+/// Produced by [`dijkstra`] (distances *from* a source; `via[v]` is the
+/// predecessor on the path source→v) or [`dijkstra_to`] (distances *to* a
+/// target following edge directions; `via[v]` is the **next hop** from `v`
+/// toward the target — exactly the parent pointer a routing tree needs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortestPaths {
+    /// The source (for [`dijkstra`]) or target (for [`dijkstra_to`]).
+    anchor: NodeId,
+    /// `true` if produced by [`dijkstra_to`].
+    to_target: bool,
+    dist: Vec<f64>,
+    via: Vec<Option<NodeId>>,
+}
+
+impl ShortestPaths {
+    /// The distance of `v` from the source (or to the target), or `None`
+    /// if `v` is unreachable.
+    #[must_use]
+    pub fn distance(&self, v: NodeId) -> Option<f64> {
+        let d = self.dist[v];
+        d.is_finite().then_some(d)
+    }
+
+    /// The raw distance array; unreachable nodes hold `f64::INFINITY`.
+    #[must_use]
+    pub fn distances(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// The tree edge recorded for `v`: its predecessor (source mode) or its
+    /// next hop toward the target (target mode). `None` for the anchor
+    /// itself and for unreachable nodes.
+    #[must_use]
+    pub fn via(&self, v: NodeId) -> Option<NodeId> {
+        self.via[v]
+    }
+
+    /// The node all paths start from ([`dijkstra`]) or lead to
+    /// ([`dijkstra_to`]).
+    #[must_use]
+    pub fn anchor(&self) -> NodeId {
+        self.anchor
+    }
+
+    /// The full path from `v` to the target (target mode, `v` first) or
+    /// from the source to `v` (source mode, source first). `None` if `v`
+    /// is unreachable.
+    #[must_use]
+    pub fn path_from(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        self.distance(v)?;
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(next) = self.via[cur] {
+            path.push(next);
+            cur = next;
+        }
+        debug_assert_eq!(cur, self.anchor);
+        if !self.to_target {
+            path.reverse();
+        }
+        Some(path)
+    }
+}
+
+/// Max-heap entry ordered by *smallest* distance first.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the closest node.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source Dijkstra: distances from `source` to every node along
+/// directed edges.
+///
+/// Runs in `O((V + E) log V)`. Edge weights are guaranteed non-negative by
+/// [`Digraph::add_edge`].
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_graph::{dijkstra, Digraph};
+/// let mut g = Digraph::new(3);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 1.0);
+/// g.add_edge(0, 2, 5.0);
+/// let sp = dijkstra(&g, 0);
+/// assert_eq!(sp.distance(2), Some(2.0));
+/// assert_eq!(sp.path_from(2), Some(vec![0, 1, 2]));
+/// ```
+#[must_use]
+pub fn dijkstra(g: &Digraph, source: NodeId) -> ShortestPaths {
+    run(g, source, false)
+}
+
+/// Single-target Dijkstra: for every node, the cheapest cost of reaching
+/// `target` along directed edges, with `via[v]` the next hop from `v`.
+///
+/// This is the primitive the deployment/routing solvers call: with edge
+/// weights set to per-bit recharging costs, `Σ_v distance(v)` is the total
+/// recharging cost of the network under optimal routing.
+///
+/// # Panics
+///
+/// Panics if `target` is out of bounds.
+#[must_use]
+pub fn dijkstra_to(g: &Digraph, target: NodeId) -> ShortestPaths {
+    run(&g.reversed(), target, true)
+}
+
+fn run(g: &Digraph, anchor: NodeId, to_target: bool) -> ShortestPaths {
+    let n = g.node_count();
+    assert!(anchor < n, "anchor node {anchor} out of bounds for {n} nodes");
+    let mut dist = vec![f64::INFINITY; n];
+    let mut via = vec![None; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+    dist[anchor] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: anchor,
+    });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u] {
+            continue; // stale entry
+        }
+        for &(v, w) in g.out(u) {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                via[v] = Some(u);
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+    ShortestPaths {
+        anchor,
+        to_target,
+        dist,
+        via,
+    }
+}
+
+/// Extracts every *tight* edge of `g` with respect to a [`dijkstra_to`]
+/// result: edges `u -> v` with `dist(u) = w(u,v) + dist(v)` (within a small
+/// relative tolerance), i.e. the union of **all** minimum-cost paths to the
+/// target. The paper calls this union the "fat tree".
+///
+/// Returns one `Vec` per node holding its tight parents (next-hop
+/// candidates), deduplicated and sorted. The target has no parents.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_graph::{dijkstra_to, tight_edges, Digraph};
+/// let mut g = Digraph::new(4);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(0, 2, 1.0);
+/// g.add_edge(1, 3, 1.0);
+/// g.add_edge(2, 3, 1.0);
+/// let sp = dijkstra_to(&g, 3);
+/// let parents = tight_edges(&g, &sp);
+/// assert_eq!(parents[0], vec![1, 2]); // both routes are shortest
+/// assert!(parents[3].is_empty());
+/// ```
+#[must_use]
+pub fn tight_edges(g: &Digraph, sp: &ShortestPaths) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut parents = vec![Vec::new(); n];
+    for (u, v, w) in g.edges() {
+        let (Some(du), Some(dv)) = (sp.distance(u), sp.distance(v)) else {
+            continue;
+        };
+        if u == sp.anchor() {
+            continue;
+        }
+        let slack = du - (w + dv);
+        let tol = 1e-9 * du.abs().max(1.0);
+        if slack.abs() <= tol {
+            parents[u].push(v);
+        }
+    }
+    for p in &mut parents {
+        p.sort_unstable();
+        p.dedup();
+    }
+    parents
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_graph(n: usize, w: f64) -> Digraph {
+        let mut g = Digraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, w);
+        }
+        g
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Digraph::new(1);
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.distance(0), Some(0.0));
+        assert_eq!(sp.path_from(0), Some(vec![0]));
+    }
+
+    #[test]
+    fn line_distances() {
+        let g = line_graph(5, 2.0);
+        let sp = dijkstra(&g, 0);
+        for i in 0..5 {
+            assert_eq!(sp.distance(i), Some(2.0 * i as f64));
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_report_none() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.distance(2), None);
+        assert_eq!(sp.path_from(2), None);
+        assert_eq!(sp.via(2), None);
+    }
+
+    #[test]
+    fn respects_edge_direction() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1, 1.0);
+        assert_eq!(dijkstra(&g, 1).distance(0), None);
+        assert_eq!(dijkstra_to(&g, 1).distance(0), Some(1.0));
+        assert_eq!(dijkstra_to(&g, 0).distance(1), None);
+    }
+
+    #[test]
+    fn picks_cheaper_of_two_routes() {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 3, 1.0);
+        g.add_edge(0, 2, 0.5);
+        g.add_edge(2, 3, 1.0);
+        let sp = dijkstra_to(&g, 3);
+        assert_eq!(sp.distance(0), Some(1.5));
+        assert_eq!(sp.path_from(0), Some(vec![0, 2, 3]));
+        assert_eq!(sp.via(0), Some(2));
+    }
+
+    #[test]
+    fn zero_weight_edges_ok() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1, 0.0);
+        g.add_edge(1, 2, 0.0);
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.distance(2), Some(0.0));
+    }
+
+    #[test]
+    fn parallel_edges_use_cheapest() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(0, 1, 2.0);
+        assert_eq!(dijkstra(&g, 0).distance(1), Some(2.0));
+    }
+
+    #[test]
+    fn dijkstra_to_via_is_next_hop() {
+        let g = line_graph(4, 1.0);
+        let sp = dijkstra_to(&g, 3);
+        assert_eq!(sp.via(0), Some(1));
+        assert_eq!(sp.via(1), Some(2));
+        assert_eq!(sp.via(2), Some(3));
+        assert_eq!(sp.via(3), None);
+        assert_eq!(sp.path_from(0), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn tight_edges_capture_all_shortest_routes() {
+        // Diamond with an extra strictly-worse edge 0 -> 3 (weight 3).
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(1, 3, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(0, 3, 3.0);
+        let sp = dijkstra_to(&g, 3);
+        let parents = tight_edges(&g, &sp);
+        assert_eq!(parents[0], vec![1, 2]);
+        assert_eq!(parents[1], vec![3]);
+        assert_eq!(parents[2], vec![3]);
+        assert!(parents[3].is_empty());
+    }
+
+    #[test]
+    fn tight_edges_exclude_unreachable() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        // node 2 disconnected
+        let sp = dijkstra_to(&g, 1);
+        let parents = tight_edges(&g, &sp);
+        assert_eq!(parents[0], vec![1]);
+        assert!(parents[2].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_anchor_panics() {
+        let _ = dijkstra(&Digraph::new(1), 5);
+    }
+
+    #[test]
+    fn heap_entry_orders_by_distance_then_node() {
+        let mut h = BinaryHeap::new();
+        h.push(HeapEntry { dist: 2.0, node: 0 });
+        h.push(HeapEntry { dist: 1.0, node: 9 });
+        h.push(HeapEntry { dist: 1.0, node: 3 });
+        assert_eq!(h.pop().unwrap().node, 3);
+        assert_eq!(h.pop().unwrap().node, 9);
+        assert_eq!(h.pop().unwrap().node, 0);
+    }
+}

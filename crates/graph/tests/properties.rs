@@ -1,0 +1,152 @@
+//! Property-based tests: Dijkstra against the Bellman–Ford oracle, and
+//! structural invariants of the tight-edge DAG.
+
+use proptest::prelude::*;
+use wrsn_graph::{bellman_ford, dijkstra, dijkstra_to, tight_edges, Dag, Digraph};
+
+/// Strategy producing a random digraph (as node count + edge list) with
+/// weights in a realistic per-bit-energy range.
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (2usize..20).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 0.0f64..200.0);
+        (Just(n), proptest::collection::vec(edge, 0..60))
+    })
+}
+
+fn build(n: usize, edges: &[(usize, usize, f64)]) -> Digraph {
+    let mut g = Digraph::new(n);
+    for &(u, v, w) in edges {
+        if u != v {
+            g.add_edge(u, v, w);
+        }
+    }
+    g
+}
+
+proptest! {
+    /// Dijkstra distances equal the Bellman–Ford oracle on arbitrary
+    /// non-negative-weight digraphs.
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn dijkstra_matches_bellman_ford((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let bf = bellman_ford(&g, 0);
+        let dj = dijkstra(&g, 0);
+        for v in 0..n {
+            match dj.distance(v) {
+                Some(d) => prop_assert!((d - bf[v]).abs() <= 1e-9 * d.abs().max(1.0)),
+                None => prop_assert_eq!(bf[v], f64::INFINITY),
+            }
+        }
+    }
+
+    /// `dijkstra_to(g, t)` equals `dijkstra(reversed(g), t)`.
+    #[test]
+    fn to_target_is_reverse_source((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let t = n - 1;
+        let to = dijkstra_to(&g, t);
+        let from_rev = dijkstra(&g.reversed(), t);
+        prop_assert_eq!(to.distances(), from_rev.distances());
+    }
+
+    /// Every reconstructed path is a real path in the graph whose total
+    /// weight equals the reported distance.
+    #[test]
+    fn paths_are_consistent((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let t = 0;
+        let sp = dijkstra_to(&g, t);
+        for v in 0..n {
+            let Some(path) = sp.path_from(v) else { continue };
+            prop_assert_eq!(path[0], v);
+            prop_assert_eq!(*path.last().unwrap(), t);
+            let mut total = 0.0;
+            for w in path.windows(2) {
+                let weight = g
+                    .out(w[0])
+                    .iter()
+                    .filter(|&&(to, _)| to == w[1])
+                    .map(|&(_, wt)| wt)
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!(weight.is_finite(), "path uses a non-edge");
+                total += weight;
+            }
+            prop_assert!((total - sp.distance(v).unwrap()).abs() <= 1e-6);
+        }
+    }
+
+    /// The tight-edge subgraph is acyclic whenever all weights are strictly
+    /// positive, and every reachable non-target node keeps at least one
+    /// parent (so the fat tree always supports a routing tree).
+    #[test]
+    fn tight_edges_form_rooted_dag((n, edges) in arb_graph()) {
+        let mut g = Digraph::new(n);
+        for (u, v, w) in edges {
+            if u != v {
+                g.add_edge(u, v, w + 0.001); // strictly positive
+            }
+        }
+        let t = 0;
+        let sp = dijkstra_to(&g, t);
+        let parents = tight_edges(&g, &sp);
+        let dag = Dag::from_parents(parents.clone()); // panics if cyclic
+        for v in 1..n {
+            if sp.distance(v).is_some() {
+                prop_assert!(
+                    !dag.parents(v).is_empty(),
+                    "reachable node {} lost all parents", v
+                );
+            }
+        }
+        // Walking any chain of tight parents from a reachable node must
+        // terminate at the target with non-increasing distance.
+        for v in 1..n {
+            if sp.distance(v).is_none() { continue; }
+            let mut cur = v;
+            let mut steps = 0;
+            while cur != t {
+                let p = dag.parents(cur)[0];
+                prop_assert!(sp.distance(p).unwrap() <= sp.distance(cur).unwrap() + 1e-9);
+                cur = p;
+                steps += 1;
+                prop_assert!(steps <= n, "tight-parent chain does not terminate");
+            }
+        }
+    }
+
+    /// Descendant counts from the bitset machinery agree with a brute-force
+    /// DFS count.
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn descendant_counts_match_bruteforce((n, edges) in arb_graph()) {
+        let mut g = Digraph::new(n);
+        for (u, v, w) in edges {
+            if u != v {
+                g.add_edge(u, v, w + 0.001);
+            }
+        }
+        let sp = dijkstra_to(&g, 0);
+        let parents = tight_edges(&g, &sp);
+        let dag = Dag::from_parents(parents.clone());
+        let counts = dag.descendant_counts();
+        for p in 0..n {
+            let mut reached = 0;
+            for u in 0..n {
+                if u == p { continue; }
+                // DFS from u along parent edges looking for p.
+                let mut stack = vec![u];
+                let mut seen = vec![false; n];
+                let mut hit = false;
+                while let Some(x) = stack.pop() {
+                    if x == p { hit = true; break; }
+                    if seen[x] { continue; }
+                    seen[x] = true;
+                    stack.extend(parents[x].iter().copied());
+                }
+                if hit { reached += 1; }
+            }
+            prop_assert_eq!(counts[p], reached, "node {}", p);
+        }
+    }
+}

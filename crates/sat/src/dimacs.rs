@@ -1,0 +1,227 @@
+//! DIMACS CNF import/export.
+
+use crate::{CnfFormula, Lit};
+use std::error::Error;
+use std::fmt;
+
+/// Error parsing a DIMACS CNF document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDimacsError {
+    /// No `p cnf <vars> <clauses>` header was found before the clauses.
+    MissingHeader,
+    /// The header line was malformed.
+    BadHeader(String),
+    /// A token could not be parsed as an integer literal.
+    BadLiteral(String),
+    /// A clause referenced a variable beyond the header's count.
+    VariableOutOfRange(usize),
+    /// The document ended inside an unterminated clause.
+    UnterminatedClause,
+    /// The clause count did not match the header.
+    ClauseCountMismatch {
+        /// Count declared in the header.
+        declared: usize,
+        /// Count actually present.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::MissingHeader => write!(f, "missing `p cnf` header"),
+            ParseDimacsError::BadHeader(l) => write!(f, "malformed header line: {l:?}"),
+            ParseDimacsError::BadLiteral(t) => write!(f, "invalid literal token: {t:?}"),
+            ParseDimacsError::VariableOutOfRange(v) => {
+                write!(f, "variable x{v} exceeds header count")
+            }
+            ParseDimacsError::UnterminatedClause => write!(f, "unterminated final clause"),
+            ParseDimacsError::ClauseCountMismatch { declared, found } => {
+                write!(f, "header declares {declared} clauses but {found} found")
+            }
+        }
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+impl CnfFormula {
+    /// Serializes the formula in DIMACS CNF format.
+    ///
+    /// ```
+    /// use wrsn_sat::{CnfFormula, Lit};
+    /// let mut f = CnfFormula::new(2);
+    /// f.add_clause([Lit::pos(1), Lit::neg(2)]).unwrap();
+    /// assert_eq!(f.to_dimacs(), "p cnf 2 1\n1 -2 0\n");
+    /// ```
+    #[must_use]
+    pub fn to_dimacs(&self) -> String {
+        let mut out = format!("p cnf {} {}\n", self.num_vars(), self.num_clauses());
+        for c in self.clauses() {
+            for l in c.lits() {
+                out.push_str(&l.to_dimacs().to_string());
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+
+    /// Parses a DIMACS CNF document (comment lines starting with `c` are
+    /// skipped; clauses may span lines).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseDimacsError`] describing the first problem
+    /// encountered.
+    pub fn parse_dimacs(text: &str) -> Result<CnfFormula, ParseDimacsError> {
+        let mut header: Option<(usize, usize)> = None;
+        let mut formula = CnfFormula::new(0);
+        let mut current: Vec<Lit> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if line.starts_with('p') {
+                let parts: Vec<&str> = line.split_whitespace().collect();
+                let parsed = (parts.len() == 4 && parts[1] == "cnf")
+                    .then(|| {
+                        Some((
+                            parts[2].parse::<usize>().ok()?,
+                            parts[3].parse::<usize>().ok()?,
+                        ))
+                    })
+                    .flatten();
+                match parsed {
+                    Some((v, c)) => {
+                        header = Some((v, c));
+                        formula = CnfFormula::new(v);
+                    }
+                    None => return Err(ParseDimacsError::BadHeader(line.to_string())),
+                }
+                continue;
+            }
+            let (num_vars, _) = header.ok_or(ParseDimacsError::MissingHeader)?;
+            for tok in line.split_whitespace() {
+                let code: i32 = tok
+                    .parse()
+                    .map_err(|_| ParseDimacsError::BadLiteral(tok.to_string()))?;
+                if code == 0 {
+                    formula
+                        .add_clause(current.drain(..))
+                        .map_err(|_| ParseDimacsError::UnterminatedClause)?;
+                } else {
+                    let lit = Lit::from_dimacs(code);
+                    if lit.var() > num_vars {
+                        return Err(ParseDimacsError::VariableOutOfRange(lit.var()));
+                    }
+                    current.push(lit);
+                }
+            }
+        }
+        if !current.is_empty() {
+            return Err(ParseDimacsError::UnterminatedClause);
+        }
+        let (_, declared) = header.ok_or(ParseDimacsError::MissingHeader)?;
+        if declared != formula.num_clauses() {
+            return Err(ParseDimacsError::ClauseCountMismatch {
+                declared,
+                found: formula.num_clauses(),
+            });
+        }
+        Ok(formula)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut f = CnfFormula::new(3);
+        f.add_clause([Lit::pos(1), Lit::neg(2), Lit::pos(3)]).unwrap();
+        f.add_clause([Lit::neg(1), Lit::neg(3)]).unwrap();
+        let parsed = CnfFormula::parse_dimacs(&f.to_dimacs()).unwrap();
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn parses_comments_and_multiline_clauses() {
+        let text = "c a comment\np cnf 3 2\n1 -2\n3 0\n-1 -3 0\n";
+        let f = CnfFormula::parse_dimacs(text).unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.clauses()[0].lits().len(), 3);
+    }
+
+    #[test]
+    fn missing_header() {
+        assert_eq!(
+            CnfFormula::parse_dimacs("1 2 0\n"),
+            Err(ParseDimacsError::MissingHeader)
+        );
+    }
+
+    #[test]
+    fn bad_header() {
+        assert!(matches!(
+            CnfFormula::parse_dimacs("p cnf x y\n"),
+            Err(ParseDimacsError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn bad_literal() {
+        assert!(matches!(
+            CnfFormula::parse_dimacs("p cnf 1 1\n1 foo 0\n"),
+            Err(ParseDimacsError::BadLiteral(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_variable() {
+        assert_eq!(
+            CnfFormula::parse_dimacs("p cnf 1 1\n2 0\n"),
+            Err(ParseDimacsError::VariableOutOfRange(2))
+        );
+    }
+
+    #[test]
+    fn unterminated_clause() {
+        assert_eq!(
+            CnfFormula::parse_dimacs("p cnf 2 1\n1 2\n"),
+            Err(ParseDimacsError::UnterminatedClause)
+        );
+    }
+
+    #[test]
+    fn clause_count_mismatch() {
+        assert_eq!(
+            CnfFormula::parse_dimacs("p cnf 1 2\n1 0\n"),
+            Err(ParseDimacsError::ClauseCountMismatch {
+                declared: 2,
+                found: 1
+            })
+        );
+    }
+
+    #[test]
+    fn error_messages_nonempty() {
+        let errors = [
+            ParseDimacsError::MissingHeader,
+            ParseDimacsError::BadHeader("p".into()),
+            ParseDimacsError::BadLiteral("q".into()),
+            ParseDimacsError::VariableOutOfRange(3),
+            ParseDimacsError::UnterminatedClause,
+            ParseDimacsError::ClauseCountMismatch {
+                declared: 1,
+                found: 2,
+            },
+        ];
+        for e in errors {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

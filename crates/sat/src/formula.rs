@@ -1,0 +1,387 @@
+//! CNF formula representation.
+
+use std::error::Error;
+use std::fmt;
+
+/// A propositional literal: variable `1..=n`, possibly negated.
+///
+/// Literals use the DIMACS convention internally (a non-zero signed
+/// integer whose magnitude is the variable index), which makes I/O and
+/// debugging straightforward.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_sat::Lit;
+/// let a = Lit::pos(3);
+/// assert_eq!(a.var(), 3);
+/// assert!(a.is_positive());
+/// assert_eq!(!a, Lit::neg(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(i32);
+
+impl Lit {
+    /// The positive literal of variable `var` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var == 0` or `var > i32::MAX as usize`.
+    #[must_use]
+    pub fn pos(var: usize) -> Self {
+        Lit(var_to_i32(var))
+    }
+
+    /// The negated literal of variable `var` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var == 0` or `var > i32::MAX as usize`.
+    #[must_use]
+    pub fn neg(var: usize) -> Self {
+        Lit(-var_to_i32(var))
+    }
+
+    /// The 1-based variable index.
+    #[must_use]
+    pub fn var(self) -> usize {
+        self.0.unsigned_abs() as usize
+    }
+
+    /// `true` for an un-negated literal.
+    #[must_use]
+    pub fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// The literal's DIMACS integer encoding.
+    #[must_use]
+    pub fn to_dimacs(self) -> i32 {
+        self.0
+    }
+
+    /// Builds a literal from its DIMACS encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code == 0`.
+    #[must_use]
+    pub fn from_dimacs(code: i32) -> Self {
+        assert!(code != 0, "0 is the DIMACS clause terminator, not a literal");
+        Lit(code)
+    }
+
+    /// Truth value of this literal under `assignment`
+    /// (`assignment[var - 1]` is the value of the variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is shorter than the variable index.
+    #[must_use]
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var() - 1] == self.is_positive()
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(-self.0)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "x{}", self.var())
+        } else {
+            write!(f, "!x{}", self.var())
+        }
+    }
+}
+
+fn var_to_i32(var: usize) -> i32 {
+    assert!(var >= 1, "variables are 1-based");
+    i32::try_from(var).expect("variable index fits in i32")
+}
+
+/// A disjunction of literals.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// The literals of this clause.
+    #[must_use]
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// `true` if the clause has no literals (an empty clause is
+    /// unsatisfiable).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Truth value under `assignment`.
+    #[must_use]
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        self.lits.iter().any(|l| l.eval(assignment))
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Error building a [`CnfFormula`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormulaError {
+    /// A clause referenced a variable above the declared count.
+    VariableOutOfRange {
+        /// The offending variable.
+        var: usize,
+        /// The declared variable count.
+        num_vars: usize,
+    },
+    /// A clause was empty.
+    EmptyClause,
+}
+
+impl fmt::Display for FormulaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormulaError::VariableOutOfRange { var, num_vars } => {
+                write!(f, "variable x{var} exceeds declared count {num_vars}")
+            }
+            FormulaError::EmptyClause => write!(f, "empty clause is trivially unsatisfiable"),
+        }
+    }
+}
+
+impl Error for FormulaError {}
+
+/// A CNF formula: a conjunction of [`Clause`]s over variables `1..=n`.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_sat::{CnfFormula, Lit};
+/// let mut f = CnfFormula::new(2);
+/// f.add_clause([Lit::pos(1), Lit::neg(2)])?;
+/// assert!(f.evaluate(&[true, true]));
+/// assert!(!f.evaluate(&[false, true]));
+/// # Ok::<(), wrsn_sat::FormulaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CnfFormula {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+impl CnfFormula {
+    /// Creates an empty formula over `num_vars` variables.
+    #[must_use]
+    pub fn new(num_vars: usize) -> Self {
+        CnfFormula {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The clauses.
+    #[must_use]
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    #[must_use]
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Appends a clause.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormulaError::EmptyClause`] for an empty literal list and
+    /// [`FormulaError::VariableOutOfRange`] if a literal references a
+    /// variable beyond [`CnfFormula::num_vars`].
+    pub fn add_clause<I>(&mut self, lits: I) -> Result<(), FormulaError>
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        let lits: Vec<Lit> = lits.into_iter().collect();
+        if lits.is_empty() {
+            return Err(FormulaError::EmptyClause);
+        }
+        for l in &lits {
+            if l.var() > self.num_vars {
+                return Err(FormulaError::VariableOutOfRange {
+                    var: l.var(),
+                    num_vars: self.num_vars,
+                });
+            }
+        }
+        self.clauses.push(Clause { lits });
+        Ok(())
+    }
+
+    /// Truth value under a full `assignment` (`assignment[i]` is the value
+    /// of variable `i + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() < self.num_vars()`.
+    #[must_use]
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        assert!(
+            assignment.len() >= self.num_vars,
+            "assignment covers {} of {} variables",
+            assignment.len(),
+            self.num_vars
+        );
+        self.clauses.iter().all(|c| c.evaluate(assignment))
+    }
+
+    /// `true` if every clause has exactly three literals (the shape the
+    /// NP-completeness reduction expects).
+    #[must_use]
+    pub fn is_3sat(&self) -> bool {
+        self.clauses.iter().all(|c| c.len() == 3)
+    }
+}
+
+impl fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "(true)");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_basics() {
+        let l = Lit::pos(5);
+        assert_eq!(l.var(), 5);
+        assert!(l.is_positive());
+        assert!(!(!l).is_positive());
+        assert_eq!(!!l, l);
+        assert_eq!(l.to_dimacs(), 5);
+        assert_eq!(Lit::from_dimacs(-7), Lit::neg(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn variable_zero_rejected() {
+        let _ = Lit::pos(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminator")]
+    fn dimacs_zero_rejected() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn literal_eval() {
+        let a = [true, false];
+        assert!(Lit::pos(1).eval(&a));
+        assert!(!Lit::pos(2).eval(&a));
+        assert!(Lit::neg(2).eval(&a));
+    }
+
+    #[test]
+    fn clause_eval_any_semantics() {
+        let mut f = CnfFormula::new(2);
+        f.add_clause([Lit::pos(1), Lit::pos(2)]).unwrap();
+        let c = &f.clauses()[0];
+        assert!(c.evaluate(&[true, false]));
+        assert!(c.evaluate(&[false, true]));
+        assert!(!c.evaluate(&[false, false]));
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn formula_eval_all_semantics() {
+        let mut f = CnfFormula::new(2);
+        f.add_clause([Lit::pos(1)]).unwrap();
+        f.add_clause([Lit::neg(2)]).unwrap();
+        assert!(f.evaluate(&[true, false]));
+        assert!(!f.evaluate(&[true, true]));
+        assert!(!f.evaluate(&[false, false]));
+    }
+
+    #[test]
+    fn empty_formula_is_true() {
+        assert!(CnfFormula::new(3).evaluate(&[false, false, false]));
+    }
+
+    #[test]
+    fn add_clause_validates() {
+        let mut f = CnfFormula::new(1);
+        assert_eq!(f.add_clause([]), Err(FormulaError::EmptyClause));
+        assert_eq!(
+            f.add_clause([Lit::pos(2)]),
+            Err(FormulaError::VariableOutOfRange { var: 2, num_vars: 1 })
+        );
+        assert!(f.add_clause([Lit::neg(1)]).is_ok());
+        assert_eq!(f.num_clauses(), 1);
+    }
+
+    #[test]
+    fn is_3sat_detects_shape() {
+        let mut f = CnfFormula::new(3);
+        f.add_clause([Lit::pos(1), Lit::pos(2), Lit::pos(3)]).unwrap();
+        assert!(f.is_3sat());
+        f.add_clause([Lit::pos(1)]).unwrap();
+        assert!(!f.is_3sat());
+    }
+
+    #[test]
+    fn displays() {
+        let mut f = CnfFormula::new(2);
+        f.add_clause([Lit::pos(1), Lit::neg(2)]).unwrap();
+        assert_eq!(format!("{f}"), "(x1 | !x2)");
+        assert_eq!(format!("{}", CnfFormula::new(0)), "(true)");
+        let err = FormulaError::EmptyClause;
+        assert!(!format!("{err}").is_empty());
+    }
+}

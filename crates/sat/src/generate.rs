@@ -1,0 +1,144 @@
+//! Random 3-SAT instance generators.
+
+use crate::{CnfFormula, Lit};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generates a uniformly random 3-SAT formula with `num_vars` variables
+/// and `num_clauses` clauses: each clause picks three distinct variables
+/// and negates each with probability ½. Deterministic in `seed`.
+///
+/// Around the classic threshold `num_clauses / num_vars ≈ 4.27` these
+/// become hard; the reduction tests stay well below it.
+///
+/// # Panics
+///
+/// Panics if `num_vars < 3`.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_sat::random_3sat;
+/// let f = random_3sat(10, 20, 42);
+/// assert_eq!(f.num_vars(), 10);
+/// assert_eq!(f.num_clauses(), 20);
+/// assert!(f.is_3sat());
+/// ```
+#[must_use]
+pub fn random_3sat(num_vars: usize, num_clauses: usize, seed: u64) -> CnfFormula {
+    assert!(num_vars >= 3, "3-SAT needs at least 3 variables");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut formula = CnfFormula::new(num_vars);
+    let mut vars: Vec<usize> = (1..=num_vars).collect();
+    for _ in 0..num_clauses {
+        vars.shuffle(&mut rng);
+        let lits = vars[..3].iter().map(|&v| {
+            if rng.random::<bool>() {
+                Lit::pos(v)
+            } else {
+                Lit::neg(v)
+            }
+        });
+        formula
+            .add_clause(lits)
+            .expect("generated clauses are valid by construction");
+    }
+    formula
+}
+
+/// Generates a random 3-SAT formula that is **guaranteed satisfiable**: a
+/// hidden assignment is drawn first and every clause is forced to contain
+/// at least one literal it satisfies. Returns the formula together with
+/// the planted assignment.
+///
+/// # Panics
+///
+/// Panics if `num_vars < 3`.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_sat::planted_3sat;
+/// let (f, plant) = planted_3sat(12, 30, 7);
+/// assert!(f.evaluate(&plant));
+/// ```
+#[must_use]
+pub fn planted_3sat(num_vars: usize, num_clauses: usize, seed: u64) -> (CnfFormula, Vec<bool>) {
+    assert!(num_vars >= 3, "3-SAT needs at least 3 variables");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let plant: Vec<bool> = (0..num_vars).map(|_| rng.random()).collect();
+    let mut formula = CnfFormula::new(num_vars);
+    let mut vars: Vec<usize> = (1..=num_vars).collect();
+    for _ in 0..num_clauses {
+        vars.shuffle(&mut rng);
+        let chosen = &vars[..3];
+        // Force one randomly chosen slot to agree with the plant.
+        let honest = rng.random_range(0..3);
+        let lits = chosen.iter().enumerate().map(|(i, &v)| {
+            let positive = if i == honest {
+                plant[v - 1]
+            } else {
+                rng.random()
+            };
+            if positive {
+                Lit::pos(v)
+            } else {
+                Lit::neg(v)
+            }
+        });
+        formula
+            .add_clause(lits)
+            .expect("generated clauses are valid by construction");
+    }
+    (formula, plant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DpllSolver;
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        assert_eq!(random_3sat(8, 15, 1), random_3sat(8, 15, 1));
+        assert_ne!(random_3sat(8, 15, 1), random_3sat(8, 15, 2));
+    }
+
+    #[test]
+    fn random_clauses_use_distinct_variables() {
+        let f = random_3sat(5, 40, 3);
+        for c in f.clauses() {
+            let mut vars: Vec<usize> = c.lits().iter().map(|l| l.var()).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 3, "clause {c} repeats a variable");
+        }
+    }
+
+    #[test]
+    fn planted_formulas_are_satisfiable() {
+        for seed in 0..10 {
+            let (f, plant) = planted_3sat(10, 25, seed);
+            assert!(f.evaluate(&plant), "plant violated for seed {seed}");
+            assert!(DpllSolver::new().is_satisfiable(&f));
+        }
+    }
+
+    #[test]
+    fn solver_handles_random_instances_near_threshold() {
+        // Low ratio: almost surely satisfiable; just exercise the solver.
+        for seed in 0..5 {
+            let f = random_3sat(15, 30, seed);
+            if let Some(model) = DpllSolver::new().solve(&f) {
+                assert!(f.evaluate(&model));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_variables_rejected() {
+        let _ = random_3sat(2, 1, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # wrsn-sat — 3-CNF formulas and a DPLL solver
+//!
+//! The paper proves the joint deployment/routing problem NP-complete by
+//! reduction from 3-CNF SAT (Section IV). This crate supplies the SAT side
+//! of that story so the reduction can be exercised end-to-end in code:
+//!
+//! - [`CnfFormula`] / [`Clause`] / [`Lit`] — formula representation with
+//!   assignment evaluation,
+//! - [`DpllSolver`] — a complete solver (unit propagation, pure-literal
+//!   elimination, first-unassigned branching),
+//! - [`random_3sat`] / [`planted_3sat`] — instance generators,
+//! - DIMACS CNF import/export ([`CnfFormula::to_dimacs`],
+//!   [`CnfFormula::parse_dimacs`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use wrsn_sat::{CnfFormula, DpllSolver, Lit};
+//!
+//! // (x1 ∨ x2) ∧ (¬x1 ∨ x2) ∧ (¬x2 ∨ x3)
+//! let mut f = CnfFormula::new(3);
+//! f.add_clause([Lit::pos(1), Lit::pos(2)])?;
+//! f.add_clause([Lit::neg(1), Lit::pos(2)])?;
+//! f.add_clause([Lit::neg(2), Lit::pos(3)])?;
+//! let model = DpllSolver::new().solve(&f).expect("satisfiable");
+//! assert!(f.evaluate(&model));
+//! # Ok::<(), wrsn_sat::FormulaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dimacs;
+mod formula;
+mod generate;
+mod solver;
+
+pub use dimacs::ParseDimacsError;
+pub use formula::{Clause, CnfFormula, FormulaError, Lit};
+pub use generate::{planted_3sat, random_3sat};
+pub use solver::DpllSolver;

@@ -1,0 +1,281 @@
+//! A complete DPLL satisfiability solver.
+
+use crate::{CnfFormula, Lit};
+use std::fmt;
+
+/// A DPLL SAT solver with unit propagation and pure-literal elimination.
+///
+/// Complete (always terminates with the correct answer) and comfortably
+/// fast for the formula sizes the NP-completeness reduction tests use
+/// (tens of variables). Not intended to compete with CDCL solvers.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_sat::{CnfFormula, DpllSolver, Lit};
+///
+/// let mut f = CnfFormula::new(1);
+/// f.add_clause([Lit::pos(1)]).unwrap();
+/// f.add_clause([Lit::neg(1)]).unwrap();
+/// assert_eq!(DpllSolver::new().solve(&f), None); // contradiction
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DpllSolver {
+    _private: (),
+}
+
+impl DpllSolver {
+    /// Creates a solver.
+    #[must_use]
+    pub fn new() -> Self {
+        DpllSolver::default()
+    }
+
+    /// Searches for a satisfying assignment; returns one (indexed by
+    /// variable, `model[i]` = value of variable `i + 1`) or `None` if the
+    /// formula is unsatisfiable. Variables not constrained by any clause
+    /// default to `false`.
+    #[must_use]
+    pub fn solve(&self, formula: &CnfFormula) -> Option<Vec<bool>> {
+        let mut assignment: Vec<Option<bool>> = vec![None; formula.num_vars()];
+        if Self::search(formula, &mut assignment) {
+            Some(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
+        } else {
+            None
+        }
+    }
+
+    /// `true` iff the formula is satisfiable.
+    #[must_use]
+    pub fn is_satisfiable(&self, formula: &CnfFormula) -> bool {
+        self.solve(formula).is_some()
+    }
+
+    fn search(formula: &CnfFormula, assignment: &mut Vec<Option<bool>>) -> bool {
+        // Unit propagation + pure literal elimination to fixpoint.
+        let trail_start = Self::snapshot(assignment);
+        loop {
+            match Self::propagate_once(formula, assignment) {
+                Propagation::Conflict => {
+                    Self::restore(assignment, &trail_start);
+                    return false;
+                }
+                Propagation::Progress => continue,
+                Propagation::Fixpoint => break,
+            }
+        }
+        // Pick the first unassigned variable appearing in an unsatisfied
+        // clause; if none, all clauses are satisfied.
+        let branch_var = formula
+            .clauses()
+            .iter()
+            .filter(|c| !Self::clause_satisfied(c.lits(), assignment))
+            .flat_map(|c| c.lits())
+            .find(|l| assignment[l.var() - 1].is_none())
+            .map(|l| l.var());
+        let Some(var) = branch_var else {
+            return true; // every clause satisfied
+        };
+        for value in [true, false] {
+            assignment[var - 1] = Some(value);
+            if Self::search(formula, assignment) {
+                return true;
+            }
+            assignment[var - 1] = None;
+        }
+        Self::restore(assignment, &trail_start);
+        false
+    }
+
+    fn clause_satisfied(lits: &[Lit], assignment: &[Option<bool>]) -> bool {
+        lits.iter()
+            .any(|l| assignment[l.var() - 1] == Some(l.is_positive()))
+    }
+
+    fn propagate_once(formula: &CnfFormula, assignment: &mut [Option<bool>]) -> Propagation {
+        let mut progress = false;
+        // Unit propagation.
+        for clause in formula.clauses() {
+            if Self::clause_satisfied(clause.lits(), assignment) {
+                continue;
+            }
+            let unassigned: Vec<Lit> = clause
+                .lits()
+                .iter()
+                .copied()
+                .filter(|l| assignment[l.var() - 1].is_none())
+                .collect();
+            match unassigned.len() {
+                0 => return Propagation::Conflict,
+                1 => {
+                    let l = unassigned[0];
+                    assignment[l.var() - 1] = Some(l.is_positive());
+                    progress = true;
+                }
+                _ => {}
+            }
+        }
+        // Pure-literal elimination.
+        let n = assignment.len();
+        let mut pos = vec![false; n];
+        let mut neg = vec![false; n];
+        for clause in formula.clauses() {
+            if Self::clause_satisfied(clause.lits(), assignment) {
+                continue;
+            }
+            for l in clause.lits() {
+                if assignment[l.var() - 1].is_none() {
+                    if l.is_positive() {
+                        pos[l.var() - 1] = true;
+                    } else {
+                        neg[l.var() - 1] = true;
+                    }
+                }
+            }
+        }
+        for v in 0..n {
+            if assignment[v].is_none() && (pos[v] ^ neg[v]) {
+                assignment[v] = Some(pos[v]);
+                progress = true;
+            }
+        }
+        if progress {
+            Propagation::Progress
+        } else {
+            Propagation::Fixpoint
+        }
+    }
+
+    fn snapshot(assignment: &[Option<bool>]) -> Vec<Option<bool>> {
+        assignment.to_vec()
+    }
+
+    fn restore(assignment: &mut [Option<bool>], snapshot: &[Option<bool>]) {
+        assignment.copy_from_slice(snapshot);
+    }
+}
+
+impl fmt::Display for DpllSolver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dpll solver")
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Propagation {
+    Conflict,
+    Progress,
+    Fixpoint,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clause(f: &mut CnfFormula, lits: &[i32]) {
+        f.add_clause(lits.iter().map(|&c| Lit::from_dimacs(c))).unwrap();
+    }
+
+    #[test]
+    fn trivially_satisfiable() {
+        let mut f = CnfFormula::new(1);
+        clause(&mut f, &[1]);
+        let model = DpllSolver::new().solve(&f).unwrap();
+        assert!(f.evaluate(&model));
+        assert!(model[0]);
+    }
+
+    #[test]
+    fn direct_contradiction() {
+        let mut f = CnfFormula::new(1);
+        clause(&mut f, &[1]);
+        clause(&mut f, &[-1]);
+        assert!(!DpllSolver::new().is_satisfiable(&f));
+    }
+
+    #[test]
+    fn empty_formula_satisfiable() {
+        assert!(DpllSolver::new().is_satisfiable(&CnfFormula::new(5)));
+    }
+
+    #[test]
+    fn chain_of_implications() {
+        // x1 & (x1 -> x2) & (x2 -> x3) & (x3 -> x4)
+        let mut f = CnfFormula::new(4);
+        clause(&mut f, &[1]);
+        clause(&mut f, &[-1, 2]);
+        clause(&mut f, &[-2, 3]);
+        clause(&mut f, &[-3, 4]);
+        let model = DpllSolver::new().solve(&f).unwrap();
+        assert_eq!(model, vec![true; 4]);
+    }
+
+    #[test]
+    fn unsat_pigeonhole_2_into_1() {
+        // p1 and p2 both must hold slot 1, but not together.
+        let mut f = CnfFormula::new(2);
+        clause(&mut f, &[1]);
+        clause(&mut f, &[2]);
+        clause(&mut f, &[-1, -2]);
+        assert!(!DpllSolver::new().is_satisfiable(&f));
+    }
+
+    #[test]
+    fn unsat_full_enumeration_of_two_vars() {
+        // All four clauses over 2 variables: no assignment survives.
+        let mut f = CnfFormula::new(2);
+        clause(&mut f, &[1, 2]);
+        clause(&mut f, &[1, -2]);
+        clause(&mut f, &[-1, 2]);
+        clause(&mut f, &[-1, -2]);
+        assert!(!DpllSolver::new().is_satisfiable(&f));
+    }
+
+    #[test]
+    fn model_satisfies_3sat_instance() {
+        let mut f = CnfFormula::new(4);
+        clause(&mut f, &[1, -2, 3]);
+        clause(&mut f, &[-1, 2, -4]);
+        clause(&mut f, &[2, 3, 4]);
+        clause(&mut f, &[-1, -3, -4]);
+        let model = DpllSolver::new().solve(&f).unwrap();
+        assert!(f.evaluate(&model));
+    }
+
+    #[test]
+    fn exhaustive_check_against_bruteforce_small() {
+        // Every 3-var formula with 4 fixed clauses: solver agrees with
+        // brute force on satisfiability.
+        let clauses_pool: Vec<Vec<i32>> = vec![
+            vec![1, 2, 3],
+            vec![-1, -2, -3],
+            vec![1, -2, 3],
+            vec![-1, 2, -3],
+            vec![1, 2, -3],
+            vec![-1, -2, 3],
+        ];
+        // Try all subsets of up to 6 clauses.
+        for mask in 0u32..(1 << clauses_pool.len()) {
+            let mut f = CnfFormula::new(3);
+            for (i, c) in clauses_pool.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    clause(&mut f, c);
+                }
+            }
+            let brute = (0u8..8).any(|bits| {
+                let a = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+                f.evaluate(&a)
+            });
+            let solver = DpllSolver::new().solve(&f);
+            assert_eq!(solver.is_some(), brute, "mask {mask:b}");
+            if let Some(model) = solver {
+                assert!(f.evaluate(&model), "mask {mask:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", DpllSolver::new()), "dpll solver");
+    }
+}

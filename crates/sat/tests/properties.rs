@@ -1,0 +1,90 @@
+//! Property tests for the SAT substrate.
+
+use proptest::prelude::*;
+use wrsn_sat::{planted_3sat, random_3sat, CnfFormula, DpllSolver, Lit};
+
+/// An arbitrary small formula as (num_vars, clause literal codes).
+fn arb_formula() -> impl Strategy<Value = CnfFormula> {
+    (2usize..6).prop_flat_map(|nv| {
+        let lit = (1..=nv, any::<bool>());
+        let clause = proptest::collection::vec(lit, 1..4);
+        proptest::collection::vec(clause, 0..8).prop_map(move |clauses| {
+            let mut f = CnfFormula::new(nv);
+            for c in clauses {
+                let lits: Vec<Lit> = c
+                    .into_iter()
+                    .map(|(v, pos)| if pos { Lit::pos(v) } else { Lit::neg(v) })
+                    .collect();
+                f.add_clause(lits).expect("valid clause");
+            }
+            f
+        })
+    })
+}
+
+fn brute_force_satisfiable(f: &CnfFormula) -> bool {
+    let n = f.num_vars();
+    (0u32..(1 << n)).any(|bits| {
+        let a: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+        f.evaluate(&a)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// DPLL agrees with brute-force enumeration on every small formula,
+    /// and returned models actually satisfy.
+    #[test]
+    fn dpll_matches_bruteforce(f in arb_formula()) {
+        let solver = DpllSolver::new();
+        let model = solver.solve(&f);
+        prop_assert_eq!(model.is_some(), brute_force_satisfiable(&f));
+        if let Some(m) = model {
+            prop_assert!(f.evaluate(&m));
+        }
+    }
+
+    /// DIMACS serialization round-trips exactly.
+    #[test]
+    fn dimacs_roundtrip(f in arb_formula()) {
+        let text = f.to_dimacs();
+        let parsed = CnfFormula::parse_dimacs(&text).expect("own output parses");
+        prop_assert_eq!(parsed, f);
+    }
+
+    /// Negation is an involution and flips evaluation.
+    #[test]
+    fn literal_negation(v in 1usize..50, pos in any::<bool>(), val in any::<bool>()) {
+        let l = if pos { Lit::pos(v) } else { Lit::neg(v) };
+        prop_assert_eq!(!!l, l);
+        let mut assignment = vec![false; v];
+        assignment[v - 1] = val;
+        prop_assert_eq!(l.eval(&assignment), !(!l).eval(&assignment));
+    }
+
+    /// Planted generators always produce formulas their plant satisfies.
+    #[test]
+    fn planted_instances_satisfied_by_plant(
+        nv in 3usize..10, nc in 1usize..20, seed in any::<u64>()
+    ) {
+        let (f, plant) = planted_3sat(nv, nc, seed);
+        prop_assert!(f.evaluate(&plant));
+        prop_assert!(f.is_3sat());
+        prop_assert_eq!(f.num_clauses(), nc);
+    }
+
+    /// Random 3-SAT generators are deterministic and well-shaped.
+    #[test]
+    fn random_3sat_shape(nv in 3usize..10, nc in 0usize..20, seed in any::<u64>()) {
+        let f = random_3sat(nv, nc, seed);
+        prop_assert_eq!(f.clone(), random_3sat(nv, nc, seed));
+        prop_assert!(f.is_3sat());
+        for c in f.clauses() {
+            let mut vars: Vec<usize> = c.lits().iter().map(|l| l.var()).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            prop_assert_eq!(vars.len(), 3);
+        }
+    }
+}

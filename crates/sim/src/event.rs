@@ -1,0 +1,206 @@
+//! A generic discrete-event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledEvent<E> {
+    /// Simulated time in seconds.
+    pub time: f64,
+    /// Tie-break sequence number: events at equal times fire in
+    /// scheduling order (FIFO), keeping runs deterministic.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E> Eq for ScheduledEvent<E> where E: PartialEq {}
+
+impl<E: PartialEq> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop the earliest time.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E: PartialEq> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue: the core of the discrete-event simulator.
+///
+/// Events pop in non-decreasing time order; equal times pop in insertion
+/// order, so simulations are reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(5.0, "b");
+/// q.schedule(1.0, "a");
+/// q.schedule(5.0, "c");
+/// assert_eq!(q.pop().map(|e| e.event), Some("a"));
+/// assert_eq!(q.pop().map(|e| e.event), Some("b"));
+/// assert_eq!(q.pop().map(|e| e.event), Some("c"));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<E: PartialEq> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    now: f64,
+}
+
+impl<E: PartialEq> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// The time of the most recently popped event (zero before the first
+    /// pop).
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not finite or lies in the past (before
+    /// [`EventQueue::now`]).
+    pub fn schedule(&mut self, time: f64, event: E) {
+        assert!(time.is_finite(), "event time must be finite");
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < {}",
+            self.now
+        );
+        self.heap.push(ScheduledEvent {
+            time,
+            seq: self.next_seq,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Schedules `event` at `now() + delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or non-finite.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(delay >= 0.0, "delay must be non-negative, got {delay}");
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing [`EventQueue::now`].
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let e = self.heap.pop();
+        if let Some(ev) = &e {
+            self.now = ev.time;
+        }
+        e
+    }
+
+    /// The time of the next event without popping it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 3);
+        q.schedule(1.0, 1);
+        q.schedule(2.0, 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(7.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_tracks_popped_time() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0.0);
+        q.schedule(2.5, ());
+        q.pop();
+        assert_eq!(q.now(), 2.5);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(10.0, "first");
+        q.pop();
+        q.schedule_in(5.0, "second");
+        assert_eq!(q.peek_time(), Some(15.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(10.0, ());
+        q.pop();
+        q.schedule(5.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_time_panics() {
+        EventQueue::new().schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,43 @@
+//! # wrsn-sim — discrete-event simulation of rechargeable WSNs
+//!
+//! The paper's evaluation metric — total recharging cost — is an analytic
+//! steady-state quantity. This crate executes a deployment/routing
+//! [`Solution`](wrsn_core::Solution) as an actual network over time and
+//! checks that the analytic story holds dynamically:
+//!
+//! - every reporting round, each post generates a report that is forwarded
+//!   hop-by-hop along the routing tree, draining per-node batteries for
+//!   transmission and reception;
+//! - nodes co-located at a post **rotate** duty per round so their
+//!   residual energies stay level (the paper's rotation assumption);
+//! - a wireless charger tops posts up with efficiency `η(m) = k(m)·η`,
+//!   under a visit policy ([`ChargerPolicy`]);
+//! - the report tallies charger energy, consumed energy, deaths, and
+//!   battery spreads, so tests can assert e.g. *charger energy per round →
+//!   analytic total recharging cost*.
+//!
+//! # Examples
+//!
+//! ```
+//! use wrsn_core::{InstanceSampler, Rfh, Solver};
+//! use wrsn_geom::Field;
+//! use wrsn_sim::{ChargerPolicy, SimConfig, Simulator};
+//!
+//! let inst = InstanceSampler::new(Field::square(200.0), 8, 24).sample(1);
+//! let sol = Rfh::default().solve(&inst)?;
+//! let report = Simulator::new(&inst, &sol, SimConfig::default()).run(500);
+//! assert_eq!(report.rounds_completed, 500);
+//! assert!(report.first_death.is_none(), "charger kept everyone alive");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod patrol;
+mod sim;
+
+pub use event::{EventQueue, ScheduledEvent};
+pub use patrol::{charger_demand_per_round, min_patrol_speed, required_chargers, PatrolTour};
+pub use sim::{ChargerPolicy, SimConfig, SimReport, Simulator};

@@ -1,0 +1,589 @@
+//! Charger patrol-tour planning.
+//!
+//! The paper assumes "sensor nodes can always be recharged in time" and
+//! explicitly leaves charger scheduling out of scope. This module fills
+//! that gap for the simulator: a mobile charger starts at the base
+//! station, must visit every post, and should travel as little as
+//! possible — a Euclidean TSP. We provide the standard heuristic pair
+//! (nearest-neighbor construction + 2-opt improvement), which is plenty
+//! for patrol planning, plus a feasibility check: the slowest-charging
+//! post must be revisited before it can run dry.
+
+use wrsn_core::{Instance, Solution};
+use wrsn_energy::Energy;
+use wrsn_geom::Point;
+
+/// A cyclic charger tour: leave the depot, visit every post once, return.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_geom::Point;
+/// use wrsn_sim::PatrolTour;
+///
+/// let stops = vec![Point::new(10.0, 0.0), Point::new(10.0, 10.0), Point::new(0.0, 10.0)];
+/// let tour = PatrolTour::plan(Point::ORIGIN, stops);
+/// assert_eq!(tour.length(), 40.0); // the square's perimeter
+/// assert_eq!(tour.cycle_s(2.0), 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatrolTour {
+    depot: Point,
+    stops: Vec<Point>,
+    /// Visit order as indices into `stops`.
+    order: Vec<usize>,
+}
+
+impl PatrolTour {
+    /// Plans a tour over `stops` starting and ending at `depot`:
+    /// nearest-neighbor construction refined by 2-opt until no
+    /// improving exchange remains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is non-finite.
+    #[must_use]
+    pub fn plan(depot: Point, stops: Vec<Point>) -> Self {
+        assert!(
+            depot.is_finite() && stops.iter().all(|p| p.is_finite()),
+            "tour points must be finite"
+        );
+        let order = nearest_neighbor(depot, &stops);
+        let mut tour = PatrolTour { depot, stops, order };
+        tour.two_opt();
+        tour
+    }
+
+    /// The planned visit order, as indices into the stop list handed to
+    /// [`PatrolTour::plan`].
+    #[must_use]
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The depot (base-station) location.
+    #[must_use]
+    pub fn depot(&self) -> Point {
+        self.depot
+    }
+
+    /// Total cycle length in meters: depot → stops in order → depot.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        if self.order.is_empty() {
+            return 0.0;
+        }
+        let mut len = self.depot.distance(self.stops[self.order[0]]);
+        for w in self.order.windows(2) {
+            len += self.stops[w[0]].distance(self.stops[w[1]]);
+        }
+        len + self.stops[*self.order.last().expect("non-empty")].distance(self.depot)
+    }
+
+    /// Time of the `k`-th visit (0-based, in visit order) within one
+    /// cycle, for a charger moving at `speed_mps`, ignoring dwell time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_mps` is not strictly positive or `k` is out of
+    /// range.
+    #[must_use]
+    pub fn visit_offset_s(&self, k: usize, speed_mps: f64) -> f64 {
+        assert!(speed_mps > 0.0, "charger speed must be positive");
+        assert!(k < self.order.len(), "visit index out of range");
+        let mut dist = self.depot.distance(self.stops[self.order[0]]);
+        for w in self.order.windows(2).take(k) {
+            dist += self.stops[w[0]].distance(self.stops[w[1]]);
+        }
+        dist / speed_mps
+    }
+
+    /// Full cycle duration in seconds at `speed_mps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_mps` is not strictly positive.
+    #[must_use]
+    pub fn cycle_s(&self, speed_mps: f64) -> f64 {
+        assert!(speed_mps > 0.0, "charger speed must be positive");
+        self.length() / speed_mps
+    }
+
+    /// Splits the tour among `k` chargers: the visit order is cut into
+    /// `k` contiguous runs, greedily balanced so no run's depot-anchored
+    /// cycle greatly exceeds the others. Returns fewer than `k` tours
+    /// when there are fewer stops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn split(&self, k: usize) -> Vec<PatrolTour> {
+        assert!(k >= 1, "need at least one charger");
+        let n = self.order.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let k = k.min(n);
+        // Greedy cut at ~1/k of the inter-stop path per charger; each
+        // sub-tour re-plans (2-opt) over its own stops.
+        let target = self.length() / k as f64;
+        let mut tours = Vec::with_capacity(k);
+        let mut segment: Vec<Point> = Vec::new();
+        let mut seg_len = 0.0;
+        let mut prev = self.depot;
+        let mut remaining_cuts = k - 1;
+        for (i, &stop) in self.order.iter().enumerate() {
+            let pt = self.stops[stop];
+            seg_len += prev.distance(pt);
+            segment.push(pt);
+            prev = pt;
+            let stops_left = n - i - 1;
+            if remaining_cuts > 0
+                && stops_left >= remaining_cuts
+                && seg_len + pt.distance(self.depot) >= target
+            {
+                tours.push(PatrolTour::plan(self.depot, std::mem::take(&mut segment)));
+                seg_len = 0.0;
+                prev = self.depot;
+                remaining_cuts -= 1;
+            }
+        }
+        if !segment.is_empty() {
+            tours.push(PatrolTour::plan(self.depot, segment));
+        }
+        tours
+    }
+
+    /// The stop coordinates this tour visits, in visit order.
+    #[must_use]
+    pub fn stops_in_order(&self) -> Vec<Point> {
+        self.order.iter().map(|&i| self.stops[i]).collect()
+    }
+
+    /// 2-opt local search: repeatedly reverse segments while that
+    /// shortens the tour.
+    fn two_opt(&mut self) {
+        let n = self.order.len();
+        if n < 3 {
+            return;
+        }
+        let pos = |tour: &PatrolTour, i: isize| -> Point {
+            if i < 0 || i as usize >= n {
+                tour.depot
+            } else {
+                tour.stops[tour.order[i as usize]]
+            }
+        };
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for i in 0..n - 1 {
+                for j in i + 1..n {
+                    // Reversing order[i..=j] replaces edges
+                    // (i-1, i) and (j, j+1) with (i-1, j) and (i, j+1).
+                    let a = pos(self, i as isize - 1);
+                    let b = pos(self, i as isize);
+                    let c = pos(self, j as isize);
+                    let d = pos(self, j as isize + 1);
+                    let before = a.distance(b) + c.distance(d);
+                    let after = a.distance(c) + b.distance(d);
+                    if after + 1e-9 < before {
+                        self.order[i..=j].reverse();
+                        improved = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn nearest_neighbor(depot: Point, stops: &[Point]) -> Vec<usize> {
+    let n = stops.len();
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut cur = depot;
+    for _ in 0..n {
+        let next = (0..n)
+            .filter(|&i| !visited[i])
+            .min_by(|&a, &b| {
+                stops[a]
+                    .distance(cur)
+                    .total_cmp(&stops[b].distance(cur))
+                    .then_with(|| a.cmp(&b))
+            })
+            .expect("unvisited stop remains");
+        visited[next] = true;
+        order.push(next);
+        cur = stops[next];
+    }
+    order
+}
+
+/// Per-post recharge demand of a solution: energy drawn from the charger
+/// per reporting round (consumed energy scaled by the post's charging
+/// efficiency), used to size patrol frequency.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_core::{Idb, InstanceSampler, Solver};
+/// use wrsn_geom::Field;
+/// use wrsn_sim::charger_demand_per_round;
+///
+/// let inst = InstanceSampler::new(Field::square(150.0), 5, 10).sample(1);
+/// let sol = Idb::new(1).solve(&inst)?;
+/// let demand = charger_demand_per_round(&inst, &sol, 4000);
+/// assert_eq!(demand.len(), 5);
+/// # Ok::<(), wrsn_core::SolveError>(())
+/// ```
+#[must_use]
+pub fn charger_demand_per_round(
+    instance: &Instance,
+    solution: &Solution,
+    bits_per_report: u64,
+) -> Vec<Energy> {
+    solution
+        .tree()
+        .per_post_energy(instance)
+        .iter()
+        .zip(solution.deployment().counts())
+        .map(|(&e, &m)| e * bits_per_report as f64 / instance.charge_efficiency(m))
+        .collect()
+}
+
+/// The minimum charger speed (m/s) that keeps every post alive under a
+/// cyclic patrol: each post's pooled battery must outlast one full tour
+/// cycle plus a safety factor.
+///
+/// Returns `None` if the instance has no geometry (explicit instances
+/// cannot be patrolled spatially).
+///
+/// # Panics
+///
+/// Panics if `safety` is less than 1 or the round interval is not
+/// positive.
+#[must_use]
+pub fn min_patrol_speed(
+    instance: &Instance,
+    solution: &Solution,
+    tour: &PatrolTour,
+    battery_capacity: Energy,
+    bits_per_report: u64,
+    round_interval_s: f64,
+    safety: f64,
+) -> Option<f64> {
+    assert!(safety >= 1.0, "safety factor must be at least 1");
+    assert!(round_interval_s > 0.0, "round interval must be positive");
+    instance.geometry()?;
+    // Per-round consumed energy per post vs pooled storage.
+    let consumed = solution.tree().per_post_energy(instance);
+    let mut worst_cycle_s = f64::INFINITY;
+    for (p, &e_round) in consumed.iter().enumerate() {
+        let e_round = e_round * bits_per_report as f64;
+        if e_round == Energy::ZERO {
+            continue;
+        }
+        let pool = battery_capacity * f64::from(solution.deployment().count(p));
+        let survivable_rounds = pool / e_round;
+        worst_cycle_s = worst_cycle_s.min(survivable_rounds * round_interval_s);
+    }
+    if worst_cycle_s.is_infinite() {
+        return Some(0.0);
+    }
+    Some(tour.length() * safety / worst_cycle_s)
+}
+
+/// The minimum charger-fleet size that keeps every post alive at
+/// `speed_mps`: the smallest `k` such that after splitting the full tour
+/// among `k` chargers, every sub-tour's cycle (times `safety`) fits
+/// within the most fragile post's survivable window. Returns `None` when
+/// the instance has no geometry or even one charger per post would be
+/// too slow.
+///
+/// # Panics
+///
+/// Panics if `speed_mps` is not positive, `safety < 1`, or the round
+/// interval is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_core::{Idb, InstanceSampler, Solver};
+/// use wrsn_energy::Energy;
+/// use wrsn_geom::Field;
+/// use wrsn_sim::required_chargers;
+///
+/// let inst = InstanceSampler::new(Field::square(200.0), 8, 24).sample(1);
+/// let sol = Idb::new(1).solve(&inst)?;
+/// let k = required_chargers(
+///     &inst, &sol, Energy::from_joules(0.5), 4000, 1.0, 5.0, 1.2,
+/// ).expect("feasible");
+/// assert!(k >= 1);
+/// # Ok::<(), wrsn_core::SolveError>(())
+/// ```
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn required_chargers(
+    instance: &Instance,
+    solution: &Solution,
+    battery_capacity: Energy,
+    bits_per_report: u64,
+    round_interval_s: f64,
+    speed_mps: f64,
+    safety: f64,
+) -> Option<u32> {
+    assert!(speed_mps > 0.0, "charger speed must be positive");
+    assert!(safety >= 1.0, "safety factor must be at least 1");
+    assert!(round_interval_s > 0.0, "round interval must be positive");
+    let geo = instance.geometry()?;
+    // Survivable window of the most fragile post.
+    let consumed = solution.tree().per_post_energy(instance);
+    let mut window_s = f64::INFINITY;
+    for (p, &e) in consumed.iter().enumerate() {
+        let per_round = e * bits_per_report as f64 + instance.sensing_energy(p);
+        if per_round == Energy::ZERO {
+            continue;
+        }
+        let pool = battery_capacity * f64::from(solution.deployment().count(p));
+        window_s = window_s.min(pool / per_round * round_interval_s);
+    }
+    if window_s.is_infinite() {
+        return Some(1);
+    }
+    let full = PatrolTour::plan(geo.base_station, geo.posts.clone());
+    let n = geo.posts.len();
+    for k in 1..=n {
+        let worst_cycle = full
+            .split(k)
+            .iter()
+            .map(PatrolTour::length)
+            .fold(0.0, f64::max)
+            / speed_mps;
+        if worst_cycle * safety <= window_s {
+            return Some(k as u32);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrsn_core::{Idb, InstanceSampler, Solver};
+    use wrsn_geom::Field;
+
+    fn square_stops() -> Vec<Point> {
+        vec![
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+            Point::new(5.0, 5.0),
+        ]
+    }
+
+    #[test]
+    fn tour_visits_every_stop_once() {
+        let tour = PatrolTour::plan(Point::ORIGIN, square_stops());
+        let mut order = tour.order().to_vec();
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn two_opt_never_longer_than_nearest_neighbor() {
+        let field = Field::square(200.0);
+        for seed in 0..5 {
+            let stops = field.random_posts(25, seed);
+            let nn_len = {
+                let order = nearest_neighbor(Point::ORIGIN, &stops);
+                let t = PatrolTour {
+                    depot: Point::ORIGIN,
+                    stops: stops.clone(),
+                    order,
+                };
+                t.length()
+            };
+            let planned = PatrolTour::plan(Point::ORIGIN, stops);
+            assert!(planned.length() <= nn_len + 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn square_tour_is_optimal() {
+        // Depot at origin + 3 square corners: the optimal cycle is the
+        // square perimeter of length 40.
+        let stops = vec![
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ];
+        let tour = PatrolTour::plan(Point::ORIGIN, stops);
+        assert!((tour.length() - 40.0).abs() < 1e-9, "{}", tour.length());
+    }
+
+    #[test]
+    fn visit_offsets_increase_along_the_tour() {
+        let tour = PatrolTour::plan(Point::ORIGIN, square_stops());
+        let speed = 2.0;
+        let mut last = -1.0;
+        for k in 0..tour.order().len() {
+            let t = tour.visit_offset_s(k, speed);
+            assert!(t > last);
+            last = t;
+        }
+        assert!(tour.cycle_s(speed) > last);
+    }
+
+    #[test]
+    fn empty_tour() {
+        let tour = PatrolTour::plan(Point::ORIGIN, vec![]);
+        assert_eq!(tour.length(), 0.0);
+        assert!(tour.order().is_empty());
+    }
+
+    #[test]
+    fn single_stop_tour_is_out_and_back() {
+        let tour = PatrolTour::plan(Point::ORIGIN, vec![Point::new(7.0, 0.0)]);
+        assert_eq!(tour.length(), 14.0);
+        assert_eq!(tour.visit_offset_s(0, 7.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed")]
+    fn zero_speed_rejected() {
+        let tour = PatrolTour::plan(Point::ORIGIN, square_stops());
+        let _ = tour.cycle_s(0.0);
+    }
+
+    #[test]
+    fn split_partitions_all_stops() {
+        let field = Field::square(300.0);
+        let stops = field.random_posts(30, 4);
+        let tour = PatrolTour::plan(Point::ORIGIN, stops.clone());
+        for k in [1usize, 2, 3, 5] {
+            let subs = tour.split(k);
+            assert_eq!(subs.len(), k);
+            let mut visited: Vec<Point> = subs
+                .iter()
+                .flat_map(|t| t.stops_in_order())
+                .collect();
+            assert_eq!(visited.len(), 30);
+            // Every original stop appears exactly once across sub-tours.
+            for s in &stops {
+                let found = visited
+                    .iter()
+                    .position(|v| v.distance(*s) < 1e-9)
+                    .expect("stop covered");
+                visited.swap_remove(found);
+            }
+            assert!(visited.is_empty());
+            // More chargers => the worst cycle shrinks (or at least never
+            // exceeds the single-charger cycle).
+            let worst = subs.iter().map(PatrolTour::length).fold(0.0, f64::max);
+            assert!(worst <= tour.length() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn split_more_chargers_than_stops() {
+        let tour = PatrolTour::plan(Point::ORIGIN, vec![Point::new(5.0, 0.0)]);
+        let subs = tour.split(4);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(tour.split(1).len(), 1);
+        assert!(PatrolTour::plan(Point::ORIGIN, vec![]).split(3).is_empty());
+    }
+
+    #[test]
+    fn split_helps_on_two_arms() {
+        // Two arms out of the depot: one charger per arm beats one
+        // charger covering both.
+        let mut stops: Vec<Point> = (1..=5).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
+        stops.extend((1..=5).map(|i| Point::new(0.0, i as f64 * 10.0)));
+        let tour = PatrolTour::plan(Point::ORIGIN, stops);
+        let subs = tour.split(2);
+        let worst = subs.iter().map(PatrolTour::length).fold(0.0, f64::max);
+        assert!(
+            worst < tour.length() * 0.8,
+            "worst sub-cycle {worst} vs full {}",
+            tour.length()
+        );
+    }
+
+    #[test]
+    fn required_chargers_shrinks_with_bigger_batteries() {
+        let inst = InstanceSampler::new(Field::square(300.0), 20, 60).sample(7);
+        let sol = Idb::new(1).solve(&inst).unwrap();
+        let fleet = |capacity_j: f64| {
+            required_chargers(
+                &inst,
+                &sol,
+                Energy::from_joules(capacity_j),
+                4000,
+                1.0,
+                1.0, // a slow walking charger
+                1.5,
+            )
+        };
+        let small = fleet(0.02);
+        let big = fleet(50.0);
+        assert_eq!(big, Some(1), "huge batteries need one charger");
+        if let Some(k) = small {
+            assert!(k >= 1); // None (infeasible at walking pace) is fine
+        }
+        if let (Some(s), Some(b)) = (small, big) {
+            assert!(s >= b);
+        }
+    }
+
+    #[test]
+    fn required_chargers_none_for_explicit_instances() {
+        use wrsn_core::InstanceBuilder;
+        let e = Energy::from_njoules(4.0);
+        let inst = InstanceBuilder::new(2, 2)
+            .uplink(0, 2, e)
+            .uplink(1, 0, e)
+            .build()
+            .unwrap();
+        let sol = Idb::new(1).solve(&inst).unwrap();
+        assert_eq!(
+            required_chargers(&inst, &sol, Energy::from_joules(0.1), 100, 1.0, 1.0, 1.0),
+            None
+        );
+    }
+
+    #[test]
+    fn demand_and_min_speed_are_consistent() {
+        let inst = InstanceSampler::new(Field::square(200.0), 8, 24).sample(3);
+        let sol = Idb::new(1).solve(&inst).unwrap();
+        let demand = charger_demand_per_round(&inst, &sol, 1000);
+        assert_eq!(demand.len(), 8);
+        assert!(demand.iter().all(|&d| d > Energy::ZERO));
+
+        let geo = inst.geometry().unwrap();
+        let tour = PatrolTour::plan(geo.base_station, geo.posts.clone());
+        let speed = min_patrol_speed(
+            &inst,
+            &sol,
+            &tour,
+            Energy::from_joules(0.05),
+            1000,
+            1.0,
+            1.5,
+        )
+        .expect("geometric instance");
+        assert!(speed > 0.0 && speed.is_finite());
+        // Bigger batteries allow a slower charger.
+        let relaxed = min_patrol_speed(
+            &inst,
+            &sol,
+            &tour,
+            Energy::from_joules(0.5),
+            1000,
+            1.0,
+            1.5,
+        )
+        .unwrap();
+        assert!(relaxed < speed);
+    }
+}

@@ -1,0 +1,913 @@
+//! The network simulator: rounds, rotation, batteries, charger.
+
+use crate::{EventQueue, PatrolTour};
+use std::fmt;
+use wrsn_core::{Instance, Solution};
+use wrsn_energy::{Battery, Energy};
+
+/// When and how the wireless charger tops up posts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChargerPolicy {
+    /// No charger: the network runs until batteries die (lifetime
+    /// experiments).
+    None,
+    /// Every `interval_s` seconds the charger inspects all posts and
+    /// refills any whose pooled state of charge is below `trigger_soc`
+    /// back to full. Travel time is abstracted away (the paper's
+    /// "recharged in time" assumption).
+    Threshold {
+        /// Patrol interval in seconds.
+        interval_s: f64,
+        /// Pooled state-of-charge fraction that triggers a refill.
+        trigger_soc: f64,
+    },
+    /// A fleet of `chargers` mobile chargers physically cycle planned
+    /// [`PatrolTour`]s (nearest-neighbor + 2-opt over the instance
+    /// geometry, split into balanced sub-tours) at `speed_mps`, topping
+    /// up each post they reach if its pooled state of charge is below
+    /// `trigger_soc`. Requires a geometric instance.
+    PatrolTour {
+        /// Charger travel speed in meters per second.
+        speed_mps: f64,
+        /// Pooled state-of-charge fraction that triggers a refill.
+        trigger_soc: f64,
+        /// Number of chargers sharing the patrol (≥ 1).
+        chargers: u32,
+    },
+}
+
+impl Default for ChargerPolicy {
+    /// Patrol every 10 rounds, refill below 50 %.
+    fn default() -> Self {
+        ChargerPolicy::Threshold {
+            interval_s: 10.0,
+            trigger_soc: 0.5,
+        }
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Seconds between reporting rounds (also the patrol time unit).
+    pub round_interval_s: f64,
+    /// Bits per report.
+    pub bits_per_report: u64,
+    /// Battery capacity of every node.
+    pub battery_capacity: Energy,
+    /// The charger policy.
+    pub charger: ChargerPolicy,
+    /// Record a state-of-charge sample every this many rounds
+    /// (`None` = no timeline).
+    pub record_soc_every: Option<u64>,
+    /// Charger radiated power in watts; a patrol charger refilling a
+    /// post dwells for `radiated / power` seconds, delaying the rest of
+    /// its tour. `f64::INFINITY` (the default) means instant refills.
+    pub charger_power_w: f64,
+}
+
+impl Default for SimConfig {
+    /// One report per second of 4000 bits (a ~500-byte reading), 100 mJ
+    /// batteries, default threshold charger.
+    fn default() -> Self {
+        SimConfig {
+            round_interval_s: 1.0,
+            bits_per_report: 4000,
+            battery_capacity: Energy::from_joules(0.1),
+            charger: ChargerPolicy::default(),
+            record_soc_every: None,
+            charger_power_w: f64::INFINITY,
+        }
+    }
+}
+
+/// What happened during a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Rounds fully simulated.
+    pub rounds_completed: u64,
+    /// Reports that reached the base station.
+    pub reports_delivered: u64,
+    /// Reports lost because a post on their path was dead.
+    pub reports_lost: u64,
+    /// Total energy radiated by the charger.
+    pub charger_energy: Energy,
+    /// Total energy actually consumed by nodes.
+    pub consumed_energy: Energy,
+    /// Per-post consumed energy.
+    pub per_post_consumed: Vec<Energy>,
+    /// Time and post of the first battery death, if any.
+    pub first_death: Option<(f64, usize)>,
+    /// Largest intra-post residual-energy spread observed at the end
+    /// (fraction of capacity) — small values confirm rotation works.
+    pub max_rotation_imbalance: f64,
+    /// Periodic state-of-charge samples, if
+    /// [`SimConfig::record_soc_every`] was set: `(time, min SoC across
+    /// posts, mean SoC)`.
+    pub soc_timeline: Vec<(f64, f64, f64)>,
+    /// Total distance traveled by patrol chargers, in meters (zero for
+    /// the non-spatial policies).
+    pub charger_travel_m: f64,
+}
+
+impl SimReport {
+    /// Charger energy averaged per completed round.
+    #[must_use]
+    pub fn charger_energy_per_round(&self) -> Energy {
+        if self.rounds_completed == 0 {
+            Energy::ZERO
+        } else {
+            self.charger_energy / self.rounds_completed as f64
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sim: {} rounds, {} delivered / {} lost, charger {}, consumed {}",
+            self.rounds_completed,
+            self.reports_delivered,
+            self.reports_lost,
+            self.charger_energy,
+            self.consumed_energy
+        )
+    }
+}
+
+#[derive(Debug, PartialEq)]
+enum Event {
+    Round,
+    Patrol,
+    /// Patrol charger `charger` arrives at the `stop`-th post of its
+    /// route.
+    Visit {
+        charger: usize,
+        stop: usize,
+    },
+}
+
+/// Executes a [`Solution`] as a live network.
+///
+/// See the [crate docs](crate) for the modeling assumptions. Constructed
+/// per `(instance, solution)` pair, then driven with [`Simulator::run`].
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    instance: &'a Instance,
+    solution: &'a Solution,
+    config: SimConfig,
+    /// One battery per node, grouped by post.
+    batteries: Vec<Vec<Battery>>,
+    /// Round-robin duty pointer per post.
+    duty: Vec<usize>,
+    /// Per patrol charger: visited posts, inbound leg lengths (meters),
+    /// and the return-to-depot leg.
+    patrol_routes: Vec<PatrolRoute>,
+}
+
+#[derive(Debug, Clone)]
+struct PatrolRoute {
+    posts: Vec<usize>,
+    legs_m: Vec<f64>,
+    home_leg_m: f64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with every battery full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solution does not belong to the instance or the
+    /// config is degenerate (non-positive round interval, zero-capacity
+    /// batteries, invalid charger fractions).
+    #[must_use]
+    pub fn new(instance: &'a Instance, solution: &'a Solution, config: SimConfig) -> Self {
+        assert!(
+            solution.deployment().is_valid_for(instance),
+            "solution does not match instance"
+        );
+        assert!(
+            config.round_interval_s > 0.0 && config.round_interval_s.is_finite(),
+            "round interval must be positive"
+        );
+        assert!(
+            config.battery_capacity > Energy::ZERO,
+            "batteries need positive capacity"
+        );
+        assert!(
+            config.charger_power_w > 0.0,
+            "charger power must be positive (use INFINITY for instant refills)"
+        );
+        match config.charger {
+            ChargerPolicy::Threshold {
+                interval_s,
+                trigger_soc,
+            } => {
+                assert!(interval_s > 0.0, "patrol interval must be positive");
+                assert!(
+                    (0.0..=1.0).contains(&trigger_soc),
+                    "trigger SoC must lie in [0, 1]"
+                );
+            }
+            ChargerPolicy::PatrolTour {
+                speed_mps,
+                trigger_soc,
+                chargers,
+            } => {
+                assert!(speed_mps > 0.0, "charger speed must be positive");
+                assert!(
+                    (0.0..=1.0).contains(&trigger_soc),
+                    "trigger SoC must lie in [0, 1]"
+                );
+                assert!(chargers >= 1, "need at least one charger");
+                assert!(
+                    instance.geometry().is_some(),
+                    "PatrolTour needs a geometric instance"
+                );
+            }
+            ChargerPolicy::None => {}
+        }
+        let batteries = solution
+            .deployment()
+            .counts()
+            .iter()
+            .map(|&m| vec![Battery::full(config.battery_capacity); m as usize])
+            .collect();
+        Simulator {
+            instance,
+            solution,
+            config,
+            batteries,
+            duty: vec![0; instance.num_posts()],
+            patrol_routes: Vec::new(),
+        }
+    }
+
+    /// Runs `rounds` reporting rounds and returns the tally.
+    #[must_use]
+    pub fn run(mut self, rounds: u64) -> SimReport {
+        let n = self.instance.num_posts();
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        for r in 0..rounds {
+            queue.schedule(r as f64 * self.config.round_interval_s, Event::Round);
+        }
+        let end = rounds as f64 * self.config.round_interval_s;
+        match self.config.charger {
+            ChargerPolicy::Threshold { interval_s, .. } => {
+                let mut t = interval_s;
+                while t <= end {
+                    queue.schedule(t, Event::Patrol);
+                    t += interval_s;
+                }
+            }
+            ChargerPolicy::PatrolTour {
+                speed_mps, chargers, ..
+            } => {
+                let geo = self.instance.geometry().expect("validated in new");
+                // Bit-exact coordinate -> post index lookup (points pass
+                // through tour planning unmodified).
+                let index_of = |pt: wrsn_geom::Point| -> usize {
+                    geo.posts
+                        .iter()
+                        .position(|p| p.x.to_bits() == pt.x.to_bits()
+                            && p.y.to_bits() == pt.y.to_bits())
+                        .expect("tour stops are instance posts")
+                };
+                let full = PatrolTour::plan(geo.base_station, geo.posts.clone());
+                for tour in full.split(chargers as usize) {
+                    let stops = tour.stops_in_order();
+                    if stops.is_empty() {
+                        continue;
+                    }
+                    let posts: Vec<usize> = stops.iter().copied().map(index_of).collect();
+                    let legs_m: Vec<f64> = stops
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &pt)| {
+                            if k == 0 {
+                                geo.base_station.distance(pt)
+                            } else {
+                                stops[k - 1].distance(pt)
+                            }
+                        })
+                        .collect();
+                    let home_leg_m = stops.last().expect("non-empty").distance(geo.base_station);
+                    let charger = self.patrol_routes.len();
+                    let first = legs_m[0] / speed_mps;
+                    self.patrol_routes.push(PatrolRoute {
+                        posts,
+                        legs_m,
+                        home_leg_m,
+                    });
+                    if first <= end {
+                        queue.schedule(first, Event::Visit { charger, stop: 0 });
+                    }
+                }
+            }
+            ChargerPolicy::None => {}
+        }
+
+        let mut report = SimReport {
+            rounds_completed: 0,
+            reports_delivered: 0,
+            reports_lost: 0,
+            charger_energy: Energy::ZERO,
+            consumed_energy: Energy::ZERO,
+            per_post_consumed: vec![Energy::ZERO; n],
+            first_death: None,
+            max_rotation_imbalance: 0.0,
+            soc_timeline: Vec::new(),
+            charger_travel_m: 0.0,
+        };
+
+        // Hop order: process posts farthest-first so a report traverses
+        // its whole path within one round.
+        let tree = self.solution.tree();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| tree.depth(b).cmp(&tree.depth(a)).then_with(|| a.cmp(&b)));
+
+        while let Some(ev) = queue.pop() {
+            match ev.event {
+                Event::Round => {
+                    self.simulate_round(&order, ev.time, &mut report);
+                    report.rounds_completed += 1;
+                    if let Some(every) = self.config.record_soc_every {
+                        if every > 0 && report.rounds_completed.is_multiple_of(every) {
+                            report.soc_timeline.push(self.soc_sample(ev.time));
+                        }
+                    }
+                }
+                Event::Patrol => self.patrol(&mut report),
+                Event::Visit { charger, stop } => {
+                    let ChargerPolicy::PatrolTour {
+                        trigger_soc,
+                        speed_mps,
+                        ..
+                    } = self.config.charger
+                    else {
+                        unreachable!("visits only exist under the patrol policy")
+                    };
+                    let route = &self.patrol_routes[charger];
+                    let post = route.posts[stop];
+                    report.charger_travel_m += route.legs_m[stop];
+                    let radiated = self.refill_if_below(post, trigger_soc, &mut report);
+                    // Finite charger power makes refills take time,
+                    // delaying the rest of the tour.
+                    let dwell = if self.config.charger_power_w.is_finite() {
+                        radiated.as_joules() / self.config.charger_power_w
+                    } else {
+                        0.0
+                    };
+                    let route = &self.patrol_routes[charger];
+                    let (next_stop, travel_m) = if stop + 1 < route.posts.len() {
+                        (stop + 1, route.legs_m[stop + 1])
+                    } else {
+                        (0, route.home_leg_m + route.legs_m[0])
+                    };
+                    let t = queue.now() + dwell + travel_m / speed_mps;
+                    if t <= end {
+                        queue.schedule(
+                            t,
+                            Event::Visit {
+                                charger,
+                                stop: next_stop,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        // Final rotation-imbalance audit.
+        for cells in &self.batteries {
+            let max = cells.iter().map(|b| b.state_of_charge()).fold(0.0, f64::max);
+            let min = cells
+                .iter()
+                .map(|b| b.state_of_charge())
+                .fold(1.0, f64::min);
+            report.max_rotation_imbalance = report.max_rotation_imbalance.max(max - min);
+        }
+        report
+    }
+
+    /// One reporting round: every live post pays its sensing budget and
+    /// originates a report of `rate_p · bits_per_report` bits; dead posts
+    /// on a path kill the reports they carry (tallied as lost).
+    #[allow(clippy::needless_range_loop)] // walks several parallel per-post arrays
+    fn simulate_round(&mut self, order: &[usize], time: f64, report: &mut SimReport) {
+        let n = self.instance.num_posts();
+        let bits = self.config.bits_per_report as f64;
+        let bs = self.instance.bs();
+        let tree = self.solution.tree();
+        // Deployment-independent (sensing/computation) consumption.
+        let mut sensing_dead = vec![false; n];
+        for p in 0..n {
+            let sensing = self.instance.sensing_energy(p);
+            if sensing > Energy::ZERO && !self.drain(p, sensing, time, report) {
+                sensing_dead[p] = true;
+            }
+        }
+        // Packets (for delivery stats) and bits (for energy) in flight.
+        let mut packets = vec![0u64; n];
+        let mut bits_inflight = vec![0f64; n];
+        for p in 0..n {
+            packets[p] = 1;
+            bits_inflight[p] = self.instance.report_rate(p) * bits;
+        }
+        for &p in order {
+            if packets[p] == 0 {
+                continue;
+            }
+            if sensing_dead[p] {
+                report.reports_lost += packets[p];
+                continue;
+            }
+            let parent = tree.parent(p);
+            let tx = tree.tx_energy(self.instance, p) * bits_inflight[p];
+            // Reception for forwarded traffic was already billed when it
+            // arrived (below); here bill the transmission, then deliver.
+            if !self.drain(p, tx, time, report) {
+                report.reports_lost += packets[p];
+                continue;
+            }
+            if parent == bs {
+                report.reports_delivered += packets[p];
+            } else {
+                let rx = self.instance.rx_energy() * bits_inflight[p];
+                if self.drain(parent, rx, time, report) {
+                    packets[parent] += packets[p];
+                    bits_inflight[parent] += bits_inflight[p];
+                } else {
+                    report.reports_lost += packets[p];
+                }
+            }
+            // Rotate duty for the next round.
+            let m = self.batteries[p].len();
+            self.duty[p] = (self.duty[p] + 1) % m;
+        }
+    }
+
+    /// Drains `amount` from post `p`'s duty node; on failure the post is
+    /// considered dead for this round.
+    fn drain(&mut self, p: usize, amount: Energy, time: f64, report: &mut SimReport) -> bool {
+        let duty = self.duty[p];
+        let cell = &mut self.batteries[p][duty];
+        match cell.drain(amount) {
+            Ok(()) => {
+                report.consumed_energy += amount;
+                report.per_post_consumed[p] += amount;
+                true
+            }
+            Err(_) => {
+                report.first_death.get_or_insert((time, p));
+                false
+            }
+        }
+    }
+
+    /// The charger visits every post below the trigger and refills it,
+    /// paying `delivered / η(m)`.
+    fn patrol(&mut self, report: &mut SimReport) {
+        let ChargerPolicy::Threshold { trigger_soc, .. } = self.config.charger else {
+            return;
+        };
+        for p in 0..self.batteries.len() {
+            let _ = self.refill_if_below(p, trigger_soc, report);
+        }
+    }
+
+    /// A `(time, min, mean)` pooled state-of-charge sample across posts.
+    fn soc_sample(&self, time: f64) -> (f64, f64, f64) {
+        let mut min = 1.0f64;
+        let mut total = 0.0;
+        for cells in &self.batteries {
+            let level: Energy = cells.iter().map(|b| b.level()).sum();
+            let capacity: Energy = cells.iter().map(|b| b.capacity()).sum();
+            let soc = level / capacity;
+            min = min.min(soc);
+            total += soc;
+        }
+        (time, min, total / self.batteries.len() as f64)
+    }
+
+    /// Tops post `p` up to full if its pooled state of charge is below
+    /// `trigger_soc`, billing the charger `delivered / η(m)`. Returns the
+    /// charger energy radiated (zero when the post did not need a top-up).
+    fn refill_if_below(&mut self, p: usize, trigger_soc: f64, report: &mut SimReport) -> Energy {
+        let cells = &mut self.batteries[p];
+        let m = cells.len() as u32;
+        let level: Energy = cells.iter().map(|b| b.level()).sum();
+        let capacity: Energy = cells.iter().map(|b| b.capacity()).sum();
+        if level / capacity >= trigger_soc {
+            return Energy::ZERO;
+        }
+        // Simultaneous charging: every node in the post is topped up in
+        // one pass of the charger.
+        let mut delivered = Energy::ZERO;
+        for cell in cells.iter_mut() {
+            let need = cell.capacity() - cell.level();
+            let overflow = cell.charge(need);
+            debug_assert_eq!(overflow, Energy::ZERO);
+            delivered += need;
+        }
+        let radiated = delivered / self.instance.charge_efficiency(m.max(1));
+        report.charger_energy += radiated;
+        radiated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrsn_core::{Idb, InstanceSampler, Solver};
+    use wrsn_geom::Field;
+
+    fn small_solution() -> (Instance, Solution) {
+        let inst = InstanceSampler::new(Field::square(150.0), 5, 15).sample(3);
+        let sol = Idb::new(1).solve(&inst).unwrap();
+        (inst, sol)
+    }
+
+    #[test]
+    fn all_reports_delivered_with_charger() {
+        let (inst, sol) = small_solution();
+        let report = Simulator::new(&inst, &sol, SimConfig::default()).run(200);
+        assert_eq!(report.rounds_completed, 200);
+        assert_eq!(report.reports_delivered, 200 * 5);
+        assert_eq!(report.reports_lost, 0);
+        assert!(report.first_death.is_none());
+    }
+
+    #[test]
+    fn charger_energy_matches_analytic_cost() {
+        let (inst, sol) = small_solution();
+        let rounds = 3000;
+        // Small batteries and frequent patrols shrink the end-of-run
+        // accounting lag (energy consumed but not yet re-charged).
+        let config = SimConfig {
+            battery_capacity: Energy::from_joules(0.02),
+            charger: ChargerPolicy::Threshold {
+                interval_s: 2.0,
+                trigger_soc: 0.5,
+            },
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&inst, &sol, config).run(rounds);
+        // Analytic: cost is per bit; per round each post reports
+        // bits_per_report bits.
+        let analytic_per_round =
+            sol.total_cost() * config.bits_per_report as f64;
+        let simulated = report.charger_energy_per_round();
+        // The charger lags the drain by up to the battery capacity, so
+        // compare with a tolerance that shrinks with run length.
+        let rel = (simulated.as_njoules() - analytic_per_round.as_njoules()).abs()
+            / analytic_per_round.as_njoules();
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn no_charger_leads_to_death() {
+        let (inst, sol) = small_solution();
+        let config = SimConfig {
+            charger: ChargerPolicy::None,
+            battery_capacity: Energy::from_ujoules(2000.0),
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&inst, &sol, config).run(3000);
+        assert!(report.first_death.is_some(), "{report}");
+        assert!(report.reports_lost > 0);
+        assert_eq!(report.charger_energy, Energy::ZERO);
+    }
+
+    #[test]
+    fn rotation_keeps_residual_energy_level() {
+        let (inst, sol) = small_solution();
+        let report = Simulator::new(&inst, &sol, SimConfig::default()).run(500);
+        // After many rounds with rotation + refills, intra-post spread
+        // stays a small fraction of capacity.
+        assert!(
+            report.max_rotation_imbalance < 0.25,
+            "imbalance {}",
+            report.max_rotation_imbalance
+        );
+    }
+
+    #[test]
+    fn consumed_energy_matches_tree_accounting() {
+        let (inst, sol) = small_solution();
+        let config = SimConfig::default();
+        let rounds = 100;
+        let report = Simulator::new(&inst, &sol, config).run(rounds);
+        let per_round_expected: Energy = sol
+            .tree()
+            .per_post_energy(&inst)
+            .iter()
+            .copied()
+            .sum::<Energy>()
+            * config.bits_per_report as f64;
+        let expected = per_round_expected * rounds as f64;
+        let rel = (report.consumed_energy.as_njoules() - expected.as_njoules()).abs()
+            / expected.as_njoules();
+        assert!(rel < 1e-9, "relative error {rel}");
+    }
+
+    #[test]
+    fn per_post_consumption_profile_matches() {
+        let (inst, sol) = small_solution();
+        let config = SimConfig::default();
+        let report = Simulator::new(&inst, &sol, config).run(50);
+        let expected = sol.tree().per_post_energy(&inst);
+        for (p, (&got, &want)) in report
+            .per_post_consumed
+            .iter()
+            .zip(expected.iter())
+            .enumerate()
+        {
+            let want = want * config.bits_per_report as f64 * 50.0;
+            assert!(
+                (got.as_njoules() - want.as_njoules()).abs() < 1e-3,
+                "post {p}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rounds_is_a_noop() {
+        let (inst, sol) = small_solution();
+        let report = Simulator::new(&inst, &sol, SimConfig::default()).run(0);
+        assert_eq!(report.rounds_completed, 0);
+        assert_eq!(report.charger_energy_per_round(), Energy::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_solution_rejected() {
+        let (inst, _) = small_solution();
+        let other_inst = InstanceSampler::new(Field::square(150.0), 6, 15).sample(9);
+        let other_sol = Idb::new(1).solve(&other_inst).unwrap();
+        let _ = Simulator::new(&inst, &other_sol, SimConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_round_interval_rejected() {
+        let (inst, sol) = small_solution();
+        let config = SimConfig {
+            round_interval_s: 0.0,
+            ..SimConfig::default()
+        };
+        let _ = Simulator::new(&inst, &sol, config);
+    }
+
+    #[test]
+    fn patrol_tour_keeps_network_alive_at_sufficient_speed() {
+        let (inst, sol) = small_solution();
+        let geo = inst.geometry().unwrap();
+        let tour = crate::PatrolTour::plan(geo.base_station, geo.posts.clone());
+        let capacity = Energy::from_joules(0.05);
+        let min_speed = crate::min_patrol_speed(
+            &inst, &sol, &tour, capacity, SimConfig::default().bits_per_report,
+            1.0, 2.0,
+        )
+        .unwrap();
+        let config = SimConfig {
+            battery_capacity: capacity,
+            charger: ChargerPolicy::PatrolTour {
+                speed_mps: min_speed.max(0.5),
+                trigger_soc: 0.9,
+                chargers: 1,
+            },
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&inst, &sol, config).run(1000);
+        assert!(report.first_death.is_none(), "{report}");
+        assert_eq!(report.reports_lost, 0);
+        assert!(report.charger_energy > Energy::ZERO);
+    }
+
+    #[test]
+    fn patrol_tour_too_slow_starves_the_network() {
+        // Failure injection: a crawling charger cannot keep up with a
+        // heavy reporting load on small batteries.
+        let (inst, sol) = small_solution();
+        let config = SimConfig {
+            battery_capacity: Energy::from_ujoules(3000.0),
+            charger: ChargerPolicy::PatrolTour {
+                speed_mps: 0.001,
+                trigger_soc: 0.9,
+                chargers: 1,
+            },
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&inst, &sol, config).run(3000);
+        assert!(report.first_death.is_some());
+        assert!(report.reports_lost > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometric")]
+    fn patrol_tour_requires_geometry() {
+        use wrsn_core::InstanceBuilder;
+        let e = Energy::from_njoules(4.0);
+        let inst = InstanceBuilder::new(2, 2)
+            .uplink(0, 2, e)
+            .uplink(1, 0, e)
+            .build()
+            .unwrap();
+        let sol = Idb::new(1).solve(&inst).unwrap();
+        let config = SimConfig {
+            charger: ChargerPolicy::PatrolTour {
+                speed_mps: 1.0,
+                trigger_soc: 0.5,
+                chargers: 1,
+            },
+            ..SimConfig::default()
+        };
+        let _ = Simulator::new(&inst, &sol, config);
+    }
+
+    #[test]
+    fn profiled_instance_consumption_matches_accounting() {
+        use wrsn_core::InstanceBuilder;
+        let nj = Energy::from_njoules;
+        // Chain 1 -> 0 -> BS with a heavy reporter and sensing load.
+        let inst = InstanceBuilder::new(2, 4)
+            .rx_energy(nj(2.0))
+            .uplink(0, 2, nj(4.0))
+            .uplink(1, 0, nj(4.0))
+            .report_rates(vec![1.0, 3.0])
+            .sensing_energies(vec![nj(50.0), Energy::ZERO])
+            .build()
+            .unwrap();
+        let sol = Idb::new(1).solve(&inst).unwrap();
+        let config = SimConfig {
+            bits_per_report: 100,
+            ..SimConfig::default()
+        };
+        let rounds = 40;
+        let report = Simulator::new(&inst, &sol, config).run(rounds);
+        // Expected per round: traffic (per_post_energy * bits) + sensing.
+        let expected_traffic: Energy = sol
+            .tree()
+            .per_post_energy(&inst)
+            .iter()
+            .copied()
+            .sum::<Energy>()
+            * 100.0;
+        let expected = (expected_traffic + nj(50.0)) * rounds as f64;
+        let rel = (report.consumed_energy.as_njoules() - expected.as_njoules()).abs()
+            / expected.as_njoules();
+        assert!(rel < 1e-9, "consumed {} vs expected {expected}", report.consumed_energy);
+        assert_eq!(report.reports_delivered, 2 * rounds);
+    }
+
+    #[test]
+    fn sensing_only_death_loses_reports() {
+        use wrsn_core::InstanceBuilder;
+        let nj = Energy::from_njoules;
+        // Post 1 burns its battery on sensing alone; no charger.
+        let inst = InstanceBuilder::new(2, 2)
+            .uplink(0, 2, nj(1.0))
+            .uplink(1, 0, nj(1.0))
+            .sensing_energies(vec![Energy::ZERO, Energy::from_ujoules(1.0)])
+            .build()
+            .unwrap();
+        let sol = Idb::new(1).solve(&inst).unwrap();
+        let config = SimConfig {
+            bits_per_report: 1,
+            battery_capacity: Energy::from_ujoules(5.0),
+            charger: ChargerPolicy::None,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&inst, &sol, config).run(50);
+        let (_, dead_post) = report.first_death.unwrap();
+        assert_eq!(dead_post, 1);
+        assert!(report.reports_lost > 0);
+        // Post 0 keeps delivering its own reports.
+        assert!(report.reports_delivered >= 50);
+    }
+
+    #[test]
+    fn more_chargers_keep_the_soc_floor_higher() {
+        // Splitting the patrol across chargers shortens every post's
+        // revisit interval, so the worst observed state of charge can
+        // only improve.
+        let (inst, sol) = small_solution();
+        let mk = |chargers: u32| SimConfig {
+            battery_capacity: Energy::from_joules(0.09),
+            charger: ChargerPolicy::PatrolTour {
+                speed_mps: 4.0,
+                trigger_soc: 0.95,
+                chargers,
+            },
+            record_soc_every: Some(5),
+            ..SimConfig::default()
+        };
+        let floor = |report: &SimReport| {
+            report
+                .soc_timeline
+                .iter()
+                .map(|&(_, min, _)| min)
+                .fold(1.0f64, f64::min)
+        };
+        let one = Simulator::new(&inst, &sol, mk(1)).run(1500);
+        let three = Simulator::new(&inst, &sol, mk(3)).run(1500);
+        assert!(one.first_death.is_none() && three.first_death.is_none());
+        assert!(
+            floor(&three) >= floor(&one) - 0.02,
+            "3-charger floor {} vs 1-charger floor {}",
+            floor(&three),
+            floor(&one)
+        );
+    }
+
+    #[test]
+    fn patrol_travel_distance_tracks_cycles() {
+        let (inst, sol) = small_solution();
+        let geo = inst.geometry().unwrap();
+        let tour = crate::PatrolTour::plan(geo.base_station, geo.posts.clone());
+        let speed = 5.0;
+        let rounds = 600u64;
+        let config = SimConfig {
+            charger: ChargerPolicy::PatrolTour {
+                speed_mps: speed,
+                trigger_soc: 0.5,
+                chargers: 1,
+            },
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&inst, &sol, config).run(rounds);
+        // Visits only count outbound+inter-stop legs; distance must lie
+        // within one cycle of cycles-completed * full length.
+        let cycles = rounds as f64 / tour.cycle_s(speed);
+        assert!(report.charger_travel_m > (cycles - 1.5) * tour.length() * 0.8);
+        assert!(report.charger_travel_m < (cycles + 1.0) * tour.length());
+        // No travel for the teleporting threshold policy.
+        let report2 = Simulator::new(&inst, &sol, SimConfig::default()).run(100);
+        assert_eq!(report2.charger_travel_m, 0.0);
+    }
+
+    #[test]
+    fn finite_charger_power_slows_the_patrol() {
+        // With a weak charger, refills dominate the cycle: fewer posts
+        // get topped up in the same horizon, so less distance is covered
+        // and less energy delivered than with an instant charger.
+        let (inst, sol) = small_solution();
+        let mk = |power: f64| SimConfig {
+            charger: ChargerPolicy::PatrolTour {
+                speed_mps: 5.0,
+                trigger_soc: 0.9,
+                chargers: 1,
+            },
+            charger_power_w: power,
+            ..SimConfig::default()
+        };
+        let instant = Simulator::new(&inst, &sol, mk(f64::INFINITY)).run(800);
+        let weak = Simulator::new(&inst, &sol, mk(0.05)).run(800);
+        assert!(
+            weak.charger_travel_m < instant.charger_travel_m,
+            "weak {} vs instant {}",
+            weak.charger_travel_m,
+            instant.charger_travel_m
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "charger power")]
+    fn zero_charger_power_rejected() {
+        let (inst, sol) = small_solution();
+        let config = SimConfig {
+            charger_power_w: 0.0,
+            ..SimConfig::default()
+        };
+        let _ = Simulator::new(&inst, &sol, config);
+    }
+
+    #[test]
+    fn soc_timeline_records_samples() {
+        let (inst, sol) = small_solution();
+        let config = SimConfig {
+            record_soc_every: Some(10),
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&inst, &sol, config).run(100);
+        assert_eq!(report.soc_timeline.len(), 10);
+        for &(t, min, mean) in &report.soc_timeline {
+            assert!(t >= 0.0);
+            assert!((0.0..=1.0).contains(&min));
+            assert!(min <= mean && mean <= 1.0);
+        }
+        // Times strictly increase.
+        for w in report.soc_timeline.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn report_display() {
+        let (inst, sol) = small_solution();
+        let report = Simulator::new(&inst, &sol, SimConfig::default()).run(3);
+        assert!(format!("{report}").contains("3 rounds"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the discrete-event substrate and the simulator's
+//! conservation laws.
+
+use proptest::prelude::*;
+use wrsn_core::{Idb, InstanceSampler, Solver};
+use wrsn_energy::Energy;
+use wrsn_geom::{Field, Point};
+use wrsn_sim::{ChargerPolicy, EventQueue, PatrolTour, SimConfig, Simulator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The event queue is a stable priority queue: pops are sorted by
+    /// time, FIFO within a time.
+    #[test]
+    fn event_queue_is_stable_priority_queue(
+        times in proptest::collection::vec(0.0f64..1e6, 0..60)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push((e.time, e.event));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated at t={}", w[0].0);
+            }
+        }
+    }
+
+    /// Patrol tours are permutations whose 2-opt length never beats the
+    /// trivial lower bound (twice the farthest stop, out and back).
+    #[test]
+    fn tours_are_valid_permutations(seed in any::<u64>(), n in 1usize..30) {
+        let stops = Field::square(100.0).random_posts(n, seed);
+        let tour = PatrolTour::plan(Point::ORIGIN, stops.clone());
+        let mut order = tour.order().to_vec();
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+        let farthest = stops
+            .iter()
+            .map(|p| p.distance(Point::ORIGIN))
+            .fold(0.0, f64::max);
+        prop_assert!(tour.length() >= 2.0 * farthest - 1e-9);
+    }
+
+    /// Energy conservation: whatever the (valid) configuration, consumed
+    /// energy equals the tree-accounting prediction for rounds survived,
+    /// and charger energy is consistent with the efficiency model
+    /// (delivered energy never exceeds charger energy times max gain).
+    #[test]
+    fn simulator_conserves_energy(seed in 0u64..50, rounds in 1u64..400) {
+        let inst = InstanceSampler::new(Field::square(150.0), 5, 15).sample(seed % 5);
+        let sol = Idb::new(1).solve(&inst).unwrap();
+        let config = SimConfig {
+            bits_per_report: 500,
+            battery_capacity: Energy::from_joules(0.01),
+            charger: ChargerPolicy::Threshold { interval_s: 3.0, trigger_soc: 0.6 },
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&inst, &sol, config).run(rounds);
+        prop_assert_eq!(report.rounds_completed, rounds);
+        prop_assert!(report.first_death.is_none());
+        let per_round: Energy = sol
+            .tree()
+            .per_post_energy(&inst)
+            .iter()
+            .copied()
+            .sum::<Energy>() * 500.0;
+        let expected = per_round * rounds as f64;
+        let rel = (report.consumed_energy.as_njoules() - expected.as_njoules()).abs()
+            / expected.as_njoules();
+        prop_assert!(rel < 1e-9, "consumed mismatch: {}", rel);
+        // Charger radiates at least delivered / max-efficiency.
+        let max_eff = sol
+            .deployment()
+            .counts()
+            .iter()
+            .map(|&m| inst.charge_efficiency(m))
+            .fold(0.0, f64::max);
+        prop_assert!(
+            report.charger_energy.as_njoules() * max_eff + 1e-6
+                >= (report.consumed_energy
+                    - Energy::from_joules(0.01) * sol.deployment().total() as f64)
+                    .as_njoules()
+        );
+    }
+
+    /// Delivered + lost always equals generated, under any charger.
+    #[test]
+    fn report_conservation(seed in 0u64..20, charged in any::<bool>()) {
+        let inst = InstanceSampler::new(Field::square(150.0), 5, 10).sample(seed % 4);
+        let sol = Idb::new(1).solve(&inst).unwrap();
+        let rounds = 300u64;
+        let config = SimConfig {
+            bits_per_report: 2000,
+            battery_capacity: Energy::from_ujoules(4000.0),
+            charger: if charged {
+                ChargerPolicy::Threshold { interval_s: 1.0, trigger_soc: 0.9 }
+            } else {
+                ChargerPolicy::None
+            },
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&inst, &sol, config).run(rounds);
+        prop_assert_eq!(
+            report.reports_delivered + report.reports_lost,
+            rounds * 5,
+            "conservation: {} + {}",
+            report.reports_delivered,
+            report.reports_lost
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Replay of the paper's Section II field experiment: how does RF
+//! charging efficiency scale with receiver count, spacing, and distance?
+//! Ends by deriving the gain curve the deployment optimizer consumes.
+//!
+//! ```text
+//! cargo run --release --example field_experiment
+//! ```
+
+use wrsn::charging::{ChargeModel, FieldExperiment};
+
+fn main() {
+    let experiment = FieldExperiment::default();
+    println!("charger: {}", experiment.params());
+
+    // Table II grid, 40 trials per cell, exactly like the paper.
+    let (sensors, distances, spacings) = FieldExperiment::table_ii_grid();
+    for &spacing in &spacings {
+        println!("\nsensor spacing {spacing} cm — avg received power per node (mW):");
+        print!("{:>10}", "distance");
+        for &m in &sensors {
+            print!("{:>10}", format!("m={m}"));
+        }
+        println!();
+        for &d in &distances {
+            print!("{:>10}", format!("{d:.0} cm"));
+            for &m in &sensors {
+                let obs = experiment.observe(m, d, spacing, 40, 2026);
+                print!("{:>10.4}", obs.per_node_power_mw);
+            }
+            println!();
+        }
+    }
+
+    // The two observations the paper builds its design on:
+    let single = experiment.observe(1, 20.0, 5.0, 40, 2026);
+    println!(
+        "\n1) single-node charging is wasteful: {:.2}% efficiency at 20 cm",
+        single.network_efficiency * 100.0
+    );
+    let six = experiment.observe(6, 20.0, 10.0, 40, 2026);
+    println!(
+        "2) charging six nodes at once is {:.1}x as efficient ({:.2}%) — network efficiency\n   grows near-linearly, so posts with more nodes are cheaper to recharge",
+        six.network_efficiency / single.network_efficiency,
+        six.network_efficiency * 100.0
+    );
+
+    let gain = experiment.measured_gain(20.0, 10.0, 8);
+    println!("\nderived optimizer input (eta = {:.4}):", gain.base_efficiency());
+    for m in 1..=8u32 {
+        let k = gain.efficiency(m) / gain.efficiency(1);
+        println!("  k({m}) = {k:.3}{}", if m as f64 - k < 0.9 { "" } else { "   (sub-linear)" });
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: build a random instance, run every solver, compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use wrsn::core::{BranchAndBound, Idb, InstanceSampler, Rfh, Solver};
+use wrsn::geom::Field;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's small-scale setting: 200 m x 200 m, 10 posts, 24 nodes,
+    // base station at the lower-left corner.
+    let sampler = InstanceSampler::new(Field::square(200.0), 10, 24);
+    let instance = sampler.sample(7);
+    println!("instance: {instance}");
+
+    let solvers: Vec<Box<dyn Solver>> = vec![
+        Box::new(Rfh::basic()),
+        Box::new(Rfh::iterative(7)),
+        Box::new(Idb::new(1)),
+        Box::new(BranchAndBound::new()),
+    ];
+    println!("\n{:<12} {:>12}  deployment", "solver", "cost");
+    for solver in &solvers {
+        let solution = solver.solve(&instance)?;
+        println!(
+            "{:<12} {:>12}  {}",
+            solver.name(),
+            format!("{}", solution.total_cost()),
+            solution.deployment()
+        );
+    }
+
+    // Peek inside the best heuristic's routing arrangement.
+    let best = Idb::new(1).solve(&instance)?;
+    println!("\nrouting tree (post -> parent): {}", best.tree());
+    let workloads = best.tree().descendant_counts();
+    let hub = (0..instance.num_posts())
+        .max_by_key(|&p| workloads[p])
+        .expect("at least one post");
+    println!(
+        "busiest relay: post {hub} forwards for {} posts and holds {} nodes",
+        workloads[hub],
+        best.deployment().count(hub)
+    );
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! # wrsn — wireless-rechargeable sensor network deployment & routing
+//!
+//! Facade crate for the `wrsn` workspace, a reproduction of *"How Wireless
+//! Power Charging Technology Affects Sensor Network Deployment and Routing"*
+//! (Tong, Li, Wang, Zhang — ICDCS 2010).
+//!
+//! This crate re-exports every subsystem so applications can depend on a
+//! single crate:
+//!
+//! - [`geom`] — planar geometry, deployment fields, spatial indexing
+//! - [`energy`] — the first-order radio energy model and transmission levels
+//! - [`charging`] — wireless-charging efficiency models and the RF
+//!   field-experiment simulator
+//! - [`graph`] — weighted digraphs, Dijkstra, shortest-path DAGs
+//! - [`sat`] — 3-CNF formulas and a DPLL solver (exercises the paper's
+//!   NP-completeness reduction)
+//! - [`core`] — the paper's contribution: the joint deployment/routing
+//!   problem, the RFH and IDB heuristics, and exact solvers
+//! - [`sim`] — a discrete-event simulator that validates the analytic
+//!   recharging-cost metric
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wrsn::core::{InstanceSampler, Rfh, Solver};
+//! use wrsn::geom::Field;
+//!
+//! let instance = InstanceSampler::new(Field::square(200.0), 10, 20).sample(42);
+//! let solution = Rfh::default().solve(&instance).expect("solvable");
+//! println!("total recharging cost: {}", solution.total_cost());
+//! # assert!(solution.total_cost().as_njoules() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use wrsn_charging as charging;
+pub use wrsn_core as core;
+pub use wrsn_energy as energy;
+pub use wrsn_geom as geom;
+pub use wrsn_graph as graph;
+pub use wrsn_sat as sat;
+pub use wrsn_sim as sim;

@@ -1,0 +1,132 @@
+//! Workspace-level property tests over random instances.
+
+use proptest::prelude::*;
+use wrsn::core::{
+    greedy_allocate, optimal_cost, tree_cost, CostEvaluator, Deployment, Idb, InstanceSampler,
+    Rfh, Solver,
+};
+use wrsn::geom::Field;
+
+/// A strategy over modest random instance shapes.
+fn arb_shape() -> impl Strategy<Value = (usize, u32, u64)> {
+    (3usize..12).prop_flat_map(|n| {
+        let max_extra = 2 * n as u32;
+        (Just(n), 0..=max_extra, any::<u64>())
+            .prop_map(|(n, extra, seed)| (n, n as u32 + extra, seed))
+    })
+}
+
+fn sample(n: usize, m: u32, seed: u64) -> wrsn::core::Instance {
+    InstanceSampler::new(Field::square(180.0), n, m).sample(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The objective is monotone: adding a node anywhere never raises
+    /// the optimally-routed cost.
+    #[test]
+    fn cost_is_monotone_in_deployment((n, m, seed) in arb_shape()) {
+        let inst = sample(n, m + 1, seed);
+        let ones = Deployment::ones(n);
+        let (base, _) = optimal_cost(&inst, &Deployment::new(
+            {
+                let mut c = ones.counts().to_vec();
+                // Put the extras anywhere deterministic: post 0.
+                c[0] += m - n as u32;
+                c
+            }
+        )).unwrap();
+        for p in 0..n {
+            let mut c = ones.counts().to_vec();
+            c[0] += m - n as u32;
+            c[p] += 1;
+            let (more, _) = optimal_cost(&inst, &Deployment::new(c)).unwrap();
+            prop_assert!(more.as_njoules() <= base.as_njoules() + 1e-9);
+        }
+    }
+
+    /// The incremental evaluator always agrees with the from-scratch
+    /// reference, on arbitrary deployments.
+    #[test]
+    fn evaluator_matches_reference((n, m, seed) in arb_shape()) {
+        let inst = sample(n, m, seed);
+        let mut eval = CostEvaluator::new(&inst);
+        // A deterministic non-uniform deployment.
+        let mut counts = vec![1u32; n];
+        let mut left = m - n as u32;
+        let mut p = 0;
+        while left > 0 {
+            counts[p % n] += 1;
+            left -= 1;
+            p += 3;
+        }
+        let f = eval.set_deployment(&counts).unwrap();
+        let (reference, tree) = optimal_cost(&inst, &Deployment::new(counts.clone())).unwrap();
+        prop_assert!((f - reference.as_njoules()).abs() < 1e-6 * f.max(1.0));
+        // And the tree cost of the reference tree equals the distance sum.
+        let tc = tree_cost(&inst, &Deployment::new(counts), &tree);
+        prop_assert!((tc.as_njoules() - f).abs() < 1e-6 * f.max(1.0));
+    }
+
+    /// Every solver's tree is structurally sound: acyclic, rooted at the
+    /// base station, every edge realizable.
+    #[test]
+    fn solver_trees_are_sound((n, m, seed) in arb_shape()) {
+        let inst = sample(n, m, seed);
+        for solution in [
+            Rfh::iterative(3).solve(&inst).unwrap(),
+            Idb::new(1).solve(&inst).unwrap(),
+        ] {
+            let tree = solution.tree();
+            for p in 0..n {
+                let path = tree.path_to_bs(p);
+                prop_assert_eq!(*path.last().unwrap(), inst.bs());
+                prop_assert!(path.len() <= n + 1);
+                for hop in path.windows(2) {
+                    prop_assert!(inst.tx_energy(hop[0], hop[1]).is_some());
+                }
+            }
+        }
+    }
+
+    /// IDB(1) is greedy on the exact objective, so its deployment's
+    /// optimally-routed cost can never beat the exhaustive optimum but
+    /// must match its own reported cost.
+    #[test]
+    fn idb_cost_is_its_deployments_optimum((n, m, seed) in arb_shape()) {
+        let inst = sample(n, m, seed);
+        let sol = Idb::new(1).solve(&inst).unwrap();
+        let (opt_for_dep, _) = optimal_cost(&inst, sol.deployment()).unwrap();
+        prop_assert!(
+            (sol.total_cost().as_njoules() - opt_for_dep.as_njoules()).abs()
+                < 1e-6 * opt_for_dep.as_njoules()
+        );
+    }
+
+    /// The greedy allocator solves its subproblem optimally: no single
+    /// node transfer between posts can improve `Σ α_i/m_i`.
+    #[test]
+    fn greedy_allocation_is_transfer_optimal(
+        weights in proptest::collection::vec(0.0f64..100.0, 2..10),
+        extra in 0u32..20,
+    ) {
+        let n = weights.len() as u32;
+        let m = greedy_allocate(&weights, n + extra, None);
+        let cost = |m: &[u32]| -> f64 {
+            weights.iter().zip(m).map(|(&w, &mi)| w / f64::from(mi)).sum()
+        };
+        let base = cost(&m);
+        for from in 0..weights.len() {
+            for to in 0..weights.len() {
+                if from == to || m[from] <= 1 {
+                    continue;
+                }
+                let mut alt = m.clone();
+                alt[from] -= 1;
+                alt[to] += 1;
+                prop_assert!(cost(&alt) >= base - 1e-9);
+            }
+        }
+    }
+}

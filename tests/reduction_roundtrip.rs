@@ -1,0 +1,83 @@
+//! Randomized roundtrip of the Section IV NP-completeness reduction:
+//! for random 3-CNF formulas, the optimizer and the DPLL solver must
+//! agree on satisfiability, and decoded assignments must check out.
+
+use wrsn::core::reduction::reduce;
+use wrsn::core::{BranchAndBound, ExhaustiveSearch, Solver};
+use wrsn::sat::{planted_3sat, random_3sat, CnfFormula, DpllSolver, Lit};
+
+fn verify(formula: &CnfFormula, solver: &dyn Solver) {
+    let satisfiable = DpllSolver::new().is_satisfiable(formula);
+    let red = reduce(formula).expect("well-formed 3-CNF");
+    let sol = solver.solve(red.instance()).expect("solvable gadget");
+    let meets = sol.total_cost().as_njoules() <= red.cost_bound().as_njoules() * (1.0 + 1e-9);
+    assert_eq!(
+        meets, satisfiable,
+        "reduction disagrees with DPLL on {formula}"
+    );
+    if meets {
+        let assignment = red.decode(&sol);
+        assert!(
+            formula.evaluate(&assignment),
+            "decoded assignment fails {formula}"
+        );
+    }
+}
+
+#[test]
+fn planted_formulas_roundtrip_via_exhaustive() {
+    for seed in 0..5 {
+        let (formula, _) = planted_3sat(3, 4, seed);
+        verify(&formula, &ExhaustiveSearch::default());
+    }
+}
+
+#[test]
+fn planted_formulas_roundtrip_via_branch_and_bound() {
+    for seed in 0..5 {
+        let (formula, _) = planted_3sat(4, 4, seed + 100);
+        verify(&formula, &BranchAndBound::new());
+    }
+}
+
+#[test]
+fn random_formulas_roundtrip() {
+    for seed in 0..6 {
+        let formula = random_3sat(3, 6, seed);
+        verify(&formula, &ExhaustiveSearch::default());
+    }
+}
+
+#[test]
+fn unsatisfiable_formula_exceeds_bound() {
+    // The full enumeration of all 8 sign patterns over 3 variables.
+    let mut formula = CnfFormula::new(3);
+    for signs in 0..8u32 {
+        formula
+            .add_clause((0..3).map(|b| {
+                let var = b + 1;
+                if signs & (1 << b) == 0 {
+                    Lit::pos(var)
+                } else {
+                    Lit::neg(var)
+                }
+            }))
+            .unwrap();
+    }
+    assert!(!DpllSolver::new().is_satisfiable(&formula));
+    verify(&formula, &ExhaustiveSearch::default());
+}
+
+#[test]
+fn satisfiable_optimum_hits_the_bound_exactly() {
+    // For satisfiable formulas the canonical solution costs exactly W —
+    // the optimizer should find it, not something cheaper.
+    for seed in 0..3 {
+        let (formula, _) = planted_3sat(3, 4, seed + 50);
+        let red = reduce(&formula).unwrap();
+        let sol = ExhaustiveSearch::default().solve(red.instance()).unwrap();
+        let rel = (sol.total_cost().as_njoules() - red.cost_bound().as_njoules()).abs()
+            / red.cost_bound().as_njoules();
+        assert!(rel < 1e-9, "optimum {} != W {}", sol.total_cost(), red.cost_bound());
+    }
+}
