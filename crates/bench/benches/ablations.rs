@@ -14,12 +14,9 @@
 //!    assumption?
 
 use serde::Serialize;
-use wrsn_bench::{mean, run_seeds, save_json, Table};
+use wrsn_bench::{save_json, Experiment, SolverRegistry, Table};
 use wrsn_charging::{ChargeModel, FieldExperiment};
-use wrsn_core::{
-    AllocatorKind, ChargeSpec, GainKind, Idb, InstanceSampler, MergePolicy, Rfh, Solver,
-    WorkloadMetric,
-};
+use wrsn_core::{AllocatorKind, ChargeSpec, GainKind, InstanceSampler, MergePolicy, Rfh, WorkloadMetric};
 use wrsn_geom::Field;
 
 const SEEDS: u64 = 10;
@@ -33,51 +30,76 @@ struct Row {
     mean_cost_uj: f64,
 }
 
-fn sweep(sampler: &InstanceSampler, solver: &(impl Solver + Sync)) -> f64 {
-    let costs = run_seeds(0..SEEDS, |seed| {
-        let inst = sampler.sample(seed);
-        solver.solve(&inst).expect("solvable").total_cost().as_ujoules()
-    });
-    mean(&costs)
+fn sweep(registry: &SolverRegistry, sampler: &InstanceSampler, solver: &str) -> f64 {
+    Experiment::sampled(sampler.clone())
+        .label(format!("ablation {solver}"))
+        .solver(solver)
+        .seeds(0..SEEDS)
+        .run(registry)
+        .expect("solvable instances")
+        .cost_uj
+        .mean
 }
 
 fn main() {
+    // Each RFH variant gets a registry name, so the ablation sweeps run
+    // through exactly the same pipeline as the headline figures.
+    let mut registry = SolverRegistry::with_defaults();
+    registry.register("irfh-merge-always", || {
+        Box::new(Rfh::iterative(7).merge_policy(MergePolicy::Always))
+    });
+    registry.register("irfh-merge-never", || {
+        Box::new(Rfh::iterative(7).merge_policy(MergePolicy::Never))
+    });
+    registry.register("irfh-workload-energy", || {
+        Box::new(Rfh::iterative(7).workload_metric(WorkloadMetric::EnergyRate))
+    });
+    registry.register("irfh-workload-descendants", || {
+        Box::new(Rfh::iterative(7).workload_metric(WorkloadMetric::DescendantCount))
+    });
+    registry.register("irfh-alloc-lagrange", || {
+        Box::new(Rfh::iterative(7).allocator(AllocatorKind::LagrangeRounding))
+    });
+    registry.register("irfh-alloc-greedy", || {
+        Box::new(Rfh::iterative(7).allocator(AllocatorKind::GreedyMarginal))
+    });
+
     let sampler = InstanceSampler::new(Field::square(500.0), N, M);
     let mut rows = Vec::new();
 
     // Axis 1: merge policy.
-    for (name, policy) in [("Always (paper)", MergePolicy::Always), ("Never", MergePolicy::Never)] {
-        let cost = sweep(&sampler, &Rfh::iterative(7).merge_policy(policy));
+    for (name, solver) in [
+        ("Always (paper)", "irfh-merge-always"),
+        ("Never", "irfh-merge-never"),
+    ] {
         rows.push(Row {
             axis: "merge",
             variant: name.to_string(),
-            mean_cost_uj: cost,
+            mean_cost_uj: sweep(&registry, &sampler, solver),
         });
     }
 
     // Axis 2: workload metric.
-    for (name, metric) in [
-        ("EnergyRate (ours)", WorkloadMetric::EnergyRate),
-        ("DescendantCount (paper literal)", WorkloadMetric::DescendantCount),
+    for (name, solver) in [
+        ("EnergyRate (ours)", "irfh-workload-energy"),
+        ("DescendantCount (paper literal)", "irfh-workload-descendants"),
     ] {
-        let cost = sweep(&sampler, &Rfh::iterative(7).workload_metric(metric));
         rows.push(Row {
             axis: "workload",
             variant: name.to_string(),
-            mean_cost_uj: cost,
+            mean_cost_uj: sweep(&registry, &sampler, solver),
         });
     }
 
     // Axis 3: allocator.
-    for (name, alloc) in [
-        ("Lagrange+round (paper)", AllocatorKind::LagrangeRounding),
-        ("Greedy marginal (optimal)", AllocatorKind::GreedyMarginal),
+    for (name, solver) in [
+        ("Lagrange+round (paper)", "irfh-alloc-lagrange"),
+        ("Greedy marginal (optimal)", "irfh-alloc-greedy"),
     ] {
-        let cost = sweep(&sampler, &Rfh::iterative(7).allocator(alloc));
         rows.push(Row {
             axis: "allocator",
             variant: name.to_string(),
-            mean_cost_uj: cost,
+            mean_cost_uj: sweep(&registry, &sampler, solver),
         });
     }
 
@@ -97,8 +119,8 @@ fn main() {
     ];
     for (name, spec) in gain_models {
         let s = InstanceSampler::new(Field::square(500.0), N, M).charge(spec);
-        let rfh = sweep(&s, &Rfh::iterative(7));
-        let idb = sweep(&s, &Idb::new(1));
+        let rfh = sweep(&registry, &s, "irfh");
+        let idb = sweep(&registry, &s, "idb");
         rows.push(Row {
             axis: "gain-model",
             variant: format!("{name} / RFH"),

@@ -6,7 +6,7 @@
 //! and converges (or oscillates within a hair) after about 7 rounds.
 
 use serde::Serialize;
-use wrsn_bench::{mean, run_seeds, save_json, Table};
+use wrsn_bench::{save_json, Experiment, SolverRegistry, Table};
 use wrsn_core::{InstanceSampler, Rfh};
 use wrsn_geom::Field;
 
@@ -21,6 +21,8 @@ struct Row {
 }
 
 fn main() {
+    let mut registry = SolverRegistry::with_defaults();
+    registry.register("irfh10", || Box::new(Rfh::iterative(ITERATIONS)));
     let node_budgets = [400u32, 600, 800, 1000];
     let mut rows = Vec::new();
     let mut table = Table::new(
@@ -29,20 +31,15 @@ fn main() {
     );
     let mut series: Vec<Vec<f64>> = Vec::new();
     for &m in &node_budgets {
-        let sampler = InstanceSampler::new(Field::square(500.0), 100, m);
-        let histories = run_seeds(0..SEEDS, |seed| {
-            let inst = sampler.sample(seed);
-            Rfh::iterative(ITERATIONS)
-                .solve_with_report(&inst)
-                .expect("connected instance")
-                .cost_history()
-                .iter()
-                .map(|c| c.as_ujoules())
-                .collect::<Vec<f64>>()
-        });
-        let per_iter: Vec<f64> = (0..ITERATIONS)
-            .map(|i| mean(&histories.iter().map(|h| h[i]).collect::<Vec<_>>()))
-            .collect();
+        let report = Experiment::sampled(InstanceSampler::new(Field::square(500.0), 100, m))
+            .label(format!("fig6 M={m}"))
+            .solver("irfh10")
+            .seeds(0..SEEDS)
+            .capture_history(true)
+            .run(&registry)
+            .expect("connected instances");
+        let per_iter = report.mean_history_uj();
+        assert_eq!(per_iter.len(), ITERATIONS, "one history entry per iteration");
         for (i, &c) in per_iter.iter().enumerate() {
             rows.push(Row {
                 nodes: m,

@@ -6,9 +6,8 @@
 //! far faster.
 
 use serde::Serialize;
-use std::time::Instant;
-use wrsn_bench::{mean, run_seeds, save_json, std_dev, Table};
-use wrsn_core::{Idb, InstanceSampler, Rfh, Solver};
+use wrsn_bench::{save_json, Experiment, SolverRegistry, Table};
+use wrsn_core::InstanceSampler;
 use wrsn_geom::Field;
 
 const SEEDS: u64 = 20;
@@ -25,34 +24,28 @@ struct Row {
 }
 
 fn main() {
+    let registry = SolverRegistry::with_defaults();
     let mut rows = Vec::new();
     for m in [200u32, 400, 600, 800, 1000] {
         let sampler = InstanceSampler::new(Field::square(500.0), 100, m);
-        let results = run_seeds(0..SEEDS, |seed| {
-            let inst = sampler.sample(seed);
-            let t = Instant::now();
-            let rfh = Rfh::iterative(7).solve(&inst).expect("solvable");
-            let rfh_ms = t.elapsed().as_secs_f64() * 1e3;
-            let t = Instant::now();
-            let idb = Idb::new(1).solve(&inst).expect("solvable");
-            let idb_ms = t.elapsed().as_secs_f64() * 1e3;
-            (
-                rfh.total_cost().as_ujoules(),
-                idb.total_cost().as_ujoules(),
-                rfh_ms,
-                idb_ms,
-            )
-        });
-        let rfh: Vec<f64> = results.iter().map(|r| r.0).collect();
-        let idb: Vec<f64> = results.iter().map(|r| r.1).collect();
+        let run = |solver: &str| {
+            Experiment::sampled(sampler.clone())
+                .label(format!("fig8 {solver} M={m}"))
+                .solver(solver)
+                .seeds(0..SEEDS)
+                .run(&registry)
+                .expect("solvable instances")
+        };
+        let rfh = run("irfh");
+        let idb = run("idb");
         rows.push(Row {
             nodes: m,
-            rfh_uj: mean(&rfh),
-            rfh_sd: std_dev(&rfh),
-            idb_uj: mean(&idb),
-            idb_sd: std_dev(&idb),
-            rfh_ms: mean(&results.iter().map(|r| r.2).collect::<Vec<_>>()),
-            idb_ms: mean(&results.iter().map(|r| r.3).collect::<Vec<_>>()),
+            rfh_uj: rfh.cost_uj.mean,
+            rfh_sd: rfh.cost_uj.std_dev,
+            idb_uj: idb.cost_uj.mean,
+            idb_sd: idb.cost_uj.std_dev,
+            rfh_ms: rfh.mean_solve_ms(),
+            idb_ms: idb.mean_solve_ms(),
         });
     }
 

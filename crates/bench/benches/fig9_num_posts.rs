@@ -5,8 +5,8 @@
 //! leads RFH), with total cost growing as more posts must report.
 
 use serde::Serialize;
-use wrsn_bench::{mean, run_seeds, save_json, std_dev, Table};
-use wrsn_core::{Idb, InstanceSampler, Rfh, Solver};
+use wrsn_bench::{save_json, Experiment, SolverRegistry, Table};
+use wrsn_core::InstanceSampler;
 use wrsn_geom::Field;
 
 const SEEDS: u64 = 20;
@@ -21,26 +21,26 @@ struct Row {
 }
 
 fn main() {
+    let registry = SolverRegistry::with_defaults();
     let mut rows = Vec::new();
     for n in [100usize, 150, 200, 250, 300] {
         let sampler = InstanceSampler::new(Field::square(500.0), n, 600);
-        let results = run_seeds(0..SEEDS, |seed| {
-            let inst = sampler.sample(seed);
-            let rfh = Rfh::iterative(7).solve(&inst).expect("solvable");
-            let idb = Idb::new(1).solve(&inst).expect("solvable");
-            (
-                rfh.total_cost().as_ujoules(),
-                idb.total_cost().as_ujoules(),
-            )
-        });
-        let rfh: Vec<f64> = results.iter().map(|r| r.0).collect();
-        let idb: Vec<f64> = results.iter().map(|r| r.1).collect();
+        let run = |solver: &str| {
+            Experiment::sampled(sampler.clone())
+                .label(format!("fig9 {solver} N={n}"))
+                .solver(solver)
+                .seeds(0..SEEDS)
+                .run(&registry)
+                .expect("solvable instances")
+        };
+        let rfh = run("irfh");
+        let idb = run("idb");
         rows.push(Row {
             posts: n,
-            rfh_uj: mean(&rfh),
-            rfh_sd: std_dev(&rfh),
-            idb_uj: mean(&idb),
-            idb_sd: std_dev(&idb),
+            rfh_uj: rfh.cost_uj.mean,
+            rfh_sd: rfh.cost_uj.std_dev,
+            idb_uj: idb.cost_uj.mean,
+            idb_sd: idb.cost_uj.std_dev,
         });
     }
 

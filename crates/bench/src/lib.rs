@@ -2,243 +2,30 @@
 //!
 //! One bench target per figure of the ICDCS 2010 paper (see `benches/`);
 //! `cargo bench --workspace` regenerates every table the paper reports.
-//! This library holds the shared machinery: a parallel seed sweep, small
-//! statistics helpers, aligned table printing, and JSON result dumps so
-//! `EXPERIMENTS.md` can be rebuilt from machine-readable rows.
+//!
+//! The shared machinery — solver registry, parallel seed sweeps,
+//! statistics, table printing, and JSON result dumps — lives in
+//! [`wrsn_engine`] and is re-exported here so bench targets keep their
+//! historical `wrsn_bench::` paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use parking_lot::Mutex;
-use serde::Serialize;
-use std::fmt::Write as _;
-use std::path::PathBuf;
-
-/// Runs `f(seed)` for every seed, spreading the work over worker threads
-/// (one per CPU, capped by the seed count). Results come back in seed
-/// order regardless of scheduling.
-///
-/// # Panics
-///
-/// Propagates panics from `f`.
-///
-/// # Examples
-///
-/// ```
-/// let squares = wrsn_bench::run_seeds(0..8, |s| s * s);
-/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
-/// ```
-pub fn run_seeds<T, F>(seeds: std::ops::Range<u64>, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(u64) -> T + Sync,
-{
-    let seeds: Vec<u64> = seeds.collect();
-    let n = seeds.len();
-    let workers = std::thread::available_parallelism()
-        .map_or(4, std::num::NonZeroUsize::get)
-        .min(n.max(1));
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(seeds[i]);
-                results.lock()[i] = Some(value);
-            });
-        }
-    })
-    .expect("seed sweep worker panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|v| v.expect("every seed produced a result"))
-        .collect()
-}
-
-/// Mean of a sample (0 for an empty one).
-#[must_use]
-pub fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        0.0
-    } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
-    }
-}
-
-/// Sample standard deviation (0 for fewer than two points).
-#[must_use]
-pub fn std_dev(xs: &[f64]) -> f64 {
-    if xs.len() < 2 {
-        return 0.0;
-    }
-    let m = mean(xs);
-    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
-}
-
-/// A printable result table with aligned columns.
-///
-/// # Examples
-///
-/// ```
-/// let mut t = wrsn_bench::Table::new("demo", &["x", "y"]);
-/// t.row(&["1".into(), "2".into()]);
-/// let s = t.render();
-/// assert!(s.contains("demo"));
-/// assert!(s.contains('1'));
-/// ```
-#[derive(Debug, Clone)]
-pub struct Table {
-    title: String,
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates a table with a title and column headers.
-    #[must_use]
-    pub fn new(title: &str, headers: &[&str]) -> Self {
-        Table {
-            title: title.to_string(),
-            headers: headers.iter().map(ToString::to_string).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the row width differs from the header width.
-    pub fn row(&mut self, cells: &[String]) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells.to_vec());
-    }
-
-    /// Renders the table with aligned columns.
-    #[must_use]
-    pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        let _ = writeln!(out, "\n== {} ==", self.title);
-        let line = |cells: &[String], widths: &[usize]| {
-            let mut s = String::new();
-            for (cell, w) in cells.iter().zip(widths) {
-                let _ = write!(s, "{cell:>w$}  ", w = w);
-            }
-            s.trim_end().to_string()
-        };
-        let _ = writeln!(out, "{}", line(&self.headers, &widths));
-        let _ = writeln!(
-            out,
-            "{}",
-            widths
-                .iter()
-                .map(|w| "-".repeat(*w))
-                .collect::<Vec<_>>()
-                .join("  ")
-        );
-        for row in &self.rows {
-            let _ = writeln!(out, "{}", line(row, &widths));
-        }
-        out
-    }
-
-    /// Renders and prints to stdout.
-    pub fn print(&self) {
-        print!("{}", self.render());
-    }
-}
-
-/// Writes `rows` as pretty JSON to `bench_results/<name>.json` under the
-/// workspace root, creating the directory if needed. Failures are
-/// reported to stderr but do not abort the bench (the printed table is
-/// the primary artifact).
-pub fn save_json<T: Serialize>(name: &str, rows: &T) {
-    let dir = results_dir();
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-        return;
-    }
-    let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(rows) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
-    }
-}
-
-fn results_dir() -> PathBuf {
-    // CARGO_MANIFEST_DIR = crates/bench; results live at the repo root.
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("bench_results")
-}
+pub use wrsn_engine::{
+    mean, run_seeds, save_json, std_dev, EngineError, Experiment, InstanceSource, RunReport,
+    SeedRun, SolverRegistry, SummaryStats, SweepRunner, Table,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn run_seeds_preserves_order_under_parallelism() {
-        let out = run_seeds(0..64, |s| {
-            // Vary the work so threads finish out of order.
-            std::thread::sleep(std::time::Duration::from_micros(64 - s));
-            s * 3
-        });
-        assert_eq!(out, (0..64).map(|s| s * 3).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn run_seeds_empty_range() {
-        let out: Vec<u64> = run_seeds(5..5, |s| s);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn statistics() {
-        assert_eq!(mean(&[]), 0.0);
+    fn reexports_resolve_to_the_engine() {
         assert_eq!(mean(&[2.0, 4.0]), 3.0);
         assert_eq!(std_dev(&[1.0]), 0.0);
-        assert!((std_dev(&[2.0, 4.0]) - 2f64.sqrt()).abs() < 1e-12);
-    }
-
-    #[test]
-    fn table_renders_aligned() {
-        let mut t = Table::new("t", &["metric", "v"]);
-        t.row(&["cost".into(), "1.25".into()]);
-        t.row(&["runtime".into(), "9".into()]);
-        let s = t.render();
-        assert!(s.contains("== t =="));
-        assert!(s.contains("metric"));
-        assert!(s.lines().count() >= 5);
-    }
-
-    #[test]
-    #[should_panic(expected = "row width")]
-    fn table_rejects_ragged_rows() {
-        let mut t = Table::new("t", &["a", "b"]);
-        t.row(&["only one".into()]);
-    }
-
-    #[test]
-    fn save_json_writes_file() {
-        save_json("selftest", &vec![1, 2, 3]);
-        let path = results_dir().join("selftest.json");
-        let content = std::fs::read_to_string(&path).unwrap();
-        assert!(content.contains('2'));
-        let _ = std::fs::remove_file(path);
+        assert_eq!(run_seeds(0..4, |s| s * s), vec![0, 1, 4, 9]);
+        assert!(SolverRegistry::with_defaults().contains("irfh"));
+        let _ = Table::new("t", &["a"]);
     }
 }

@@ -9,10 +9,10 @@ use std::fmt::Write as _;
 use wrsn_charging::FieldExperiment;
 use wrsn_core::reduction::reduce;
 use wrsn_core::{
-    BranchAndBound, ChargeSpec, ExhaustiveSearch, Idb, Instance, InstanceSampler, InstanceSpec,
-    Rfh, Solution, Solver,
+    BranchAndBound, ChargeSpec, Instance, InstanceSampler, InstanceSpec, Solution, Solver,
 };
 use wrsn_energy::{Energy, TxLevels};
+use wrsn_engine::{EngineError, Experiment, InstanceSource, SolverRegistry, SweepRunner, Table};
 use wrsn_geom::Field;
 use wrsn_sat::{CnfFormula, DpllSolver};
 use wrsn_sim::{ChargerPolicy, PatrolTour, SimConfig, Simulator};
@@ -26,6 +26,7 @@ USAGE:
 
 COMMANDS:
     solve      co-design deployment and routing for a random instance
+    sweep      run a solver over many seeds in parallel and report statistics
     simulate   solve, then run the network in the discrete-event simulator
     fieldexp   replay the Section II RF charging field experiment
     reduce     reduce a 3-CNF DIMACS formula to a deployment instance (Section IV)
@@ -44,12 +45,25 @@ OPTIONS:
     --levels k      number of 25 m power levels          [default: 3]
     --eta E         single-node charging efficiency      [default: 1.0]
     --cap C         max nodes per post                   [optional]
-    --algo A        rfh | irfh | idb | bnb | exhaustive  [default: irfh]
+    --algo A        rfh | irfh | idb | bnb | exhaustive | uniform | lifetime
+                                                         [default: irfh]
     --draw          render the field map and routing tree as ASCII
     --save PATH     write the generated instance spec as JSON
     --load PATH     solve a saved instance spec instead of sampling
     --svg PATH      write the deployment + routing as an SVG figure
     --json          machine-readable output";
+
+const SWEEP_HELP: &str = "\
+wrsn sweep — run a solver over many random instances in parallel
+
+Takes the instance options of `wrsn solve` (--posts, --nodes, --field,
+--levels, --eta, --cap, --load), plus:
+    --algo A        solver name from the registry        [default: irfh]
+    --seeds S       number of seeds to sweep             [default: 10]
+    --seed-start K  first seed                           [default: 0]
+    --threads T     worker threads (1 = sequential)      [default: all CPUs]
+    --history       record per-iteration cost traces
+    --json          machine-readable RunReport output";
 
 const SIMULATE_HELP: &str = "\
 wrsn simulate — solve, then run the network over time
@@ -83,11 +97,26 @@ OPTIONS:
 
 /// A fatal CLI error with a user-facing message.
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub enum CliError {
+    /// A free-form user-facing message.
+    Msg(String),
+    /// An operation that needs coordinates was handed an
+    /// explicit-adjacency instance.
+    NonGeometric {
+        /// What the user asked for (e.g. `"--save"`, `"--svg"`).
+        what: &'static str,
+    },
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        match self {
+            CliError::Msg(msg) => f.write_str(msg),
+            CliError::NonGeometric { what } => write!(
+                f,
+                "{what} needs a geometric instance, but this one has explicit adjacency only"
+            ),
+        }
     }
 }
 
@@ -95,7 +124,20 @@ impl Error for CliError {}
 
 impl From<ArgsError> for CliError {
     fn from(e: ArgsError) -> Self {
-        CliError(e.to_string())
+        CliError::Msg(e.to_string())
+    }
+}
+
+impl From<EngineError> for CliError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            // Keep the flag name in the message so the fix is obvious.
+            EngineError::UnknownSolver { name, known } => CliError::Msg(format!(
+                "unknown --algo {name:?} (expected {})",
+                known.join("|")
+            )),
+            other => CliError::Msg(other.to_string()),
+        }
     }
 }
 
@@ -112,32 +154,81 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         "solve" if wants_help => Ok(SOLVE_HELP.to_string()),
+        "sweep" if wants_help => Ok(SWEEP_HELP.to_string()),
         "simulate" if wants_help => Ok(SIMULATE_HELP.to_string()),
         "fieldexp" if wants_help => Ok(FIELDEXP_HELP.to_string()),
         "reduce" if wants_help => Ok(REDUCE_HELP.to_string()),
         "solve" => solve(Args::parse(rest.to_vec())?),
+        "sweep" => sweep(Args::parse(rest.to_vec())?),
         "simulate" => simulate(Args::parse(rest.to_vec())?),
         "fieldexp" => fieldexp(Args::parse(rest.to_vec())?),
         "reduce" => reduce_cmd(Args::parse(rest.to_vec())?),
-        other => Err(CliError(format!(
+        other => Err(CliError::Msg(format!(
             "unknown command {other:?}\n\n{USAGE}"
         ))),
     }
 }
 
-fn pick_solver(name: &str) -> Result<Box<dyn Solver>, CliError> {
-    Ok(match name {
-        "rfh" => Box::new(Rfh::basic()),
-        "irfh" => Box::new(Rfh::iterative(7)),
-        "idb" => Box::new(Idb::new(1)),
-        "bnb" => Box::new(BranchAndBound::new()),
-        "exhaustive" => Box::new(ExhaustiveSearch::default()),
-        other => {
-            return Err(CliError(format!(
-                "unknown --algo {other:?} (expected rfh|irfh|idb|bnb|exhaustive)"
-            )))
+/// The instance-shaping options shared by `solve`, `simulate`, and
+/// `sweep`.
+struct InstanceOptions {
+    posts: usize,
+    nodes: u32,
+    field: f64,
+    levels: usize,
+    eta: f64,
+    cap: Option<u32>,
+    load: Option<String>,
+}
+
+impl InstanceOptions {
+    fn parse(args: &mut Args) -> Result<Self, CliError> {
+        let opts = InstanceOptions {
+            posts: args.get_or("posts", "a post count", 100)?,
+            nodes: args.get_or("nodes", "a node count", 400)?,
+            field: args.get_or("field", "meters", 500.0)?,
+            levels: args.get_or("levels", "a level count", 3)?,
+            eta: args.get_or("eta", "an efficiency in (0,1]", 1.0)?,
+            cap: args.opt("cap", "a per-post cap")?,
+            load: args.opt("load", "a file path")?,
+        };
+        if opts.posts == 0 || opts.nodes == 0 || opts.field <= 0.0 || opts.levels == 0 {
+            return Err(CliError::Msg(
+                "posts, nodes, field and levels must be positive".into(),
+            ));
         }
-    })
+        if !(opts.eta > 0.0 && opts.eta <= 1.0) {
+            return Err(CliError::Msg(format!(
+                "--eta must lie in (0, 1], got {}",
+                opts.eta
+            )));
+        }
+        Ok(opts)
+    }
+
+    /// Resolves the options into an engine instance source: a pinned
+    /// spec when `--load` was given, a sampler otherwise.
+    fn source(&self) -> Result<InstanceSource, CliError> {
+        if let Some(path) = &self.load {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Msg(format!("reading {path}: {e}")))?;
+            let spec =
+                InstanceSpec::from_json(&text).map_err(|e| CliError::Msg(e.to_string()))?;
+            // Validate now so the error still carries the file name.
+            spec.build()
+                .map_err(|e| CliError::Msg(format!("spec in {path}: {e}")))?;
+            Ok(InstanceSource::Spec(spec))
+        } else {
+            let mut sampler =
+                InstanceSampler::new(Field::square(self.field), self.posts, self.nodes)
+                    .levels(TxLevels::evenly_spaced(self.levels, 25.0))
+                    .charge(ChargeSpec::linear(self.eta));
+            if let Some(c) = self.cap {
+                sampler = sampler.max_nodes_per_post(c);
+            }
+            Ok(InstanceSource::Sampled(sampler))
+        }
+    }
 }
 
 struct SolveSetup {
@@ -148,49 +239,22 @@ struct SolveSetup {
 }
 
 fn setup_solve(args: &mut Args) -> Result<SolveSetup, CliError> {
-    let posts: usize = args.get_or("posts", "a post count", 100)?;
-    let nodes: u32 = args.get_or("nodes", "a node count", 400)?;
-    let field: f64 = args.get_or("field", "meters", 500.0)?;
+    let opts = InstanceOptions::parse(args)?;
     let seed: u64 = args.get_or("seed", "an integer seed", 1)?;
-    let levels: usize = args.get_or("levels", "a level count", 3)?;
-    let eta: f64 = args.get_or("eta", "an efficiency in (0,1]", 1.0)?;
-    let cap: Option<u32> = args.opt("cap", "a per-post cap")?;
     let algo: String = args.get_or("algo", "an algorithm name", "irfh".to_string())?;
     let save: Option<String> = args.opt("save", "a file path")?;
-    let load: Option<String> = args.opt("load", "a file path")?;
     let json = args.flag("json");
-    if posts == 0 || nodes == 0 || field <= 0.0 || levels == 0 {
-        return Err(CliError("posts, nodes, field and levels must be positive".into()));
-    }
-    if !(eta > 0.0 && eta <= 1.0) {
-        return Err(CliError(format!("--eta must lie in (0, 1], got {eta}")));
-    }
-    let instance = if let Some(path) = load {
-        let text = std::fs::read_to_string(&path)
-            .map_err(|e| CliError(format!("reading {path}: {e}")))?;
-        InstanceSpec::from_json(&text)
-            .map_err(|e| CliError(e.to_string()))?
-            .build()
-            .map_err(|e| CliError(format!("spec in {path}: {e}")))?
-    } else {
-        let mut sampler = InstanceSampler::new(Field::square(field), posts, nodes)
-            .levels(TxLevels::evenly_spaced(levels, 25.0))
-            .charge(ChargeSpec::linear(eta));
-        if let Some(c) = cap {
-            sampler = sampler.max_nodes_per_post(c);
-        }
-        sampler.sample(seed)
-    };
+    let instance = opts.source()?.instance(seed)?;
     if let Some(path) = save {
         let spec = InstanceSpec::from_instance(&instance)
-            .expect("solve instances are always geometric");
+            .ok_or(CliError::NonGeometric { what: "--save" })?;
         std::fs::write(&path, spec.to_json())
-            .map_err(|e| CliError(format!("writing {path}: {e}")))?;
+            .map_err(|e| CliError::Msg(format!("writing {path}: {e}")))?;
     }
-    let solver = pick_solver(&algo)?;
+    let solver = SolverRegistry::with_defaults().create(&algo)?;
     let solution = solver
         .solve(&instance)
-        .map_err(|e| CliError(format!("{algo} failed: {e}")))?;
+        .map_err(|e| CliError::Msg(format!("{algo} failed: {e}")))?;
     Ok(SolveSetup {
         instance,
         solution,
@@ -219,9 +283,9 @@ fn solve(mut args: Args) -> Result<String, CliError> {
         let geo = setup
             .instance
             .geometry()
-            .expect("solve instances are always geometric");
+            .ok_or(CliError::NonGeometric { what: "--svg" })?;
         let doc = render::render_svg(geo, &setup.solution, 720);
-        std::fs::write(path, doc).map_err(|e| CliError(format!("writing {path}: {e}")))?;
+        std::fs::write(path, doc).map_err(|e| CliError::Msg(format!("writing {path}: {e}")))?;
     }
     let report = SolveReport {
         algorithm: setup.solution.algorithm().to_string(),
@@ -255,6 +319,68 @@ fn solve(mut args: Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn sweep(mut args: Args) -> Result<String, CliError> {
+    let opts = InstanceOptions::parse(&mut args)?;
+    let algo: String = args.get_or("algo", "an algorithm name", "irfh".to_string())?;
+    let seeds: u64 = args.get_or("seeds", "a seed count", 10)?;
+    let seed_start: u64 = args.get_or("seed-start", "an integer seed", 0)?;
+    let threads: Option<usize> = args.opt("threads", "a worker count")?;
+    let history = args.flag("history");
+    let json = args.flag("json");
+    args.finish()?;
+    if seeds == 0 {
+        return Err(CliError::Msg("--seeds must be at least 1".into()));
+    }
+    let runner = match threads {
+        Some(0) => return Err(CliError::Msg("--threads must be at least 1".into())),
+        Some(n) => SweepRunner::new().threads(n),
+        None => SweepRunner::new(),
+    };
+    let registry = SolverRegistry::with_defaults();
+    let report = Experiment::new(opts.source()?)
+        .solver(&algo)
+        .seeds(seed_start..seed_start + seeds)
+        .runner(runner)
+        .capture_history(history)
+        .run(&registry)?;
+    if json {
+        return Ok(report.to_json());
+    }
+    let mut table = Table::new(
+        &format!("sweep {algo} ({seeds} seeds)"),
+        &["seed", "cost (uJ)", "solve (ms)"],
+    );
+    for run in &report.runs {
+        table.row(&[
+            run.seed.to_string(),
+            format!("{:.3}", run.cost_uj),
+            format!("{:.2}", run.solve_ms),
+        ]);
+    }
+    let mut out = table.render();
+    let _ = writeln!(
+        out,
+        "cost: mean {:.3} uJ, std {:.3}, min {:.3}, max {:.3}",
+        report.cost_uj.mean, report.cost_uj.std_dev, report.cost_uj.min, report.cost_uj.max
+    );
+    let _ = writeln!(
+        out,
+        "wall-clock: setup {:.1} ms, solve {:.1} ms ({:.2} ms/seed)",
+        report.setup_ms_total,
+        report.solve_ms_total,
+        report.mean_solve_ms()
+    );
+    if history {
+        let trace: Vec<String> = report
+            .mean_history_uj()
+            .iter()
+            .map(|c| format!("{c:.3}"))
+            .collect();
+        let _ = writeln!(out, "mean cost by iteration: {}", trace.join(" -> "));
+    }
+    Ok(out)
+}
+
 #[derive(Serialize)]
 struct SimulateReport {
     algorithm: String,
@@ -279,13 +405,13 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
     let timeline: Option<u64> = args.opt("timeline", "a sample interval in rounds")?;
     let power: f64 = match args.opt::<f64>("power", "charger watts")? {
         Some(w) if w > 0.0 => w,
-        Some(w) => return Err(CliError(format!("--power must be positive, got {w}"))),
+        Some(w) => return Err(CliError::Msg(format!("--power must be positive, got {w}"))),
         None => f64::INFINITY,
     };
     let setup = setup_solve(&mut args)?;
     args.finish()?;
     if battery <= 0.0 {
-        return Err(CliError("--battery must be positive".into()));
+        return Err(CliError::Msg("--battery must be positive".into()));
     }
     let charger = match policy.as_str() {
         "threshold" => ChargerPolicy::Threshold {
@@ -299,13 +425,13 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
         },
         "none" => ChargerPolicy::None,
         other => {
-            return Err(CliError(format!(
+            return Err(CliError::Msg(format!(
                 "unknown --policy {other:?} (expected threshold|tour|none)"
             )))
         }
     };
     if chargers == 0 {
-        return Err(CliError("--chargers must be at least 1".into()));
+        return Err(CliError::Msg("--chargers must be at least 1".into()));
     }
     let config = SimConfig {
         round_interval_s: 1.0,
@@ -382,7 +508,7 @@ fn fieldexp(mut args: Args) -> Result<String, CliError> {
     let json = args.flag("json");
     args.finish()?;
     if trials == 0 {
-        return Err(CliError("--trials must be at least 1".into()));
+        return Err(CliError::Msg("--trials must be at least 1".into()));
     }
     let exp = FieldExperiment::default();
     let (sensors, distances, spacings) = FieldExperiment::table_ii_grid();
@@ -450,13 +576,13 @@ fn reduce_cmd(mut args: Args) -> Result<String, CliError> {
         let mut buf = String::new();
         std::io::stdin()
             .read_to_string(&mut buf)
-            .map_err(|e| CliError(format!("reading stdin: {e}")))?;
+            .map_err(|e| CliError::Msg(format!("reading stdin: {e}")))?;
         buf
     } else {
-        std::fs::read_to_string(&path).map_err(|e| CliError(format!("reading {path}: {e}")))?
+        std::fs::read_to_string(&path).map_err(|e| CliError::Msg(format!("reading {path}: {e}")))?
     };
-    let formula = CnfFormula::parse_dimacs(&text).map_err(|e| CliError(format!("DIMACS: {e}")))?;
-    let red = reduce(&formula).map_err(|e| CliError(format!("reduction: {e}")))?;
+    let formula = CnfFormula::parse_dimacs(&text).map_err(|e| CliError::Msg(format!("DIMACS: {e}")))?;
+    let red = reduce(&formula).map_err(|e| CliError::Msg(format!("reduction: {e}")))?;
     let dpll = DpllSolver::new().is_satisfiable(&formula);
     let mut report = ReduceReport {
         vars: formula.num_vars(),
@@ -472,7 +598,7 @@ fn reduce_cmd(mut args: Args) -> Result<String, CliError> {
     if do_solve {
         let sol = BranchAndBound::new()
             .solve(red.instance())
-            .map_err(|e| CliError(format!("solving gadget: {e}")))?;
+            .map_err(|e| CliError::Msg(format!("solving gadget: {e}")))?;
         let meets = sol.total_cost().as_njoules() <= report.bound_w_nj * (1.0 + 1e-9);
         report.optimal_nj = Some(sol.total_cost().as_njoules());
         report.optimizer_satisfiable = Some(meets);
@@ -538,7 +664,7 @@ mod tests {
     #[test]
     fn unknown_command_is_an_error() {
         let err = run_str("frobnicate").unwrap_err();
-        assert!(err.0.contains("unknown command"));
+        assert!(err.to_string().contains("unknown command"));
     }
 
     #[test]
@@ -570,18 +696,18 @@ mod tests {
     fn solve_rejects_bad_algo_and_eta() {
         assert!(run_str("solve --algo magic --posts 5 --nodes 10 --field 150")
             .unwrap_err()
-            .0
+            .to_string()
             .contains("--algo"));
         assert!(run_str("solve --eta 2.0 --posts 5 --nodes 10 --field 150")
             .unwrap_err()
-            .0
+            .to_string()
             .contains("eta"));
     }
 
     #[test]
     fn solve_rejects_unknown_option() {
         let err = run_str("solve --posts 5 --nodes 10 --field 150 --bogus 1").unwrap_err();
-        assert!(err.0.contains("bogus"));
+        assert!(err.to_string().contains("bogus"));
     }
 
     #[test]
@@ -623,7 +749,7 @@ mod tests {
         let path = dir.join("bad-spec.json");
         std::fs::write(&path, "{\"posts\": []}").unwrap();
         let err = run_str(&format!("solve --load {}", path.display())).unwrap_err();
-        assert!(err.0.contains("spec") || err.0.contains("parsing"));
+        assert!(err.to_string().contains("spec") || err.to_string().contains("parsing"));
     }
 
     #[test]
@@ -660,7 +786,7 @@ mod tests {
         assert_eq!(v["rounds"], 300);
         assert!(run_str("simulate --power 0 --posts 5 --nodes 15 --field 150")
             .unwrap_err()
-            .0
+            .to_string()
             .contains("power"));
     }
 
@@ -693,7 +819,7 @@ mod tests {
     fn reduce_rejects_missing_file_and_bad_dimacs() {
         assert!(run_str("reduce --dimacs /definitely/not/here.cnf")
             .unwrap_err()
-            .0
+            .to_string()
             .contains("reading"));
         let dir = std::env::temp_dir().join("wrsn-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -701,7 +827,185 @@ mod tests {
         std::fs::write(&path, "not dimacs at all").unwrap();
         assert!(run_str(&format!("reduce --dimacs {}", path.display()))
             .unwrap_err()
-            .0
+            .to_string()
             .contains("DIMACS"));
+    }
+
+    #[test]
+    fn solve_accepts_every_registry_algorithm() {
+        for algo in wrsn_engine::SolverRegistry::with_defaults().names() {
+            let out = run_str(&format!(
+                "solve --posts 5 --nodes 10 --field 150 --seed 3 --algo {algo} --json"
+            ))
+            .unwrap();
+            let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+            assert!(v["total_cost_uj"].as_f64().unwrap() > 0.0, "{algo}");
+        }
+    }
+
+    #[test]
+    fn solve_rejects_infeasible_budget_without_panicking() {
+        // 3 nodes cannot cover 5 posts; this used to panic in the sampler.
+        let err = run_str("solve --posts 5 --nodes 3 --field 150").unwrap_err();
+        assert!(err.to_string().contains("cannot cover"), "{err}");
+    }
+
+    #[test]
+    fn simulate_human_output_reports_charger_energy() {
+        let out = run_str(
+            "simulate --posts 5 --nodes 15 --field 150 --seed 4 --algo idb \
+             --rounds 100 --bits 1000",
+        )
+        .unwrap();
+        assert!(out.contains("charger energy per round"));
+        assert!(out.contains("analytic prediction"));
+        assert!(out.contains("network alive") || out.contains("first death"));
+    }
+
+    #[test]
+    fn simulate_tour_human_output_describes_the_patrol() {
+        let out = run_str(
+            "simulate --posts 5 --nodes 15 --field 150 --seed 4 --algo idb \
+             --rounds 100 --policy tour --speed 20",
+        )
+        .unwrap();
+        assert!(out.contains("patrol tour:"));
+    }
+
+    #[test]
+    fn simulate_timeline_draws_a_sparkline() {
+        let out = run_str(
+            "simulate --posts 5 --nodes 15 --field 150 --seed 4 --algo idb \
+             --rounds 200 --timeline 20",
+        )
+        .unwrap();
+        assert!(out.contains("state of charge over time"));
+        assert!(out.contains("mean "));
+        assert!(out.contains("min  "));
+    }
+
+    #[test]
+    fn simulate_policy_none_and_bad_policy() {
+        let out = run_str(
+            "simulate --posts 5 --nodes 15 --field 150 --seed 4 --algo idb \
+             --rounds 50 --policy none --json",
+        )
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["charger_energy_j"], 0.0);
+        let err = run_str("simulate --posts 5 --nodes 15 --field 150 --policy teleport")
+            .unwrap_err();
+        assert!(err.to_string().contains("--policy"));
+    }
+
+    #[test]
+    fn simulate_rejects_bad_battery_and_chargers() {
+        assert!(
+            run_str("simulate --posts 5 --nodes 15 --field 150 --battery 0")
+                .unwrap_err()
+                .to_string()
+                .contains("battery")
+        );
+        assert!(run_str(
+            "simulate --posts 5 --nodes 15 --field 150 --policy tour --chargers 0"
+        )
+        .unwrap_err()
+        .to_string()
+        .contains("chargers"));
+    }
+
+    #[test]
+    fn sweep_json_is_a_run_report() {
+        let out = run_str(
+            "sweep --posts 5 --nodes 10 --field 150 --algo idb --seeds 4 --seed-start 2 --json",
+        )
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["solver"], "idb");
+        let runs = v["runs"].as_array().unwrap();
+        assert_eq!(runs.len(), 4);
+        assert_eq!(runs[0]["seed"], 2);
+        assert!(v["cost_uj"]["mean"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn sweep_parallel_matches_sequential() {
+        let base = "sweep --posts 6 --nodes 12 --field 150 --algo irfh --seeds 6 --json";
+        let par: serde_json::Value =
+            serde_json::from_str(&run_str(&format!("{base} --threads 4")).unwrap()).unwrap();
+        let seq: serde_json::Value =
+            serde_json::from_str(&run_str(&format!("{base} --threads 1")).unwrap()).unwrap();
+        assert_eq!(par["runs"].as_array().unwrap().len(), 6);
+        for (a, b) in par["runs"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .zip(seq["runs"].as_array().unwrap())
+        {
+            assert_eq!(a["seed"], b["seed"]);
+            assert_eq!(a["cost_uj"], b["cost_uj"]);
+        }
+        assert_eq!(par["cost_uj"]["mean"], seq["cost_uj"]["mean"]);
+    }
+
+    #[test]
+    fn sweep_human_output_has_table_and_summary() {
+        let out =
+            run_str("sweep --posts 5 --nodes 10 --field 150 --algo idb --seeds 3").unwrap();
+        assert!(out.contains("== sweep idb"));
+        assert!(out.contains("cost: mean"));
+        assert!(out.contains("wall-clock"));
+    }
+
+    #[test]
+    fn sweep_history_prints_the_iteration_trace() {
+        let out = run_str(
+            "sweep --posts 6 --nodes 12 --field 150 --algo irfh --seeds 2 --history",
+        )
+        .unwrap();
+        assert!(out.contains("mean cost by iteration:"));
+        assert!(out.contains("->"));
+    }
+
+    #[test]
+    fn sweep_rejects_bad_algo_seeds_and_threads() {
+        assert!(
+            run_str("sweep --posts 5 --nodes 10 --field 150 --algo magic")
+                .unwrap_err()
+                .to_string()
+                .contains("--algo")
+        );
+        assert!(run_str("sweep --posts 5 --nodes 10 --field 150 --seeds 0")
+            .unwrap_err()
+            .to_string()
+            .contains("--seeds"));
+        assert!(run_str("sweep --posts 5 --nodes 10 --field 150 --threads 0")
+            .unwrap_err()
+            .to_string()
+            .contains("--threads"));
+        // `--seed` belongs to `solve`; sweep uses --seed-start.
+        assert!(run_str("sweep --posts 5 --nodes 10 --field 150 --seed 7")
+            .unwrap_err()
+            .to_string()
+            .contains("seed"));
+    }
+
+    #[test]
+    fn sweep_loads_a_pinned_spec_with_zero_variance() {
+        let dir = std::env::temp_dir().join("wrsn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep-inst.json");
+        let _ = run_str(&format!(
+            "solve --posts 6 --nodes 12 --field 150 --seed 3 --algo idb --save {}",
+            path.display()
+        ))
+        .unwrap();
+        let out = run_str(&format!(
+            "sweep --algo idb --seeds 3 --json --load {}",
+            path.display()
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["cost_uj"]["std_dev"], 0.0);
     }
 }

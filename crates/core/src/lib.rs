@@ -107,4 +107,25 @@ pub trait Solver {
     /// Returns a [`SolveError`] if the algorithm cannot handle the
     /// instance (e.g. an exhaustive search over too many deployments).
     fn solve(&self, instance: &Instance) -> Result<Solution, SolveError>;
+
+    /// Like [`solve`](Solver::solve), but also returns the solver's cost
+    /// trace: the total cost after each improvement step, ending at the
+    /// returned solution's cost.
+    ///
+    /// One-shot solvers use this default, a single-entry trace. Iterative
+    /// solvers (notably [`Rfh`]) override it to expose their real
+    /// per-iteration history, which is what the paper's convergence plot
+    /// (Fig. 6) is drawn from.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`solve`](Solver::solve).
+    fn solve_traced(
+        &self,
+        instance: &Instance,
+    ) -> Result<(Solution, Vec<wrsn_energy::Energy>), SolveError> {
+        let solution = self.solve(instance)?;
+        let cost = solution.total_cost();
+        Ok((solution, vec![cost]))
+    }
 }

@@ -319,6 +319,12 @@ impl Solver for Rfh {
     fn solve(&self, instance: &Instance) -> Result<Solution, SolveError> {
         Ok(self.solve_with_report(instance)?.best)
     }
+
+    fn solve_traced(&self, instance: &Instance) -> Result<(Solution, Vec<Energy>), SolveError> {
+        let report = self.solve_with_report(instance)?;
+        let history = report.cost_history().to_vec();
+        Ok((report.into_best(), history))
+    }
 }
 
 /// Phase III: group children of each node under cheaper-to-reach heads.
@@ -499,6 +505,16 @@ mod tests {
         assert_eq!(report.cost_history().len(), 5);
         let best = report.best().total_cost();
         assert!(report.cost_history().iter().all(|&c| c >= best));
+    }
+
+    #[test]
+    fn solve_traced_exposes_the_full_iteration_history() {
+        let inst = InstanceSampler::new(Field::square(200.0), 8, 24).sample(2);
+        let solver = Rfh::iterative(5);
+        let (solution, history) = solver.solve_traced(&inst).unwrap();
+        assert_eq!(history.len(), 5);
+        assert_eq!(solution.total_cost(), solver.solve(&inst).unwrap().total_cost());
+        assert!(history.iter().all(|&c| c >= solution.total_cost()));
     }
 
     #[test]

@@ -89,9 +89,32 @@ impl InstanceSampler {
     ///
     /// Panics if the node budget or cap is infeasible for the post count,
     /// or if no connected layout is found within 10 000 redraws — at the
-    /// paper's densities a redraw is rarely needed even once.
+    /// paper's densities a redraw is rarely needed even once. Use
+    /// [`try_sample`](InstanceSampler::try_sample) when the configuration
+    /// comes from user input rather than experiment code.
     #[must_use]
     pub fn sample(&self, seed: u64) -> Instance {
+        match self.try_sample(seed) {
+            Ok(inst) => inst,
+            Err(e @ crate::BuildError::Disconnected { .. }) => panic!(
+                "no connected layout for {} posts in {} within 10000 redraws: {e}",
+                self.num_posts, self.field
+            ),
+            Err(e) => panic!("sampler configuration is infeasible: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`sample`](InstanceSampler::sample) for
+    /// configurations coming from user input (e.g. CLI flags).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`BuildError`](crate::BuildError) when the
+    /// node budget or cap is infeasible for the post count, or the last
+    /// `Disconnected` error when no connected layout is found within
+    /// 10 000 redraws.
+    pub fn try_sample(&self, seed: u64) -> Result<Instance, crate::BuildError> {
+        let mut last_disconnect = None;
         for attempt in 0..10_000u64 {
             let sub_seed = seed
                 .wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -105,15 +128,14 @@ impl InstanceSampler {
                 builder = builder.max_nodes_per_post(cap);
             }
             match builder.build() {
-                Ok(inst) => return inst,
-                Err(crate::BuildError::Disconnected { .. }) => continue,
-                Err(e) => panic!("sampler configuration is infeasible: {e}"),
+                Ok(inst) => return Ok(inst),
+                Err(e @ crate::BuildError::Disconnected { .. }) => {
+                    last_disconnect = Some(e);
+                }
+                Err(e) => return Err(e),
             }
         }
-        panic!(
-            "no connected layout for {} posts in {} within 10000 redraws",
-            self.num_posts, self.field
-        );
+        Err(last_disconnect.expect("10000 attempts always set the last disconnect error"))
     }
 }
 
@@ -176,5 +198,17 @@ mod tests {
     fn infeasible_budget_panics() {
         let s = InstanceSampler::new(Field::square(200.0), 5, 3);
         let _ = s.sample(0);
+    }
+
+    #[test]
+    fn try_sample_reports_infeasible_budget_instead_of_panicking() {
+        let s = InstanceSampler::new(Field::square(200.0), 5, 3);
+        assert!(s.try_sample(0).is_err());
+    }
+
+    #[test]
+    fn try_sample_matches_sample_on_feasible_configs() {
+        let s = InstanceSampler::new(Field::square(300.0), 20, 40);
+        assert_eq!(s.try_sample(4).unwrap(), s.sample(4));
     }
 }

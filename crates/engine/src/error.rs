@@ -1,0 +1,121 @@
+//! Errors raised by the experiment pipeline.
+
+use std::error::Error;
+use std::fmt;
+use wrsn_core::{BuildError, SolveError, SpecError};
+
+/// A failure anywhere in the experiment pipeline: resolving a solver
+/// name, materializing an instance, or solving one of a sweep's seeds.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A solver name was not present in the registry.
+    UnknownSolver {
+        /// The requested name.
+        name: String,
+        /// Every name the registry does know, sorted.
+        known: Vec<String>,
+    },
+    /// The instance source could not produce a valid instance.
+    Build(BuildError),
+    /// A saved instance spec failed to parse or validate.
+    Spec(SpecError),
+    /// A solver failed on one of the sweep's seeds.
+    Solve {
+        /// The registry name of the solver that failed.
+        solver: String,
+        /// The seed whose instance it failed on.
+        seed: u64,
+        /// The underlying solver error.
+        error: SolveError,
+    },
+    /// The experiment was configured with an empty seed range.
+    NoSeeds,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownSolver { name, known } => {
+                write!(f, "unknown solver {name:?} (known: {})", known.join(", "))
+            }
+            EngineError::Build(e) => write!(f, "building instance: {e}"),
+            EngineError::Spec(e) => write!(f, "instance spec: {e}"),
+            EngineError::Solve { solver, seed, error } => {
+                write!(f, "solver {solver:?} failed on seed {seed}: {error}")
+            }
+            EngineError::NoSeeds => write!(f, "experiment has an empty seed range"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Build(e) => Some(e),
+            EngineError::Spec(e) => Some(e),
+            EngineError::Solve { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for EngineError {
+    fn from(e: BuildError) -> Self {
+        EngineError::Build(e)
+    }
+}
+
+impl From<SpecError> for EngineError {
+    fn from(e: SpecError) -> Self {
+        EngineError::Spec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_nonempty_and_informative() {
+        let errors = [
+            EngineError::UnknownSolver {
+                name: "magic".into(),
+                known: vec!["idb".into(), "rfh".into()],
+            },
+            EngineError::Build(BuildError::NoPosts),
+            EngineError::Solve {
+                solver: "exhaustive".into(),
+                seed: 3,
+                error: SolveError::SearchSpaceTooLarge {
+                    combinations: 1 << 40,
+                    limit: 1 << 20,
+                },
+            },
+            EngineError::NoSeeds,
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_solver_lists_known_names() {
+        let e = EngineError::UnknownSolver {
+            name: "magic".into(),
+            known: vec!["idb".into(), "rfh".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("magic"));
+        assert!(msg.contains("idb"));
+        assert!(msg.contains("rfh"));
+    }
+
+    #[test]
+    fn is_a_std_error_with_sources() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<EngineError>();
+        let e = EngineError::Build(BuildError::NoPosts);
+        assert!(e.source().is_some());
+        assert!(EngineError::NoSeeds.source().is_none());
+    }
+}

@@ -1,0 +1,339 @@
+//! The `Experiment` builder: one (instance source × solver × seed
+//! range) cell of the paper's evaluation grid, run as a parallel sweep.
+
+use crate::{EngineError, RunReport, SeedRun, SolverRegistry, SweepRunner};
+use std::ops::Range;
+use std::time::Instant;
+use wrsn_core::{Instance, InstanceSampler, InstanceSpec};
+
+/// Where an experiment's instances come from.
+#[derive(Debug, Clone)]
+pub enum InstanceSource {
+    /// Draw a fresh random instance per seed (the paper's "20 post
+    /// distributions" style of evaluation).
+    Sampled(InstanceSampler),
+    /// Rebuild the same pinned instance for every seed — for saved specs
+    /// where the sweep varies only the solver's environment, or for
+    /// single-instance runs.
+    Spec(InstanceSpec),
+}
+
+impl InstanceSource {
+    /// Materializes the instance for `seed` (ignored for pinned specs).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Build`] when the sampler configuration is
+    /// infeasible or the spec describes an invalid instance.
+    pub fn instance(&self, seed: u64) -> Result<Instance, EngineError> {
+        match self {
+            InstanceSource::Sampled(sampler) => {
+                sampler.try_sample(seed).map_err(EngineError::Build)
+            }
+            InstanceSource::Spec(spec) => spec.build().map_err(EngineError::Build),
+        }
+    }
+}
+
+/// A reproducible experiment: instance source, solver (by registry
+/// name), and seed range, swept in parallel with deterministic per-seed
+/// results.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_core::InstanceSampler;
+/// use wrsn_engine::{Experiment, SolverRegistry};
+/// use wrsn_geom::Field;
+///
+/// let registry = SolverRegistry::with_defaults();
+/// let report = Experiment::sampled(InstanceSampler::new(Field::square(150.0), 5, 10))
+///     .solver("idb")
+///     .seeds(0..4)
+///     .run(&registry)?;
+/// assert_eq!(report.runs.len(), 4);
+/// assert!(report.cost_uj.mean > 0.0);
+/// # Ok::<(), wrsn_engine::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    label: String,
+    source: InstanceSource,
+    solver: String,
+    seeds: Range<u64>,
+    runner: SweepRunner,
+    capture_history: bool,
+}
+
+impl Experiment {
+    /// An experiment over the given instance source, with defaults:
+    /// solver `"irfh"`, seed range `0..1`, a parallel runner, and no
+    /// history capture.
+    #[must_use]
+    pub fn new(source: InstanceSource) -> Self {
+        Experiment {
+            label: String::new(),
+            source,
+            solver: "irfh".to_string(),
+            seeds: 0..1,
+            runner: SweepRunner::new(),
+            capture_history: false,
+        }
+    }
+
+    /// An experiment drawing a fresh random instance per seed.
+    #[must_use]
+    pub fn sampled(sampler: InstanceSampler) -> Self {
+        Experiment::new(InstanceSource::Sampled(sampler))
+    }
+
+    /// An experiment over one pinned instance spec.
+    #[must_use]
+    pub fn from_spec(spec: InstanceSpec) -> Self {
+        Experiment::new(InstanceSource::Spec(spec))
+    }
+
+    /// Sets the free-form label carried into the report (defaults to the
+    /// solver name).
+    #[must_use]
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Sets the solver by registry name.
+    #[must_use]
+    pub fn solver(mut self, name: impl Into<String>) -> Self {
+        self.solver = name.into();
+        self
+    }
+
+    /// The configured solver's registry name.
+    #[must_use]
+    pub fn solver_name(&self) -> &str {
+        &self.solver
+    }
+
+    /// Sets the seed range.
+    #[must_use]
+    pub fn seeds(mut self, seeds: Range<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Sets the sweep runner (thread count).
+    #[must_use]
+    pub fn runner(mut self, runner: SweepRunner) -> Self {
+        self.runner = runner;
+        self
+    }
+
+    /// Whether to record each solver's per-improvement cost trace in the
+    /// report (one entry per RFH iteration; single-entry for one-shot
+    /// solvers).
+    #[must_use]
+    pub fn capture_history(mut self, capture: bool) -> Self {
+        self.capture_history = capture;
+        self
+    }
+
+    /// Runs the sweep: one instance + solver run per seed, fanned out
+    /// across the runner's workers. Per-seed results are deterministic
+    /// and independent of the worker count — every seed's work happens
+    /// entirely on one thread, and results are collected in seed order.
+    ///
+    /// # Errors
+    ///
+    /// - [`EngineError::NoSeeds`] for an empty seed range;
+    /// - [`EngineError::UnknownSolver`] if the registry lacks the name;
+    /// - [`EngineError::Build`] if an instance cannot be materialized;
+    /// - [`EngineError::Solve`] (tagged with the failing seed) if the
+    ///   solver rejects an instance.
+    pub fn run(&self, registry: &SolverRegistry) -> Result<RunReport, EngineError> {
+        if self.seeds.is_empty() {
+            return Err(EngineError::NoSeeds);
+        }
+        let factory = registry.factory(&self.solver)?;
+        let results: Vec<Result<SeedRun, EngineError>> =
+            self.runner.run(self.seeds.clone(), |seed| {
+                let setup_start = Instant::now();
+                let instance = self.source.instance(seed)?;
+                let setup_ms = setup_start.elapsed().as_secs_f64() * 1e3;
+                let solver = factory();
+                let solve_start = Instant::now();
+                let (solution, history) =
+                    solver
+                        .solve_traced(&instance)
+                        .map_err(|error| EngineError::Solve {
+                            solver: self.solver.clone(),
+                            seed,
+                            error,
+                        })?;
+                let solve_ms = solve_start.elapsed().as_secs_f64() * 1e3;
+                Ok(SeedRun {
+                    seed,
+                    cost_uj: solution.total_cost().as_ujoules(),
+                    setup_ms,
+                    solve_ms,
+                    cost_history_uj: if self.capture_history {
+                        history.iter().map(|c| c.as_ujoules()).collect()
+                    } else {
+                        Vec::new()
+                    },
+                })
+            });
+        let runs = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let label = if self.label.is_empty() {
+            self.solver.clone()
+        } else {
+            self.label.clone()
+        };
+        Ok(RunReport::from_runs(label, self.solver.clone(), runs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrsn_geom::Field;
+
+    fn sampler(posts: usize, nodes: u32) -> InstanceSampler {
+        InstanceSampler::new(Field::square(150.0), posts, nodes)
+    }
+
+    #[test]
+    fn sweep_produces_one_run_per_seed_in_order() {
+        let registry = SolverRegistry::with_defaults();
+        let report = Experiment::sampled(sampler(5, 10))
+            .solver("idb")
+            .seeds(3..8)
+            .run(&registry)
+            .unwrap();
+        assert_eq!(report.runs.len(), 5);
+        assert_eq!(
+            report.runs.iter().map(|r| r.seed).collect::<Vec<_>>(),
+            vec![3, 4, 5, 6, 7]
+        );
+        assert!(report.runs.iter().all(|r| r.cost_uj > 0.0));
+        assert_eq!(report.solver, "idb");
+        assert_eq!(report.label, "idb");
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_sequential() {
+        let registry = SolverRegistry::with_defaults();
+        let base = Experiment::sampled(sampler(8, 20)).solver("irfh").seeds(0..12);
+        let par = base
+            .clone()
+            .runner(SweepRunner::new().threads(8))
+            .run(&registry)
+            .unwrap();
+        let seq = base
+            .runner(SweepRunner::sequential())
+            .run(&registry)
+            .unwrap();
+        assert_eq!(par.runs.len(), seq.runs.len());
+        for (a, b) in par.runs.iter().zip(&seq.runs) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.cost_uj.to_bits(), b.cost_uj.to_bits(), "seed {}", a.seed);
+        }
+        assert_eq!(par.cost_uj.mean.to_bits(), seq.cost_uj.mean.to_bits());
+    }
+
+    #[test]
+    fn pinned_spec_gives_identical_runs_across_seeds() {
+        let instance = sampler(6, 12).sample(9);
+        let spec = InstanceSpec::from_instance(&instance).expect("geometric");
+        let registry = SolverRegistry::with_defaults();
+        let report = Experiment::from_spec(spec)
+            .solver("idb")
+            .seeds(0..4)
+            .run(&registry)
+            .unwrap();
+        let first = report.runs[0].cost_uj;
+        assert!(report.runs.iter().all(|r| r.cost_uj.to_bits() == first.to_bits()));
+        assert_eq!(report.cost_uj.std_dev, 0.0);
+    }
+
+    #[test]
+    fn history_capture_records_rfh_iterations() {
+        let registry = SolverRegistry::with_defaults();
+        let report = Experiment::sampled(sampler(8, 20))
+            .solver("irfh")
+            .seeds(0..2)
+            .capture_history(true)
+            .run(&registry)
+            .unwrap();
+        for run in &report.runs {
+            assert_eq!(run.cost_history_uj.len(), 7, "irfh runs 7 iterations");
+        }
+        assert_eq!(report.mean_history_uj().len(), 7);
+        // Without capture the trace stays empty.
+        let quiet = Experiment::sampled(sampler(8, 20))
+            .solver("irfh")
+            .seeds(0..2)
+            .run(&registry)
+            .unwrap();
+        assert!(quiet.runs.iter().all(|r| r.cost_history_uj.is_empty()));
+    }
+
+    #[test]
+    fn unknown_solver_and_empty_seed_range_error() {
+        let registry = SolverRegistry::with_defaults();
+        let exp = Experiment::sampled(sampler(5, 10)).solver("magic").seeds(0..2);
+        assert!(matches!(
+            exp.run(&registry),
+            Err(EngineError::UnknownSolver { .. })
+        ));
+        let empty = Experiment::sampled(sampler(5, 10)).solver("idb").seeds(4..4);
+        assert!(matches!(empty.run(&registry), Err(EngineError::NoSeeds)));
+    }
+
+    #[test]
+    fn solver_failure_is_tagged_with_its_seed() {
+        // 20 posts / 60 nodes explodes the exhaustive search space.
+        let registry = SolverRegistry::with_defaults();
+        let err = Experiment::sampled(InstanceSampler::new(Field::square(400.0), 20, 60))
+            .solver("exhaustive")
+            .seeds(0..1)
+            .runner(SweepRunner::sequential())
+            .run(&registry)
+            .unwrap_err();
+        let EngineError::Solve { solver, seed, .. } = err else {
+            panic!("expected a solve error, got {err}");
+        };
+        assert_eq!(solver, "exhaustive");
+        assert_eq!(seed, 0);
+    }
+
+    #[test]
+    fn infeasible_sampler_reports_build_error() {
+        // 5 posts but only 3 nodes: every post needs at least one node.
+        let registry = SolverRegistry::with_defaults();
+        let err = Experiment::sampled(sampler(5, 3))
+            .solver("idb")
+            .seeds(0..1)
+            .run(&registry)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Build(_)), "got {err}");
+    }
+
+    #[test]
+    fn custom_label_flows_into_the_report() {
+        let registry = SolverRegistry::with_defaults();
+        let report = Experiment::sampled(sampler(5, 10))
+            .label("fig-x")
+            .solver("rfh")
+            .seeds(0..1)
+            .run(&registry)
+            .unwrap();
+        assert_eq!(report.label, "fig-x");
+        assert_eq!(report.solver, "rfh");
+    }
+
+    #[test]
+    fn solver_name_accessor() {
+        let exp = Experiment::sampled(sampler(5, 10)).solver("bnb");
+        assert_eq!(exp.solver_name(), "bnb");
+    }
+}

@@ -1,0 +1,49 @@
+//! # wrsn-engine — the shared experiment pipeline
+//!
+//! One place where solvers are constructed, seed sweeps are fanned out,
+//! and results are aggregated, shared by the CLI, the benches, and the
+//! integration tests:
+//!
+//! - [`SolverRegistry`] maps names (`"rfh"`, `"irfh"`, `"idb"`, …) to
+//!   solver factories, replacing per-consumer hard-coded constructors;
+//! - [`Experiment`] describes one evaluation cell: an instance source
+//!   (a random [`wrsn_core::InstanceSampler`] or a pinned
+//!   [`wrsn_core::InstanceSpec`]), a solver name, and a seed range;
+//! - [`SweepRunner`] fans the seeds across threads while keeping
+//!   per-seed results byte-identical to a sequential run;
+//! - [`RunReport`] carries per-seed costs, per-phase wall-clock timings,
+//!   optional cost-history traces, and summary statistics, and
+//!   serializes to JSON.
+//!
+//! ```
+//! use wrsn_core::InstanceSampler;
+//! use wrsn_engine::{Experiment, SolverRegistry};
+//! use wrsn_geom::Field;
+//!
+//! let registry = SolverRegistry::with_defaults();
+//! let report = Experiment::sampled(InstanceSampler::new(Field::square(200.0), 6, 15))
+//!     .label("demo")
+//!     .solver("irfh")
+//!     .seeds(0..3)
+//!     .run(&registry)?;
+//! assert_eq!(report.runs.len(), 3);
+//! println!("{}", report.to_json());
+//! # Ok::<(), wrsn_engine::EngineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod experiment;
+mod registry;
+mod report;
+mod runner;
+mod table;
+
+pub use error::EngineError;
+pub use experiment::{Experiment, InstanceSource};
+pub use registry::{SolverFactory, SolverRegistry};
+pub use report::{mean, save_json, std_dev, RunReport, SeedRun, SummaryStats};
+pub use runner::{run_seeds, SweepRunner};
+pub use table::Table;

@@ -1,0 +1,193 @@
+//! Name → solver-factory registry.
+
+use crate::EngineError;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use wrsn_core::{
+    BranchAndBound, ExhaustiveSearch, Idb, LifetimeBalanced, Rfh, Solver, UniformDeployment,
+};
+
+/// A shared, thread-safe constructor for a boxed [`Solver`].
+///
+/// Factories (rather than prebuilt boxed solvers) let a parallel sweep
+/// build one solver per worker without requiring `Solver: Sync`.
+pub type SolverFactory = Arc<dyn Fn() -> Box<dyn Solver> + Send + Sync>;
+
+/// Maps solver names to factories, so every consumer — CLI, benches,
+/// tests — constructs solvers the same way.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_engine::SolverRegistry;
+///
+/// let mut registry = SolverRegistry::with_defaults();
+/// registry.register("irfh10", || Box::new(wrsn_core::Rfh::iterative(10)));
+/// let solver = registry.create("irfh10")?;
+/// assert_eq!(solver.name(), "iRFH");
+/// assert!(registry.create("magic").is_err());
+/// # Ok::<(), wrsn_engine::EngineError>(())
+/// ```
+#[derive(Clone, Default)]
+pub struct SolverRegistry {
+    factories: BTreeMap<String, SolverFactory>,
+}
+
+impl SolverRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        SolverRegistry::default()
+    }
+
+    /// A registry pre-loaded with every built-in solver under its
+    /// canonical CLI name:
+    ///
+    /// | name | solver |
+    /// |---|---|
+    /// | `rfh` | [`Rfh::basic`] |
+    /// | `irfh` | [`Rfh::iterative`]`(7)` (the paper's configuration) |
+    /// | `idb` | [`Idb::new`]`(1)` |
+    /// | `bnb` | [`BranchAndBound`] |
+    /// | `exhaustive` | [`ExhaustiveSearch`] |
+    /// | `uniform` | [`UniformDeployment`] (charging-unaware baseline) |
+    /// | `lifetime` | [`LifetimeBalanced`] (charging-unaware baseline) |
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        let mut registry = SolverRegistry::new();
+        registry.register("rfh", || Box::new(Rfh::basic()));
+        registry.register("irfh", || Box::new(Rfh::iterative(7)));
+        registry.register("idb", || Box::new(Idb::new(1)));
+        registry.register("bnb", || Box::new(BranchAndBound::new()));
+        registry.register("exhaustive", || Box::new(ExhaustiveSearch::default()));
+        registry.register("uniform", || Box::new(UniformDeployment::new()));
+        registry.register("lifetime", || Box::new(LifetimeBalanced::new()));
+        registry
+    }
+
+    /// Registers (or replaces) a factory under `name`.
+    pub fn register<F>(&mut self, name: &str, factory: F)
+    where
+        F: Fn() -> Box<dyn Solver> + Send + Sync + 'static,
+    {
+        self.factories.insert(name.to_string(), Arc::new(factory));
+    }
+
+    /// The factory registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSolver`] listing every known name.
+    pub fn factory(&self, name: &str) -> Result<SolverFactory, EngineError> {
+        self.factories
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownSolver {
+                name: name.to_string(),
+                known: self.factories.keys().cloned().collect(),
+            })
+    }
+
+    /// Constructs the solver registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSolver`] listing every known name.
+    pub fn create(&self, name: &str) -> Result<Box<dyn Solver>, EngineError> {
+        Ok(self.factory(name)?())
+    }
+
+    /// Whether `name` is registered.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// Every registered name, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.factories.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered solvers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+}
+
+// Factories are opaque closures, so `Debug` prints the names only.
+impl fmt::Debug for SolverRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolverRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_the_cli_algorithms() {
+        let registry = SolverRegistry::with_defaults();
+        for name in ["rfh", "irfh", "idb", "bnb", "exhaustive", "uniform", "lifetime"] {
+            assert!(registry.contains(name), "{name} missing");
+            assert!(registry.create(name).is_ok(), "{name} does not construct");
+        }
+        assert_eq!(registry.len(), 7);
+        assert!(!registry.is_empty());
+    }
+
+    #[test]
+    fn created_solvers_carry_their_algorithm_names() {
+        let registry = SolverRegistry::with_defaults();
+        assert_eq!(registry.create("rfh").unwrap().name(), "RFH");
+        assert_eq!(registry.create("irfh").unwrap().name(), "iRFH");
+        assert_eq!(registry.create("idb").unwrap().name(), "IDB");
+    }
+
+    #[test]
+    fn unknown_name_reports_every_known_name() {
+        let registry = SolverRegistry::with_defaults();
+        let err = registry.create("magic").unwrap_err();
+        let EngineError::UnknownSolver { name, known } = err else {
+            panic!("wrong error variant");
+        };
+        assert_eq!(name, "magic");
+        assert_eq!(known.len(), registry.len());
+        assert!(known.iter().any(|k| k == "irfh"));
+    }
+
+    #[test]
+    fn custom_registrations_and_replacement() {
+        let mut registry = SolverRegistry::new();
+        assert!(registry.is_empty());
+        registry.register("mine", || Box::new(Idb::new(2)));
+        assert_eq!(registry.names(), vec!["mine"]);
+        registry.register("mine", || Box::new(Rfh::basic()));
+        assert_eq!(registry.create("mine").unwrap().name(), "RFH");
+    }
+
+    #[test]
+    fn factories_are_shareable_across_threads() {
+        let registry = SolverRegistry::with_defaults();
+        let factory = registry.factory("idb").unwrap();
+        let handle = std::thread::spawn(move || factory().name());
+        assert_eq!(handle.join().unwrap(), "IDB");
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let registry = SolverRegistry::with_defaults();
+        assert!(format!("{registry:?}").contains("irfh"));
+    }
+}

@@ -18,6 +18,8 @@
 //!   problem, the RFH and IDB heuristics, and exact solvers
 //! - [`sim`] — a discrete-event simulator that validates the analytic
 //!   recharging-cost metric
+//! - [`engine`] — the experiment pipeline: solver registry, parallel
+//!   seed sweeps, structured run reports
 //!
 //! # Quickstart
 //!
@@ -37,6 +39,7 @@
 pub use wrsn_charging as charging;
 pub use wrsn_core as core;
 pub use wrsn_energy as energy;
+pub use wrsn_engine as engine;
 pub use wrsn_geom as geom;
 pub use wrsn_graph as graph;
 pub use wrsn_sat as sat;

@@ -6,17 +6,19 @@ use wrsn::core::{
     InstanceSampler, Rfh, Solver,
 };
 use wrsn::energy::Energy;
+use wrsn::engine::SolverRegistry;
 use wrsn::geom::Field;
 use wrsn::sim::{ChargerPolicy, SimConfig, Simulator};
 
+/// The heterogeneous solver set, constructed through the same registry
+/// the CLI and benches use (plus an `idb2` registration to cover δ=2).
 fn solvers() -> Vec<Box<dyn Solver>> {
-    vec![
-        Box::new(Rfh::basic()),
-        Box::new(Rfh::iterative(7)),
-        Box::new(Idb::new(1)),
-        Box::new(Idb::new(2)),
-        Box::new(BranchAndBound::new()),
-    ]
+    let mut registry = SolverRegistry::with_defaults();
+    registry.register("idb2", || Box::new(Idb::new(2)));
+    ["rfh", "irfh", "idb", "idb2", "bnb"]
+        .iter()
+        .map(|name| registry.create(name).expect("registered"))
+        .collect()
 }
 
 #[test]

@@ -1,0 +1,115 @@
+//! Cross-crate integration for the experiment pipeline: the facade,
+//! registry, parallel sweep, and report layers working together.
+
+use wrsn::core::{InstanceSampler, InstanceSpec, Solver};
+use wrsn::engine::{EngineError, Experiment, InstanceSource, SolverRegistry, SweepRunner};
+use wrsn::geom::Field;
+
+fn sampler() -> InstanceSampler {
+    InstanceSampler::new(Field::square(200.0), 8, 20)
+}
+
+#[test]
+fn parallel_sweep_is_bitwise_identical_to_sequential() {
+    let registry = SolverRegistry::with_defaults();
+    for solver in ["irfh", "idb"] {
+        let base = Experiment::sampled(sampler()).solver(solver).seeds(0..10);
+        let par = base
+            .clone()
+            .runner(SweepRunner::new().threads(8))
+            .run(&registry)
+            .unwrap();
+        let seq = base
+            .runner(SweepRunner::sequential())
+            .run(&registry)
+            .unwrap();
+        assert_eq!(par.runs.len(), 10);
+        for (a, b) in par.runs.iter().zip(&seq.runs) {
+            assert_eq!(a.seed, b.seed, "{solver}");
+            assert_eq!(
+                a.cost_uj.to_bits(),
+                b.cost_uj.to_bits(),
+                "{solver} seed {}",
+                a.seed
+            );
+        }
+    }
+}
+
+#[test]
+fn report_serializes_and_parses_back() {
+    let registry = SolverRegistry::with_defaults();
+    let report = Experiment::sampled(sampler())
+        .label("pipeline-json")
+        .solver("irfh")
+        .seeds(0..3)
+        .capture_history(true)
+        .run(&registry)
+        .unwrap();
+    let v: serde_json::Value = serde_json::from_str(&report.to_json()).unwrap();
+    assert_eq!(v["label"], "pipeline-json");
+    assert_eq!(v["solver"], "irfh");
+    assert_eq!(v["runs"].as_array().unwrap().len(), 3);
+    assert_eq!(
+        v["runs"][0]["cost_history_uj"].as_array().unwrap().len(),
+        7,
+        "irfh default runs 7 iterations"
+    );
+    assert!(v["cost_uj"]["mean"].as_f64().unwrap() > 0.0);
+    assert!(v["solve_ms_total"].as_f64().unwrap() >= 0.0);
+}
+
+#[test]
+fn pinned_spec_experiments_have_zero_variance() {
+    let instance = sampler().sample(7);
+    let spec = InstanceSpec::from_instance(&instance).expect("geometric");
+    let registry = SolverRegistry::with_defaults();
+    let report = Experiment::new(InstanceSource::Spec(spec))
+        .solver("idb")
+        .seeds(0..5)
+        .run(&registry)
+        .unwrap();
+    assert_eq!(report.cost_uj.std_dev, 0.0);
+    assert_eq!(report.cost_uj.min.to_bits(), report.cost_uj.max.to_bits());
+}
+
+#[test]
+fn registry_solutions_match_direct_construction() {
+    let registry = SolverRegistry::with_defaults();
+    let instance = sampler().sample(3);
+    let via_registry = registry.create("idb").unwrap().solve(&instance).unwrap();
+    let direct = wrsn::core::Idb::new(1).solve(&instance).unwrap();
+    assert_eq!(
+        via_registry.total_cost().as_ujoules().to_bits(),
+        direct.total_cost().as_ujoules().to_bits()
+    );
+}
+
+#[test]
+fn unknown_solver_error_carries_the_known_names() {
+    let registry = SolverRegistry::with_defaults();
+    let err = Experiment::sampled(sampler())
+        .solver("gradient-descent")
+        .seeds(0..2)
+        .run(&registry)
+        .unwrap_err();
+    let EngineError::UnknownSolver { name, known } = err else {
+        panic!("expected UnknownSolver, got {err}");
+    };
+    assert_eq!(name, "gradient-descent");
+    for expected in ["rfh", "irfh", "idb", "bnb", "exhaustive", "uniform", "lifetime"] {
+        assert!(known.iter().any(|k| k == expected), "{expected} missing");
+    }
+    let msg = EngineError::UnknownSolver { name, known }.to_string();
+    assert!(msg.contains("gradient-descent") && msg.contains("irfh"));
+}
+
+#[test]
+fn default_trace_for_one_shot_solvers_is_the_final_cost() {
+    let registry = SolverRegistry::with_defaults();
+    let instance = sampler().sample(1);
+    let solver = registry.create("idb").unwrap();
+    let (solution, history) = solver.solve_traced(&instance).unwrap();
+    assert_eq!(history.len(), 1);
+    assert_eq!(history[0], solution.total_cost());
+}

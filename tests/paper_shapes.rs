@@ -4,21 +4,19 @@
 
 use wrsn::core::{BranchAndBound, Idb, InstanceSampler, Rfh, Solver};
 use wrsn::energy::TxLevels;
+use wrsn::engine::{Experiment, SolverRegistry};
 use wrsn::geom::Field;
 
 const SEEDS: u64 = 3;
 
-fn mean_cost(sampler: &InstanceSampler, solver: &dyn Solver) -> f64 {
-    (0..SEEDS)
-        .map(|s| {
-            solver
-                .solve(&sampler.sample(s))
-                .expect("solvable")
-                .total_cost()
-                .as_ujoules()
-        })
-        .sum::<f64>()
-        / SEEDS as f64
+fn mean_cost(sampler: &InstanceSampler, solver: &str) -> f64 {
+    Experiment::sampled(sampler.clone())
+        .solver(solver)
+        .seeds(0..SEEDS)
+        .run(&SolverRegistry::with_defaults())
+        .expect("solvable")
+        .cost_uj
+        .mean
 }
 
 #[test]
@@ -61,8 +59,8 @@ fn fig8_shape_cost_decreases_with_nodes_and_idb_leads() {
     let mut last = f64::INFINITY;
     for m in [80u32, 120, 160] {
         let sampler = InstanceSampler::new(Field::square(400.0), 40, m);
-        let idb = mean_cost(&sampler, &Idb::new(1));
-        let rfh = mean_cost(&sampler, &Rfh::iterative(7));
+        let idb = mean_cost(&sampler, "idb");
+        let rfh = mean_cost(&sampler, "irfh");
         assert!(idb <= rfh * 1.001, "IDB should lead RFH at M={m}");
         assert!(idb < last, "cost should fall as nodes are added");
         last = idb;
@@ -76,7 +74,7 @@ fn fig9_shape_cost_grows_with_posts() {
     let mut last = 0.0;
     for n in [20usize, 30, 40] {
         let sampler = InstanceSampler::new(Field::square(300.0), n, 120);
-        let idb = mean_cost(&sampler, &Idb::new(1));
+        let idb = mean_cost(&sampler, "idb");
         assert!(idb > last, "more reporting posts must cost more (N={n})");
         last = idb;
     }
