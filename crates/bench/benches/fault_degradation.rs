@@ -1,0 +1,124 @@
+//! R1 — graceful degradation under charger faults.
+//!
+//! The paper assumes a perfectly reliable charger; this experiment asks
+//! what its deployments are worth when that assumption breaks. For a
+//! grid of charger-skip probabilities, run the discrete-event simulator
+//! with a seeded [`FaultPlan`] and report how delivery ratio and energy
+//! headroom degrade for each solver — the robustness counterpart of the
+//! cost tables.
+//!
+//! Every run is deterministic per `(seed, fault seed)`: re-running the
+//! bench reproduces the same degradation curve bit for bit.
+
+use serde::Serialize;
+use wrsn_bench::{mean, run_seeds, save_json, SolverRegistry, Table};
+use wrsn_core::InstanceSampler;
+use wrsn_energy::Energy;
+use wrsn_geom::Field;
+use wrsn_sim::{ChargerPolicy, FaultPlan, SimConfig, Simulator};
+
+const SEEDS: u64 = 5;
+const ROUNDS: u64 = 3000;
+const SKIP_PROBS: &[f64] = &[0.0, 0.1, 0.25, 0.5, 0.75];
+const SOLVERS: &[&str] = &["irfh", "idb", "uniform"];
+
+#[derive(Serialize)]
+struct Row {
+    solver: &'static str,
+    skip_prob: f64,
+    mean_delivery_ratio: f64,
+    mean_energy_deficit: f64,
+    mean_rounds_after_first_fault: f64,
+    dead_runs: u64,
+}
+
+fn main() {
+    let registry = SolverRegistry::with_defaults();
+    let sampler = InstanceSampler::new(Field::square(300.0), 10, 30);
+    // Small batteries so skipped refills bite within the horizon.
+    let base = SimConfig {
+        round_interval_s: 1.0,
+        bits_per_report: 1000,
+        battery_capacity: Energy::from_joules(0.005),
+        charger: ChargerPolicy::Threshold {
+            interval_s: 2.0,
+            trigger_soc: 0.7,
+        },
+        ..SimConfig::default()
+    };
+    let mut rows = Vec::new();
+    for &name in SOLVERS {
+        let factory = registry.factory(name).expect("registered");
+        for &skip in SKIP_PROBS {
+            let config = SimConfig {
+                faults: if skip > 0.0 {
+                    Some(FaultPlan::seeded(99).charger_skips(skip))
+                } else {
+                    None
+                },
+                ..base.clone()
+            };
+            let results = run_seeds(0..SEEDS, |seed| {
+                let inst = sampler.sample(seed);
+                let sol = factory().solve(&inst).expect("solvable");
+                let report = Simulator::new(&inst, &sol, config.clone()).run(ROUNDS);
+                (
+                    report.delivery_ratio(),
+                    report.max_energy_deficit,
+                    report.rounds_after_first_fault as f64,
+                    u64::from(report.first_death.is_some()),
+                )
+            });
+            rows.push(Row {
+                solver: name,
+                skip_prob: skip,
+                mean_delivery_ratio: mean(&results.iter().map(|r| r.0).collect::<Vec<_>>()),
+                mean_energy_deficit: mean(&results.iter().map(|r| r.1).collect::<Vec<_>>()),
+                mean_rounds_after_first_fault: mean(
+                    &results.iter().map(|r| r.2).collect::<Vec<_>>(),
+                ),
+                dead_runs: results.iter().map(|r| r.3).sum(),
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        "Degradation vs charger-skip probability (N=10 M=30, 3000 rounds, 5 seeds)",
+        &[
+            "solver",
+            "skip",
+            "delivery",
+            "deficit",
+            "rounds after",
+            "deaths",
+        ],
+    );
+    for r in &rows {
+        table.row(&[
+            r.solver.to_string(),
+            format!("{:.2}", r.skip_prob),
+            format!("{:.4}", r.mean_delivery_ratio),
+            format!("{:.3}", r.mean_energy_deficit),
+            format!("{:.0}", r.mean_rounds_after_first_fault),
+            r.dead_runs.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Shape check: with no faults delivery is perfect, and delivery
+    // never improves as the charger gets flakier.
+    let monotone = SOLVERS.iter().all(|&name| {
+        let curve: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.solver == name)
+            .map(|r| r.mean_delivery_ratio)
+            .collect();
+        curve[0] == 1.0 && curve.windows(2).all(|w| w[0] >= w[1] - 1e-9)
+    });
+    println!(
+        "\nshape: delivery starts at 1.0 and degrades monotonically: {}  [{}]",
+        monotone,
+        if monotone { "OK" } else { "MISMATCH" }
+    );
+    save_json("fault_degradation", &rows);
+}

@@ -5,49 +5,56 @@
 //! choice considering its much shorter running time and a little worse
 //! performance." This bench quantifies that trade on the paper's
 //! large-scale setting, plus the exact solver at Fig. 7 scale.
+//!
+//! Solvers are constructed through the shared [`SolverRegistry`] — the
+//! same factories the CLI and the experiment pipeline use — so a timing
+//! here measures exactly the configuration every other consumer runs.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use wrsn_core::{
-    optimal_cost, BranchAndBound, CostEvaluator, Deployment, Idb, InstanceSampler, Rfh, Solver,
-};
+use wrsn_bench::SolverRegistry;
+use wrsn_core::{optimal_cost, CostEvaluator, Deployment, InstanceSampler};
 use wrsn_geom::Field;
 
+/// Registry names timed at the paper's large scale. The exact solvers
+/// (`bnb`, `exhaustive`) are intractable at N=100 and are deliberately
+/// excluded here; `bnb` gets its own small-scale group below.
+const LARGE_SCALE: &[&str] = &["rfh", "irfh", "idb"];
+
 fn bench_heuristics(c: &mut Criterion) {
+    let registry = SolverRegistry::with_defaults();
     let sampler = InstanceSampler::new(Field::square(500.0), 100, 400);
     let inst = sampler.sample(1);
     let mut group = c.benchmark_group("large-scale N=100 M=400");
     group.sample_size(20);
-    group.bench_function("RFH basic", |b| {
-        b.iter_batched(|| &inst, |i| Rfh::basic().solve(i).unwrap(), BatchSize::SmallInput)
-    });
-    group.bench_function("RFH iterative(7)", |b| {
-        b.iter_batched(
-            || &inst,
-            |i| Rfh::iterative(7).solve(i).unwrap(),
-            BatchSize::SmallInput,
-        )
-    });
-    group.bench_function("IDB delta=1", |b| {
-        b.iter_batched(|| &inst, |i| Idb::new(1).solve(i).unwrap(), BatchSize::SmallInput)
-    });
+    for name in LARGE_SCALE {
+        let factory = registry.factory(name).expect("registered");
+        group.bench_function(*name, |b| {
+            b.iter_batched(
+                || (&inst, factory()),
+                |(i, solver)| solver.solve(i).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
     group.finish();
 }
 
 fn bench_exact(c: &mut Criterion) {
+    let registry = SolverRegistry::with_defaults();
     let sampler = InstanceSampler::new(Field::square(200.0), 8, 20);
     let inst = sampler.sample(1);
     let mut group = c.benchmark_group("small-scale N=8 M=20");
     group.sample_size(10);
-    group.bench_function("IDB delta=1", |b| {
-        b.iter_batched(|| &inst, |i| Idb::new(1).solve(i).unwrap(), BatchSize::SmallInput)
-    });
-    group.bench_function("branch-and-bound (exact)", |b| {
-        b.iter_batched(
-            || &inst,
-            |i| BranchAndBound::new().solve(i).unwrap(),
-            BatchSize::SmallInput,
-        )
-    });
+    for name in ["idb", "bnb"] {
+        let factory = registry.factory(name).expect("registered");
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || (&inst, factory()),
+                |(i, solver)| solver.solve(i).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
     group.finish();
 }
 

@@ -52,9 +52,8 @@ fn main() {
             let results = run_seeds(0..SEEDS, |seed| {
                 let inst = sampler.sample(seed);
                 let sol = solver.solve(&inst).expect("solvable");
-                let report = Simulator::new(&inst, &sol, config).run(ROUNDS);
-                let analytic =
-                    sol.total_cost().as_njoules() * config.bits_per_report as f64;
+                let report = Simulator::new(&inst, &sol, config.clone()).run(ROUNDS);
+                let analytic = sol.total_cost().as_njoules() * config.bits_per_report as f64;
                 let simulated = report.charger_energy_per_round().as_njoules();
                 ((simulated - analytic).abs() / analytic, report.reports_lost)
             });
@@ -89,7 +88,11 @@ fn main() {
         "\nshape: worst relative error {:.2}% (< 3% expected), no lost reports: {}  [{}]",
         worst * 100.0,
         lossless,
-        if worst < 0.03 && lossless { "OK" } else { "MISMATCH" }
+        if worst < 0.03 && lossless {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
     save_json("sim_validation", &rows);
 }

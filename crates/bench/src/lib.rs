@@ -12,8 +12,9 @@
 #![warn(missing_docs)]
 
 pub use wrsn_engine::{
-    mean, run_seeds, save_json, std_dev, EngineError, Experiment, InstanceSource, RunReport,
-    SeedRun, SolverRegistry, SummaryStats, SweepRunner, Table,
+    mean, run_seeds, save_json, std_dev, EngineError, Experiment, InstanceSource, RetryPolicy,
+    RunReport, SeedEvent, SeedFailure, SeedRun, SolverRegistry, SummaryStats, SweepCheckpoint,
+    SweepRunner, Table,
 };
 
 #[cfg(test)]

@@ -12,10 +12,13 @@ use wrsn_core::{
     BranchAndBound, ChargeSpec, Instance, InstanceSampler, InstanceSpec, Solution, Solver,
 };
 use wrsn_energy::{Energy, TxLevels};
-use wrsn_engine::{EngineError, Experiment, InstanceSource, SolverRegistry, SweepRunner, Table};
+use wrsn_engine::{
+    EngineError, Experiment, InstanceSource, RetryPolicy, SeedEvent, SolverRegistry, SweepRunner,
+    Table,
+};
 use wrsn_geom::Field;
 use wrsn_sat::{CnfFormula, DpllSolver};
-use wrsn_sim::{ChargerPolicy, PatrolTour, SimConfig, Simulator};
+use wrsn_sim::{ChargerPolicy, FaultPlan, PatrolTour, SimConfig, Simulator};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -63,7 +66,19 @@ Takes the instance options of `wrsn solve` (--posts, --nodes, --field,
     --seed-start K  first seed                           [default: 0]
     --threads T     worker threads (1 = sequential)      [default: all CPUs]
     --history       record per-iteration cost traces
-    --json          machine-readable RunReport output";
+    --json          machine-readable RunReport output
+
+Fault tolerance:
+    --checkpoint P  stream an incremental checkpoint to file P after
+                    every completed seed (implies --progress)
+    --resume        skip seeds P already records (needs --checkpoint)
+    --max-retries N retry a failing seed up to N extra times [default: 0]
+    --keep-going    record failed seeds in the report instead of aborting
+    --halt-after K  stop after K newly processed seeds (deterministic
+                    interruption for testing --resume)
+    --no-timings    zero the wall-clock fields so repeated runs are
+                    byte-identical (used by the resume equivalence check)
+    --progress      print a per-seed progress line to stderr";
 
 const SIMULATE_HELP: &str = "\
 wrsn simulate — solve, then run the network over time
@@ -77,7 +92,15 @@ All `wrsn solve` options, plus:
     --chargers K    charger fleet size (tour policy)     [default: 1]
     --power W       charger radiated power in watts (finite => refills take time)
     --timeline R    sample state of charge every R rounds and plot it
-    --json          machine-readable output";
+    --json          machine-readable output
+
+Failure injection (any of these enables the fault plan):
+    --fault-seed K     seed for the probabilistic faults    [default: 0]
+    --kill R:P,...     a node at post P dies at round R
+    --outage P:A:B,... post P is offline for rounds A..B
+    --charger-skip Q   probability a due refill is skipped
+    --charger-delay Q  probability a patrol leg is delayed
+    --delay-s S        extra seconds per delayed leg        [default: 5]";
 
 const FIELDEXP_HELP: &str = "\
 wrsn fieldexp — replay the Section II field experiment
@@ -212,8 +235,7 @@ impl InstanceOptions {
         if let Some(path) = &self.load {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| CliError::Msg(format!("reading {path}: {e}")))?;
-            let spec =
-                InstanceSpec::from_json(&text).map_err(|e| CliError::Msg(e.to_string()))?;
+            let spec = InstanceSpec::from_json(&text).map_err(|e| CliError::Msg(e.to_string()))?;
             // Validate now so the error still carries the file name.
             spec.build()
                 .map_err(|e| CliError::Msg(format!("spec in {path}: {e}")))?;
@@ -311,8 +333,12 @@ fn solve(mut args: Args) -> Result<String, CliError> {
     let _ = writeln!(out, "routing:    {}", setup.solution.tree());
     if draw {
         if let Some(geo) = setup.instance.geometry() {
-            let _ = writeln!(out, "
-{}", render::render_field(geo, &setup.solution, 64, 24));
+            let _ = writeln!(
+                out,
+                "
+{}",
+                render::render_field(geo, &setup.solution, 64, 24)
+            );
             let _ = writeln!(out, "{}", render::render_tree(&setup.solution));
         }
     }
@@ -327,9 +353,21 @@ fn sweep(mut args: Args) -> Result<String, CliError> {
     let threads: Option<usize> = args.opt("threads", "a worker count")?;
     let history = args.flag("history");
     let json = args.flag("json");
+    let checkpoint: Option<String> = args.opt("checkpoint", "a file path")?;
+    let resume = args.flag("resume");
+    let max_retries: u32 = args.get_or("max-retries", "a retry count", 0)?;
+    let keep_going = args.flag("keep-going");
+    let halt_after: Option<usize> = args.opt("halt-after", "a seed count")?;
+    let no_timings = args.flag("no-timings");
+    let progress = args.flag("progress");
     args.finish()?;
     if seeds == 0 {
         return Err(CliError::Msg("--seeds must be at least 1".into()));
+    }
+    if resume && checkpoint.is_none() {
+        return Err(CliError::Msg(
+            "--resume needs --checkpoint to know where the previous run left off".into(),
+        ));
     }
     let runner = match threads {
         Some(0) => return Err(CliError::Msg("--threads must be at least 1".into())),
@@ -337,12 +375,42 @@ fn sweep(mut args: Args) -> Result<String, CliError> {
         None => SweepRunner::new(),
     };
     let registry = SolverRegistry::with_defaults();
-    let report = Experiment::new(opts.source()?)
+    let mut experiment = Experiment::new(opts.source()?)
         .solver(&algo)
         .seeds(seed_start..seed_start + seeds)
         .runner(runner)
         .capture_history(history)
-        .run(&registry)?;
+        .retry(RetryPolicy::attempts(max_retries + 1))
+        .keep_going(keep_going)
+        .resume(resume)
+        .record_timings(!no_timings);
+    if let Some(path) = &checkpoint {
+        experiment = experiment.checkpoint(path);
+    }
+    if let Some(k) = halt_after {
+        experiment = experiment.halt_after(k);
+    }
+    if progress || checkpoint.is_some() {
+        experiment = experiment.on_seed(|event| match event {
+            SeedEvent::Completed { run, done, total } => {
+                eprintln!(
+                    "[{done}/{total}] seed {} ok: {:.3} uJ",
+                    run.seed, run.cost_uj
+                );
+            }
+            SeedEvent::Failed {
+                failure,
+                done,
+                total,
+            } => {
+                eprintln!(
+                    "[{done}/{total}] seed {} FAILED after {} attempt(s): {}",
+                    failure.seed, failure.attempts, failure.error
+                );
+            }
+        });
+    }
+    let report = experiment.run(&registry)?;
     if json {
         return Ok(report.to_json());
     }
@@ -370,6 +438,16 @@ fn sweep(mut args: Args) -> Result<String, CliError> {
         report.solve_ms_total,
         report.mean_solve_ms()
     );
+    if !report.is_complete() {
+        let _ = writeln!(out, "failed seeds ({} of {seeds}):", report.failures.len());
+        for f in &report.failures {
+            let _ = writeln!(
+                out,
+                "  seed {} after {} attempt(s): {}",
+                f.seed, f.attempts, f.error
+            );
+        }
+    }
     if history {
         let trace: Vec<String> = report
             .mean_history_uj()
@@ -387,12 +465,63 @@ struct SimulateReport {
     rounds: u64,
     reports_delivered: u64,
     reports_lost: u64,
+    delivery_ratio: f64,
     charger_energy_j: f64,
     consumed_energy_j: f64,
     first_death: Option<(f64, usize)>,
     analytic_cost_per_round_uj: f64,
     simulated_cost_per_round_uj: f64,
     soc_timeline: Vec<(f64, f64, f64)>,
+    first_fault_round: Option<u64>,
+    rounds_after_first_fault: u64,
+    charger_skips: u64,
+    charger_delays: u64,
+    max_energy_deficit: f64,
+}
+
+/// Parses `--kill R:P[,R:P...]` entries into (round, post) pairs.
+fn parse_kill_list(text: &str) -> Result<Vec<(u64, usize)>, CliError> {
+    text.split(',')
+        .map(|entry| {
+            let parts: Vec<&str> = entry.split(':').collect();
+            let [round, post] = parts.as_slice() else {
+                return Err(CliError::Msg(format!(
+                    "--kill expects ROUND:POST entries, got {entry:?}"
+                )));
+            };
+            match (round.trim().parse(), post.trim().parse()) {
+                (Ok(r), Ok(p)) => Ok((r, p)),
+                _ => Err(CliError::Msg(format!(
+                    "--kill expects ROUND:POST numbers, got {entry:?}"
+                ))),
+            }
+        })
+        .collect()
+}
+
+/// Parses `--outage P:FROM:UNTIL[,...]` entries into (post, from, until)
+/// triples.
+fn parse_outage_list(text: &str) -> Result<Vec<(usize, u64, u64)>, CliError> {
+    text.split(',')
+        .map(|entry| {
+            let parts: Vec<&str> = entry.split(':').collect();
+            let [post, from, until] = parts.as_slice() else {
+                return Err(CliError::Msg(format!(
+                    "--outage expects POST:FROM:UNTIL entries, got {entry:?}"
+                )));
+            };
+            match (
+                post.trim().parse(),
+                from.trim().parse(),
+                until.trim().parse(),
+            ) {
+                (Ok(p), Ok(a), Ok(b)) => Ok((p, a, b)),
+                _ => Err(CliError::Msg(format!(
+                    "--outage expects POST:FROM:UNTIL numbers, got {entry:?}"
+                ))),
+            }
+        })
+        .collect()
 }
 
 fn simulate(mut args: Args) -> Result<String, CliError> {
@@ -408,8 +537,43 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
         Some(w) => return Err(CliError::Msg(format!("--power must be positive, got {w}"))),
         None => f64::INFINITY,
     };
+    let fault_seed: Option<u64> = args.opt("fault-seed", "an integer seed")?;
+    let kill: Option<String> = args.opt("kill", "ROUND:POST entries")?;
+    let outage: Option<String> = args.opt("outage", "POST:FROM:UNTIL entries")?;
+    let charger_skip: Option<f64> = args.opt("charger-skip", "a probability")?;
+    let charger_delay: Option<f64> = args.opt("charger-delay", "a probability")?;
+    let delay_s: f64 = args.get_or("delay-s", "seconds", 5.0)?;
     let setup = setup_solve(&mut args)?;
     args.finish()?;
+    let faults = if fault_seed.is_some()
+        || kill.is_some()
+        || outage.is_some()
+        || charger_skip.is_some()
+        || charger_delay.is_some()
+    {
+        let mut plan = FaultPlan::seeded(fault_seed.unwrap_or(0));
+        if let Some(text) = &kill {
+            for (round, post) in parse_kill_list(text)? {
+                plan = plan.kill_node(round, post);
+            }
+        }
+        if let Some(text) = &outage {
+            for (post, from, until) in parse_outage_list(text)? {
+                plan = plan.outage(post, from, until);
+            }
+        }
+        if let Some(p) = charger_skip {
+            plan = plan.charger_skips(p);
+        }
+        if let Some(p) = charger_delay {
+            plan = plan.charger_delays(p, delay_s);
+        }
+        plan.validate(setup.instance.num_posts())
+            .map_err(|why| CliError::Msg(format!("fault plan: {why}")))?;
+        Some(plan)
+    } else {
+        None
+    };
     if battery <= 0.0 {
         return Err(CliError::Msg("--battery must be positive".into()));
     }
@@ -440,8 +604,9 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
         charger,
         record_soc_every: timeline,
         charger_power_w: power,
+        faults,
     };
-    let sim = Simulator::new(&setup.instance, &setup.solution, config);
+    let sim = Simulator::new(&setup.instance, &setup.solution, config.clone());
     let report = sim.run(rounds);
     let analytic = setup.solution.total_cost() * bits as f64;
     let result = SimulateReport {
@@ -449,12 +614,18 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
         rounds: report.rounds_completed,
         reports_delivered: report.reports_delivered,
         reports_lost: report.reports_lost,
+        delivery_ratio: report.delivery_ratio(),
         charger_energy_j: report.charger_energy.as_joules(),
         consumed_energy_j: report.consumed_energy.as_joules(),
         first_death: report.first_death,
         analytic_cost_per_round_uj: analytic.as_ujoules(),
         simulated_cost_per_round_uj: report.charger_energy_per_round().as_ujoules(),
         soc_timeline: report.soc_timeline.clone(),
+        first_fault_round: report.first_fault_round,
+        rounds_after_first_fault: report.rounds_after_first_fault,
+        charger_skips: report.charger_skips,
+        charger_delays: report.charger_delays,
+        max_energy_deficit: report.max_energy_deficit,
     };
     if setup.json {
         return Ok(serde_json::to_string_pretty(&result).expect("serializable"));
@@ -468,9 +639,27 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
         analytic
     );
     if let Some((t, p)) = report.first_death {
-        let _ = writeln!(out, "first death: post {p} at t={t:.1}s — charger policy too weak");
+        let _ = writeln!(
+            out,
+            "first death: post {p} at t={t:.1}s — charger policy too weak"
+        );
     } else {
         let _ = writeln!(out, "network alive for the whole run");
+    }
+    if config.faults.is_some() {
+        let _ = writeln!(
+            out,
+            "faults: delivery ratio {:.3}, first fault at round {}, {} round(s) survived after, \
+             charger skips {} / delays {}, max energy deficit {:.3}",
+            report.delivery_ratio(),
+            report
+                .first_fault_round
+                .map_or_else(|| "-".to_string(), |r| r.to_string()),
+            report.rounds_after_first_fault,
+            report.charger_skips,
+            report.charger_delays,
+            report.max_energy_deficit,
+        );
     }
     if let (ChargerPolicy::PatrolTour { .. }, Some(geo)) =
         (config.charger, setup.instance.geometry())
@@ -581,7 +770,8 @@ fn reduce_cmd(mut args: Args) -> Result<String, CliError> {
     } else {
         std::fs::read_to_string(&path).map_err(|e| CliError::Msg(format!("reading {path}: {e}")))?
     };
-    let formula = CnfFormula::parse_dimacs(&text).map_err(|e| CliError::Msg(format!("DIMACS: {e}")))?;
+    let formula =
+        CnfFormula::parse_dimacs(&text).map_err(|e| CliError::Msg(format!("DIMACS: {e}")))?;
     let red = reduce(&formula).map_err(|e| CliError::Msg(format!("reduction: {e}")))?;
     let dpll = DpllSolver::new().is_satisfiable(&formula);
     let mut report = ReduceReport {
@@ -615,14 +805,22 @@ fn reduce_cmd(mut args: Args) -> Result<String, CliError> {
         "formula: {} vars, {} clauses -> gadget with {} posts, {} nodes, W = {:.1} nJ",
         report.vars, report.clauses, report.posts, report.nodes, report.bound_w_nj
     );
-    let _ = writeln!(out, "DPLL says: {}", if dpll { "SATISFIABLE" } else { "UNSATISFIABLE" });
+    let _ = writeln!(
+        out,
+        "DPLL says: {}",
+        if dpll { "SATISFIABLE" } else { "UNSATISFIABLE" }
+    );
     if let (Some(opt), Some(meets)) = (report.optimal_nj, report.optimizer_satisfiable) {
         let _ = writeln!(
             out,
             "optimizer: optimal cost {:.1} nJ {} W -> {}",
             opt,
             if meets { "<=" } else { ">" },
-            if meets { "SATISFIABLE" } else { "UNSATISFIABLE" }
+            if meets {
+                "SATISFIABLE"
+            } else {
+                "UNSATISFIABLE"
+            }
         );
         if let Some(a) = &report.assignment {
             let pretty: Vec<String> = a
@@ -633,7 +831,10 @@ fn reduce_cmd(mut args: Args) -> Result<String, CliError> {
             let _ = writeln!(out, "assignment: {}", pretty.join(", "));
         }
         if meets != dpll {
-            let _ = writeln!(out, "WARNING: optimizer and DPLL disagree — please report a bug");
+            let _ = writeln!(
+                out,
+                "WARNING: optimizer and DPLL disagree — please report a bug"
+            );
         }
     }
     Ok(out)
@@ -694,10 +895,12 @@ mod tests {
 
     #[test]
     fn solve_rejects_bad_algo_and_eta() {
-        assert!(run_str("solve --algo magic --posts 5 --nodes 10 --field 150")
-            .unwrap_err()
-            .to_string()
-            .contains("--algo"));
+        assert!(
+            run_str("solve --algo magic --posts 5 --nodes 10 --field 150")
+                .unwrap_err()
+                .to_string()
+                .contains("--algo")
+        );
         assert!(run_str("solve --eta 2.0 --posts 5 --nodes 10 --field 150")
             .unwrap_err()
             .to_string()
@@ -735,7 +938,11 @@ mod tests {
             path.display()
         ))
         .unwrap();
-        let b = run_str(&format!("solve --algo idb --json --load {}", path.display())).unwrap();
+        let b = run_str(&format!(
+            "solve --algo idb --json --load {}",
+            path.display()
+        ))
+        .unwrap();
         let va: serde_json::Value = serde_json::from_str(&a).unwrap();
         let vb: serde_json::Value = serde_json::from_str(&b).unwrap();
         assert_eq!(va["total_cost_uj"], vb["total_cost_uj"]);
@@ -784,10 +991,12 @@ mod tests {
         .unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(v["rounds"], 300);
-        assert!(run_str("simulate --power 0 --posts 5 --nodes 15 --field 150")
-            .unwrap_err()
-            .to_string()
-            .contains("power"));
+        assert!(
+            run_str("simulate --power 0 --posts 5 --nodes 15 --field 150")
+                .unwrap_err()
+                .to_string()
+                .contains("power")
+        );
     }
 
     #[test]
@@ -810,7 +1019,11 @@ mod tests {
         assert!(out.contains("SATISFIABLE"));
         assert!(out.contains("assignment:"));
         assert!(!out.contains("WARNING"));
-        let json = run_str(&format!("reduce --dimacs {} --solve --json", path.display())).unwrap();
+        let json = run_str(&format!(
+            "reduce --dimacs {} --solve --json",
+            path.display()
+        ))
+        .unwrap();
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["dpll_satisfiable"], v["optimizer_satisfiable"]);
     }
@@ -893,8 +1106,8 @@ mod tests {
         .unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(v["charger_energy_j"], 0.0);
-        let err = run_str("simulate --posts 5 --nodes 15 --field 150 --policy teleport")
-            .unwrap_err();
+        let err =
+            run_str("simulate --posts 5 --nodes 15 --field 150 --policy teleport").unwrap_err();
         assert!(err.to_string().contains("--policy"));
     }
 
@@ -906,12 +1119,12 @@ mod tests {
                 .to_string()
                 .contains("battery")
         );
-        assert!(run_str(
-            "simulate --posts 5 --nodes 15 --field 150 --policy tour --chargers 0"
-        )
-        .unwrap_err()
-        .to_string()
-        .contains("chargers"));
+        assert!(
+            run_str("simulate --posts 5 --nodes 15 --field 150 --policy tour --chargers 0")
+                .unwrap_err()
+                .to_string()
+                .contains("chargers")
+        );
     }
 
     #[test]
@@ -950,8 +1163,7 @@ mod tests {
 
     #[test]
     fn sweep_human_output_has_table_and_summary() {
-        let out =
-            run_str("sweep --posts 5 --nodes 10 --field 150 --algo idb --seeds 3").unwrap();
+        let out = run_str("sweep --posts 5 --nodes 10 --field 150 --algo idb --seeds 3").unwrap();
         assert!(out.contains("== sweep idb"));
         assert!(out.contains("cost: mean"));
         assert!(out.contains("wall-clock"));
@@ -959,10 +1171,8 @@ mod tests {
 
     #[test]
     fn sweep_history_prints_the_iteration_trace() {
-        let out = run_str(
-            "sweep --posts 6 --nodes 12 --field 150 --algo irfh --seeds 2 --history",
-        )
-        .unwrap();
+        let out = run_str("sweep --posts 6 --nodes 12 --field 150 --algo irfh --seeds 2 --history")
+            .unwrap();
         assert!(out.contains("mean cost by iteration:"));
         assert!(out.contains("->"));
     }
@@ -979,10 +1189,12 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("--seeds"));
-        assert!(run_str("sweep --posts 5 --nodes 10 --field 150 --threads 0")
-            .unwrap_err()
-            .to_string()
-            .contains("--threads"));
+        assert!(
+            run_str("sweep --posts 5 --nodes 10 --field 150 --threads 0")
+                .unwrap_err()
+                .to_string()
+                .contains("--threads")
+        );
         // `--seed` belongs to `solve`; sweep uses --seed-start.
         assert!(run_str("sweep --posts 5 --nodes 10 --field 150 --seed 7")
             .unwrap_err()
@@ -1007,5 +1219,91 @@ mod tests {
         .unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(v["cost_uj"]["std_dev"], 0.0);
+    }
+
+    #[test]
+    fn sweep_resume_requires_a_checkpoint() {
+        let err = run_str("sweep --posts 5 --nodes 10 --field 150 --resume").unwrap_err();
+        assert!(err.to_string().contains("--checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn sweep_checkpoint_interrupt_and_resume_match_a_clean_run() {
+        let dir = std::env::temp_dir().join("wrsn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("sweep-resume.checkpoint.json");
+        let _ = std::fs::remove_file(&ck);
+        let base = "sweep --posts 5 --nodes 10 --field 150 --algo idb --seeds 5 \
+                    --threads 1 --no-timings --json";
+        let partial = run_str(&format!(
+            "{base} --checkpoint {} --halt-after 2",
+            ck.display()
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&partial).unwrap();
+        assert_eq!(v["runs"].as_array().unwrap().len(), 2, "halted after 2");
+        let resumed = run_str(&format!("{base} --checkpoint {} --resume", ck.display())).unwrap();
+        let clean = run_str(base).unwrap();
+        assert_eq!(resumed, clean, "resume must reproduce the clean sweep");
+    }
+
+    #[test]
+    fn sweep_keep_going_records_failures() {
+        // 3 nodes cannot cover 5 posts — every seed fails to build.
+        let base = "sweep --posts 5 --nodes 3 --field 150 --algo idb --seeds 3";
+        let out = run_str(&format!("{base} --keep-going --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["runs"].as_array().unwrap().len(), 0);
+        assert_eq!(v["failures"].as_array().unwrap().len(), 3);
+        let human = run_str(&format!("{base} --keep-going")).unwrap();
+        assert!(human.contains("failed seeds"), "{human}");
+        // Without --keep-going, the same sweep aborts with the error.
+        assert!(run_str(base).is_err());
+    }
+
+    #[test]
+    fn simulate_fault_injection_is_deterministic() {
+        let cmd = "simulate --posts 5 --nodes 15 --field 150 --seed 4 --algo idb \
+                   --rounds 200 --bits 1000 --battery 0.01 --fault-seed 7 \
+                   --kill 50:0 --outage 1:10:20 --charger-skip 0.2 --json";
+        let a = run_str(cmd).unwrap();
+        let b = run_str(cmd).unwrap();
+        assert_eq!(a, b, "same fault seed must replay identically");
+        let v: serde_json::Value = serde_json::from_str(&a).unwrap();
+        assert!(v["first_fault_round"].as_u64().unwrap() <= 10);
+        assert!(v["reports_lost"].as_u64().unwrap() > 0);
+        assert!(v["delivery_ratio"].as_f64().unwrap() < 1.0);
+        assert!(v["rounds_after_first_fault"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn simulate_fault_human_output_has_degradation_line() {
+        let out = run_str(
+            "simulate --posts 5 --nodes 15 --field 150 --seed 4 --algo idb \
+             --rounds 100 --charger-skip 0.5",
+        )
+        .unwrap();
+        assert!(out.contains("delivery ratio"), "{out}");
+    }
+
+    #[test]
+    fn simulate_rejects_malformed_fault_flags() {
+        let base = "simulate --posts 5 --nodes 15 --field 150 --seed 4 --algo idb --rounds 50";
+        assert!(run_str(&format!("{base} --kill abc"))
+            .unwrap_err()
+            .to_string()
+            .contains("--kill"));
+        assert!(run_str(&format!("{base} --kill 1:999"))
+            .unwrap_err()
+            .to_string()
+            .contains("fault plan"));
+        assert!(run_str(&format!("{base} --outage 0:9:9"))
+            .unwrap_err()
+            .to_string()
+            .contains("fault plan"));
+        assert!(run_str(&format!("{base} --charger-skip 1.5"))
+            .unwrap_err()
+            .to_string()
+            .contains("probability"));
     }
 }

@@ -1,0 +1,242 @@
+//! Incremental sweep checkpoints: a JSON file flushed after every
+//! completed seed so an interrupted sweep can resume where it stopped.
+//!
+//! The format is a versioned superset of what [`crate::RunReport`]
+//! stores per seed: the experiment identity (label, solver, seed range)
+//! plus completed [`SeedRun`]s and recorded [`SeedFailure`]s. On resume,
+//! completed seeds are skipped and failed seeds are retried, so a
+//! resumed sweep converges to exactly the report an uninterrupted run
+//! would have produced.
+
+use crate::{EngineError, SeedFailure, SeedRun};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::ops::Range;
+use std::path::Path;
+
+/// The checkpoint format version this build reads and writes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The on-disk state of a partially completed sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The experiment label the sweep was started with.
+    pub label: String,
+    /// The registry name of the solver being swept.
+    pub solver: String,
+    /// First seed of the sweep (inclusive).
+    pub seed_start: u64,
+    /// One past the last seed of the sweep.
+    pub seed_end: u64,
+    /// Completed per-seed runs, kept sorted by seed.
+    pub runs: Vec<SeedRun>,
+    /// Seeds that exhausted their retry budget, kept sorted by seed.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub failures: Vec<SeedFailure>,
+}
+
+impl SweepCheckpoint {
+    /// An empty checkpoint for a sweep over `seeds`.
+    #[must_use]
+    pub fn new(label: impl Into<String>, solver: impl Into<String>, seeds: Range<u64>) -> Self {
+        SweepCheckpoint {
+            version: CHECKPOINT_VERSION,
+            label: label.into(),
+            solver: solver.into(),
+            seed_start: seeds.start,
+            seed_end: seeds.end,
+            runs: Vec::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// Loads and validates a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Checkpoint`] when the file cannot be read, is not
+    /// valid checkpoint JSON, or has a different format version.
+    pub fn load(path: &Path) -> Result<Self, EngineError> {
+        let err = |message: String| EngineError::Checkpoint {
+            path: path.to_path_buf(),
+            message,
+        };
+        let text = std::fs::read_to_string(path).map_err(|e| err(format!("reading: {e}")))?;
+        let ckpt: SweepCheckpoint =
+            serde_json::from_str(&text).map_err(|e| err(format!("parsing: {e}")))?;
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(err(format!(
+                "format version {} (this build reads {CHECKPOINT_VERSION})",
+                ckpt.version
+            )));
+        }
+        Ok(ckpt)
+    }
+
+    /// Atomically writes the checkpoint: the JSON lands in a sibling
+    /// temporary file first and is renamed over `path`, so a crash
+    /// mid-write never leaves a truncated checkpoint behind.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Checkpoint`] when the file cannot be written.
+    pub fn save(&self, path: &Path) -> Result<(), EngineError> {
+        let err = |message: String| EngineError::Checkpoint {
+            path: path.to_path_buf(),
+            message,
+        };
+        let json = serde_json::to_string_pretty(self).expect("checkpoint is serializable");
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, json).map_err(|e| err(format!("writing {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path).map_err(|e| err(format!("renaming into place: {e}")))
+    }
+
+    /// Rejects a checkpoint that belongs to a different experiment.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Checkpoint`] naming the mismatching field.
+    pub fn check_compatible(
+        &self,
+        solver: &str,
+        seeds: &Range<u64>,
+        path: &Path,
+    ) -> Result<(), EngineError> {
+        let mismatch = if self.solver != solver {
+            Some(format!(
+                "was written for solver {:?}, not {solver:?}",
+                self.solver
+            ))
+        } else if self.seed_start != seeds.start || self.seed_end != seeds.end {
+            Some(format!(
+                "covers seeds {}..{}, not {}..{}",
+                self.seed_start, self.seed_end, seeds.start, seeds.end
+            ))
+        } else {
+            None
+        };
+        match mismatch {
+            Some(message) => Err(EngineError::Checkpoint {
+                path: path.to_path_buf(),
+                message,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// The seeds already completed successfully.
+    #[must_use]
+    pub fn completed_seeds(&self) -> BTreeSet<u64> {
+        self.runs.iter().map(|r| r.seed).collect()
+    }
+
+    /// Records a completed run, keeping `runs` sorted by seed. A rerun
+    /// of an already-recorded seed replaces the old entry.
+    pub fn record_run(&mut self, run: SeedRun) {
+        match self.runs.binary_search_by_key(&run.seed, |r| r.seed) {
+            Ok(i) => self.runs[i] = run,
+            Err(i) => self.runs.insert(i, run),
+        }
+    }
+
+    /// Records a failed seed, keeping `failures` sorted by seed.
+    pub fn record_failure(&mut self, failure: SeedFailure) {
+        match self
+            .failures
+            .binary_search_by_key(&failure.seed, |f| f.seed)
+        {
+            Ok(i) => self.failures[i] = failure,
+            Err(i) => self.failures.insert(i, failure),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(seed: u64) -> SeedRun {
+        SeedRun {
+            seed,
+            cost_uj: seed as f64,
+            setup_ms: 0.0,
+            solve_ms: 0.0,
+            attempts: 1,
+            cost_history_uj: Vec::new(),
+        }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("wrsn-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let mut ckpt = SweepCheckpoint::new("demo", "idb", 3..9);
+        ckpt.record_run(run(4));
+        ckpt.record_run(run(3));
+        ckpt.record_failure(SeedFailure {
+            seed: 5,
+            attempts: 2,
+            error: "boom".into(),
+        });
+        let path = temp_path("roundtrip.json");
+        ckpt.save(&path).unwrap();
+        let back = SweepCheckpoint::load(&path).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(
+            back.completed_seeds().into_iter().collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn runs_stay_sorted_and_reruns_replace() {
+        let mut ckpt = SweepCheckpoint::new("demo", "idb", 0..4);
+        ckpt.record_run(run(2));
+        ckpt.record_run(run(0));
+        ckpt.record_run(run(1));
+        let mut rerun = run(1);
+        rerun.attempts = 5;
+        ckpt.record_run(rerun);
+        let seeds: Vec<u64> = ckpt.runs.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, vec![0, 1, 2]);
+        assert_eq!(ckpt.runs[1].attempts, 5);
+    }
+
+    #[test]
+    fn mismatched_experiment_is_rejected() {
+        let ckpt = SweepCheckpoint::new("demo", "idb", 0..4);
+        let path = Path::new("ck.json");
+        assert!(ckpt.check_compatible("idb", &(0..4), path).is_ok());
+        let err = ckpt.check_compatible("rfh", &(0..4), path).unwrap_err();
+        assert!(err.to_string().contains("solver"));
+        let err = ckpt.check_compatible("idb", &(0..5), path).unwrap_err();
+        assert!(err.to_string().contains("seeds"));
+    }
+
+    #[test]
+    fn unreadable_and_wrong_version_files_error() {
+        let missing = temp_path("never-written.json");
+        let _ = std::fs::remove_file(&missing);
+        assert!(SweepCheckpoint::load(&missing).is_err());
+        let garbled = temp_path("garbled.json");
+        std::fs::write(&garbled, "not json").unwrap();
+        assert!(SweepCheckpoint::load(&garbled).is_err());
+        let future = temp_path("future.json");
+        let mut ckpt = SweepCheckpoint::new("demo", "idb", 0..1);
+        ckpt.version = 99;
+        std::fs::write(&future, serde_json::to_string(&ckpt).unwrap()).unwrap();
+        let err = SweepCheckpoint::load(&future).unwrap_err();
+        assert!(err.to_string().contains("version"));
+        let _ = std::fs::remove_file(garbled);
+        let _ = std::fs::remove_file(future);
+    }
+}

@@ -28,6 +28,25 @@ pub enum EngineError {
         /// The underlying solver error.
         error: SolveError,
     },
+    /// A seed's worker panicked; the fault-tolerant sweep caught it.
+    SeedPanicked {
+        /// The registry name of the solver that panicked.
+        solver: String,
+        /// The seed whose instance it panicked on.
+        seed: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The panic payload, rendered as text.
+        message: String,
+    },
+    /// A sweep checkpoint could not be read, written, or matched to the
+    /// experiment being run.
+    Checkpoint {
+        /// The checkpoint file.
+        path: std::path::PathBuf,
+        /// What went wrong.
+        message: String,
+    },
     /// The experiment was configured with an empty seed range.
     NoSeeds,
 }
@@ -40,8 +59,24 @@ impl fmt::Display for EngineError {
             }
             EngineError::Build(e) => write!(f, "building instance: {e}"),
             EngineError::Spec(e) => write!(f, "instance spec: {e}"),
-            EngineError::Solve { solver, seed, error } => {
+            EngineError::Solve {
+                solver,
+                seed,
+                error,
+            } => {
                 write!(f, "solver {solver:?} failed on seed {seed}: {error}")
+            }
+            EngineError::SeedPanicked {
+                solver,
+                seed,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "solver {solver:?} panicked on seed {seed} ({attempts} attempt(s)): {message}"
+            ),
+            EngineError::Checkpoint { path, message } => {
+                write!(f, "checkpoint {}: {message}", path.display())
             }
             EngineError::NoSeeds => write!(f, "experiment has an empty seed range"),
         }
@@ -91,11 +126,39 @@ mod tests {
                     limit: 1 << 20,
                 },
             },
+            EngineError::SeedPanicked {
+                solver: "idb".into(),
+                seed: 4,
+                attempts: 2,
+                message: "index out of bounds".into(),
+            },
+            EngineError::Checkpoint {
+                path: "ck.json".into(),
+                message: "truncated".into(),
+            },
             EngineError::NoSeeds,
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn panic_and_checkpoint_errors_carry_context() {
+        let e = EngineError::SeedPanicked {
+            solver: "idb".into(),
+            seed: 4,
+            attempts: 2,
+            message: "boom".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("idb") && msg.contains("seed 4") && msg.contains("boom"));
+        let e = EngineError::Checkpoint {
+            path: "bench_results/x.checkpoint.json".into(),
+            message: "version 9".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("x.checkpoint.json") && msg.contains("version 9"));
     }
 
     #[test]

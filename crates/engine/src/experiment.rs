@@ -1,8 +1,17 @@
 //! The `Experiment` builder: one (instance source × solver × seed
-//! range) cell of the paper's evaluation grid, run as a parallel sweep.
+//! range) cell of the paper's evaluation grid, run as a parallel sweep
+//! with optional fault tolerance, streaming checkpoints, and resume.
 
-use crate::{EngineError, RunReport, SeedRun, SolverRegistry, SweepRunner};
+use crate::runner::{Failure, SeedOutcome};
+use crate::{
+    EngineError, RetryPolicy, RunReport, SeedFailure, SeedRun, SolverRegistry, SweepCheckpoint,
+    SweepRunner,
+};
+use parking_lot::Mutex;
+use std::fmt;
 use std::ops::Range;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 use wrsn_core::{Instance, InstanceSampler, InstanceSpec};
 
@@ -35,9 +44,46 @@ impl InstanceSource {
     }
 }
 
+/// A per-seed progress notification from a running sweep — how the CLI
+/// prints live progress lines and how callers stream partial results.
+///
+/// Events fire from worker threads (under the sweep's bookkeeping lock),
+/// possibly out of seed order; `done`/`total` count processed seeds
+/// including any restored from a resumed checkpoint.
+#[derive(Debug, Clone, Copy)]
+pub enum SeedEvent<'a> {
+    /// A seed completed successfully.
+    Completed {
+        /// The finished run (attempts already filled in).
+        run: &'a SeedRun,
+        /// Seeds processed so far, counting checkpointed ones.
+        done: usize,
+        /// Total seeds in the sweep.
+        total: usize,
+    },
+    /// A seed exhausted its retry budget.
+    Failed {
+        /// The recorded failure.
+        failure: &'a SeedFailure,
+        /// Seeds processed so far, counting checkpointed ones.
+        done: usize,
+        /// Total seeds in the sweep.
+        total: usize,
+    },
+}
+
+type SeedObserver = dyn Fn(SeedEvent<'_>) + Send + Sync;
+
 /// A reproducible experiment: instance source, solver (by registry
 /// name), and seed range, swept in parallel with deterministic per-seed
 /// results.
+///
+/// Fault tolerance is opt-in per axis: [`Experiment::retry`] bounds
+/// per-seed retries, [`Experiment::keep_going`] records failed seeds in
+/// the report instead of aborting, [`Experiment::checkpoint`] streams an
+/// incremental JSON checkpoint after every completed seed, and
+/// [`Experiment::resume`] skips seeds a previous (interrupted) run
+/// already completed.
 ///
 /// # Examples
 ///
@@ -55,7 +101,7 @@ impl InstanceSource {
 /// assert!(report.cost_uj.mean > 0.0);
 /// # Ok::<(), wrsn_engine::EngineError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Experiment {
     label: String,
     source: InstanceSource,
@@ -63,12 +109,39 @@ pub struct Experiment {
     seeds: Range<u64>,
     runner: SweepRunner,
     capture_history: bool,
+    retry: RetryPolicy,
+    keep_going: bool,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    halt_after: Option<usize>,
+    record_timings: bool,
+    on_seed: Option<Arc<SeedObserver>>,
+}
+
+impl fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Experiment")
+            .field("label", &self.label)
+            .field("source", &self.source)
+            .field("solver", &self.solver)
+            .field("seeds", &self.seeds)
+            .field("runner", &self.runner)
+            .field("capture_history", &self.capture_history)
+            .field("retry", &self.retry)
+            .field("keep_going", &self.keep_going)
+            .field("checkpoint", &self.checkpoint)
+            .field("resume", &self.resume)
+            .field("halt_after", &self.halt_after)
+            .field("record_timings", &self.record_timings)
+            .field("on_seed", &self.on_seed.as_ref().map(|_| "<callback>"))
+            .finish()
+    }
 }
 
 impl Experiment {
     /// An experiment over the given instance source, with defaults:
-    /// solver `"irfh"`, seed range `0..1`, a parallel runner, and no
-    /// history capture.
+    /// solver `"irfh"`, seed range `0..1`, a parallel runner, no history
+    /// capture, no retries, and no checkpointing.
     #[must_use]
     pub fn new(source: InstanceSource) -> Self {
         Experiment {
@@ -78,6 +151,13 @@ impl Experiment {
             seeds: 0..1,
             runner: SweepRunner::new(),
             capture_history: false,
+            retry: RetryPolicy::none(),
+            keep_going: false,
+            checkpoint: None,
+            resume: false,
+            halt_after: None,
+            record_timings: true,
+            on_seed: None,
         }
     }
 
@@ -137,58 +217,248 @@ impl Experiment {
         self
     }
 
+    /// Sets the per-seed retry policy (default: a single attempt).
+    #[must_use]
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// When `true`, a seed that fails every attempt is recorded in the
+    /// report's failure list and the remaining seeds still run to
+    /// completion; when `false` (the default), the sweep finishes and
+    /// then returns the first failure as an error.
+    #[must_use]
+    pub fn keep_going(mut self, keep_going: bool) -> Self {
+        self.keep_going = keep_going;
+        self
+    }
+
+    /// Streams an incremental [`SweepCheckpoint`] to `path` after every
+    /// completed seed, so a crash loses at most the seed in flight.
+    #[must_use]
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// When `true`, loads the checkpoint file (if it exists) before
+    /// running and skips the seeds it already completed; previously
+    /// failed seeds are retried. Requires [`Experiment::checkpoint`].
+    #[must_use]
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Stops the sweep after this many newly processed seeds, leaving
+    /// the rest for a later `resume` — deterministic sweep interruption
+    /// for tests and sharded runs. Exact under a sequential runner.
+    #[must_use]
+    pub fn halt_after(mut self, seeds: usize) -> Self {
+        self.halt_after = Some(seeds);
+        self
+    }
+
+    /// When `false`, per-seed wall-clock fields are recorded as zero so
+    /// two runs of the same sweep serialize byte-identically (the
+    /// checkpoint/resume equivalence tests rely on this). Default `true`.
+    #[must_use]
+    pub fn record_timings(mut self, record: bool) -> Self {
+        self.record_timings = record;
+        self
+    }
+
+    /// Installs a per-seed progress callback (see [`SeedEvent`]).
+    #[must_use]
+    pub fn on_seed<F>(mut self, callback: F) -> Self
+    where
+        F: Fn(SeedEvent<'_>) + Send + Sync + 'static,
+    {
+        self.on_seed = Some(Arc::new(callback));
+        self
+    }
+
+    fn report_label(&self) -> String {
+        if self.label.is_empty() {
+            self.solver.clone()
+        } else {
+            self.label.clone()
+        }
+    }
+
     /// Runs the sweep: one instance + solver run per seed, fanned out
     /// across the runner's workers. Per-seed results are deterministic
     /// and independent of the worker count — every seed's work happens
     /// entirely on one thread, and results are collected in seed order.
     ///
+    /// Panicking or erroring seeds are caught and retried under the
+    /// retry policy; the remaining seeds always run to completion. What
+    /// happens to a seed that exhausts its attempts depends on
+    /// [`Experiment::keep_going`].
+    ///
     /// # Errors
     ///
     /// - [`EngineError::NoSeeds`] for an empty seed range;
     /// - [`EngineError::UnknownSolver`] if the registry lacks the name;
-    /// - [`EngineError::Build`] if an instance cannot be materialized;
-    /// - [`EngineError::Solve`] (tagged with the failing seed) if the
-    ///   solver rejects an instance.
+    /// - [`EngineError::Checkpoint`] if a checkpoint cannot be loaded,
+    ///   matched, or written;
+    /// - without `keep_going`: [`EngineError::Build`] if an instance
+    ///   cannot be materialized, [`EngineError::Solve`] (tagged with the
+    ///   failing seed) if the solver rejects an instance, or
+    ///   [`EngineError::SeedPanicked`] if it panicked.
     pub fn run(&self, registry: &SolverRegistry) -> Result<RunReport, EngineError> {
         if self.seeds.is_empty() {
             return Err(EngineError::NoSeeds);
         }
         let factory = registry.factory(&self.solver)?;
-        let results: Vec<Result<SeedRun, EngineError>> =
-            self.runner.run(self.seeds.clone(), |seed| {
-                let setup_start = Instant::now();
-                let instance = self.source.instance(seed)?;
-                let setup_ms = setup_start.elapsed().as_secs_f64() * 1e3;
-                let solver = factory();
-                let solve_start = Instant::now();
-                let (solution, history) =
-                    solver
-                        .solve_traced(&instance)
-                        .map_err(|error| EngineError::Solve {
-                            solver: self.solver.clone(),
-                            seed,
-                            error,
-                        })?;
-                let solve_ms = solve_start.elapsed().as_secs_f64() * 1e3;
-                Ok(SeedRun {
-                    seed,
-                    cost_uj: solution.total_cost().as_ujoules(),
-                    setup_ms,
-                    solve_ms,
-                    cost_history_uj: if self.capture_history {
-                        history.iter().map(|c| c.as_ujoules()).collect()
-                    } else {
-                        Vec::new()
-                    },
-                })
-            });
-        let runs = results.into_iter().collect::<Result<Vec<_>, _>>()?;
-        let label = if self.label.is_empty() {
-            self.solver.clone()
-        } else {
-            self.label.clone()
+        let label = self.report_label();
+
+        // Restore prior progress when resuming.
+        let mut state = SweepCheckpoint::new(&label, &self.solver, self.seeds.clone());
+        if self.resume {
+            let path = self
+                .checkpoint
+                .as_ref()
+                .ok_or_else(|| EngineError::Checkpoint {
+                    path: PathBuf::from("<unset>"),
+                    message: "resume requested without a checkpoint path".to_string(),
+                })?;
+            if path.exists() {
+                let loaded = SweepCheckpoint::load(path)?;
+                loaded.check_compatible(&self.solver, &self.seeds, path)?;
+                // Completed seeds are kept; failed seeds get a fresh try.
+                state.runs = loaded.runs;
+            }
+        }
+        let done = state.completed_seeds();
+        let prior = done.len();
+        let total = (self.seeds.end - self.seeds.start) as usize;
+        let pending: Vec<u64> = self.seeds.clone().filter(|s| !done.contains(s)).collect();
+
+        let work = |seed: u64| -> Result<SeedRun, EngineError> {
+            let setup_start = Instant::now();
+            let instance = self.source.instance(seed)?;
+            let setup_ms = if self.record_timings {
+                setup_start.elapsed().as_secs_f64() * 1e3
+            } else {
+                0.0
+            };
+            let solver = factory();
+            let solve_start = Instant::now();
+            let (solution, history) =
+                solver
+                    .solve_traced(&instance)
+                    .map_err(|error| EngineError::Solve {
+                        solver: self.solver.clone(),
+                        seed,
+                        error,
+                    })?;
+            let solve_ms = if self.record_timings {
+                solve_start.elapsed().as_secs_f64() * 1e3
+            } else {
+                0.0
+            };
+            Ok(SeedRun {
+                seed,
+                cost_uj: solution.total_cost().as_ujoules(),
+                setup_ms,
+                solve_ms,
+                attempts: 1,
+                cost_history_uj: if self.capture_history {
+                    history.iter().map(|c| c.as_ujoules()).collect()
+                } else {
+                    Vec::new()
+                },
+            })
         };
-        Ok(RunReport::from_runs(label, self.solver.clone(), runs))
+
+        // All bookkeeping — checkpoint state, file flushes, progress
+        // callbacks — happens under one lock so events and checkpoint
+        // contents stay mutually consistent. The per-seed solver work
+        // itself runs outside it.
+        let shared = Mutex::new((state, None::<EngineError>));
+        let observe = |seed: u64, outcome: &SeedOutcome<SeedRun, EngineError>, processed: usize| {
+            let mut guard = shared.lock();
+            let (state, save_error) = &mut *guard;
+            let done = prior + processed;
+            match outcome {
+                SeedOutcome::Ok { value, attempts } => {
+                    let mut run = value.clone();
+                    run.attempts = *attempts;
+                    state.record_run(run);
+                }
+                SeedOutcome::Failed { failure, attempts } => {
+                    state.record_failure(SeedFailure {
+                        seed,
+                        attempts: *attempts,
+                        error: failure.to_string(),
+                    });
+                }
+                SeedOutcome::Skipped => return,
+            }
+            if let Some(path) = &self.checkpoint {
+                if save_error.is_none() {
+                    *save_error = state.save(path).err();
+                }
+            }
+            if let Some(callback) = &self.on_seed {
+                match outcome {
+                    SeedOutcome::Ok { .. } => {
+                        let run = state
+                            .runs
+                            .iter()
+                            .find(|r| r.seed == seed)
+                            .expect("just recorded");
+                        callback(SeedEvent::Completed { run, done, total });
+                    }
+                    SeedOutcome::Failed { .. } => {
+                        let failure = state
+                            .failures
+                            .iter()
+                            .find(|f| f.seed == seed)
+                            .expect("just recorded");
+                        callback(SeedEvent::Failed {
+                            failure,
+                            done,
+                            total,
+                        });
+                    }
+                    SeedOutcome::Skipped => {}
+                }
+            }
+        };
+
+        let outcomes =
+            self.runner
+                .run_fault_tolerant(&pending, self.retry, self.halt_after, work, observe);
+
+        let (state, save_error) = shared.into_inner();
+        if let Some(e) = save_error {
+            return Err(e);
+        }
+        if !self.keep_going {
+            // Preserve the typed first-failure error (in seed order).
+            for (seed, outcome) in pending.iter().zip(outcomes) {
+                if let SeedOutcome::Failed { failure, attempts } = outcome {
+                    return Err(match failure {
+                        Failure::Error(e) => e,
+                        Failure::Panic(message) => EngineError::SeedPanicked {
+                            solver: self.solver.clone(),
+                            seed: *seed,
+                            attempts,
+                            message,
+                        },
+                    });
+                }
+            }
+        }
+        Ok(RunReport::from_outcomes(
+            label,
+            self.solver.clone(),
+            state.runs,
+            state.failures,
+        ))
     }
 }
 
@@ -215,6 +485,8 @@ mod tests {
             vec![3, 4, 5, 6, 7]
         );
         assert!(report.runs.iter().all(|r| r.cost_uj > 0.0));
+        assert!(report.runs.iter().all(|r| r.attempts == 1));
+        assert!(report.is_complete());
         assert_eq!(report.solver, "idb");
         assert_eq!(report.label, "idb");
     }
@@ -222,7 +494,9 @@ mod tests {
     #[test]
     fn parallel_sweep_is_byte_identical_to_sequential() {
         let registry = SolverRegistry::with_defaults();
-        let base = Experiment::sampled(sampler(8, 20)).solver("irfh").seeds(0..12);
+        let base = Experiment::sampled(sampler(8, 20))
+            .solver("irfh")
+            .seeds(0..12);
         let par = base
             .clone()
             .runner(SweepRunner::new().threads(8))
@@ -251,7 +525,10 @@ mod tests {
             .run(&registry)
             .unwrap();
         let first = report.runs[0].cost_uj;
-        assert!(report.runs.iter().all(|r| r.cost_uj.to_bits() == first.to_bits()));
+        assert!(report
+            .runs
+            .iter()
+            .all(|r| r.cost_uj.to_bits() == first.to_bits()));
         assert_eq!(report.cost_uj.std_dev, 0.0);
     }
 
@@ -280,12 +557,16 @@ mod tests {
     #[test]
     fn unknown_solver_and_empty_seed_range_error() {
         let registry = SolverRegistry::with_defaults();
-        let exp = Experiment::sampled(sampler(5, 10)).solver("magic").seeds(0..2);
+        let exp = Experiment::sampled(sampler(5, 10))
+            .solver("magic")
+            .seeds(0..2);
         assert!(matches!(
             exp.run(&registry),
             Err(EngineError::UnknownSolver { .. })
         ));
-        let empty = Experiment::sampled(sampler(5, 10)).solver("idb").seeds(4..4);
+        let empty = Experiment::sampled(sampler(5, 10))
+            .solver("idb")
+            .seeds(4..4);
         assert!(matches!(empty.run(&registry), Err(EngineError::NoSeeds)));
     }
 
@@ -319,6 +600,107 @@ mod tests {
     }
 
     #[test]
+    fn keep_going_records_failures_and_finishes_the_sweep() {
+        // The sampler is infeasible for every seed; with keep_going the
+        // sweep still completes and reports every failure.
+        let registry = SolverRegistry::with_defaults();
+        let report = Experiment::sampled(sampler(5, 3))
+            .solver("idb")
+            .seeds(0..4)
+            .keep_going(true)
+            .run(&registry)
+            .unwrap();
+        assert!(report.runs.is_empty());
+        assert_eq!(report.failures.len(), 4);
+        assert_eq!(
+            report.failures.iter().map(|f| f.seed).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert!(!report.is_complete());
+    }
+
+    #[test]
+    fn panicking_solver_is_caught_and_reported() {
+        let mut registry = SolverRegistry::with_defaults();
+        // A factory whose third construction yields a panicking solver:
+        // under a sequential runner that is exactly seed 2.
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        registry.register("flaky", move || {
+            if calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst) == 2 {
+                panic!("injected panic in solver construction");
+            }
+            Box::new(wrsn_core::Idb::new(1))
+        });
+        let base = Experiment::sampled(sampler(5, 10))
+            .solver("flaky")
+            .seeds(0..5)
+            .runner(SweepRunner::sequential());
+        // keep_going: the remaining seeds complete; the panic is recorded.
+        let report = base.clone().keep_going(true).run(&registry).unwrap();
+        assert_eq!(report.runs.len(), 4);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].seed, 2);
+        assert!(report.failures[0].error.contains("injected panic"));
+        // Without keep_going the panic surfaces as a typed error — after
+        // the rest of the sweep has still completed safely.
+        let err = base.run(&registry).unwrap_err();
+        let EngineError::SeedPanicked { seed, message, .. } = err else {
+            panic!("expected SeedPanicked, got {err}");
+        };
+        assert_eq!(seed, 2);
+        assert!(message.contains("injected panic"));
+    }
+
+    #[test]
+    fn retry_policy_rides_out_transient_failures() {
+        let mut registry = SolverRegistry::with_defaults();
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        // Fails on its first two constructions, then behaves.
+        registry.register("transient", move || {
+            if calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst) < 2 {
+                panic!("transient fault");
+            }
+            Box::new(wrsn_core::Idb::new(1))
+        });
+        let report = Experiment::sampled(sampler(5, 10))
+            .solver("transient")
+            .seeds(0..3)
+            .runner(SweepRunner::sequential())
+            .retry(RetryPolicy::attempts(3))
+            .run(&registry)
+            .unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.runs[0].attempts, 3);
+        assert_eq!(report.runs[1].attempts, 1);
+        assert_eq!(report.total_attempts(), 5);
+    }
+
+    #[test]
+    fn on_seed_callback_streams_progress() {
+        let registry = SolverRegistry::with_defaults();
+        let events = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink = events.clone();
+        let report = Experiment::sampled(sampler(5, 10))
+            .solver("idb")
+            .seeds(0..4)
+            .on_seed(move |event| {
+                if let SeedEvent::Completed { run, done, total } = event {
+                    sink.lock().push((run.seed, done, total));
+                }
+            })
+            .run(&registry)
+            .unwrap();
+        assert_eq!(report.runs.len(), 4);
+        let mut events = events.lock().clone();
+        assert_eq!(events.len(), 4);
+        events.sort_by_key(|&(_, done, _)| done);
+        for (i, &(_, done, total)) in events.iter().enumerate() {
+            assert_eq!(done, i + 1);
+            assert_eq!(total, 4);
+        }
+    }
+
+    #[test]
     fn custom_label_flows_into_the_report() {
         let registry = SolverRegistry::with_defaults();
         let report = Experiment::sampled(sampler(5, 10))
@@ -335,5 +717,73 @@ mod tests {
     fn solver_name_accessor() {
         let exp = Experiment::sampled(sampler(5, 10)).solver("bnb");
         assert_eq!(exp.solver_name(), "bnb");
+    }
+
+    #[test]
+    fn resume_without_checkpoint_path_is_an_error() {
+        let registry = SolverRegistry::with_defaults();
+        let err = Experiment::sampled(sampler(5, 10))
+            .solver("idb")
+            .seeds(0..2)
+            .resume(true)
+            .run(&registry)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Checkpoint { .. }), "got {err}");
+    }
+
+    #[test]
+    fn checkpoint_interrupt_and_resume_match_a_clean_run() {
+        let dir = std::env::temp_dir().join("wrsn-experiment-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume-roundtrip.checkpoint.json");
+        let _ = std::fs::remove_file(&path);
+        let registry = SolverRegistry::with_defaults();
+        let base = Experiment::sampled(sampler(6, 12))
+            .solver("idb")
+            .seeds(0..8)
+            .runner(SweepRunner::sequential())
+            .record_timings(false);
+        // "Crash" after 3 seeds…
+        let partial = base
+            .clone()
+            .checkpoint(&path)
+            .halt_after(3)
+            .run(&registry)
+            .unwrap();
+        assert_eq!(partial.runs.len(), 3);
+        // …resume, finishing the rest…
+        let resumed = base
+            .clone()
+            .checkpoint(&path)
+            .resume(true)
+            .run(&registry)
+            .unwrap();
+        // …and compare byte-for-byte against an uninterrupted sweep.
+        let clean = base.run(&registry).unwrap();
+        assert_eq!(resumed.to_json(), clean.to_json());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_rejected_on_resume() {
+        let dir = std::env::temp_dir().join("wrsn-experiment-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mismatch.checkpoint.json");
+        let registry = SolverRegistry::with_defaults();
+        let _ = Experiment::sampled(sampler(5, 10))
+            .solver("idb")
+            .seeds(0..2)
+            .checkpoint(&path)
+            .run(&registry)
+            .unwrap();
+        let err = Experiment::sampled(sampler(5, 10))
+            .solver("rfh")
+            .seeds(0..2)
+            .checkpoint(&path)
+            .resume(true)
+            .run(&registry)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Checkpoint { .. }), "got {err}");
+        let _ = std::fs::remove_file(path);
     }
 }

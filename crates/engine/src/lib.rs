@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod error;
 mod experiment;
 mod registry;
@@ -41,9 +42,10 @@ mod report;
 mod runner;
 mod table;
 
+pub use checkpoint::{SweepCheckpoint, CHECKPOINT_VERSION};
 pub use error::EngineError;
-pub use experiment::{Experiment, InstanceSource};
+pub use experiment::{Experiment, InstanceSource, SeedEvent};
 pub use registry::{SolverFactory, SolverRegistry};
-pub use report::{mean, save_json, std_dev, RunReport, SeedRun, SummaryStats};
-pub use runner::{run_seeds, SweepRunner};
+pub use report::{mean, save_json, std_dev, RunReport, SeedFailure, SeedRun, SummaryStats};
+pub use runner::{run_seeds, Failure, RetryPolicy, SeedOutcome, SweepRunner};
 pub use table::Table;

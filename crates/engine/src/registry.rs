@@ -139,7 +139,15 @@ mod tests {
     #[test]
     fn defaults_cover_the_cli_algorithms() {
         let registry = SolverRegistry::with_defaults();
-        for name in ["rfh", "irfh", "idb", "bnb", "exhaustive", "uniform", "lifetime"] {
+        for name in [
+            "rfh",
+            "irfh",
+            "idb",
+            "bnb",
+            "exhaustive",
+            "uniform",
+            "lifetime",
+        ] {
             assert!(registry.contains(name), "{name} missing");
             assert!(registry.create(name).is_ok(), "{name} does not construct");
         }

@@ -1,7 +1,7 @@
 //! Structured run reports: per-seed measurements, summary statistics,
 //! and JSON dumps for `bench_results/`.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
 /// Mean of a sample (0 for an empty one).
@@ -59,7 +59,7 @@ impl SummaryStats {
 }
 
 /// One seed's measurements inside a sweep.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SeedRun {
     /// The seed.
     pub seed: u64,
@@ -69,10 +69,29 @@ pub struct SeedRun {
     pub setup_ms: f64,
     /// Wall-clock spent inside the solver, in milliseconds.
     pub solve_ms: f64,
+    /// Attempts this seed took under the sweep's retry policy (1 when it
+    /// succeeded first try).
+    #[serde(default = "one_attempt")]
+    pub attempts: u32,
     /// Per-improvement cost trace in microjoules (empty unless the
     /// experiment captured history; one entry per RFH iteration).
-    #[serde(skip_serializing_if = "Vec::is_empty")]
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub cost_history_uj: Vec<f64>,
+}
+
+fn one_attempt() -> u32 {
+    1
+}
+
+/// A seed that exhausted its retry budget inside a fault-tolerant sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeedFailure {
+    /// The failing seed.
+    pub seed: u64,
+    /// How many attempts were made before giving up.
+    pub attempts: u32,
+    /// The final error (or panic message), rendered as text.
+    pub error: String,
 }
 
 /// The structured result of one experiment: per-seed runs plus summary
@@ -85,6 +104,10 @@ pub struct RunReport {
     pub solver: String,
     /// Per-seed measurements, in seed order.
     pub runs: Vec<SeedRun>,
+    /// Seeds that failed every attempt, in seed order — partial results
+    /// are reported honestly instead of being dropped.
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub failures: Vec<SeedFailure>,
     /// Summary of `runs[..].cost_uj`.
     pub cost_uj: SummaryStats,
     /// Total wall-clock spent materializing instances, in milliseconds.
@@ -97,6 +120,18 @@ impl RunReport {
     /// Assembles a report from per-seed runs, computing the summaries.
     #[must_use]
     pub fn from_runs(label: String, solver: String, runs: Vec<SeedRun>) -> Self {
+        RunReport::from_outcomes(label, solver, runs, Vec::new())
+    }
+
+    /// Assembles a report from per-seed runs plus the seeds that failed,
+    /// computing the summaries over the successful runs only.
+    #[must_use]
+    pub fn from_outcomes(
+        label: String,
+        solver: String,
+        runs: Vec<SeedRun>,
+        failures: Vec<SeedFailure>,
+    ) -> Self {
         let costs: Vec<f64> = runs.iter().map(|r| r.cost_uj).collect();
         let setup_ms_total = runs.iter().map(|r| r.setup_ms).sum();
         let solve_ms_total = runs.iter().map(|r| r.solve_ms).sum();
@@ -107,7 +142,26 @@ impl RunReport {
             setup_ms_total,
             solve_ms_total,
             runs,
+            failures,
         }
+    }
+
+    /// Whether every seed of the sweep completed successfully.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Total attempts across all seeds (successful and failed) — equal
+    /// to the seed count when nothing was retried.
+    #[must_use]
+    pub fn total_attempts(&self) -> u64 {
+        self.runs.iter().map(|r| u64::from(r.attempts)).sum::<u64>()
+            + self
+                .failures
+                .iter()
+                .map(|f| u64::from(f.attempts))
+                .sum::<u64>()
     }
 
     /// Per-seed costs in seed order, in microjoules.
@@ -196,6 +250,7 @@ mod tests {
             cost_uj: cost,
             setup_ms: 1.0,
             solve_ms: 2.0,
+            attempts: 1,
             cost_history_uj: history,
         }
     }
@@ -262,6 +317,47 @@ mod tests {
         assert!(v["runs"][0].get("cost_history_uj").is_none());
         assert_eq!(v["runs"][1]["cost_history_uj"].as_array().unwrap().len(), 2);
         assert_eq!(v["cost_uj"]["mean"], 3.0);
+    }
+
+    #[test]
+    fn failures_are_reported_and_counted() {
+        let report = RunReport::from_outcomes(
+            "demo".into(),
+            "idb".into(),
+            vec![run(0, 2.0, vec![])],
+            vec![SeedFailure {
+                seed: 1,
+                attempts: 3,
+                error: "solver exploded".into(),
+            }],
+        );
+        assert!(!report.is_complete());
+        assert_eq!(report.total_attempts(), 4);
+        // Failed seeds do not pollute the cost summary.
+        assert_eq!(report.cost_uj.mean, 2.0);
+        let v: serde_json::Value = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(v["failures"][0]["seed"], 1);
+        assert_eq!(v["failures"][0]["attempts"], 3);
+        // A clean report omits the failures key entirely.
+        let clean = RunReport::from_runs("demo".into(), "idb".into(), vec![run(0, 2.0, vec![])]);
+        assert!(clean.is_complete());
+        let v: serde_json::Value = serde_json::from_str(&clean.to_json()).unwrap();
+        assert!(v.get("failures").is_none());
+    }
+
+    #[test]
+    fn seed_run_round_trips_through_json() {
+        let original = run(4, 3.5, vec![5.0, 4.0]);
+        let json = serde_json::to_string(&original).unwrap();
+        let back: SeedRun = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, original);
+        // Older checkpoints without an attempts field default to 1.
+        let legacy: SeedRun = serde_json::from_str(
+            "{\"seed\": 2, \"cost_uj\": 1.0, \"setup_ms\": 0.0, \"solve_ms\": 0.0}",
+        )
+        .unwrap();
+        assert_eq!(legacy.attempts, 1);
+        assert!(legacy.cost_history_uj.is_empty());
     }
 
     #[test]

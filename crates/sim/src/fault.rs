@@ -1,0 +1,262 @@
+//! Deterministic, seed-driven failure injection for the simulator.
+//!
+//! A [`FaultPlan`] describes *what goes wrong* during a run: scheduled
+//! node deaths, post outage windows, and probabilistic charger
+//! misbehavior (skipped or delayed refills). The probabilistic faults
+//! are driven by a [`rand::rngs::SmallRng`] seeded from the plan, and
+//! the simulator consumes rolls in deterministic event order, so two
+//! runs of the same `(instance, solution, config)` triple replay the
+//! exact same fault sequence — degradation experiments stay
+//! reproducible per seed.
+
+/// A scheduled hardware death: one node at `post` is permanently removed
+/// at the start of round `round` (its remaining charge dies with it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeDeath {
+    /// Zero-based round index at whose start the node disappears.
+    pub round: u64,
+    /// The post losing a node.
+    pub post: usize,
+}
+
+/// A transient post outage: the post neither senses, originates, nor
+/// forwards during rounds `from_round..until_round` (reports routed
+/// through it are lost), but its batteries survive and it rejoins
+/// afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageWindow {
+    /// The post going dark.
+    pub post: usize,
+    /// First affected round (inclusive, zero-based).
+    pub from_round: u64,
+    /// First round back online (exclusive end).
+    pub until_round: u64,
+}
+
+/// A deterministic, seed-driven failure-injection schedule.
+///
+/// Construct with [`FaultPlan::seeded`] and layer faults on with the
+/// builder methods:
+///
+/// ```
+/// use wrsn_sim::FaultPlan;
+///
+/// let plan = FaultPlan::seeded(7)
+///     .kill_node(50, 2)         // post 2 loses a node at round 50
+///     .outage(0, 100, 120)      // post 0 dark for rounds 100..120
+///     .charger_skips(0.25)      // a quarter of due refills skipped
+///     .charger_delays(0.5, 3.0); // half of patrol visits arrive 3 s late
+/// assert!(!plan.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the probabilistic faults' random stream.
+    pub seed: u64,
+    /// Scheduled node deaths.
+    pub node_deaths: Vec<NodeDeath>,
+    /// Transient post outages.
+    pub outages: Vec<OutageWindow>,
+    /// Probability that a due refill is skipped by the charger
+    /// (per serviced post, in `[0, 1]`).
+    pub charger_skip_prob: f64,
+    /// Probability that a patrol charger's next leg is delayed
+    /// (per visit, in `[0, 1]`).
+    pub charger_delay_prob: f64,
+    /// Extra travel delay in seconds when a delay fires.
+    pub charger_delay_s: f64,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) whose probabilistic stream is seeded
+    /// with `seed`.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            node_deaths: Vec::new(),
+            outages: Vec::new(),
+            charger_skip_prob: 0.0,
+            charger_delay_prob: 0.0,
+            charger_delay_s: 0.0,
+        }
+    }
+
+    /// Schedules one node at `post` to die at the start of `round`.
+    #[must_use]
+    pub fn kill_node(mut self, round: u64, post: usize) -> Self {
+        self.node_deaths.push(NodeDeath { round, post });
+        self
+    }
+
+    /// Takes `post` offline for rounds `from_round..until_round`.
+    #[must_use]
+    pub fn outage(mut self, post: usize, from_round: u64, until_round: u64) -> Self {
+        self.outages.push(OutageWindow {
+            post,
+            from_round,
+            until_round,
+        });
+        self
+    }
+
+    /// Sets the probability that the charger skips a due refill.
+    #[must_use]
+    pub fn charger_skips(mut self, prob: f64) -> Self {
+        self.charger_skip_prob = prob;
+        self
+    }
+
+    /// Sets the probability (and added seconds) of a patrol-leg delay.
+    #[must_use]
+    pub fn charger_delays(mut self, prob: f64, delay_s: f64) -> Self {
+        self.charger_delay_prob = prob;
+        self.charger_delay_s = delay_s;
+        self
+    }
+
+    /// `true` when the plan injects nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.node_deaths.is_empty()
+            && self.outages.is_empty()
+            && self.charger_skip_prob == 0.0
+            && self.charger_delay_prob == 0.0
+    }
+
+    /// Whether `post` is inside any outage window at `round`.
+    #[must_use]
+    pub fn offline(&self, post: usize, round: u64) -> bool {
+        self.outages
+            .iter()
+            .any(|w| w.post == post && (w.from_round..w.until_round).contains(&round))
+    }
+
+    /// The earliest round at which any *scheduled* fault manifests
+    /// (deaths and outages; probabilistic charger faults are recorded by
+    /// the simulator as they fire).
+    #[must_use]
+    pub fn first_scheduled_round(&self) -> Option<u64> {
+        let death = self.node_deaths.iter().map(|d| d.round).min();
+        let outage = self.outages.iter().map(|w| w.from_round).min();
+        match (death, outage) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Validates the plan against an instance with `num_posts` posts.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first invalid entry: a post
+    /// index out of range, a probability outside `[0, 1]`, an empty
+    /// outage window, or a non-finite/negative delay.
+    pub fn validate(&self, num_posts: usize) -> Result<(), String> {
+        for d in &self.node_deaths {
+            if d.post >= num_posts {
+                return Err(format!(
+                    "node death at round {} names post {} (instance has {num_posts})",
+                    d.round, d.post
+                ));
+            }
+        }
+        for w in &self.outages {
+            if w.post >= num_posts {
+                return Err(format!(
+                    "outage names post {} (instance has {num_posts})",
+                    w.post
+                ));
+            }
+            if w.from_round >= w.until_round {
+                return Err(format!(
+                    "outage window {}..{} for post {} is empty",
+                    w.from_round, w.until_round, w.post
+                ));
+            }
+        }
+        for (name, prob) in [
+            ("charger skip", self.charger_skip_prob),
+            ("charger delay", self.charger_delay_prob),
+        ] {
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(format!("{name} probability {prob} must lie in [0, 1]"));
+            }
+        }
+        if !self.charger_delay_s.is_finite() || self.charger_delay_s < 0.0 {
+            return Err(format!(
+                "charger delay of {} s must be finite and non-negative",
+                self.charger_delay_s
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_layers_faults() {
+        let plan = FaultPlan::seeded(3)
+            .kill_node(10, 1)
+            .outage(0, 5, 8)
+            .charger_skips(0.5)
+            .charger_delays(0.25, 2.0);
+        assert_eq!(plan.seed, 3);
+        assert_eq!(plan.node_deaths, vec![NodeDeath { round: 10, post: 1 }]);
+        assert_eq!(
+            plan.outages,
+            vec![OutageWindow {
+                post: 0,
+                from_round: 5,
+                until_round: 8
+            }]
+        );
+        assert_eq!(plan.charger_skip_prob, 0.5);
+        assert_eq!(plan.charger_delay_prob, 0.25);
+        assert_eq!(plan.charger_delay_s, 2.0);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::seeded(0).is_empty());
+    }
+
+    #[test]
+    fn outage_membership_is_half_open() {
+        let plan = FaultPlan::seeded(0).outage(2, 5, 8);
+        assert!(!plan.offline(2, 4));
+        assert!(plan.offline(2, 5));
+        assert!(plan.offline(2, 7));
+        assert!(!plan.offline(2, 8));
+        assert!(!plan.offline(1, 6));
+    }
+
+    #[test]
+    fn first_scheduled_round_takes_the_minimum() {
+        assert_eq!(FaultPlan::seeded(0).first_scheduled_round(), None);
+        let plan = FaultPlan::seeded(0).kill_node(30, 0).outage(1, 12, 20);
+        assert_eq!(plan.first_scheduled_round(), Some(12));
+        let deaths_only = FaultPlan::seeded(0).kill_node(7, 0);
+        assert_eq!(deaths_only.first_scheduled_round(), Some(7));
+    }
+
+    #[test]
+    fn validation_rejects_bad_entries() {
+        assert!(FaultPlan::seeded(0).validate(3).is_ok());
+        assert!(FaultPlan::seeded(0).kill_node(1, 5).validate(3).is_err());
+        assert!(FaultPlan::seeded(0).outage(5, 0, 1).validate(3).is_err());
+        assert!(FaultPlan::seeded(0).outage(0, 4, 4).validate(3).is_err());
+        assert!(FaultPlan::seeded(0).charger_skips(1.5).validate(3).is_err());
+        assert!(FaultPlan::seeded(0)
+            .charger_delays(-0.1, 1.0)
+            .validate(3)
+            .is_err());
+        assert!(FaultPlan::seeded(0)
+            .charger_delays(0.1, f64::NAN)
+            .validate(3)
+            .is_err());
+        assert!(FaultPlan::seeded(0)
+            .charger_delays(0.1, -1.0)
+            .validate(3)
+            .is_err());
+    }
+}

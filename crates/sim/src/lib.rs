@@ -14,7 +14,12 @@
 //!   under a visit policy ([`ChargerPolicy`]);
 //! - the report tallies charger energy, consumed energy, deaths, and
 //!   battery spreads, so tests can assert e.g. *charger energy per round →
-//!   analytic total recharging cost*.
+//!   analytic total recharging cost*;
+//! - an optional seed-driven [`FaultPlan`] injects node deaths, post
+//!   outages, and charger misbehavior, and the report's degradation
+//!   metrics ([`SimReport::delivery_ratio`], rounds survived past the
+//!   first fault, worst energy deficit) quantify how gracefully the
+//!   deployment absorbs them.
 //!
 //! # Examples
 //!
@@ -35,9 +40,11 @@
 #![warn(missing_docs)]
 
 mod event;
+mod fault;
 mod patrol;
 mod sim;
 
 pub use event::{EventQueue, ScheduledEvent};
+pub use fault::{FaultPlan, NodeDeath, OutageWindow};
 pub use patrol::{charger_demand_per_round, min_patrol_speed, required_chargers, PatrolTour};
 pub use sim::{ChargerPolicy, SimConfig, SimReport, Simulator};

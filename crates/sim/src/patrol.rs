@@ -49,7 +49,11 @@ impl PatrolTour {
             "tour points must be finite"
         );
         let order = nearest_neighbor(depot, &stops);
-        let mut tour = PatrolTour { depot, stops, order };
+        let mut tour = PatrolTour {
+            depot,
+            stops,
+            order,
+        };
         tour.two_opt();
         tour
     }
@@ -464,10 +468,7 @@ mod tests {
         for k in [1usize, 2, 3, 5] {
             let subs = tour.split(k);
             assert_eq!(subs.len(), k);
-            let mut visited: Vec<Point> = subs
-                .iter()
-                .flat_map(|t| t.stops_in_order())
-                .collect();
+            let mut visited: Vec<Point> = subs.iter().flat_map(|t| t.stops_in_order()).collect();
             assert_eq!(visited.len(), 30);
             // Every original stop appears exactly once across sub-tours.
             for s in &stops {
@@ -574,16 +575,8 @@ mod tests {
         .expect("geometric instance");
         assert!(speed > 0.0 && speed.is_finite());
         // Bigger batteries allow a slower charger.
-        let relaxed = min_patrol_speed(
-            &inst,
-            &sol,
-            &tour,
-            Energy::from_joules(0.5),
-            1000,
-            1.0,
-            1.5,
-        )
-        .unwrap();
+        let relaxed =
+            min_patrol_speed(&inst, &sol, &tour, Energy::from_joules(0.5), 1000, 1.0, 1.5).unwrap();
         assert!(relaxed < speed);
     }
 }

@@ -1,6 +1,8 @@
 //! The network simulator: rounds, rotation, batteries, charger.
 
-use crate::{EventQueue, PatrolTour};
+use crate::{EventQueue, FaultPlan, NodeDeath, PatrolTour};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::fmt;
 use wrsn_core::{Instance, Solution};
 use wrsn_energy::{Battery, Energy};
@@ -47,7 +49,7 @@ impl Default for ChargerPolicy {
 }
 
 /// Simulation parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Seconds between reporting rounds (also the patrol time unit).
     pub round_interval_s: f64,
@@ -64,11 +66,13 @@ pub struct SimConfig {
     /// post dwells for `radiated / power` seconds, delaying the rest of
     /// its tour. `f64::INFINITY` (the default) means instant refills.
     pub charger_power_w: f64,
+    /// Deterministic failure injection (`None` = fault-free run).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
     /// One report per second of 4000 bits (a ~500-byte reading), 100 mJ
-    /// batteries, default threshold charger.
+    /// batteries, default threshold charger, no faults.
     fn default() -> Self {
         SimConfig {
             round_interval_s: 1.0,
@@ -77,6 +81,7 @@ impl Default for SimConfig {
             charger: ChargerPolicy::default(),
             record_soc_every: None,
             charger_power_w: f64::INFINITY,
+            faults: None,
         }
     }
 }
@@ -108,6 +113,20 @@ pub struct SimReport {
     /// Total distance traveled by patrol chargers, in meters (zero for
     /// the non-spatial policies).
     pub charger_travel_m: f64,
+    /// First round at which an injected fault manifested (a node death,
+    /// an outage round, or a charger skip/delay), if any.
+    pub first_fault_round: Option<u64>,
+    /// Rounds the network kept running past the first injected fault
+    /// (graceful-degradation horizon; zero when no fault fired).
+    pub rounds_after_first_fault: u64,
+    /// Due refills the faulty charger skipped.
+    pub charger_skips: u64,
+    /// Patrol legs the faulty charger delayed.
+    pub charger_delays: u64,
+    /// Worst pooled energy deficit observed at any round boundary while
+    /// faults were enabled: `1 − min post state-of-charge`, in `[0, 1]`
+    /// (zero for fault-free runs, which skip the audit).
+    pub max_energy_deficit: f64,
 }
 
 impl SimReport {
@@ -118,6 +137,19 @@ impl SimReport {
             Energy::ZERO
         } else {
             self.charger_energy / self.rounds_completed as f64
+        }
+    }
+
+    /// Fraction of generated reports that reached the base station —
+    /// the headline graceful-degradation metric under faults (`1.0` for
+    /// a run that generated no reports).
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        let generated = self.reports_delivered + self.reports_lost;
+        if generated == 0 {
+            1.0
+        } else {
+            self.reports_delivered as f64 / generated as f64
         }
     }
 }
@@ -164,6 +196,12 @@ pub struct Simulator<'a> {
     /// Per patrol charger: visited posts, inbound leg lengths (meters),
     /// and the return-to-depot leg.
     patrol_routes: Vec<PatrolRoute>,
+    /// Scheduled node deaths sorted by round, consumed front to back.
+    pending_deaths: Vec<NodeDeath>,
+    next_death: usize,
+    /// Random stream for the fault plan's probabilistic faults, rolled
+    /// in deterministic event order.
+    fault_rng: Option<SmallRng>,
 }
 
 #[derive(Debug, Clone)]
@@ -180,7 +218,8 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if the solution does not belong to the instance or the
     /// config is degenerate (non-positive round interval, zero-capacity
-    /// batteries, invalid charger fractions).
+    /// batteries, invalid charger fractions, or a fault plan that fails
+    /// [`FaultPlan::validate`]).
     #[must_use]
     pub fn new(instance: &'a Instance, solution: &'a Solution, config: SimConfig) -> Self {
         assert!(
@@ -228,6 +267,16 @@ impl<'a> Simulator<'a> {
             }
             ChargerPolicy::None => {}
         }
+        let mut pending_deaths = Vec::new();
+        let mut fault_rng = None;
+        if let Some(plan) = &config.faults {
+            if let Err(why) = plan.validate(instance.num_posts()) {
+                panic!("invalid fault plan: {why}");
+            }
+            pending_deaths = plan.node_deaths.clone();
+            pending_deaths.sort_by_key(|d| (d.round, d.post));
+            fault_rng = Some(SmallRng::seed_from_u64(plan.seed));
+        }
         let batteries = solution
             .deployment()
             .counts()
@@ -241,6 +290,9 @@ impl<'a> Simulator<'a> {
             batteries,
             duty: vec![0; instance.num_posts()],
             patrol_routes: Vec::new(),
+            pending_deaths,
+            next_death: 0,
+            fault_rng,
         }
     }
 
@@ -262,7 +314,9 @@ impl<'a> Simulator<'a> {
                 }
             }
             ChargerPolicy::PatrolTour {
-                speed_mps, chargers, ..
+                speed_mps,
+                chargers,
+                ..
             } => {
                 let geo = self.instance.geometry().expect("validated in new");
                 // Bit-exact coordinate -> post index lookup (points pass
@@ -270,8 +324,9 @@ impl<'a> Simulator<'a> {
                 let index_of = |pt: wrsn_geom::Point| -> usize {
                     geo.posts
                         .iter()
-                        .position(|p| p.x.to_bits() == pt.x.to_bits()
-                            && p.y.to_bits() == pt.y.to_bits())
+                        .position(|p| {
+                            p.x.to_bits() == pt.x.to_bits() && p.y.to_bits() == pt.y.to_bits()
+                        })
                         .expect("tour stops are instance posts")
                 };
                 let full = PatrolTour::plan(geo.base_station, geo.posts.clone());
@@ -319,6 +374,11 @@ impl<'a> Simulator<'a> {
             max_rotation_imbalance: 0.0,
             soc_timeline: Vec::new(),
             charger_travel_m: 0.0,
+            first_fault_round: None,
+            rounds_after_first_fault: 0,
+            charger_skips: 0,
+            charger_delays: 0,
+            max_energy_deficit: 0.0,
         };
 
         // Hop order: process posts farthest-first so a report traverses
@@ -330,8 +390,15 @@ impl<'a> Simulator<'a> {
         while let Some(ev) = queue.pop() {
             match ev.event {
                 Event::Round => {
-                    self.simulate_round(&order, ev.time, &mut report);
+                    let round = report.rounds_completed;
+                    self.apply_scheduled_deaths(round, &mut report);
+                    self.simulate_round(&order, round, ev.time, &mut report);
                     report.rounds_completed += 1;
+                    if self.config.faults.is_some() {
+                        if let Some(soc) = self.min_pooled_soc() {
+                            report.max_energy_deficit = report.max_energy_deficit.max(1.0 - soc);
+                        }
+                    }
                     if let Some(every) = self.config.record_soc_every {
                         if every > 0 && report.rounds_completed.is_multiple_of(every) {
                             report.soc_timeline.push(self.soc_sample(ev.time));
@@ -365,7 +432,9 @@ impl<'a> Simulator<'a> {
                     } else {
                         (0, route.home_leg_m + route.legs_m[0])
                     };
-                    let t = queue.now() + dwell + travel_m / speed_mps;
+                    // A faulty charger may dawdle before its next leg.
+                    let lateness = self.roll_charger_delay(&mut report);
+                    let t = queue.now() + dwell + lateness + travel_m / speed_mps;
                     if t <= end {
                         queue.schedule(
                             t,
@@ -381,28 +450,130 @@ impl<'a> Simulator<'a> {
 
         // Final rotation-imbalance audit.
         for cells in &self.batteries {
-            let max = cells.iter().map(|b| b.state_of_charge()).fold(0.0, f64::max);
+            let max = cells
+                .iter()
+                .map(|b| b.state_of_charge())
+                .fold(0.0, f64::max);
             let min = cells
                 .iter()
                 .map(|b| b.state_of_charge())
                 .fold(1.0, f64::min);
             report.max_rotation_imbalance = report.max_rotation_imbalance.max(max - min);
         }
+        if let Some(first) = report.first_fault_round {
+            report.rounds_after_first_fault = report.rounds_completed.saturating_sub(first);
+        }
         report
     }
 
+    /// Removes one node per scheduled [`NodeDeath`] due at `round` (its
+    /// residual charge dies with it); a post whose last node dies goes
+    /// permanently dark.
+    fn apply_scheduled_deaths(&mut self, round: u64, report: &mut SimReport) {
+        while let Some(death) = self.pending_deaths.get(self.next_death) {
+            if death.round > round {
+                break;
+            }
+            let p = death.post;
+            self.next_death += 1;
+            if self.batteries[p].pop().is_some() {
+                report.first_fault_round.get_or_insert(round);
+                let m = self.batteries[p].len();
+                if m > 0 {
+                    self.duty[p] %= m;
+                }
+            }
+        }
+    }
+
+    /// Rolls the fault plan's charger-skip die (only called once a
+    /// refill is actually due).
+    fn roll_charger_skip(&mut self, report: &mut SimReport) -> bool {
+        let Some(plan) = &self.config.faults else {
+            return false;
+        };
+        if plan.charger_skip_prob <= 0.0 {
+            return false;
+        }
+        let prob = plan.charger_skip_prob;
+        let rng = self.fault_rng.as_mut().expect("rng set alongside plan");
+        if rng.random::<f64>() < prob {
+            report.charger_skips += 1;
+            report
+                .first_fault_round
+                .get_or_insert(report.rounds_completed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rolls the fault plan's patrol-delay die, returning the extra
+    /// seconds added to the charger's next leg.
+    fn roll_charger_delay(&mut self, report: &mut SimReport) -> f64 {
+        let Some(plan) = &self.config.faults else {
+            return 0.0;
+        };
+        if plan.charger_delay_prob <= 0.0 {
+            return 0.0;
+        }
+        let prob = plan.charger_delay_prob;
+        let delay_s = plan.charger_delay_s;
+        let rng = self.fault_rng.as_mut().expect("rng set alongside plan");
+        if rng.random::<f64>() < prob {
+            report.charger_delays += 1;
+            report
+                .first_fault_round
+                .get_or_insert(report.rounds_completed);
+            delay_s
+        } else {
+            0.0
+        }
+    }
+
+    /// The lowest pooled state of charge across posts that still have
+    /// nodes (`None` once every post has lost all its nodes).
+    fn min_pooled_soc(&self) -> Option<f64> {
+        self.batteries
+            .iter()
+            .filter(|cells| !cells.is_empty())
+            .map(|cells| {
+                let level: Energy = cells.iter().map(|b| b.level()).sum();
+                let capacity: Energy = cells.iter().map(|b| b.capacity()).sum();
+                level / capacity
+            })
+            .reduce(f64::min)
+    }
+
     /// One reporting round: every live post pays its sensing budget and
-    /// originates a report of `rate_p · bits_per_report` bits; dead posts
-    /// on a path kill the reports they carry (tallied as lost).
+    /// originates a report of `rate_p · bits_per_report` bits; dead or
+    /// offline posts on a path kill the reports they carry (tallied as
+    /// lost).
     #[allow(clippy::needless_range_loop)] // walks several parallel per-post arrays
-    fn simulate_round(&mut self, order: &[usize], time: f64, report: &mut SimReport) {
+    fn simulate_round(&mut self, order: &[usize], round: u64, time: f64, report: &mut SimReport) {
         let n = self.instance.num_posts();
         let bits = self.config.bits_per_report as f64;
         let bs = self.instance.bs();
         let tree = self.solution.tree();
+        // Posts inside an injected outage window neither sense nor relay
+        // this round (their batteries are untouched).
+        let mut offline = vec![false; n];
+        if let Some(plan) = &self.config.faults {
+            for p in 0..n {
+                if plan.offline(p, round) {
+                    offline[p] = true;
+                }
+            }
+        }
+        if offline.iter().any(|&o| o) {
+            report.first_fault_round.get_or_insert(round);
+        }
         // Deployment-independent (sensing/computation) consumption.
         let mut sensing_dead = vec![false; n];
         for p in 0..n {
+            if offline[p] {
+                continue;
+            }
             let sensing = self.instance.sensing_energy(p);
             if sensing > Energy::ZERO && !self.drain(p, sensing, time, report) {
                 sensing_dead[p] = true;
@@ -419,7 +590,7 @@ impl<'a> Simulator<'a> {
             if packets[p] == 0 {
                 continue;
             }
-            if sensing_dead[p] {
+            if offline[p] || sensing_dead[p] {
                 report.reports_lost += packets[p];
                 continue;
             }
@@ -433,6 +604,9 @@ impl<'a> Simulator<'a> {
             }
             if parent == bs {
                 report.reports_delivered += packets[p];
+            } else if offline[parent] {
+                // The sender paid to transmit, but nobody was listening.
+                report.reports_lost += packets[p];
             } else {
                 let rx = self.instance.rx_energy() * bits_inflight[p];
                 if self.drain(parent, rx, time, report) {
@@ -449,8 +623,13 @@ impl<'a> Simulator<'a> {
     }
 
     /// Drains `amount` from post `p`'s duty node; on failure the post is
-    /// considered dead for this round.
+    /// considered dead for this round. A post with no nodes left (all
+    /// killed by the fault plan) is permanently dead.
     fn drain(&mut self, p: usize, amount: Energy, time: f64, report: &mut SimReport) -> bool {
+        if self.batteries[p].is_empty() {
+            report.first_death.get_or_insert((time, p));
+            return false;
+        }
         let duty = self.duty[p];
         let cell = &mut self.batteries[p][duty];
         match cell.drain(amount) {
@@ -478,13 +657,18 @@ impl<'a> Simulator<'a> {
     }
 
     /// A `(time, min, mean)` pooled state-of-charge sample across posts.
+    /// A post with no nodes left counts as zero charge.
     fn soc_sample(&self, time: f64) -> (f64, f64, f64) {
         let mut min = 1.0f64;
         let mut total = 0.0;
         for cells in &self.batteries {
-            let level: Energy = cells.iter().map(|b| b.level()).sum();
-            let capacity: Energy = cells.iter().map(|b| b.capacity()).sum();
-            let soc = level / capacity;
+            let soc = if cells.is_empty() {
+                0.0
+            } else {
+                let level: Energy = cells.iter().map(|b| b.level()).sum();
+                let capacity: Energy = cells.iter().map(|b| b.capacity()).sum();
+                level / capacity
+            };
             min = min.min(soc);
             total += soc;
         }
@@ -495,16 +679,25 @@ impl<'a> Simulator<'a> {
     /// `trigger_soc`, billing the charger `delivered / η(m)`. Returns the
     /// charger energy radiated (zero when the post did not need a top-up).
     fn refill_if_below(&mut self, p: usize, trigger_soc: f64, report: &mut SimReport) -> Energy {
-        let cells = &mut self.batteries[p];
+        let cells = &self.batteries[p];
+        if cells.is_empty() {
+            // All nodes at this post are dead; nothing left to charge.
+            return Energy::ZERO;
+        }
         let m = cells.len() as u32;
         let level: Energy = cells.iter().map(|b| b.level()).sum();
         let capacity: Energy = cells.iter().map(|b| b.capacity()).sum();
         if level / capacity >= trigger_soc {
             return Energy::ZERO;
         }
+        // The refill is due — a faulty charger may skip it anyway.
+        if self.roll_charger_skip(report) {
+            return Energy::ZERO;
+        }
         // Simultaneous charging: every node in the post is topped up in
         // one pass of the charger.
         let mut delivered = Energy::ZERO;
+        let cells = &mut self.batteries[p];
         for cell in cells.iter_mut() {
             let need = cell.capacity() - cell.level();
             let overflow = cell.charge(need);
@@ -556,8 +749,7 @@ mod tests {
         let report = Simulator::new(&inst, &sol, config).run(rounds);
         // Analytic: cost is per bit; per round each post reports
         // bits_per_report bits.
-        let analytic_per_round =
-            sol.total_cost() * config.bits_per_report as f64;
+        let analytic_per_round = sol.total_cost() * config.bits_per_report as f64;
         let simulated = report.charger_energy_per_round();
         // The charger lags the drain by up to the battery capacity, so
         // compare with a tolerance that shrinks with run length.
@@ -667,8 +859,13 @@ mod tests {
         let tour = crate::PatrolTour::plan(geo.base_station, geo.posts.clone());
         let capacity = Energy::from_joules(0.05);
         let min_speed = crate::min_patrol_speed(
-            &inst, &sol, &tour, capacity, SimConfig::default().bits_per_report,
-            1.0, 2.0,
+            &inst,
+            &sol,
+            &tour,
+            capacity,
+            SimConfig::default().bits_per_report,
+            1.0,
+            2.0,
         )
         .unwrap();
         let config = SimConfig {
@@ -758,7 +955,11 @@ mod tests {
         let expected = (expected_traffic + nj(50.0)) * rounds as f64;
         let rel = (report.consumed_energy.as_njoules() - expected.as_njoules()).abs()
             / expected.as_njoules();
-        assert!(rel < 1e-9, "consumed {} vs expected {expected}", report.consumed_energy);
+        assert!(
+            rel < 1e-9,
+            "consumed {} vs expected {expected}",
+            report.consumed_energy
+        );
         assert_eq!(report.reports_delivered, 2 * rounds);
     }
 
@@ -909,5 +1110,144 @@ mod tests {
         let (inst, sol) = small_solution();
         let report = Simulator::new(&inst, &sol, SimConfig::default()).run(3);
         assert!(format!("{report}").contains("3 rounds"));
+    }
+
+    #[test]
+    fn fault_free_runs_report_no_degradation() {
+        let (inst, sol) = small_solution();
+        let report = Simulator::new(&inst, &sol, SimConfig::default()).run(100);
+        assert_eq!(report.first_fault_round, None);
+        assert_eq!(report.rounds_after_first_fault, 0);
+        assert_eq!(report.charger_skips, 0);
+        assert_eq!(report.charger_delays, 0);
+        assert_eq!(report.max_energy_deficit, 0.0);
+        assert_eq!(report.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn scheduled_node_deaths_kill_a_post_and_its_reports() {
+        let (inst, sol) = small_solution();
+        // Kill every node post 0 could possibly have: the post goes
+        // permanently dark at round 50 (extra deaths are no-ops).
+        let mut plan = FaultPlan::seeded(0);
+        for _ in 0..sol.deployment().counts()[0] {
+            plan = plan.kill_node(50, 0);
+        }
+        let config = SimConfig {
+            faults: Some(plan),
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&inst, &sol, config).run(200);
+        assert_eq!(report.first_fault_round, Some(50));
+        assert_eq!(report.rounds_after_first_fault, 150);
+        // Post 0 stops delivering; everything routed through it is lost.
+        assert!(report.reports_lost >= 150);
+        assert!(report.delivery_ratio() < 1.0);
+        assert!(report.first_death.is_some());
+        // The network as a whole keeps running.
+        assert_eq!(report.rounds_completed, 200);
+        assert!(report.reports_delivered > 0);
+    }
+
+    #[test]
+    fn outage_losses_are_confined_to_the_window() {
+        let (inst, sol) = small_solution();
+        let n = inst.num_posts() as u64;
+        let config = SimConfig {
+            faults: Some(FaultPlan::seeded(0).outage(0, 10, 20)),
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&inst, &sol, config).run(100);
+        assert_eq!(report.first_fault_round, Some(10));
+        assert_eq!(report.rounds_after_first_fault, 90);
+        // At least the post's own ten reports die; at most every post
+        // loses its report for each of the ten dark rounds.
+        assert!(report.reports_lost >= 10);
+        assert!(report.reports_lost <= 10 * n);
+        // The post rejoins: total delivery beats an all-run outage.
+        assert_eq!(
+            report.reports_delivered + report.reports_lost,
+            100 * n,
+            "every generated report is accounted for"
+        );
+        assert!(report.delivery_ratio() > 0.8);
+    }
+
+    #[test]
+    fn same_fault_seed_replays_the_exact_same_run() {
+        let (inst, sol) = small_solution();
+        let config = SimConfig {
+            battery_capacity: Energy::from_joules(0.02),
+            charger: ChargerPolicy::Threshold {
+                interval_s: 2.0,
+                trigger_soc: 0.5,
+            },
+            faults: Some(FaultPlan::seeded(42).charger_skips(0.5)),
+            ..SimConfig::default()
+        };
+        let a = Simulator::new(&inst, &sol, config.clone()).run(500);
+        let b = Simulator::new(&inst, &sol, config).run(500);
+        assert_eq!(a, b, "seeded fault injection must replay bit-identically");
+        assert!(a.charger_skips > 0, "the skip die was rolled {a}");
+    }
+
+    #[test]
+    fn always_skipping_charger_behaves_like_no_charger() {
+        let (inst, sol) = small_solution();
+        let config = SimConfig {
+            battery_capacity: Energy::from_ujoules(2000.0),
+            faults: Some(FaultPlan::seeded(1).charger_skips(1.0)),
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&inst, &sol, config).run(3000);
+        assert!(report.charger_skips > 0);
+        assert!(report.first_death.is_some(), "{report}");
+        assert!(report.reports_lost > 0);
+        assert_eq!(report.charger_energy, Energy::ZERO);
+        // Batteries ran dry: the worst pooled deficit approaches 1.
+        assert!(
+            report.max_energy_deficit > 0.5,
+            "deficit {}",
+            report.max_energy_deficit
+        );
+    }
+
+    #[test]
+    fn delayed_patrol_chargers_cover_less_ground() {
+        let (inst, sol) = small_solution();
+        let mk = |faults: Option<FaultPlan>| SimConfig {
+            charger: ChargerPolicy::PatrolTour {
+                speed_mps: 5.0,
+                trigger_soc: 0.5,
+                chargers: 1,
+            },
+            faults,
+            ..SimConfig::default()
+        };
+        let clean = Simulator::new(&inst, &sol, mk(None)).run(600);
+        let faulty = Simulator::new(
+            &inst,
+            &sol,
+            mk(Some(FaultPlan::seeded(5).charger_delays(1.0, 10.0))),
+        )
+        .run(600);
+        assert!(faulty.charger_delays > 0);
+        assert!(
+            faulty.charger_travel_m < clean.charger_travel_m,
+            "delayed {} vs clean {}",
+            faulty.charger_travel_m,
+            clean.charger_travel_m
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn out_of_range_fault_plan_rejected() {
+        let (inst, sol) = small_solution();
+        let config = SimConfig {
+            faults: Some(FaultPlan::seeded(0).kill_node(1, 999)),
+            ..SimConfig::default()
+        };
+        let _ = Simulator::new(&inst, &sol, config);
     }
 }

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use wrsn_core::{Idb, InstanceSampler, Solver};
 use wrsn_energy::Energy;
 use wrsn_geom::{Field, Point};
-use wrsn_sim::{ChargerPolicy, EventQueue, PatrolTour, SimConfig, Simulator};
+use wrsn_sim::{ChargerPolicy, EventQueue, FaultPlan, PatrolTour, SimConfig, Simulator};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -115,5 +115,46 @@ proptest! {
             report.reports_delivered,
             report.reports_lost
         );
+    }
+
+    /// Fault injection preserves report conservation, stays within the
+    /// metric's bounds, and replays bit-identically for the same plan.
+    #[test]
+    fn faulty_runs_conserve_reports_and_replay(
+        seed in 0u64..20,
+        fault_seed in any::<u64>(),
+        skip in 0.0f64..=1.0,
+        dark_post in 0usize..5,
+        dark_from in 0u64..100,
+        dark_len in 1u64..50,
+    ) {
+        let inst = InstanceSampler::new(Field::square(150.0), 5, 10).sample(seed % 4);
+        let sol = Idb::new(1).solve(&inst).unwrap();
+        let rounds = 200u64;
+        let plan = FaultPlan::seeded(fault_seed)
+            .charger_skips(skip)
+            .outage(dark_post, dark_from, dark_from + dark_len)
+            .kill_node(dark_from, (dark_post + 1) % 5);
+        let config = SimConfig {
+            bits_per_report: 2000,
+            battery_capacity: Energy::from_ujoules(4000.0),
+            charger: ChargerPolicy::Threshold { interval_s: 1.0, trigger_soc: 0.9 },
+            faults: Some(plan),
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&inst, &sol, config.clone()).run(rounds);
+        prop_assert_eq!(
+            report.reports_delivered + report.reports_lost,
+            rounds * 5,
+            "conservation under faults: {} + {}",
+            report.reports_delivered,
+            report.reports_lost
+        );
+        let ratio = report.delivery_ratio();
+        prop_assert!((0.0..=1.0).contains(&ratio));
+        prop_assert!((0.0..=1.0).contains(&report.max_energy_deficit));
+        prop_assert!(report.first_fault_round.is_some(), "an outage always fires");
+        let replay = Simulator::new(&inst, &sol, config).run(rounds);
+        prop_assert_eq!(report, replay, "same plan must replay identically");
     }
 }

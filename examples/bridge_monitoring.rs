@@ -12,10 +12,11 @@
 //! cargo run --release --example bridge_monitoring
 //! ```
 
-use wrsn::core::{GeometricInstanceBuilder, Idb, Rfh, Solver};
+use wrsn::core::{GeometricInstanceBuilder, Solver};
 use wrsn::energy::Energy;
+use wrsn::engine::SolverRegistry;
 use wrsn::geom::Point;
-use wrsn::sim::{ChargerPolicy, SimConfig, Simulator};
+use wrsn::sim::{ChargerPolicy, FaultPlan, SimConfig, Simulator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two rails of monitoring posts along the deck, 25 m pitch, plus a
@@ -38,11 +39,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     println!("bridge: {n} posts, {budget} nodes, base station at the abutment");
 
-    let rfh = Rfh::iterative(7).solve(&instance)?;
-    let idb = Idb::new(1).solve(&instance)?;
+    let registry = SolverRegistry::with_defaults();
+    let rfh = registry.create("irfh")?.solve(&instance)?;
+    let idb = registry.create("idb")?.solve(&instance)?;
     println!("RFH  cost: {}", rfh.total_cost());
     println!("IDB  cost: {}", idb.total_cost());
-    let best = if idb.total_cost() <= rfh.total_cost() { idb } else { rfh };
+    let best = if idb.total_cost() <= rfh.total_cost() {
+        idb
+    } else {
+        rfh
+    };
 
     // Where did the spare nodes go? Expect the posts closest to the
     // abutment (they forward the whole deck's traffic).
@@ -69,16 +75,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         record_soc_every: None,
         charger_power_w: f64::INFINITY,
+        faults: None,
     };
     let rounds = 24 * 60 * 60 / 10;
-    let report = Simulator::new(&instance, &best, config).run(rounds);
+    let report = Simulator::new(&instance, &best, config.clone()).run(rounds);
     println!("\n{report}");
     println!(
         "charger energy per round: {} (analytic: {})",
         report.charger_energy_per_round(),
         best.total_cost() * config.bits_per_report as f64
     );
-    assert!(report.first_death.is_none(), "a post died — charger policy too lax");
+    assert!(
+        report.first_death.is_none(),
+        "a post died — charger policy too lax"
+    );
     println!("all {n} posts stayed alive for 24 h of reporting");
+
+    // Bridges are harsh: rerun the same day with an unreliable charger
+    // (a third of due refills skipped) and a mid-span post knocked
+    // offline for an hour by maintenance. Same fault seed, same run —
+    // the degradation numbers are reproducible.
+    let faulty = SimConfig {
+        faults: Some(
+            FaultPlan::seeded(11)
+                .charger_skips(1.0 / 3.0)
+                .outage(n - 2, 1000, 1360),
+        ),
+        ..config
+    };
+    let degraded = Simulator::new(&instance, &best, faulty).run(rounds);
+    println!(
+        "\nwith charger faults + a one-hour outage: delivery ratio {:.4}, \
+         first fault at round {:?}, max energy deficit {:.3}",
+        degraded.delivery_ratio(),
+        degraded.first_fault_round,
+        degraded.max_energy_deficit
+    );
+    assert!(
+        degraded.delivery_ratio() < 1.0,
+        "the outage must cost reports"
+    );
     Ok(())
 }

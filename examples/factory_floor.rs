@@ -9,7 +9,8 @@
 //! ```
 
 use wrsn::charging::{ChargeModel, FieldExperiment};
-use wrsn::core::{ChargeSpec, GainKind, GeometricInstanceBuilder, Idb, Solver};
+use wrsn::core::{ChargeSpec, GainKind, GeometricInstanceBuilder, Solver};
+use wrsn::engine::SolverRegistry;
 use wrsn::geom::{Field, Layout};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -34,13 +35,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     println!("factory floor: {n} stations, {budget} nodes\n");
+    let registry = SolverRegistry::with_defaults();
     let mut deployments = Vec::new();
     for (name, spec) in models {
         let instance = GeometricInstanceBuilder::new(posts.clone(), budget)
             .charge(spec)
             .build()?;
-        let solution = Idb::new(1).solve(&instance)?;
-        println!("{name:<24} total recharging cost: {}", solution.total_cost());
+        let solution = registry.create("idb")?.solve(&instance)?;
+        println!(
+            "{name:<24} total recharging cost: {}",
+            solution.total_cost()
+        );
         deployments.push((name, solution.deployment().clone()));
     }
 
@@ -58,8 +63,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nnodes placed differently under the measured gain curve: {moved} of {budget} ({:.1}%)",
         f64::from(moved) / f64::from(budget) * 100.0
     );
-    println!("largest post under linear model:   {} nodes", linear.counts().iter().max().unwrap());
-    println!("largest post under measured model: {} nodes", real.counts().iter().max().unwrap());
+    println!(
+        "largest post under linear model:   {} nodes",
+        linear.counts().iter().max().unwrap()
+    );
+    println!(
+        "largest post under measured model: {} nodes",
+        real.counts().iter().max().unwrap()
+    );
     println!(
         "\ntakeaway: sub-linear real-world gains spread nodes {} than the paper's linear idealization",
         if real.counts().iter().max() < linear.counts().iter().max() {

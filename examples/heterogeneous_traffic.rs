@@ -12,8 +12,9 @@
 //! cargo run --release --example heterogeneous_traffic
 //! ```
 
-use wrsn::core::{GeometricInstanceBuilder, Idb, InstanceSpec, Solver};
+use wrsn::core::{GeometricInstanceBuilder, InstanceSpec, Solver};
 use wrsn::energy::Energy;
+use wrsn::engine::SolverRegistry;
 use wrsn::geom::{Field, Layout};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,14 +40,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .sensing_energies(sensing)
         .build()?;
 
-    let base = Idb::new(1).solve(&uniform)?;
-    let loaded = Idb::new(1).solve(&profiled)?;
+    let registry = SolverRegistry::with_defaults();
+    let base = registry.create("idb")?.solve(&uniform)?;
+    let loaded = registry.create("idb")?.solve(&profiled)?;
     println!("uniform traffic:      cost {}", base.total_cost());
     println!("heterogeneous load:   cost {}", loaded.total_cost());
 
     println!("\nnode shifts at the loaded posts (uniform -> heterogeneous):");
     for &p in gates.iter().chain(&acoustic) {
-        let kind = if gates.contains(&p) { "gate" } else { "acoustic" };
+        let kind = if gates.contains(&p) {
+            "gate"
+        } else {
+            "acoustic"
+        };
         println!(
             "  post {p:>2} ({kind:<8}): {:>2} -> {:>2} nodes",
             base.deployment().count(p),
@@ -56,7 +62,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gained: u32 = gates
         .iter()
         .chain(&acoustic)
-        .map(|&p| loaded.deployment().count(p).saturating_sub(base.deployment().count(p)))
+        .map(|&p| {
+            loaded
+                .deployment()
+                .count(p)
+                .saturating_sub(base.deployment().count(p))
+        })
         .sum();
     println!("loaded posts gained {gained} nodes in total");
     assert!(gained > 0, "the optimizer must chase the load");

@@ -1,10 +1,12 @@
-//! Quickstart: build a random instance, run every solver, compare.
+//! Quickstart: build a random instance, run every solver, compare —
+//! then sweep seeds through the experiment pipeline.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use wrsn::core::{BranchAndBound, Idb, InstanceSampler, Rfh, Solver};
+use wrsn::core::{InstanceSampler, Solver};
+use wrsn::engine::{Experiment, SolverRegistry};
 use wrsn::geom::Field;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -14,14 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let instance = sampler.sample(7);
     println!("instance: {instance}");
 
-    let solvers: Vec<Box<dyn Solver>> = vec![
-        Box::new(Rfh::basic()),
-        Box::new(Rfh::iterative(7)),
-        Box::new(Idb::new(1)),
-        Box::new(BranchAndBound::new()),
-    ];
+    // Every consumer — CLI, benches, examples — builds solvers through
+    // the same registry, so "idb" here is exactly the CLI's `--algo idb`.
+    let registry = SolverRegistry::with_defaults();
     println!("\n{:<12} {:>12}  deployment", "solver", "cost");
-    for solver in &solvers {
+    for name in ["rfh", "irfh", "idb", "bnb"] {
+        let solver = registry.create(name)?;
         let solution = solver.solve(&instance)?;
         println!(
             "{:<12} {:>12}  {}",
@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Peek inside the best heuristic's routing arrangement.
-    let best = Idb::new(1).solve(&instance)?;
+    let best = registry.create("idb")?.solve(&instance)?;
     println!("\nrouting tree (post -> parent): {}", best.tree());
     let workloads = best.tree().descendant_counts();
     let hub = (0..instance.num_posts())
@@ -42,6 +42,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "busiest relay: post {hub} forwards for {} posts and holds {} nodes",
         workloads[hub],
         best.deployment().count(hub)
+    );
+
+    // One instance is an anecdote; the experiment pipeline turns it into
+    // a statistic. Sweep 16 seeds in parallel (deterministically — the
+    // same report comes back whatever the worker count).
+    let report = Experiment::sampled(sampler)
+        .solver("idb")
+        .seeds(0..16)
+        .run(&registry)?;
+    println!(
+        "\nidb over {} random instances: cost {:.1} ± {:.1} uJ",
+        report.runs.len(),
+        report.cost_uj.mean,
+        report.cost_uj.std_dev
     );
     Ok(())
 }

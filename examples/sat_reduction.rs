@@ -11,7 +11,8 @@
 //! ```
 
 use wrsn::core::reduction::reduce;
-use wrsn::core::{ExhaustiveSearch, Solver};
+use wrsn::core::Solver;
+use wrsn::engine::SolverRegistry;
 use wrsn::sat::{CnfFormula, DpllSolver, Lit};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,13 +33,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reduction.cost_bound()
     );
 
-    let solution = ExhaustiveSearch::default().solve(instance)?;
+    let solution = SolverRegistry::with_defaults()
+        .create("exhaustive")?
+        .solve(instance)?;
     println!("optimal recharging cost: {}", solution.total_cost());
     let satisfiable = solution.total_cost() <= reduction.cost_bound() * (1.0 + 1e-9);
     println!(
         "cost {} W  =>  formula is {}",
         if satisfiable { "<=" } else { ">" },
-        if satisfiable { "SATISFIABLE" } else { "UNSATISFIABLE" }
+        if satisfiable {
+            "SATISFIABLE"
+        } else {
+            "UNSATISFIABLE"
+        }
     );
 
     if satisfiable {

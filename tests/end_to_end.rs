@@ -2,8 +2,8 @@
 //! layer's invariants checked against the others.
 
 use wrsn::core::{
-    optimal_cost, tree_cost, BranchAndBound, CostEvaluator, ExhaustiveSearch, Idb,
-    InstanceSampler, Rfh, Solver,
+    optimal_cost, tree_cost, BranchAndBound, CostEvaluator, ExhaustiveSearch, Idb, InstanceSampler,
+    Rfh, Solver,
 };
 use wrsn::energy::Energy;
 use wrsn::engine::SolverRegistry;
@@ -96,10 +96,11 @@ fn simulator_validates_the_analytic_metric_for_each_solver() {
         },
         record_soc_every: None,
         charger_power_w: f64::INFINITY,
+        faults: None,
     };
     for solver in solvers() {
         let sol = solver.solve(&inst).unwrap();
-        let report = Simulator::new(&inst, &sol, config).run(2000);
+        let report = Simulator::new(&inst, &sol, config.clone()).run(2000);
         assert_eq!(report.reports_lost, 0, "{}", solver.name());
         assert!(report.first_death.is_none(), "{}", solver.name());
         let analytic = sol.total_cost().as_njoules() * 1000.0;
@@ -132,11 +133,10 @@ fn better_solutions_cost_the_charger_less_in_simulation() {
         },
         ..SimConfig::default()
     };
-    let sim_rfh = Simulator::new(&inst, &rfh, config).run(1500);
+    let sim_rfh = Simulator::new(&inst, &rfh, config.clone()).run(1500);
     let sim_idb = Simulator::new(&inst, &idb, config).run(1500);
     assert!(
-        (sim_idb.charger_energy < sim_rfh.charger_energy)
-            == (idb.total_cost() < rfh.total_cost()),
+        (sim_idb.charger_energy < sim_rfh.charger_energy) == (idb.total_cost() < rfh.total_cost()),
         "simulation reversed the analytic ordering"
     );
 }

@@ -1,0 +1,123 @@
+//! Robustness integration: deterministic failure injection in the
+//! simulator and fault-tolerant checkpoint/resume sweeps in the engine,
+//! exercised end to end through the facade crate.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use wrsn::core::{Idb, InstanceSampler, Solver};
+use wrsn::energy::Energy;
+use wrsn::engine::{Experiment, RetryPolicy, SolverRegistry, SweepRunner};
+use wrsn::geom::Field;
+use wrsn::sim::{ChargerPolicy, FaultPlan, SimConfig, Simulator};
+
+fn scratch_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("wrsn-fault-tolerance-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn fault_plans_replay_and_degrade_gracefully() {
+    let inst = InstanceSampler::new(Field::square(150.0), 5, 12).sample(3);
+    let sol = Idb::new(1).solve(&inst).unwrap();
+    let config = SimConfig {
+        bits_per_report: 1500,
+        battery_capacity: Energy::from_ujoules(5000.0),
+        charger: ChargerPolicy::Threshold {
+            interval_s: 1.0,
+            trigger_soc: 0.9,
+        },
+        faults: Some(FaultPlan::seeded(21).charger_skips(0.3).outage(2, 40, 60)),
+        ..SimConfig::default()
+    };
+    let a = Simulator::new(&inst, &sol, config.clone()).run(500);
+    let b = Simulator::new(&inst, &sol, config).run(500);
+    assert_eq!(a, b, "same plan must replay bit-identically");
+    // The outage costs post 2's reports but conservation still holds.
+    assert_eq!(a.reports_delivered + a.reports_lost, 500 * 5);
+    assert!(a.delivery_ratio() < 1.0);
+    assert!(a.first_fault_round.is_some_and(|r| r <= 40));
+    assert!(a.rounds_after_first_fault > 0);
+    // A different fault seed reshuffles the charger's misbehavior.
+    assert!(a.charger_skips > 0, "skips must actually fire at p=0.3");
+}
+
+#[test]
+fn interrupted_sweep_resumes_to_the_same_report() {
+    let ck = scratch_dir().join("resume.checkpoint.json");
+    let _ = std::fs::remove_file(&ck);
+    let registry = SolverRegistry::with_defaults();
+    let base = Experiment::sampled(InstanceSampler::new(Field::square(150.0), 6, 14))
+        .solver("idb")
+        .seeds(0..6)
+        .runner(SweepRunner::sequential())
+        .record_timings(false);
+    let partial = base
+        .clone()
+        .checkpoint(&ck)
+        .halt_after(3)
+        .run(&registry)
+        .unwrap();
+    assert_eq!(partial.runs.len(), 3, "sequential halt is exact");
+    assert!(ck.exists(), "checkpoint must be flushed incrementally");
+    let resumed = base
+        .clone()
+        .checkpoint(&ck)
+        .resume(true)
+        .run(&registry)
+        .unwrap();
+    let clean = base.run(&registry).unwrap();
+    assert_eq!(
+        resumed.to_json(),
+        clean.to_json(),
+        "resumed sweep must serialize byte-identically to a clean one"
+    );
+}
+
+#[test]
+fn a_panicking_seed_does_not_sink_a_keep_going_sweep() {
+    let mut registry = SolverRegistry::with_defaults();
+    let constructions = AtomicUsize::new(0);
+    registry.register("flaky", move || {
+        if constructions.fetch_add(1, Ordering::SeqCst) == 2 {
+            panic!("synthetic fault on the third construction");
+        }
+        Box::new(Idb::new(1))
+    });
+    let report = Experiment::sampled(InstanceSampler::new(Field::square(150.0), 5, 12))
+        .solver("flaky")
+        .seeds(0..5)
+        .runner(SweepRunner::sequential())
+        .keep_going(true)
+        .run(&registry)
+        .unwrap();
+    assert_eq!(report.runs.len(), 4, "the other seeds still completed");
+    assert_eq!(report.failures.len(), 1);
+    assert_eq!(
+        report.failures[0].seed, 2,
+        "sequential order pins the victim"
+    );
+    assert!(report.failures[0].error.contains("synthetic fault"));
+    assert!(!report.is_complete());
+}
+
+#[test]
+fn retries_recover_a_transient_panic() {
+    let mut registry = SolverRegistry::with_defaults();
+    let calls = AtomicUsize::new(0);
+    registry.register("transient", move || {
+        if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+            panic!("cold start");
+        }
+        Box::new(Idb::new(1))
+    });
+    let report = Experiment::sampled(InstanceSampler::new(Field::square(150.0), 5, 12))
+        .solver("transient")
+        .seeds(0..3)
+        .runner(SweepRunner::sequential())
+        .retry(RetryPolicy::attempts(2))
+        .run(&registry)
+        .unwrap();
+    assert!(report.is_complete(), "the retry must absorb the panic");
+    assert_eq!(report.runs[0].attempts, 2);
+    assert_eq!(report.total_attempts(), 4);
+}
