@@ -16,7 +16,9 @@
 use serde::Serialize;
 use wrsn_bench::{save_json, Experiment, SolverRegistry, Table};
 use wrsn_charging::{ChargeModel, FieldExperiment};
-use wrsn_core::{AllocatorKind, ChargeSpec, GainKind, InstanceSampler, MergePolicy, Rfh, WorkloadMetric};
+use wrsn_core::{
+    AllocatorKind, ChargeSpec, GainKind, InstanceSampler, MergePolicy, Rfh, WorkloadMetric,
+};
 use wrsn_geom::Field;
 
 const SEEDS: u64 = 10;
@@ -82,7 +84,10 @@ fn main() {
     // Axis 2: workload metric.
     for (name, solver) in [
         ("EnergyRate (ours)", "irfh-workload-energy"),
-        ("DescendantCount (paper literal)", "irfh-workload-descendants"),
+        (
+            "DescendantCount (paper literal)",
+            "irfh-workload-descendants",
+        ),
     ] {
         rows.push(Row {
             axis: "workload",
@@ -111,7 +116,10 @@ fn main() {
         .collect();
     let gain_models: Vec<(&str, ChargeSpec)> = vec![
         ("linear k(m)=m (paper)", ChargeSpec::normalized()),
-        ("sublinear m^0.85", ChargeSpec::new(1.0, GainKind::Sublinear(0.85))),
+        (
+            "sublinear m^0.85",
+            ChargeSpec::new(1.0, GainKind::Sublinear(0.85)),
+        ),
         (
             "measured (RF simulator)",
             ChargeSpec::new(1.0, GainKind::Measured(measured_gains)),

@@ -32,7 +32,10 @@ fn main() {
     let capacity = Energy::from_joules(0.1);
     let solvers: Vec<(&'static str, Box<dyn Solver + Sync>)> = vec![
         ("Uniform (unaware)", Box::new(UniformDeployment::new())),
-        ("Lifetime-balanced (unaware)", Box::new(LifetimeBalanced::new())),
+        (
+            "Lifetime-balanced (unaware)",
+            Box::new(LifetimeBalanced::new()),
+        ),
         ("RFH (aware)", Box::new(Rfh::iterative(7))),
         ("IDB (aware)", Box::new(Idb::new(1))),
     ];
@@ -55,7 +58,11 @@ fn main() {
 
     let mut table = Table::new(
         "Charging-aware vs charging-unaware design (N=100, M=600, 500x500 m, 10 seeds)",
-        &["strategy", "recharging cost uJ", "unplugged lifetime (k rounds, 1-bit reports)"],
+        &[
+            "strategy",
+            "recharging cost uJ",
+            "unplugged lifetime (k rounds, 1-bit reports)",
+        ],
     );
     for r in &rows {
         table.row(&[

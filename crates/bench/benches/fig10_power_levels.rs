@@ -32,10 +32,7 @@ fn main() {
             let inst = sampler.sample(seed);
             let rfh = Rfh::iterative(7).solve(&inst).expect("solvable");
             let idb = Idb::new(1).solve(&inst).expect("solvable");
-            (
-                rfh.total_cost().as_ujoules(),
-                idb.total_cost().as_ujoules(),
-            )
+            (rfh.total_cost().as_ujoules(), idb.total_cost().as_ujoules())
         });
         let rfh: Vec<f64> = results.iter().map(|r| r.0).collect();
         let idb: Vec<f64> = results.iter().map(|r| r.1).collect();
@@ -65,9 +62,9 @@ fn main() {
     // Note: the sampled post sets differ per k (connectivity at k=3 is
     // the binding constraint), so compare spreads rather than identity.
     let idb_vals: Vec<f64> = rows.iter().map(|r| r.idb_uj).collect();
-    let spread =
-        (idb_vals.iter().fold(f64::MIN, |a, &b| a.max(b)) - idb_vals.iter().fold(f64::MAX, |a, &b| a.min(b)))
-            / mean(&idb_vals);
+    let spread = (idb_vals.iter().fold(f64::MIN, |a, &b| a.max(b))
+        - idb_vals.iter().fold(f64::MAX, |a, &b| a.min(b)))
+        / mean(&idb_vals);
     println!(
         "\nshape: IDB cost varies only {:.1}% across level counts (paper: almost flat)  [{}]",
         spread * 100.0,

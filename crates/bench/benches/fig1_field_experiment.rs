@@ -36,8 +36,10 @@ fn main() {
     let (sensors, distances, spacings) = FieldExperiment::table_ii_grid();
     for &spacing in &spacings {
         let mut table = Table::new(
-            &format!("Fig. 1 ({}) — avg received power per node (mW), sensor spacing {spacing} cm",
-                if spacing < 7.5 { "a" } else { "b" }),
+            &format!(
+                "Fig. 1 ({}) — avg received power per node (mW), sensor spacing {spacing} cm",
+                if spacing < 7.5 { "a" } else { "b" }
+            ),
             &["distance", "m=1", "m=2", "m=4", "m=6"],
         );
         for &d in &distances {
@@ -76,7 +78,11 @@ fn main() {
     println!(
         "\nanchor: single-node efficiency at 20 cm = {:.3}% (paper: < 1%)  [{}]",
         single.network_efficiency * 100.0,
-        if single.network_efficiency < 0.01 { "OK" } else { "MISMATCH" }
+        if single.network_efficiency < 0.01 {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
     let k6 = g10.efficiency(6) / g10.efficiency(1);
     println!(

@@ -39,7 +39,11 @@ fn main() {
             .run(&registry)
             .expect("connected instances");
         let per_iter = report.mean_history_uj();
-        assert_eq!(per_iter.len(), ITERATIONS, "one history entry per iteration");
+        assert_eq!(
+            per_iter.len(),
+            ITERATIONS,
+            "one history entry per iteration"
+        );
         for (i, &c) in per_iter.iter().enumerate() {
             rows.push(Row {
                 nodes: m,

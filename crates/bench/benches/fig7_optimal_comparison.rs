@@ -74,10 +74,7 @@ fn print_rows(title: &str, vary: &str, rows: &[Row], key: impl Fn(&Row) -> Strin
 }
 
 fn main() {
-    let a = sweep(
-        "fig7a",
-        &[(10, 20), (10, 24), (10, 28), (10, 32), (10, 36)],
-    );
+    let a = sweep("fig7a", &[(10, 20), (10, 24), (10, 28), (10, 32), (10, 36)]);
     print_rows(
         "Fig. 7(a) — 10 posts, varying node count (uJ, mean of 5 seeds)",
         "M",
@@ -94,7 +91,9 @@ fn main() {
     );
 
     // Shape checks against the paper's observations.
-    let monotone_a = a.windows(2).all(|w| w[1].optimal_uj <= w[0].optimal_uj * 1.001);
+    let monotone_a = a
+        .windows(2)
+        .all(|w| w[1].optimal_uj <= w[0].optimal_uj * 1.001);
     println!(
         "\nshape: Fig 7(a) optimal cost decreases with more nodes  [{}]",
         if monotone_a { "OK" } else { "MISMATCH" }

@@ -6,7 +6,7 @@
 //! far faster.
 
 use serde::Serialize;
-use wrsn_bench::{save_json, Experiment, SolverRegistry, Table};
+use wrsn_bench::{cache_from_env, print_cache_line, save_json, Experiment, SolverRegistry, Table};
 use wrsn_core::InstanceSampler;
 use wrsn_geom::Field;
 
@@ -25,16 +25,21 @@ struct Row {
 
 fn main() {
     let registry = SolverRegistry::with_defaults();
+    let cache = cache_from_env();
     let mut rows = Vec::new();
     for m in [200u32, 400, 600, 800, 1000] {
         let sampler = InstanceSampler::new(Field::square(500.0), 100, m);
         let run = |solver: &str| {
-            Experiment::sampled(sampler.clone())
+            let mut exp = Experiment::sampled(sampler.clone())
                 .label(format!("fig8 {solver} M={m}"))
                 .solver(solver)
-                .seeds(0..SEEDS)
-                .run(&registry)
-                .expect("solvable instances")
+                .seeds(0..SEEDS);
+            if let Some(store) = &cache {
+                exp = exp.cache(store.clone());
+            }
+            let report = exp.run(&registry).expect("solvable instances");
+            print_cache_line(&report);
+            report
         };
         let rfh = run("irfh");
         let idb = run("idb");
@@ -74,7 +79,11 @@ fn main() {
     println!(
         "shape: at M=1000, RFH/IDB = {:.3} (paper: 4.9283/4.6914 = 1.050)  [{}]",
         last.rfh_uj / last.idb_uj,
-        if (last.rfh_uj / last.idb_uj - 1.05).abs() < 0.08 { "OK" } else { "CHECK" }
+        if (last.rfh_uj / last.idb_uj - 1.05).abs() < 0.08 {
+            "OK"
+        } else {
+            "CHECK"
+        }
     );
     println!(
         "paper anchors at M=1000: IDB 4.6914 uJ (ours {:.4}), RFH 4.9283 uJ (ours {:.4})",

@@ -5,7 +5,7 @@
 //! leads RFH), with total cost growing as more posts must report.
 
 use serde::Serialize;
-use wrsn_bench::{save_json, Experiment, SolverRegistry, Table};
+use wrsn_bench::{cache_from_env, print_cache_line, save_json, Experiment, SolverRegistry, Table};
 use wrsn_core::InstanceSampler;
 use wrsn_geom::Field;
 
@@ -22,16 +22,21 @@ struct Row {
 
 fn main() {
     let registry = SolverRegistry::with_defaults();
+    let cache = cache_from_env();
     let mut rows = Vec::new();
     for n in [100usize, 150, 200, 250, 300] {
         let sampler = InstanceSampler::new(Field::square(500.0), n, 600);
         let run = |solver: &str| {
-            Experiment::sampled(sampler.clone())
+            let mut exp = Experiment::sampled(sampler.clone())
                 .label(format!("fig9 {solver} N={n}"))
                 .solver(solver)
-                .seeds(0..SEEDS)
-                .run(&registry)
-                .expect("solvable instances")
+                .seeds(0..SEEDS);
+            if let Some(store) = &cache {
+                exp = exp.cache(store.clone());
+            }
+            let report = exp.run(&registry).expect("solvable instances");
+            print_cache_line(&report);
+            report
         };
         let rfh = run("irfh");
         let idb = run("idb");

@@ -44,11 +44,7 @@ fn main() {
             let counts = sol.deployment().counts();
             let max = *counts.iter().max().expect("non-empty") as f64;
             let avg = counts.iter().map(|&c| f64::from(c)).sum::<f64>() / counts.len() as f64;
-            (
-                sol.total_cost().as_ujoules(),
-                mean(&depths),
-                max / avg,
-            )
+            (sol.total_cost().as_ujoules(), mean(&depths), max / avg)
         });
         rows.push(Row {
             gamma,
@@ -72,15 +68,19 @@ fn main() {
     }
     table.print();
 
-    let depth_spread = (rows[0].mean_depth_hops - rows[2].mean_depth_hops).abs()
-        / rows[2].mean_depth_hops;
+    let depth_spread =
+        (rows[0].mean_depth_hops - rows[2].mean_depth_hops).abs() / rows[2].mean_depth_hops;
     let cost_spread = (rows[0].mean_cost_uj - rows[2].mean_cost_uj).abs() / rows[2].mean_cost_uj;
     println!(
         "\nshape: channel quality barely moves the co-design (depth {:.1}%, cost {:.1}% across \
          gamma 2..4) — alpha + rx dominate, the same effect that flattens Fig. 10  [{}]",
         depth_spread * 100.0,
         cost_spread * 100.0,
-        if depth_spread < 0.05 && cost_spread < 0.10 { "OK" } else { "CHECK" }
+        if depth_spread < 0.05 && cost_spread < 0.10 {
+            "OK"
+        } else {
+            "CHECK"
+        }
     );
     save_json("gamma_sweep", &rows);
 }

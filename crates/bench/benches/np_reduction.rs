@@ -90,7 +90,9 @@ fn main() {
 
     let mut table = Table::new(
         "NP-completeness reduction roundtrip (Section IV)",
-        &["src", "seed", "n", "m", "SAT?", "W (nJ)", "opt (nJ)", "thm", "decode"],
+        &[
+            "src", "seed", "n", "m", "SAT?", "W (nJ)", "opt (nJ)", "thm", "decode",
+        ],
     );
     for r in &rows {
         table.row(&[

@@ -12,10 +12,46 @@
 #![warn(missing_docs)]
 
 pub use wrsn_engine::{
-    mean, run_seeds, save_json, std_dev, EngineError, Experiment, InstanceSource, RetryPolicy,
-    RunReport, SeedEvent, SeedFailure, SeedRun, SolverRegistry, SummaryStats, SweepCheckpoint,
-    SweepRunner, Table,
+    mean, run_seeds, save_json, std_dev, CacheStats, EngineError, Experiment, InstanceSource,
+    ResultStore, RetryPolicy, RunReport, SeedEvent, SeedFailure, SeedRun, SolverRegistry,
+    SummaryStats, SweepCheckpoint, SweepRunner, Table,
 };
+
+/// Opens the shared result store when the `WRSN_CACHE` environment
+/// variable is set; bench targets hand it to [`Experiment::cache`] so an
+/// interrupted or repeated figure replays finished cells from disk
+/// instead of recomputing them.
+///
+/// `WRSN_CACHE=1` (or an empty value) uses the default
+/// `bench_results/cache`; any other value names the store directory.
+/// Unset means no caching, which keeps default bench runs measuring
+/// real solver time.
+pub fn cache_from_env() -> Option<std::sync::Arc<ResultStore>> {
+    let raw = std::env::var("WRSN_CACHE").ok()?;
+    let dir = match raw.as_str() {
+        "" | "1" | "true" => "bench_results/cache",
+        other => other,
+    };
+    match ResultStore::open(std::path::Path::new(dir)) {
+        Ok(store) => Some(std::sync::Arc::new(store)),
+        Err(e) => {
+            eprintln!("WARNING: WRSN_CACHE ignored: {e}");
+            None
+        }
+    }
+}
+
+/// Prints one line summarizing a report's cache interaction, when it
+/// ran against a store. Silent otherwise so uncached bench output is
+/// unchanged.
+pub fn print_cache_line(report: &RunReport) {
+    if let Some(cache) = &report.cache {
+        println!(
+            "cache [{}]: {} hit(s), {} miss(es), {} appended",
+            report.label, cache.hits, cache.misses, cache.appended
+        );
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -28,5 +64,21 @@ mod tests {
         assert_eq!(run_seeds(0..4, |s| s * s), vec![0, 1, 4, 9]);
         assert!(SolverRegistry::with_defaults().contains("irfh"));
         let _ = Table::new("t", &["a"]);
+        let dir = std::env::temp_dir().join("wrsn-bench-test-store");
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn cache_from_env_honors_the_variable() {
+        // Single test touching WRSN_CACHE, so there is no cross-test
+        // env race to worry about.
+        std::env::remove_var("WRSN_CACHE");
+        assert!(cache_from_env().is_none());
+        let dir = std::env::temp_dir().join("wrsn-bench-test-cache");
+        std::env::set_var("WRSN_CACHE", dir.as_os_str());
+        let store = cache_from_env().expect("store opens");
+        assert_eq!(store.dir(), dir.as_path());
+        std::env::remove_var("WRSN_CACHE");
     }
 }

@@ -32,7 +32,11 @@ impl fmt::Display for ArgsError {
         match self {
             ArgsError::MissingValue(k) => write!(f, "option --{k} needs a value"),
             ArgsError::UnexpectedToken(t) => write!(f, "unexpected argument {t:?}"),
-            ArgsError::BadValue { key, value, expected } => {
+            ArgsError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "--{key} {value:?}: expected {expected}")
             }
             ArgsError::MissingOption(k) => write!(f, "required option --{k} is missing"),
@@ -107,6 +111,13 @@ impl Args {
     /// A boolean flag: present (with or without a value) means `true`.
     pub fn flag(&mut self, key: &str) -> bool {
         self.take(key).is_some()
+    }
+
+    /// An option accepted both as a bare flag and with a value (like
+    /// `--cache` / `--cache DIR`): `None` when absent, `Some(None)` for
+    /// the bare flag, `Some(Some(value))` when a value was given.
+    pub fn flag_or_value(&mut self, key: &str) -> Option<Option<String>> {
+        self.take(key)
     }
 
     /// An optional typed value.

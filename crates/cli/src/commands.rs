@@ -6,6 +6,8 @@ use crate::render;
 use serde::Serialize;
 use std::error::Error;
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use wrsn_charging::FieldExperiment;
 use wrsn_core::reduction::reduce;
 use wrsn_core::{
@@ -13,8 +15,8 @@ use wrsn_core::{
 };
 use wrsn_energy::{Energy, TxLevels};
 use wrsn_engine::{
-    EngineError, Experiment, InstanceSource, RetryPolicy, SeedEvent, SolverRegistry, SweepRunner,
-    Table,
+    merge_checkpoints, EngineError, Experiment, InstanceSource, ResultStore, RetryPolicy,
+    RunReport, SeedEvent, SolverRegistry, SweepCheckpoint, SweepRunner, Table,
 };
 use wrsn_geom::Field;
 use wrsn_sat::{CnfFormula, DpllSolver};
@@ -30,6 +32,7 @@ USAGE:
 COMMANDS:
     solve      co-design deployment and routing for a random instance
     sweep      run a solver over many seeds in parallel and report statistics
+    merge      fold sharded sweep logs back into one report
     simulate   solve, then run the network in the discrete-event simulator
     fieldexp   replay the Section II RF charging field experiment
     reduce     reduce a 3-CNF DIMACS formula to a deployment instance (Section IV)
@@ -78,7 +81,33 @@ Fault tolerance:
                     interruption for testing --resume)
     --no-timings    zero the wall-clock fields so repeated runs are
                     byte-identical (used by the resume equivalence check)
-    --progress      print a per-seed progress line to stderr";
+    --progress      print a per-seed progress line to stderr
+
+Result store (content-addressed cache):
+    --cache [DIR]   route the sweep through the result store at DIR
+                    [default dir: bench_results/cache]; seeds already
+                    stored skip the solve, fresh results are appended,
+                    and the report gains a cache {hits,misses,appended}
+                    block
+    --shard K/N     run only shard K of N (1-based, round-robin over the
+                    seed range); write its log with --checkpoint and fold
+                    the shard logs back together with `wrsn merge`
+    --compare A,B   sweep several solvers over the identical instance and
+                    seed grid and print a paired comparison table
+                    (incompatible with --checkpoint/--resume/--shard/
+                    --halt-after)";
+
+const MERGE_HELP: &str = "\
+wrsn merge — fold sharded sweep logs back into one report
+
+Shard logs are the checkpoint files written by `wrsn sweep --shard K/N
+--checkpoint FILE`; merging the full shard set reproduces the report an
+unsharded sweep would print (byte-identical under --no-timings).
+
+OPTIONS:
+    --logs A,B,...  comma-separated shard log paths            [required]
+    --out PATH      also write the merged log as a checkpoint
+    --json          machine-readable RunReport output";
 
 const SIMULATE_HELP: &str = "\
 wrsn simulate — solve, then run the network over time
@@ -178,11 +207,13 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         "solve" if wants_help => Ok(SOLVE_HELP.to_string()),
         "sweep" if wants_help => Ok(SWEEP_HELP.to_string()),
+        "merge" if wants_help => Ok(MERGE_HELP.to_string()),
         "simulate" if wants_help => Ok(SIMULATE_HELP.to_string()),
         "fieldexp" if wants_help => Ok(FIELDEXP_HELP.to_string()),
         "reduce" if wants_help => Ok(REDUCE_HELP.to_string()),
         "solve" => solve(Args::parse(rest.to_vec())?),
         "sweep" => sweep(Args::parse(rest.to_vec())?),
+        "merge" => merge(Args::parse(rest.to_vec())?),
         "simulate" => simulate(Args::parse(rest.to_vec())?),
         "fieldexp" => fieldexp(Args::parse(rest.to_vec())?),
         "reduce" => reduce_cmd(Args::parse(rest.to_vec())?),
@@ -345,9 +376,31 @@ fn solve(mut args: Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The default result-store directory for a bare `--cache` flag.
+const DEFAULT_CACHE_DIR: &str = "bench_results/cache";
+
+/// Parses `--shard K/N` into a 1-based (index, count) pair. Range
+/// validation happens in the engine ([`EngineError::BadShard`]).
+fn parse_shard(text: &str) -> Result<(u32, u32), CliError> {
+    let bad = || CliError::Msg(format!("--shard expects K/N (e.g. 2/4), got {text:?}"));
+    let (index, count) = text.split_once('/').ok_or_else(bad)?;
+    match (index.trim().parse(), count.trim().parse()) {
+        (Ok(i), Ok(c)) => Ok((i, c)),
+        _ => Err(bad()),
+    }
+}
+
+/// Opens the result store behind `--cache [DIR]`.
+fn open_cache(dir: Option<String>) -> Result<Arc<ResultStore>, CliError> {
+    let dir = dir.unwrap_or_else(|| DEFAULT_CACHE_DIR.to_string());
+    ResultStore::open(Path::new(&dir))
+        .map(Arc::new)
+        .map_err(|e| CliError::Msg(e.to_string()))
+}
+
 fn sweep(mut args: Args) -> Result<String, CliError> {
     let opts = InstanceOptions::parse(&mut args)?;
-    let algo: String = args.get_or("algo", "an algorithm name", "irfh".to_string())?;
+    let algo_opt: Option<String> = args.opt("algo", "an algorithm name")?;
     let seeds: u64 = args.get_or("seeds", "a seed count", 10)?;
     let seed_start: u64 = args.get_or("seed-start", "an integer seed", 0)?;
     let threads: Option<usize> = args.opt("threads", "a worker count")?;
@@ -360,6 +413,9 @@ fn sweep(mut args: Args) -> Result<String, CliError> {
     let halt_after: Option<usize> = args.opt("halt-after", "a seed count")?;
     let no_timings = args.flag("no-timings");
     let progress = args.flag("progress");
+    let cache_arg = args.flag_or_value("cache");
+    let shard: Option<String> = args.opt("shard", "K/N")?;
+    let compare: Option<String> = args.opt("compare", "a comma-separated solver list")?;
     args.finish()?;
     if seeds == 0 {
         return Err(CliError::Msg("--seeds must be at least 1".into()));
@@ -374,6 +430,36 @@ fn sweep(mut args: Args) -> Result<String, CliError> {
         Some(n) => SweepRunner::new().threads(n),
         None => SweepRunner::new(),
     };
+    let shard = shard.as_deref().map(parse_shard).transpose()?;
+    let store = cache_arg.map(open_cache).transpose()?;
+    if let Some(list) = compare {
+        if algo_opt.is_some() {
+            return Err(CliError::Msg(
+                "--compare names its own solvers; drop --algo".into(),
+            ));
+        }
+        if checkpoint.is_some() || resume || shard.is_some() || halt_after.is_some() {
+            return Err(CliError::Msg(
+                "--compare runs multiple solvers and cannot be combined with \
+                 --checkpoint/--resume/--shard/--halt-after"
+                    .into(),
+            ));
+        }
+        return sweep_compare(SweepCompare {
+            opts: &opts,
+            list: &list,
+            seeds,
+            seed_start,
+            runner,
+            history,
+            max_retries,
+            keep_going,
+            no_timings,
+            store,
+            json,
+        });
+    }
+    let algo = algo_opt.unwrap_or_else(|| "irfh".to_string());
     let registry = SolverRegistry::with_defaults();
     let mut experiment = Experiment::new(opts.source()?)
         .solver(&algo)
@@ -389,6 +475,12 @@ fn sweep(mut args: Args) -> Result<String, CliError> {
     }
     if let Some(k) = halt_after {
         experiment = experiment.halt_after(k);
+    }
+    if let Some((index, count)) = shard {
+        experiment = experiment.shard(index, count);
+    }
+    if let Some(store) = &store {
+        experiment = experiment.cache(store.clone());
     }
     if progress || checkpoint.is_some() {
         experiment = experiment.on_seed(|event| match event {
@@ -438,6 +530,13 @@ fn sweep(mut args: Args) -> Result<String, CliError> {
         report.solve_ms_total,
         report.mean_solve_ms()
     );
+    if let Some(cache) = &report.cache {
+        let _ = writeln!(
+            out,
+            "cache: {} hit(s), {} miss(es), {} appended",
+            cache.hits, cache.misses, cache.appended
+        );
+    }
     if !report.is_complete() {
         let _ = writeln!(out, "failed seeds ({} of {seeds}):", report.failures.len());
         for f in &report.failures {
@@ -455,6 +554,185 @@ fn sweep(mut args: Args) -> Result<String, CliError> {
             .map(|c| format!("{c:.3}"))
             .collect();
         let _ = writeln!(out, "mean cost by iteration: {}", trace.join(" -> "));
+    }
+    Ok(out)
+}
+
+/// Everything `sweep --compare` needs, bundled to keep the call site
+/// readable.
+struct SweepCompare<'a> {
+    opts: &'a InstanceOptions,
+    list: &'a str,
+    seeds: u64,
+    seed_start: u64,
+    runner: SweepRunner,
+    history: bool,
+    max_retries: u32,
+    keep_going: bool,
+    no_timings: bool,
+    store: Option<Arc<ResultStore>>,
+    json: bool,
+}
+
+/// Runs several solvers over the identical instance/seed grid and
+/// renders a paired comparison table (the shape of the paper's Fig. 7
+/// and Fig. 8 cross-algorithm comparisons). Every cell reuses the
+/// result store when `--cache` is active, so regenerating a comparison
+/// after adding one solver only computes the new column.
+fn sweep_compare(cfg: SweepCompare<'_>) -> Result<String, CliError> {
+    let algos: Vec<String> = cfg
+        .list
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if algos.len() < 2 {
+        return Err(CliError::Msg(
+            "--compare needs at least two solver names (e.g. --compare rfh,irfh,idb)".into(),
+        ));
+    }
+    let registry = SolverRegistry::with_defaults();
+    let mut reports = Vec::new();
+    for algo in &algos {
+        let mut experiment = Experiment::new(cfg.opts.source()?)
+            .solver(algo)
+            .seeds(cfg.seed_start..cfg.seed_start + cfg.seeds)
+            .runner(cfg.runner)
+            .capture_history(cfg.history)
+            .retry(RetryPolicy::attempts(cfg.max_retries + 1))
+            .keep_going(cfg.keep_going)
+            .record_timings(!cfg.no_timings);
+        if let Some(store) = &cfg.store {
+            experiment = experiment.cache(store.clone());
+        }
+        reports.push(experiment.run(&registry)?);
+    }
+    if cfg.json {
+        return Ok(serde_json::to_string_pretty(&reports).expect("reports are serializable"));
+    }
+    let baseline = reports[0].cost_uj.mean;
+    let mut table = Table::new(
+        &format!("compare ({} seeds, seed {}..)", cfg.seeds, cfg.seed_start),
+        &[
+            "algo",
+            "mean (uJ)",
+            "std",
+            "min",
+            "max",
+            &format!("vs {}", algos[0]),
+        ],
+    );
+    for report in &reports {
+        let delta = if baseline > 0.0 {
+            format!("{:+.2}%", (report.cost_uj.mean / baseline - 1.0) * 100.0)
+        } else {
+            "-".to_string()
+        };
+        table.row(&[
+            report.solver.clone(),
+            format!("{:.3}", report.cost_uj.mean),
+            format!("{:.3}", report.cost_uj.std_dev),
+            format!("{:.3}", report.cost_uj.min),
+            format!("{:.3}", report.cost_uj.max),
+            delta,
+        ]);
+    }
+    let mut out = table.render();
+    for report in &reports {
+        if let Some(cache) = &report.cache {
+            let _ = writeln!(
+                out,
+                "cache {}: {} hit(s), {} miss(es), {} appended",
+                report.solver, cache.hits, cache.misses, cache.appended
+            );
+        }
+        if !report.is_complete() {
+            let _ = writeln!(
+                out,
+                "WARNING: {} failed on {} seed(s); its statistics cover the rest",
+                report.solver,
+                report.failures.len()
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// `wrsn merge`: folds shard logs back into one report.
+fn merge(mut args: Args) -> Result<String, CliError> {
+    let logs: String = args.require("logs", "a comma-separated list of shard log paths")?;
+    let json = args.flag("json");
+    let out_path: Option<String> = args.opt("out", "a file path")?;
+    args.finish()?;
+    let mut parts: Vec<(PathBuf, SweepCheckpoint)> = Vec::new();
+    for path in logs.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let path = PathBuf::from(path);
+        let ckpt = SweepCheckpoint::load(&path)?;
+        parts.push((path, ckpt));
+    }
+    let merged = merge_checkpoints(&parts)?;
+    if let Some(path) = &out_path {
+        merged.save(Path::new(path))?;
+    }
+    let seed_start = merged.seed_start;
+    let total = merged.seed_end - merged.seed_start;
+    let covered = (merged.runs.len() + merged.failures.len()) as u64;
+    let report = RunReport::from_outcomes(
+        merged.label.clone(),
+        merged.solver.clone(),
+        merged.runs,
+        merged.failures,
+    );
+    if json {
+        // The same serialization path as `sweep --json`, so merging a
+        // full shard set is byte-identical to an unsharded sweep.
+        return Ok(report.to_json());
+    }
+    let mut table = Table::new(
+        &format!(
+            "merge {} ({} of {} seeds from {} log(s))",
+            report.solver,
+            covered,
+            total,
+            parts.len()
+        ),
+        &["seed", "cost (uJ)", "solve (ms)"],
+    );
+    for run in &report.runs {
+        table.row(&[
+            run.seed.to_string(),
+            format!("{:.3}", run.cost_uj),
+            format!("{:.2}", run.solve_ms),
+        ]);
+    }
+    let mut out = table.render();
+    let _ = writeln!(
+        out,
+        "cost: mean {:.3} uJ, std {:.3}, min {:.3}, max {:.3}",
+        report.cost_uj.mean, report.cost_uj.std_dev, report.cost_uj.min, report.cost_uj.max
+    );
+    if covered < total {
+        let _ = writeln!(
+            out,
+            "WARNING: {} seed(s) of {seed_start}..{} missing — merge every shard log \
+             to reproduce the full sweep",
+            total - covered,
+            seed_start + total
+        );
+    }
+    if !report.is_complete() {
+        let _ = writeln!(
+            out,
+            "failed seeds ({} of {covered}):",
+            report.failures.len()
+        );
+        for f in &report.failures {
+            let _ = writeln!(
+                out,
+                "  seed {} after {} attempt(s): {}",
+                f.seed, f.attempts, f.error
+            );
+        }
     }
     Ok(out)
 }
@@ -1284,6 +1562,194 @@ mod tests {
         )
         .unwrap();
         assert!(out.contains("delivery ratio"), "{out}");
+    }
+
+    /// A fresh per-test scratch directory (cache stores compact on
+    /// open, so leftovers from a previous run would skew hit counts).
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("wrsn-cli-test").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn sweep_cached_rerun_is_all_hits_and_identical() {
+        let dir = scratch("sweep-cache");
+        let base = format!(
+            "sweep --posts 5 --nodes 10 --field 150 --algo idb --seeds 4 \
+             --no-timings --json --cache {}",
+            dir.display()
+        );
+        let first: serde_json::Value = serde_json::from_str(&run_str(&base).unwrap()).unwrap();
+        assert_eq!(first["cache"]["hits"], 0);
+        assert_eq!(first["cache"]["misses"], 4);
+        assert_eq!(first["cache"]["appended"], 4);
+        let second: serde_json::Value = serde_json::from_str(&run_str(&base).unwrap()).unwrap();
+        assert_eq!(
+            second["cache"]["hits"], 4,
+            "rerun must be served entirely from the store"
+        );
+        assert_eq!(second["cache"]["misses"], 0);
+        assert_eq!(second["cache"]["appended"], 0);
+        assert_eq!(first["runs"], second["runs"]);
+        assert_eq!(first["cost_uj"], second["cost_uj"]);
+    }
+
+    #[test]
+    fn sweep_cache_human_output_reports_hits() {
+        let dir = scratch("sweep-cache-human");
+        let base = format!(
+            "sweep --posts 5 --nodes 10 --field 150 --algo idb --seeds 2 --cache {}",
+            dir.display()
+        );
+        let _ = run_str(&base).unwrap();
+        let out = run_str(&base).unwrap();
+        assert!(
+            out.contains("cache: 2 hit(s), 0 miss(es), 0 appended"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn sweep_shard_rejects_malformed_and_out_of_range() {
+        let base = "sweep --posts 5 --nodes 10 --field 150 --algo idb --seeds 4";
+        assert!(run_str(&format!("{base} --shard 2"))
+            .unwrap_err()
+            .to_string()
+            .contains("K/N"));
+        assert!(run_str(&format!("{base} --shard a/b"))
+            .unwrap_err()
+            .to_string()
+            .contains("K/N"));
+        assert!(run_str(&format!("{base} --shard 0/2"))
+            .unwrap_err()
+            .to_string()
+            .contains("1-based"));
+        assert!(run_str(&format!("{base} --shard 3/2"))
+            .unwrap_err()
+            .to_string()
+            .contains("1-based"));
+    }
+
+    #[test]
+    fn merge_of_shard_logs_matches_an_unsharded_sweep_byte_for_byte() {
+        let dir = scratch("sweep-shards");
+        let base = "sweep --posts 5 --nodes 10 --field 150 --algo idb --seeds 5 \
+                    --no-timings --json";
+        let mut logs = Vec::new();
+        for shard in ["1/3", "2/3", "3/3"] {
+            let ck = dir.join(format!("shard-{}.jsonl", shard.replace('/', "-")));
+            let _ = run_str(&format!(
+                "{base} --shard {shard} --checkpoint {}",
+                ck.display()
+            ))
+            .unwrap();
+            logs.push(ck.display().to_string());
+        }
+        let merged = run_str(&format!("merge --logs {} --json", logs.join(","))).unwrap();
+        let clean = run_str(base).unwrap();
+        assert_eq!(
+            merged, clean,
+            "merged shards must reproduce the unsharded sweep"
+        );
+    }
+
+    #[test]
+    fn merge_human_output_warns_about_missing_shards() {
+        let dir = scratch("sweep-partial-merge");
+        let ck = dir.join("shard-1-2.jsonl");
+        let _ = run_str(&format!(
+            "sweep --posts 5 --nodes 10 --field 150 --algo idb --seeds 4 \
+             --shard 1/2 --checkpoint {}",
+            ck.display()
+        ))
+        .unwrap();
+        let out = run_str(&format!("merge --logs {}", ck.display())).unwrap();
+        assert!(out.contains("== merge idb"), "{out}");
+        assert!(out.contains("WARNING: 2 seed(s)"), "{out}");
+    }
+
+    #[test]
+    fn merge_rejects_overlapping_logs_and_requires_logs() {
+        let dir = scratch("sweep-overlap-merge");
+        let ck = dir.join("full.jsonl");
+        let _ = run_str(&format!(
+            "sweep --posts 5 --nodes 10 --field 150 --algo idb --seeds 2 --checkpoint {}",
+            ck.display()
+        ))
+        .unwrap();
+        let err = run_str(&format!("merge --logs {p},{p}", p = ck.display())).unwrap_err();
+        assert!(err.to_string().contains("already covered"), "{err}");
+        assert!(run_str("merge").unwrap_err().to_string().contains("--logs"));
+        assert!(run_str("merge --help").unwrap().contains("--logs"));
+    }
+
+    #[test]
+    fn sweep_compare_pairs_solvers_on_the_same_grid() {
+        let out = run_str(
+            "sweep --posts 5 --nodes 10 --field 150 --seeds 3 --compare rfh,irfh,idb --json",
+        )
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let reports = v.as_array().unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0]["solver"], "rfh");
+        assert_eq!(reports[2]["solver"], "idb");
+        for r in reports {
+            let runs = r["runs"].as_array().unwrap();
+            assert_eq!(runs.len(), 3);
+            // Identical grid: every solver sees the same seeds.
+            assert_eq!(runs[0]["seed"], reports[0]["runs"][0]["seed"]);
+        }
+        let human =
+            run_str("sweep --posts 5 --nodes 10 --field 150 --seeds 3 --compare rfh,idb").unwrap();
+        assert!(human.contains("== compare"), "{human}");
+        assert!(human.contains("vs rfh"), "{human}");
+        assert!(human.contains("%"), "{human}");
+    }
+
+    #[test]
+    fn sweep_compare_reuses_the_result_store() {
+        let dir = scratch("sweep-compare-cache");
+        // Pre-warm the store with one of the two solvers.
+        let _ = run_str(&format!(
+            "sweep --posts 5 --nodes 10 --field 150 --algo idb --seeds 3 \
+             --no-timings --json --cache {}",
+            dir.display()
+        ))
+        .unwrap();
+        let out = run_str(&format!(
+            "sweep --posts 5 --nodes 10 --field 150 --seeds 3 --compare rfh,idb \
+             --no-timings --json --cache {}",
+            dir.display()
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let reports = v.as_array().unwrap();
+        assert_eq!(reports[0]["cache"]["hits"], 0, "rfh was never cached");
+        assert_eq!(reports[0]["cache"]["misses"], 3);
+        assert_eq!(
+            reports[1]["cache"]["hits"], 3,
+            "idb column comes from the store"
+        );
+    }
+
+    #[test]
+    fn sweep_compare_rejects_conflicting_options() {
+        let base = "sweep --posts 5 --nodes 10 --field 150 --seeds 2";
+        assert!(run_str(&format!("{base} --compare rfh,idb --algo idb"))
+            .unwrap_err()
+            .to_string()
+            .contains("--algo"));
+        assert!(run_str(&format!("{base} --compare rfh"))
+            .unwrap_err()
+            .to_string()
+            .contains("at least two"));
+        assert!(run_str(&format!("{base} --compare rfh,idb --shard 1/2"))
+            .unwrap_err()
+            .to_string()
+            .contains("--compare"));
     }
 
     #[test]

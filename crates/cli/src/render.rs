@@ -10,7 +10,12 @@ use wrsn_geom::Point;
 /// The map is scaled to at most `width × height` character cells; posts
 /// that collide in a cell show the larger count.
 #[must_use]
-pub fn render_field(geometry: &Geometry, solution: &Solution, width: usize, height: usize) -> String {
+pub fn render_field(
+    geometry: &Geometry,
+    solution: &Solution,
+    width: usize,
+    height: usize,
+) -> String {
     let width = width.max(8);
     let height = height.max(4);
     let mut cells = vec![vec!['.'; width]; height];
@@ -43,7 +48,10 @@ pub fn render_field(geometry: &Geometry, solution: &Solution, width: usize, heig
         };
         // On collision keep the visually larger marker.
         let existing = cells[cy][cx];
-        if existing == '.' || existing == glyph || glyph == '+' || (existing != '+' && existing < glyph)
+        if existing == '.'
+            || existing == glyph
+            || glyph == '+'
+            || (existing != '+' && existing < glyph)
         {
             cells[cy][cx] = glyph;
         }
@@ -82,13 +90,7 @@ pub fn render_tree(solution: &Solution) -> String {
     let tree = solution.tree();
     let counts = tree.descendant_counts();
     let mut out = String::from("BS\n");
-    fn walk(
-        out: &mut String,
-        solution: &Solution,
-        counts: &[usize],
-        node: usize,
-        prefix: &str,
-    ) {
+    fn walk(out: &mut String, solution: &Solution, counts: &[usize], node: usize, prefix: &str) {
         let children = solution.tree().children(node);
         for (i, &c) in children.iter().enumerate() {
             let last = i + 1 == children.len();

@@ -82,9 +82,7 @@ pub fn lagrange_allocate(weights: &[f64], total: u32, cap: Option<u32>) -> Vec<u
         let (pos, &j) = remaining
             .iter()
             .enumerate()
-            .min_by(|(_, &a), (_, &b)| {
-                share(a).total_cmp(&share(b)).then_with(|| a.cmp(&b))
-            })
+            .min_by(|(_, &a), (_, &b)| share(a).total_cmp(&share(b)).then_with(|| a.cmp(&b)))
             .expect("remaining is non-empty");
         // Round to nearest, then clamp to feasibility: at least 1, at
         // most cap, and the other k-1 posts still need [1, cap] each.
@@ -96,7 +94,10 @@ pub fn lagrange_allocate(weights: &[f64], total: u32, cap: Option<u32>) -> Vec<u
         budget -= rounded;
         remaining.remove(pos);
     }
-    debug_assert_eq!(result.iter().map(|&m| u64::from(m)).sum::<u64>(), u64::from(total));
+    debug_assert_eq!(
+        result.iter().map(|&m| u64::from(m)).sum::<u64>(),
+        u64::from(total)
+    );
     result
 }
 
@@ -356,7 +357,10 @@ mod tests {
             let lc = allocation_cost(&w, &lg);
             let gc = allocation_cost(&w, &gr);
             assert!(lc >= gc - 1e-12);
-            assert!(lc <= gc * 1.10, "total {total}: lagrange {lc} vs greedy {gc}");
+            assert!(
+                lc <= gc * 1.10,
+                "total {total}: lagrange {lc} vs greedy {gc}"
+            );
         }
     }
 

@@ -231,9 +231,7 @@ mod tests {
         let burn = sol.tree().per_post_energy(&inst);
         // The hungriest post must hold at least as many nodes as the
         // median post.
-        let hungriest = (0..20)
-            .max_by(|&a, &b| burn[a].cmp(&burn[b]))
-            .unwrap();
+        let hungriest = (0..20).max_by(|&a, &b| burn[a].cmp(&burn[b])).unwrap();
         let mut counts = sol.deployment().counts().to_vec();
         counts.sort_unstable();
         assert!(sol.deployment().count(hungriest) >= counts[10]);
@@ -248,7 +246,10 @@ mod tests {
             let uniform = UniformDeployment::new().solve(&inst).unwrap().total_cost();
             let lifetime = LifetimeBalanced::new().solve(&inst).unwrap().total_cost();
             assert!(idb < uniform, "seed {seed}: idb {idb} vs uniform {uniform}");
-            assert!(idb < lifetime, "seed {seed}: idb {idb} vs lifetime {lifetime}");
+            assert!(
+                idb < lifetime,
+                "seed {seed}: idb {idb} vs lifetime {lifetime}"
+            );
             assert!(rfh < uniform, "seed {seed}: rfh {rfh} vs uniform {uniform}");
         }
     }

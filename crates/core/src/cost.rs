@@ -104,7 +104,10 @@ pub fn optimal_cost(
         total += d * instance.report_rate(p)
             + instance.sensing_energy(p).as_njoules()
                 / instance.charge_efficiency(deployment.count(p));
-        parents.push(sp.via(p).expect("reachable non-target posts have a next hop"));
+        parents.push(
+            sp.via(p)
+                .expect("reachable non-target posts have a next hop"),
+        );
     }
     let tree = RoutingTree::new(parents, instance)
         .expect("shortest-path tree uses existing links and is acyclic");

@@ -71,7 +71,11 @@ impl fmt::Display for BuildError {
             BuildError::BadLink { from, to } => {
                 write!(f, "uplink from post {from} to nonexistent node {to}")
             }
-            BuildError::BadProfile { what, got, expected } => {
+            BuildError::BadProfile {
+                what,
+                got,
+                expected,
+            } => {
                 write!(f, "{what}: {got} entries for {expected} posts")
             }
             BuildError::InvalidProfileValue { what } => {
@@ -105,7 +109,10 @@ pub enum SolveError {
 impl fmt::Display for SolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SolveError::SearchSpaceTooLarge { combinations, limit } => write!(
+            SolveError::SearchSpaceTooLarge {
+                combinations,
+                limit,
+            } => write!(
                 f,
                 "search space of {combinations} deployments exceeds limit {limit}"
             ),
@@ -140,7 +147,9 @@ mod tests {
                 got: 2,
                 expected: 3,
             },
-            BuildError::InvalidProfileValue { what: "report rate" },
+            BuildError::InvalidProfileValue {
+                what: "report rate",
+            },
         ];
         for e in errors {
             assert!(!format!("{e}").is_empty());

@@ -247,7 +247,10 @@ impl<'a> CostEvaluator<'a> {
             let cand = self.weight(u, post, tx) + self.scratch[post];
             if cand < self.scratch[u] {
                 self.scratch[u] = cand;
-                self.heap.push(HeapEntry { dist: cand, node: u });
+                self.heap.push(HeapEntry {
+                    dist: cand,
+                    node: u,
+                });
             }
         }
         // Propagate decreases.
@@ -329,8 +332,7 @@ mod tests {
                 c2[p] += 1;
                 let (reference, _) = optimal_cost(&inst, &Deployment::new(c2)).unwrap();
                 assert!(
-                    (probe - reference.as_njoules()).abs()
-                        < 1e-6 * reference.as_njoules().max(1.0),
+                    (probe - reference.as_njoules()).abs() < 1e-6 * reference.as_njoules().max(1.0),
                     "step {step} probe at {p}: {probe} vs {reference}"
                 );
             }
@@ -341,8 +343,7 @@ mod tests {
             counts[best] += 1;
             let (reference, _) = optimal_cost(&inst, &Deployment::new(counts.clone())).unwrap();
             assert!(
-                (committed - reference.as_njoules()).abs()
-                    < 1e-6 * reference.as_njoules().max(1.0),
+                (committed - reference.as_njoules()).abs() < 1e-6 * reference.as_njoules().max(1.0),
                 "commit at step {step}"
             );
         }

@@ -363,7 +363,10 @@ mod tests {
             .max_nodes_per_post(3)
             .build()
             .unwrap();
-        for solver in [&ExhaustiveSearch::default() as &dyn Solver, &BranchAndBound::new()] {
+        for solver in [
+            &ExhaustiveSearch::default() as &dyn Solver,
+            &BranchAndBound::new(),
+        ] {
             let sol = solver.solve(&inst).unwrap();
             assert!(sol.deployment().counts().iter().all(|&c| c <= 3));
             assert_eq!(sol.deployment().total(), 4);

@@ -54,7 +54,9 @@ impl Idb {
     #[allow(clippy::needless_range_loop)] // probes every post index
     fn solve_incremental(&self, instance: &Instance) -> Result<Solution, SolveError> {
         let n = instance.num_posts();
-        let cap = instance.max_nodes_per_post().unwrap_or(instance.num_nodes());
+        let cap = instance
+            .max_nodes_per_post()
+            .unwrap_or(instance.num_nodes());
         let mut eval = CostEvaluator::new(instance);
         if eval.set_deployment(&vec![1u32; n]).is_none() {
             let dep = Deployment::ones(n);
@@ -89,12 +91,7 @@ impl Idb {
     /// Enumerates all multisets of `k` posts (combinations with
     /// repetition), invoking `visit` with the per-post increment vector.
     fn for_each_batch(n: usize, k: u32, visit: &mut impl FnMut(&[u32])) {
-        fn rec(
-            increments: &mut Vec<u32>,
-            start: usize,
-            left: u32,
-            visit: &mut impl FnMut(&[u32]),
-        ) {
+        fn rec(increments: &mut Vec<u32>, start: usize, left: u32, visit: &mut impl FnMut(&[u32])) {
             if left == 0 {
                 visit(increments);
                 return;
@@ -148,11 +145,7 @@ impl Solver for Idb {
             Idb::for_each_batch(n, batch, &mut |inc| {
                 // Respect the per-post cap.
                 if let Some(cap) = cap {
-                    if inc
-                        .iter()
-                        .zip(dep.counts())
-                        .any(|(&i, &m)| m + i > cap)
-                    {
+                    if inc.iter().zip(dep.counts()).any(|(&i, &m)| m + i > cap) {
                         return;
                     }
                 }

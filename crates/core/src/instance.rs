@@ -77,7 +77,10 @@ impl ChargeSpec {
         match &gain {
             GainKind::Linear => {}
             GainKind::Sublinear(p) => {
-                assert!(*p > 0.0 && *p <= 1.0, "sublinear exponent must lie in (0, 1]");
+                assert!(
+                    *p > 0.0 && *p <= 1.0,
+                    "sublinear exponent must lie in (0, 1]"
+                );
             }
             GainKind::Measured(samples) => {
                 assert!(!samples.is_empty(), "measured gain needs samples");
@@ -86,8 +89,7 @@ impl ChargeSpec {
                     "measured gain must start at k(1) = 1"
                 );
                 assert!(
-                    samples.windows(2).all(|w| w[1] >= w[0])
-                        && samples.iter().all(|&s| s > 0.0),
+                    samples.windows(2).all(|w| w[1] >= w[0]) && samples.iter().all(|&s| s > 0.0),
                     "measured gain samples must be positive and non-decreasing"
                 );
             }
@@ -698,10 +700,16 @@ mod tests {
         // Post 0: BS at 20 m (level 0) and post 1 at 40 m (level 1).
         let links0 = inst.uplinks(0);
         assert_eq!(links0.len(), 2);
-        assert_eq!(inst.tx_energy(0, inst.bs()).unwrap().as_njoules(), 50.5078125);
+        assert_eq!(
+            inst.tx_energy(0, inst.bs()).unwrap().as_njoules(),
+            50.5078125
+        );
         assert_eq!(inst.tx_energy(0, 1).unwrap().as_njoules(), 58.125);
         // Post 1: BS at 60 m (level 2) and post 0 at 40 m.
-        assert_eq!(inst.tx_energy(1, inst.bs()).unwrap().as_njoules(), 91.1328125);
+        assert_eq!(
+            inst.tx_energy(1, inst.bs()).unwrap().as_njoules(),
+            91.1328125
+        );
         assert!(inst.geometry().is_some());
     }
 
@@ -709,14 +717,22 @@ mod tests {
     fn geometric_build_detects_disconnection() {
         let posts = vec![Point::new(20.0, 0.0), Point::new(500.0, 500.0)];
         let err = GeometricInstanceBuilder::new(posts, 2).build().unwrap_err();
-        assert_eq!(err, BuildError::Disconnected { unreachable: vec![1] });
+        assert_eq!(
+            err,
+            BuildError::Disconnected {
+                unreachable: vec![1]
+            }
+        );
     }
 
     #[test]
     fn too_few_nodes_rejected() {
         let posts = Field::square(100.0).random_posts(5, 3);
         let err = GeometricInstanceBuilder::new(posts, 4).build().unwrap_err();
-        assert!(matches!(err, BuildError::TooFewNodes { nodes: 4, posts: 5 }));
+        assert!(matches!(
+            err,
+            BuildError::TooFewNodes { nodes: 4, posts: 5 }
+        ));
     }
 
     #[test]
@@ -731,7 +747,9 @@ mod tests {
 
     #[test]
     fn no_posts_rejected() {
-        let err = GeometricInstanceBuilder::new(vec![], 0).build().unwrap_err();
+        let err = GeometricInstanceBuilder::new(vec![], 0)
+            .build()
+            .unwrap_err();
         assert_eq!(err, BuildError::NoPosts);
     }
 
@@ -760,7 +778,10 @@ mod tests {
             Err(BuildError::BadLink { from: 5, .. })
         ));
         assert!(matches!(
-            InstanceBuilder::new(2, 2).uplink(0, 7, e).uplink(1, 2, e).build(),
+            InstanceBuilder::new(2, 2)
+                .uplink(0, 7, e)
+                .uplink(1, 2, e)
+                .build(),
             Err(BuildError::BadLink { to: 7, .. })
         ));
         // Self-link.

@@ -138,7 +138,10 @@ impl SatReduction {
     /// `k ∈ {1, 2}`).
     #[must_use]
     pub fn s_post(&self, i: usize, k: usize) -> usize {
-        assert!((1..=self.num_vars).contains(&i), "variable index out of range");
+        assert!(
+            (1..=self.num_vars).contains(&i),
+            "variable index out of range"
+        );
         assert!(k == 1 || k == 2, "k must be 1 or 2");
         2 * self.num_clauses + 2 * (i - 1) + (k - 1)
     }
@@ -223,7 +226,8 @@ mod tests {
     use wrsn_sat::{DpllSolver, Lit};
 
     fn clause(f: &mut CnfFormula, lits: &[i32]) {
-        f.add_clause(lits.iter().map(|&c| Lit::from_dimacs(c))).unwrap();
+        f.add_clause(lits.iter().map(|&c| Lit::from_dimacs(c)))
+            .unwrap();
     }
 
     #[test]
@@ -264,8 +268,14 @@ mod tests {
         assert_eq!(inst.tx_energy(red.v_post(0), red.s_post(1, 1)), Some(e.e1));
         assert_eq!(inst.tx_energy(red.v_post(0), bs), None);
         // Variable pairs are linked both ways at e1.
-        assert_eq!(inst.tx_energy(red.s_post(1, 1), red.s_post(1, 2)), Some(e.e1));
-        assert_eq!(inst.tx_energy(red.s_post(1, 2), red.s_post(1, 1)), Some(e.e1));
+        assert_eq!(
+            inst.tx_energy(red.s_post(1, 1), red.s_post(1, 2)),
+            Some(e.e1)
+        );
+        assert_eq!(
+            inst.tx_energy(red.s_post(1, 2), red.s_post(1, 1)),
+            Some(e.e1)
+        );
     }
 
     #[test]

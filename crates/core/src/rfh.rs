@@ -214,11 +214,7 @@ impl Rfh {
 
     /// Phases I–III: build the workload-concentrated routing tree under
     /// the edge costs induced by `dep`.
-    fn build_tree(
-        &self,
-        instance: &Instance,
-        dep: &Deployment,
-    ) -> Result<RoutingTree, SolveError> {
+    fn build_tree(&self, instance: &Instance, dep: &Deployment) -> Result<RoutingTree, SolveError> {
         let n = instance.num_posts();
         let bs = instance.bs();
         // Phase I: fat tree of all minimum-cost routes.
@@ -268,9 +264,9 @@ impl Rfh {
                 debug_assert_eq!(ps.len(), 1, "trimming must leave exactly one parent");
                 // Defensive fallback for the (provably impossible) multi-
                 // parent case: follow the Dijkstra next hop.
-                ps.first().copied().unwrap_or_else(|| {
-                    sp.via(p).expect("reachable posts have a next hop")
-                })
+                ps.first()
+                    .copied()
+                    .unwrap_or_else(|| sp.via(p).expect("reachable posts have a next hop"))
             })
             .collect();
 
@@ -290,11 +286,9 @@ impl Rfh {
                 .enumerate()
                 .map(|(p, e)| (*e + instance.sensing_energy(p)).as_njoules())
                 .collect(),
-            WorkloadMetric::DescendantCount => tree
-                .descendant_counts()
-                .iter()
-                .map(|&w| w as f64)
-                .collect(),
+            WorkloadMetric::DescendantCount => {
+                tree.descendant_counts().iter().map(|&w| w as f64).collect()
+            }
         }
     }
 }
@@ -513,7 +507,10 @@ mod tests {
         let solver = Rfh::iterative(5);
         let (solution, history) = solver.solve_traced(&inst).unwrap();
         assert_eq!(history.len(), 5);
-        assert_eq!(solution.total_cost(), solver.solve(&inst).unwrap().total_cost());
+        assert_eq!(
+            solution.total_cost(),
+            solver.solve(&inst).unwrap().total_cost()
+        );
         assert!(history.iter().all(|&c| c >= solution.total_cost()));
     }
 

@@ -34,7 +34,10 @@ impl fmt::Display for TreeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TreeError::WrongLength { got, expected } => {
-                write!(f, "parent vector has {got} entries, instance has {expected} posts")
+                write!(
+                    f,
+                    "parent vector has {got} entries, instance has {expected} posts"
+                )
             }
             TreeError::MissingLink { from, to } => {
                 write!(f, "post {from} cannot transmit to chosen parent {to}")
@@ -295,7 +298,10 @@ mod tests {
         let inst = fixture();
         assert_eq!(
             RoutingTree::new(vec![4, 0], &inst),
-            Err(TreeError::WrongLength { got: 2, expected: 4 })
+            Err(TreeError::WrongLength {
+                got: 2,
+                expected: 4
+            })
         );
     }
 
@@ -374,7 +380,10 @@ mod tests {
     #[test]
     fn tree_error_messages() {
         for err in [
-            TreeError::WrongLength { got: 1, expected: 2 },
+            TreeError::WrongLength {
+                got: 1,
+                expected: 2,
+            },
             TreeError::MissingLink { from: 0, to: 1 },
             TreeError::Cycle { post: 0 },
         ] {

@@ -185,9 +185,8 @@ impl InstanceSpec {
             builder = builder.report_rates(rates.clone());
         }
         if let Some(sensing) = &self.sensing_nj {
-            builder = builder.sensing_energies(
-                sensing.iter().map(|&nj| Energy::from_njoules(nj)).collect(),
-            );
+            builder = builder
+                .sensing_energies(sensing.iter().map(|&nj| Energy::from_njoules(nj)).collect());
         }
         builder.build()
     }

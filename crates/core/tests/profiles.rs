@@ -2,8 +2,8 @@
 //! and deployment-independent sensing energy.
 
 use wrsn_core::{
-    optimal_cost, tree_cost, BranchAndBound, BuildError, CostEvaluator, Deployment, Idb,
-    Instance, InstanceBuilder, Rfh, Solver,
+    optimal_cost, tree_cost, BranchAndBound, BuildError, CostEvaluator, Deployment, Idb, Instance,
+    InstanceBuilder, Rfh, Solver,
 };
 use wrsn_energy::Energy;
 
@@ -59,9 +59,7 @@ fn sensing_energy_adds_deployment_dependent_term() {
     assert_eq!(t0.parents(), t1.parents());
     assert!((c1.as_njoules() - c0.as_njoules() - 5.0).abs() < 1e-9);
     // tree_cost agrees.
-    assert!(
-        (tree_cost(&sensing, &dep, &t1).as_njoules() - c1.as_njoules()).abs() < 1e-9
-    );
+    assert!((tree_cost(&sensing, &dep, &t1).as_njoules() - c1.as_njoules()).abs() < 1e-9);
 }
 
 #[test]
@@ -129,7 +127,9 @@ fn evaluator_matches_reference_with_profiles() {
                 "probe {p}: {probe} vs {r}"
             );
         }
-        let best = (0..3).min_by(|&a, &b| probes[a].total_cmp(&probes[b])).unwrap();
+        let best = (0..3)
+            .min_by(|&a, &b| probes[a].total_cmp(&probes[b]))
+            .unwrap();
         eval.commit_add(best);
         counts[best] += 1;
     }
@@ -164,7 +164,10 @@ fn profile_validation_errors() {
     };
     assert!(matches!(
         base().report_rates(vec![1.0]).build(),
-        Err(BuildError::BadProfile { what: "report rates", .. })
+        Err(BuildError::BadProfile {
+            what: "report rates",
+            ..
+        })
     ));
     assert!(matches!(
         base().report_rates(vec![1.0, 0.0]).build(),
@@ -172,7 +175,10 @@ fn profile_validation_errors() {
     ));
     assert!(matches!(
         base().sensing_energies(vec![e(1.0)]).build(),
-        Err(BuildError::BadProfile { what: "sensing energies", .. })
+        Err(BuildError::BadProfile {
+            what: "sensing energies",
+            ..
+        })
     ));
     assert!(matches!(
         base().report_rates(vec![1.0, f64::NAN]).build(),

@@ -130,10 +130,7 @@ impl Battery {
     /// overflow that did not fit (zero when it all fit), so chargers can
     /// account for wasted top-up energy.
     pub fn charge(&mut self, amount: Energy) -> Energy {
-        assert!(
-            amount >= Energy::ZERO,
-            "charge amount must be non-negative"
-        );
+        assert!(amount >= Energy::ZERO, "charge amount must be non-negative");
         let headroom = self.capacity - self.level;
         if amount <= headroom {
             self.level += amount;

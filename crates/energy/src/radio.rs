@@ -159,7 +159,10 @@ impl TxLevels {
     /// value, or is not strictly increasing.
     #[must_use]
     pub fn new(ranges: Vec<f64>) -> Self {
-        assert!(!ranges.is_empty(), "at least one transmission level required");
+        assert!(
+            !ranges.is_empty(),
+            "at least one transmission level required"
+        );
         assert!(
             ranges.iter().all(|d| d.is_finite() && *d > 0.0),
             "all ranges must be finite and positive"
@@ -355,6 +358,9 @@ mod tests {
     #[test]
     fn displays_are_nonempty() {
         assert!(format!("{}", RadioParams::icdcs2010()).contains("alpha"));
-        assert_eq!(format!("{}", TxLevels::icdcs2010()), "levels[25m, 50m, 75m]");
+        assert_eq!(
+            format!("{}", TxLevels::icdcs2010()),
+            "levels[25m, 50m, 75m]"
+        );
     }
 }

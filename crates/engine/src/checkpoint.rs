@@ -1,23 +1,35 @@
-//! Incremental sweep checkpoints: a JSON file flushed after every
-//! completed seed so an interrupted sweep can resume where it stopped.
+//! Incremental sweep checkpoints as append-only JSONL shard logs.
 //!
-//! The format is a versioned superset of what [`crate::RunReport`]
-//! stores per seed: the experiment identity (label, solver, seed range)
-//! plus completed [`SeedRun`]s and recorded [`SeedFailure`]s. On resume,
-//! completed seeds are skipped and failed seeds are retried, so a
-//! resumed sweep converges to exactly the report an uninterrupted run
-//! would have produced.
+//! A checkpoint is a [`wrsn_store::jsonl`] log: line 1 is a header
+//! carrying the experiment identity (label, solver, seed range, and the
+//! shard slice when the sweep is sharded), every further line records
+//! one completed [`SeedRun`] or [`SeedFailure`]. A running sweep holds a
+//! [`CheckpointLog`] and appends one line per seed — O(1) per flush
+//! instead of rewriting the whole file — while [`SweepCheckpoint::save`]
+//! still offers the atomic whole-file rewrite used for compaction.
+//!
+//! On resume, completed seeds are skipped and failed seeds are retried,
+//! so a resumed sweep converges to exactly the report an uninterrupted
+//! run would have produced. Sharded sweeps write one log each;
+//! [`merge_checkpoints`] folds the logs of a full shard set back into a
+//! single checkpoint whose report is byte-identical to an unsharded run
+//! (under `record_timings(false)`).
+//!
+//! Version-1 checkpoints (a single pretty-printed JSON document) are
+//! still read transparently; saving always writes the JSONL format.
 
 use crate::{EngineError, SeedFailure, SeedRun};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeSet;
 use std::ops::Range;
 use std::path::Path;
+use wrsn_store::jsonl::{self, LogWriter};
 
-/// The checkpoint format version this build reads and writes.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// The checkpoint format version this build writes (it also reads v1).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
-/// The on-disk state of a partially completed sweep.
+/// The in-memory state of a partially completed sweep, loadable from
+/// and savable to a JSONL checkpoint/shard log.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepCheckpoint {
     /// Format version ([`CHECKPOINT_VERSION`]).
@@ -30,11 +42,56 @@ pub struct SweepCheckpoint {
     pub seed_start: u64,
     /// One past the last seed of the sweep.
     pub seed_end: u64,
+    /// 1-based shard index when this log covers one shard of a sweep.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard_index: Option<u32>,
+    /// Total shard count when this log covers one shard of a sweep.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard_count: Option<u32>,
     /// Completed per-seed runs, kept sorted by seed.
     pub runs: Vec<SeedRun>,
     /// Seeds that exhausted their retry budget, kept sorted by seed.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub failures: Vec<SeedFailure>,
+}
+
+/// The JSONL header line: the checkpoint identity without its records.
+#[derive(Debug, Serialize, Deserialize)]
+struct CheckpointHeader {
+    version: u32,
+    label: String,
+    solver: String,
+    seed_start: u64,
+    seed_end: u64,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    shard_index: Option<u32>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    shard_count: Option<u32>,
+}
+
+fn checkpoint_err(path: &Path, e: impl std::fmt::Display) -> EngineError {
+    EngineError::Checkpoint {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    }
+}
+
+/// Wraps a run as a `{"run": …}` record line.
+fn run_record(run: &SeedRun) -> Value {
+    Value::Object(vec![("run".to_string(), run.to_value())])
+}
+
+/// Wraps a failure as a `{"failure": …}` record line.
+fn failure_record(failure: &SeedFailure) -> Value {
+    Value::Object(vec![("failure".to_string(), failure.to_value())])
+}
+
+/// Renders a shard slice for error messages.
+fn shard_text(shard: Option<(u32, u32)>) -> String {
+    match shard {
+        Some((index, count)) => format!("shard {index}/{count}"),
+        None => "an unsharded sweep".to_string(),
+    }
 }
 
 impl SweepCheckpoint {
@@ -47,55 +104,138 @@ impl SweepCheckpoint {
             solver: solver.into(),
             seed_start: seeds.start,
             seed_end: seeds.end,
+            shard_index: None,
+            shard_count: None,
             runs: Vec::new(),
             failures: Vec::new(),
         }
     }
 
-    /// Loads and validates a checkpoint file.
+    /// The shard slice this checkpoint covers, if any.
+    #[must_use]
+    pub fn shard(&self) -> Option<(u32, u32)> {
+        match (self.shard_index, self.shard_count) {
+            (Some(index), Some(count)) => Some((index, count)),
+            _ => None,
+        }
+    }
+
+    fn header_value(&self) -> Value {
+        CheckpointHeader {
+            version: self.version,
+            label: self.label.clone(),
+            solver: self.solver.clone(),
+            seed_start: self.seed_start,
+            seed_end: self.seed_end,
+            shard_index: self.shard_index,
+            shard_count: self.shard_count,
+        }
+        .to_value()
+    }
+
+    fn record_values(&self) -> Vec<Value> {
+        let mut records = Vec::with_capacity(self.runs.len() + self.failures.len());
+        records.extend(self.runs.iter().map(run_record));
+        records.extend(self.failures.iter().map(failure_record));
+        records
+    }
+
+    /// Loads and validates a checkpoint file: the JSONL format this
+    /// build writes, or transparently the version-1 whole-file JSON
+    /// format. Duplicate records for a seed resolve to the last one.
     ///
     /// # Errors
     ///
     /// [`EngineError::Checkpoint`] when the file cannot be read, is not
-    /// valid checkpoint JSON, or has a different format version.
+    /// a valid checkpoint, or has an unknown format version.
     pub fn load(path: &Path) -> Result<Self, EngineError> {
-        let err = |message: String| EngineError::Checkpoint {
-            path: path.to_path_buf(),
-            message,
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| checkpoint_err(path, format!("reading: {e}")))?;
+        // A v1 checkpoint is one whole-file JSON document; a JSONL log
+        // never parses as one (its header line lacks the records).
+        if let Ok(mut legacy) = serde_json::from_str::<SweepCheckpoint>(&text) {
+            if legacy.version != 1 {
+                return Err(checkpoint_err(
+                    path,
+                    format!(
+                        "whole-file format version {} (this build reads 1)",
+                        legacy.version
+                    ),
+                ));
+            }
+            legacy.version = CHECKPOINT_VERSION;
+            return Ok(legacy);
+        }
+        let (header, records) =
+            jsonl::read_log(path).map_err(|e| checkpoint_err(path, format!("parsing: {e}")))?;
+        let header = CheckpointHeader::from_value(&header)
+            .map_err(|e| checkpoint_err(path, format!("bad header: {e}")))?;
+        if header.version != CHECKPOINT_VERSION {
+            return Err(checkpoint_err(
+                path,
+                format!(
+                    "format version {} (this build reads {CHECKPOINT_VERSION})",
+                    header.version
+                ),
+            ));
+        }
+        let mut ckpt = SweepCheckpoint {
+            version: header.version,
+            label: header.label,
+            solver: header.solver,
+            seed_start: header.seed_start,
+            seed_end: header.seed_end,
+            shard_index: header.shard_index,
+            shard_count: header.shard_count,
+            runs: Vec::new(),
+            failures: Vec::new(),
         };
-        let text = std::fs::read_to_string(path).map_err(|e| err(format!("reading: {e}")))?;
-        let ckpt: SweepCheckpoint =
-            serde_json::from_str(&text).map_err(|e| err(format!("parsing: {e}")))?;
-        if ckpt.version != CHECKPOINT_VERSION {
-            return Err(err(format!(
-                "format version {} (this build reads {CHECKPOINT_VERSION})",
-                ckpt.version
-            )));
+        for (i, record) in records.iter().enumerate() {
+            let line = i + 2; // 1-based; the header is line 1.
+            let Value::Object(pairs) = record else {
+                return Err(checkpoint_err(path, format!("line {line}: not an object")));
+            };
+            let [(kind, payload)] = pairs.as_slice() else {
+                return Err(checkpoint_err(
+                    path,
+                    format!("line {line}: expected exactly one of \"run\"/\"failure\""),
+                ));
+            };
+            match kind.as_str() {
+                "run" => ckpt.record_run(
+                    SeedRun::from_value(payload)
+                        .map_err(|e| checkpoint_err(path, format!("line {line}: {e}")))?,
+                ),
+                "failure" => ckpt.record_failure(
+                    SeedFailure::from_value(payload)
+                        .map_err(|e| checkpoint_err(path, format!("line {line}: {e}")))?,
+                ),
+                other => {
+                    return Err(checkpoint_err(
+                        path,
+                        format!("line {line}: unknown record kind {other:?}"),
+                    ))
+                }
+            }
         }
         Ok(ckpt)
     }
 
-    /// Atomically writes the checkpoint: the JSON lands in a sibling
-    /// temporary file first and is renamed over `path`, so a crash
-    /// mid-write never leaves a truncated checkpoint behind.
+    /// Atomically rewrites the checkpoint as a compacted JSONL log (temp
+    /// file + rename), so a crash mid-write never leaves a truncated
+    /// checkpoint behind. For O(1) per-seed flushes, open a
+    /// [`CheckpointLog`] instead.
     ///
     /// # Errors
     ///
     /// [`EngineError::Checkpoint`] when the file cannot be written.
     pub fn save(&self, path: &Path) -> Result<(), EngineError> {
-        let err = |message: String| EngineError::Checkpoint {
-            path: path.to_path_buf(),
-            message,
-        };
-        let json = serde_json::to_string_pretty(self).expect("checkpoint is serializable");
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = std::path::PathBuf::from(tmp);
-        std::fs::write(&tmp, json).map_err(|e| err(format!("writing {}: {e}", tmp.display())))?;
-        std::fs::rename(&tmp, path).map_err(|e| err(format!("renaming into place: {e}")))
+        jsonl::write_log(path, &self.header_value(), &self.record_values())
+            .map_err(|e| checkpoint_err(path, e))
     }
 
-    /// Rejects a checkpoint that belongs to a different experiment.
+    /// Rejects a checkpoint that belongs to a different experiment or a
+    /// different shard slice of it.
     ///
     /// # Errors
     ///
@@ -104,6 +244,7 @@ impl SweepCheckpoint {
         &self,
         solver: &str,
         seeds: &Range<u64>,
+        shard: Option<(u32, u32)>,
         path: &Path,
     ) -> Result<(), EngineError> {
         let mismatch = if self.solver != solver {
@@ -115,6 +256,12 @@ impl SweepCheckpoint {
             Some(format!(
                 "covers seeds {}..{}, not {}..{}",
                 self.seed_start, self.seed_end, seeds.start, seeds.end
+            ))
+        } else if self.shard() != shard {
+            Some(format!(
+                "was written by {}, not {}",
+                shard_text(self.shard()),
+                shard_text(shard)
             ))
         } else {
             None
@@ -153,6 +300,146 @@ impl SweepCheckpoint {
             Err(i) => self.failures.insert(i, failure),
         }
     }
+}
+
+/// An open checkpoint/shard log flushing one record line per completed
+/// seed — O(1) per seed, where [`SweepCheckpoint::save`] rewrites the
+/// whole file.
+///
+/// Opening compacts the current state into a fresh log (atomic whole-
+/// file write), then appends from there; a crash mid-append loses at
+/// most the seed in flight (the torn line is dropped on reload).
+#[derive(Debug)]
+pub struct CheckpointLog {
+    writer: LogWriter,
+}
+
+impl CheckpointLog {
+    /// Writes `state` as a compacted log at `path` (atomically) and
+    /// opens it for appending.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Checkpoint`] on any filesystem failure.
+    pub fn open(path: &Path, state: &SweepCheckpoint) -> Result<Self, EngineError> {
+        let writer = LogWriter::create(path, &state.header_value(), &state.record_values())
+            .map_err(|e| checkpoint_err(path, e))?;
+        Ok(CheckpointLog { writer })
+    }
+
+    /// Appends one completed run and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Checkpoint`] when the write fails.
+    pub fn append_run(&mut self, run: &SeedRun) -> Result<(), EngineError> {
+        let path = self.writer.path().to_path_buf();
+        self.writer
+            .append(&run_record(run))
+            .map_err(|e| checkpoint_err(&path, e))
+    }
+
+    /// Appends one recorded failure and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Checkpoint`] when the write fails.
+    pub fn append_failure(&mut self, failure: &SeedFailure) -> Result<(), EngineError> {
+        let path = self.writer.path().to_path_buf();
+        self.writer
+            .append(&failure_record(failure))
+            .map_err(|e| checkpoint_err(&path, e))
+    }
+}
+
+/// Folds the shard logs of one sweep back into a single unsharded
+/// checkpoint, equivalent to what an unsharded run would have written.
+/// Each `(path, checkpoint)` pair is a loaded shard log; paths are only
+/// used in error messages.
+///
+/// # Errors
+///
+/// [`EngineError::Checkpoint`] when the set is empty, the logs disagree
+/// on label/solver/seed range, or two logs cover the same seed
+/// (overlapping shards).
+pub fn merge_checkpoints(
+    parts: &[(std::path::PathBuf, SweepCheckpoint)],
+) -> Result<SweepCheckpoint, EngineError> {
+    let [(first_path, first), rest @ ..] = parts else {
+        return Err(checkpoint_err(
+            Path::new("<none>"),
+            "no shard logs to merge",
+        ));
+    };
+    let mut merged = SweepCheckpoint::new(
+        first.label.clone(),
+        first.solver.clone(),
+        first.seed_start..first.seed_end,
+    );
+    for (path, part) in rest {
+        if part.solver != first.solver {
+            return Err(checkpoint_err(
+                path,
+                format!(
+                    "solver {:?} does not match {:?} from {}",
+                    part.solver,
+                    first.solver,
+                    first_path.display()
+                ),
+            ));
+        }
+        if part.label != first.label {
+            return Err(checkpoint_err(
+                path,
+                format!(
+                    "label {:?} does not match {:?} from {}",
+                    part.label,
+                    first.label,
+                    first_path.display()
+                ),
+            ));
+        }
+        if (part.seed_start, part.seed_end) != (first.seed_start, first.seed_end) {
+            return Err(checkpoint_err(
+                path,
+                format!(
+                    "seed range {}..{} does not match {}..{} from {}",
+                    part.seed_start,
+                    part.seed_end,
+                    first.seed_start,
+                    first.seed_end,
+                    first_path.display()
+                ),
+            ));
+        }
+    }
+    let mut seen: std::collections::BTreeMap<u64, &std::path::PathBuf> =
+        std::collections::BTreeMap::new();
+    for (path, part) in parts {
+        let seeds = part
+            .runs
+            .iter()
+            .map(|r| r.seed)
+            .chain(part.failures.iter().map(|f| f.seed));
+        for seed in seeds {
+            if let Some(earlier) = seen.insert(seed, path) {
+                return Err(checkpoint_err(
+                    path,
+                    format!(
+                        "seed {seed} already covered by {} (overlapping shards?)",
+                        earlier.display()
+                    ),
+                ));
+            }
+        }
+        for run in &part.runs {
+            merged.record_run(run.clone());
+        }
+        for failure in &part.failures {
+            merged.record_failure(failure.clone());
+        }
+    }
+    Ok(merged)
 }
 
 #[cfg(test)]
@@ -198,6 +485,78 @@ mod tests {
     }
 
     #[test]
+    fn saved_format_is_a_jsonl_log() {
+        let mut ckpt = SweepCheckpoint::new("demo", "idb", 0..3);
+        ckpt.record_run(run(1));
+        let path = temp_path("format.jsonl");
+        ckpt.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "header + one record:\n{text}");
+        assert!(lines[0].contains("\"version\":2"));
+        assert!(lines[1].starts_with("{\"run\":"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn incremental_log_appends_match_a_full_save() {
+        let mut ckpt = SweepCheckpoint::new("demo", "idb", 0..4);
+        ckpt.record_run(run(0));
+        let path = temp_path("incremental.jsonl");
+        let mut log = CheckpointLog::open(&path, &ckpt).unwrap();
+        log.append_run(&run(1)).unwrap();
+        log.append_failure(&SeedFailure {
+            seed: 2,
+            attempts: 1,
+            error: "boom".into(),
+        })
+        .unwrap();
+        drop(log);
+        let back = SweepCheckpoint::load(&path).unwrap();
+        assert_eq!(back.runs.iter().map(|r| r.seed).collect::<Vec<_>>(), [0, 1]);
+        assert_eq!(back.failures.len(), 1);
+        assert_eq!(back.failures[0].seed, 2);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn torn_final_append_loses_only_the_seed_in_flight() {
+        let mut ckpt = SweepCheckpoint::new("demo", "idb", 0..4);
+        ckpt.record_run(run(0));
+        let path = temp_path("torn.jsonl");
+        ckpt.save(&path).unwrap();
+        // Simulate a crash mid-append: half a record, no newline.
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        file.write_all(b"{\"run\": {\"se").unwrap();
+        drop(file);
+        let back = SweepCheckpoint::load(&path).unwrap();
+        assert_eq!(back.runs.iter().map(|r| r.seed).collect::<Vec<_>>(), [0]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn legacy_v1_whole_file_checkpoints_still_load() {
+        let v1 = concat!(
+            "{\n  \"version\": 1,\n  \"label\": \"demo\",\n  \"solver\": \"idb\",\n",
+            "  \"seed_start\": 0,\n  \"seed_end\": 2,\n  \"runs\": [\n    {\n",
+            "      \"seed\": 0,\n      \"cost_uj\": 5.0,\n      \"setup_ms\": 0.0,\n",
+            "      \"solve_ms\": 0.0,\n      \"attempts\": 1\n    }\n  ]\n}\n"
+        );
+        let path = temp_path("legacy-v1.json");
+        std::fs::write(&path, v1).unwrap();
+        let back = SweepCheckpoint::load(&path).unwrap();
+        assert_eq!(back.version, CHECKPOINT_VERSION);
+        assert_eq!(back.solver, "idb");
+        assert_eq!(back.runs.len(), 1);
+        assert_eq!(back.runs[0].cost_uj, 5.0);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
     fn runs_stay_sorted_and_reruns_replace() {
         let mut ckpt = SweepCheckpoint::new("demo", "idb", 0..4);
         ckpt.record_run(run(2));
@@ -215,11 +574,29 @@ mod tests {
     fn mismatched_experiment_is_rejected() {
         let ckpt = SweepCheckpoint::new("demo", "idb", 0..4);
         let path = Path::new("ck.json");
-        assert!(ckpt.check_compatible("idb", &(0..4), path).is_ok());
-        let err = ckpt.check_compatible("rfh", &(0..4), path).unwrap_err();
+        assert!(ckpt.check_compatible("idb", &(0..4), None, path).is_ok());
+        let err = ckpt
+            .check_compatible("rfh", &(0..4), None, path)
+            .unwrap_err();
         assert!(err.to_string().contains("solver"));
-        let err = ckpt.check_compatible("idb", &(0..5), path).unwrap_err();
+        let err = ckpt
+            .check_compatible("idb", &(0..5), None, path)
+            .unwrap_err();
         assert!(err.to_string().contains("seeds"));
+        let err = ckpt
+            .check_compatible("idb", &(0..4), Some((1, 2)), path)
+            .unwrap_err();
+        assert!(err.to_string().contains("shard"), "{err}");
+        let mut sharded = ckpt.clone();
+        sharded.shard_index = Some(1);
+        sharded.shard_count = Some(2);
+        assert!(sharded
+            .check_compatible("idb", &(0..4), Some((1, 2)), path)
+            .is_ok());
+        let err = sharded
+            .check_compatible("idb", &(0..4), Some((2, 2)), path)
+            .unwrap_err();
+        assert!(err.to_string().contains("shard 1/2"), "{err}");
     }
 
     #[test]
@@ -231,12 +608,58 @@ mod tests {
         std::fs::write(&garbled, "not json").unwrap();
         assert!(SweepCheckpoint::load(&garbled).is_err());
         let future = temp_path("future.json");
-        let mut ckpt = SweepCheckpoint::new("demo", "idb", 0..1);
-        ckpt.version = 99;
-        std::fs::write(&future, serde_json::to_string(&ckpt).unwrap()).unwrap();
+        std::fs::write(
+            &future,
+            "{\"version\": 99, \"label\": \"x\", \"solver\": \"idb\", \"seed_start\": 0, \"seed_end\": 1}\n",
+        )
+        .unwrap();
         let err = SweepCheckpoint::load(&future).unwrap_err();
-        assert!(err.to_string().contains("version"));
+        assert!(err.to_string().contains("version"), "{err}");
         let _ = std::fs::remove_file(garbled);
         let _ = std::fs::remove_file(future);
+    }
+
+    #[test]
+    fn merge_folds_disjoint_shards() {
+        let mut a = SweepCheckpoint::new("demo", "idb", 0..4);
+        a.shard_index = Some(1);
+        a.shard_count = Some(2);
+        a.record_run(run(0));
+        a.record_run(run(2));
+        let mut b = SweepCheckpoint::new("demo", "idb", 0..4);
+        b.shard_index = Some(2);
+        b.shard_count = Some(2);
+        b.record_run(run(3));
+        b.record_failure(SeedFailure {
+            seed: 1,
+            attempts: 1,
+            error: "boom".into(),
+        });
+        let merged = merge_checkpoints(&[("a.jsonl".into(), a), ("b.jsonl".into(), b)]).unwrap();
+        assert_eq!(
+            merged.runs.iter().map(|r| r.seed).collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
+        assert_eq!(merged.failures.len(), 1);
+        assert_eq!(merged.shard(), None);
+    }
+
+    #[test]
+    fn merge_rejects_mismatch_and_overlap() {
+        assert!(merge_checkpoints(&[]).is_err());
+        let a = SweepCheckpoint::new("demo", "idb", 0..4);
+        let b = SweepCheckpoint::new("demo", "rfh", 0..4);
+        let err =
+            merge_checkpoints(&[("a.jsonl".into(), a.clone()), ("b.jsonl".into(), b)]).unwrap_err();
+        assert!(err.to_string().contains("solver"), "{err}");
+        let mut c = SweepCheckpoint::new("demo", "idb", 0..4);
+        c.record_run(run(1));
+        let mut d = SweepCheckpoint::new("demo", "idb", 0..4);
+        d.record_run(run(1));
+        let err = merge_checkpoints(&[("c.jsonl".into(), c), ("d.jsonl".into(), d)]).unwrap_err();
+        assert!(err.to_string().contains("seed 1"), "{err}");
+        let e = SweepCheckpoint::new("demo", "idb", 0..5);
+        let err = merge_checkpoints(&[("a.jsonl".into(), a), ("e.jsonl".into(), e)]).unwrap_err();
+        assert!(err.to_string().contains("seed range"), "{err}");
     }
 }

@@ -47,6 +47,16 @@ pub enum EngineError {
         /// What went wrong.
         message: String,
     },
+    /// The result store failed to read or append a cached run.
+    Store(wrsn_store::StoreError),
+    /// A shard specification was out of range: the index is 1-based and
+    /// must not exceed the shard count.
+    BadShard {
+        /// The requested 1-based shard index.
+        index: u32,
+        /// The total shard count.
+        count: u32,
+    },
     /// The experiment was configured with an empty seed range.
     NoSeeds,
 }
@@ -78,6 +88,11 @@ impl fmt::Display for EngineError {
             EngineError::Checkpoint { path, message } => {
                 write!(f, "checkpoint {}: {message}", path.display())
             }
+            EngineError::Store(e) => write!(f, "result store: {e}"),
+            EngineError::BadShard { index, count } => write!(
+                f,
+                "invalid shard {index}/{count}: the index is 1-based and must lie in 1..={count}"
+            ),
             EngineError::NoSeeds => write!(f, "experiment has an empty seed range"),
         }
     }
@@ -89,6 +104,7 @@ impl Error for EngineError {
             EngineError::Build(e) => Some(e),
             EngineError::Spec(e) => Some(e),
             EngineError::Solve { error, .. } => Some(error),
+            EngineError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -103,6 +119,12 @@ impl From<BuildError> for EngineError {
 impl From<SpecError> for EngineError {
     fn from(e: SpecError) -> Self {
         EngineError::Spec(e)
+    }
+}
+
+impl From<wrsn_store::StoreError> for EngineError {
+    fn from(e: wrsn_store::StoreError) -> Self {
+        EngineError::Store(e)
     }
 }
 
@@ -136,6 +158,11 @@ mod tests {
                 path: "ck.json".into(),
                 message: "truncated".into(),
             },
+            EngineError::Store(wrsn_store::StoreError::Io {
+                path: "cache/seg-0.jsonl".into(),
+                message: "disk full".into(),
+            }),
+            EngineError::BadShard { index: 5, count: 4 },
             EngineError::NoSeeds,
         ];
         for e in errors {

@@ -4,16 +4,23 @@
 
 use crate::runner::{Failure, SeedOutcome};
 use crate::{
-    EngineError, RetryPolicy, RunReport, SeedFailure, SeedRun, SolverRegistry, SweepCheckpoint,
-    SweepRunner,
+    CheckpointLog, EngineError, RetryPolicy, RunReport, SeedFailure, SeedRun, SolverRegistry,
+    SweepCheckpoint, SweepRunner,
 };
 use parking_lot::Mutex;
+use serde::{Deserialize as _, Serialize as _};
 use std::fmt;
 use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 use wrsn_core::{Instance, InstanceSampler, InstanceSpec};
+use wrsn_store::{CacheStats, Fingerprint, FingerprintBuilder, ResultStore};
+
+/// The engine crate version baked into every cache fingerprint, so a
+/// rebuilt engine (potentially different solver behavior) never reuses
+/// stale cached results.
+pub const ENGINE_VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// Where an experiment's instances come from.
 #[derive(Debug, Clone)]
@@ -42,6 +49,41 @@ impl InstanceSource {
             InstanceSource::Spec(spec) => spec.build().map_err(EngineError::Build),
         }
     }
+}
+
+/// The cache fingerprint of one sweep cell: everything that determines
+/// its [`SeedRun`] — the instance source's full configuration, the
+/// solver's registry name, the engine crate version, whether history
+/// capture was on, and the seed itself. Changing any component (a
+/// renamed solver, a version bump, a different sampler) yields a
+/// different key, so stale cached results are never reused.
+#[must_use]
+pub fn seed_fingerprint(
+    source: &InstanceSource,
+    solver: &str,
+    engine_version: &str,
+    capture_history: bool,
+    seed: u64,
+) -> Fingerprint {
+    let mut fp = FingerprintBuilder::new("wrsn-seedrun-v1");
+    fp.push_str(engine_version);
+    fp.push_str(solver);
+    match source {
+        InstanceSource::Sampled(sampler) => {
+            fp.push_str("sampled");
+            // The sampler's Debug form spells out every parameter
+            // (field, counts, levels, radio, charge model), so any
+            // configuration change invalidates the key.
+            fp.push_str(&format!("{sampler:?}"));
+        }
+        InstanceSource::Spec(spec) => {
+            fp.push_str("spec");
+            fp.push_str(&spec.to_json());
+        }
+    }
+    fp.push_bool(capture_history);
+    fp.push_u64(seed);
+    fp.finish()
 }
 
 /// A per-seed progress notification from a running sweep — how the CLI
@@ -115,6 +157,8 @@ pub struct Experiment {
     resume: bool,
     halt_after: Option<usize>,
     record_timings: bool,
+    shard: Option<(u32, u32)>,
+    cache: Option<Arc<ResultStore>>,
     on_seed: Option<Arc<SeedObserver>>,
 }
 
@@ -133,6 +177,8 @@ impl fmt::Debug for Experiment {
             .field("resume", &self.resume)
             .field("halt_after", &self.halt_after)
             .field("record_timings", &self.record_timings)
+            .field("shard", &self.shard)
+            .field("cache", &self.cache.as_ref().map(|s| s.dir().to_path_buf()))
             .field("on_seed", &self.on_seed.as_ref().map(|_| "<callback>"))
             .finish()
     }
@@ -157,6 +203,8 @@ impl Experiment {
             resume: false,
             halt_after: None,
             record_timings: true,
+            shard: None,
+            cache: None,
             on_seed: None,
         }
     }
@@ -269,6 +317,27 @@ impl Experiment {
         self
     }
 
+    /// Restricts the sweep to shard `index` of `count` (1-based): only
+    /// seeds with `(seed - start) % count == index - 1` are processed.
+    /// Combine with [`Experiment::checkpoint`] to write a shard log that
+    /// [`crate::merge_checkpoints`] can fold back into the full sweep.
+    #[must_use]
+    pub fn shard(mut self, index: u32, count: u32) -> Self {
+        self.shard = Some((index, count));
+        self
+    }
+
+    /// Routes the sweep through a content-addressed [`ResultStore`]:
+    /// seeds whose [`seed_fingerprint`] is already present skip the
+    /// solve entirely (replaying the stored run, with zeroed timings),
+    /// and freshly solved seeds are appended for future runs. The
+    /// report's `cache` block records the hit/miss/append counts.
+    #[must_use]
+    pub fn cache(mut self, store: Arc<ResultStore>) -> Self {
+        self.cache = Some(store);
+        self
+    }
+
     /// Installs a per-seed progress callback (see [`SeedEvent`]).
     #[must_use]
     pub fn on_seed<F>(mut self, callback: F) -> Self
@@ -311,11 +380,20 @@ impl Experiment {
         if self.seeds.is_empty() {
             return Err(EngineError::NoSeeds);
         }
+        if let Some((index, count)) = self.shard {
+            if count == 0 || index == 0 || index > count {
+                return Err(EngineError::BadShard { index, count });
+            }
+        }
         let factory = registry.factory(&self.solver)?;
         let label = self.report_label();
 
         // Restore prior progress when resuming.
         let mut state = SweepCheckpoint::new(&label, &self.solver, self.seeds.clone());
+        if let Some((index, count)) = self.shard {
+            state.shard_index = Some(index);
+            state.shard_count = Some(count);
+        }
         if self.resume {
             let path = self
                 .checkpoint
@@ -326,15 +404,58 @@ impl Experiment {
                 })?;
             if path.exists() {
                 let loaded = SweepCheckpoint::load(path)?;
-                loaded.check_compatible(&self.solver, &self.seeds, path)?;
+                loaded.check_compatible(&self.solver, &self.seeds, self.shard, path)?;
                 // Completed seeds are kept; failed seeds get a fresh try.
                 state.runs = loaded.runs;
             }
         }
+        let in_shard = |seed: u64| match self.shard {
+            None => true,
+            Some((index, count)) => {
+                (seed - self.seeds.start) % u64::from(count) == u64::from(index - 1)
+            }
+        };
         let done = state.completed_seeds();
-        let prior = done.len();
-        let total = (self.seeds.end - self.seeds.start) as usize;
-        let pending: Vec<u64> = self.seeds.clone().filter(|s| !done.contains(s)).collect();
+        let total = self.seeds.clone().filter(|&s| in_shard(s)).count();
+        let mut pending: Vec<u64> = self
+            .seeds
+            .clone()
+            .filter(|&s| in_shard(s) && !done.contains(&s))
+            .collect();
+
+        // Cache pre-pass: seeds whose fingerprint is already stored are
+        // restored from the cache (like resumed seeds) and never reach
+        // the solver; the rest stay pending.
+        let mut cache_stats = CacheStats::default();
+        if let Some(store) = &self.cache {
+            let mut misses = Vec::with_capacity(pending.len());
+            for seed in pending {
+                let key = seed_fingerprint(
+                    &self.source,
+                    &self.solver,
+                    ENGINE_VERSION,
+                    self.capture_history,
+                    seed,
+                );
+                // An unreadable payload (future format change) counts as
+                // a miss and is recomputed.
+                let hit = store
+                    .get(&key)
+                    .and_then(|payload| SeedRun::from_value(&payload).ok());
+                match hit {
+                    Some(run) => {
+                        cache_stats.hits += 1;
+                        state.record_run(run);
+                    }
+                    None => {
+                        cache_stats.misses += 1;
+                        misses.push(seed);
+                    }
+                }
+            }
+            pending = misses;
+        }
+        let prior = total - pending.len();
 
         let work = |seed: u64| -> Result<SeedRun, EngineError> {
             let setup_start = Instant::now();
@@ -373,34 +494,48 @@ impl Experiment {
             })
         };
 
-        // All bookkeeping — checkpoint state, file flushes, progress
+        // The checkpoint log is opened (compacting restored and cached
+        // progress in) before any worker runs, so even a sweep killed on
+        // its first seed leaves a loadable log behind.
+        let log = match &self.checkpoint {
+            Some(path) => Some(CheckpointLog::open(path, &state)?),
+            None => None,
+        };
+
+        // All bookkeeping — checkpoint state, log flushes, progress
         // callbacks — happens under one lock so events and checkpoint
         // contents stay mutually consistent. The per-seed solver work
         // itself runs outside it.
-        let shared = Mutex::new((state, None::<EngineError>));
+        let shared = Mutex::new((state, log, None::<EngineError>));
         let observe = |seed: u64, outcome: &SeedOutcome<SeedRun, EngineError>, processed: usize| {
             let mut guard = shared.lock();
-            let (state, save_error) = &mut *guard;
+            let (state, log, save_error) = &mut *guard;
             let done = prior + processed;
             match outcome {
                 SeedOutcome::Ok { value, attempts } => {
                     let mut run = value.clone();
                     run.attempts = *attempts;
+                    if let Some(log) = log {
+                        if save_error.is_none() {
+                            *save_error = log.append_run(&run).err();
+                        }
+                    }
                     state.record_run(run);
                 }
                 SeedOutcome::Failed { failure, attempts } => {
-                    state.record_failure(SeedFailure {
+                    let failure = SeedFailure {
                         seed,
                         attempts: *attempts,
                         error: failure.to_string(),
-                    });
+                    };
+                    if let Some(log) = log {
+                        if save_error.is_none() {
+                            *save_error = log.append_failure(&failure).err();
+                        }
+                    }
+                    state.record_failure(failure);
                 }
                 SeedOutcome::Skipped => return,
-            }
-            if let Some(path) = &self.checkpoint {
-                if save_error.is_none() {
-                    *save_error = state.save(path).err();
-                }
             }
             if let Some(callback) = &self.on_seed {
                 match outcome {
@@ -433,9 +568,32 @@ impl Experiment {
             self.runner
                 .run_fault_tolerant(&pending, self.retry, self.halt_after, work, observe);
 
-        let (state, save_error) = shared.into_inner();
+        let (state, _log, save_error) = shared.into_inner();
         if let Some(e) = save_error {
             return Err(e);
+        }
+        // Append freshly solved seeds to the cache. Timings are zeroed
+        // in the stored payload — a later cache hit truthfully reports
+        // zero wall-clock, and stored payloads stay deterministic.
+        if let Some(store) = &self.cache {
+            for (seed, outcome) in pending.iter().zip(&outcomes) {
+                if let SeedOutcome::Ok { value, attempts } = outcome {
+                    let mut run = value.clone();
+                    run.attempts = *attempts;
+                    run.setup_ms = 0.0;
+                    run.solve_ms = 0.0;
+                    let key = seed_fingerprint(
+                        &self.source,
+                        &self.solver,
+                        ENGINE_VERSION,
+                        self.capture_history,
+                        *seed,
+                    );
+                    if store.put(&key, run.to_value())? {
+                        cache_stats.appended += 1;
+                    }
+                }
+            }
         }
         if !self.keep_going {
             // Preserve the typed first-failure error (in seed order).
@@ -453,12 +611,12 @@ impl Experiment {
                 }
             }
         }
-        Ok(RunReport::from_outcomes(
-            label,
-            self.solver.clone(),
-            state.runs,
-            state.failures,
-        ))
+        let mut report =
+            RunReport::from_outcomes(label, self.solver.clone(), state.runs, state.failures);
+        if self.cache.is_some() {
+            report.cache = Some(cache_stats);
+        }
+        Ok(report)
     }
 }
 
@@ -572,9 +730,11 @@ mod tests {
 
     #[test]
     fn solver_failure_is_tagged_with_its_seed() {
-        // 20 posts / 60 nodes explodes the exhaustive search space.
+        // 20 posts / 60 nodes explodes the exhaustive search space
+        // (C(59, 19) compositions, far past the 20M limit) on a field
+        // small enough that the sampled instance still builds.
         let registry = SolverRegistry::with_defaults();
-        let err = Experiment::sampled(InstanceSampler::new(Field::square(400.0), 20, 60))
+        let err = Experiment::sampled(InstanceSampler::new(Field::square(150.0), 20, 60))
             .solver("exhaustive")
             .seeds(0..1)
             .runner(SweepRunner::sequential())
@@ -622,11 +782,12 @@ mod tests {
     #[test]
     fn panicking_solver_is_caught_and_reported() {
         let mut registry = SolverRegistry::with_defaults();
-        // A factory whose third construction yields a panicking solver:
-        // under a sequential runner that is exactly seed 2.
+        // A factory whose every fifth construction (the third of each
+        // 5-seed sequential sweep) yields a panicking solver: that is
+        // exactly seed 2 in both runs below, which share the counter.
         let calls = std::sync::atomic::AtomicUsize::new(0);
         registry.register("flaky", move || {
-            if calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst) == 2 {
+            if calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst) % 5 == 2 {
                 panic!("injected panic in solver construction");
             }
             Box::new(wrsn_core::Idb::new(1))
@@ -762,6 +923,174 @@ mod tests {
         let clean = base.run(&registry).unwrap();
         assert_eq!(resumed.to_json(), clean.to_json());
         let _ = std::fs::remove_file(path);
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("wrsn-experiment-test").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// A registry whose `"counted"` solver counts its constructions, so
+    /// tests can assert how many times the solver actually ran.
+    fn counting_registry() -> (SolverRegistry, Arc<std::sync::atomic::AtomicUsize>) {
+        let mut registry = SolverRegistry::with_defaults();
+        let calls = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let counter = calls.clone();
+        registry.register("counted", move || {
+            counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Box::new(wrsn_core::Idb::new(1))
+        });
+        (registry, calls)
+    }
+
+    #[test]
+    fn cached_rerun_performs_zero_solver_invocations() {
+        let dir = temp_dir("cache-rerun");
+        let store = Arc::new(ResultStore::open(&dir).unwrap());
+        let (registry, calls) = counting_registry();
+        let base = Experiment::sampled(sampler(6, 12))
+            .solver("counted")
+            .seeds(0..5)
+            .record_timings(false);
+        let first = base.clone().cache(store.clone()).run(&registry).unwrap();
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 5);
+        assert_eq!(
+            first.cache,
+            Some(CacheStats {
+                hits: 0,
+                misses: 5,
+                appended: 5
+            })
+        );
+        // The second run restores every seed from the store: no solver
+        // construction at all, and the per-seed results are identical.
+        let second = base.clone().cache(store).run(&registry).unwrap();
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 5);
+        assert_eq!(
+            second.cache,
+            Some(CacheStats {
+                hits: 5,
+                misses: 0,
+                appended: 0
+            })
+        );
+        assert_eq!(first.runs, second.runs);
+        // A run without the cache matches too (timings are zeroed).
+        let uncached = base.run(&registry).unwrap();
+        assert_eq!(uncached.runs, second.runs);
+        assert_eq!(uncached.cache, None);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fingerprint_invalidates_on_version_name_and_source_changes() {
+        let sampled = InstanceSource::Sampled(sampler(6, 12));
+        let base = seed_fingerprint(&sampled, "idb", "0.1.0", false, 3);
+        assert_eq!(base, seed_fingerprint(&sampled, "idb", "0.1.0", false, 3));
+        assert_ne!(base, seed_fingerprint(&sampled, "rfh", "0.1.0", false, 3));
+        assert_ne!(base, seed_fingerprint(&sampled, "idb", "0.2.0", false, 3));
+        assert_ne!(base, seed_fingerprint(&sampled, "idb", "0.1.0", true, 3));
+        assert_ne!(base, seed_fingerprint(&sampled, "idb", "0.1.0", false, 4));
+        let other = InstanceSource::Sampled(sampler(6, 13));
+        assert_ne!(base, seed_fingerprint(&other, "idb", "0.1.0", false, 3));
+        let spec = InstanceSpec::from_instance(&sampler(6, 12).sample(9)).unwrap();
+        let pinned = InstanceSource::Spec(spec);
+        assert_ne!(base, seed_fingerprint(&pinned, "idb", "0.1.0", false, 3));
+    }
+
+    #[test]
+    fn stale_cache_entries_are_not_reused_after_a_version_bump() {
+        let dir = temp_dir("cache-version-bump");
+        let store = ResultStore::open(&dir).unwrap();
+        let source = InstanceSource::Sampled(sampler(6, 12));
+        // Simulate an older engine having populated the store.
+        let old_key = seed_fingerprint(&source, "counted", "0.0.9-old", false, 0);
+        let payload = SeedRun {
+            seed: 0,
+            cost_uj: 42.0,
+            setup_ms: 0.0,
+            solve_ms: 0.0,
+            attempts: 1,
+            cost_history_uj: Vec::new(),
+        }
+        .to_value();
+        store.put(&old_key, payload).unwrap();
+        drop(store);
+        let store = Arc::new(ResultStore::open(&dir).unwrap());
+        let (registry, calls) = counting_registry();
+        let report = Experiment::sampled(sampler(6, 12))
+            .solver("counted")
+            .seeds(0..1)
+            .record_timings(false)
+            .cache(store)
+            .run(&registry)
+            .unwrap();
+        // The old entry keyed under another version is invisible: the
+        // seed recomputes and lands under the current key.
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(
+            report.cache,
+            Some(CacheStats {
+                hits: 0,
+                misses: 1,
+                appended: 1
+            })
+        );
+        assert_ne!(report.runs[0].cost_uj, 42.0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn shard_selects_a_round_robin_seed_slice() {
+        let registry = SolverRegistry::with_defaults();
+        let base = Experiment::sampled(sampler(6, 12))
+            .solver("idb")
+            .seeds(3..9);
+        let a = base.clone().shard(1, 2).run(&registry).unwrap();
+        assert_eq!(a.runs.iter().map(|r| r.seed).collect::<Vec<_>>(), [3, 5, 7]);
+        let b = base.clone().shard(2, 2).run(&registry).unwrap();
+        assert_eq!(b.runs.iter().map(|r| r.seed).collect::<Vec<_>>(), [4, 6, 8]);
+        for (index, count) in [(0, 2), (3, 2), (1, 0)] {
+            let err = base.clone().shard(index, count).run(&registry).unwrap_err();
+            assert!(matches!(err, EngineError::BadShard { .. }), "got {err}");
+        }
+    }
+
+    #[test]
+    fn merged_shard_logs_match_an_unsharded_run_byte_for_byte() {
+        let dir = temp_dir("shard-merge");
+        let registry = SolverRegistry::with_defaults();
+        let base = Experiment::sampled(sampler(6, 12))
+            .solver("idb")
+            .seeds(0..7)
+            .runner(SweepRunner::sequential())
+            .record_timings(false);
+        let mut paths = Vec::new();
+        for index in 1..=3u32 {
+            let path = dir.join(format!("shard-{index}.jsonl"));
+            base.clone()
+                .shard(index, 3)
+                .checkpoint(&path)
+                .run(&registry)
+                .unwrap();
+            paths.push(path);
+        }
+        let parts: Vec<(PathBuf, SweepCheckpoint)> = paths
+            .iter()
+            .map(|p| (p.clone(), SweepCheckpoint::load(p).unwrap()))
+            .collect();
+        let merged = crate::merge_checkpoints(&parts).unwrap();
+        let report = RunReport::from_outcomes(
+            merged.label.clone(),
+            merged.solver.clone(),
+            merged.runs,
+            merged.failures,
+        );
+        let clean = base.run(&registry).unwrap();
+        assert_eq!(report.to_json(), clean.to_json());
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

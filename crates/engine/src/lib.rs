@@ -42,10 +42,14 @@ mod report;
 mod runner;
 mod table;
 
-pub use checkpoint::{SweepCheckpoint, CHECKPOINT_VERSION};
+pub use checkpoint::{merge_checkpoints, CheckpointLog, SweepCheckpoint, CHECKPOINT_VERSION};
 pub use error::EngineError;
-pub use experiment::{Experiment, InstanceSource, SeedEvent};
+pub use experiment::{seed_fingerprint, Experiment, InstanceSource, SeedEvent, ENGINE_VERSION};
 pub use registry::{SolverFactory, SolverRegistry};
 pub use report::{mean, save_json, std_dev, RunReport, SeedFailure, SeedRun, SummaryStats};
 pub use runner::{run_seeds, Failure, RetryPolicy, SeedOutcome, SweepRunner};
 pub use table::Table;
+
+// Result-store types surface through the engine so consumers (CLI,
+// benches) don't need a direct wrsn-store dependency for common use.
+pub use wrsn_store::{CacheStats, Fingerprint, FingerprintBuilder, ResultStore, StoreError};

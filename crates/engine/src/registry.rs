@@ -166,7 +166,7 @@ mod tests {
     #[test]
     fn unknown_name_reports_every_known_name() {
         let registry = SolverRegistry::with_defaults();
-        let err = registry.create("magic").unwrap_err();
+        let err = registry.create("magic").err().expect("unknown name fails");
         let EngineError::UnknownSolver { name, known } = err else {
             panic!("wrong error variant");
         };

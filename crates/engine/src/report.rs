@@ -3,6 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
+use wrsn_store::CacheStats;
 
 /// Mean of a sample (0 for an empty one).
 #[must_use]
@@ -18,6 +19,12 @@ pub fn mean(xs: &[f64]) -> f64 {
 #[must_use]
 pub fn std_dev(xs: &[f64]) -> f64 {
     if xs.len() < 2 {
+        return 0.0;
+    }
+    // An all-equal sample has exactly zero deviation; computing it
+    // through the mean would round (5 identical costs summed and
+    // divided by 5 can land one ulp off, giving std_dev ~1e-16).
+    if xs.iter().all(|&x| x == xs[0]) {
         return 0.0;
     }
     let m = mean(xs);
@@ -114,6 +121,10 @@ pub struct RunReport {
     pub setup_ms_total: f64,
     /// Total wall-clock spent inside solvers, in milliseconds.
     pub solve_ms_total: f64,
+    /// Result-store hit/miss/append counts when the sweep ran against a
+    /// cache; absent otherwise, so uncached reports stay byte-stable.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub cache: Option<CacheStats>,
 }
 
 impl RunReport {
@@ -143,6 +154,7 @@ impl RunReport {
             solve_ms_total,
             runs,
             failures,
+            cache: None,
         }
     }
 

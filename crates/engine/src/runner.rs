@@ -518,7 +518,7 @@ mod tests {
             &seeds,
             RetryPolicy::none(),
             Some(4),
-            |s| Ok::<u64, String>(s),
+            Ok::<u64, String>,
             |_, _, _| {},
         );
         let done = outcomes
@@ -544,7 +544,7 @@ mod tests {
             &seeds,
             RetryPolicy::none(),
             None,
-            |s| Ok::<u64, String>(s),
+            Ok::<u64, String>,
             |seed, _, done| {
                 seen.lock().push((seed, done));
             },

@@ -152,12 +152,7 @@ impl Field {
         };
         posts
             .into_iter()
-            .map(|p| {
-                Point::new(
-                    p.x.clamp(0.0, self.width),
-                    p.y.clamp(0.0, self.height),
-                )
-            })
+            .map(|p| Point::new(p.x.clamp(0.0, self.width), p.y.clamp(0.0, self.height)))
             .collect()
     }
 

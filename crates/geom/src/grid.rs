@@ -138,9 +138,7 @@ impl GridIndex {
                         let d2 = self.points[i as usize].distance_squared(center);
                         let better = match best {
                             None => true,
-                            Some((bd2, bi)) => {
-                                d2 < bd2 || (d2 == bd2 && (i as usize) < bi)
-                            }
+                            Some((bd2, bi)) => d2 < bd2 || (d2 == bd2 && (i as usize) < bi),
                         };
                         if better {
                             best = Some((d2, i as usize));

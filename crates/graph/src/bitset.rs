@@ -57,7 +57,11 @@ impl FixedBitSet {
     ///
     /// Panics if `i >= self.len()`.
     pub fn insert(&mut self, i: usize) {
-        assert!(i < self.len, "bit {i} out of bounds for capacity {}", self.len);
+        assert!(
+            i < self.len,
+            "bit {i} out of bounds for capacity {}",
+            self.len
+        );
         self.words[i / 64] |= 1 << (i % 64);
     }
 
@@ -67,7 +71,11 @@ impl FixedBitSet {
     ///
     /// Panics if `i >= self.len()`.
     pub fn remove(&mut self, i: usize) {
-        assert!(i < self.len, "bit {i} out of bounds for capacity {}", self.len);
+        assert!(
+            i < self.len,
+            "bit {i} out of bounds for capacity {}",
+            self.len
+        );
         self.words[i / 64] &= !(1 << (i % 64));
     }
 
@@ -78,7 +86,11 @@ impl FixedBitSet {
     /// Panics if `i >= self.len()`.
     #[must_use]
     pub fn contains(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit {i} out of bounds for capacity {}", self.len);
+        assert!(
+            i < self.len,
+            "bit {i} out of bounds for capacity {}",
+            self.len
+        );
         self.words[i / 64] & (1 << (i % 64)) != 0
     }
 

@@ -45,7 +45,10 @@ impl Dag {
             }
         }
         let dag = Dag { parents };
-        assert!(dag.topo_order().is_some(), "parent relation contains a cycle");
+        assert!(
+            dag.topo_order().is_some(),
+            "parent relation contains a cycle"
+        );
         dag
     }
 

@@ -61,7 +61,10 @@ impl Digraph {
     /// is negative or non-finite.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) {
         let n = self.node_count();
-        assert!(u < n && v < n, "edge ({u}, {v}) out of bounds for {n} nodes");
+        assert!(
+            u < n && v < n,
+            "edge ({u}, {v}) out of bounds for {n} nodes"
+        );
         assert!(u != v, "self-loop on node {u} rejected");
         assert!(
             w.is_finite() && w >= 0.0,

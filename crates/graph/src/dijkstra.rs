@@ -141,7 +141,10 @@ pub fn dijkstra_to(g: &Digraph, target: NodeId) -> ShortestPaths {
 
 fn run(g: &Digraph, anchor: NodeId, to_target: bool) -> ShortestPaths {
     let n = g.node_count();
-    assert!(anchor < n, "anchor node {anchor} out of bounds for {n} nodes");
+    assert!(
+        anchor < n,
+        "anchor node {anchor} out of bounds for {n} nodes"
+    );
     let mut dist = vec![f64::INFINITY; n];
     let mut via = vec![None; n];
     let mut heap = BinaryHeap::with_capacity(n);

@@ -141,7 +141,8 @@ mod tests {
     #[test]
     fn roundtrip() {
         let mut f = CnfFormula::new(3);
-        f.add_clause([Lit::pos(1), Lit::neg(2), Lit::pos(3)]).unwrap();
+        f.add_clause([Lit::pos(1), Lit::neg(2), Lit::pos(3)])
+            .unwrap();
         f.add_clause([Lit::neg(1), Lit::neg(3)]).unwrap();
         let parsed = CnfFormula::parse_dimacs(&f.to_dimacs()).unwrap();
         assert_eq!(parsed, f);

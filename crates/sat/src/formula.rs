@@ -67,7 +67,10 @@ impl Lit {
     /// Panics if `code == 0`.
     #[must_use]
     pub fn from_dimacs(code: i32) -> Self {
-        assert!(code != 0, "0 is the DIMACS clause terminator, not a literal");
+        assert!(
+            code != 0,
+            "0 is the DIMACS clause terminator, not a literal"
+        );
         Lit(code)
     }
 
@@ -360,7 +363,10 @@ mod tests {
         assert_eq!(f.add_clause([]), Err(FormulaError::EmptyClause));
         assert_eq!(
             f.add_clause([Lit::pos(2)]),
-            Err(FormulaError::VariableOutOfRange { var: 2, num_vars: 1 })
+            Err(FormulaError::VariableOutOfRange {
+                var: 2,
+                num_vars: 1
+            })
         );
         assert!(f.add_clause([Lit::neg(1)]).is_ok());
         assert_eq!(f.num_clauses(), 1);
@@ -369,7 +375,8 @@ mod tests {
     #[test]
     fn is_3sat_detects_shape() {
         let mut f = CnfFormula::new(3);
-        f.add_clause([Lit::pos(1), Lit::pos(2), Lit::pos(3)]).unwrap();
+        f.add_clause([Lit::pos(1), Lit::pos(2), Lit::pos(3)])
+            .unwrap();
         assert!(f.is_3sat());
         f.add_clause([Lit::pos(1)]).unwrap();
         assert!(!f.is_3sat());

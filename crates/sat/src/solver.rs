@@ -173,7 +173,8 @@ mod tests {
     use super::*;
 
     fn clause(f: &mut CnfFormula, lits: &[i32]) {
-        f.add_clause(lits.iter().map(|&c| Lit::from_dimacs(c))).unwrap();
+        f.add_clause(lits.iter().map(|&c| Lit::from_dimacs(c)))
+            .unwrap();
     }
 
     #[test]

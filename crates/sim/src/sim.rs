@@ -746,7 +746,7 @@ mod tests {
             },
             ..SimConfig::default()
         };
-        let report = Simulator::new(&inst, &sol, config).run(rounds);
+        let report = Simulator::new(&inst, &sol, config.clone()).run(rounds);
         // Analytic: cost is per bit; per round each post reports
         // bits_per_report bits.
         let analytic_per_round = sol.total_cost() * config.bits_per_report as f64;
@@ -790,7 +790,7 @@ mod tests {
         let (inst, sol) = small_solution();
         let config = SimConfig::default();
         let rounds = 100;
-        let report = Simulator::new(&inst, &sol, config).run(rounds);
+        let report = Simulator::new(&inst, &sol, config.clone()).run(rounds);
         let per_round_expected: Energy = sol
             .tree()
             .per_post_energy(&inst)
@@ -808,7 +808,7 @@ mod tests {
     fn per_post_consumption_profile_matches() {
         let (inst, sol) = small_solution();
         let config = SimConfig::default();
-        let report = Simulator::new(&inst, &sol, config).run(50);
+        let report = Simulator::new(&inst, &sol, config.clone()).run(50);
         let expected = sol.tree().per_post_energy(&inst);
         for (p, (&got, &want)) in report
             .per_post_consumed
@@ -943,7 +943,7 @@ mod tests {
             ..SimConfig::default()
         };
         let rounds = 40;
-        let report = Simulator::new(&inst, &sol, config).run(rounds);
+        let report = Simulator::new(&inst, &sol, config.clone()).run(rounds);
         // Expected per round: traffic (per_post_energy * bits) + sensing.
         let expected_traffic: Energy = sol
             .tree()
@@ -981,7 +981,7 @@ mod tests {
             charger: ChargerPolicy::None,
             ..SimConfig::default()
         };
-        let report = Simulator::new(&inst, &sol, config).run(50);
+        let report = Simulator::new(&inst, &sol, config.clone()).run(50);
         let (_, dead_post) = report.first_death.unwrap();
         assert_eq!(dead_post, 1);
         assert!(report.reports_lost > 0);
@@ -1038,7 +1038,7 @@ mod tests {
             },
             ..SimConfig::default()
         };
-        let report = Simulator::new(&inst, &sol, config).run(rounds);
+        let report = Simulator::new(&inst, &sol, config.clone()).run(rounds);
         // Visits only count outbound+inter-stop legs; distance must lie
         // within one cycle of cycles-completed * full length.
         let cycles = rounds as f64 / tour.cycle_s(speed);

@@ -1,0 +1,81 @@
+//! Errors raised by the result store and its JSONL logs.
+
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
+
+/// A failure reading, writing, or interpreting store data.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A filesystem operation failed.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// What went wrong.
+        message: String,
+    },
+    /// A log line (or header) was not valid JSON of the expected shape.
+    Parse {
+        /// The file involved.
+        path: PathBuf,
+        /// 1-based line number within the file.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl StoreError {
+    pub(crate) fn io(path: &std::path::Path, e: impl fmt::Display) -> Self {
+        StoreError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        }
+    }
+
+    pub(crate) fn parse(path: &std::path::Path, line: usize, e: impl fmt::Display) -> Self {
+        StoreError::Parse {
+            path: path.to_path_buf(),
+            line,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, message } => {
+                write!(f, "store I/O on {}: {message}", path.display())
+            }
+            StoreError::Parse {
+                path,
+                line,
+                message,
+            } => write!(f, "{}:{line}: {message}", path.display()),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn messages_carry_path_and_line() {
+        let e = StoreError::io(Path::new("cache/seg-0.jsonl"), "permission denied");
+        assert!(e.to_string().contains("seg-0.jsonl"));
+        assert!(e.to_string().contains("permission denied"));
+        let e = StoreError::parse(Path::new("log.jsonl"), 7, "expected object");
+        assert!(e.to_string().contains("log.jsonl:7"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<StoreError>();
+    }
+}

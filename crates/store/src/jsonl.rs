@@ -1,0 +1,224 @@
+//! Append-only JSON-lines logs with a header line.
+//!
+//! Layout: line 1 is a JSON object describing the log (version, kind,
+//! experiment identity, …); every further line is one JSON record. The
+//! format supports two write modes:
+//!
+//! - [`write_log`] rewrites the whole file atomically (temp file +
+//!   rename) — used for compaction, where a crash mid-write must never
+//!   leave a truncated log behind;
+//! - [`LogWriter`] appends one record per call and flushes it — an O(1)
+//!   incremental update. An append interrupted by a crash can leave one
+//!   torn final line; [`read_log`] detects that case (last line, no
+//!   trailing newline, invalid JSON) and drops the torn line rather
+//!   than failing, so the log loses at most the record in flight.
+
+use crate::StoreError;
+use serde::Value;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Renders one log line (compact JSON, no interior newlines).
+fn line(value: &Value) -> String {
+    serde_json::to_string(value).expect("a Value always serializes")
+}
+
+/// Atomically writes a whole log: `header` then `records`, one JSON
+/// document per line, landing in a temp file renamed over `path`.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] when the temp file cannot be written or renamed.
+pub fn write_log(path: &Path, header: &Value, records: &[Value]) -> Result<(), StoreError> {
+    let mut text = String::new();
+    text.push_str(&line(header));
+    text.push('\n');
+    for record in records {
+        text.push_str(&line(record));
+        text.push('\n');
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, text).map_err(|e| StoreError::io(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| StoreError::io(path, e))
+}
+
+/// Reads a log back as `(header, records)`.
+///
+/// A torn final line (crash mid-append: last line, not
+/// newline-terminated, not valid JSON) is dropped silently; any other
+/// malformed line is an error.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] when the file cannot be read; [`StoreError::Parse`]
+/// for an empty log, a bad header, or a malformed interior line.
+pub fn read_log(path: &Path) -> Result<(Value, Vec<Value>), StoreError> {
+    let text = std::fs::read_to_string(path).map_err(|e| StoreError::io(path, e))?;
+    let terminated = text.ends_with('\n');
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() || lines[0].trim().is_empty() {
+        return Err(StoreError::parse(path, 1, "empty log (missing header)"));
+    }
+    let header: Value = serde_json::from_str(lines[0])
+        .map_err(|e| StoreError::parse(path, 1, format!("bad header: {e}")))?;
+    let mut records = Vec::with_capacity(lines.len().saturating_sub(1));
+    for (i, raw) in lines.iter().enumerate().skip(1) {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<Value>(raw) {
+            Ok(v) => records.push(v),
+            // Only the unterminated final line may be torn by a crash.
+            Err(_) if i + 1 == lines.len() && !terminated => break,
+            Err(e) => return Err(StoreError::parse(path, i + 1, e)),
+        }
+    }
+    Ok((header, records))
+}
+
+/// An open log accepting O(1) record appends.
+#[derive(Debug)]
+pub struct LogWriter {
+    path: PathBuf,
+    file: File,
+    bytes: u64,
+}
+
+impl LogWriter {
+    /// Creates (or truncates) the log with `header` and `records`
+    /// already compacted in — an atomic full write — then reopens it
+    /// for appending.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on any filesystem failure.
+    pub fn create(path: &Path, header: &Value, records: &[Value]) -> Result<Self, StoreError> {
+        write_log(path, header, records)?;
+        LogWriter::append_to(path)
+    }
+
+    /// Opens an existing log for appending without rewriting it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file cannot be opened.
+    pub fn append_to(path: &Path) -> Result<Self, StoreError> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| StoreError::io(path, e))?;
+        let bytes = file.metadata().map_err(|e| StoreError::io(path, e))?.len();
+        Ok(LogWriter {
+            path: path.to_path_buf(),
+            file,
+            bytes,
+        })
+    }
+
+    /// Appends one record line and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the write fails.
+    pub fn append(&mut self, record: &Value) -> Result<(), StoreError> {
+        let mut text = line(record);
+        text.push('\n');
+        self.file
+            .write_all(text.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        self.bytes += text.len() as u64;
+        Ok(())
+    }
+
+    /// Bytes written to the log so far (including pre-existing content).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The log's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize as _;
+
+    fn temp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("wrsn-store-jsonl-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn obj(pairs: &[(&str, u64)]) -> Value {
+        Value::Object(
+            pairs
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn round_trips_header_and_records() {
+        let path = temp("roundtrip.jsonl");
+        let header = obj(&[("version", 2)]);
+        let records = vec![obj(&[("seed", 0)]), obj(&[("seed", 1)])];
+        write_log(&path, &header, &records).unwrap();
+        let (h, r) = read_log(&path).unwrap();
+        assert_eq!(h, header);
+        assert_eq!(r, records);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn appends_are_incremental_and_readable() {
+        let path = temp("append.jsonl");
+        let mut w = LogWriter::create(&path, &obj(&[("version", 2)]), &[]).unwrap();
+        let before = w.bytes();
+        w.append(&obj(&[("seed", 5)])).unwrap();
+        w.append(&obj(&[("seed", 6)])).unwrap();
+        assert!(w.bytes() > before);
+        let (_, r) = read_log(&path).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[1], obj(&[("seed", 6)]));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped() {
+        let path = temp("torn.jsonl");
+        std::fs::write(&path, "{\"version\": 2}\n{\"seed\": 0}\n{\"se").unwrap();
+        let (_, r) = read_log(&path).unwrap();
+        assert_eq!(r, vec![obj(&[("seed", 0)])]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn interior_corruption_is_an_error() {
+        let path = temp("corrupt.jsonl");
+        std::fs::write(&path, "{\"version\": 2}\nnot json\n{\"seed\": 0}\n").unwrap();
+        let err = read_log(&path).unwrap_err();
+        assert!(err.to_string().contains(":2"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn empty_and_missing_files_error() {
+        let path = temp("empty.jsonl");
+        std::fs::write(&path, "").unwrap();
+        assert!(read_log(&path).is_err());
+        let missing = temp("never-written.jsonl");
+        let _ = std::fs::remove_file(&missing);
+        assert!(read_log(&missing).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,40 @@
+//! # wrsn-store — content-addressed result store
+//!
+//! Experiment sweeps are deterministic: a `(instance source, solver,
+//! seed)` cell always produces the same `SeedRun`. This crate exploits
+//! that by caching results under a stable [`Fingerprint`] of everything
+//! that determines the outcome, so repeated sweeps (figure regeneration,
+//! CI, sharded runs on different machines) skip the solve entirely.
+//!
+//! Three layers, each usable on its own:
+//!
+//! - [`Fingerprint`] / [`FingerprintBuilder`] — a stable 128-bit
+//!   content hash over the cache-key components (instance source
+//!   descriptor, solver registry name, crate version, seed, config
+//!   flags). Domain-separated and length-prefixed so distinct component
+//!   sequences never collide by concatenation.
+//! - [`jsonl`] — append-only JSON-lines logs with a typed header line,
+//!   atomic whole-file rewrites (temp file + rename), and tolerance for
+//!   a torn trailing line after a crash. The same format backs both the
+//!   result-store segments and the engine's sweep checkpoints/shard
+//!   logs, so a checkpoint flush is O(1) per seed instead of a full
+//!   rewrite.
+//! - [`ResultStore`] — a directory of JSONL segment files mapping
+//!   fingerprints to JSON payloads. Writers only ever append to their
+//!   own active segment (safe for concurrent shard processes); on open,
+//!   duplicate or superseded entries are compacted away into a single
+//!   segment, atomically. [`CacheStats`] reports hit/miss/append counts
+//!   for a consumer's bookkeeping (the engine surfaces them on its
+//!   `RunReport`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod fingerprint;
+pub mod jsonl;
+mod store;
+
+pub use error::StoreError;
+pub use fingerprint::{Fingerprint, FingerprintBuilder};
+pub use store::{CacheStats, ResultStore, DEFAULT_SEGMENT_BYTES};

@@ -1,0 +1,399 @@
+//! The content-addressed result store: a directory of JSONL segments.
+
+use crate::jsonl::{read_log, write_log, LogWriter};
+use crate::{Fingerprint, StoreError};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Rotate the active segment once it grows past this many bytes.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 1 << 20;
+
+const STORE_KIND: &str = "wrsn-result-store";
+const STORE_VERSION: u64 = 1;
+
+/// Cache bookkeeping for one consumer: how many lookups hit, how many
+/// missed, and how many freshly computed results were appended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the store (no recompute).
+    pub hits: u64,
+    /// Lookups that found nothing and triggered a recompute.
+    pub misses: u64,
+    /// Fresh results appended to the store.
+    pub appended: u64,
+}
+
+impl CacheStats {
+    /// Total lookups performed.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+struct Inner {
+    entries: BTreeMap<String, Value>,
+    writer: Option<LogWriter>,
+    next_seq: u64,
+}
+
+/// A content-addressed map from [`Fingerprint`]s to JSON payloads,
+/// persisted as append-only JSONL segment files in one directory.
+///
+/// Writers only ever append to a segment file they created themselves
+/// (named with their process id), so concurrent shard processes can
+/// share a store directory without interleaving writes. Reads serve
+/// from an in-memory index loaded at [`ResultStore::open`] time; on
+/// open, duplicated entries and segment sprawl are compacted away into
+/// a single segment via an atomic rewrite.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_store::{FingerprintBuilder, ResultStore};
+/// use serde::Serialize as _;
+///
+/// let dir = std::env::temp_dir().join("wrsn-store-doc");
+/// let _ = std::fs::remove_dir_all(&dir);
+/// let store = ResultStore::open(&dir)?;
+/// let key = FingerprintBuilder::new("doc").finish();
+/// assert!(store.get(&key).is_none());
+/// store.put(&key, 42u64.to_value())?;
+/// assert_eq!(store.get(&key), Some(42u64.to_value()));
+/// // A reopened store sees the persisted entry.
+/// assert_eq!(ResultStore::open(&dir)?.len(), 1);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), wrsn_store::StoreError>(())
+/// ```
+pub struct ResultStore {
+    dir: PathBuf,
+    segment_bytes: u64,
+    inner: Mutex<Inner>,
+}
+
+fn header() -> Value {
+    Value::Object(vec![
+        ("kind".to_string(), Value::String(STORE_KIND.to_string())),
+        ("version".to_string(), STORE_VERSION.to_value()),
+    ])
+}
+
+fn record(key: &str, value: &Value) -> Value {
+    Value::Object(vec![
+        ("key".to_string(), Value::String(key.to_string())),
+        ("value".to_string(), value.clone()),
+    ])
+}
+
+/// Segment sequence number parsed from `seg-NNNNNNNN-*.jsonl`.
+fn segment_seq(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".jsonl")?;
+    let digits = rest.split('-').next()?;
+    digits.parse().ok()
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store at `dir` with the default
+    /// segment size, compacting stale segments.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the directory cannot be created or a segment
+    /// is unreadable or malformed past crash-tolerance.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        ResultStore::with_segment_bytes(dir, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// [`ResultStore::open`] with an explicit rotation threshold
+    /// (smaller values force more segments; used by tests).
+    ///
+    /// # Errors
+    ///
+    /// As [`ResultStore::open`].
+    pub fn with_segment_bytes(dir: impl Into<PathBuf>, bytes: u64) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
+        let mut segments = ResultStore::segment_files(&dir)?;
+        segments.sort();
+        let mut entries = BTreeMap::new();
+        let mut total_records = 0usize;
+        let mut max_seq = 0u64;
+        for path in &segments {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            max_seq = max_seq.max(segment_seq(name).unwrap_or(0));
+            let (head, records) = read_log(path)?;
+            if head.get("kind").and_then(Value::as_str) != Some(STORE_KIND) {
+                return Err(StoreError::parse(
+                    path,
+                    1,
+                    "not a wrsn result-store segment",
+                ));
+            }
+            for rec in records {
+                let (Some(key), Some(value)) =
+                    (rec.get("key").and_then(Value::as_str), rec.get("value"))
+                else {
+                    return Err(StoreError::parse(
+                        path,
+                        1,
+                        "segment record missing key/value",
+                    ));
+                };
+                // Later segments win, making compaction replay-safe.
+                entries.insert(key.to_string(), value.clone());
+                total_records += 1;
+            }
+        }
+        let needs_compaction = segments.len() > 1 || total_records > entries.len();
+        let store = ResultStore {
+            dir,
+            segment_bytes: bytes,
+            inner: Mutex::new(Inner {
+                entries,
+                writer: None,
+                next_seq: max_seq + 1,
+            }),
+        };
+        if needs_compaction {
+            store.compact(&segments)?;
+        }
+        Ok(store)
+    }
+
+    fn segment_files(dir: &Path) -> Result<Vec<PathBuf>, StoreError> {
+        let mut out = Vec::new();
+        let iter = std::fs::read_dir(dir).map_err(|e| StoreError::io(dir, e))?;
+        for entry in iter {
+            let entry = entry.map_err(|e| StoreError::io(dir, e))?;
+            let path = entry.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("seg-") && name.ends_with(".jsonl") {
+                out.push(path);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Folds every live entry into one `seg-00000000-compact.jsonl`
+    /// written atomically, then removes the superseded segments.
+    /// Crash-safe at every step: the old segments alone, the new
+    /// segment plus leftovers, and the new segment alone all reload to
+    /// the same map.
+    fn compact(&self, old_segments: &[PathBuf]) -> Result<(), StoreError> {
+        let target = self.dir.join("seg-00000000-compact.jsonl");
+        let inner = self.inner.lock();
+        let records: Vec<Value> = inner.entries.iter().map(|(k, v)| record(k, v)).collect();
+        write_log(&target, &header(), &records)?;
+        for path in old_segments {
+            if *path != target {
+                std::fs::remove_file(path).map_err(|e| StoreError::io(path, e))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The payload stored under `key`, if any.
+    #[must_use]
+    pub fn get(&self, key: &Fingerprint) -> Option<Value> {
+        self.inner.lock().entries.get(&key.to_hex()).cloned()
+    }
+
+    /// Stores `value` under `key`, appending it to the active segment.
+    /// A key already present is left untouched (the store is
+    /// content-addressed: one key always names one result). Returns
+    /// whether the entry was freshly appended.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the segment cannot be written.
+    pub fn put(&self, key: &Fingerprint, value: Value) -> Result<bool, StoreError> {
+        let hex = key.to_hex();
+        let mut inner = self.inner.lock();
+        if inner.entries.contains_key(&hex) {
+            return Ok(false);
+        }
+        if inner.writer.is_none() {
+            let name = format!("seg-{:08}-{}.jsonl", inner.next_seq, std::process::id());
+            inner.next_seq += 1;
+            inner.writer = Some(LogWriter::create(&self.dir.join(name), &header(), &[])?);
+        }
+        let writer = inner.writer.as_mut().expect("just ensured");
+        writer.append(&record(&hex, &value))?;
+        let rotate = writer.bytes() >= self.segment_bytes;
+        if rotate {
+            // Close the full segment; the next put opens a fresh one.
+            inner.writer = None;
+        }
+        inner.entries.insert(hex, value);
+        Ok(true)
+    }
+
+    /// Number of entries in the store.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the store holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The store's directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of segment files currently on disk (tests and tooling).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory cannot be listed.
+    pub fn segment_count(&self) -> Result<usize, StoreError> {
+        Ok(ResultStore::segment_files(&self.dir)?.len())
+    }
+}
+
+impl std::fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultStore")
+            .field("dir", &self.dir)
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FingerprintBuilder;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("wrsn-store-test").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(tag: &str) -> Fingerprint {
+        let mut b = FingerprintBuilder::new("store-test");
+        b.push_str(tag);
+        b.finish()
+    }
+
+    #[test]
+    fn put_get_and_reopen() {
+        let dir = temp_dir("roundtrip");
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        assert!(store.put(&key("a"), 1u64.to_value()).unwrap());
+        assert!(store.put(&key("b"), 2u64.to_value()).unwrap());
+        assert_eq!(store.get(&key("a")), Some(1u64.to_value()));
+        assert_eq!(store.get(&key("missing")), None);
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.get(&key("b")), Some(2u64.to_value()));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn existing_keys_are_not_duplicated() {
+        let dir = temp_dir("dedup");
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.put(&key("a"), 1u64.to_value()).unwrap());
+        assert!(!store.put(&key("a"), 1u64.to_value()).unwrap());
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_reopen_compacts() {
+        let dir = temp_dir("rotate");
+        let store = ResultStore::with_segment_bytes(&dir, 64).unwrap();
+        for i in 0..10u64 {
+            store.put(&key(&format!("k{i}")), i.to_value()).unwrap();
+        }
+        assert!(store.segment_count().unwrap() > 1, "rotation must split");
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 10);
+        assert_eq!(reopened.segment_count().unwrap(), 1, "compacted on open");
+        for i in 0..10u64 {
+            assert_eq!(reopened.get(&key(&format!("k{i}"))), Some(i.to_value()));
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn compaction_is_idempotent() {
+        let dir = temp_dir("idempotent");
+        {
+            let store = ResultStore::with_segment_bytes(&dir, 32).unwrap();
+            for i in 0..6u64 {
+                store.put(&key(&format!("k{i}")), i.to_value()).unwrap();
+            }
+        }
+        let first = ResultStore::open(&dir).unwrap();
+        assert_eq!(first.segment_count().unwrap(), 1);
+        let entries_after_first: Vec<(String, Value)> =
+            first.inner.lock().entries.clone().into_iter().collect();
+        drop(first);
+        let second = ResultStore::open(&dir).unwrap();
+        assert_eq!(second.segment_count().unwrap(), 1);
+        let entries_after_second: Vec<(String, Value)> =
+            second.inner.lock().entries.clone().into_iter().collect();
+        assert_eq!(entries_after_first, entries_after_second);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn later_segments_win_on_duplicate_keys() {
+        let dir = temp_dir("later-wins");
+        std::fs::create_dir_all(&dir).unwrap();
+        let hex = key("dup").to_hex();
+        write_log(
+            &dir.join("seg-00000001-1.jsonl"),
+            &header(),
+            &[record(&hex, &1u64.to_value())],
+        )
+        .unwrap();
+        write_log(
+            &dir.join("seg-00000002-1.jsonl"),
+            &header(),
+            &[record(&hex, &2u64.to_value())],
+        )
+        .unwrap();
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(&key("dup")), Some(2u64.to_value()));
+        assert_eq!(store.segment_count().unwrap(), 1, "duplicates compacted");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn foreign_segments_are_rejected() {
+        let dir = temp_dir("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("seg-00000001-1.jsonl"), "{\"kind\": \"other\"}\n").unwrap();
+        assert!(ResultStore::open(&dir).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn cache_stats_counts_lookups() {
+        let stats = CacheStats {
+            hits: 3,
+            misses: 2,
+            appended: 2,
+        };
+        assert_eq!(stats.lookups(), 5);
+        assert_eq!(CacheStats::default().lookups(), 0);
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(
+            json.contains("\"hits\":3") || json.contains("\"hits\": 3"),
+            "{json}"
+        );
+    }
+}

@@ -12,7 +12,7 @@
 //! cargo run --release --example bridge_monitoring
 //! ```
 
-use wrsn::core::{GeometricInstanceBuilder, Solver};
+use wrsn::core::GeometricInstanceBuilder;
 use wrsn::energy::Energy;
 use wrsn::engine::SolverRegistry;
 use wrsn::geom::Point;

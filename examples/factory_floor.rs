@@ -9,7 +9,7 @@
 //! ```
 
 use wrsn::charging::{ChargeModel, FieldExperiment};
-use wrsn::core::{ChargeSpec, GainKind, GeometricInstanceBuilder, Solver};
+use wrsn::core::{ChargeSpec, GainKind, GeometricInstanceBuilder};
 use wrsn::engine::SolverRegistry;
 use wrsn::geom::{Field, Layout};
 

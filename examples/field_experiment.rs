@@ -45,9 +45,19 @@ fn main() {
     );
 
     let gain = experiment.measured_gain(20.0, 10.0, 8);
-    println!("\nderived optimizer input (eta = {:.4}):", gain.base_efficiency());
+    println!(
+        "\nderived optimizer input (eta = {:.4}):",
+        gain.base_efficiency()
+    );
     for m in 1..=8u32 {
         let k = gain.efficiency(m) / gain.efficiency(1);
-        println!("  k({m}) = {k:.3}{}", if m as f64 - k < 0.9 { "" } else { "   (sub-linear)" });
+        println!(
+            "  k({m}) = {k:.3}{}",
+            if m as f64 - k < 0.9 {
+                ""
+            } else {
+                "   (sub-linear)"
+            }
+        );
     }
 }

@@ -12,7 +12,7 @@
 //! cargo run --release --example heterogeneous_traffic
 //! ```
 
-use wrsn::core::{GeometricInstanceBuilder, InstanceSpec, Solver};
+use wrsn::core::{GeometricInstanceBuilder, InstanceSpec};
 use wrsn::energy::Energy;
 use wrsn::engine::SolverRegistry;
 use wrsn::geom::{Field, Layout};

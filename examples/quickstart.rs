@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use wrsn::core::{InstanceSampler, Solver};
+use wrsn::core::InstanceSampler;
 use wrsn::engine::{Experiment, SolverRegistry};
 use wrsn::geom::Field;
 

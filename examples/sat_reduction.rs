@@ -11,7 +11,6 @@
 //! ```
 
 use wrsn::core::reduction::reduce;
-use wrsn::core::Solver;
 use wrsn::engine::SolverRegistry;
 use wrsn::sat::{CnfFormula, DpllSolver, Lit};
 

@@ -20,6 +20,8 @@
 //!   recharging-cost metric
 //! - [`engine`] — the experiment pipeline: solver registry, parallel
 //!   seed sweeps, structured run reports
+//! - [`store`] — the content-addressed result store backing `--cache`
+//!   sweeps and sharded, mergeable experiment logs
 //!
 //! # Quickstart
 //!
@@ -44,3 +46,4 @@ pub use wrsn_geom as geom;
 pub use wrsn_graph as graph;
 pub use wrsn_sat as sat;
 pub use wrsn_sim as sim;
+pub use wrsn_store as store;

@@ -97,7 +97,15 @@ fn unknown_solver_error_carries_the_known_names() {
         panic!("expected UnknownSolver, got {err}");
     };
     assert_eq!(name, "gradient-descent");
-    for expected in ["rfh", "irfh", "idb", "bnb", "exhaustive", "uniform", "lifetime"] {
+    for expected in [
+        "rfh",
+        "irfh",
+        "idb",
+        "bnb",
+        "exhaustive",
+        "uniform",
+        "lifetime",
+    ] {
         assert!(known.iter().any(|k| k == expected), "{expected} missing");
     }
     let msg = EngineError::UnknownSolver { name, known }.to_string();

@@ -49,8 +49,14 @@ fn fig7_shape_heuristics_near_optimal() {
         let opt = BranchAndBound::new().solve(&inst).unwrap().total_cost();
         let rfh = Rfh::iterative(7).solve(&inst).unwrap().total_cost();
         let idb = Idb::new(1).solve(&inst).unwrap().total_cost();
-        assert!(idb.as_njoules() <= opt.as_njoules() * 1.02, "IDB far from optimal");
-        assert!(rfh.as_njoules() <= opt.as_njoules() * 1.12, "RFH far from optimal");
+        assert!(
+            idb.as_njoules() <= opt.as_njoules() * 1.02,
+            "IDB far from optimal"
+        );
+        assert!(
+            rfh.as_njoules() <= opt.as_njoules() * 1.12,
+            "RFH far from optimal"
+        );
     }
 }
 
@@ -95,7 +101,10 @@ fn fig10_shape_extra_power_levels_barely_matter() {
     let cost6 = Idb::new(1).solve(&mk(6)).unwrap().total_cost().as_njoules();
     // Longer ranges can only help, but by very little.
     assert!(cost6 <= cost4 + 1e-6);
-    assert!(cost6 > cost4 * 0.95, "long ranges changed the cost materially");
+    assert!(
+        cost6 > cost4 * 0.95,
+        "long ranges changed the cost materially"
+    );
 }
 
 #[test]

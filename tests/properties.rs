@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use wrsn::core::{
-    greedy_allocate, optimal_cost, tree_cost, CostEvaluator, Deployment, Idb, InstanceSampler,
-    Rfh, Solver,
+    greedy_allocate, optimal_cost, tree_cost, CostEvaluator, Deployment, Idb, InstanceSampler, Rfh,
+    Solver,
 };
 use wrsn::geom::Field;
 

@@ -78,6 +78,11 @@ fn satisfiable_optimum_hits_the_bound_exactly() {
         let sol = ExhaustiveSearch::default().solve(red.instance()).unwrap();
         let rel = (sol.total_cost().as_njoules() - red.cost_bound().as_njoules()).abs()
             / red.cost_bound().as_njoules();
-        assert!(rel < 1e-9, "optimum {} != W {}", sol.total_cost(), red.cost_bound());
+        assert!(
+            rel < 1e-9,
+            "optimum {} != W {}",
+            sol.total_cost(),
+            red.cost_bound()
+        );
     }
 }

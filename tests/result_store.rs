@@ -1,0 +1,106 @@
+//! Cross-crate integration for the result store: cached sweeps through
+//! the engine, sharded runs folded back together, and the on-disk JSONL
+//! segment format, all via the facade crate.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use wrsn::core::InstanceSampler;
+use wrsn::engine::{
+    merge_checkpoints, Experiment, ResultStore, RunReport, SolverRegistry, SweepCheckpoint,
+};
+use wrsn::geom::Field;
+
+fn sampler() -> InstanceSampler {
+    InstanceSampler::new(Field::square(200.0), 8, 20)
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("wrsn-root-store-test").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn cached_sweep_replays_identically_from_the_store() {
+    let registry = SolverRegistry::with_defaults();
+    let store = Arc::new(ResultStore::open(scratch("cache")).unwrap());
+    let experiment = || {
+        Experiment::sampled(sampler())
+            .solver("idb")
+            .seeds(0..6)
+            .record_timings(false)
+            .cache(store.clone())
+    };
+    let first = experiment().run(&registry).unwrap();
+    let cache = first.cache.as_ref().expect("cached run reports stats");
+    assert_eq!((cache.hits, cache.misses, cache.appended), (0, 6, 6));
+
+    let second = experiment().run(&registry).unwrap();
+    let cache = second.cache.as_ref().unwrap();
+    assert_eq!((cache.hits, cache.misses, cache.appended), (6, 0, 0));
+    assert_eq!(first.runs, second.runs);
+    assert_eq!(first.to_json().len(), second.to_json().len());
+}
+
+#[test]
+fn sharded_checkpoints_merge_into_the_unsharded_report() {
+    let registry = SolverRegistry::with_defaults();
+    let dir = scratch("shards");
+    let mut parts = Vec::new();
+    for index in 1..=3u32 {
+        let path = dir.join(format!("shard-{index}.jsonl"));
+        Experiment::sampled(sampler())
+            .solver("irfh")
+            .seeds(0..7)
+            .record_timings(false)
+            .shard(index, 3)
+            .checkpoint(&path)
+            .run(&registry)
+            .unwrap();
+        parts.push((path.clone(), SweepCheckpoint::load(&path).unwrap()));
+    }
+    let merged = merge_checkpoints(&parts).unwrap();
+    let report = RunReport::from_outcomes(
+        merged.label.clone(),
+        merged.solver.clone(),
+        merged.runs,
+        merged.failures,
+    );
+    let clean = Experiment::sampled(sampler())
+        .solver("irfh")
+        .seeds(0..7)
+        .record_timings(false)
+        .run(&registry)
+        .unwrap();
+    assert_eq!(
+        report.to_json(),
+        clean.to_json(),
+        "merge must be byte-identical"
+    );
+}
+
+#[test]
+fn store_segments_compact_on_reopen() {
+    let dir = scratch("compaction");
+    let registry = SolverRegistry::with_defaults();
+    for _ in 0..3 {
+        // Each open appends its misses into a fresh segment; on the next
+        // open those segments compact down to one.
+        let store = Arc::new(ResultStore::open(&dir).unwrap());
+        Experiment::sampled(sampler())
+            .solver("idb")
+            .seeds(0..4)
+            .cache(store.clone())
+            .run(&registry)
+            .unwrap();
+    }
+    let store = ResultStore::open(&dir).unwrap();
+    assert_eq!(store.len(), 4);
+    assert_eq!(
+        store.segment_count().unwrap(),
+        1,
+        "reopen compacts segments"
+    );
+}

@@ -1,0 +1,165 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal timing harness with criterion's surface API: groups,
+//! `bench_function`, `iter`/`iter_batched`, and the `criterion_group!`
+//! / `criterion_main!` macros. No statistics, warm-up, or HTML reports
+//! — each benchmark runs `sample_size` iterations and prints the mean
+//! wall-clock per iteration. Enough to keep `--bench` targets building
+//! and producing comparable numbers offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted, not acted on).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The benchmark manager: hands out groups.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iterations: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iterations == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / u32::try_from(bencher.iterations).unwrap_or(u32::MAX)
+        };
+        println!(
+            "{}/{}: {:?} per iteration ({} iterations)",
+            self.name,
+            id.into(),
+            per_iter,
+            bencher.iterations
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this bencher's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh un-timed `setup` input per
+    /// iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{BatchSize, Criterion};
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0usize;
+        group.sample_size(3);
+        group.bench_function("iter", |b| b.iter(|| 1 + 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || 21,
+                |x| {
+                    runs += 1;
+                    x * 2
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,0 +1,596 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Real serde abstracts over serializer backends; this workspace only
+//! ever targets JSON, so the stand-in collapses the data model to a
+//! single in-memory [`Value`] tree: [`Serialize`] renders into a
+//! `Value` and [`Deserialize`] reads back out of one. The companion
+//! `serde_json` stub handles the text layer, and `serde_derive`
+//! provides `#[derive(Serialize, Deserialize)]` against these traits,
+//! honoring the `#[serde(...)]` attributes this workspace uses
+//! (`default`, `default = "path"`, `skip_serializing_if = "path"`,
+//! `rename_all = "snake_case"`).
+//!
+//! Object fields preserve insertion order (a `Vec` of pairs, not a
+//! map): the workspace's byte-identical report comparisons depend on
+//! struct declaration order surviving a serialize/parse round trip.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped tree value: the single data model of this stand-in.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A number (integer or float, distinguished).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, preserving the integer/float distinction.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A float.
+    Float(f64),
+}
+
+impl Number {
+    /// The number as `f64` (lossy for huge integers, like serde_json).
+    #[must_use]
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(n) => n as f64,
+            Number::NegInt(n) => n as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The number as `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if it is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(n) => i64::try_from(n).ok(),
+            Number::NegInt(n) => Some(n),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::PosInt(a), Number::PosInt(b)) => a == b,
+            (Number::NegInt(a), Number::NegInt(b)) => a == b,
+            (Number::Float(a), Number::Float(b)) => a == b,
+            // Mixed integer/float comparisons go through f64, which is
+            // what the workspace's JSON equality tests expect.
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Number(a), Value::Number(b)) => a == b,
+            (Value::String(a), Value::String(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Member lookup: `Some` for a present object key, else `None`.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object fields (in insertion order), if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if it is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! impl_value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                #[allow(unused_comparisons)]
+                match self {
+                    Value::Number(n) => {
+                        if *other < 0 {
+                            n.as_i64() == Some(*other as i64)
+                        } else {
+                            n.as_u64() == Some(*other as u64)
+                        }
+                    }
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+impl_value_eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+impl PartialEq<Value> for f64 {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+impl PartialEq<Value> for bool {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// An error with a free-form message.
+    #[must_use]
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// A required field was absent (and had no default).
+    #[must_use]
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        DeError::custom(format!("missing field `{field}` in {ty}"))
+    }
+
+    /// An enum tag did not name a known variant.
+    #[must_use]
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError::custom(format!("unknown variant `{variant}` for {ty}"))
+    }
+
+    /// The value had the wrong JSON type.
+    #[must_use]
+    pub fn invalid_type(expected: &str, got: &Value) -> Self {
+        let got = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        DeError::custom(format!("invalid type: expected {expected}, found {got}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types readable back out of a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of the data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `value` does not have the expected
+    /// shape. Unknown object keys are ignored, like default serde.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Helper used by generated code: ordered-object field lookup.
+#[must_use]
+pub fn find_field<'a>(fields: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::invalid_type("boolean", value))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| DeError::invalid_type("unsigned integer", value))?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 {
+                    Value::Number(Number::NegInt(v))
+                } else {
+                    Value::Number(Number::PosInt(v as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| DeError::invalid_type("integer", value))?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::invalid_type("number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(f64::from_value(value)? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::invalid_type("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::invalid_type("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_object()
+            .ok_or_else(|| DeError::invalid_type("object", value))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+) of $len:literal;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| DeError::invalid_type("array", value))?;
+                if items.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected array of length {}, found {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0) of 1;
+    (A: 0, B: 1) of 2;
+    (A: 0, B: 1, C: 2) of 3;
+    (A: 0, B: 1, C: 2, D: 3) of 4;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize, Value};
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v: Vec<(f64, f64)> = vec![(1.0, 2.0), (3.0, 4.0)];
+        assert_eq!(Vec::<(f64, f64)>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<u32> = None;
+        assert!(Option::<u32>::from_value(&o.to_value()).unwrap().is_none());
+    }
+
+    #[test]
+    fn value_indexing_and_equality() {
+        let v = Value::Object(vec![
+            ("a".to_string(), 3u64.to_value()),
+            ("b".to_string(), Value::Array(vec![1.5f64.to_value()])),
+            ("s".to_string(), "hi".to_value()),
+        ]);
+        assert_eq!(v["a"], 3);
+        assert_eq!(v["a"], 3.0);
+        assert_eq!(v["b"][0], 1.5);
+        assert_eq!(v["s"], "hi");
+        assert!(v.get("missing").is_none());
+        assert!(v["missing"].is_null());
+        assert_eq!(v["b"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn int_float_cross_equality() {
+        assert_eq!(3u64.to_value(), 3.0f64.to_value());
+        assert_ne!(3u64.to_value(), 3.5f64.to_value());
+    }
+}

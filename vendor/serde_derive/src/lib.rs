@@ -1,0 +1,493 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Expands `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the Value-based `serde` stub, without depending on `syn`/`quote`
+//! (unavailable offline): the item is parsed by walking the raw
+//! `proc_macro::TokenStream` and the impl is generated as source text.
+//!
+//! Supported shapes, which cover this workspace exactly:
+//! - structs with named fields
+//! - enums with unit and struct variants (externally tagged)
+//! - `#[serde(default)]`, `#[serde(default = "path")]`,
+//!   `#[serde(skip_serializing_if = "path")]`,
+//!   `#[serde(rename_all = "snake_case")]`
+//!
+//! Anything else produces a `compile_error!` naming the construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a missing field is filled during deserialization.
+enum DefaultKind {
+    /// No default: the field is required.
+    None,
+    /// `#[serde(default)]`: `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: DefaultKind,
+    skip_serializing_if: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for a unit variant, `Some(fields)` for a struct variant.
+    fields: Option<Vec<Field>>,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    rename_all: Option<String>,
+    shape: Shape,
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({:?});", message)
+        .parse()
+        .expect("error token stream parses")
+}
+
+/// Serde attributes gathered from one `#[serde(...)]`-bearing position.
+#[derive(Default)]
+struct SerdeAttrs {
+    default: Option<DefaultKind>,
+    skip_serializing_if: Option<String>,
+    rename_all: Option<String>,
+}
+
+/// Consumes leading `#[...]` attributes at `tokens[*pos..]`, extracting
+/// the `#[serde(...)]` ones and skipping everything else (doc comments,
+/// `#[must_use]`, ...).
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> Result<SerdeAttrs, String> {
+    let mut attrs = SerdeAttrs::default();
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let Some(TokenTree::Group(group)) = tokens.get(*pos + 1) else {
+                    return Err("expected [...] after #".to_string());
+                };
+                if group.delimiter() != Delimiter::Bracket {
+                    return Err("expected [...] after #".to_string());
+                }
+                let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+                let is_serde = matches!(inner.first(),
+                    Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+                if is_serde {
+                    let Some(TokenTree::Group(args)) = inner.get(1) else {
+                        return Err("expected #[serde(...)]".to_string());
+                    };
+                    parse_serde_args(&args.stream().into_iter().collect::<Vec<_>>(), &mut attrs)?;
+                }
+                *pos += 2;
+            }
+            _ => break,
+        }
+    }
+    Ok(attrs)
+}
+
+/// Parses `default`, `default = "path"`, `skip_serializing_if = "path"`,
+/// `rename_all = "snake_case"` out of the tokens inside `#[serde(...)]`.
+fn parse_serde_args(tokens: &[TokenTree], attrs: &mut SerdeAttrs) -> Result<(), String> {
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let TokenTree::Ident(key) = &tokens[pos] else {
+            return Err(format!(
+                "unsupported serde attribute syntax at `{}`",
+                tokens[pos]
+            ));
+        };
+        let key = key.to_string();
+        pos += 1;
+        let value = if matches!(&tokens.get(pos),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=')
+        {
+            let Some(TokenTree::Literal(lit)) = tokens.get(pos + 1) else {
+                return Err(format!("expected string after `{key} =`"));
+            };
+            pos += 2;
+            let text = lit.to_string();
+            Some(
+                text.strip_prefix('"')
+                    .and_then(|t| t.strip_suffix('"'))
+                    .ok_or_else(|| format!("expected string literal after `{key} =`"))?
+                    .to_string(),
+            )
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("default", None) => attrs.default = Some(DefaultKind::Std),
+            ("default", Some(path)) => attrs.default = Some(DefaultKind::Path(path)),
+            ("skip_serializing_if", Some(path)) => attrs.skip_serializing_if = Some(path),
+            ("rename_all", Some(style)) => {
+                if style != "snake_case" {
+                    return Err(format!("unsupported rename_all style `{style}`"));
+                }
+                attrs.rename_all = Some(style);
+            }
+            (other, _) => return Err(format!("unsupported serde attribute `{other}`")),
+        }
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Skips `pub` / `pub(...)` at `tokens[*pos..]`.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(&tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Skips a field type: everything up to a comma at angle-bracket depth
+/// zero. Parens/brackets/braces arrive as atomic groups, so `<`/`>` are
+/// the only nesting that needs manual tracking.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *pos < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*pos] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Parses the contents of a `{ ... }` of named fields.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let attrs = take_attrs(tokens, &mut pos)?;
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(tokens, &mut pos);
+        let TokenTree::Ident(name) = &tokens[pos] else {
+            return Err(format!("expected field name, found `{}`", tokens[pos]));
+        };
+        let name = name.to_string();
+        pos += 1;
+        if !matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!(
+                "expected `:` after field `{name}` (tuple structs are unsupported)"
+            ));
+        }
+        pos += 1;
+        skip_type(tokens, &mut pos);
+        pos += 1; // the separating comma (or one past the end)
+        fields.push(Field {
+            name,
+            default: attrs.default.unwrap_or(DefaultKind::None),
+            skip_serializing_if: attrs.skip_serializing_if,
+        });
+    }
+    Ok(fields)
+}
+
+/// Parses the contents of an enum's `{ ... }`.
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        take_attrs(tokens, &mut pos)?;
+        if pos >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[pos] else {
+            return Err(format!("expected variant name, found `{}`", tokens[pos]));
+        };
+        let name = name.to_string();
+        pos += 1;
+        let fields = match &tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Some(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                )?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("tuple variant `{name}` is unsupported"));
+            }
+            _ => None,
+        };
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let container = take_attrs(&tokens, &mut pos)?;
+    skip_visibility(&tokens, &mut pos);
+    let keyword = match &tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    pos += 1;
+    let name = match &tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found `{other:?}`")),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("generic type `{name}` is unsupported"));
+    }
+    let body = match &tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        _ => return Err(format!("`{name}` must have a braced body (named fields)")),
+    };
+    let shape = match keyword.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(&body)?),
+        "enum" => Shape::Enum(parse_variants(&body)?),
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+    Ok(Item {
+        name,
+        rename_all: container.rename_all,
+        shape,
+    })
+}
+
+/// `CamelCase` → `snake_case` (serde's rename_all = "snake_case").
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn variant_tag(item: &Item, variant: &str) -> String {
+    if item.rename_all.is_some() {
+        snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut out = String::new();
+            out.push_str(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let push = format!(
+                    "__fields.push((::std::string::String::from({:?}), \
+                     ::serde::Serialize::to_value(&self.{})));",
+                    f.name, f.name
+                );
+                match &f.skip_serializing_if {
+                    Some(path) => out.push_str(&format!(
+                        "if !{path}(&self.{field}) {{ {push} }}\n",
+                        field = f.name
+                    )),
+                    None => {
+                        out.push_str(&push);
+                        out.push('\n');
+                    }
+                }
+            }
+            out.push_str("::serde::Value::Object(__fields)\n");
+            out
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = variant_tag(item, &v.name);
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{variant} => \
+                         ::serde::Value::String(::std::string::String::from({tag:?})),\n",
+                        variant = v.name
+                    )),
+                    Some(fields) => {
+                        let bindings: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            let push = format!(
+                                "__inner.push((::std::string::String::from({:?}), \
+                                 ::serde::Serialize::to_value({})));",
+                                f.name, f.name
+                            );
+                            match &f.skip_serializing_if {
+                                Some(path) => pushes.push_str(&format!(
+                                    "if !{path}({field}) {{ {push} }}\n",
+                                    field = f.name
+                                )),
+                                None => {
+                                    pushes.push_str(&push);
+                                    pushes.push('\n');
+                                }
+                            }
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{variant} {{ {bindings} }} => {{\n\
+                             let mut __inner: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Object(::std::vec::Vec::from([\
+                             (::std::string::String::from({tag:?}), \
+                             ::serde::Value::Object(__inner))]))\n}}\n",
+                            variant = v.name,
+                            bindings = bindings.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+/// One `field: match ::serde::find_field(...)` initializer.
+fn gen_field_init(ty_name: &str, f: &Field, fields_expr: &str) -> String {
+    let missing = match &f.default {
+        DefaultKind::None => format!(
+            "return ::std::result::Result::Err(\
+             ::serde::DeError::missing_field({:?}, {:?}))",
+            f.name, ty_name
+        ),
+        DefaultKind::Std => "::core::default::Default::default()".to_string(),
+        DefaultKind::Path(path) => format!("{path}()"),
+    };
+    format!(
+        "{field}: match ::serde::find_field({fields_expr}, {field_str:?}) {{\n\
+         ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+         ::std::option::Option::None => {missing},\n}},\n",
+        field = f.name,
+        field_str = f.name,
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| gen_field_init(name, f, "__fields"))
+                .collect();
+            format!(
+                "let __fields = __value.as_object().ok_or_else(|| \
+                 ::serde::DeError::invalid_type(\"object\", __value))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let tag = variant_tag(item, &v.name);
+                match &v.fields {
+                    None => unit_arms.push_str(&format!(
+                        "{tag:?} => ::std::result::Result::Ok({name}::{variant}),\n",
+                        variant = v.name
+                    )),
+                    Some(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| gen_field_init(name, f, "__inner_fields"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{tag:?} => {{\n\
+                             let __inner_fields = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::invalid_type(\"object\", __inner))?;\n\
+                             ::std::result::Result::Ok({name}::{variant} {{\n{inits}}})\n}}\n",
+                            variant = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(__other, {name:?})),\n}},\n\
+                 ::serde::Value::Object(__tagged) if __tagged.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__tagged[0];\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(__other, {name:?})),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"invalid enum representation for {name}\")),\n}}\n"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}}}\n}}\n"
+    )
+}
+
+/// Derives `serde::Serialize` (Value-based stub data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen error: {e}"))),
+        Err(e) => compile_error(&format!("derive(Serialize): {e}")),
+    }
+}
+
+/// Derives `serde::Deserialize` (Value-based stub data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen error: {e}"))),
+        Err(e) => compile_error(&format!("derive(Deserialize): {e}")),
+    }
+}
