@@ -1,0 +1,76 @@
+//! Serving-layer round-trip latency (Criterion).
+//!
+//! Measures a full HTTP request over loopback against an in-process
+//! [`Server`]: connect, write, route, respond, close. Three points on
+//! the cost ladder: `/healthz` (pure transport + routing), a cached
+//! `/v1/solve` (transport + store lookup — the steady-state serving
+//! path the R2 recipe load-tests), and an uncached `/v1/solve`
+//! (transport + a real IRFH solve, the cold-cache worst case).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use wrsn_engine::ResultStore;
+use wrsn_serve::api::ApiContext;
+use wrsn_serve::{client, Server, ServerConfig, ServerHandle};
+
+const SOLVE_BODY: &str =
+    r#"{"instance":{"posts":10,"nodes":40,"field":200.0},"solver":"irfh","seed":7}"#;
+
+fn start(store: Option<Arc<ResultStore>>) -> ServerHandle {
+    let mut api = ApiContext::new();
+    api.store = store;
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        queue_depth: 64,
+    };
+    Server::start(&config, api).expect("bind loopback")
+}
+
+fn scratch_store() -> Arc<ResultStore> {
+    let dir = std::env::temp_dir().join("wrsn-bench-serve-cache");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    Arc::new(ResultStore::open(dir).expect("open store"))
+}
+
+fn bench_round_trips(c: &mut Criterion) {
+    let server = start(Some(scratch_store()));
+    let addr = server.addr().to_string();
+
+    // Warm the cache so the "cached" benchmark measures pure hits.
+    let warm = client::request(&addr, "POST", "/v1/solve", Some(SOLVE_BODY)).expect("warm-up");
+    assert_eq!(warm.status, 200, "{}", warm.body);
+
+    let mut group = c.benchmark_group("serve round-trip");
+    group.bench_function("healthz", |b| {
+        b.iter(|| client::request(&addr, "GET", "/healthz", None).unwrap())
+    });
+    group.bench_function("solve cached", |b| {
+        b.iter(|| {
+            let resp = client::request(&addr, "POST", "/v1/solve", Some(SOLVE_BODY)).unwrap();
+            assert_eq!(resp.status, 200);
+            resp
+        })
+    });
+    group.finish();
+    server.shutdown().expect("clean shutdown");
+
+    // Uncached: no store, every request pays for a real solve.
+    let server = start(None);
+    let addr = server.addr().to_string();
+    let mut group = c.benchmark_group("serve round-trip");
+    group.sample_size(20);
+    group.bench_function("solve uncached", |b| {
+        b.iter(|| {
+            let resp = client::request(&addr, "POST", "/v1/solve", Some(SOLVE_BODY)).unwrap();
+            assert_eq!(resp.status, 200);
+            resp
+        })
+    });
+    group.finish();
+    server.shutdown().expect("clean shutdown");
+}
+
+criterion_group!(benches, bench_round_trips);
+criterion_main!(benches);

@@ -10,16 +10,16 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use wrsn_charging::FieldExperiment;
 use wrsn_core::reduction::reduce;
-use wrsn_core::{
-    BranchAndBound, ChargeSpec, Instance, InstanceSampler, InstanceSpec, Solution, Solver,
-};
-use wrsn_energy::{Energy, TxLevels};
+use wrsn_core::{BranchAndBound, Instance, InstanceSpec, Solution, Solver};
+use wrsn_energy::Energy;
 use wrsn_engine::{
-    merge_checkpoints, EngineError, Experiment, InstanceSource, ResultStore, RetryPolicy,
-    RunReport, SeedEvent, SolverRegistry, SweepCheckpoint, SweepRunner, Table,
+    cache_tag, merge_checkpoints, EngineError, Experiment, InstanceParams, InstanceSource,
+    ResultStore, RetryPolicy, RunReport, SeedEvent, SolverRegistry, SweepCheckpoint, SweepRunner,
+    Table,
 };
-use wrsn_geom::Field;
 use wrsn_sat::{CnfFormula, DpllSolver};
+use wrsn_serve::api::ApiContext;
+use wrsn_serve::{client, Server, ServerConfig};
 use wrsn_sim::{ChargerPolicy, FaultPlan, PatrolTour, SimConfig, Simulator};
 
 /// Top-level usage text.
@@ -36,6 +36,9 @@ COMMANDS:
     simulate   solve, then run the network in the discrete-event simulator
     fieldexp   replay the Section II RF charging field experiment
     reduce     reduce a 3-CNF DIMACS formula to a deployment instance (Section IV)
+    serve      run the HTTP serving layer over the solver registry
+    loadgen    drive a running server and report throughput/latency
+    cache      maintain the content-addressed result store (gc)
     help       show this message (or `wrsn <command> --help`)
 
 Run `wrsn <command> --help` for per-command options.";
@@ -129,7 +132,50 @@ Failure injection (any of these enables the fault plan):
     --outage P:A:B,... post P is offline for rounds A..B
     --charger-skip Q   probability a due refill is skipped
     --charger-delay Q  probability a patrol leg is delayed
-    --delay-s S        extra seconds per delayed leg        [default: 5]";
+    --delay-s S        extra seconds per delayed leg        [default: 5]
+    --link-loss Q      per-hop probability a transmission is lost
+                       (lost reports count against delivery ratio)";
+
+const SERVE_HELP: &str = "\
+wrsn serve — a std-only HTTP/1.1 JSON service over the solver registry
+
+Endpoints: POST /v1/solve, /v1/simulate, /v1/sweep; GET /v1/solvers,
+/healthz, /statusz. Runs until SIGINT/SIGTERM, then drains in-flight
+requests and flushes the result store.
+
+OPTIONS:
+    --addr A:P      bind address                    [default: 127.0.0.1:7421]
+    --workers N     request worker threads          [default: 4]
+    --queue-depth Q admission queue capacity; overflow is answered
+                    with 503 + Retry-After          [default: 64]
+    --cache [DIR]   share the result store at DIR across requests
+                    [default dir: bench_results/cache]";
+
+const LOADGEN_HELP: &str = "\
+wrsn loadgen — drive a running `wrsn serve` and measure it
+
+OPTIONS:
+    --addr A:P      server address                  [default: 127.0.0.1:7421]
+    --concurrency C client threads                  [default: 4]
+    --requests N    total requests to send          [default: 200]
+    --path P        endpoint to hit                 [default: /v1/solve]
+    --method M      HTTP method                     [default: POST]
+    --body JSON     request body                    [default: {}]
+    --json          machine-readable output";
+
+const CACHE_HELP: &str = "\
+wrsn cache — maintain the content-addressed result store
+
+SUBCOMMANDS:
+    gc              drop entries unreachable from the current engine
+                    version/fingerprint scheme, optionally enforce a
+                    size budget (oldest entries evicted first), and
+                    compact the store into a single segment
+
+OPTIONS (gc):
+    --cache [DIR]   store directory   [default dir: bench_results/cache]
+    --max-bytes N   on-disk size budget after the unreachable pass
+    --json          machine-readable GcReport output";
 
 const FIELDEXP_HELP: &str = "\
 wrsn fieldexp — replay the Section II field experiment
@@ -211,12 +257,18 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "simulate" if wants_help => Ok(SIMULATE_HELP.to_string()),
         "fieldexp" if wants_help => Ok(FIELDEXP_HELP.to_string()),
         "reduce" if wants_help => Ok(REDUCE_HELP.to_string()),
+        "serve" if wants_help => Ok(SERVE_HELP.to_string()),
+        "loadgen" if wants_help => Ok(LOADGEN_HELP.to_string()),
+        "cache" if wants_help => Ok(CACHE_HELP.to_string()),
         "solve" => solve(Args::parse(rest.to_vec())?),
         "sweep" => sweep(Args::parse(rest.to_vec())?),
         "merge" => merge(Args::parse(rest.to_vec())?),
         "simulate" => simulate(Args::parse(rest.to_vec())?),
         "fieldexp" => fieldexp(Args::parse(rest.to_vec())?),
         "reduce" => reduce_cmd(Args::parse(rest.to_vec())?),
+        "serve" => serve_cmd(Args::parse(rest.to_vec())?),
+        "loadgen" => loadgen_cmd(Args::parse(rest.to_vec())?),
+        "cache" => cache_cmd(rest),
         other => Err(CliError::Msg(format!(
             "unknown command {other:?}\n\n{USAGE}"
         ))),
@@ -272,14 +324,19 @@ impl InstanceOptions {
                 .map_err(|e| CliError::Msg(format!("spec in {path}: {e}")))?;
             Ok(InstanceSource::Spec(spec))
         } else {
-            let mut sampler =
-                InstanceSampler::new(Field::square(self.field), self.posts, self.nodes)
-                    .levels(TxLevels::evenly_spaced(self.levels, 25.0))
-                    .charge(ChargeSpec::linear(self.eta));
-            if let Some(c) = self.cap {
-                sampler = sampler.max_nodes_per_post(c);
-            }
-            Ok(InstanceSource::Sampled(sampler))
+            // The sampler recipe lives in the engine's InstanceParams so
+            // the HTTP API and the CLI resolve identical parameters to
+            // identical instances (and identical cache fingerprints).
+            let params = InstanceParams {
+                posts: self.posts,
+                nodes: self.nodes,
+                field: self.field,
+                levels: self.levels,
+                eta: self.eta,
+                cap: self.cap,
+                spec: None,
+            };
+            params.source().map_err(CliError::from)
         }
     }
 }
@@ -754,6 +811,7 @@ struct SimulateReport {
     rounds_after_first_fault: u64,
     charger_skips: u64,
     charger_delays: u64,
+    link_losses: u64,
     max_energy_deficit: f64,
 }
 
@@ -821,6 +879,7 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
     let charger_skip: Option<f64> = args.opt("charger-skip", "a probability")?;
     let charger_delay: Option<f64> = args.opt("charger-delay", "a probability")?;
     let delay_s: f64 = args.get_or("delay-s", "seconds", 5.0)?;
+    let link_loss: Option<f64> = args.opt("link-loss", "a probability")?;
     let setup = setup_solve(&mut args)?;
     args.finish()?;
     let faults = if fault_seed.is_some()
@@ -828,6 +887,7 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
         || outage.is_some()
         || charger_skip.is_some()
         || charger_delay.is_some()
+        || link_loss.is_some()
     {
         let mut plan = FaultPlan::seeded(fault_seed.unwrap_or(0));
         if let Some(text) = &kill {
@@ -845,6 +905,9 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
         }
         if let Some(p) = charger_delay {
             plan = plan.charger_delays(p, delay_s);
+        }
+        if let Some(p) = link_loss {
+            plan = plan.link_loss(p);
         }
         plan.validate(setup.instance.num_posts())
             .map_err(|why| CliError::Msg(format!("fault plan: {why}")))?;
@@ -903,6 +966,7 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
         rounds_after_first_fault: report.rounds_after_first_fault,
         charger_skips: report.charger_skips,
         charger_delays: report.charger_delays,
+        link_losses: report.link_losses,
         max_energy_deficit: report.max_energy_deficit,
     };
     if setup.json {
@@ -928,7 +992,7 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
         let _ = writeln!(
             out,
             "faults: delivery ratio {:.3}, first fault at round {}, {} round(s) survived after, \
-             charger skips {} / delays {}, max energy deficit {:.3}",
+             charger skips {} / delays {}, link losses {}, max energy deficit {:.3}",
             report.delivery_ratio(),
             report
                 .first_fault_round
@@ -936,6 +1000,7 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
             report.rounds_after_first_fault,
             report.charger_skips,
             report.charger_delays,
+            report.link_losses,
             report.max_energy_deficit,
         );
     }
@@ -1115,6 +1180,159 @@ fn reduce_cmd(mut args: Args) -> Result<String, CliError> {
             );
         }
     }
+    Ok(out)
+}
+
+fn serve_cmd(mut args: Args) -> Result<String, CliError> {
+    let addr: String = args.get_or("addr", "an address:port", "127.0.0.1:7421".to_string())?;
+    let workers: usize = args.get_or("workers", "a worker count", 4)?;
+    let queue_depth: usize = args.get_or("queue-depth", "a queue capacity", 64)?;
+    let cache_arg = args.flag_or_value("cache");
+    args.finish()?;
+    if workers == 0 {
+        return Err(CliError::Msg("--workers must be at least 1".into()));
+    }
+    if queue_depth == 0 {
+        return Err(CliError::Msg("--queue-depth must be at least 1".into()));
+    }
+    let store = cache_arg.map(open_cache).transpose()?;
+    let cache_note = match &store {
+        Some(store) => format!(
+            ", cache {} ({} entries)",
+            store.dir().display(),
+            store.len()
+        ),
+        None => String::new(),
+    };
+    let mut api = ApiContext::new();
+    api.store = store;
+    let config = ServerConfig {
+        addr,
+        workers,
+        queue_depth,
+    };
+    let handle = Server::start(&config, api).map_err(|e| CliError::Msg(e.to_string()))?;
+    let bound = handle.addr();
+    // Announce readiness on stderr immediately — stdout is the final
+    // report, printed only after shutdown.
+    eprintln!(
+        "wrsn-serve listening on {bound} ({workers} worker(s), queue {queue_depth}{cache_note})"
+    );
+    handle
+        .run_until_signal()
+        .map_err(|e| CliError::Msg(e.to_string()))?;
+    Ok(format!("wrsn-serve on {bound}: shut down cleanly"))
+}
+
+#[derive(Serialize)]
+struct LoadgenRow {
+    requests: u64,
+    ok: u64,
+    non_ok: u64,
+    errors: u64,
+    elapsed_s: f64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+fn loadgen_cmd(mut args: Args) -> Result<String, CliError> {
+    let addr: String = args.get_or("addr", "an address:port", "127.0.0.1:7421".to_string())?;
+    let concurrency: usize = args.get_or("concurrency", "a thread count", 4)?;
+    let requests: u64 = args.get_or("requests", "a request count", 200)?;
+    let path: String = args.get_or("path", "an endpoint path", "/v1/solve".to_string())?;
+    let method: String = args.get_or("method", "an HTTP method", "POST".to_string())?;
+    let body: String = args.get_or("body", "a JSON body", "{}".to_string())?;
+    let json = args.flag("json");
+    args.finish()?;
+    if concurrency == 0 || requests == 0 {
+        return Err(CliError::Msg(
+            "--concurrency and --requests must be at least 1".into(),
+        ));
+    }
+    let body_opt = if method == "GET" {
+        None
+    } else {
+        Some(body.as_str())
+    };
+    let report = client::loadgen(&addr, &method, &path, body_opt, concurrency, requests)
+        .map_err(|e| CliError::Msg(e.to_string()))?;
+    let ms = |q: f64| report.quantile(q).as_secs_f64() * 1e3;
+    let row = LoadgenRow {
+        requests,
+        ok: report.ok,
+        non_ok: report.non_ok,
+        errors: report.errors,
+        elapsed_s: report.elapsed.as_secs_f64(),
+        throughput_rps: report.throughput_rps(),
+        p50_ms: ms(0.50),
+        p95_ms: ms(0.95),
+        p99_ms: ms(0.99),
+    };
+    if json {
+        return Ok(serde_json::to_string_pretty(&row).expect("serializable"));
+    }
+    let mut table = Table::new(
+        &format!("loadgen {method} {path} ({requests} requests, {concurrency} thread(s))"),
+        &["metric", "value"],
+    );
+    table.row(&["ok".to_string(), row.ok.to_string()]);
+    table.row(&["non-200".to_string(), row.non_ok.to_string()]);
+    table.row(&["transport errors".to_string(), row.errors.to_string()]);
+    table.row(&["elapsed (s)".to_string(), format!("{:.3}", row.elapsed_s)]);
+    table.row(&[
+        "throughput (req/s)".to_string(),
+        format!("{:.1}", row.throughput_rps),
+    ]);
+    table.row(&["p50 (ms)".to_string(), format!("{:.2}", row.p50_ms)]);
+    table.row(&["p95 (ms)".to_string(), format!("{:.2}", row.p95_ms)]);
+    table.row(&["p99 (ms)".to_string(), format!("{:.2}", row.p99_ms)]);
+    Ok(table.render())
+}
+
+fn cache_cmd(rest: &[String]) -> Result<String, CliError> {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Ok(CACHE_HELP.to_string());
+    };
+    match sub.as_str() {
+        "gc" => cache_gc(Args::parse(rest.to_vec())?),
+        other => Err(CliError::Msg(format!(
+            "unknown cache subcommand {other:?}\n\n{CACHE_HELP}"
+        ))),
+    }
+}
+
+fn cache_gc(mut args: Args) -> Result<String, CliError> {
+    let cache_arg = args.flag_or_value("cache");
+    let max_bytes: Option<u64> = args.opt("max-bytes", "a byte budget")?;
+    let json = args.flag("json");
+    args.finish()?;
+    let store = open_cache(cache_arg.flatten())?;
+    let tag = cache_tag();
+    let report = store
+        .gc(|t| t == Some(tag.as_str()), max_bytes)
+        .map_err(|e| CliError::Msg(e.to_string()))?;
+    if json {
+        return Ok(serde_json::to_string_pretty(&report).expect("serializable"));
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "cache gc in {}:", store.dir().display());
+    let _ = writeln!(
+        out,
+        "  kept {} entr{}, dropped {} unreachable + {} over budget",
+        report.kept,
+        if report.kept == 1 { "y" } else { "ies" },
+        report.dropped_unreachable,
+        report.dropped_for_budget,
+    );
+    let _ = writeln!(
+        out,
+        "  disk: {} -> {} bytes ({} reclaimed)",
+        report.bytes_before,
+        report.bytes_after,
+        report.bytes_reclaimed()
+    );
     Ok(out)
 }
 
@@ -1771,5 +1989,136 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("probability"));
+        assert!(run_str(&format!("{base} --link-loss 2.0"))
+            .unwrap_err()
+            .to_string()
+            .contains("fault plan"));
+    }
+
+    #[test]
+    fn simulate_link_loss_degrades_delivery() {
+        let base = "simulate --posts 5 --nodes 15 --field 150 --seed 4 --algo idb --rounds 50";
+        let out = run_str(&format!("{base} --link-loss 1.0 --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["delivery_ratio"], 0.0);
+        assert_eq!(v["reports_delivered"], 0);
+        assert!(v["link_losses"].as_u64().unwrap() > 0);
+        // Without faults the field is present and zero.
+        let out = run_str(&format!("{base} --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["link_losses"], 0);
+        assert_eq!(v["delivery_ratio"], 1.0);
+    }
+
+    #[test]
+    fn new_commands_have_help() {
+        assert!(run_str("serve --help").unwrap().contains("--queue-depth"));
+        assert!(run_str("loadgen --help").unwrap().contains("--concurrency"));
+        assert!(run_str("cache --help").unwrap().contains("gc"));
+        assert!(
+            run_str("cache").unwrap().contains("gc"),
+            "bare `cache` prints help"
+        );
+        assert!(run_str("cache frobnicate")
+            .unwrap_err()
+            .to_string()
+            .contains("unknown cache subcommand"));
+    }
+
+    #[test]
+    fn serve_and_loadgen_validate_their_options() {
+        assert!(run_str("serve --workers 0")
+            .unwrap_err()
+            .to_string()
+            .contains("--workers"));
+        assert!(run_str("serve --queue-depth 0")
+            .unwrap_err()
+            .to_string()
+            .contains("--queue-depth"));
+        assert!(run_str("serve --addr not-an-address")
+            .unwrap_err()
+            .to_string()
+            .contains("not-an-address"));
+        assert!(run_str("loadgen --requests 0")
+            .unwrap_err()
+            .to_string()
+            .contains("--requests"));
+        // A dead server fails fast instead of producing an all-error report.
+        assert!(run_str("loadgen --addr 127.0.0.1:9 --requests 1")
+            .unwrap_err()
+            .to_string()
+            .contains("127.0.0.1:9"));
+    }
+
+    #[test]
+    fn cache_gc_reclaims_stale_entries() {
+        let dir = std::env::temp_dir().join("wrsn-cli-cache-gc");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Populate via a cached sweep, then add one entry under a stale tag.
+        let _ = run_str(&format!(
+            "sweep --posts 5 --nodes 10 --field 150 --algo idb --seeds 3 \
+             --no-timings --json --cache {}",
+            dir.display()
+        ))
+        .unwrap();
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            let mut fp = wrsn_engine::FingerprintBuilder::new("wrsn-seedrun-v0");
+            fp.push_str("stale");
+            store
+                .put_tagged(&fp.finish(), serde_json::from_str("{}").unwrap(), "old-tag")
+                .unwrap();
+        }
+        let out = run_str(&format!("cache gc --cache {} --json", dir.display())).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["kept"], 3);
+        assert_eq!(v["dropped_unreachable"], 1);
+        assert_eq!(v["dropped_for_budget"], 0);
+        // The kept entries still serve cache hits.
+        let out = run_str(&format!(
+            "sweep --posts 5 --nodes 10 --field 150 --algo idb --seeds 3 \
+             --no-timings --json --cache {}",
+            dir.display()
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["cache"]["hits"], 3);
+        // A zero budget clears everything and reports reclaimed bytes.
+        let out = run_str(&format!(
+            "cache gc --cache {} --max-bytes 0 --json",
+            dir.display()
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["kept"], 0);
+        assert_eq!(v["dropped_for_budget"], 3);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn serve_loadgen_round_trip_with_cache() {
+        let dir = std::env::temp_dir().join("wrsn-cli-serve-roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut api = ApiContext::new();
+        api.store = Some(Arc::new(ResultStore::open(&dir).unwrap()));
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 16,
+        };
+        let handle = Server::start(&config, api).unwrap();
+        let addr = handle.addr().to_string();
+        let body = "{\"instance\":{\"posts\":5,\"nodes\":10,\"field\":150.0},\"solver\":\"idb\"}";
+        let out = run_str(&format!(
+            "loadgen --addr {addr} --concurrency 2 --requests 10 --body {} --json",
+            body.replace(' ', "")
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["ok"], 10);
+        assert_eq!(v["errors"], 0);
+        assert!(v["throughput_rps"].as_f64().unwrap() > 0.0);
+        handle.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

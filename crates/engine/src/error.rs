@@ -59,6 +59,9 @@ pub enum EngineError {
     },
     /// The experiment was configured with an empty seed range.
     NoSeeds,
+    /// A request's parameters were out of range or inconsistent (used
+    /// by front ends resolving declarative parameters into sources).
+    InvalidRequest(String),
 }
 
 impl fmt::Display for EngineError {
@@ -94,6 +97,7 @@ impl fmt::Display for EngineError {
                 "invalid shard {index}/{count}: the index is 1-based and must lie in 1..={count}"
             ),
             EngineError::NoSeeds => write!(f, "experiment has an empty seed range"),
+            EngineError::InvalidRequest(message) => write!(f, "invalid request: {message}"),
         }
     }
 }

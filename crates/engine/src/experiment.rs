@@ -22,6 +22,17 @@ use wrsn_store::{CacheStats, Fingerprint, FingerprintBuilder, ResultStore};
 /// stale cached results.
 pub const ENGINE_VERSION: &str = env!("CARGO_PKG_VERSION");
 
+/// The reachability tag stamped on every cache entry this engine
+/// writes: fingerprint-scheme domain plus engine version. `wrsn cache
+/// gc` keeps exactly the entries carrying the current tag — anything
+/// else (older engine versions, older schemes, untagged legacy
+/// segments) is by construction unreachable from today's
+/// [`seed_fingerprint`] keys and safe to drop.
+#[must_use]
+pub fn cache_tag() -> String {
+    format!("wrsn-seedrun-v1/{ENGINE_VERSION}")
+}
+
 /// Where an experiment's instances come from.
 #[derive(Debug, Clone)]
 pub enum InstanceSource {
@@ -589,7 +600,7 @@ impl Experiment {
                         self.capture_history,
                         *seed,
                     );
-                    if store.put(&key, run.to_value())? {
+                    if store.put_tagged(&key, run.to_value(), &cache_tag())? {
                         cache_stats.appended += 1;
                     }
                 }

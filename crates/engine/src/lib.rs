@@ -37,6 +37,7 @@
 mod checkpoint;
 mod error;
 mod experiment;
+mod params;
 mod registry;
 mod report;
 mod runner;
@@ -44,7 +45,10 @@ mod table;
 
 pub use checkpoint::{merge_checkpoints, CheckpointLog, SweepCheckpoint, CHECKPOINT_VERSION};
 pub use error::EngineError;
-pub use experiment::{seed_fingerprint, Experiment, InstanceSource, SeedEvent, ENGINE_VERSION};
+pub use experiment::{
+    cache_tag, seed_fingerprint, Experiment, InstanceSource, SeedEvent, ENGINE_VERSION,
+};
+pub use params::InstanceParams;
 pub use registry::{SolverFactory, SolverRegistry};
 pub use report::{mean, save_json, std_dev, RunReport, SeedFailure, SeedRun, SummaryStats};
 pub use runner::{run_seeds, Failure, RetryPolicy, SeedOutcome, SweepRunner};
@@ -52,4 +56,6 @@ pub use table::Table;
 
 // Result-store types surface through the engine so consumers (CLI,
 // benches) don't need a direct wrsn-store dependency for common use.
-pub use wrsn_store::{CacheStats, Fingerprint, FingerprintBuilder, ResultStore, StoreError};
+pub use wrsn_store::{
+    CacheStats, Fingerprint, FingerprintBuilder, GcReport, ResultStore, StoreError,
+};

@@ -1,0 +1,217 @@
+//! Declarative instance parameters: the JSON-friendly description of an
+//! instance source shared by the CLI flags and the serving layer's
+//! request bodies, so both front ends resolve requests into identical
+//! [`InstanceSource`]s (and therefore identical cache fingerprints).
+
+use crate::{EngineError, InstanceSource};
+use serde::{Deserialize, Serialize};
+use wrsn_core::{ChargeSpec, InstanceSampler, InstanceSpec};
+use wrsn_energy::TxLevels;
+use wrsn_geom::Field;
+
+fn default_posts() -> usize {
+    100
+}
+fn default_nodes() -> u32 {
+    400
+}
+fn default_field() -> f64 {
+    500.0
+}
+fn default_levels() -> usize {
+    3
+}
+fn default_eta() -> f64 {
+    1.0
+}
+
+/// The instance-shaping parameters accepted by every front end: post
+/// and node counts, field side length, transmit-level count, charging
+/// efficiency, an optional per-post node cap, and an optional pinned
+/// [`InstanceSpec`] that overrides the sampled geometry entirely.
+///
+/// Defaults match the paper's headline configuration (100 posts, 400
+/// nodes, a 500 m field, 3 transmit levels, lossless charging) and the
+/// CLI's historical flag defaults.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_engine::InstanceParams;
+///
+/// let params = InstanceParams::default();
+/// assert_eq!(params.posts, 100);
+/// let source = params.source()?;
+/// assert!(matches!(source, wrsn_engine::InstanceSource::Sampled(_)));
+/// # Ok::<(), wrsn_engine::EngineError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InstanceParams {
+    /// Number of monitoring posts (sampled instances).
+    #[serde(default = "default_posts")]
+    pub posts: usize,
+    /// Number of sensor nodes to distribute over the posts.
+    #[serde(default = "default_nodes")]
+    pub nodes: u32,
+    /// Side length of the square deployment field, meters.
+    #[serde(default = "default_field")]
+    pub field: f64,
+    /// Number of evenly spaced transmit power levels.
+    #[serde(default = "default_levels")]
+    pub levels: usize,
+    /// Wireless charging efficiency in `(0, 1]`.
+    #[serde(default = "default_eta")]
+    pub eta: f64,
+    /// Optional maximum nodes per post for the sampler.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cap: Option<u32>,
+    /// A pinned instance spec; when present the sampled parameters
+    /// above are ignored and every seed rebuilds this exact instance.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub spec: Option<InstanceSpec>,
+}
+
+impl Default for InstanceParams {
+    fn default() -> Self {
+        InstanceParams {
+            posts: default_posts(),
+            nodes: default_nodes(),
+            field: default_field(),
+            levels: default_levels(),
+            eta: default_eta(),
+            cap: None,
+            spec: None,
+        }
+    }
+}
+
+impl InstanceParams {
+    /// Validates the parameters and resolves them into an engine
+    /// instance source: a pinned spec when `spec` is present, a
+    /// configured sampler otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] for out-of-range parameters;
+    /// [`EngineError::Build`] when a pinned spec describes an invalid
+    /// instance.
+    pub fn source(&self) -> Result<InstanceSource, EngineError> {
+        if let Some(spec) = &self.spec {
+            // Validate eagerly so bad specs fail at request time, not
+            // per seed deep inside a sweep.
+            spec.build()?;
+            return Ok(InstanceSource::Spec(spec.clone()));
+        }
+        if self.posts == 0 || self.nodes == 0 || self.field <= 0.0 || self.levels == 0 {
+            return Err(EngineError::InvalidRequest(
+                "posts, nodes, field and levels must be positive".to_string(),
+            ));
+        }
+        if !(self.eta > 0.0 && self.eta <= 1.0) {
+            return Err(EngineError::InvalidRequest(format!(
+                "eta must lie in (0, 1], got {}",
+                self.eta
+            )));
+        }
+        let mut sampler = InstanceSampler::new(Field::square(self.field), self.posts, self.nodes)
+            .levels(TxLevels::evenly_spaced(self.levels, 25.0))
+            .charge(ChargeSpec::linear(self.eta));
+        if let Some(c) = self.cap {
+            sampler = sampler.max_nodes_per_post(c);
+        }
+        Ok(InstanceSource::Sampled(sampler))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_cli_flags() {
+        let p = InstanceParams::default();
+        assert_eq!(
+            (p.posts, p.nodes, p.field, p.levels, p.eta),
+            (100, 400, 500.0, 3, 1.0)
+        );
+        assert!(p.cap.is_none() && p.spec.is_none());
+    }
+
+    #[test]
+    fn empty_json_deserializes_to_defaults() {
+        let v: serde::Value = serde_json::from_str("{}").unwrap();
+        let p = InstanceParams::from_value(&v).unwrap();
+        assert_eq!(p.posts, 100);
+        assert_eq!(p.nodes, 400);
+    }
+
+    #[test]
+    fn sampled_source_resolves_and_validates() {
+        let p = InstanceParams {
+            posts: 6,
+            nodes: 12,
+            field: 150.0,
+            ..InstanceParams::default()
+        };
+        assert!(matches!(p.source().unwrap(), InstanceSource::Sampled(_)));
+        let bad = InstanceParams {
+            eta: 1.5,
+            ..InstanceParams::default()
+        };
+        assert!(matches!(bad.source(), Err(EngineError::InvalidRequest(_))));
+        let zero = InstanceParams {
+            posts: 0,
+            ..InstanceParams::default()
+        };
+        assert!(matches!(zero.source(), Err(EngineError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn pinned_spec_wins_over_sampled_fields() {
+        let instance = InstanceSampler::new(Field::square(150.0), 5, 10).sample(7);
+        let spec = InstanceSpec::from_instance(&instance).unwrap();
+        let p = InstanceParams {
+            // Bogus sampled parameters must be ignored with a spec set.
+            posts: 0,
+            spec: Some(spec),
+            ..InstanceParams::default()
+        };
+        assert!(matches!(p.source().unwrap(), InstanceSource::Spec(_)));
+    }
+
+    #[test]
+    fn source_matches_the_equivalent_hand_built_sampler() {
+        let p = InstanceParams {
+            posts: 8,
+            nodes: 24,
+            field: 200.0,
+            levels: 4,
+            eta: 0.8,
+            cap: Some(6),
+            spec: None,
+        };
+        let by_params = p.source().unwrap();
+        let by_hand = InstanceSource::Sampled(
+            InstanceSampler::new(Field::square(200.0), 8, 24)
+                .levels(TxLevels::evenly_spaced(4, 25.0))
+                .charge(ChargeSpec::linear(0.8))
+                .max_nodes_per_post(6),
+        );
+        // Debug forms drive cache fingerprints; they must agree.
+        assert_eq!(format!("{by_params:?}"), format!("{by_hand:?}"));
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let p = InstanceParams {
+            posts: 9,
+            cap: Some(3),
+            ..InstanceParams::default()
+        };
+        let text = serde_json::to_string(&p.to_value()).unwrap();
+        let v: serde::Value = serde_json::from_str(&text).unwrap();
+        let back = InstanceParams::from_value(&v).unwrap();
+        assert_eq!(back.posts, 9);
+        assert_eq!(back.cap, Some(3));
+    }
+}

@@ -1,0 +1,256 @@
+//! A matching minimal HTTP/1.1 client and the `loadgen` harness.
+//!
+//! The client speaks exactly the dialect the server emits: one request
+//! per connection, `Content-Length` framing, `Connection: close`. The
+//! loadgen fans identical requests across threads and reports exact
+//! (not bucketed) p50/p95/p99 latencies plus throughput.
+
+use crate::ServeError;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A response as the client sees it.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// The status code.
+    pub status: u16,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// The body as text.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// The first header named `name` (lowercase), if any.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Performs one request against `addr` (e.g. `127.0.0.1:7421`) and
+/// reads the full response. `body` is sent as JSON when present.
+///
+/// # Errors
+///
+/// [`ServeError::Client`] on connect, write, read, or parse failure.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<ClientResponse, ServeError> {
+    let client = |m: String| ServeError::Client(m);
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| client(format!("connect {addr}: {e}")))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| client(format!("timeout: {e}")))?;
+    let body = body.unwrap_or("");
+    let text = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(text.as_bytes())
+        .map_err(|e| client(format!("write: {e}")))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| client(format!("read: {e}")))?;
+    parse_response(&raw).map_err(client)
+}
+
+fn parse_response(raw: &[u8]) -> Result<ClientResponse, String> {
+    let text = String::from_utf8_lossy(raw);
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        return Err(format!("no header/body separator in {} bytes", raw.len()));
+    };
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok(ClientResponse {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}
+
+/// What one loadgen run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests that completed with status 200.
+    pub ok: u64,
+    /// Requests that completed with any other status (e.g. 503).
+    pub non_ok: u64,
+    /// Requests that failed at the transport level.
+    pub errors: u64,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+    /// Sorted per-request latencies (successful requests only).
+    pub latencies: Vec<Duration>,
+}
+
+impl LoadgenReport {
+    /// Completed requests (any status) per wall-clock second.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        let total = (self.ok + self.non_ok) as f64;
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            total / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The exact `q`-quantile latency from the sorted samples.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank =
+            ((q * self.latencies.len() as f64).ceil() as usize).clamp(1, self.latencies.len());
+        self.latencies[rank - 1]
+    }
+}
+
+/// Fans `requests` identical (`method`, `path`, `body`) requests over
+/// `concurrency` threads against `addr` and collects latencies.
+///
+/// # Errors
+///
+/// [`ServeError::Client`] only when the very first probe request fails
+/// — a dead server fails fast instead of producing a report of pure
+/// errors. Individual failures during the run are counted, not fatal.
+pub fn loadgen(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    concurrency: usize,
+    requests: u64,
+) -> Result<LoadgenReport, ServeError> {
+    // Probe first so misconfiguration is an error, not a zero report.
+    request(addr, method, path, body)?;
+    let concurrency = concurrency.max(1);
+    let per_thread = requests / concurrency as u64;
+    let remainder = requests % concurrency as u64;
+    let started = Instant::now();
+    let results: Vec<(u64, u64, u64, Vec<Duration>)> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(concurrency);
+        for t in 0..concurrency {
+            let quota = per_thread + u64::from((t as u64) < remainder);
+            handles.push(scope.spawn(move || {
+                let mut ok = 0;
+                let mut non_ok = 0;
+                let mut errors = 0;
+                let mut latencies = Vec::with_capacity(quota as usize);
+                for _ in 0..quota {
+                    let t0 = Instant::now();
+                    match request(addr, method, path, body) {
+                        Ok(resp) if resp.status == 200 => {
+                            ok += 1;
+                            latencies.push(t0.elapsed());
+                        }
+                        Ok(_) => non_ok += 1,
+                        Err(_) => errors += 1,
+                    }
+                }
+                (ok, non_ok, errors, latencies)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen thread panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let mut report = LoadgenReport {
+        ok: 0,
+        non_ok: 0,
+        errors: 0,
+        elapsed,
+        latencies: Vec::new(),
+    };
+    for (ok, non_ok, errors, latencies) in results {
+        report.ok += ok;
+        report.non_ok += non_ok;
+        report.errors += errors;
+        report.latencies.extend(latencies);
+    }
+    report.latencies.sort_unstable();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\n\r\n{\"error\":\"busy\"}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert!(resp.body.contains("busy"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn quantiles_are_exact_order_statistics() {
+        let mut latencies: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        latencies.sort_unstable();
+        let report = LoadgenReport {
+            ok: 100,
+            non_ok: 0,
+            errors: 0,
+            elapsed: Duration::from_secs(1),
+            latencies,
+        };
+        assert_eq!(report.quantile(0.50), Duration::from_millis(50));
+        assert_eq!(report.quantile(0.95), Duration::from_millis(95));
+        assert_eq!(report.quantile(0.99), Duration::from_millis(99));
+        assert!((report.throughput_rps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let report = LoadgenReport {
+            ok: 0,
+            non_ok: 0,
+            errors: 0,
+            elapsed: Duration::ZERO,
+            latencies: Vec::new(),
+        };
+        assert_eq!(report.quantile(0.5), Duration::ZERO);
+        assert_eq!(report.throughput_rps(), 0.0);
+    }
+
+    #[test]
+    fn request_against_a_dead_port_errors() {
+        // Port 9 (discard) is almost certainly closed in the test
+        // environment; a refused connection must surface as Client.
+        let err = request("127.0.0.1:9", "GET", "/healthz", None).unwrap_err();
+        assert!(matches!(err, ServeError::Client(_)));
+    }
+}

@@ -1,0 +1,65 @@
+//! The serving layer's error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// A failure starting the server or talking to one as a client.
+/// Request-handling failures never surface here — they become HTTP
+/// error responses instead.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listener could not bind its address.
+    Bind {
+        /// The requested address.
+        addr: String,
+        /// The underlying error.
+        message: String,
+    },
+    /// A client-side request failed (connect, write, read, or parse).
+    Client(String),
+    /// The shared result store could not be opened or flushed.
+    Store(wrsn_engine::StoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Bind { addr, message } => write!(f, "binding {addr}: {message}"),
+            ServeError::Client(message) => write!(f, "http client: {message}"),
+            ServeError::Store(e) => write!(f, "result store: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wrsn_engine::StoreError> for ServeError {
+    fn from(e: wrsn_engine::StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ServeError::Bind {
+            addr: "127.0.0.1:99999".into(),
+            message: "invalid port".into(),
+        };
+        assert!(e.to_string().contains("127.0.0.1:99999"));
+        let e = ServeError::Client("connection refused".into());
+        assert!(e.to_string().contains("refused"));
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ServeError>();
+    }
+}

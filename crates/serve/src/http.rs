@@ -1,0 +1,325 @@
+//! A minimal HTTP/1.1 subset: exactly what the serving layer needs.
+//!
+//! One request per connection (`Connection: close` on every response),
+//! no chunked transfer, no keep-alive, no TLS. Requests are capped at
+//! 16 KiB of head (request line + headers) and 1 MiB of body; both caps
+//! turn attackers' oversized payloads into cheap early rejections.
+
+use std::io::{Read, Write};
+
+/// Maximum bytes of request line + headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum bytes of request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// The path component (query strings are kept verbatim).
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (lowercase), if any.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy).
+    #[must_use]
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Malformed request line, header, or length field.
+    Bad(String),
+    /// Head or body exceeded its cap.
+    TooLarge,
+    /// The socket failed or closed mid-request.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Bad(m) => write!(f, "bad request: {m}"),
+            ParseError::TooLarge => write!(f, "request too large"),
+            ParseError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// [`ParseError::Bad`] for malformed syntax, [`ParseError::TooLarge`]
+/// past the head/body caps, [`ParseError::Io`] on socket failure.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, ParseError> {
+    // Read byte-wise until the blank line; the head is tiny and the
+    // socket is buffered by the kernel, so this stays simple and never
+    // over-reads into the body.
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(ParseError::TooLarge);
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(ParseError::Bad("connection closed mid-head".to_string()));
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(ParseError::Io(e)),
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::Bad(format!(
+            "malformed request line {request_line:?}"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Bad(format!("unsupported version {version}")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Bad(format!("malformed header {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ParseError::Bad(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(ParseError::Io)?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// Extra headers beyond the defaults (`Content-Type`,
+    /// `Content-Length`, `Connection: close`).
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: String,
+}
+
+/// The standard reason phrase for the status codes this server emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error response `{"error": message}`.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = serde_json::to_string(&serde::Value::Object(vec![(
+            "error".to_string(),
+            serde::Value::String(message.to_string()),
+        )]))
+        .expect("a Value always serializes");
+        Response::json(status, body)
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serializes the response (status line, headers, body) into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn write_to(&self, out: &mut impl Write) -> std::io::Result<()> {
+        let mut text = format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status));
+        text.push_str("Content-Type: application/json\r\n");
+        text.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        text.push_str("Connection: close\r\n");
+        for (name, value) in &self.headers {
+            text.push_str(&format!("{name}: {value}\r\n"));
+        }
+        text.push_str("\r\n");
+        text.push_str(&self.body);
+        out.write_all(text.as_bytes())?;
+        out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<Request, ParseError> {
+        read_request(&mut text.as_bytes())
+    }
+
+    #[test]
+    fn parses_a_get_request() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            "POST /v1/solve HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 13\r\n\r\n{\"solver\":\"x\"}",
+        );
+        // 13 bytes of a 14-byte body: read_exact takes exactly 13.
+        let req = req.unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body.len(), 13);
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let req = parse("GET / HTTP/1.1\r\nX-Thing: 7\r\n\r\n").unwrap();
+        assert_eq!(req.header("x-thing"), Some("7"));
+        assert_eq!(req.header("X-Thing"), None, "lookup uses lowercase");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(matches!(parse("NONSENSE\r\n\r\n"), Err(ParseError::Bad(_))));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: lots\r\n\r\n"),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(parse(""), Err(ParseError::Bad(_))));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_and_heads() {
+        let big = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&big), Err(ParseError::TooLarge)));
+        let huge_head = format!(
+            "GET / HTTP/1.1\r\nX: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(parse(&huge_head), Err(ParseError::TooLarge)));
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        let text = "POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort";
+        assert!(matches!(parse(text), Err(ParseError::Io(_))));
+    }
+
+    #[test]
+    fn response_serializes_with_default_headers() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}")
+            .header("Retry-After", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_response_is_json() {
+        let resp = Response::error(400, "bad things");
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("\"error\""));
+        assert!(resp.body.contains("bad things"));
+    }
+
+    #[test]
+    fn reason_phrases_cover_served_codes() {
+        for code in [200, 400, 404, 405, 413, 500, 503] {
+            assert_ne!(reason(code), "Unknown", "{code}");
+        }
+        assert_eq!(reason(418), "Unknown");
+    }
+
+    #[test]
+    fn round_trips_through_the_wire_format() {
+        let mut out = Vec::new();
+        Response::json(503, "{}")
+            .header("Retry-After", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable"));
+    }
+}

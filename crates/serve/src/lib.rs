@@ -1,0 +1,42 @@
+//! # wrsn-serve — a std-only HTTP serving layer
+//!
+//! Turns the one-shot experiment pipeline into a long-lived daemon: an
+//! HTTP/1.1 JSON service on [`std::net::TcpListener`] with a fixed-size
+//! worker thread pool, a bounded admission queue (overflow is rejected
+//! with `503` + `Retry-After`), and graceful shutdown (drain in-flight
+//! requests, then flush the shared [`wrsn_engine::ResultStore`]).
+//!
+//! Endpoints:
+//!
+//! - `POST /v1/solve` — instance parameters + solver name → cost
+//!   summary (routed through [`wrsn_engine::Experiment`], so repeats
+//!   are answered from the shared result store);
+//! - `POST /v1/simulate` — instance + rounds + optional
+//!   [`wrsn_sim::FaultPlan`] knobs → [`wrsn_sim::SimReport`] metrics;
+//! - `POST /v1/sweep` — a small seed grid through the cached pipeline;
+//!   repeated identical requests return byte-identical bodies;
+//! - `GET /v1/solvers` — the registry listing;
+//! - `GET /healthz`, `GET /statusz` — liveness and introspection
+//!   (uptime, worker/queue occupancy, per-endpoint request counts and
+//!   latency histograms, cumulative cache stats).
+//!
+//! No dependencies beyond `std` and the workspace's own crates — the
+//! server builds offline. The [`client`] module holds the matching
+//! minimal HTTP client and the `loadgen` throughput/latency harness.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+mod error;
+pub mod http;
+mod metrics;
+mod queue;
+mod server;
+pub mod signal;
+
+pub use error::ServeError;
+pub use metrics::{Histogram, Metrics};
+pub use queue::BoundedQueue;
+pub use server::{Server, ServerConfig, ServerHandle};

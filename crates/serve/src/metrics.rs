@@ -1,0 +1,349 @@
+//! Lock-free serving metrics: per-endpoint request counters and
+//! latency histograms, admission rejections, and cumulative cache
+//! stats, all rendered into the `/statusz` JSON.
+
+use serde::{Serialize as _, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use wrsn_engine::CacheStats;
+
+/// Upper bounds (microseconds) of the latency histogram buckets; one
+/// final overflow bucket catches everything slower.
+const BOUNDS_US: [u64; 15] = [
+    100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000,
+    1_000_000, 2_000_000, 5_000_000,
+];
+
+/// A fixed-bucket latency histogram with atomic counters — recording
+/// from many worker threads never takes a lock.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BOUNDS_US.len() + 1],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation of `micros` microseconds.
+    pub fn record(&self, micros: u64) {
+        let idx = BOUNDS_US
+            .iter()
+            .position(|&b| micros <= b)
+            .unwrap_or(BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (zero when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) estimated as the upper bound of
+    /// the first bucket whose cumulative count covers it. Zero when
+    /// empty; the overflow bucket reports `10_000_000` (10 s).
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = (q * count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= target {
+                return BOUNDS_US.get(i).copied().unwrap_or(10_000_000);
+            }
+        }
+        10_000_000
+    }
+
+    /// The histogram as JSON: count, mean, p50/p95/p99 estimates, and
+    /// the non-empty buckets as `[upper_bound_us, count]` pairs.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let mut buckets = Vec::new();
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                let le = BOUNDS_US.get(i).copied().unwrap_or(10_000_000);
+                buckets.push(Value::Array(vec![le.to_value(), n.to_value()]));
+            }
+        }
+        Value::Object(vec![
+            ("count".to_string(), self.count().to_value()),
+            ("mean_us".to_string(), self.mean_us().to_value()),
+            ("p50_us".to_string(), self.quantile_us(0.50).to_value()),
+            ("p95_us".to_string(), self.quantile_us(0.95).to_value()),
+            ("p99_us".to_string(), self.quantile_us(0.99).to_value()),
+            ("buckets_us".to_string(), Value::Array(buckets)),
+        ])
+    }
+}
+
+/// Counters for one endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    /// Requests handled (any status).
+    pub requests: AtomicU64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: AtomicU64,
+    /// Handling latency.
+    pub latency: Histogram,
+}
+
+/// All serving metrics, shared across worker threads.
+#[derive(Debug)]
+pub struct Metrics {
+    start: Instant,
+    endpoints: Vec<(&'static str, EndpointStats)>,
+    /// Connections rejected by admission control (503).
+    pub rejected: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_appended: AtomicU64,
+}
+
+/// The endpoints tracked individually; anything else lands under
+/// `"other"`.
+const ENDPOINTS: [&str; 7] = [
+    "/v1/solve",
+    "/v1/simulate",
+    "/v1/sweep",
+    "/v1/solvers",
+    "/healthz",
+    "/statusz",
+    "other",
+];
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh metrics; uptime starts now.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics {
+            start: Instant::now(),
+            endpoints: ENDPOINTS
+                .iter()
+                .map(|&name| (name, EndpointStats::default()))
+                .collect(),
+            rejected: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_appended: AtomicU64::new(0),
+        }
+    }
+
+    /// The stats bucket for `path` (unknown paths share `"other"`).
+    #[must_use]
+    pub fn endpoint(&self, path: &str) -> &EndpointStats {
+        self.endpoints
+            .iter()
+            .find(|(name, _)| *name == path)
+            .or_else(|| self.endpoints.iter().find(|(name, _)| *name == "other"))
+            .map(|(_, stats)| stats)
+            .expect("\"other\" is always present")
+    }
+
+    /// Records one handled request.
+    pub fn record(&self, path: &str, status: u16, micros: u64) {
+        let stats = self.endpoint(path);
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        stats.latency.record(micros);
+    }
+
+    /// Folds one experiment's cache stats into the cumulative tallies.
+    pub fn add_cache(&self, stats: &CacheStats) {
+        self.cache_hits.fetch_add(stats.hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(stats.misses, Ordering::Relaxed);
+        self.cache_appended
+            .fetch_add(stats.appended, Ordering::Relaxed);
+    }
+
+    /// Cumulative cache stats across every request served.
+    #[must_use]
+    pub fn cache_totals(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+            appended: self.cache_appended.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Seconds since the metrics were created.
+    #[must_use]
+    pub fn uptime_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// The full `/statusz` document. Worker/queue occupancy and store
+    /// size are sampled by the caller (they live outside the metrics).
+    #[must_use]
+    pub fn to_statusz(
+        &self,
+        workers_total: usize,
+        workers_busy: usize,
+        queue_len: usize,
+        queue_capacity: usize,
+        store_entries: Option<usize>,
+    ) -> Value {
+        let endpoints: Vec<(String, Value)> = self
+            .endpoints
+            .iter()
+            .filter(|(_, stats)| stats.requests.load(Ordering::Relaxed) > 0)
+            .map(|(name, stats)| {
+                (
+                    (*name).to_string(),
+                    Value::Object(vec![
+                        (
+                            "requests".to_string(),
+                            stats.requests.load(Ordering::Relaxed).to_value(),
+                        ),
+                        (
+                            "errors".to_string(),
+                            stats.errors.load(Ordering::Relaxed).to_value(),
+                        ),
+                        ("latency".to_string(), stats.latency.to_value()),
+                    ]),
+                )
+            })
+            .collect();
+        let cache = self.cache_totals();
+        let mut cache_fields = vec![
+            ("hits".to_string(), cache.hits.to_value()),
+            ("misses".to_string(), cache.misses.to_value()),
+            ("appended".to_string(), cache.appended.to_value()),
+        ];
+        if let Some(entries) = store_entries {
+            cache_fields.push(("entries".to_string(), entries.to_value()));
+        }
+        Value::Object(vec![
+            ("status".to_string(), Value::String("ok".to_string())),
+            (
+                "engine_version".to_string(),
+                Value::String(wrsn_engine::ENGINE_VERSION.to_string()),
+            ),
+            ("uptime_s".to_string(), self.uptime_s().to_value()),
+            (
+                "workers".to_string(),
+                Value::Object(vec![
+                    ("total".to_string(), workers_total.to_value()),
+                    ("busy".to_string(), workers_busy.to_value()),
+                ]),
+            ),
+            (
+                "queue".to_string(),
+                Value::Object(vec![
+                    ("depth".to_string(), queue_len.to_value()),
+                    ("capacity".to_string(), queue_capacity.to_value()),
+                ]),
+            ),
+            (
+                "rejected".to_string(),
+                self.rejected.load(Ordering::Relaxed).to_value(),
+            ),
+            ("cache".to_string(), Value::Object(cache_fields)),
+            ("endpoints".to_string(), Value::Object(endpoints)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_and_estimates_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_us(0.5), 0, "empty histogram");
+        for _ in 0..90 {
+            h.record(80); // <= 100 us bucket
+        }
+        for _ in 0..10 {
+            h.record(40_000); // <= 50 ms bucket
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.5), 100);
+        assert_eq!(h.quantile_us(0.95), 50_000);
+        assert!(h.mean_us() > 80.0 && h.mean_us() < 40_000.0);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_saturates() {
+        let h = Histogram::new();
+        h.record(60_000_000);
+        assert_eq!(h.quantile_us(0.5), 10_000_000);
+        let v = h.to_value();
+        assert_eq!(v.get("count").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn metrics_track_endpoints_and_errors() {
+        let m = Metrics::new();
+        m.record("/v1/solve", 200, 1_000);
+        m.record("/v1/solve", 400, 500);
+        m.record("/unknown", 404, 10);
+        let solve = m.endpoint("/v1/solve");
+        assert_eq!(solve.requests.load(Ordering::Relaxed), 2);
+        assert_eq!(solve.errors.load(Ordering::Relaxed), 1);
+        assert_eq!(m.endpoint("/unknown").requests.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn statusz_includes_occupancy_and_cache() {
+        let m = Metrics::new();
+        m.record("/v1/sweep", 200, 2_000);
+        m.add_cache(&CacheStats {
+            hits: 4,
+            misses: 1,
+            appended: 1,
+        });
+        m.add_cache(&CacheStats {
+            hits: 5,
+            misses: 0,
+            appended: 0,
+        });
+        let v = m.to_statusz(4, 2, 1, 64, Some(5));
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+        let workers = v.get("workers").unwrap();
+        assert_eq!(workers.get("total").and_then(Value::as_u64), Some(4));
+        assert_eq!(workers.get("busy").and_then(Value::as_u64), Some(2));
+        let cache = v.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Value::as_u64), Some(9));
+        assert_eq!(cache.get("entries").and_then(Value::as_u64), Some(5));
+        let endpoints = v.get("endpoints").unwrap();
+        assert!(endpoints.get("/v1/sweep").is_some());
+        assert!(
+            endpoints.get("/v1/solve").is_none(),
+            "unused endpoints are omitted"
+        );
+    }
+}

@@ -1,0 +1,423 @@
+//! The server: listener, acceptor, bounded admission queue, worker
+//! pool, routing, and graceful shutdown.
+//!
+//! Threading model: one acceptor thread polls a non-blocking
+//! [`TcpListener`] (so it can notice shutdown between connections) and
+//! pushes accepted sockets onto a [`BoundedQueue`]; on overflow it
+//! answers `503` + `Retry-After` itself, inline, so rejection stays
+//! cheap no matter how busy the workers are. A fixed pool of worker
+//! threads pops sockets, parses one request each, routes it through
+//! [`ApiContext`], and closes the connection. Shutdown closes the
+//! queue; workers drain the backlog, finish in-flight requests, exit,
+//! and the shared result store is flushed to disk.
+
+use crate::api::{ApiContext, ApiError, ApiOutcome, SimulateRequest, SolveRequest, SweepRequest};
+use crate::http::{read_request, ParseError, Request, Response};
+use crate::metrics::Metrics;
+use crate::queue::BoundedQueue;
+use crate::signal;
+use crate::ServeError;
+use serde::Deserialize;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the acceptor sleeps between polls of a quiet listener. This
+/// bounds the accept latency a fresh connection can see, so it is kept
+/// small; at 1 kHz the idle polling cost is still negligible.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Per-connection socket timeouts — a stalled peer cannot pin a worker.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long to swallow unread request bytes before closing an
+/// error-answered connection (see [`drain_before_close`]).
+const DRAIN_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7421` (port 0 picks a free one).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Admission queue capacity; overflow is rejected with 503.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7421".to_string(),
+            workers: 4,
+            queue_depth: 64,
+        }
+    }
+}
+
+struct Shared {
+    api: ApiContext,
+    metrics: Metrics,
+    queue: BoundedQueue<TcpStream>,
+    busy: AtomicUsize,
+    workers: usize,
+    stop: AtomicBool,
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] aborts the threads without draining.
+pub struct Server;
+
+/// Controls a running server: its bound address, shutdown, and the
+/// shared state tests introspect.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and worker pool, and returns the
+    /// handle. The listener is ready (connections are accepted) before
+    /// this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Bind`] when the address cannot be bound.
+    pub fn start(config: &ServerConfig, api: ApiContext) -> Result<ServerHandle, ServeError> {
+        let listener = TcpListener::bind(&config.addr).map_err(|e| ServeError::Bind {
+            addr: config.addr.clone(),
+            message: e.to_string(),
+        })?;
+        let addr = listener.local_addr().map_err(|e| ServeError::Bind {
+            addr: config.addr.clone(),
+            message: e.to_string(),
+        })?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::Bind {
+                addr: config.addr.clone(),
+                message: format!("set_nonblocking: {e}"),
+            })?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            api,
+            metrics: Metrics::new(),
+            queue: BoundedQueue::new(config.queue_depth.max(1)),
+            busy: AtomicUsize::new(0),
+            workers,
+            stop: AtomicBool::new(false),
+        });
+
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("wrsn-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawning the acceptor thread")
+        };
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = shared.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("wrsn-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawning a worker thread");
+            handles.push(handle);
+        }
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers: handles,
+        })
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) || signal::shutdown_requested() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+                let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+                if let Err(mut rejected) = shared.queue.try_push(stream) {
+                    // Admission control: answer the 503 here so a full
+                    // worker pool never delays the rejection.
+                    shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                    let response =
+                        Response::error(503, "server busy, try again").header("Retry-After", "1");
+                    let _ = response.write_to(&mut rejected);
+                    drain_before_close(&mut rejected);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. EMFILE): back off a
+                // little and keep serving.
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+    // No more admissions; workers drain what was already accepted.
+    shared.queue.close();
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(mut stream) = shared.queue.pop() {
+        shared.busy.fetch_add(1, Ordering::SeqCst);
+        handle_connection(&mut stream, shared);
+        shared.busy.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
+    let started = Instant::now();
+    let request = match read_request(stream) {
+        Ok(request) => request,
+        Err(e) => {
+            let response = match e {
+                ParseError::TooLarge => Response::error(413, "request too large"),
+                ParseError::Bad(why) => Response::error(400, &why),
+                ParseError::Io(_) => return, // peer went away; nothing to answer
+            };
+            shared
+                .metrics
+                .record("other", response.status, elapsed_us(started));
+            let _ = response.write_to(stream);
+            drain_before_close(stream);
+            return;
+        }
+    };
+    let response = route(&request, shared);
+    shared
+        .metrics
+        .record(&request.path, response.status, elapsed_us(started));
+    let _ = response.write_to(stream);
+}
+
+fn elapsed_us(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Half-closes and swallows whatever the peer has left of its request.
+///
+/// Needed when a response was written *before* the request was fully
+/// read (overflow 503s, 413s): closing a socket with unread bytes
+/// pending sends an RST, which can destroy the response before the
+/// peer reads it. Bounded by [`DRAIN_TIMEOUT`] so a stalled peer
+/// cannot pin the caller.
+fn drain_before_close(stream: &mut TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(DRAIN_TIMEOUT));
+    let deadline = Instant::now() + DRAIN_TIMEOUT;
+    let mut sink = [0u8; 1024];
+    while let Ok(n) = std::io::Read::read(stream, &mut sink) {
+        if n == 0 || Instant::now() >= deadline {
+            break;
+        }
+    }
+}
+
+fn route(request: &Request, shared: &Shared) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}"),
+        ("GET", "/statusz") => {
+            let body = shared.metrics.to_statusz(
+                shared.workers,
+                shared.busy.load(Ordering::SeqCst),
+                shared.queue.len(),
+                shared.queue.capacity(),
+                shared.api.store.as_ref().map(|s| s.len()),
+            );
+            json_response(200, &body)
+        }
+        ("GET", "/v1/solvers") => json_response(200, &shared.api.solvers().body),
+        ("POST", "/v1/solve") => {
+            handle_api(request, shared, |api, req: &SolveRequest| api.solve(req))
+        }
+        ("POST", "/v1/simulate") => handle_api(request, shared, |api, req: &SimulateRequest| {
+            api.simulate(req)
+        }),
+        ("POST", "/v1/sweep") => {
+            handle_api(request, shared, |api, req: &SweepRequest| api.sweep(req))
+        }
+        ("GET", "/v1/solve" | "/v1/simulate" | "/v1/sweep") => {
+            Response::error(405, "use POST with a JSON body")
+        }
+        ("POST", "/healthz" | "/statusz" | "/v1/solvers") => Response::error(405, "use GET"),
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+fn json_response(status: u16, body: &serde::Value) -> Response {
+    Response::json(
+        status,
+        serde_json::to_string(body).expect("a Value always serializes"),
+    )
+}
+
+fn handle_api<R, F>(request: &Request, shared: &Shared, handler: F) -> Response
+where
+    R: Deserialize + Default,
+    F: FnOnce(&ApiContext, &R) -> Result<ApiOutcome, ApiError>,
+{
+    let body = request.body_text();
+    let parsed: Result<R, _> = if body.trim().is_empty() {
+        Ok(R::default())
+    } else {
+        serde_json::from_str(&body)
+    };
+    let req = match parsed {
+        Ok(req) => req,
+        Err(e) => return Response::error(400, &format!("invalid request body: {e}")),
+    };
+    match handler(&shared.api, &req) {
+        Ok(outcome) => {
+            shared.metrics.add_cache(&outcome.cache);
+            json_response(200, &outcome.body)
+                .header("x-cache-hits", outcome.cache.hits.to_string())
+                .header("x-cache-misses", outcome.cache.misses.to_string())
+        }
+        Err(e) => Response::error(e.status, &e.message),
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Cumulative metrics (shared with the worker threads).
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Stops accepting, drains queued and in-flight requests, joins
+    /// every thread, and flushes the shared result store.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] when the final store flush fails (the
+    /// threads are already joined by then).
+    pub fn shutdown(mut self) -> Result<(), ServeError> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(store) = &self.shared.api.store {
+            store.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Serves until SIGINT/SIGTERM (or [`signal::request_shutdown`]),
+    /// then shuts down gracefully. Consumes the handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServerHandle::shutdown`]'s store-flush failure.
+    pub fn run_until_signal(self) -> Result<(), ServeError> {
+        signal::install_handlers();
+        while !signal::shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{request, ClientResponse};
+
+    fn start(workers: usize, queue_depth: usize) -> ServerHandle {
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            queue_depth,
+        };
+        Server::start(&config, ApiContext::new()).unwrap()
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> ClientResponse {
+        request(&addr.to_string(), "GET", path, None).unwrap()
+    }
+
+    #[test]
+    fn healthz_round_trips() {
+        let server = start(2, 8);
+        let resp = get(server.addr(), "/healthz");
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("ok"));
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_get_404_405() {
+        let server = start(2, 8);
+        let addr = server.addr();
+        assert_eq!(get(addr, "/nope").status, 404);
+        assert_eq!(get(addr, "/v1/solve").status, 405);
+        let resp = request(&addr.to_string(), "POST", "/healthz", Some("{}")).unwrap();
+        assert_eq!(resp.status, 405);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn malformed_json_is_a_400() {
+        let server = start(2, 8);
+        let resp = request(
+            &server.addr().to_string(),
+            "POST",
+            "/v1/solve",
+            Some("{not json"),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("error"));
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn statusz_counts_requests() {
+        let server = start(2, 8);
+        let addr = server.addr();
+        let _ = get(addr, "/healthz");
+        let resp = get(addr, "/statusz");
+        assert_eq!(resp.status, 200);
+        let v: serde::Value = serde_json::from_str(&resp.body).unwrap();
+        let healthz = v
+            .get("endpoints")
+            .and_then(|e| e.get("/healthz"))
+            .expect("healthz counted");
+        assert_eq!(
+            healthz.get("requests").and_then(serde::Value::as_u64),
+            Some(1)
+        );
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_and_joins() {
+        let server = start(1, 4);
+        let addr = server.addr();
+        let _ = get(addr, "/healthz");
+        server.shutdown().unwrap();
+        // The socket no longer accepts once shut down.
+        assert!(request(&addr.to_string(), "GET", "/healthz", None).is_err());
+    }
+}

@@ -64,6 +64,10 @@ pub struct FaultPlan {
     pub charger_delay_prob: f64,
     /// Extra travel delay in seconds when a delay fires.
     pub charger_delay_s: f64,
+    /// Probability that any single hop transmission is dropped by the
+    /// link (per transmitting post per round, in `[0, 1]`). The sender
+    /// still pays the transmit energy; the carried reports are lost.
+    pub link_loss_prob: f64,
 }
 
 impl FaultPlan {
@@ -78,6 +82,7 @@ impl FaultPlan {
             charger_skip_prob: 0.0,
             charger_delay_prob: 0.0,
             charger_delay_s: 0.0,
+            link_loss_prob: 0.0,
         }
     }
 
@@ -114,6 +119,14 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the per-hop link-loss probability: each transmitting post's
+    /// uplink drops everything it carries that round with this chance.
+    #[must_use]
+    pub fn link_loss(mut self, prob: f64) -> Self {
+        self.link_loss_prob = prob;
+        self
+    }
+
     /// `true` when the plan injects nothing at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -121,6 +134,7 @@ impl FaultPlan {
             && self.outages.is_empty()
             && self.charger_skip_prob == 0.0
             && self.charger_delay_prob == 0.0
+            && self.link_loss_prob == 0.0
     }
 
     /// Whether `post` is inside any outage window at `round`.
@@ -177,6 +191,7 @@ impl FaultPlan {
         for (name, prob) in [
             ("charger skip", self.charger_skip_prob),
             ("charger delay", self.charger_delay_prob),
+            ("link loss", self.link_loss_prob),
         ] {
             if !(0.0..=1.0).contains(&prob) {
                 return Err(format!("{name} probability {prob} must lie in [0, 1]"));
@@ -258,5 +273,17 @@ mod tests {
             .charger_delays(0.1, -1.0)
             .validate(3)
             .is_err());
+        assert!(FaultPlan::seeded(0).link_loss(1.5).validate(3).is_err());
+        assert!(FaultPlan::seeded(0).link_loss(-0.1).validate(3).is_err());
+        assert!(FaultPlan::seeded(0).link_loss(0.3).validate(3).is_ok());
+    }
+
+    #[test]
+    fn link_loss_makes_the_plan_nonempty() {
+        assert!(FaultPlan::seeded(0).is_empty());
+        let plan = FaultPlan::seeded(0).link_loss(0.1);
+        assert_eq!(plan.link_loss_prob, 0.1);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.first_scheduled_round(), None);
     }
 }

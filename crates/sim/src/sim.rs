@@ -123,6 +123,9 @@ pub struct SimReport {
     pub charger_skips: u64,
     /// Patrol legs the faulty charger delayed.
     pub charger_delays: u64,
+    /// Hop transmissions dropped by injected link loss (the carried
+    /// reports count toward `reports_lost`, hence `delivery_ratio`).
+    pub link_losses: u64,
     /// Worst pooled energy deficit observed at any round boundary while
     /// faults were enabled: `1 − min post state-of-charge`, in `[0, 1]`
     /// (zero for fault-free runs, which skip the audit).
@@ -378,6 +381,7 @@ impl<'a> Simulator<'a> {
             rounds_after_first_fault: 0,
             charger_skips: 0,
             charger_delays: 0,
+            link_losses: 0,
             max_energy_deficit: 0.0,
         };
 
@@ -531,6 +535,26 @@ impl<'a> Simulator<'a> {
         }
     }
 
+    /// Rolls the fault plan's per-hop link-loss die for one transmitting
+    /// post (only called after the transmit energy was actually paid).
+    fn roll_link_loss(&mut self, round: u64, report: &mut SimReport) -> bool {
+        let Some(plan) = &self.config.faults else {
+            return false;
+        };
+        if plan.link_loss_prob <= 0.0 {
+            return false;
+        }
+        let prob = plan.link_loss_prob;
+        let rng = self.fault_rng.as_mut().expect("rng set alongside plan");
+        if rng.random::<f64>() < prob {
+            report.link_losses += 1;
+            report.first_fault_round.get_or_insert(round);
+            true
+        } else {
+            false
+        }
+    }
+
     /// The lowest pooled state of charge across posts that still have
     /// nodes (`None` once every post has lost all its nodes).
     fn min_pooled_soc(&self) -> Option<f64> {
@@ -602,7 +626,11 @@ impl<'a> Simulator<'a> {
                 report.reports_lost += packets[p];
                 continue;
             }
-            if parent == bs {
+            if self.roll_link_loss(round, report) {
+                // The link dropped the frame after the sender paid to
+                // transmit it; everything it carried is gone.
+                report.reports_lost += packets[p];
+            } else if parent == bs {
                 report.reports_delivered += packets[p];
             } else if offline[parent] {
                 // The sender paid to transmit, but nobody was listening.
@@ -1120,8 +1148,57 @@ mod tests {
         assert_eq!(report.rounds_after_first_fault, 0);
         assert_eq!(report.charger_skips, 0);
         assert_eq!(report.charger_delays, 0);
+        assert_eq!(report.link_losses, 0);
         assert_eq!(report.max_energy_deficit, 0.0);
         assert_eq!(report.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn total_link_loss_delivers_nothing() {
+        let (inst, sol) = small_solution();
+        let n = inst.num_posts() as u64;
+        let config = SimConfig {
+            faults: Some(FaultPlan::seeded(3).link_loss(1.0)),
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&inst, &sol, config).run(100);
+        assert_eq!(report.reports_delivered, 0);
+        assert_eq!(report.reports_lost, 100 * n, "every report is lost");
+        assert!(report.link_losses > 0);
+        assert_eq!(report.delivery_ratio(), 0.0);
+        assert_eq!(report.first_fault_round, Some(0));
+        // The senders still paid to transmit into the void.
+        assert!(report.consumed_energy > Energy::ZERO);
+    }
+
+    #[test]
+    fn partial_link_loss_degrades_delivery_ratio() {
+        let (inst, sol) = small_solution();
+        let n = inst.num_posts() as u64;
+        let config = SimConfig {
+            faults: Some(FaultPlan::seeded(9).link_loss(0.2)),
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&inst, &sol, config).run(200);
+        assert!(report.link_losses > 0);
+        assert!(report.reports_delivered > 0);
+        assert!(report.reports_lost > 0);
+        assert_eq!(report.reports_delivered + report.reports_lost, 200 * n);
+        let ratio = report.delivery_ratio();
+        assert!(ratio > 0.0 && ratio < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn same_link_loss_seed_replays_identically() {
+        let (inst, sol) = small_solution();
+        let config = SimConfig {
+            faults: Some(FaultPlan::seeded(11).link_loss(0.3)),
+            ..SimConfig::default()
+        };
+        let a = Simulator::new(&inst, &sol, config.clone()).run(300);
+        let b = Simulator::new(&inst, &sol, config).run(300);
+        assert_eq!(a, b, "seeded link loss must replay bit-identically");
+        assert!(a.link_losses > 0);
     }
 
     #[test]

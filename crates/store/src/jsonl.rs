@@ -140,6 +140,17 @@ impl LogWriter {
         self.bytes
     }
 
+    /// Forces appended records down to stable storage (`fsync`).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the sync fails.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file
+            .sync_all()
+            .map_err(|e| StoreError::io(&self.path, e))
+    }
+
     /// The log's path.
     #[must_use]
     pub fn path(&self) -> &Path {

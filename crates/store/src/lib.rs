@@ -37,4 +37,4 @@ mod store;
 
 pub use error::StoreError;
 pub use fingerprint::{Fingerprint, FingerprintBuilder};
-pub use store::{CacheStats, ResultStore, DEFAULT_SEGMENT_BYTES};
+pub use store::{CacheStats, GcReport, ResultStore, DEFAULT_SEGMENT_BYTES};

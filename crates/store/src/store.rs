@@ -33,10 +33,46 @@ impl CacheStats {
     }
 }
 
+/// What [`ResultStore::gc`] did: entry counts by fate plus the on-disk
+/// footprint before and after the rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GcReport {
+    /// Entries surviving the collection.
+    pub kept: u64,
+    /// Entries dropped because their tag failed the reachability test.
+    pub dropped_unreachable: u64,
+    /// Entries dropped (oldest first) to meet the size budget.
+    pub dropped_for_budget: u64,
+    /// Total segment bytes on disk before the collection.
+    pub bytes_before: u64,
+    /// Total segment bytes on disk after the collection.
+    pub bytes_after: u64,
+}
+
+impl GcReport {
+    /// Bytes freed by the collection.
+    #[must_use]
+    pub fn bytes_reclaimed(&self) -> u64 {
+        self.bytes_before.saturating_sub(self.bytes_after)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct StoredEntry {
+    value: Value,
+    /// Reachability tag (cache-scheme identifier) recorded at put time.
+    /// Legacy segments predate tags and load as `None`.
+    tag: Option<String>,
+    /// Monotone insertion rank; compaction preserves it so "oldest
+    /// first" stays meaningful across reopens.
+    order: u64,
+}
+
 struct Inner {
-    entries: BTreeMap<String, Value>,
+    entries: BTreeMap<String, StoredEntry>,
     writer: Option<LogWriter>,
     next_seq: u64,
+    next_order: u64,
 }
 
 /// A content-addressed map from [`Fingerprint`]s to JSON payloads,
@@ -80,11 +116,15 @@ fn header() -> Value {
     ])
 }
 
-fn record(key: &str, value: &Value) -> Value {
-    Value::Object(vec![
+fn record(key: &str, value: &Value, tag: Option<&str>) -> Value {
+    let mut fields = vec![
         ("key".to_string(), Value::String(key.to_string())),
         ("value".to_string(), value.clone()),
-    ])
+    ];
+    if let Some(tag) = tag {
+        fields.push(("tag".to_string(), Value::String(tag.to_string())));
+    }
+    Value::Object(fields)
 }
 
 /// Segment sequence number parsed from `seg-NNNNNNNN-*.jsonl`.
@@ -120,6 +160,7 @@ impl ResultStore {
         let mut entries = BTreeMap::new();
         let mut total_records = 0usize;
         let mut max_seq = 0u64;
+        let mut order = 0u64;
         for path in &segments {
             let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
             max_seq = max_seq.max(segment_seq(name).unwrap_or(0));
@@ -141,8 +182,20 @@ impl ResultStore {
                         "segment record missing key/value",
                     ));
                 };
+                let tag = rec
+                    .get("tag")
+                    .and_then(Value::as_str)
+                    .map(ToString::to_string);
                 // Later segments win, making compaction replay-safe.
-                entries.insert(key.to_string(), value.clone());
+                entries.insert(
+                    key.to_string(),
+                    StoredEntry {
+                        value: value.clone(),
+                        tag,
+                        order,
+                    },
+                );
+                order += 1;
                 total_records += 1;
             }
         }
@@ -154,6 +207,7 @@ impl ResultStore {
                 entries,
                 writer: None,
                 next_seq: max_seq + 1,
+                next_order: order,
             }),
         };
         if needs_compaction {
@@ -176,15 +230,37 @@ impl ResultStore {
         Ok(out)
     }
 
+    /// Bytes currently on disk across all segment files.
+    fn disk_bytes(dir: &Path) -> Result<u64, StoreError> {
+        let mut total = 0;
+        for path in ResultStore::segment_files(dir)? {
+            total += std::fs::metadata(&path)
+                .map_err(|e| StoreError::io(&path, e))?
+                .len();
+        }
+        Ok(total)
+    }
+
+    /// Live entries in insertion order (oldest first), as serialized
+    /// records. Caller must hold the lock.
+    fn ordered_records(inner: &Inner) -> Vec<Value> {
+        let mut live: Vec<(&String, &StoredEntry)> = inner.entries.iter().collect();
+        live.sort_by_key(|(_, e)| e.order);
+        live.iter()
+            .map(|(k, e)| record(k, &e.value, e.tag.as_deref()))
+            .collect()
+    }
+
     /// Folds every live entry into one `seg-00000000-compact.jsonl`
     /// written atomically, then removes the superseded segments.
     /// Crash-safe at every step: the old segments alone, the new
     /// segment plus leftovers, and the new segment alone all reload to
-    /// the same map.
+    /// the same map. Records land in insertion order so entry age
+    /// survives the rewrite.
     fn compact(&self, old_segments: &[PathBuf]) -> Result<(), StoreError> {
         let target = self.dir.join("seg-00000000-compact.jsonl");
         let inner = self.inner.lock();
-        let records: Vec<Value> = inner.entries.iter().map(|(k, v)| record(k, v)).collect();
+        let records = ResultStore::ordered_records(&inner);
         write_log(&target, &header(), &records)?;
         for path in old_segments {
             if *path != target {
@@ -197,10 +273,27 @@ impl ResultStore {
     /// The payload stored under `key`, if any.
     #[must_use]
     pub fn get(&self, key: &Fingerprint) -> Option<Value> {
-        self.inner.lock().entries.get(&key.to_hex()).cloned()
+        self.inner
+            .lock()
+            .entries
+            .get(&key.to_hex())
+            .map(|e| e.value.clone())
     }
 
-    /// Stores `value` under `key`, appending it to the active segment.
+    /// Stores `value` under `key` with no reachability tag; see
+    /// [`ResultStore::put_tagged`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the segment cannot be written.
+    pub fn put(&self, key: &Fingerprint, value: Value) -> Result<bool, StoreError> {
+        self.insert(key, value, None)
+    }
+
+    /// Stores `value` under `key`, appending it to the active segment,
+    /// and records `tag` as the entry's reachability tag (typically the
+    /// producer's fingerprint-scheme identifier, so [`ResultStore::gc`]
+    /// can tell entries written by the current scheme from stale ones).
     /// A key already present is left untouched (the store is
     /// content-addressed: one key always names one result). Returns
     /// whether the entry was freshly appended.
@@ -208,7 +301,21 @@ impl ResultStore {
     /// # Errors
     ///
     /// [`StoreError::Io`] when the segment cannot be written.
-    pub fn put(&self, key: &Fingerprint, value: Value) -> Result<bool, StoreError> {
+    pub fn put_tagged(
+        &self,
+        key: &Fingerprint,
+        value: Value,
+        tag: &str,
+    ) -> Result<bool, StoreError> {
+        self.insert(key, value, Some(tag))
+    }
+
+    fn insert(
+        &self,
+        key: &Fingerprint,
+        value: Value,
+        tag: Option<&str>,
+    ) -> Result<bool, StoreError> {
         let hex = key.to_hex();
         let mut inner = self.inner.lock();
         if inner.entries.contains_key(&hex) {
@@ -220,14 +327,114 @@ impl ResultStore {
             inner.writer = Some(LogWriter::create(&self.dir.join(name), &header(), &[])?);
         }
         let writer = inner.writer.as_mut().expect("just ensured");
-        writer.append(&record(&hex, &value))?;
+        writer.append(&record(&hex, &value, tag))?;
         let rotate = writer.bytes() >= self.segment_bytes;
         if rotate {
             // Close the full segment; the next put opens a fresh one.
             inner.writer = None;
         }
-        inner.entries.insert(hex, value);
+        let order = inner.next_order;
+        inner.next_order += 1;
+        inner.entries.insert(
+            hex,
+            StoredEntry {
+                value,
+                tag: tag.map(ToString::to_string),
+                order,
+            },
+        );
         Ok(true)
+    }
+
+    /// Garbage-collects the store: drops every entry whose tag fails
+    /// `reachable` (legacy untagged entries pass `None`), then — if
+    /// `max_bytes` is given — drops surviving entries oldest-first
+    /// until the estimated segment size fits the budget. Survivors are
+    /// rewritten into a single compact segment atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the rewrite or directory scan fails.
+    pub fn gc<F>(&self, reachable: F, max_bytes: Option<u64>) -> Result<GcReport, StoreError>
+    where
+        F: Fn(Option<&str>) -> bool,
+    {
+        let bytes_before = ResultStore::disk_bytes(&self.dir)?;
+        let old_segments = ResultStore::segment_files(&self.dir)?;
+        let mut inner = self.inner.lock();
+        let mut dropped_unreachable = 0u64;
+        inner.entries.retain(|_, e| {
+            let keep = reachable(e.tag.as_deref());
+            if !keep {
+                dropped_unreachable += 1;
+            }
+            keep
+        });
+
+        // Size the survivors as they will land on disk (one JSONL line
+        // each plus the header), then evict oldest-first to budget.
+        let mut dropped_for_budget = 0u64;
+        if let Some(budget) = max_bytes {
+            let header_bytes = serde_json::to_string(&header())
+                .expect("header serializes")
+                .len() as u64
+                + 1;
+            let mut sized: Vec<(String, u64, u64)> = inner
+                .entries
+                .iter()
+                .map(|(k, e)| {
+                    let line = serde_json::to_string(&record(k, &e.value, e.tag.as_deref()))
+                        .expect("a Value always serializes");
+                    (k.clone(), e.order, line.len() as u64 + 1)
+                })
+                .collect();
+            sized.sort_by_key(|(_, order, _)| *order);
+            let mut total: u64 = header_bytes + sized.iter().map(|(_, _, b)| b).sum::<u64>();
+            for (key, _, bytes) in &sized {
+                if total <= budget {
+                    break;
+                }
+                inner.entries.remove(key);
+                total -= bytes;
+                dropped_for_budget += 1;
+            }
+        }
+
+        // Atomic rewrite: survivors into the compact segment, then the
+        // superseded segments go away. Close the active writer first —
+        // its file is among the segments being replaced.
+        inner.writer = None;
+        let target = self.dir.join("seg-00000000-compact.jsonl");
+        let records = ResultStore::ordered_records(&inner);
+        write_log(&target, &header(), &records)?;
+        for path in &old_segments {
+            if *path != target {
+                std::fs::remove_file(path).map_err(|e| StoreError::io(path, e))?;
+            }
+        }
+        let kept = inner.entries.len() as u64;
+        drop(inner);
+        Ok(GcReport {
+            kept,
+            dropped_unreachable,
+            dropped_for_budget,
+            bytes_before,
+            bytes_after: ResultStore::disk_bytes(&self.dir)?,
+        })
+    }
+
+    /// Forces any buffered appends down to stable storage (`fsync` on
+    /// the active segment). A no-op when nothing has been appended.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the sync fails.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        if let Some(writer) = inner.writer.as_mut() {
+            writer.sync()?;
+        }
+        Ok(())
     }
 
     /// Number of entries in the store.
@@ -337,12 +544,12 @@ mod tests {
         }
         let first = ResultStore::open(&dir).unwrap();
         assert_eq!(first.segment_count().unwrap(), 1);
-        let entries_after_first: Vec<(String, Value)> =
+        let entries_after_first: Vec<(String, StoredEntry)> =
             first.inner.lock().entries.clone().into_iter().collect();
         drop(first);
         let second = ResultStore::open(&dir).unwrap();
         assert_eq!(second.segment_count().unwrap(), 1);
-        let entries_after_second: Vec<(String, Value)> =
+        let entries_after_second: Vec<(String, StoredEntry)> =
             second.inner.lock().entries.clone().into_iter().collect();
         assert_eq!(entries_after_first, entries_after_second);
         let _ = std::fs::remove_dir_all(dir);
@@ -356,13 +563,13 @@ mod tests {
         write_log(
             &dir.join("seg-00000001-1.jsonl"),
             &header(),
-            &[record(&hex, &1u64.to_value())],
+            &[record(&hex, &1u64.to_value(), None)],
         )
         .unwrap();
         write_log(
             &dir.join("seg-00000002-1.jsonl"),
             &header(),
-            &[record(&hex, &2u64.to_value())],
+            &[record(&hex, &2u64.to_value(), None)],
         )
         .unwrap();
         let store = ResultStore::open(&dir).unwrap();
@@ -395,5 +602,110 @@ mod tests {
             json.contains("\"hits\":3") || json.contains("\"hits\": 3"),
             "{json}"
         );
+    }
+
+    #[test]
+    fn tags_round_trip_across_reopen() {
+        let dir = temp_dir("tags");
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            store
+                .put_tagged(&key("a"), 1u64.to_value(), "scheme-v1")
+                .unwrap();
+            store.put(&key("b"), 2u64.to_value()).unwrap();
+        }
+        let store = ResultStore::open(&dir).unwrap();
+        let inner = store.inner.lock();
+        assert_eq!(
+            inner
+                .entries
+                .get(&key("a").to_hex())
+                .unwrap()
+                .tag
+                .as_deref(),
+            Some("scheme-v1")
+        );
+        assert_eq!(inner.entries.get(&key("b").to_hex()).unwrap().tag, None);
+        drop(inner);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn gc_drops_unreachable_tags() {
+        let dir = temp_dir("gc-unreachable");
+        let store = ResultStore::open(&dir).unwrap();
+        store
+            .put_tagged(&key("new"), 1u64.to_value(), "scheme-v2")
+            .unwrap();
+        store
+            .put_tagged(&key("old"), 2u64.to_value(), "scheme-v1")
+            .unwrap();
+        store.put(&key("legacy"), 3u64.to_value()).unwrap();
+        let report = store.gc(|tag| tag == Some("scheme-v2"), None).unwrap();
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.dropped_unreachable, 2);
+        assert_eq!(report.dropped_for_budget, 0);
+        assert!(report.bytes_after < report.bytes_before, "{report:?}");
+        assert_eq!(
+            report.bytes_reclaimed(),
+            report.bytes_before - report.bytes_after
+        );
+        assert_eq!(store.get(&key("new")), Some(1u64.to_value()));
+        assert_eq!(store.get(&key("old")), None);
+        assert_eq!(store.get(&key("legacy")), None);
+        // The rewrite survives a reopen.
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 1);
+        assert_eq!(reopened.segment_count().unwrap(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn gc_budget_evicts_oldest_first() {
+        let dir = temp_dir("gc-budget");
+        let store = ResultStore::open(&dir).unwrap();
+        for i in 0..8u64 {
+            store
+                .put_tagged(&key(&format!("k{i}")), i.to_value(), "t")
+                .unwrap();
+        }
+        // Budget that fits roughly half the entries.
+        let full = ResultStore::disk_bytes(store.dir()).unwrap();
+        let report = store.gc(|_| true, Some(full / 2)).unwrap();
+        assert_eq!(report.dropped_unreachable, 0);
+        assert!(report.dropped_for_budget > 0, "{report:?}");
+        assert!(report.bytes_after <= full / 2, "{report:?}");
+        // Oldest keys go first; the newest must survive.
+        assert_eq!(store.get(&key("k0")), None);
+        assert_eq!(store.get(&key("k7")), Some(7u64.to_value()));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn gc_after_reopen_still_knows_age() {
+        let dir = temp_dir("gc-age-reopen");
+        {
+            let store = ResultStore::with_segment_bytes(&dir, 48).unwrap();
+            for i in 0..6u64 {
+                store
+                    .put_tagged(&key(&format!("k{i}")), i.to_value(), "t")
+                    .unwrap();
+            }
+        }
+        // Reopen compacts; insertion order must survive the rewrite.
+        let store = ResultStore::open(&dir).unwrap();
+        let report = store.gc(|_| true, Some(0)).unwrap();
+        assert_eq!(report.kept, 0, "budget 0 clears everything: {report:?}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sync_is_safe_with_and_without_writer() {
+        let dir = temp_dir("sync");
+        let store = ResultStore::open(&dir).unwrap();
+        store.sync().unwrap();
+        store.put(&key("a"), 1u64.to_value()).unwrap();
+        store.sync().unwrap();
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -22,6 +22,8 @@
 //!   seed sweeps, structured run reports
 //! - [`store`] — the content-addressed result store backing `--cache`
 //!   sweeps and sharded, mergeable experiment logs
+//! - [`serve`] — a std-only HTTP serving layer over the solver registry
+//!   and result store, plus a loopback client and load generator
 //!
 //! # Quickstart
 //!
@@ -45,5 +47,6 @@ pub use wrsn_engine as engine;
 pub use wrsn_geom as geom;
 pub use wrsn_graph as graph;
 pub use wrsn_sat as sat;
+pub use wrsn_serve as serve;
 pub use wrsn_sim as sim;
 pub use wrsn_store as store;

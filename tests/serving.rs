@@ -1,0 +1,334 @@
+//! End-to-end tests for the HTTP serving layer over real loopback
+//! sockets: endpoint round-trips, concurrent cache sharing with
+//! byte-identical bodies, and admission-control overflow.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use wrsn::engine::ResultStore;
+use wrsn::serve::api::ApiContext;
+use wrsn::serve::client::{loadgen, request, ClientResponse};
+use wrsn::serve::{Server, ServerConfig, ServerHandle};
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("wrsn-serving-test").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start(api: ApiContext, workers: usize, queue_depth: usize) -> ServerHandle {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_depth,
+    };
+    Server::start(&config, api).unwrap()
+}
+
+fn post(addr: &str, path: &str, body: &str) -> ClientResponse {
+    request(addr, "POST", path, Some(body)).unwrap()
+}
+
+const SMALL: &str = "\"instance\":{\"posts\":5,\"nodes\":12,\"field\":150.0}";
+
+#[test]
+fn endpoints_round_trip_over_loopback() {
+    let server = start(ApiContext::new(), 2, 16);
+    let addr = server.addr().to_string();
+
+    let health = request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("ok"));
+
+    let solvers = request(&addr, "GET", "/v1/solvers", None).unwrap();
+    assert_eq!(solvers.status, 200);
+    assert!(solvers.body.contains("irfh"));
+    assert!(solvers.body.contains("idb"));
+
+    let solve = post(
+        &addr,
+        "/v1/solve",
+        &format!("{{{SMALL},\"solver\":\"idb\"}}"),
+    );
+    assert_eq!(solve.status, 200, "{}", solve.body);
+    let v: serde_json::Value = serde_json::from_str(&solve.body).unwrap();
+    assert!(
+        v.get("cost_uj")
+            .and_then(serde_json::Value::as_f64)
+            .unwrap()
+            > 0.0
+    );
+
+    let simulate = post(
+        &addr,
+        "/v1/simulate",
+        &format!("{{{SMALL},\"solver\":\"idb\",\"rounds\":40,\"link_loss\":1.0}}"),
+    );
+    assert_eq!(simulate.status, 200, "{}", simulate.body);
+    let v: serde_json::Value = serde_json::from_str(&simulate.body).unwrap();
+    assert_eq!(
+        v.get("rounds").and_then(serde_json::Value::as_u64),
+        Some(40)
+    );
+    assert_eq!(
+        v.get("delivery_ratio").and_then(serde_json::Value::as_f64),
+        Some(0.0),
+        "total link loss delivers nothing"
+    );
+
+    let sweep = post(
+        &addr,
+        "/v1/sweep",
+        &format!("{{{SMALL},\"solver\":\"idb\",\"seeds\":3}}"),
+    );
+    assert_eq!(sweep.status, 200, "{}", sweep.body);
+    let v: serde_json::Value = serde_json::from_str(&sweep.body).unwrap();
+    assert_eq!(
+        v.get("runs")
+            .and_then(serde_json::Value::as_array)
+            .map(Vec::len),
+        Some(3)
+    );
+
+    // The run is visible in /statusz.
+    let statusz = request(&addr, "GET", "/statusz", None).unwrap();
+    assert_eq!(statusz.status, 200);
+    let v: serde_json::Value = serde_json::from_str(&statusz.body).unwrap();
+    let endpoints = v.get("endpoints").unwrap();
+    for path in [
+        "/v1/solve",
+        "/v1/simulate",
+        "/v1/sweep",
+        "/v1/solvers",
+        "/healthz",
+    ] {
+        let stats = endpoints
+            .get(path)
+            .unwrap_or_else(|| panic!("{path} missing"));
+        assert!(
+            stats
+                .get("requests")
+                .and_then(serde_json::Value::as_u64)
+                .unwrap()
+                >= 1,
+            "{path}"
+        );
+    }
+    server.shutdown().unwrap();
+}
+
+/// A registry whose `"counted"` solver counts constructions, shared
+/// with the test so it can assert how often the solver actually ran.
+fn counted_api(store: Arc<ResultStore>) -> (ApiContext, Arc<AtomicUsize>) {
+    let mut api = ApiContext::new();
+    let calls = Arc::new(AtomicUsize::new(0));
+    let counter = calls.clone();
+    api.registry.register("counted", move || {
+        counter.fetch_add(1, Ordering::SeqCst);
+        Box::new(wrsn::core::Idb::new(1))
+    });
+    api.store = Some(store);
+    (api, calls)
+}
+
+#[test]
+fn concurrent_identical_sweeps_share_one_solve_and_one_body() {
+    let store = Arc::new(ResultStore::open(scratch("concurrent-sweep")).unwrap());
+    let (api, calls) = counted_api(store);
+    let server = start(api, 4, 32);
+    let addr = server.addr().to_string();
+    let body = format!("{{{SMALL},\"solver\":\"counted\",\"seeds\":1}}");
+
+    // Prime the cache: exactly one solver invocation.
+    let first = post(&addr, "/v1/sweep", &body);
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(calls.load(Ordering::SeqCst), 1);
+    assert_eq!(first.header("x-cache-misses"), Some("1"));
+
+    // Eight identical requests in parallel: all served from the shared
+    // store, byte-identical to the first, zero further invocations.
+    let responses: Vec<ClientResponse> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = &addr;
+                let body = &body;
+                scope.spawn(move || post(addr, "/v1/sweep", body))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for resp in &responses {
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, first.body, "bodies must be byte-identical");
+        assert_eq!(resp.header("x-cache-hits"), Some("1"));
+        assert_eq!(resp.header("x-cache-misses"), Some("0"));
+    }
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        1,
+        "repeat sweeps must not invoke the solver"
+    );
+
+    // The cumulative stats surface in /statusz.
+    let statusz = request(&addr, "GET", "/statusz", None).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&statusz.body).unwrap();
+    let cache = v.get("cache").unwrap();
+    assert_eq!(
+        cache.get("hits").and_then(serde_json::Value::as_u64),
+        Some(8)
+    );
+    assert_eq!(
+        cache.get("misses").and_then(serde_json::Value::as_u64),
+        Some(1)
+    );
+    server.shutdown().unwrap();
+}
+
+/// A registry whose `"gated"` solver blocks inside the factory until
+/// the test opens the gate — how the overflow test pins the worker.
+#[allow(clippy::type_complexity)]
+fn gated_api() -> (ApiContext, Arc<(Mutex<bool>, Condvar)>, Arc<AtomicUsize>) {
+    let mut api = ApiContext::new();
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let entered = Arc::new(AtomicUsize::new(0));
+    let factory_gate = gate.clone();
+    let factory_entered = entered.clone();
+    api.registry.register("gated", move || {
+        factory_entered.fetch_add(1, Ordering::SeqCst);
+        let (lock, cvar) = &*factory_gate;
+        let mut open = lock.lock().unwrap();
+        while !*open {
+            open = cvar.wait(open).unwrap();
+        }
+        Box::new(wrsn::core::Idb::new(1))
+    });
+    (api, gate, entered)
+}
+
+#[test]
+fn queue_overflow_is_rejected_with_503_and_retry_after() {
+    let (api, gate, entered) = gated_api();
+    let server = start(api, 1, 1);
+    let addr = server.addr().to_string();
+    let body = format!("{{{SMALL},\"solver\":\"gated\"}}");
+
+    // Occupy the single worker: send a gated solve on its own thread
+    // and wait until the solver factory is actually running.
+    let blocker = {
+        let addr = addr.clone();
+        let body = body.clone();
+        std::thread::spawn(move || post(&addr, "/v1/solve", &body))
+    };
+    while entered.load(Ordering::SeqCst) == 0 {
+        std::thread::yield_now();
+    }
+
+    // Fill the queue's single slot with a raw connection. The acceptor
+    // admits connections in accept order, so once this connect has
+    // completed the next one must overflow.
+    let mut queued = TcpStream::connect(&addr).unwrap();
+    let text = format!(
+        "POST /v1/solve HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    queued.write_all(text.as_bytes()).unwrap();
+
+    // Poll until the overflow 503 appears: the acceptor pushes the
+    // queued connection asynchronously after accepting it, so the very
+    // next request can still race into the free slot.
+    let rejected = loop {
+        let resp = request(&addr, "GET", "/healthz", None).unwrap();
+        if resp.status == 503 {
+            break resp;
+        }
+        assert_eq!(resp.status, 200, "only 200 or 503 are possible here");
+        std::thread::yield_now();
+    };
+    assert_eq!(rejected.header("retry-after"), Some("1"));
+    assert!(rejected.body.contains("busy"));
+
+    // Open the gate: both solves finish and the backlog drains.
+    {
+        let (lock, cvar) = &*gate;
+        *lock.lock().unwrap() = true;
+        cvar.notify_all();
+    }
+    let first = blocker.join().unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    let mut raw = Vec::new();
+    queued.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+
+    // The rejection was counted.
+    let statusz = request(&addr, "GET", "/statusz", None).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&statusz.body).unwrap();
+    assert!(
+        v.get("rejected")
+            .and_then(serde_json::Value::as_u64)
+            .unwrap()
+            >= 1
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn loadgen_sustains_cached_solves() {
+    let store = Arc::new(ResultStore::open(scratch("loadgen")).unwrap());
+    let mut api = ApiContext::new();
+    api.store = Some(store);
+    let server = start(api, 4, 64);
+    let addr = server.addr().to_string();
+    let body = format!("{{{SMALL},\"solver\":\"idb\"}}");
+
+    let report = loadgen(&addr, "POST", "/v1/solve", Some(&body), 4, 60).unwrap();
+    assert_eq!(report.ok, 60, "no drops under the queue depth");
+    assert_eq!(report.errors, 0);
+    assert!(report.throughput_rps() > 0.0);
+    assert!(report.quantile(0.5) <= report.quantile(0.99));
+
+    // The whole run is reflected in /statusz (61 = probe + 60).
+    let statusz = request(&addr, "GET", "/statusz", None).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&statusz.body).unwrap();
+    let solve = v.get("endpoints").and_then(|e| e.get("/v1/solve")).unwrap();
+    assert_eq!(
+        solve.get("requests").and_then(serde_json::Value::as_u64),
+        Some(61)
+    );
+    let cache = v.get("cache").unwrap();
+    assert_eq!(
+        cache.get("misses").and_then(serde_json::Value::as_u64),
+        Some(1),
+        "only the very first request computes"
+    );
+    assert_eq!(
+        cache.get("hits").and_then(serde_json::Value::as_u64),
+        Some(60)
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_flushes_the_store_for_a_fresh_process() {
+    let dir = scratch("flush");
+    let (api, calls) = counted_api(Arc::new(ResultStore::open(&dir).unwrap()));
+    let server = start(api, 2, 8);
+    let addr = server.addr().to_string();
+    let body = format!("{{{SMALL},\"solver\":\"counted\",\"seeds\":2}}");
+    assert_eq!(post(&addr, "/v1/sweep", &body).status, 200);
+    assert_eq!(calls.load(Ordering::SeqCst), 2);
+    server.shutdown().unwrap();
+
+    // A second server over the same directory serves pure cache hits.
+    let (api, calls) = counted_api(Arc::new(ResultStore::open(&dir).unwrap()));
+    let server = start(api, 2, 8);
+    let addr = server.addr().to_string();
+    let resp = post(&addr, "/v1/sweep", &body);
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-cache-hits"), Some("2"));
+    assert_eq!(calls.load(Ordering::SeqCst), 0, "everything came from disk");
+    server.shutdown().unwrap();
+}
