@@ -8,6 +8,7 @@ use std::error::Error;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 use wrsn_charging::FieldExperiment;
 use wrsn_core::reduction::reduce;
 use wrsn_core::{BranchAndBound, Instance, InstanceSpec, Solution, Solver};
@@ -19,7 +20,7 @@ use wrsn_engine::{
 };
 use wrsn_sat::{CnfFormula, DpllSolver};
 use wrsn_serve::api::ApiContext;
-use wrsn_serve::{client, Server, ServerConfig};
+use wrsn_serve::{client, ChaosPolicy, Server, ServerConfig};
 use wrsn_sim::{ChargerPolicy, FaultPlan, PatrolTour, SimConfig, Simulator};
 
 /// Top-level usage text.
@@ -134,7 +135,11 @@ Failure injection (any of these enables the fault plan):
     --charger-delay Q  probability a patrol leg is delayed
     --delay-s S        extra seconds per delayed leg        [default: 5]
     --link-loss Q      per-hop probability a transmission is lost
-                       (lost reports count against delivery ratio)";
+                       (lost reports count against delivery ratio)
+    --battery-fade F   per-charge-cycle capacity fade fraction
+    --fade-floor F     fade floor as a fraction of nameplate [default: 0.2]
+    --charger-down FROM:UNTIL[,...]
+                       total charger breakdown over rounds FROM..UNTIL";
 
 const SERVE_HELP: &str = "\
 wrsn serve — a std-only HTTP/1.1 JSON service over the solver registry
@@ -149,7 +154,18 @@ OPTIONS:
     --queue-depth Q admission queue capacity; overflow is answered
                     with 503 + Retry-After          [default: 64]
     --cache [DIR]   share the result store at DIR across requests
-                    [default dir: bench_results/cache]";
+                    [default dir: bench_results/cache]
+    --request-timeout-ms MS  per-request deadline; slow handlers are
+                    answered with 504 + Retry-After  [default: off]
+    --keep-alive    serve multiple requests per connection (HTTP/1.1
+                    keep-alive with an idle timeout)
+
+Chaos injection (testing the client's resilience; /v1 paths only):
+    --chaos P            probability of an injected 500    [default: 0]
+    --chaos-truncate P   probability the response body is cut short
+    --chaos-latency P    probability of an added delay
+    --chaos-latency-ms MS  delay per latency hit           [default: 25]
+    --chaos-seed K       seed for the chaos RNG            [default: 0]";
 
 const LOADGEN_HELP: &str = "\
 wrsn loadgen — drive a running `wrsn serve` and measure it
@@ -161,6 +177,8 @@ OPTIONS:
     --path P        endpoint to hit                 [default: /v1/solve]
     --method M      HTTP method                     [default: POST]
     --body JSON     request body                    [default: {}]
+    --retries N     retry budget per request, with exponential backoff
+                    and a circuit breaker (0 disables)  [default: 0]
     --json          machine-readable output";
 
 const CACHE_HELP: &str = "\
@@ -204,6 +222,18 @@ pub enum CliError {
         /// What the user asked for (e.g. `"--save"`, `"--svg"`).
         what: &'static str,
     },
+    /// A numeric flag fell outside its valid range — caught at parse
+    /// time so the flag name appears in the message.
+    OutOfRange {
+        /// The offending flag (e.g. `"--link-loss"`).
+        flag: &'static str,
+        /// What the user passed.
+        value: f64,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -214,7 +244,28 @@ impl std::fmt::Display for CliError {
                 f,
                 "{what} needs a geometric instance, but this one has explicit adjacency only"
             ),
+            CliError::OutOfRange {
+                flag,
+                value,
+                lo,
+                hi,
+            } => write!(f, "{flag} {value} out of range [{lo}, {hi}]"),
         }
+    }
+}
+
+/// Checks a probability/fraction flag at parse time so the error names
+/// the flag rather than deferring to `FaultPlan::validate`.
+fn unit_interval(flag: &'static str, value: f64) -> Result<f64, CliError> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(CliError::OutOfRange {
+            flag,
+            value,
+            lo: 0.0,
+            hi: 1.0,
+        })
     }
 }
 
@@ -813,6 +864,9 @@ struct SimulateReport {
     charger_delays: u64,
     link_losses: u64,
     max_energy_deficit: f64,
+    capacity_floor_hits: u64,
+    charger_downtime_rounds: u64,
+    breakdown_deaths: u64,
 }
 
 /// Parses `--kill R:P[,R:P...]` entries into (round, post) pairs.
@@ -829,6 +883,27 @@ fn parse_kill_list(text: &str) -> Result<Vec<(u64, usize)>, CliError> {
                 (Ok(r), Ok(p)) => Ok((r, p)),
                 _ => Err(CliError::Msg(format!(
                     "--kill expects ROUND:POST numbers, got {entry:?}"
+                ))),
+            }
+        })
+        .collect()
+}
+
+/// Parses `--charger-down FROM:UNTIL[,...]` entries into (from, until)
+/// round windows.
+fn parse_charger_down(text: &str) -> Result<Vec<(u64, u64)>, CliError> {
+    text.split(',')
+        .map(|entry| {
+            let parts: Vec<&str> = entry.split(':').collect();
+            let [from, until] = parts.as_slice() else {
+                return Err(CliError::Msg(format!(
+                    "--charger-down expects FROM:UNTIL entries, got {entry:?}"
+                )));
+            };
+            match (from.trim().parse(), until.trim().parse()) {
+                (Ok(a), Ok(b)) => Ok((a, b)),
+                _ => Err(CliError::Msg(format!(
+                    "--charger-down expects FROM:UNTIL numbers, got {entry:?}"
                 ))),
             }
         })
@@ -880,14 +955,36 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
     let charger_delay: Option<f64> = args.opt("charger-delay", "a probability")?;
     let delay_s: f64 = args.get_or("delay-s", "seconds", 5.0)?;
     let link_loss: Option<f64> = args.opt("link-loss", "a probability")?;
+    let battery_fade: Option<f64> = args.opt("battery-fade", "a fraction")?;
+    let fade_floor: Option<f64> = args.opt("fade-floor", "a fraction")?;
+    let charger_down: Option<String> = args.opt("charger-down", "FROM:UNTIL entries")?;
     let setup = setup_solve(&mut args)?;
     args.finish()?;
+    // Range-check the probabilistic knobs up front so the error names
+    // the flag, not an anonymous "fault plan" field.
+    let charger_skip = charger_skip
+        .map(|p| unit_interval("--charger-skip", p))
+        .transpose()?;
+    let charger_delay = charger_delay
+        .map(|p| unit_interval("--charger-delay", p))
+        .transpose()?;
+    let link_loss = link_loss
+        .map(|p| unit_interval("--link-loss", p))
+        .transpose()?;
+    let battery_fade = battery_fade
+        .map(|f| unit_interval("--battery-fade", f))
+        .transpose()?;
+    let fade_floor = fade_floor
+        .map(|f| unit_interval("--fade-floor", f))
+        .transpose()?;
     let faults = if fault_seed.is_some()
         || kill.is_some()
         || outage.is_some()
         || charger_skip.is_some()
         || charger_delay.is_some()
         || link_loss.is_some()
+        || battery_fade.is_some()
+        || charger_down.is_some()
     {
         let mut plan = FaultPlan::seeded(fault_seed.unwrap_or(0));
         if let Some(text) = &kill {
@@ -908,6 +1005,17 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
         }
         if let Some(p) = link_loss {
             plan = plan.link_loss(p);
+        }
+        if let Some(f) = battery_fade {
+            plan = plan.battery_fade(f);
+        }
+        if let Some(f) = fade_floor {
+            plan = plan.battery_fade_floor(f);
+        }
+        if let Some(text) = &charger_down {
+            for (from, until) in parse_charger_down(text)? {
+                plan = plan.charger_breakdown(from, until);
+            }
         }
         plan.validate(setup.instance.num_posts())
             .map_err(|why| CliError::Msg(format!("fault plan: {why}")))?;
@@ -968,6 +1076,9 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
         charger_delays: report.charger_delays,
         link_losses: report.link_losses,
         max_energy_deficit: report.max_energy_deficit,
+        capacity_floor_hits: report.capacity_floor_hits,
+        charger_downtime_rounds: report.charger_downtime_rounds,
+        breakdown_deaths: report.breakdown_deaths,
     };
     if setup.json {
         return Ok(serde_json::to_string_pretty(&result).expect("serializable"));
@@ -1003,6 +1114,17 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
             report.link_losses,
             report.max_energy_deficit,
         );
+        if report.capacity_floor_hits > 0
+            || report.charger_downtime_rounds > 0
+            || report.breakdown_deaths > 0
+        {
+            let _ = writeln!(
+                out,
+                "degradation: {} cell(s) faded to the capacity floor, charger down \
+                 {} round(s), {} death(s) attributable to the breakdown",
+                report.capacity_floor_hits, report.charger_downtime_rounds, report.breakdown_deaths,
+            );
+        }
     }
     if let (ChargerPolicy::PatrolTour { .. }, Some(geo)) =
         (config.charger, setup.instance.geometry())
@@ -1188,6 +1310,13 @@ fn serve_cmd(mut args: Args) -> Result<String, CliError> {
     let workers: usize = args.get_or("workers", "a worker count", 4)?;
     let queue_depth: usize = args.get_or("queue-depth", "a queue capacity", 64)?;
     let cache_arg = args.flag_or_value("cache");
+    let timeout_ms: Option<u64> = args.opt("request-timeout-ms", "milliseconds")?;
+    let keep_alive = args.flag("keep-alive");
+    let chaos_fault: Option<f64> = args.opt("chaos", "a probability")?;
+    let chaos_truncate: Option<f64> = args.opt("chaos-truncate", "a probability")?;
+    let chaos_latency: Option<f64> = args.opt("chaos-latency", "a probability")?;
+    let chaos_latency_ms: u64 = args.get_or("chaos-latency-ms", "milliseconds", 25)?;
+    let chaos_seed: u64 = args.get_or("chaos-seed", "an integer seed", 0)?;
     args.finish()?;
     if workers == 0 {
         return Err(CliError::Msg("--workers must be at least 1".into()));
@@ -1195,6 +1324,35 @@ fn serve_cmd(mut args: Args) -> Result<String, CliError> {
     if queue_depth == 0 {
         return Err(CliError::Msg("--queue-depth must be at least 1".into()));
     }
+    if timeout_ms == Some(0) {
+        return Err(CliError::Msg(
+            "--request-timeout-ms must be at least 1".into(),
+        ));
+    }
+    let chaos_fault = chaos_fault
+        .map(|p| unit_interval("--chaos", p))
+        .transpose()?;
+    let chaos_truncate = chaos_truncate
+        .map(|p| unit_interval("--chaos-truncate", p))
+        .transpose()?;
+    let chaos_latency = chaos_latency
+        .map(|p| unit_interval("--chaos-latency", p))
+        .transpose()?;
+    let chaos = if chaos_fault.is_some() || chaos_truncate.is_some() || chaos_latency.is_some() {
+        let mut policy = ChaosPolicy::seeded(chaos_seed);
+        if let Some(p) = chaos_fault {
+            policy = policy.faults(p);
+        }
+        if let Some(p) = chaos_truncate {
+            policy = policy.truncation(p);
+        }
+        if let Some(p) = chaos_latency {
+            policy = policy.latency(p, Duration::from_millis(chaos_latency_ms));
+        }
+        Some(policy)
+    } else {
+        None
+    };
     let store = cache_arg.map(open_cache).transpose()?;
     let cache_note = match &store {
         Some(store) => format!(
@@ -1204,19 +1362,30 @@ fn serve_cmd(mut args: Args) -> Result<String, CliError> {
         ),
         None => String::new(),
     };
+    let chaos_note = match &chaos {
+        Some(p) => format!(
+            ", CHAOS fault {:.2}/truncate {:.2}/latency {:.2} seed {}",
+            p.fault_prob, p.truncate_prob, p.latency_prob, p.seed
+        ),
+        None => String::new(),
+    };
     let mut api = ApiContext::new();
     api.store = store;
     let config = ServerConfig {
         addr,
         workers,
         queue_depth,
+        request_timeout: timeout_ms.map(Duration::from_millis),
+        keep_alive,
+        chaos,
+        ..ServerConfig::default()
     };
     let handle = Server::start(&config, api).map_err(|e| CliError::Msg(e.to_string()))?;
     let bound = handle.addr();
     // Announce readiness on stderr immediately — stdout is the final
     // report, printed only after shutdown.
     eprintln!(
-        "wrsn-serve listening on {bound} ({workers} worker(s), queue {queue_depth}{cache_note})"
+        "wrsn-serve listening on {bound} ({workers} worker(s), queue {queue_depth}{cache_note}{chaos_note})"
     );
     handle
         .run_until_signal()
@@ -1230,6 +1399,10 @@ struct LoadgenRow {
     ok: u64,
     non_ok: u64,
     errors: u64,
+    retries: u64,
+    retryable_status: u64,
+    transport_resets: u64,
+    breaker_opens: u64,
     elapsed_s: f64,
     throughput_rps: f64,
     p50_ms: f64,
@@ -1244,6 +1417,7 @@ fn loadgen_cmd(mut args: Args) -> Result<String, CliError> {
     let path: String = args.get_or("path", "an endpoint path", "/v1/solve".to_string())?;
     let method: String = args.get_or("method", "an HTTP method", "POST".to_string())?;
     let body: String = args.get_or("body", "a JSON body", "{}".to_string())?;
+    let retries: u32 = args.get_or("retries", "a retry budget", 0)?;
     let json = args.flag("json");
     args.finish()?;
     if concurrency == 0 || requests == 0 {
@@ -1256,14 +1430,30 @@ fn loadgen_cmd(mut args: Args) -> Result<String, CliError> {
     } else {
         Some(body.as_str())
     };
-    let report = client::loadgen(&addr, &method, &path, body_opt, concurrency, requests)
-        .map_err(|e| CliError::Msg(e.to_string()))?;
+    let retry = (retries > 0).then(|| client::RetryPolicy {
+        max_retries: retries,
+        ..client::RetryPolicy::default()
+    });
+    let report = client::loadgen(
+        &addr,
+        &method,
+        &path,
+        body_opt,
+        concurrency,
+        requests,
+        retry.as_ref(),
+    )
+    .map_err(|e| CliError::Msg(e.to_string()))?;
     let ms = |q: f64| report.quantile(q).as_secs_f64() * 1e3;
     let row = LoadgenRow {
         requests,
         ok: report.ok,
         non_ok: report.non_ok,
         errors: report.errors,
+        retries: report.retries,
+        retryable_status: report.retryable_status,
+        transport_resets: report.transport_resets,
+        breaker_opens: report.breaker_opens,
         elapsed_s: report.elapsed.as_secs_f64(),
         throughput_rps: report.throughput_rps(),
         p50_ms: ms(0.50),
@@ -1280,6 +1470,16 @@ fn loadgen_cmd(mut args: Args) -> Result<String, CliError> {
     table.row(&["ok".to_string(), row.ok.to_string()]);
     table.row(&["non-200".to_string(), row.non_ok.to_string()]);
     table.row(&["transport errors".to_string(), row.errors.to_string()]);
+    table.row(&["retries".to_string(), row.retries.to_string()]);
+    table.row(&[
+        "retryable non-200s".to_string(),
+        row.retryable_status.to_string(),
+    ]);
+    table.row(&[
+        "transport resets".to_string(),
+        row.transport_resets.to_string(),
+    ]);
+    table.row(&["breaker opens".to_string(), row.breaker_opens.to_string()]);
     table.row(&["elapsed (s)".to_string(), format!("{:.3}", row.elapsed_s)]);
     table.row(&[
         "throughput (req/s)".to_string(),
@@ -1988,11 +2188,41 @@ mod tests {
         assert!(run_str(&format!("{base} --charger-skip 1.5"))
             .unwrap_err()
             .to_string()
-            .contains("probability"));
+            .contains("--charger-skip 1.5 out of range [0, 1]"));
         assert!(run_str(&format!("{base} --link-loss 2.0"))
             .unwrap_err()
             .to_string()
+            .contains("--link-loss 2 out of range [0, 1]"));
+        assert!(run_str(&format!("{base} --battery-fade -0.1"))
+            .unwrap_err()
+            .to_string()
+            .contains("--battery-fade"));
+        assert!(run_str(&format!("{base} --fade-floor 1.5"))
+            .unwrap_err()
+            .to_string()
+            .contains("--fade-floor"));
+        assert!(run_str(&format!("{base} --charger-down 10"))
+            .unwrap_err()
+            .to_string()
+            .contains("--charger-down"));
+        assert!(run_str(&format!("{base} --charger-down 9:9"))
+            .unwrap_err()
+            .to_string()
             .contains("fault plan"));
+    }
+
+    #[test]
+    fn simulate_degradation_flags_replay_byte_identically() {
+        let cmd = "simulate --posts 5 --nodes 15 --field 150 --seed 4 --algo idb \
+                   --rounds 300 --battery 0.001 --fault-seed 9 --battery-fade 0.1 \
+                   --charger-down 20:80 --json";
+        let a = run_str(cmd).unwrap();
+        let b = run_str(cmd).unwrap();
+        assert_eq!(a, b, "degradation runs must replay byte-identically");
+        let v: serde_json::Value = serde_json::from_str(&a).unwrap();
+        assert_eq!(v["charger_downtime_rounds"], 60);
+        assert!(v["capacity_floor_hits"].as_u64().is_some());
+        assert!(v["breakdown_deaths"].as_u64().is_some());
     }
 
     #[test]
@@ -2105,6 +2335,7 @@ mod tests {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
             queue_depth: 16,
+            ..ServerConfig::default()
         };
         let handle = Server::start(&config, api).unwrap();
         let addr = handle.addr().to_string();
@@ -2120,5 +2351,46 @@ mod tests {
         assert!(v["throughput_rps"].as_f64().unwrap() > 0.0);
         handle.shutdown().unwrap();
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn loadgen_retries_through_a_chaotic_server() {
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 16,
+            chaos: Some(wrsn_serve::ChaosPolicy::seeded(11).faults(0.3)),
+            ..ServerConfig::default()
+        };
+        let handle = Server::start(&config, ApiContext::new()).unwrap();
+        let addr = handle.addr().to_string();
+        let body = "{\"instance\":{\"posts\":5,\"nodes\":10,\"field\":150.0},\"solver\":\"idb\"}";
+        let out = run_str(&format!(
+            "loadgen --addr {addr} --concurrency 2 --requests 12 --retries 8 --body {} --json",
+            body.replace(' ', "")
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["ok"], 12, "retries absorb every injected fault: {out}");
+        assert_eq!(v["non_ok"], 0);
+        assert_eq!(v["errors"], 0);
+        assert!(v["retries"].as_u64().unwrap() > 0, "{out}");
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn serve_validates_chaos_and_timeout_flags() {
+        assert!(run_str("serve --chaos 1.5")
+            .unwrap_err()
+            .to_string()
+            .contains("--chaos 1.5 out of range [0, 1]"));
+        assert!(run_str("serve --chaos-truncate -1")
+            .unwrap_err()
+            .to_string()
+            .contains("--chaos-truncate"));
+        assert!(run_str("serve --request-timeout-ms 0")
+            .unwrap_err()
+            .to_string()
+            .contains("--request-timeout-ms"));
     }
 }

@@ -126,6 +126,36 @@ impl Battery {
         Ok(())
     }
 
+    /// Ages the cell by one charge cycle: the capacity shrinks by
+    /// `frac` of its current value, clamped at `floor`. Stored energy
+    /// above the new capacity is truncated (the shrunken cell simply
+    /// cannot hold it). Returns `true` when the clamp engaged — the
+    /// cell is pinned at its end-of-life floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` lies outside `[0, 1]` or `floor` is negative.
+    pub fn fade(&mut self, frac: f64, floor: Energy) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "fade fraction must lie in [0, 1]"
+        );
+        assert!(floor >= Energy::ZERO, "fade floor must be non-negative");
+        let target = self.capacity * (1.0 - frac);
+        let hit_floor = target <= floor;
+        // `min` keeps capacity monotone non-increasing even when the
+        // floor is (mis)configured above the current capacity.
+        self.capacity = if hit_floor {
+            floor.min(self.capacity)
+        } else {
+            target
+        };
+        if self.level > self.capacity {
+            self.level = self.capacity;
+        }
+        hit_floor
+    }
+
     /// Adds `amount` to the battery, saturating at capacity. Returns the
     /// overflow that did not fit (zero when it all fit), so chargers can
     /// account for wasted top-up energy.
@@ -215,6 +245,49 @@ mod tests {
     #[should_panic(expected = "initial level")]
     fn level_above_capacity_rejected() {
         let _ = Battery::new(uj(1.0), uj(2.0));
+    }
+
+    #[test]
+    fn fade_shrinks_capacity_and_truncates_level() {
+        let mut b = Battery::full(uj(100.0));
+        assert!(!b.fade(0.1, uj(50.0)));
+        assert!((b.capacity().as_ujoules() - 90.0).abs() < 1e-9);
+        // A full cell stays full relative to its *new* capacity.
+        assert_eq!(b.level(), b.capacity());
+        // A partially drained cell keeps its level when it still fits.
+        let mut b = Battery::new(uj(100.0), uj(40.0));
+        assert!(!b.fade(0.2, uj(10.0)));
+        assert_eq!(b.level(), uj(40.0));
+        assert!((b.capacity().as_ujoules() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fade_clamps_at_the_floor() {
+        let mut b = Battery::full(uj(100.0));
+        for _ in 0..200 {
+            b.fade(0.25, uj(30.0));
+        }
+        assert_eq!(b.capacity(), uj(30.0));
+        assert_eq!(b.level(), uj(30.0), "level truncated with the capacity");
+        // Once pinned, every further fade reports the floor hit and the
+        // capacity stops moving.
+        assert!(b.fade(0.25, uj(30.0)));
+        assert_eq!(b.capacity(), uj(30.0));
+    }
+
+    #[test]
+    fn zero_fade_is_a_noop() {
+        let mut b = Battery::new(uj(10.0), uj(4.0));
+        assert!(!b.fade(0.0, uj(1.0)));
+        assert_eq!(b.capacity(), uj(10.0));
+        assert_eq!(b.level(), uj(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fade fraction")]
+    fn fade_rejects_out_of_range_fractions() {
+        let mut b = Battery::full(uj(1.0));
+        let _ = b.fade(1.5, Energy::ZERO);
     }
 
     #[test]

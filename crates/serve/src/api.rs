@@ -10,7 +10,7 @@ use wrsn_energy::Energy;
 use wrsn_engine::{
     CacheStats, EngineError, Experiment, InstanceParams, ResultStore, SolverRegistry,
 };
-use wrsn_sim::{ChargerPolicy, FaultPlan, SimConfig, Simulator};
+use wrsn_sim::{ChargerPolicy, FaultPlan, SimConfig, Simulator, DEFAULT_FADE_FLOOR};
 
 /// The maximum seed count a single `/v1/sweep` request may ask for —
 /// big sweeps belong in the CLI, not behind a request timeout.
@@ -34,6 +34,10 @@ fn default_battery() -> f64 {
 
 fn default_sweep_seeds() -> u64 {
     8
+}
+
+fn default_fade_floor() -> f64 {
+    DEFAULT_FADE_FLOOR
 }
 
 /// `POST /v1/solve` body.
@@ -98,6 +102,19 @@ pub struct SimulateRequest {
     /// Probability a charger visit is delayed (0 disables).
     #[serde(default)]
     pub charger_delay: f64,
+    /// Per-charge-cycle capacity fade fraction (0 disables).
+    #[serde(default)]
+    pub battery_fade: f64,
+    /// Capacity floor for fade, as a fraction of nameplate.
+    #[serde(default = "default_fade_floor")]
+    pub fade_floor: f64,
+    /// First round of a total charger breakdown (requires
+    /// `charger_down_until`).
+    #[serde(default)]
+    pub charger_down_from: Option<u64>,
+    /// First round after the breakdown ends.
+    #[serde(default)]
+    pub charger_down_until: Option<u64>,
 }
 
 impl Default for SimulateRequest {
@@ -113,6 +130,10 @@ impl Default for SimulateRequest {
             link_loss: 0.0,
             charger_skip: 0.0,
             charger_delay: 0.0,
+            battery_fade: 0.0,
+            fade_floor: default_fade_floor(),
+            charger_down_from: None,
+            charger_down_until: None,
         }
     }
 }
@@ -325,7 +346,21 @@ impl ApiContext {
         let solution = solver
             .solve(&instance)
             .map_err(|e| ApiError::bad_request(format!("solve failed: {e}")))?;
-        let faults = if req.link_loss > 0.0 || req.charger_skip > 0.0 || req.charger_delay > 0.0 {
+        let breakdown = match (req.charger_down_from, req.charger_down_until) {
+            (Some(from), Some(until)) => Some((from, until)),
+            (None, None) => None,
+            _ => {
+                return Err(ApiError::bad_request(
+                    "charger_down_from and charger_down_until must be given together",
+                ));
+            }
+        };
+        let faults = if req.link_loss > 0.0
+            || req.charger_skip > 0.0
+            || req.charger_delay > 0.0
+            || req.battery_fade > 0.0
+            || breakdown.is_some()
+        {
             let mut plan = FaultPlan::seeded(req.fault_seed);
             if req.link_loss > 0.0 {
                 plan = plan.link_loss(req.link_loss);
@@ -335,6 +370,14 @@ impl ApiContext {
             }
             if req.charger_delay > 0.0 {
                 plan = plan.charger_delays(req.charger_delay, 5.0);
+            }
+            if req.battery_fade > 0.0 {
+                plan = plan
+                    .battery_fade(req.battery_fade)
+                    .battery_fade_floor(req.fade_floor);
+            }
+            if let Some((from, until)) = breakdown {
+                plan = plan.charger_breakdown(from, until);
             }
             plan.validate(instance.num_posts())
                 .map_err(|why| ApiError::bad_request(format!("fault plan: {why}")))?;
@@ -381,6 +424,18 @@ impl ApiContext {
             (
                 "charger_delays".to_string(),
                 report.charger_delays.to_value(),
+            ),
+            (
+                "capacity_floor_hits".to_string(),
+                report.capacity_floor_hits.to_value(),
+            ),
+            (
+                "charger_downtime_rounds".to_string(),
+                report.charger_downtime_rounds.to_value(),
+            ),
+            (
+                "breakdown_deaths".to_string(),
+                report.breakdown_deaths.to_value(),
             ),
             (
                 "first_fault_round".to_string(),
@@ -581,6 +636,43 @@ mod tests {
             ..SimulateRequest::default()
         };
         assert_eq!(ctx.simulate(&req).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn simulate_accepts_degradation_knobs() {
+        let ctx = ApiContext::new();
+        let req = SimulateRequest {
+            instance: small(),
+            solver: "idb".to_string(),
+            rounds: 80,
+            battery_j: 0.001,
+            battery_fade: 0.2,
+            charger_down_from: Some(10),
+            charger_down_until: Some(40),
+            ..SimulateRequest::default()
+        };
+        let out = ctx.simulate(&req).unwrap();
+        assert_eq!(
+            out.body
+                .get("charger_downtime_rounds")
+                .and_then(Value::as_u64),
+            Some(30)
+        );
+        assert!(out.body.get("capacity_floor_hits").is_some());
+        assert!(out.body.get("breakdown_deaths").is_some());
+    }
+
+    #[test]
+    fn simulate_rejects_half_a_breakdown_window() {
+        let ctx = ApiContext::new();
+        let req = SimulateRequest {
+            instance: small(),
+            charger_down_from: Some(10),
+            ..SimulateRequest::default()
+        };
+        let err = ctx.simulate(&req).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("together"));
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Seed-driven fault injection for the HTTP server.
+//!
+//! A [`ChaosPolicy`] makes the server misbehave on purpose — injected
+//! `500`s, responses truncated mid-body, artificial latency — so the
+//! retrying client and circuit breaker can be exercised end to end
+//! without real infrastructure failures. All rolls come from one
+//! seeded [`SmallRng`] behind a mutex, so a chaos run is reproducible
+//! per `(seed, request order)` and zero-probability axes change
+//! nothing. Probe endpoints (`/healthz`, `/statusz`) are exempt:
+//! readiness checks stay trustworthy while `/v1/*` burns.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What the server does, on purpose, to a fraction of requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPolicy {
+    /// Seed for the chaos random stream.
+    pub seed: u64,
+    /// Probability a request is answered with an injected `500`.
+    pub fault_prob: f64,
+    /// Probability a response is truncated mid-body (the connection is
+    /// then closed, so the client sees a short read).
+    pub truncate_prob: f64,
+    /// Probability a request is delayed by [`ChaosPolicy::latency`]
+    /// before being handled.
+    pub latency_prob: f64,
+    /// The injected delay when the latency die fires.
+    pub latency: Duration,
+}
+
+impl ChaosPolicy {
+    /// A do-nothing policy whose random stream is seeded with `seed`.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        ChaosPolicy {
+            seed,
+            fault_prob: 0.0,
+            truncate_prob: 0.0,
+            latency_prob: 0.0,
+            latency: Duration::ZERO,
+        }
+    }
+
+    /// Sets the injected-`500` probability.
+    #[must_use]
+    pub fn faults(mut self, prob: f64) -> Self {
+        self.fault_prob = prob;
+        self
+    }
+
+    /// Sets the mid-body truncation probability.
+    #[must_use]
+    pub fn truncation(mut self, prob: f64) -> Self {
+        self.truncate_prob = prob;
+        self
+    }
+
+    /// Sets the artificial-latency probability and delay.
+    #[must_use]
+    pub fn latency(mut self, prob: f64, delay: Duration) -> Self {
+        self.latency_prob = prob;
+        self.latency = delay;
+        self
+    }
+
+    /// `true` when every axis is off.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fault_prob == 0.0 && self.truncate_prob == 0.0 && self.latency_prob == 0.0
+    }
+
+    /// Validates every probability lies in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first out-of-range axis.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, prob) in [
+            ("chaos fault", self.fault_prob),
+            ("chaos truncation", self.truncate_prob),
+            ("chaos latency", self.latency_prob),
+        ] {
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(format!("{name} probability {prob} must lie in [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of one chaos roll for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosDecision {
+    /// Answer with an injected `500` instead of running the handler.
+    pub inject_fault: bool,
+    /// Cut the serialized response roughly in half and close.
+    pub truncate: bool,
+    /// Sleep this long before handling, if set.
+    pub delay: Option<Duration>,
+}
+
+impl ChaosDecision {
+    /// The decision that changes nothing.
+    pub const NONE: ChaosDecision = ChaosDecision {
+        inject_fault: false,
+        truncate: false,
+        delay: None,
+    };
+}
+
+/// A [`ChaosPolicy`] plus its live random stream, shared by the worker
+/// threads.
+#[derive(Debug)]
+pub struct ChaosState {
+    policy: ChaosPolicy,
+    rng: Mutex<SmallRng>,
+}
+
+impl ChaosState {
+    /// Wraps a policy with a random stream seeded from it.
+    #[must_use]
+    pub fn new(policy: ChaosPolicy) -> Self {
+        let rng = Mutex::new(SmallRng::seed_from_u64(policy.seed));
+        ChaosState { policy, rng }
+    }
+
+    /// The wrapped policy.
+    #[must_use]
+    pub fn policy(&self) -> &ChaosPolicy {
+        &self.policy
+    }
+
+    /// Rolls the three dice for one request, in a fixed order (latency,
+    /// fault, truncation) so a given seed yields the same decision
+    /// sequence regardless of which axes are enabled downstream.
+    pub fn decide(&self) -> ChaosDecision {
+        if self.policy.is_empty() {
+            return ChaosDecision::NONE;
+        }
+        let mut rng = self.rng.lock().expect("chaos rng lock");
+        let delay = (self.policy.latency_prob > 0.0
+            && rng.random::<f64>() < self.policy.latency_prob)
+            .then_some(self.policy.latency);
+        let inject_fault =
+            self.policy.fault_prob > 0.0 && rng.random::<f64>() < self.policy.fault_prob;
+        let truncate =
+            self.policy.truncate_prob > 0.0 && rng.random::<f64>() < self.policy.truncate_prob;
+        ChaosDecision {
+            inject_fault,
+            truncate,
+            delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_layer_axes() {
+        let policy = ChaosPolicy::seeded(7)
+            .faults(0.1)
+            .truncation(0.05)
+            .latency(0.2, Duration::from_millis(30));
+        assert_eq!(policy.seed, 7);
+        assert_eq!(policy.fault_prob, 0.1);
+        assert_eq!(policy.truncate_prob, 0.05);
+        assert_eq!(policy.latency_prob, 0.2);
+        assert!(!policy.is_empty());
+        assert!(ChaosPolicy::seeded(0).is_empty());
+        assert!(policy.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_probabilities() {
+        assert!(ChaosPolicy::seeded(0).faults(1.5).validate().is_err());
+        assert!(ChaosPolicy::seeded(0).truncation(-0.1).validate().is_err());
+        assert!(ChaosPolicy::seeded(0)
+            .latency(2.0, Duration::ZERO)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn empty_policy_never_fires() {
+        let state = ChaosState::new(ChaosPolicy::seeded(3));
+        for _ in 0..100 {
+            assert_eq!(state.decide(), ChaosDecision::NONE);
+        }
+    }
+
+    #[test]
+    fn decisions_replay_identically_per_seed() {
+        let mk = || {
+            ChaosState::new(
+                ChaosPolicy::seeded(42)
+                    .faults(0.3)
+                    .truncation(0.2)
+                    .latency(0.5, Duration::from_millis(1)),
+            )
+        };
+        let (a, b) = (mk(), mk());
+        let run = |s: &ChaosState| (0..200).map(|_| s.decide()).collect::<Vec<_>>();
+        let (da, db) = (run(&a), run(&b));
+        assert_eq!(da, db);
+        assert!(da.iter().any(|d| d.inject_fault));
+        assert!(da.iter().any(|d| d.truncate));
+        assert!(da.iter().any(|d| d.delay.is_some()));
+    }
+
+    #[test]
+    fn certain_fault_fires_every_time() {
+        let state = ChaosState::new(ChaosPolicy::seeded(0).faults(1.0));
+        for _ in 0..20 {
+            assert!(state.decide().inject_fault);
+        }
+    }
+}

@@ -1,13 +1,22 @@
 //! A matching minimal HTTP/1.1 client and the `loadgen` harness.
 //!
 //! The client speaks exactly the dialect the server emits: one request
-//! per connection, `Content-Length` framing, `Connection: close`. The
-//! loadgen fans identical requests across threads and reports exact
-//! (not bucketed) p50/p95/p99 latencies plus throughput.
+//! per connection, `Content-Length` framing, `Connection: close`. On
+//! top of the one-shot [`request`] sits [`request_with_retry`]: a
+//! [`RetryPolicy`] with exponential backoff + decorrelated jitter that
+//! honors `Retry-After`, and an optional shared [`CircuitBreaker`]
+//! that stops hammering a failing server (half-open probing brings it
+//! back). The loadgen fans identical requests across threads and
+//! reports exact (not bucketed) p50/p95/p99 latencies plus throughput
+//! and — under retries — the chaos-era counters (retries, retryable
+//! 503s, transport resets, breaker opens).
 
 use crate::ServeError;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// A response as the client sees it.
@@ -78,10 +87,25 @@ fn parse_response(raw: &[u8]) -> Result<ClientResponse, String> {
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
-    let headers = lines
+    let headers: Vec<(String, String)> = lines
         .filter_map(|line| line.split_once(':'))
         .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
         .collect();
+    // A body shorter than its advertised Content-Length means the
+    // server hung up mid-response; surface that as an error (and thus
+    // retryable) instead of silently returning the stump.
+    let advertised = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    if let Some(expected) = advertised {
+        if body.len() < expected {
+            return Err(format!(
+                "truncated body: got {} of {expected} bytes",
+                body.len()
+            ));
+        }
+    }
     Ok(ClientResponse {
         status,
         headers,
@@ -89,19 +113,321 @@ fn parse_response(raw: &[u8]) -> Result<ClientResponse, String> {
     })
 }
 
+/// How [`request_with_retry`] paces its attempts and when its breaker
+/// trips.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first (0 = behave like [`request`]).
+    pub max_retries: u32,
+    /// Minimum backoff between attempts.
+    pub base: Duration,
+    /// Ceiling on any single backoff sleep (also clamps `Retry-After`).
+    pub cap: Duration,
+    /// Seed for the jitter stream (loadgen derives one per thread).
+    pub seed: u64,
+    /// Consecutive failures that open the circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker blocks before half-open probing.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Six retries, 10 ms–2 s decorrelated-jitter backoff, breaker at
+    /// five consecutive failures with a 200 ms cooldown.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 6,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(2),
+            seed: 0,
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The same policy with a different jitter seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Statuses worth retrying: the server (or an intermediary) says "not
+/// now", not "never".
+#[must_use]
+pub fn retryable_status(status: u16) -> bool {
+    matches!(status, 429 | 500 | 502 | 503 | 504)
+}
+
+/// Decorrelated jitter (the AWS architecture-blog variant):
+/// `sleep = min(cap, uniform(base, prev * 3))`. Grows roughly
+/// exponentially while decorrelating concurrent clients.
+fn next_backoff(rng: &mut SmallRng, base: Duration, cap: Duration, prev: Duration) -> Duration {
+    let lo = base.as_secs_f64();
+    let hi = (prev.as_secs_f64() * 3.0).max(lo);
+    let chosen = if hi > lo {
+        rng.random_range(lo..hi)
+    } else {
+        lo
+    };
+    Duration::from_secs_f64(chosen.min(cap.as_secs_f64()))
+}
+
+/// The breaker's observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// Requests are blocked until the cooldown elapses.
+    Open,
+    /// One probe request is in flight; its outcome decides.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    opens: u64,
+}
+
+/// A half-open circuit breaker shared by a client fleet: after
+/// `threshold` consecutive failures it opens and blocks everyone for
+/// `cooldown`, then admits exactly one probe; the probe's success
+/// closes it, its failure re-opens it.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `threshold` consecutive
+    /// failures, cooling down for `cooldown` before probing.
+    #[must_use]
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                opens: 0,
+            }),
+        }
+    }
+
+    /// A breaker configured from a [`RetryPolicy`].
+    #[must_use]
+    pub fn from_policy(policy: &RetryPolicy) -> Self {
+        CircuitBreaker::new(policy.breaker_threshold, policy.breaker_cooldown)
+    }
+
+    /// The current state (transitions Open → HalfOpen are made by
+    /// [`CircuitBreaker::try_acquire`], not by the clock alone).
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().expect("breaker lock").state
+    }
+
+    /// How many times the breaker has opened.
+    #[must_use]
+    pub fn opens(&self) -> u64 {
+        self.inner.lock().expect("breaker lock").opens
+    }
+
+    /// Whether a request may proceed right now. While open, returns
+    /// `false` until the cooldown elapses, then admits a single
+    /// half-open probe (subsequent callers keep getting `false` until
+    /// the probe reports back).
+    #[must_use]
+    pub fn try_acquire(&self) -> bool {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => false,
+            BreakerState::Open => {
+                let cooled = inner
+                    .opened_at
+                    .is_some_and(|at| at.elapsed() >= self.cooldown);
+                if cooled {
+                    inner.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Reports a successful request: closes the breaker and resets the
+    /// failure streak.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+        inner.opened_at = None;
+    }
+
+    /// Reports a failed request: a failed half-open probe re-opens the
+    /// breaker immediately; in the closed state the failure streak
+    /// opens it at the threshold.
+    pub fn record_failure(&self) {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+        let trip = match inner.state {
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => inner.consecutive_failures >= self.threshold,
+            BreakerState::Open => false,
+        };
+        if trip {
+            inner.state = BreakerState::Open;
+            inner.opened_at = Some(Instant::now());
+            inner.opens += 1;
+        }
+    }
+}
+
+/// What [`request_with_retry`] went through to get its response.
+#[derive(Debug, Clone)]
+pub struct RetryOutcome {
+    /// The final response (its status may still be non-200 if the
+    /// retry budget ran out on a retryable status).
+    pub response: ClientResponse,
+    /// Attempts beyond the first.
+    pub retries: u64,
+    /// Retryable statuses observed along the way (429/5xx).
+    pub retryable_status: u64,
+    /// Transport-level failures observed along the way (connection
+    /// reset, truncated response, refused connect).
+    pub transport_resets: u64,
+}
+
+/// [`request`] wrapped in retries with decorrelated-jitter backoff.
+///
+/// Transport errors and retryable statuses (429/500/502/503/504) are
+/// retried up to `policy.max_retries` times; a `Retry-After` header is
+/// honored (clamped to `[base, cap]`). When a shared `breaker` is
+/// given, every attempt first acquires it, successes and failures feed
+/// it, and open periods are waited out without consuming retries.
+///
+/// # Errors
+///
+/// [`ServeError::Client`] when the final attempt still failed at the
+/// transport level. A non-200 final status is returned as an outcome,
+/// not an error.
+pub fn request_with_retry(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    policy: &RetryPolicy,
+    breaker: Option<&CircuitBreaker>,
+) -> Result<RetryOutcome, ServeError> {
+    let mut rng = SmallRng::seed_from_u64(policy.seed);
+    let mut prev = policy.base;
+    let mut outcome = RetryOutcome {
+        response: ClientResponse {
+            status: 0,
+            headers: Vec::new(),
+            body: String::new(),
+        },
+        retries: 0,
+        retryable_status: 0,
+        transport_resets: 0,
+    };
+    let mut attempts = 0u32;
+    loop {
+        if let Some(b) = breaker {
+            // An open breaker means *wait*, not *fail*: these sleeps
+            // are bounded by the cooldown and consume no retry budget.
+            while !b.try_acquire() {
+                std::thread::sleep(
+                    policy
+                        .breaker_cooldown
+                        .max(Duration::from_millis(1))
+                        .min(Duration::from_millis(20)),
+                );
+            }
+        }
+        let result = request(addr, method, path, body);
+        let retry_after = match &result {
+            Ok(resp) if !retryable_status(resp.status) => {
+                if let Some(b) = breaker {
+                    b.record_success();
+                }
+                outcome.response = resp.clone();
+                return Ok(outcome);
+            }
+            Ok(resp) => {
+                outcome.retryable_status += 1;
+                resp.header("retry-after")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map(Duration::from_secs)
+            }
+            Err(_) => {
+                outcome.transport_resets += 1;
+                None
+            }
+        };
+        if let Some(b) = breaker {
+            b.record_failure();
+        }
+        if attempts >= policy.max_retries {
+            return match result {
+                Ok(resp) => {
+                    outcome.response = resp;
+                    Ok(outcome)
+                }
+                Err(e) => Err(e),
+            };
+        }
+        attempts += 1;
+        outcome.retries += 1;
+        let sleep = match retry_after {
+            // The server named a pause; respect it within our bounds.
+            Some(after) => after.max(policy.base).min(policy.cap),
+            None => {
+                prev = next_backoff(&mut rng, policy.base, policy.cap, prev);
+                prev
+            }
+        };
+        std::thread::sleep(sleep);
+    }
+}
+
 /// What one loadgen run measured.
 #[derive(Debug, Clone)]
 pub struct LoadgenReport {
-    /// Requests that completed with status 200.
+    /// Requests that completed with status 200 (eventually, when
+    /// retries are enabled).
     pub ok: u64,
-    /// Requests that completed with any other status (e.g. 503).
+    /// Requests whose *final* status was not 200.
     pub non_ok: u64,
-    /// Requests that failed at the transport level.
+    /// Requests that terminally failed at the transport level.
     pub errors: u64,
     /// Wall-clock for the whole run.
     pub elapsed: Duration,
     /// Sorted per-request latencies (successful requests only).
     pub latencies: Vec<Duration>,
+    /// Retry attempts spent across all requests (zero without a retry
+    /// policy).
+    pub retries: u64,
+    /// Retryable statuses (429/5xx, e.g. a 503 + `Retry-After`)
+    /// observed along the way — distinguishable from transport resets
+    /// so retry behavior is measurable.
+    pub retryable_status: u64,
+    /// Transport-level failures (connection reset, truncated response)
+    /// observed along the way, whether or not a retry recovered them.
+    pub transport_resets: u64,
+    /// Times the shared circuit breaker opened during the run.
+    pub breaker_opens: u64,
 }
 
 impl LoadgenReport {
@@ -129,8 +455,23 @@ impl LoadgenReport {
     }
 }
 
+/// What one loadgen worker thread tallied.
+#[derive(Debug, Default)]
+struct ThreadTally {
+    ok: u64,
+    non_ok: u64,
+    errors: u64,
+    retries: u64,
+    retryable_status: u64,
+    transport_resets: u64,
+    latencies: Vec<Duration>,
+}
+
 /// Fans `requests` identical (`method`, `path`, `body`) requests over
-/// `concurrency` threads against `addr` and collects latencies.
+/// `concurrency` threads against `addr` and collects latencies. With a
+/// [`RetryPolicy`], every request retries through a fleet-shared
+/// [`CircuitBreaker`] (per-thread jitter seeds are derived from the
+/// policy's), and the report carries the chaos-era counters.
 ///
 /// # Errors
 ///
@@ -144,34 +485,81 @@ pub fn loadgen(
     body: Option<&str>,
     concurrency: usize,
     requests: u64,
+    retry: Option<&RetryPolicy>,
 ) -> Result<LoadgenReport, ServeError> {
-    // Probe first so misconfiguration is an error, not a zero report.
-    request(addr, method, path, body)?;
+    let breaker = retry.map(CircuitBreaker::from_policy);
+    // Probe first so misconfiguration is an error, not a zero report
+    // (under chaos the probe itself retries, so an injected fault
+    // cannot fail an otherwise healthy run).
+    match retry {
+        Some(policy) => {
+            request_with_retry(addr, method, path, body, policy, breaker.as_ref())?;
+        }
+        None => {
+            request(addr, method, path, body)?;
+        }
+    }
     let concurrency = concurrency.max(1);
     let per_thread = requests / concurrency as u64;
     let remainder = requests % concurrency as u64;
     let started = Instant::now();
-    let results: Vec<(u64, u64, u64, Vec<Duration>)> = std::thread::scope(|scope| {
+    let breaker_ref = breaker.as_ref();
+    let results: Vec<ThreadTally> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(concurrency);
         for t in 0..concurrency {
             let quota = per_thread + u64::from((t as u64) < remainder);
             handles.push(scope.spawn(move || {
-                let mut ok = 0;
-                let mut non_ok = 0;
-                let mut errors = 0;
-                let mut latencies = Vec::with_capacity(quota as usize);
+                let mut tally = ThreadTally {
+                    latencies: Vec::with_capacity(quota as usize),
+                    ..ThreadTally::default()
+                };
+                // Decorrelate threads without sharing rng state.
+                let policy = retry.map(|p| {
+                    p.clone()
+                        .with_seed(p.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                });
                 for _ in 0..quota {
                     let t0 = Instant::now();
-                    match request(addr, method, path, body) {
-                        Ok(resp) if resp.status == 200 => {
-                            ok += 1;
-                            latencies.push(t0.elapsed());
+                    match &policy {
+                        Some(policy) => {
+                            match request_with_retry(addr, method, path, body, policy, breaker_ref)
+                            {
+                                Ok(outcome) => {
+                                    tally.retries += outcome.retries;
+                                    tally.retryable_status += outcome.retryable_status;
+                                    tally.transport_resets += outcome.transport_resets;
+                                    if outcome.response.status == 200 {
+                                        tally.ok += 1;
+                                        tally.latencies.push(t0.elapsed());
+                                    } else {
+                                        tally.non_ok += 1;
+                                    }
+                                }
+                                Err(_) => tally.errors += 1,
+                            }
                         }
-                        Ok(_) => non_ok += 1,
-                        Err(_) => errors += 1,
+                        None => match request(addr, method, path, body) {
+                            Ok(resp) if resp.status == 200 => {
+                                tally.ok += 1;
+                                tally.latencies.push(t0.elapsed());
+                            }
+                            Ok(resp) => {
+                                // Distinguish "back off and retry"
+                                // (e.g. admission-control 503s) from
+                                // terminal statuses.
+                                if retryable_status(resp.status) {
+                                    tally.retryable_status += 1;
+                                }
+                                tally.non_ok += 1;
+                            }
+                            Err(_) => {
+                                tally.transport_resets += 1;
+                                tally.errors += 1;
+                            }
+                        },
                     }
                 }
-                (ok, non_ok, errors, latencies)
+                tally
             }));
         }
         handles
@@ -186,12 +574,19 @@ pub fn loadgen(
         errors: 0,
         elapsed,
         latencies: Vec::new(),
+        retries: 0,
+        retryable_status: 0,
+        transport_resets: 0,
+        breaker_opens: breaker.as_ref().map_or(0, CircuitBreaker::opens),
     };
-    for (ok, non_ok, errors, latencies) in results {
-        report.ok += ok;
-        report.non_ok += non_ok;
-        report.errors += errors;
-        report.latencies.extend(latencies);
+    for tally in results {
+        report.ok += tally.ok;
+        report.non_ok += tally.non_ok;
+        report.errors += tally.errors;
+        report.retries += tally.retries;
+        report.retryable_status += tally.retryable_status;
+        report.transport_resets += tally.transport_resets;
+        report.latencies.extend(tally.latencies);
     }
     report.latencies.sort_unstable();
     Ok(report)
@@ -216,16 +611,27 @@ mod tests {
         assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
     }
 
+    fn empty_report(latencies: Vec<Duration>, elapsed: Duration) -> LoadgenReport {
+        LoadgenReport {
+            ok: 0,
+            non_ok: 0,
+            errors: 0,
+            elapsed,
+            latencies,
+            retries: 0,
+            retryable_status: 0,
+            transport_resets: 0,
+            breaker_opens: 0,
+        }
+    }
+
     #[test]
     fn quantiles_are_exact_order_statistics() {
         let mut latencies: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
         latencies.sort_unstable();
         let report = LoadgenReport {
             ok: 100,
-            non_ok: 0,
-            errors: 0,
-            elapsed: Duration::from_secs(1),
-            latencies,
+            ..empty_report(latencies, Duration::from_secs(1))
         };
         assert_eq!(report.quantile(0.50), Duration::from_millis(50));
         assert_eq!(report.quantile(0.95), Duration::from_millis(95));
@@ -235,13 +641,7 @@ mod tests {
 
     #[test]
     fn empty_report_is_safe() {
-        let report = LoadgenReport {
-            ok: 0,
-            non_ok: 0,
-            errors: 0,
-            elapsed: Duration::ZERO,
-            latencies: Vec::new(),
-        };
+        let report = empty_report(Vec::new(), Duration::ZERO);
         assert_eq!(report.quantile(0.5), Duration::ZERO);
         assert_eq!(report.throughput_rps(), 0.0);
     }
@@ -251,6 +651,105 @@ mod tests {
         // Port 9 (discard) is almost certainly closed in the test
         // environment; a refused connection must surface as Client.
         let err = request("127.0.0.1:9", "GET", "/healthz", None).unwrap_err();
+        assert!(matches!(err, ServeError::Client(_)));
+    }
+
+    #[test]
+    fn truncated_body_is_a_parse_error() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 20\r\n\r\n{\"cut\":";
+        let err = parse_response(raw).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        // An exact-length body still parses.
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n{}";
+        assert_eq!(parse_response(raw).unwrap().body, "{}");
+    }
+
+    #[test]
+    fn retryable_statuses_are_the_not_now_codes() {
+        for code in [429, 500, 502, 503, 504] {
+            assert!(retryable_status(code), "{code}");
+        }
+        for code in [200, 400, 404, 405, 413] {
+            assert!(!retryable_status(code), "{code}");
+        }
+    }
+
+    #[test]
+    fn backoff_grows_within_bounds_and_respects_the_cap() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(200);
+        let mut prev = base;
+        for _ in 0..50 {
+            let next = next_backoff(&mut rng, base, cap, prev);
+            assert!(next >= base, "{next:?} below base");
+            assert!(next <= cap, "{next:?} above cap");
+            prev = next;
+        }
+        // Degenerate case: prev * 3 == base (empty jitter range).
+        let next = next_backoff(&mut rng, base, cap, Duration::ZERO);
+        assert_eq!(next, base);
+    }
+
+    #[test]
+    fn breaker_opens_half_opens_and_recloses() {
+        let cooldown = Duration::from_millis(10);
+        let breaker = CircuitBreaker::new(3, cooldown);
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert!(breaker.try_acquire());
+
+        // Three consecutive failures trip it open.
+        breaker.record_failure();
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.opens(), 1);
+        assert!(!breaker.try_acquire(), "open breaker blocks immediately");
+
+        // After the cooldown exactly one probe gets through.
+        std::thread::sleep(cooldown + Duration::from_millis(5));
+        assert!(breaker.try_acquire(), "cooldown elapsed: probe admitted");
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        assert!(!breaker.try_acquire(), "only one probe at a time");
+
+        // A failed probe re-opens; a successful one closes for good.
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.opens(), 2);
+        std::thread::sleep(cooldown + Duration::from_millis(5));
+        assert!(breaker.try_acquire());
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert!(breaker.try_acquire());
+        assert_eq!(breaker.opens(), 2, "success does not add an open");
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let breaker = CircuitBreaker::new(3, Duration::from_millis(1));
+        breaker.record_failure();
+        breaker.record_failure();
+        breaker.record_success();
+        breaker.record_failure();
+        breaker.record_failure();
+        assert_eq!(
+            breaker.state(),
+            BreakerState::Closed,
+            "interleaved successes keep the streak below threshold"
+        );
+    }
+
+    #[test]
+    fn retry_against_a_dead_port_spends_its_budget_then_errors() {
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            ..RetryPolicy::default()
+        };
+        let err =
+            request_with_retry("127.0.0.1:9", "GET", "/healthz", None, &policy, None).unwrap_err();
         assert!(matches!(err, ServeError::Client(_)));
     }
 }

@@ -17,6 +17,9 @@ pub enum ServeError {
     },
     /// A client-side request failed (connect, write, read, or parse).
     Client(String),
+    /// The server configuration is invalid (e.g. an out-of-range chaos
+    /// probability).
+    Config(String),
     /// The shared result store could not be opened or flushed.
     Store(wrsn_engine::StoreError),
 }
@@ -26,6 +29,7 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Bind { addr, message } => write!(f, "binding {addr}: {message}"),
             ServeError::Client(message) => write!(f, "http client: {message}"),
+            ServeError::Config(message) => write!(f, "server config: {message}"),
             ServeError::Store(e) => write!(f, "result store: {e}"),
         }
     }

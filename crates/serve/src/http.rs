@@ -1,9 +1,10 @@
 //! A minimal HTTP/1.1 subset: exactly what the serving layer needs.
 //!
-//! One request per connection (`Connection: close` on every response),
-//! no chunked transfer, no keep-alive, no TLS. Requests are capped at
-//! 16 KiB of head (request line + headers) and 1 MiB of body; both caps
-//! turn attackers' oversized payloads into cheap early rejections.
+//! No chunked transfer, no TLS; keep-alive is opt-in per response via
+//! [`Response::write_to_with`] (the default [`Response::write_to`]
+//! still closes after one request). Requests are capped at 16 KiB of
+//! head (request line + headers) and 1 MiB of body; both caps turn
+//! attackers' oversized payloads into cheap early rejections.
 
 use std::io::{Read, Write};
 
@@ -80,6 +81,13 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, ParseError> {
             return Err(ParseError::TooLarge);
         }
         match stream.read(&mut byte) {
+            Ok(0) if head.is_empty() => {
+                // A peer hanging up between requests (keep-alive churn)
+                // is an io-level close, not a protocol violation.
+                return Err(ParseError::Io(std::io::Error::from(
+                    std::io::ErrorKind::UnexpectedEof,
+                )));
+            }
             Ok(0) => {
                 return Err(ParseError::Bad("connection closed mid-head".to_string()));
             }
@@ -155,6 +163,7 @@ pub fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -188,23 +197,45 @@ impl Response {
         self
     }
 
-    /// Serializes the response (status line, headers, body) into `out`.
+    /// Serializes the response (status line, headers, body) into `out`
+    /// with `Connection: close`.
     ///
     /// # Errors
     ///
     /// Propagates the write failure.
     pub fn write_to(&self, out: &mut impl Write) -> std::io::Result<()> {
+        self.write_to_with(out, false)
+    }
+
+    /// Serializes the response, advertising `Connection: keep-alive`
+    /// when `keep_alive` is set and `Connection: close` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn write_to_with(&self, out: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        out.write_all(&self.serialize(keep_alive))?;
+        out.flush()
+    }
+
+    /// The full wire form of the response as bytes (used by the server
+    /// so chaos truncation can cut a serialized response mid-body).
+    #[must_use]
+    pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
         let mut text = format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status));
         text.push_str("Content-Type: application/json\r\n");
         text.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
-        text.push_str("Connection: close\r\n");
+        if keep_alive {
+            text.push_str("Connection: keep-alive\r\n");
+        } else {
+            text.push_str("Connection: close\r\n");
+        }
         for (name, value) in &self.headers {
             text.push_str(&format!("{name}: {value}\r\n"));
         }
         text.push_str("\r\n");
         text.push_str(&self.body);
-        out.write_all(text.as_bytes())?;
-        out.flush()
+        text.into_bytes()
     }
 }
 
@@ -258,7 +289,14 @@ mod tests {
             parse("GET / HTTP/1.1\r\nContent-Length: lots\r\n\r\n"),
             Err(ParseError::Bad(_))
         ));
-        assert!(matches!(parse(""), Err(ParseError::Bad(_))));
+        assert!(
+            matches!(parse(""), Err(ParseError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof),
+            "a clean close before any bytes is an io close, not bad syntax"
+        );
+        assert!(
+            matches!(parse("GET / HTT"), Err(ParseError::Bad(_))),
+            "a close mid-head stays a protocol violation"
+        );
     }
 
     #[test]
@@ -306,10 +344,25 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_served_codes() {
-        for code in [200, 400, 404, 405, 413, 500, 503] {
+        for code in [200, 400, 404, 405, 413, 500, 503, 504] {
             assert_ne!(reason(code), "Unknown", "{code}");
         }
         assert_eq!(reason(418), "Unknown");
+    }
+
+    #[test]
+    fn keep_alive_flips_only_the_connection_header() {
+        let resp = Response::json(200, "{}");
+        let close = resp.serialize(false);
+        let keep = resp.serialize(true);
+        let close = String::from_utf8(close).unwrap();
+        let keep = String::from_utf8(keep).unwrap();
+        assert!(close.contains("Connection: close\r\n"));
+        assert!(keep.contains("Connection: keep-alive\r\n"));
+        assert_eq!(
+            close.replace("Connection: close", "Connection: keep-alive"),
+            keep
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod chaos;
 pub mod client;
 mod error;
 pub mod http;
@@ -36,6 +37,7 @@ mod queue;
 mod server;
 pub mod signal;
 
+pub use chaos::{ChaosDecision, ChaosPolicy, ChaosState};
 pub use error::ServeError;
 pub use metrics::{Histogram, Metrics};
 pub use queue::BoundedQueue;

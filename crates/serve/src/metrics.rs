@@ -119,6 +119,12 @@ pub struct Metrics {
     endpoints: Vec<(&'static str, EndpointStats)>,
     /// Connections rejected by admission control (503).
     pub rejected: AtomicU64,
+    /// Requests whose handler overran the deadline (504).
+    pub timeouts: AtomicU64,
+    /// Chaos injections served (faults + truncations).
+    pub chaos_faults: AtomicU64,
+    /// Extra requests served over reused keep-alive connections.
+    pub keepalive_reuses: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_appended: AtomicU64,
@@ -153,6 +159,9 @@ impl Metrics {
                 .map(|&name| (name, EndpointStats::default()))
                 .collect(),
             rejected: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            chaos_faults: AtomicU64::new(0),
+            keepalive_reuses: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             cache_appended: AtomicU64::new(0),
@@ -270,6 +279,18 @@ impl Metrics {
                 "rejected".to_string(),
                 self.rejected.load(Ordering::Relaxed).to_value(),
             ),
+            (
+                "timeouts".to_string(),
+                self.timeouts.load(Ordering::Relaxed).to_value(),
+            ),
+            (
+                "chaos_faults".to_string(),
+                self.chaos_faults.load(Ordering::Relaxed).to_value(),
+            ),
+            (
+                "keepalive_reuses".to_string(),
+                self.keepalive_reuses.load(Ordering::Relaxed).to_value(),
+            ),
             ("cache".to_string(), Value::Object(cache_fields)),
             ("endpoints".to_string(), Value::Object(endpoints)),
         ])
@@ -331,8 +352,13 @@ mod tests {
             misses: 0,
             appended: 0,
         });
+        m.timeouts.fetch_add(2, Ordering::Relaxed);
+        m.keepalive_reuses.fetch_add(3, Ordering::Relaxed);
         let v = m.to_statusz(4, 2, 1, 64, Some(5));
         assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(v.get("timeouts").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("chaos_faults").and_then(Value::as_u64), Some(0));
+        assert_eq!(v.get("keepalive_reuses").and_then(Value::as_u64), Some(3));
         let workers = v.get("workers").unwrap();
         assert_eq!(workers.get("total").and_then(Value::as_u64), Some(4));
         assert_eq!(workers.get("busy").and_then(Value::as_u64), Some(2));

@@ -6,12 +6,18 @@
 //! pushes accepted sockets onto a [`BoundedQueue`]; on overflow it
 //! answers `503` + `Retry-After` itself, inline, so rejection stays
 //! cheap no matter how busy the workers are. A fixed pool of worker
-//! threads pops sockets, parses one request each, routes it through
-//! [`ApiContext`], and closes the connection. Shutdown closes the
-//! queue; workers drain the backlog, finish in-flight requests, exit,
-//! and the shared result store is flushed to disk.
+//! threads pops sockets, serves one or more requests per connection
+//! (keep-alive, when enabled, with an idle timeout and a max-requests
+//! cap), routes each through [`ApiContext`], and closes. A per-request
+//! deadline ([`ServerConfig::request_timeout`]) turns slow handlers
+//! into `504`s instead of wedged workers, and an optional
+//! [`ChaosPolicy`] makes the server misbehave deterministically for
+//! resilience tests. Shutdown closes the queue; workers drain the
+//! backlog, finish in-flight requests, exit, and the shared result
+//! store is flushed to disk.
 
 use crate::api::{ApiContext, ApiError, ApiOutcome, SimulateRequest, SolveRequest, SweepRequest};
+use crate::chaos::{ChaosDecision, ChaosPolicy, ChaosState};
 use crate::http::{read_request, ParseError, Request, Response};
 use crate::metrics::Metrics;
 use crate::queue::BoundedQueue;
@@ -45,6 +51,21 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Admission queue capacity; overflow is rejected with 503.
     pub queue_depth: usize,
+    /// Per-request handler deadline: a handler still running past it is
+    /// answered `504` + `Retry-After` while it finishes on a detached
+    /// thread (`None` = no deadline).
+    pub request_timeout: Option<Duration>,
+    /// Serve multiple requests per connection (HTTP/1.1 keep-alive).
+    pub keep_alive: bool,
+    /// Most requests served over one keep-alive connection before the
+    /// server closes it.
+    pub keep_alive_max_requests: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub keep_alive_idle: Duration,
+    /// Deterministic misbehavior for resilience tests (`None` in
+    /// production).
+    pub chaos: Option<ChaosPolicy>,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +74,11 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7421".to_string(),
             workers: 4,
             queue_depth: 64,
+            request_timeout: None,
+            keep_alive: false,
+            keep_alive_max_requests: 32,
+            keep_alive_idle: Duration::from_secs(5),
+            chaos: None,
         }
     }
 }
@@ -64,6 +90,11 @@ struct Shared {
     busy: AtomicUsize,
     workers: usize,
     stop: AtomicBool,
+    request_timeout: Option<Duration>,
+    keep_alive: bool,
+    keep_alive_max_requests: usize,
+    keep_alive_idle: Duration,
+    chaos: Option<ChaosState>,
 }
 
 /// A running server. Dropping the handle without calling
@@ -86,8 +117,12 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Bind`] when the address cannot be bound.
+    /// [`ServeError::Bind`] when the address cannot be bound;
+    /// [`ServeError::Config`] when the chaos policy is out of range.
     pub fn start(config: &ServerConfig, api: ApiContext) -> Result<ServerHandle, ServeError> {
+        if let Some(chaos) = &config.chaos {
+            chaos.validate().map_err(ServeError::Config)?;
+        }
         let listener = TcpListener::bind(&config.addr).map_err(|e| ServeError::Bind {
             addr: config.addr.clone(),
             message: e.to_string(),
@@ -110,6 +145,15 @@ impl Server {
             busy: AtomicUsize::new(0),
             workers,
             stop: AtomicBool::new(false),
+            request_timeout: config.request_timeout,
+            keep_alive: config.keep_alive,
+            keep_alive_max_requests: config.keep_alive_max_requests.max(1),
+            keep_alive_idle: config.keep_alive_idle,
+            chaos: config
+                .chaos
+                .clone()
+                .filter(|p| !p.is_empty())
+                .map(ChaosState::new),
         });
 
         let acceptor = {
@@ -170,7 +214,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
     shared.queue.close();
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Arc<Shared>) {
     while let Some(mut stream) = shared.queue.pop() {
         shared.busy.fetch_add(1, Ordering::SeqCst);
         handle_connection(&mut stream, shared);
@@ -178,29 +222,110 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
-    let started = Instant::now();
-    let request = match read_request(stream) {
-        Ok(request) => request,
-        Err(e) => {
-            let response = match e {
-                ParseError::TooLarge => Response::error(413, "request too large"),
-                ParseError::Bad(why) => Response::error(400, &why),
-                ParseError::Io(_) => return, // peer went away; nothing to answer
-            };
+fn handle_connection(stream: &mut TcpStream, shared: &Arc<Shared>) {
+    let max = if shared.keep_alive {
+        shared.keep_alive_max_requests
+    } else {
+        1
+    };
+    for served in 0..max {
+        if served > 0 {
+            // Between keep-alive requests an idle peer gets a shorter
+            // leash than the in-request socket timeout.
+            let _ = stream.set_read_timeout(Some(shared.keep_alive_idle));
+        }
+        let started = Instant::now();
+        let request = match read_request(stream) {
+            Ok(request) => request,
+            Err(e) => {
+                let response = match e {
+                    ParseError::TooLarge => Response::error(413, "request too large"),
+                    ParseError::Bad(why) => Response::error(400, &why),
+                    // Peer went away or idled out; nothing to answer.
+                    ParseError::Io(_) => return,
+                };
+                shared
+                    .metrics
+                    .record("other", response.status, elapsed_us(started));
+                let _ = response.write_to(stream);
+                drain_before_close(stream);
+                return;
+            }
+        };
+        if served > 0 {
             shared
                 .metrics
-                .record("other", response.status, elapsed_us(started));
-            let _ = response.write_to(stream);
-            drain_before_close(stream);
+                .keepalive_reuses
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+        }
+        let client_close = request
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        let stopping = shared.stop.load(Ordering::SeqCst) || signal::shutdown_requested();
+        let keep = shared.keep_alive && served + 1 < max && !client_close && !stopping;
+
+        // Chaos touches only the API; probe endpoints stay honest so
+        // readiness checks keep working during a chaos run.
+        let decision = match &shared.chaos {
+            Some(chaos) if request.path.starts_with("/v1/") => chaos.decide(),
+            _ => ChaosDecision::NONE,
+        };
+        if let Some(delay) = decision.delay {
+            std::thread::sleep(delay);
+        }
+        let response = if decision.inject_fault {
+            shared.metrics.chaos_faults.fetch_add(1, Ordering::Relaxed);
+            Response::error(500, "chaos: injected fault").header("Retry-After", "1")
+        } else {
+            route_with_deadline(&request, shared)
+        };
+        shared
+            .metrics
+            .record(&request.path, response.status, elapsed_us(started));
+        if decision.truncate {
+            // Cut the serialized response in half and hang up: the
+            // client sees a short read, not a valid short body.
+            shared.metrics.chaos_faults.fetch_add(1, Ordering::Relaxed);
+            let bytes = response.serialize(false);
+            let cut = (bytes.len() / 2).max(1);
+            let _ = std::io::Write::write_all(stream, &bytes[..cut]);
+            let _ = std::io::Write::flush(stream);
             return;
         }
+        if response.write_to_with(stream, keep).is_err() || !keep {
+            return;
+        }
+    }
+}
+
+/// Routes the request, racing the handler against the configured
+/// deadline. On timeout the worker answers `504` immediately; the
+/// handler finishes on its detached thread and its result is dropped.
+fn route_with_deadline(request: &Request, shared: &Arc<Shared>) -> Response {
+    let Some(timeout) = shared.request_timeout else {
+        return route(request, shared);
     };
-    let response = route(&request, shared);
-    shared
-        .metrics
-        .record(&request.path, response.status, elapsed_us(started));
-    let _ = response.write_to(stream);
+    let (tx, rx) = std::sync::mpsc::channel();
+    let req = request.clone();
+    let worker_shared = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name("wrsn-serve-handler".to_string())
+        .spawn(move || {
+            let _ = tx.send(route(&req, &worker_shared));
+        });
+    if spawned.is_err() {
+        // Thread exhaustion: degrade to inline handling rather than
+        // failing the request.
+        return route(request, shared);
+    }
+    match rx.recv_timeout(timeout) {
+        Ok(response) => response,
+        Err(_) => {
+            shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+            Response::error(504, "request deadline exceeded").header("Retry-After", "1")
+        }
+    }
 }
 
 fn elapsed_us(started: Instant) -> u64 {
@@ -345,11 +470,15 @@ mod tests {
     use crate::client::{request, ClientResponse};
 
     fn start(workers: usize, queue_depth: usize) -> ServerHandle {
-        let config = ServerConfig {
-            addr: "127.0.0.1:0".to_string(),
+        start_with(ServerConfig {
             workers,
             queue_depth,
-        };
+            ..ServerConfig::default()
+        })
+    }
+
+    fn start_with(mut config: ServerConfig) -> ServerHandle {
+        config.addr = "127.0.0.1:0".to_string();
         Server::start(&config, ApiContext::new()).unwrap()
     }
 
@@ -419,5 +548,136 @@ mod tests {
         server.shutdown().unwrap();
         // The socket no longer accepts once shut down.
         assert!(request(&addr.to_string(), "GET", "/healthz", None).is_err());
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_connection() {
+        use std::io::{Read as _, Write as _};
+        let server = start_with(ServerConfig {
+            workers: 1,
+            keep_alive: true,
+            keep_alive_max_requests: 8,
+            ..ServerConfig::default()
+        });
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut read_one = |expect_keep: bool| {
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            // Responses are Content-Length framed; read the head then
+            // the exact body.
+            let mut head = Vec::new();
+            let mut byte = [0u8; 1];
+            while !head.ends_with(b"\r\n\r\n") {
+                assert_eq!(stream.read(&mut byte).unwrap(), 1, "server closed early");
+                head.push(byte[0]);
+            }
+            let head = String::from_utf8(head).unwrap();
+            let wanted = if expect_keep { "keep-alive" } else { "close" };
+            assert!(
+                head.to_ascii_lowercase()
+                    .contains(&format!("connection: {wanted}")),
+                "{head}"
+            );
+            let length: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            let mut body = vec![0u8; length];
+            stream.read_exact(&mut body).unwrap();
+        };
+        for _ in 0..7 {
+            read_one(true);
+        }
+        // The 8th request exhausts the per-connection cap.
+        read_one(false);
+        assert!(
+            server
+                .metrics()
+                .keepalive_reuses
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 7
+        );
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn client_connection_close_is_honored_under_keep_alive() {
+        let server = start_with(ServerConfig {
+            workers: 1,
+            keep_alive: true,
+            ..ServerConfig::default()
+        });
+        // The plain client sends `Connection: close` and reads to EOF;
+        // if the server held the socket open this would hang until the
+        // read timeout instead of completing instantly.
+        let resp = get(server.addr(), "/healthz");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("connection"), Some("close"));
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn slow_handlers_answer_504_within_the_deadline() {
+        let server = start_with(ServerConfig {
+            workers: 1,
+            // Any real solve takes longer than a nanosecond.
+            request_timeout: Some(Duration::from_nanos(1)),
+            ..ServerConfig::default()
+        });
+        let resp = request(&server.addr().to_string(), "POST", "/v1/solve", Some("{}")).unwrap();
+        assert_eq!(resp.status, 504);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert!(resp.body.contains("deadline"));
+        assert!(
+            server
+                .metrics()
+                .timeouts
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 1
+        );
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn certain_chaos_faults_api_paths_but_not_probes() {
+        let server = start_with(ServerConfig {
+            workers: 2,
+            chaos: Some(ChaosPolicy::seeded(1).faults(1.0)),
+            ..ServerConfig::default()
+        });
+        let addr = server.addr();
+        assert_eq!(get(addr, "/healthz").status, 200, "probes are exempt");
+        assert_eq!(get(addr, "/statusz").status, 200);
+        let resp = request(&addr.to_string(), "GET", "/v1/solvers", None).unwrap();
+        assert_eq!(resp.status, 500);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert!(
+            server
+                .metrics()
+                .chaos_faults
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 1
+        );
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_chaos_policy_is_a_config_error() {
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            chaos: Some(ChaosPolicy::seeded(0).faults(1.5)),
+            ..ServerConfig::default()
+        };
+        match Server::start(&config, ApiContext::new()) {
+            Err(err) => assert!(matches!(err, ServeError::Config(_)), "{err}"),
+            Ok(_) => panic!("out-of-range chaos probability was accepted"),
+        }
     }
 }

@@ -33,6 +33,22 @@ pub struct OutageWindow {
     pub until_round: u64,
 }
 
+/// A window of rounds during which the charger itself — not a post —
+/// is broken down: no refills happen anywhere, so posts drain and may
+/// die. The charger resumes service when the window ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakdownWindow {
+    /// First affected round (inclusive, zero-based).
+    pub from_round: u64,
+    /// First round back in service (exclusive end).
+    pub until_round: u64,
+}
+
+/// Default end-of-life capacity floor for [`FaultPlan::battery_fade`],
+/// as a fraction of the original capacity (overridable with
+/// [`FaultPlan::battery_fade_floor`]).
+pub const DEFAULT_FADE_FLOOR: f64 = 0.2;
+
 /// A deterministic, seed-driven failure-injection schedule.
 ///
 /// Construct with [`FaultPlan::seeded`] and layer faults on with the
@@ -45,7 +61,9 @@ pub struct OutageWindow {
 ///     .kill_node(50, 2)         // post 2 loses a node at round 50
 ///     .outage(0, 100, 120)      // post 0 dark for rounds 100..120
 ///     .charger_skips(0.25)      // a quarter of due refills skipped
-///     .charger_delays(0.5, 3.0); // half of patrol visits arrive 3 s late
+///     .charger_delays(0.5, 3.0) // half of patrol visits arrive 3 s late
+///     .battery_fade(0.01)       // every charge cycle costs 1% capacity
+///     .charger_breakdown(200, 260); // the charger itself offline
 /// assert!(!plan.is_empty());
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +86,15 @@ pub struct FaultPlan {
     /// link (per transmitting post per round, in `[0, 1]`). The sender
     /// still pays the transmit energy; the carried reports are lost.
     pub link_loss_prob: f64,
+    /// Fraction of its current capacity a battery loses per charge
+    /// cycle (in `[0, 1]`; zero disables fade).
+    pub battery_fade_frac: f64,
+    /// End-of-life capacity floor as a fraction of the original
+    /// capacity (in `[0, 1]`); fade clamps here instead of shrinking
+    /// cells to nothing.
+    pub battery_fade_floor: f64,
+    /// Windows of rounds during which the charger is broken down.
+    pub charger_breakdowns: Vec<BreakdownWindow>,
 }
 
 impl FaultPlan {
@@ -83,6 +110,9 @@ impl FaultPlan {
             charger_delay_prob: 0.0,
             charger_delay_s: 0.0,
             link_loss_prob: 0.0,
+            battery_fade_frac: 0.0,
+            battery_fade_floor: DEFAULT_FADE_FLOOR,
+            charger_breakdowns: Vec::new(),
         }
     }
 
@@ -127,6 +157,35 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the per-charge-cycle capacity fade fraction: every top-up
+    /// costs each serviced cell this fraction of its current capacity,
+    /// clamped at the configured floor.
+    #[must_use]
+    pub fn battery_fade(mut self, frac: f64) -> Self {
+        self.battery_fade_frac = frac;
+        self
+    }
+
+    /// Sets the end-of-life capacity floor for battery fade, as a
+    /// fraction of the original capacity (default
+    /// [`DEFAULT_FADE_FLOOR`]).
+    #[must_use]
+    pub fn battery_fade_floor(mut self, floor: f64) -> Self {
+        self.battery_fade_floor = floor;
+        self
+    }
+
+    /// Takes the charger out of service for rounds
+    /// `from_round..until_round`: no refills anywhere during the window.
+    #[must_use]
+    pub fn charger_breakdown(mut self, from_round: u64, until_round: u64) -> Self {
+        self.charger_breakdowns.push(BreakdownWindow {
+            from_round,
+            until_round,
+        });
+        self
+    }
+
     /// `true` when the plan injects nothing at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -135,6 +194,16 @@ impl FaultPlan {
             && self.charger_skip_prob == 0.0
             && self.charger_delay_prob == 0.0
             && self.link_loss_prob == 0.0
+            && self.battery_fade_frac == 0.0
+            && self.charger_breakdowns.is_empty()
+    }
+
+    /// Whether the charger is broken down at `round`.
+    #[must_use]
+    pub fn charger_down(&self, round: u64) -> bool {
+        self.charger_breakdowns
+            .iter()
+            .any(|w| (w.from_round..w.until_round).contains(&round))
     }
 
     /// Whether `post` is inside any outage window at `round`.
@@ -146,16 +215,15 @@ impl FaultPlan {
     }
 
     /// The earliest round at which any *scheduled* fault manifests
-    /// (deaths and outages; probabilistic charger faults are recorded by
-    /// the simulator as they fire).
+    /// (deaths, outages, and charger breakdowns; probabilistic charger
+    /// faults are recorded by the simulator as they fire, and battery
+    /// fade is continuous degradation rather than a discrete fault).
     #[must_use]
     pub fn first_scheduled_round(&self) -> Option<u64> {
         let death = self.node_deaths.iter().map(|d| d.round).min();
         let outage = self.outages.iter().map(|w| w.from_round).min();
-        match (death, outage) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        let breakdown = self.charger_breakdowns.iter().map(|w| w.from_round).min();
+        [death, outage, breakdown].into_iter().flatten().min()
     }
 
     /// Validates the plan against an instance with `num_posts` posts.
@@ -202,6 +270,22 @@ impl FaultPlan {
                 "charger delay of {} s must be finite and non-negative",
                 self.charger_delay_s
             ));
+        }
+        for (name, frac) in [
+            ("battery fade", self.battery_fade_frac),
+            ("battery fade floor", self.battery_fade_floor),
+        ] {
+            if !(0.0..=1.0).contains(&frac) {
+                return Err(format!("{name} fraction {frac} must lie in [0, 1]"));
+            }
+        }
+        for w in &self.charger_breakdowns {
+            if w.from_round >= w.until_round {
+                return Err(format!(
+                    "charger breakdown window {}..{} is empty",
+                    w.from_round, w.until_round
+                ));
+            }
         }
         Ok(())
     }
@@ -252,6 +336,50 @@ mod tests {
         assert_eq!(plan.first_scheduled_round(), Some(12));
         let deaths_only = FaultPlan::seeded(0).kill_node(7, 0);
         assert_eq!(deaths_only.first_scheduled_round(), Some(7));
+        let with_breakdown = plan.charger_breakdown(4, 9);
+        assert_eq!(with_breakdown.first_scheduled_round(), Some(4));
+    }
+
+    #[test]
+    fn breakdown_membership_is_half_open() {
+        let plan = FaultPlan::seeded(0).charger_breakdown(5, 8);
+        assert!(!plan.charger_down(4));
+        assert!(plan.charger_down(5));
+        assert!(plan.charger_down(7));
+        assert!(!plan.charger_down(8));
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn battery_fade_defaults_and_builders() {
+        let plan = FaultPlan::seeded(0);
+        assert_eq!(plan.battery_fade_frac, 0.0);
+        assert_eq!(plan.battery_fade_floor, DEFAULT_FADE_FLOOR);
+        assert!(plan.is_empty());
+        let faded = plan.battery_fade(0.02).battery_fade_floor(0.4);
+        assert_eq!(faded.battery_fade_frac, 0.02);
+        assert_eq!(faded.battery_fade_floor, 0.4);
+        assert!(!faded.is_empty());
+        assert_eq!(faded.first_scheduled_round(), None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_degradation_entries() {
+        assert!(FaultPlan::seeded(0).battery_fade(1.5).validate(3).is_err());
+        assert!(FaultPlan::seeded(0).battery_fade(-0.1).validate(3).is_err());
+        assert!(FaultPlan::seeded(0)
+            .battery_fade_floor(2.0)
+            .validate(3)
+            .is_err());
+        assert!(FaultPlan::seeded(0)
+            .charger_breakdown(9, 9)
+            .validate(3)
+            .is_err());
+        assert!(FaultPlan::seeded(0)
+            .battery_fade(0.05)
+            .charger_breakdown(10, 20)
+            .validate(3)
+            .is_ok());
     }
 
     #[test]

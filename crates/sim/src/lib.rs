@@ -45,6 +45,6 @@ mod patrol;
 mod sim;
 
 pub use event::{EventQueue, ScheduledEvent};
-pub use fault::{FaultPlan, NodeDeath, OutageWindow};
+pub use fault::{BreakdownWindow, FaultPlan, NodeDeath, OutageWindow, DEFAULT_FADE_FLOOR};
 pub use patrol::{charger_demand_per_round, min_patrol_speed, required_chargers, PatrolTour};
 pub use sim::{ChargerPolicy, SimConfig, SimReport, Simulator};

@@ -130,6 +130,16 @@ pub struct SimReport {
     /// faults were enabled: `1 − min post state-of-charge`, in `[0, 1]`
     /// (zero for fault-free runs, which skip the audit).
     pub max_energy_deficit: f64,
+    /// Cells that reached their end-of-life capacity floor under
+    /// injected battery fade (counted once per cell, at the refill that
+    /// pinned it).
+    pub capacity_floor_hits: u64,
+    /// Rounds that began while the charger sat inside an injected
+    /// breakdown window (no refills anywhere).
+    pub charger_downtime_rounds: u64,
+    /// Posts whose batteries first ran empty while the charger was
+    /// broken down — deaths attributable to the breakdown.
+    pub breakdown_deaths: u64,
 }
 
 impl SimReport {
@@ -205,6 +215,9 @@ pub struct Simulator<'a> {
     /// Random stream for the fault plan's probabilistic faults, rolled
     /// in deterministic event order.
     fault_rng: Option<SmallRng>,
+    /// Whether each post has already run a battery empty (used to
+    /// attribute at most one death per post to a charger breakdown).
+    post_dead: Vec<bool>,
 }
 
 #[derive(Debug, Clone)]
@@ -296,6 +309,7 @@ impl<'a> Simulator<'a> {
             pending_deaths,
             next_death: 0,
             fault_rng,
+            post_dead: vec![false; instance.num_posts()],
         }
     }
 
@@ -383,6 +397,9 @@ impl<'a> Simulator<'a> {
             charger_delays: 0,
             link_losses: 0,
             max_energy_deficit: 0.0,
+            capacity_floor_hits: 0,
+            charger_downtime_rounds: 0,
+            breakdown_deaths: 0,
         };
 
         // Hop order: process posts farthest-first so a report traverses
@@ -395,6 +412,12 @@ impl<'a> Simulator<'a> {
             match ev.event {
                 Event::Round => {
                     let round = report.rounds_completed;
+                    if let Some(plan) = &self.config.faults {
+                        if plan.charger_down(round) {
+                            report.charger_downtime_rounds += 1;
+                            report.first_fault_round.get_or_insert(round);
+                        }
+                    }
                     self.apply_scheduled_deaths(round, &mut report);
                     self.simulate_round(&order, round, ev.time, &mut report);
                     report.rounds_completed += 1;
@@ -656,6 +679,9 @@ impl<'a> Simulator<'a> {
     fn drain(&mut self, p: usize, amount: Energy, time: f64, report: &mut SimReport) -> bool {
         if self.batteries[p].is_empty() {
             report.first_death.get_or_insert((time, p));
+            // Losing every node is kill-attributable, not a battery
+            // death; mark the post so breakdowns do not claim it later.
+            self.post_dead[p] = true;
             return false;
         }
         let duty = self.duty[p];
@@ -668,6 +694,17 @@ impl<'a> Simulator<'a> {
             }
             Err(_) => {
                 report.first_death.get_or_insert((time, p));
+                if !self.post_dead[p] {
+                    self.post_dead[p] = true;
+                    let down = self
+                        .config
+                        .faults
+                        .as_ref()
+                        .is_some_and(|plan| plan.charger_down(report.rounds_completed));
+                    if down {
+                        report.breakdown_deaths += 1;
+                    }
+                }
                 false
             }
         }
@@ -707,6 +744,17 @@ impl<'a> Simulator<'a> {
     /// `trigger_soc`, billing the charger `delivered / η(m)`. Returns the
     /// charger energy radiated (zero when the post did not need a top-up).
     fn refill_if_below(&mut self, p: usize, trigger_soc: f64, report: &mut SimReport) -> Energy {
+        // A broken-down charger services nobody — no skip die is rolled
+        // (the charger is absent, not misbehaving), so the rng stream
+        // stays aligned across runs that differ only in window phase.
+        if self
+            .config
+            .faults
+            .as_ref()
+            .is_some_and(|plan| plan.charger_down(report.rounds_completed))
+        {
+            return Energy::ZERO;
+        }
         let cells = &self.batteries[p];
         if cells.is_empty() {
             // All nodes at this post are dead; nothing left to charge.
@@ -722,11 +770,28 @@ impl<'a> Simulator<'a> {
         if self.roll_charger_skip(report) {
             return Energy::ZERO;
         }
+        // Each top-up ages the cells by one charge cycle before they are
+        // refilled, so faded capacity bounds what the charger delivers.
+        let fade = self
+            .config
+            .faults
+            .as_ref()
+            .filter(|plan| plan.battery_fade_frac > 0.0)
+            .map(|plan| {
+                let floor = self.config.battery_capacity * plan.battery_fade_floor;
+                (plan.battery_fade_frac, floor)
+            });
         // Simultaneous charging: every node in the post is topped up in
         // one pass of the charger.
         let mut delivered = Energy::ZERO;
         let cells = &mut self.batteries[p];
         for cell in cells.iter_mut() {
+            if let Some((frac, floor)) = fade {
+                let fresh = cell.capacity() > floor;
+                if cell.fade(frac, floor) && fresh {
+                    report.capacity_floor_hits += 1;
+                }
+            }
             let need = cell.capacity() - cell.level();
             let overflow = cell.charge(need);
             debug_assert_eq!(overflow, Energy::ZERO);
@@ -1150,6 +1215,9 @@ mod tests {
         assert_eq!(report.charger_delays, 0);
         assert_eq!(report.link_losses, 0);
         assert_eq!(report.max_energy_deficit, 0.0);
+        assert_eq!(report.capacity_floor_hits, 0);
+        assert_eq!(report.charger_downtime_rounds, 0);
+        assert_eq!(report.breakdown_deaths, 0);
         assert_eq!(report.delivery_ratio(), 1.0);
     }
 
@@ -1315,6 +1383,89 @@ mod tests {
             faulty.charger_travel_m,
             clean.charger_travel_m
         );
+    }
+
+    #[test]
+    fn battery_fade_pins_cells_at_the_floor() {
+        let (inst, sol) = small_solution();
+        let total_cells: u32 = sol.deployment().counts().iter().sum();
+        let config = SimConfig {
+            battery_capacity: Energy::from_joules(0.02),
+            charger: ChargerPolicy::Threshold {
+                interval_s: 2.0,
+                trigger_soc: 0.5,
+            },
+            faults: Some(FaultPlan::seeded(4).battery_fade(0.25)),
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&inst, &sol, config).run(1000);
+        assert!(report.capacity_floor_hits > 0, "{report}");
+        // Each cell is counted once, at the refill that pinned it.
+        assert!(report.capacity_floor_hits <= u64::from(total_cells));
+        assert!(report.charger_energy > Energy::ZERO);
+        // Fade is degradation, not a discrete fault event.
+        assert_eq!(report.first_fault_round, None);
+    }
+
+    #[test]
+    fn charger_downtime_covers_exactly_the_breakdown_window() {
+        let (inst, sol) = small_solution();
+        let config = SimConfig {
+            faults: Some(FaultPlan::seeded(0).charger_breakdown(10, 60)),
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&inst, &sol, config).run(100);
+        assert_eq!(report.charger_downtime_rounds, 50);
+        assert_eq!(report.first_fault_round, Some(10));
+        assert_eq!(report.rounds_after_first_fault, 90);
+        // Default batteries ride out a 50-round gap without dying.
+        assert!(report.first_death.is_none(), "{report}");
+        assert_eq!(report.breakdown_deaths, 0);
+    }
+
+    #[test]
+    fn long_breakdown_starves_posts_and_attributes_their_deaths() {
+        let (inst, sol) = small_solution();
+        let config = SimConfig {
+            battery_capacity: Energy::from_ujoules(2000.0),
+            // The window outlasts the horizon: the final patrol (which
+            // fires at the round-3000 boundary) is still covered.
+            faults: Some(FaultPlan::seeded(2).charger_breakdown(0, 4000)),
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&inst, &sol, config).run(3000);
+        assert_eq!(report.charger_downtime_rounds, 3000);
+        assert_eq!(report.charger_energy, Energy::ZERO, "charger was absent");
+        assert!(report.first_death.is_some(), "{report}");
+        assert!(report.breakdown_deaths > 0);
+        assert!(report.breakdown_deaths <= inst.num_posts() as u64);
+        assert!(report.reports_lost > 0);
+    }
+
+    #[test]
+    fn degradation_axes_replay_identically_under_one_seed() {
+        let (inst, sol) = small_solution();
+        let config = SimConfig {
+            battery_capacity: Energy::from_joules(0.01),
+            charger: ChargerPolicy::Threshold {
+                interval_s: 2.0,
+                trigger_soc: 0.6,
+            },
+            faults: Some(
+                FaultPlan::seeded(77)
+                    .charger_skips(0.3)
+                    .link_loss(0.1)
+                    .battery_fade(0.1)
+                    .charger_breakdown(40, 90),
+            ),
+            ..SimConfig::default()
+        };
+        let a = Simulator::new(&inst, &sol, config.clone()).run(600);
+        let b = Simulator::new(&inst, &sol, config).run(600);
+        assert_eq!(a, b, "degradation axes must replay bit-identically");
+        assert!(a.capacity_floor_hits > 0, "{a}");
+        assert_eq!(a.charger_downtime_rounds, 50);
+        assert!(a.charger_skips > 0 && a.link_losses > 0);
     }
 
     #[test]

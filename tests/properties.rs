@@ -5,7 +5,9 @@ use wrsn::core::{
     greedy_allocate, optimal_cost, tree_cost, CostEvaluator, Deployment, Idb, InstanceSampler, Rfh,
     Solver,
 };
+use wrsn::energy::Energy;
 use wrsn::geom::Field;
+use wrsn::sim::{ChargerPolicy, FaultPlan, SimConfig, SimReport, Simulator};
 
 /// A strategy over modest random instance shapes.
 fn arb_shape() -> impl Strategy<Value = (usize, u32, u64)> {
@@ -18,6 +20,26 @@ fn arb_shape() -> impl Strategy<Value = (usize, u32, u64)> {
 
 fn sample(n: usize, m: u32, seed: u64) -> wrsn::core::Instance {
     InstanceSampler::new(Field::square(180.0), n, m).sample(seed)
+}
+
+/// Runs a small fixed instance under the given fault plan and returns
+/// the full report — the comparison unit for replay-identity checks.
+fn run_faulted(seed: u64, plan: FaultPlan) -> SimReport {
+    let inst = sample(4, 10, seed);
+    let sol = Idb::new(1).solve(&inst).unwrap();
+    let config = SimConfig {
+        round_interval_s: 1.0,
+        bits_per_report: 4000,
+        battery_capacity: Energy::from_joules(0.01),
+        charger: ChargerPolicy::Threshold {
+            interval_s: 5.0,
+            trigger_soc: 0.5,
+        },
+        record_soc_every: Some(20),
+        charger_power_w: f64::INFINITY,
+        faults: Some(plan),
+    };
+    Simulator::new(&inst, &sol, config).run(120)
 }
 
 proptest! {
@@ -102,6 +124,54 @@ proptest! {
             (sol.total_cost().as_njoules() - opt_for_dep.as_njoules()).abs()
                 < 1e-6 * opt_for_dep.as_njoules()
         );
+    }
+
+    /// Every fault axis — probabilistic skips/delays/losses, scripted
+    /// kills and outages, battery fade, and charger breakdowns — is
+    /// replay-identical under a fixed fault seed: two runs of the same
+    /// plan produce the same report, field for field.
+    #[test]
+    fn fault_plans_replay_identically(
+        (skip, delay, loss) in (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0),
+        fade in 0.0f64..=0.5,
+        (down_from, down_len) in (0u64..100, 1u64..60),
+        fault_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let plan = FaultPlan::seeded(fault_seed)
+            .charger_skips(skip)
+            .charger_delays(delay, 3.0)
+            .link_loss(loss)
+            .battery_fade(fade)
+            .charger_breakdown(down_from, down_from + down_len)
+            .kill_node(40, 0)
+            .outage(1, 10, 30);
+        let a = run_faulted(seed, plan.clone());
+        let b = run_faulted(seed, plan);
+        prop_assert_eq!(a, b);
+    }
+
+    /// FaultPlan builders are independent knobs: composing them in any
+    /// order yields the same behavior.
+    #[test]
+    fn fault_plan_builders_compose_in_any_order(
+        (skip, loss, fade) in (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=0.5),
+        fault_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let forward = FaultPlan::seeded(fault_seed)
+            .charger_skips(skip)
+            .link_loss(loss)
+            .battery_fade(fade)
+            .charger_breakdown(20, 50)
+            .outage(0, 5, 15);
+        let reverse = FaultPlan::seeded(fault_seed)
+            .outage(0, 5, 15)
+            .charger_breakdown(20, 50)
+            .battery_fade(fade)
+            .link_loss(loss)
+            .charger_skips(skip);
+        prop_assert_eq!(run_faulted(seed, forward), run_faulted(seed, reverse));
     }
 
     /// The greedy allocator solves its subproblem optimally: no single

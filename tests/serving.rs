@@ -1,16 +1,19 @@
 //! End-to-end tests for the HTTP serving layer over real loopback
 //! sockets: endpoint round-trips, concurrent cache sharing with
-//! byte-identical bodies, and admission-control overflow.
+//! byte-identical bodies, admission-control overflow, and the chaos
+//! harness (an injected-fault server that a retrying client fleet must
+//! ride out with zero terminal failures).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use wrsn::engine::ResultStore;
 use wrsn::serve::api::ApiContext;
-use wrsn::serve::client::{loadgen, request, ClientResponse};
-use wrsn::serve::{Server, ServerConfig, ServerHandle};
+use wrsn::serve::client::{loadgen, request, request_with_retry, ClientResponse, RetryPolicy};
+use wrsn::serve::{ChaosPolicy, Server, ServerConfig, ServerHandle};
 
 fn scratch(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join("wrsn-serving-test").join(name);
@@ -20,11 +23,18 @@ fn scratch(name: &str) -> std::path::PathBuf {
 }
 
 fn start(api: ApiContext, workers: usize, queue_depth: usize) -> ServerHandle {
-    let config = ServerConfig {
-        addr: "127.0.0.1:0".to_string(),
-        workers,
-        queue_depth,
-    };
+    start_with(
+        api,
+        ServerConfig {
+            workers,
+            queue_depth,
+            ..ServerConfig::default()
+        },
+    )
+}
+
+fn start_with(api: ApiContext, mut config: ServerConfig) -> ServerHandle {
+    config.addr = "127.0.0.1:0".to_string();
     Server::start(&config, api).unwrap()
 }
 
@@ -284,7 +294,7 @@ fn loadgen_sustains_cached_solves() {
     let addr = server.addr().to_string();
     let body = format!("{{{SMALL},\"solver\":\"idb\"}}");
 
-    let report = loadgen(&addr, "POST", "/v1/solve", Some(&body), 4, 60).unwrap();
+    let report = loadgen(&addr, "POST", "/v1/solve", Some(&body), 4, 60, None).unwrap();
     assert_eq!(report.ok, 60, "no drops under the queue depth");
     assert_eq!(report.errors, 0);
     assert!(report.throughput_rps() > 0.0);
@@ -309,6 +319,121 @@ fn loadgen_sustains_cached_solves() {
         Some(60)
     );
     server.shutdown().unwrap();
+}
+
+/// A retry policy tuned for tests: the server's `Retry-After: 1` is
+/// clamped to `cap`, so a small cap keeps chaos runs fast.
+fn fast_retry(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 10,
+        base: Duration::from_millis(2),
+        cap: Duration::from_millis(40),
+        seed,
+        ..RetryPolicy::default()
+    }
+}
+
+#[test]
+fn truncated_responses_are_retried_not_parse_errors() {
+    // Truncation cuts the serialized response in half mid-body; the
+    // client must classify that as retryable transport damage.
+    let server = start_with(
+        ApiContext::new(),
+        ServerConfig {
+            workers: 2,
+            queue_depth: 16,
+            chaos: Some(ChaosPolicy::seeded(3).truncation(0.6)),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.addr().to_string();
+    let body = format!("{{{SMALL},\"solver\":\"idb\"}}");
+    let policy = fast_retry(1);
+    let mut resets = 0;
+    for _ in 0..8 {
+        let outcome =
+            request_with_retry(&addr, "POST", "/v1/solve", Some(&body), &policy, None).unwrap();
+        assert_eq!(outcome.response.status, 200, "{}", outcome.response.body);
+        resets += outcome.transport_resets;
+    }
+    assert!(
+        resets > 0,
+        "a 60% truncation rate must surface as transport resets"
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn retrying_fleet_rides_out_chaos_with_byte_identical_sweeps() {
+    // The headline robustness scenario: a server injecting 10% faults
+    // plus truncation and latency, driven by a retrying client fleet.
+    // Every request must eventually succeed, and the sweep bodies must
+    // be byte-identical to a clean server's answer.
+    let clean = start(ApiContext::new(), 2, 16);
+    let sweep_body = format!("{{{SMALL},\"solver\":\"idb\",\"seeds\":2}}");
+    let want = post(&clean.addr().to_string(), "/v1/sweep", &sweep_body);
+    assert_eq!(want.status, 200, "{}", want.body);
+    clean.shutdown().unwrap();
+
+    let chaotic = start_with(
+        ApiContext::new(),
+        ServerConfig {
+            workers: 4,
+            queue_depth: 32,
+            keep_alive: true,
+            request_timeout: Some(Duration::from_secs(30)),
+            chaos: Some(
+                ChaosPolicy::seeded(42)
+                    .faults(0.1)
+                    .truncation(0.1)
+                    .latency(0.2, Duration::from_millis(5)),
+            ),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = chaotic.addr().to_string();
+
+    let report = loadgen(
+        &addr,
+        "POST",
+        "/v1/sweep",
+        Some(&sweep_body),
+        4,
+        40,
+        Some(&fast_retry(7)),
+    )
+    .unwrap();
+    assert_eq!(report.ok, 40, "every request eventually succeeds");
+    assert_eq!(report.non_ok, 0);
+    assert_eq!(report.errors, 0);
+    assert!(
+        report.retries > 0,
+        "20%+ injected damage must force at least one retry"
+    );
+
+    // And the answers coming through the chaos are the right answers.
+    let policy = fast_retry(9);
+    for _ in 0..5 {
+        let outcome =
+            request_with_retry(&addr, "POST", "/v1/sweep", Some(&sweep_body), &policy, None)
+                .unwrap();
+        assert_eq!(outcome.response.status, 200);
+        assert_eq!(
+            outcome.response.body, want.body,
+            "chaos must never corrupt a delivered body"
+        );
+    }
+
+    // The server counted its own misbehavior.
+    let statusz = request(&addr, "GET", "/statusz", None).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&statusz.body).unwrap();
+    assert!(
+        v.get("chaos_faults")
+            .and_then(serde_json::Value::as_u64)
+            .unwrap()
+            > 0
+    );
+    chaotic.shutdown().unwrap();
 }
 
 #[test]
