@@ -1,13 +1,23 @@
-//! Serving-layer round-trip latency (Criterion).
+//! Serving-layer round-trip latency and throughput (Criterion + snapshot).
 //!
-//! Measures a full HTTP request over loopback against an in-process
-//! [`Server`]: connect, write, route, respond, close. Three points on
-//! the cost ladder: `/healthz` (pure transport + routing), a cached
-//! `/v1/solve` (transport + store lookup — the steady-state serving
-//! path the R2 recipe load-tests), and an uncached `/v1/solve`
-//! (transport + a real IRFH solve, the cold-cache worst case).
+//! Two halves:
+//!
+//! 1. Criterion round-trip latency over loopback against an in-process
+//!    [`Server`]: connect, write, route, respond, close. Three points
+//!    on the cost ladder: `/healthz` (pure transport + routing), a
+//!    cached `/v1/solve` (transport + store lookup — the steady-state
+//!    serving path the R2 recipe load-tests), and an uncached
+//!    `/v1/solve` (transport + a real IRFH solve, the cold-cache worst
+//!    case).
+//! 2. A machine-readable throughput snapshot: the keep-alive loadgen
+//!    harness drives a pipelined connection fleet at the cached-solve
+//!    and `/healthz` paths and writes req/s + p50/p95/p99 + the
+//!    concurrent connection count to `bench_results/BENCH_serve.json`
+//!    (the R4 recipe in EXPERIMENTS.md), so successive PRs leave a
+//!    recorded perf trajectory.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
+use serde::Serialize;
 use std::sync::Arc;
 use wrsn_engine::ResultStore;
 use wrsn_serve::api::ApiContext;
@@ -22,7 +32,12 @@ fn start(store: Option<Arc<ResultStore>>) -> ServerHandle {
     let config = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 4,
-        queue_depth: 64,
+        // Deep enough for the snapshot fleet's full pipeline depth
+        // (64 connections x 8 pipelined requests) without 503s.
+        queue_depth: 1024,
+        keep_alive: true,
+        keep_alive_max_requests: 10_000,
+        ..ServerConfig::default()
     };
     Server::start(&config, api).expect("bind loopback")
 }
@@ -72,5 +87,116 @@ fn bench_round_trips(c: &mut Criterion) {
     server.shutdown().expect("clean shutdown");
 }
 
+/// One loadgen scenario in the snapshot file.
+#[derive(Serialize)]
+struct Scenario {
+    name: String,
+    method: String,
+    path: String,
+    connections: usize,
+    pipeline: usize,
+    requests: u64,
+    ok: u64,
+    non_ok: u64,
+    errors: u64,
+    elapsed_s: f64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    bench: String,
+    server: String,
+    scenarios: Vec<Scenario>,
+}
+
+/// The snapshot fleet shape, shared by every scenario so the numbers
+/// stay comparable across PRs.
+const FLEET_CONNS: usize = 64;
+const FLEET_REQUESTS: u64 = 40_000;
+const FLEET_PIPELINE: usize = 8;
+
+fn run_scenario(addr: &str, name: &str, method: &str, path: &str, body: Option<&str>) -> Scenario {
+    let report = client::loadgen_keep_alive(
+        addr,
+        method,
+        path,
+        body,
+        FLEET_CONNS,
+        FLEET_REQUESTS,
+        FLEET_PIPELINE,
+    )
+    .expect("loadgen");
+    assert_eq!(
+        report.ok, FLEET_REQUESTS,
+        "scenario {name}: every request answers 200 (non_ok {}, errors {}, resets {})",
+        report.non_ok, report.errors, report.transport_resets
+    );
+    let ms = |q: f64| report.quantile(q).as_secs_f64() * 1e3;
+    Scenario {
+        name: name.to_string(),
+        method: method.to_string(),
+        path: path.to_string(),
+        connections: report.connections,
+        pipeline: FLEET_PIPELINE,
+        requests: FLEET_REQUESTS,
+        ok: report.ok,
+        non_ok: report.non_ok,
+        errors: report.errors,
+        elapsed_s: report.elapsed.as_secs_f64(),
+        throughput_rps: report.throughput_rps(),
+        p50_ms: ms(0.50),
+        p95_ms: ms(0.95),
+        p99_ms: ms(0.99),
+    }
+}
+
+/// Drive the keep-alive fleet and record the perf snapshot. Runs after
+/// the Criterion groups so the latency numbers are printed first.
+fn emit_snapshot() {
+    let server = start(Some(scratch_store()));
+    let addr = server.addr().to_string();
+    let warm = client::request(&addr, "POST", "/v1/solve", Some(SOLVE_BODY)).expect("warm-up");
+    assert_eq!(warm.status, 200, "{}", warm.body);
+
+    let scenarios = vec![
+        run_scenario(&addr, "healthz keep-alive", "GET", "/healthz", None),
+        run_scenario(
+            &addr,
+            "solve cached keep-alive",
+            "POST",
+            "/v1/solve",
+            Some(SOLVE_BODY),
+        ),
+    ];
+    server.shutdown().expect("clean shutdown");
+
+    let snapshot = Snapshot {
+        bench: "serve_throughput".to_string(),
+        server: "workers 4, queue 1024, keep-alive".to_string(),
+        scenarios,
+    };
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../bench_results/BENCH_serve.json"
+    );
+    let text = serde_json::to_string_pretty(&snapshot).expect("serializable");
+    std::fs::write(path, text).expect("write BENCH_serve.json");
+    for s in &snapshot.scenarios {
+        println!(
+            "snapshot {:28} {:7.0} req/s  p50 {:6.2} ms  p95 {:6.2} ms  p99 {:6.2} ms  ({} conns, pipeline {})",
+            s.name, s.throughput_rps, s.p50_ms, s.p95_ms, s.p99_ms, s.connections, s.pipeline
+        );
+    }
+    println!("snapshot written to {path}");
+}
+
 criterion_group!(benches, bench_round_trips);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    emit_snapshot();
+}

@@ -159,6 +159,12 @@ OPTIONS:
                     answered with 504 + Retry-After  [default: off]
     --keep-alive    serve multiple requests per connection (HTTP/1.1
                     keep-alive with an idle timeout)
+    --keep-alive-max-requests N  requests served per connection before
+                    the server closes it             [default: 32]
+    --max-conns N   most concurrent connections; accepts beyond it are
+                    answered 503 + Retry-After       [default: 4096]
+    --max-jobs N    most concurrent async jobs (POST /v1/jobs); excess
+                    submissions get 503 + Retry-After [default: 8]
 
 Chaos injection (testing the client's resilience; /v1 paths only):
     --chaos P            probability of an injected 500    [default: 0]
@@ -179,6 +185,15 @@ OPTIONS:
     --body JSON     request body                    [default: {}]
     --retries N     retry budget per request, with exponential backoff
                     and a circuit breaker (0 disables)  [default: 0]
+    --connections C open-loop mode: open C persistent keep-alive
+                    connections up front and drive them concurrently
+                    (requires `serve --keep-alive`; ignores --retries)
+    --pipeline P    requests written per batch on each keep-alive
+                    connection (with --connections)     [default: 1]
+    --job           submit one async job (POST /v1/jobs) with --body as
+                    the sweep spec, stream its events, and report the
+                    round trip instead of load-testing
+    --bench-json F  also write the machine-readable report to file F
     --json          machine-readable output";
 
 const CACHE_HELP: &str = "\
@@ -1312,6 +1327,10 @@ fn serve_cmd(mut args: Args) -> Result<String, CliError> {
     let cache_arg = args.flag_or_value("cache");
     let timeout_ms: Option<u64> = args.opt("request-timeout-ms", "milliseconds")?;
     let keep_alive = args.flag("keep-alive");
+    let keep_alive_max_requests: usize =
+        args.get_or("keep-alive-max-requests", "a request cap", 32)?;
+    let max_conns: usize = args.get_or("max-conns", "a connection cap", 4096)?;
+    let max_jobs: usize = args.get_or("max-jobs", "a job cap", 8)?;
     let chaos_fault: Option<f64> = args.opt("chaos", "a probability")?;
     let chaos_truncate: Option<f64> = args.opt("chaos-truncate", "a probability")?;
     let chaos_latency: Option<f64> = args.opt("chaos-latency", "a probability")?;
@@ -1323,6 +1342,16 @@ fn serve_cmd(mut args: Args) -> Result<String, CliError> {
     }
     if queue_depth == 0 {
         return Err(CliError::Msg("--queue-depth must be at least 1".into()));
+    }
+    if max_conns == 0 || max_jobs == 0 {
+        return Err(CliError::Msg(
+            "--max-conns and --max-jobs must be at least 1".into(),
+        ));
+    }
+    if keep_alive_max_requests == 0 {
+        return Err(CliError::Msg(
+            "--keep-alive-max-requests must be at least 1".into(),
+        ));
     }
     if timeout_ms == Some(0) {
         return Err(CliError::Msg(
@@ -1377,6 +1406,9 @@ fn serve_cmd(mut args: Args) -> Result<String, CliError> {
         queue_depth,
         request_timeout: timeout_ms.map(Duration::from_millis),
         keep_alive,
+        keep_alive_max_requests,
+        max_conns,
+        max_jobs,
         chaos,
         ..ServerConfig::default()
     };
@@ -1385,7 +1417,8 @@ fn serve_cmd(mut args: Args) -> Result<String, CliError> {
     // Announce readiness on stderr immediately — stdout is the final
     // report, printed only after shutdown.
     eprintln!(
-        "wrsn-serve listening on {bound} ({workers} worker(s), queue {queue_depth}{cache_note}{chaos_note})"
+        "wrsn-serve listening on {bound} ({workers} worker(s), queue {queue_depth}, \
+         conns {max_conns}, jobs {max_jobs}{cache_note}{chaos_note})"
     );
     handle
         .run_until_signal()
@@ -1396,6 +1429,7 @@ fn serve_cmd(mut args: Args) -> Result<String, CliError> {
 #[derive(Serialize)]
 struct LoadgenRow {
     requests: u64,
+    connections: usize,
     ok: u64,
     non_ok: u64,
     errors: u64,
@@ -1418,11 +1452,23 @@ fn loadgen_cmd(mut args: Args) -> Result<String, CliError> {
     let method: String = args.get_or("method", "an HTTP method", "POST".to_string())?;
     let body: String = args.get_or("body", "a JSON body", "{}".to_string())?;
     let retries: u32 = args.get_or("retries", "a retry budget", 0)?;
+    let connections: Option<usize> = args.opt("connections", "a connection count")?;
+    let pipeline: usize = args.get_or("pipeline", "a batch depth", 1)?;
+    let job = args.flag("job");
+    let bench_json: Option<String> = args.opt("bench-json", "an output path")?;
     let json = args.flag("json");
     args.finish()?;
+    if job {
+        return loadgen_job(&addr, &body, json);
+    }
     if concurrency == 0 || requests == 0 {
         return Err(CliError::Msg(
             "--concurrency and --requests must be at least 1".into(),
+        ));
+    }
+    if connections == Some(0) || pipeline == 0 {
+        return Err(CliError::Msg(
+            "--connections and --pipeline must be at least 1".into(),
         ));
     }
     let body_opt = if method == "GET" {
@@ -1430,23 +1476,34 @@ fn loadgen_cmd(mut args: Args) -> Result<String, CliError> {
     } else {
         Some(body.as_str())
     };
-    let retry = (retries > 0).then(|| client::RetryPolicy {
-        max_retries: retries,
-        ..client::RetryPolicy::default()
-    });
-    let report = client::loadgen(
-        &addr,
-        &method,
-        &path,
-        body_opt,
-        concurrency,
-        requests,
-        retry.as_ref(),
-    )
+    let report = match connections {
+        // Open-loop: a fixed fleet of persistent keep-alive connections
+        // driven with pipelined batches.
+        Some(conns) => {
+            client::loadgen_keep_alive(&addr, &method, &path, body_opt, conns, requests, pipeline)
+        }
+        // Closed-loop: one connection per request, optional retries.
+        None => {
+            let retry = (retries > 0).then(|| client::RetryPolicy {
+                max_retries: retries,
+                ..client::RetryPolicy::default()
+            });
+            client::loadgen(
+                &addr,
+                &method,
+                &path,
+                body_opt,
+                concurrency,
+                requests,
+                retry.as_ref(),
+            )
+        }
+    }
     .map_err(|e| CliError::Msg(e.to_string()))?;
     let ms = |q: f64| report.quantile(q).as_secs_f64() * 1e3;
     let row = LoadgenRow {
         requests,
+        connections: report.connections,
         ok: report.ok,
         non_ok: report.non_ok,
         errors: report.errors,
@@ -1460,13 +1517,23 @@ fn loadgen_cmd(mut args: Args) -> Result<String, CliError> {
         p95_ms: ms(0.95),
         p99_ms: ms(0.99),
     };
+    if let Some(path) = &bench_json {
+        let text = serde_json::to_string_pretty(&row).expect("serializable");
+        std::fs::write(path, text.as_bytes())
+            .map_err(|e| CliError::Msg(format!("writing {path}: {e}")))?;
+    }
     if json {
         return Ok(serde_json::to_string_pretty(&row).expect("serializable"));
     }
+    let drive = match connections {
+        Some(c) => format!("{c} keep-alive connection(s), pipeline {pipeline}"),
+        None => format!("{concurrency} thread(s)"),
+    };
     let mut table = Table::new(
-        &format!("loadgen {method} {path} ({requests} requests, {concurrency} thread(s))"),
+        &format!("loadgen {method} {path} ({requests} requests, {drive})"),
         &["metric", "value"],
     );
+    table.row(&["connections".to_string(), row.connections.to_string()]);
     table.row(&["ok".to_string(), row.ok.to_string()]);
     table.row(&["non-200".to_string(), row.non_ok.to_string()]);
     table.row(&["transport errors".to_string(), row.errors.to_string()]);
@@ -1489,6 +1556,55 @@ fn loadgen_cmd(mut args: Args) -> Result<String, CliError> {
     table.row(&["p95 (ms)".to_string(), format!("{:.2}", row.p95_ms)]);
     table.row(&["p99 (ms)".to_string(), format!("{:.2}", row.p99_ms)]);
     Ok(table.render())
+}
+
+/// `loadgen --job`: submit one async sweep job, stream its events, and
+/// report the round trip.
+fn loadgen_job(addr: &str, body: &str, json: bool) -> Result<String, CliError> {
+    let spec = if body.trim().is_empty() || body == "{}" {
+        None
+    } else {
+        Some(body)
+    };
+    let outcome = client::run_job(
+        addr,
+        spec,
+        Duration::from_millis(50),
+        Duration::from_secs(120),
+    )
+    .map_err(|e| CliError::Msg(e.to_string()))?;
+    if json {
+        let value = serde::Value::Object(vec![
+            (
+                "id".to_string(),
+                serde::Value::Number(serde::Number::PosInt(outcome.id)),
+            ),
+            (
+                "state".to_string(),
+                serde::Value::String(outcome.state.clone()),
+            ),
+            (
+                "events".to_string(),
+                serde::Value::Number(serde::Number::PosInt(outcome.events.len() as u64)),
+            ),
+            (
+                "final".to_string(),
+                serde_json::from_str::<serde::Value>(&outcome.final_body)
+                    .unwrap_or(serde::Value::String(outcome.final_body.clone())),
+            ),
+        ]);
+        return Ok(serde_json::to_string_pretty(&value).expect("serializable"));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "job {} finished in state {:?} after {} event(s)",
+        outcome.id,
+        outcome.state,
+        outcome.events.len()
+    );
+    let _ = writeln!(out, "{}", outcome.final_body);
+    Ok(out)
 }
 
 fn cache_cmd(rest: &[String]) -> Result<String, CliError> {
@@ -2392,5 +2508,83 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("--request-timeout-ms"));
+    }
+
+    #[test]
+    fn serve_and_loadgen_document_and_validate_the_new_flags() {
+        assert!(run_str("serve --help").unwrap().contains("--max-conns"));
+        let help = run_str("loadgen --help").unwrap();
+        for flag in ["--connections", "--pipeline", "--job", "--bench-json"] {
+            assert!(help.contains(flag), "missing {flag}");
+        }
+        assert!(run_str("serve --max-conns 0")
+            .unwrap_err()
+            .to_string()
+            .contains("--max-conns"));
+        assert!(run_str("serve --max-jobs 0")
+            .unwrap_err()
+            .to_string()
+            .contains("--max-jobs"));
+        assert!(run_str("serve --keep-alive-max-requests 0")
+            .unwrap_err()
+            .to_string()
+            .contains("--keep-alive-max-requests"));
+        assert!(run_str("loadgen --connections 0")
+            .unwrap_err()
+            .to_string()
+            .contains("--connections"));
+        assert!(run_str("loadgen --pipeline 0")
+            .unwrap_err()
+            .to_string()
+            .contains("--pipeline"));
+    }
+
+    #[test]
+    fn loadgen_keep_alive_mode_reports_the_fleet_and_writes_bench_json() {
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 16,
+            keep_alive: true,
+            ..ServerConfig::default()
+        };
+        let handle = Server::start(&config, ApiContext::new()).unwrap();
+        let addr = handle.addr().to_string();
+        let bench = std::env::temp_dir().join("wrsn-cli-bench-serve.json");
+        let _ = std::fs::remove_file(&bench);
+        let out = run_str(&format!(
+            "loadgen --addr {addr} --connections 3 --pipeline 2 --requests 12 \
+             --method GET --path /healthz --bench-json {} --json",
+            bench.display()
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["ok"], 12, "{out}");
+        assert_eq!(v["errors"], 0);
+        assert_eq!(v["connections"], 3);
+        // --bench-json mirrors the same report to a file.
+        let filed = std::fs::read_to_string(&bench).unwrap();
+        assert_eq!(filed, out);
+        handle.shutdown().unwrap();
+        let _ = std::fs::remove_file(bench);
+    }
+
+    #[test]
+    fn loadgen_job_mode_round_trips_an_async_sweep() {
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 16,
+            ..ServerConfig::default()
+        };
+        let handle = Server::start(&config, ApiContext::new()).unwrap();
+        let addr = handle.addr().to_string();
+        let spec = "{\"instance\":{\"posts\":5,\"nodes\":12,\"field\":150.0},\"seeds\":2}";
+        let out = run_str(&format!("loadgen --addr {addr} --job --body {spec} --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["state"], "done", "{out}");
+        assert_eq!(v["events"], 2);
+        assert!(v["final"]["report"].as_object().is_some(), "{out}");
+        handle.shutdown().unwrap();
     }
 }

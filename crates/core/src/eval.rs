@@ -16,10 +16,13 @@ use crate::{Deployment, Instance};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Max-heap entry ordered by *smallest* distance first, ties by smallest
+/// node id — the exact pop order of `wrsn_graph::dijkstra_to`, which the
+/// amortized evaluators here and in `rfh.rs` must reproduce bit-for-bit.
 #[derive(Debug, PartialEq)]
-struct HeapEntry {
-    dist: f64,
-    node: usize,
+pub(crate) struct HeapEntry {
+    pub(crate) dist: f64,
+    pub(crate) node: usize,
 }
 
 impl Eq for HeapEntry {}

@@ -18,12 +18,14 @@
 //! the previous deployment's charging efficiencies; the paper observes
 //! convergence within about seven iterations (Fig. 6).
 
+use crate::eval::HeapEntry;
 use crate::{
-    cost_digraph, greedy_allocate, greedy_allocate_by_efficiency, lagrange_allocate, Deployment,
-    GainKind, Instance, RoutingTree, Solution, SolveError, Solver,
+    greedy_allocate, greedy_allocate_by_efficiency, lagrange_allocate, Deployment, GainKind,
+    Instance, RoutingTree, Solution, SolveError, Solver,
 };
+use std::collections::BinaryHeap;
 use wrsn_energy::Energy;
-use wrsn_graph::{dijkstra_to, tight_edges, Dag};
+use wrsn_graph::Dag;
 
 /// Phase III behavior: whether sibling posts merge under a group head.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -142,8 +144,11 @@ impl Rfh {
         let mut dep = Deployment::ones(n);
         let mut history = Vec::with_capacity(self.iterations);
         let mut best: Option<Solution> = None;
+        // One adjacency build and one set of Dijkstra scratch buffers
+        // amortized over every iteration (mirrors `CostEvaluator`).
+        let mut scratch = PhaseOneScratch::new(instance);
         for _ in 0..self.iterations {
-            let tree = self.build_tree(instance, &dep)?;
+            let tree = self.build_tree(instance, &dep, &mut scratch)?;
             let weights = self.workload_weights(instance, &tree);
             // The paper's Lagrange method and the m-proportional greedy
             // both assume the linear gain k(m) = m; under any other gain
@@ -209,23 +214,22 @@ impl Rfh {
         instance: &Instance,
         deployment: &Deployment,
     ) -> Result<RoutingTree, SolveError> {
-        self.build_tree(instance, deployment)
+        let mut scratch = PhaseOneScratch::new(instance);
+        self.build_tree(instance, deployment, &mut scratch)
     }
 
     /// Phases I–III: build the workload-concentrated routing tree under
     /// the edge costs induced by `dep`.
-    fn build_tree(&self, instance: &Instance, dep: &Deployment) -> Result<RoutingTree, SolveError> {
+    fn build_tree(
+        &self,
+        instance: &Instance,
+        dep: &Deployment,
+        scratch: &mut PhaseOneScratch,
+    ) -> Result<RoutingTree, SolveError> {
         let n = instance.num_posts();
-        let bs = instance.bs();
-        // Phase I: fat tree of all minimum-cost routes.
-        let g = cost_digraph(instance, dep);
-        let sp = dijkstra_to(&g, bs);
-        for p in 0..n {
-            if sp.distance(p).is_none() {
-                return Err(SolveError::Unroutable { post: p });
-            }
-        }
-        let mut dag = Dag::from_parents(tight_edges(&g, &sp));
+        // Phase I: fat tree of all minimum-cost routes, via the amortized
+        // reverse Dijkstra.
+        let mut dag = Dag::from_parents(scratch.fat_tree(instance, dep)?);
 
         // Phase II: trim to a workload-concentrated tree.
         let mut processed = vec![false; n];
@@ -264,9 +268,7 @@ impl Rfh {
                 debug_assert_eq!(ps.len(), 1, "trimming must leave exactly one parent");
                 // Defensive fallback for the (provably impossible) multi-
                 // parent case: follow the Dijkstra next hop.
-                ps.first()
-                    .copied()
-                    .unwrap_or_else(|| sp.via(p).expect("reachable posts have a next hop"))
+                ps.first().copied().unwrap_or_else(|| scratch.next_hop(p))
             })
             .collect();
 
@@ -318,6 +320,137 @@ impl Solver for Rfh {
         let report = self.solve_with_report(instance)?;
         let history = report.cost_history().to_vec();
         Ok((report.into_best(), history))
+    }
+}
+
+/// Amortized Phase I state: the reversed uplink adjacency plus the
+/// Dijkstra scratch buffers, built once per instance and reused across
+/// the iterative solver's passes (mirroring [`crate::CostEvaluator`]).
+///
+/// `fat_tree` reproduces `cost_digraph` + `dijkstra_to` + `tight_edges`
+/// exactly — same weight arithmetic, same relaxation order, same heap
+/// tie-breaking, same tightness tolerance — so the iterative solver's
+/// deployments are bit-identical to the unamortized ones.
+#[derive(Debug)]
+struct PhaseOneScratch {
+    /// Uplinks per post as `(target, tx energy in nJ)`.
+    up: Vec<Vec<(usize, f64)>>,
+    /// Incoming uplinks per node as `(source post, tx energy in nJ)`.
+    rev: Vec<Vec<(usize, f64)>>,
+    rx_nj: f64,
+    /// Per-post charging efficiencies of the current deployment.
+    eff: Vec<f64>,
+    /// Distances to the base station (index `bs` holds 0).
+    dist: Vec<f64>,
+    /// Next hop toward the base station per post.
+    via: Vec<Option<usize>>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl PhaseOneScratch {
+    #[allow(clippy::needless_range_loop)] // fills two parallel adjacencies
+    fn new(instance: &Instance) -> Self {
+        let n = instance.num_posts();
+        let mut up = vec![Vec::new(); n];
+        let mut rev = vec![Vec::new(); n + 1];
+        for p in 0..n {
+            for &(to, tx) in instance.uplinks(p) {
+                up[p].push((to, tx.as_njoules()));
+                rev[to].push((p, tx.as_njoules()));
+            }
+        }
+        PhaseOneScratch {
+            up,
+            rev,
+            rx_nj: instance.rx_energy().as_njoules(),
+            eff: vec![1.0; n],
+            dist: vec![f64::INFINITY; n + 1],
+            via: vec![None; n + 1],
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Weight of the uplink `u -> v` under the current efficiencies —
+    /// the same expression, in the same order, as `cost_digraph`.
+    #[inline]
+    fn weight(&self, u: usize, v: usize, tx: f64) -> f64 {
+        let bs = self.up.len();
+        let mut w = tx / self.eff[u];
+        if v != bs {
+            w += self.rx_nj / self.eff[v];
+        }
+        w
+    }
+
+    /// Phase I under `dep`: reverse Dijkstra from the base station over
+    /// the prebuilt reversed adjacency, then tight-edge extraction.
+    /// Returns one sorted parent list per node (the base station's is
+    /// empty), ready for [`Dag::from_parents`].
+    #[allow(clippy::needless_range_loop)] // walks dist/up/parents in parallel
+    fn fat_tree(
+        &mut self,
+        instance: &Instance,
+        dep: &Deployment,
+    ) -> Result<Vec<Vec<usize>>, SolveError> {
+        let n = self.up.len();
+        let bs = n;
+        for (e, &c) in self.eff.iter_mut().zip(dep.counts()) {
+            *e = instance.charge_efficiency(c);
+        }
+        self.dist.fill(f64::INFINITY);
+        self.via.fill(None);
+        self.dist[bs] = 0.0;
+        self.heap.clear();
+        self.heap.push(HeapEntry {
+            dist: 0.0,
+            node: bs,
+        });
+        while let Some(HeapEntry { dist: d, node: v }) = self.heap.pop() {
+            if d > self.dist[v] {
+                continue;
+            }
+            for i in 0..self.rev[v].len() {
+                let (u, tx) = self.rev[v][i];
+                let nd = d + self.weight(u, v, tx);
+                if nd < self.dist[u] {
+                    self.dist[u] = nd;
+                    self.via[u] = Some(v);
+                    self.heap.push(HeapEntry { dist: nd, node: u });
+                }
+            }
+        }
+        for p in 0..n {
+            if !self.dist[p].is_finite() {
+                return Err(SolveError::Unroutable { post: p });
+            }
+        }
+        // Tight edges, with `wrsn_graph::tight_edges`' exact tolerance.
+        let mut parents = vec![Vec::new(); n + 1];
+        for u in 0..n {
+            let du = self.dist[u];
+            for i in 0..self.up[u].len() {
+                let (v, tx) = self.up[u][i];
+                let dv = self.dist[v];
+                if !dv.is_finite() {
+                    continue;
+                }
+                let slack = du - (self.weight(u, v, tx) + dv);
+                let tol = 1e-9 * du.abs().max(1.0);
+                if slack.abs() <= tol {
+                    parents[u].push(v);
+                }
+            }
+            parents[u].sort_unstable();
+            parents[u].dedup();
+        }
+        Ok(parents)
+    }
+
+    /// The Dijkstra next hop of `post` from the last [`fat_tree`] run.
+    ///
+    /// [`fat_tree`]: PhaseOneScratch::fat_tree
+    fn next_hop(&self, post: usize) -> usize {
+        self.via[post].expect("reachable posts have a next hop")
     }
 }
 
@@ -616,6 +749,52 @@ mod tests {
             concentrated >= 0,
             "phase II concentrated less than a naive trim overall ({concentrated})"
         );
+    }
+
+    #[test]
+    fn amortized_phase_one_is_identical_on_the_fig6_grid() {
+        // The paper's Fig. 6 configuration (100 posts, 500x500 m). Walk
+        // the exact deployment sequence the iterative solver visits and
+        // check the amortized Phase I against the one-shot primitives
+        // (cost_digraph + dijkstra_to + tight_edges) at every step —
+        // fat tree, next hops, and the resulting deployments must all
+        // be identical.
+        use wrsn_graph::{dijkstra_to, tight_edges};
+        let inst = InstanceSampler::new(Field::square(500.0), 100, 400).sample(0);
+        let n = inst.num_posts();
+        let solver = Rfh::iterative(7);
+        let mut scratch = PhaseOneScratch::new(&inst);
+        let mut dep = Deployment::ones(n);
+        let mut history = Vec::new();
+        for iter in 0..7 {
+            let got = scratch.fat_tree(&inst, &dep).unwrap();
+            let g = crate::cost_digraph(&inst, &dep);
+            let sp = dijkstra_to(&g, inst.bs());
+            assert_eq!(got, tight_edges(&g, &sp), "fat tree diverged at {iter}");
+            for p in 0..n {
+                assert_eq!(
+                    scratch.next_hop(p),
+                    sp.via(p).unwrap(),
+                    "next hop diverged at iteration {iter}, post {p}"
+                );
+                assert!(
+                    (scratch.dist[p] - sp.distance(p).unwrap()).abs() == 0.0,
+                    "distance diverged at iteration {iter}, post {p}"
+                );
+            }
+            // Advance the deployment exactly as solve_with_report does.
+            let tree = solver.build_tree(&inst, &dep, &mut scratch).unwrap();
+            let weights = solver.workload_weights(&inst, &tree);
+            let counts =
+                crate::lagrange_allocate(&weights, inst.num_nodes(), inst.max_nodes_per_post());
+            dep = Deployment::new(counts);
+            let sol = Solution::evaluated(solver.name(), &inst, dep.clone(), tree);
+            history.push(sol.total_cost());
+        }
+        // The lockstep walk reproduces the solver's own trace, so the
+        // deployments it visited are the deployments the solver visits.
+        let report = solver.solve_with_report(&inst).unwrap();
+        assert_eq!(history, report.cost_history());
     }
 
     #[test]

@@ -19,10 +19,12 @@
 //! still read transparently; saving always writes the JSONL format.
 
 use crate::{EngineError, SeedFailure, SeedRun};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeSet;
 use std::ops::Range;
 use std::path::Path;
+use std::sync::Arc;
 use wrsn_store::jsonl::{self, LogWriter};
 
 /// The checkpoint format version this build writes (it also reads v1).
@@ -312,6 +314,7 @@ impl SweepCheckpoint {
 #[derive(Debug)]
 pub struct CheckpointLog {
     writer: LogWriter,
+    feed: Option<Arc<ProgressFeed>>,
 }
 
 impl CheckpointLog {
@@ -324,7 +327,17 @@ impl CheckpointLog {
     pub fn open(path: &Path, state: &SweepCheckpoint) -> Result<Self, EngineError> {
         let writer = LogWriter::create(path, &state.header_value(), &state.record_values())
             .map_err(|e| checkpoint_err(path, e))?;
-        Ok(CheckpointLog { writer })
+        Ok(CheckpointLog { writer, feed: None })
+    }
+
+    /// Mirrors every subsequent append into `feed`, so in-memory
+    /// subscribers (the async job API) see the same per-seed stream the
+    /// log persists. Records already compacted at [`open`] time are not
+    /// replayed.
+    ///
+    /// [`open`]: CheckpointLog::open
+    pub fn subscribe(&mut self, feed: Arc<ProgressFeed>) {
+        self.feed = Some(feed);
     }
 
     /// Appends one completed run and flushes it.
@@ -336,7 +349,11 @@ impl CheckpointLog {
         let path = self.writer.path().to_path_buf();
         self.writer
             .append(&run_record(run))
-            .map_err(|e| checkpoint_err(&path, e))
+            .map_err(|e| checkpoint_err(&path, e))?;
+        if let Some(feed) = &self.feed {
+            feed.publish_run(run);
+        }
+        Ok(())
     }
 
     /// Appends one recorded failure and flushes it.
@@ -348,7 +365,122 @@ impl CheckpointLog {
         let path = self.writer.path().to_path_buf();
         self.writer
             .append(&failure_record(failure))
-            .map_err(|e| checkpoint_err(&path, e))
+            .map_err(|e| checkpoint_err(&path, e))?;
+        if let Some(feed) = &self.feed {
+            feed.publish_failure(failure);
+        }
+        Ok(())
+    }
+}
+
+/// A point-in-time view of how far a sweep has progressed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Seeds that have reached a terminal state (completed or failed).
+    pub done: u64,
+    /// Total seeds the sweep covers.
+    pub total: u64,
+    /// Whether the producer has declared the sweep over.
+    pub finished: bool,
+    /// The sweep-level error, when it finished unsuccessfully.
+    pub error: Option<String>,
+}
+
+/// An in-memory, thread-safe subscription to a running sweep's
+/// per-seed progress — the live counterpart of a [`CheckpointLog`].
+///
+/// The engine publishes one event per terminal seed (completed or
+/// failed); consumers poll with [`events_since`] using a cursor, so a
+/// slow reader never blocks the sweep and can catch up at its own
+/// pace. The producer calls [`finish`] exactly once when the sweep is
+/// over.
+///
+/// [`events_since`]: ProgressFeed::events_since
+/// [`finish`]: ProgressFeed::finish
+#[derive(Debug)]
+pub struct ProgressFeed {
+    total: u64,
+    state: Mutex<FeedState>,
+}
+
+#[derive(Debug, Default)]
+struct FeedState {
+    events: Vec<Value>,
+    done: u64,
+    finished: bool,
+    error: Option<String>,
+}
+
+impl ProgressFeed {
+    /// A fresh feed for a sweep over `total` seeds.
+    #[must_use]
+    pub fn new(total: u64) -> Self {
+        ProgressFeed {
+            total,
+            state: Mutex::new(FeedState::default()),
+        }
+    }
+
+    fn push(&self, seed: u64, status: &str, extra: Vec<(String, Value)>) {
+        let mut state = self.state.lock();
+        state.done += 1;
+        let mut fields = vec![
+            ("seed".to_string(), seed.to_value()),
+            ("status".to_string(), Value::String(status.to_string())),
+        ];
+        fields.extend(extra);
+        fields.push(("done".to_string(), state.done.to_value()));
+        fields.push(("total".to_string(), self.total.to_value()));
+        state.events.push(Value::Object(fields));
+    }
+
+    /// Publishes one completed seed.
+    pub fn publish_run(&self, run: &SeedRun) {
+        self.push(
+            run.seed,
+            "ok",
+            vec![("cost_uj".to_string(), run.cost_uj.to_value())],
+        );
+    }
+
+    /// Publishes one terminally failed seed.
+    pub fn publish_failure(&self, failure: &SeedFailure) {
+        self.push(
+            failure.seed,
+            "failed",
+            vec![("error".to_string(), Value::String(failure.error.clone()))],
+        );
+    }
+
+    /// Declares the sweep over; `error` carries the sweep-level failure
+    /// when it did not complete cleanly. Idempotent (first call wins).
+    pub fn finish(&self, error: Option<String>) {
+        let mut state = self.state.lock();
+        if !state.finished {
+            state.finished = true;
+            state.error = error;
+        }
+    }
+
+    /// Events published at or after `cursor`, plus the cursor to resume
+    /// from next time. A cursor past the end yields no events.
+    #[must_use]
+    pub fn events_since(&self, cursor: usize) -> (usize, Vec<Value>) {
+        let state = self.state.lock();
+        let start = cursor.min(state.events.len());
+        (state.events.len(), state.events[start..].to_vec())
+    }
+
+    /// A snapshot of done/total and the terminal state.
+    #[must_use]
+    pub fn progress(&self) -> ProgressSnapshot {
+        let state = self.state.lock();
+        ProgressSnapshot {
+            done: state.done,
+            total: self.total,
+            finished: state.finished,
+            error: state.error.clone(),
+        }
     }
 }
 
@@ -617,6 +749,66 @@ mod tests {
         assert!(err.to_string().contains("version"), "{err}");
         let _ = std::fs::remove_file(garbled);
         let _ = std::fs::remove_file(future);
+    }
+
+    #[test]
+    fn progress_feed_counts_events_and_cursors() {
+        let feed = ProgressFeed::new(3);
+        assert_eq!(feed.progress().done, 0);
+        feed.publish_run(&run(0));
+        feed.publish_failure(&SeedFailure {
+            seed: 1,
+            attempts: 2,
+            error: "boom".into(),
+        });
+        let (next, events) = feed.events_since(0);
+        assert_eq!(next, 2);
+        assert_eq!(events.len(), 2);
+        let first = serde_json::to_string(&events[0]).unwrap();
+        assert!(first.contains("\"status\":\"ok\""), "{first}");
+        assert!(first.contains("\"done\":1"), "{first}");
+        assert!(first.contains("\"total\":3"), "{first}");
+        let second = serde_json::to_string(&events[1]).unwrap();
+        assert!(second.contains("\"status\":\"failed\""), "{second}");
+        assert!(second.contains("\"error\":\"boom\""), "{second}");
+        let (again, rest) = feed.events_since(next);
+        assert_eq!(again, 2);
+        assert!(rest.is_empty());
+        // A cursor past the end is clamped, not a panic.
+        assert!(feed.events_since(99).1.is_empty());
+        let snap = feed.progress();
+        assert_eq!((snap.done, snap.total, snap.finished), (2, 3, false));
+        feed.finish(Some("halted".into()));
+        feed.finish(None); // idempotent: first call wins
+        let snap = feed.progress();
+        assert!(snap.finished);
+        assert_eq!(snap.error.as_deref(), Some("halted"));
+    }
+
+    #[test]
+    fn subscribed_log_mirrors_appends_but_not_compacted_records() {
+        let mut ckpt = SweepCheckpoint::new("demo", "idb", 0..4);
+        ckpt.record_run(run(0)); // compacted at open, must not replay
+        let path = temp_path("subscribed.jsonl");
+        let mut log = CheckpointLog::open(&path, &ckpt).unwrap();
+        let feed = Arc::new(ProgressFeed::new(4));
+        log.subscribe(Arc::clone(&feed));
+        log.append_run(&run(1)).unwrap();
+        log.append_failure(&SeedFailure {
+            seed: 2,
+            attempts: 1,
+            error: "boom".into(),
+        })
+        .unwrap();
+        drop(log);
+        let (next, events) = feed.events_since(0);
+        assert_eq!(next, 2);
+        assert_eq!(events.len(), 2);
+        assert_eq!(feed.progress().done, 2);
+        // The log on disk still has all three records.
+        let back = SweepCheckpoint::load(&path).unwrap();
+        assert_eq!(back.runs.len() + back.failures.len(), 3);
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use crate::runner::{Failure, SeedOutcome};
 use crate::{
-    CheckpointLog, EngineError, RetryPolicy, RunReport, SeedFailure, SeedRun, SolverRegistry,
-    SweepCheckpoint, SweepRunner,
+    CheckpointLog, EngineError, ProgressFeed, RetryPolicy, RunReport, SeedFailure, SeedRun,
+    SolverRegistry, SweepCheckpoint, SweepRunner,
 };
 use parking_lot::Mutex;
 use serde::{Deserialize as _, Serialize as _};
@@ -171,6 +171,7 @@ pub struct Experiment {
     shard: Option<(u32, u32)>,
     cache: Option<Arc<ResultStore>>,
     on_seed: Option<Arc<SeedObserver>>,
+    progress: Option<Arc<ProgressFeed>>,
 }
 
 impl fmt::Debug for Experiment {
@@ -191,6 +192,7 @@ impl fmt::Debug for Experiment {
             .field("shard", &self.shard)
             .field("cache", &self.cache.as_ref().map(|s| s.dir().to_path_buf()))
             .field("on_seed", &self.on_seed.as_ref().map(|_| "<callback>"))
+            .field("progress", &self.progress.as_ref().map(|_| "<feed>"))
             .finish()
     }
 }
@@ -217,6 +219,7 @@ impl Experiment {
             shard: None,
             cache: None,
             on_seed: None,
+            progress: None,
         }
     }
 
@@ -359,6 +362,19 @@ impl Experiment {
         self
     }
 
+    /// Publishes every terminal seed (including cache-restored ones)
+    /// into `feed` as the sweep runs, so a detached consumer — the
+    /// serve layer's async job API — can poll incremental progress.
+    /// When the sweep also writes a checkpoint, the feed is subscribed
+    /// to the [`CheckpointLog`] so disk appends and feed events stay
+    /// one-to-one; the caller remains responsible for
+    /// [`ProgressFeed::finish`].
+    #[must_use]
+    pub fn progress(mut self, feed: Arc<ProgressFeed>) -> Self {
+        self.progress = Some(feed);
+        self
+    }
+
     fn report_label(&self) -> String {
         if self.label.is_empty() {
             self.solver.clone()
@@ -456,6 +472,9 @@ impl Experiment {
                 match hit {
                     Some(run) => {
                         cache_stats.hits += 1;
+                        if let Some(feed) = &self.progress {
+                            feed.publish_run(&run);
+                        }
                         state.record_run(run);
                     }
                     None => {
@@ -509,7 +528,16 @@ impl Experiment {
         // progress in) before any worker runs, so even a sweep killed on
         // its first seed leaves a loadable log behind.
         let log = match &self.checkpoint {
-            Some(path) => Some(CheckpointLog::open(path, &state)?),
+            Some(path) => {
+                let mut log = CheckpointLog::open(path, &state)?;
+                // With a log present the feed rides on its appends so
+                // disk and memory stay one-to-one; without one, the
+                // observer below publishes directly.
+                if let Some(feed) = &self.progress {
+                    log.subscribe(Arc::clone(feed));
+                }
+                Some(log)
+            }
             None => None,
         };
 
@@ -526,9 +554,16 @@ impl Experiment {
                 SeedOutcome::Ok { value, attempts } => {
                     let mut run = value.clone();
                     run.attempts = *attempts;
-                    if let Some(log) = log {
-                        if save_error.is_none() {
-                            *save_error = log.append_run(&run).err();
+                    match log {
+                        Some(log) => {
+                            if save_error.is_none() {
+                                *save_error = log.append_run(&run).err();
+                            }
+                        }
+                        None => {
+                            if let Some(feed) = &self.progress {
+                                feed.publish_run(&run);
+                            }
                         }
                     }
                     state.record_run(run);
@@ -539,9 +574,16 @@ impl Experiment {
                         attempts: *attempts,
                         error: failure.to_string(),
                     };
-                    if let Some(log) = log {
-                        if save_error.is_none() {
-                            *save_error = log.append_failure(&failure).err();
+                    match log {
+                        Some(log) => {
+                            if save_error.is_none() {
+                                *save_error = log.append_failure(&failure).err();
+                            }
+                        }
+                        None => {
+                            if let Some(feed) = &self.progress {
+                                feed.publish_failure(&failure);
+                            }
                         }
                     }
                     state.record_failure(failure);
@@ -658,6 +700,47 @@ mod tests {
         assert!(report.is_complete());
         assert_eq!(report.solver, "idb");
         assert_eq!(report.label, "idb");
+    }
+
+    #[test]
+    fn progress_feed_sees_every_terminal_seed() {
+        let registry = SolverRegistry::with_defaults();
+        let feed = Arc::new(ProgressFeed::new(4));
+        Experiment::sampled(sampler(5, 10))
+            .solver("idb")
+            .seeds(0..4)
+            .progress(Arc::clone(&feed))
+            .run(&registry)
+            .unwrap();
+        let snap = feed.progress();
+        assert_eq!((snap.done, snap.total), (4, 4));
+        assert!(!snap.finished, "finish() is the caller's responsibility");
+        let (next, events) = feed.events_since(0);
+        assert_eq!(next, 4);
+        assert_eq!(events.len(), 4);
+        feed.finish(None);
+        assert!(feed.progress().finished);
+    }
+
+    #[test]
+    fn progress_feed_includes_cache_hits() {
+        let registry = SolverRegistry::with_defaults();
+        let dir = std::env::temp_dir().join("wrsn-progress-cache-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(ResultStore::open(&dir).unwrap());
+        let base = Experiment::sampled(sampler(5, 10))
+            .solver("idb")
+            .seeds(0..3)
+            .record_timings(false)
+            .cache(Arc::clone(&store));
+        base.clone().run(&registry).unwrap();
+        // Second run restores every seed from the cache; the feed must
+        // still see all three as terminal.
+        let feed = Arc::new(ProgressFeed::new(3));
+        let report = base.progress(Arc::clone(&feed)).run(&registry).unwrap();
+        assert_eq!(report.cache.as_ref().unwrap().hits, 3);
+        assert_eq!(feed.progress().done, 3);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

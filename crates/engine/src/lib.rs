@@ -43,7 +43,10 @@ mod report;
 mod runner;
 mod table;
 
-pub use checkpoint::{merge_checkpoints, CheckpointLog, SweepCheckpoint, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    merge_checkpoints, CheckpointLog, ProgressFeed, ProgressSnapshot, SweepCheckpoint,
+    CHECKPOINT_VERSION,
+};
 pub use error::EngineError;
 pub use experiment::{
     cache_tag, seed_fingerprint, Experiment, InstanceSource, SeedEvent, ENGINE_VERSION,

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize, Value};
 use std::sync::Arc;
 use wrsn_energy::Energy;
 use wrsn_engine::{
-    CacheStats, EngineError, Experiment, InstanceParams, ResultStore, SolverRegistry,
+    CacheStats, EngineError, Experiment, InstanceParams, ProgressFeed, ResultStore, SolverRegistry,
 };
 use wrsn_sim::{ChargerPolicy, FaultPlan, SimConfig, Simulator, DEFAULT_FADE_FLOOR};
 
@@ -250,6 +250,7 @@ impl ApiContext {
         instance: &InstanceParams,
         solver: &str,
         seeds: std::ops::Range<u64>,
+        progress: Option<Arc<ProgressFeed>>,
     ) -> Result<(wrsn_engine::RunReport, CacheStats), ApiError> {
         let source = instance.source()?;
         let mut experiment = Experiment::new(source)
@@ -258,6 +259,9 @@ impl ApiContext {
             .record_timings(false);
         if let Some(store) = &self.store {
             experiment = experiment.cache(store.clone());
+        }
+        if let Some(feed) = progress {
+            experiment = experiment.progress(feed);
         }
         let mut report = experiment.run(&self.registry)?;
         // The cache block is stripped from the body so identical
@@ -275,7 +279,8 @@ impl ApiContext {
     /// [`ApiError`] with status 400 for invalid parameters or an
     /// unknown solver, 500 for store failures.
     pub fn solve(&self, req: &SolveRequest) -> Result<ApiOutcome, ApiError> {
-        let (report, cache) = self.run_cell(&req.instance, &req.solver, req.seed..req.seed + 1)?;
+        let (report, cache) =
+            self.run_cell(&req.instance, &req.solver, req.seed..req.seed + 1, None)?;
         let run = &report.runs[0];
         let mut fields = vec![
             ("solver".to_string(), Value::String(req.solver.clone())),
@@ -463,6 +468,41 @@ impl ApiContext {
     /// [`ApiError`] with status 400 for invalid parameters, a zero or
     /// over-cap seed count, or an unknown solver.
     pub fn sweep(&self, req: &SweepRequest) -> Result<ApiOutcome, ApiError> {
+        self.sweep_with_progress(req, None)
+    }
+
+    /// [`sweep`](ApiContext::sweep) with an optional progress feed that
+    /// observes every terminal seed (including cache hits) as the sweep
+    /// runs — the async job API streams it to `/v1/jobs/{id}/events`.
+    /// The response body is byte-identical with or without a feed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`sweep`](ApiContext::sweep).
+    pub fn sweep_with_progress(
+        &self,
+        req: &SweepRequest,
+        progress: Option<Arc<ProgressFeed>>,
+    ) -> Result<ApiOutcome, ApiError> {
+        let end = Self::validate_sweep(req)?;
+        let (report, cache) =
+            self.run_cell(&req.instance, &req.solver, req.seed_start..end, progress)?;
+        Ok(ApiOutcome {
+            body: report.to_value(),
+            cache,
+        })
+    }
+
+    /// Checks a sweep's seed range (non-zero, under the cap, no
+    /// overflow) and returns the exclusive end seed. Exposed so the job
+    /// API can reject bad specs at submit time, before spawning a
+    /// worker thread.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError`] with status 400 for a zero or over-cap seed count
+    /// or a range that overflows `u64`.
+    pub fn validate_sweep(req: &SweepRequest) -> Result<u64, ApiError> {
         if req.seeds == 0 {
             return Err(ApiError::bad_request("seeds must be at least 1"));
         }
@@ -472,15 +512,9 @@ impl ApiContext {
                 req.seeds
             )));
         }
-        let end = req
-            .seed_start
+        req.seed_start
             .checked_add(req.seeds)
-            .ok_or_else(|| ApiError::bad_request("seed_start + seeds overflows"))?;
-        let (report, cache) = self.run_cell(&req.instance, &req.solver, req.seed_start..end)?;
-        Ok(ApiOutcome {
-            body: report.to_value(),
-            cache,
-        })
+            .ok_or_else(|| ApiError::bad_request("seed_start + seeds overflows"))
     }
 
     /// `GET /v1/solvers`: the registry listing.

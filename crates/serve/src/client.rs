@@ -1,15 +1,23 @@
 //! A matching minimal HTTP/1.1 client and the `loadgen` harness.
 //!
-//! The client speaks exactly the dialect the server emits: one request
-//! per connection, `Content-Length` framing, `Connection: close`. On
-//! top of the one-shot [`request`] sits [`request_with_retry`]: a
-//! [`RetryPolicy`] with exponential backoff + decorrelated jitter that
-//! honors `Retry-After`, and an optional shared [`CircuitBreaker`]
-//! that stops hammering a failing server (half-open probing brings it
-//! back). The loadgen fans identical requests across threads and
-//! reports exact (not bucketed) p50/p95/p99 latencies plus throughput
-//! and — under retries — the chaos-era counters (retries, retryable
-//! 503s, transport resets, breaker opens).
+//! The client speaks exactly the dialect the server emits:
+//! `Content-Length` framing, with two connection styles — the one-shot
+//! [`request`] (`Connection: close`, read to EOF) and the persistent
+//! [`Connection`] (keep-alive, many requests per socket, optionally
+//! pipelined). On top of the one-shot [`request`] sits
+//! [`request_with_retry`]: a [`RetryPolicy`] with decorrelated-jitter
+//! exponential backoff that honors `Retry-After`, and an optional
+//! shared [`CircuitBreaker`] that stops hammering a failing server
+//! (half-open probing brings it back).
+//!
+//! Two load harnesses report exact (not bucketed) p50/p95/p99
+//! latencies plus throughput: [`loadgen`] fans one-shot requests
+//! across threads (connect-per-request, the retry/chaos-era path),
+//! while [`loadgen_keep_alive`] opens a fixed fleet of persistent
+//! connections up front and drives them with pipelined batches — the
+//! harness that exercises the reactor's concurrency and pipelining.
+//! [`run_job`] drives the async job API end to end (submit → cursor
+//! the event stream → fetch the final report).
 
 use crate::ServeError;
 use rand::rngs::SmallRng;
@@ -75,11 +83,9 @@ pub fn request(
     parse_response(&raw).map_err(client)
 }
 
-fn parse_response(raw: &[u8]) -> Result<ClientResponse, String> {
-    let text = String::from_utf8_lossy(raw);
-    let Some((head, body)) = text.split_once("\r\n\r\n") else {
-        return Err(format!("no header/body separator in {} bytes", raw.len()));
-    };
+/// Parses a response head (status line + header lines, no trailing
+/// blank line) into a status code and lowercased headers.
+fn parse_response_head(head: &str) -> Result<(u16, Vec<(String, String)>), String> {
     let mut lines = head.split("\r\n");
     let status_line = lines.next().unwrap_or("");
     let status = status_line
@@ -91,6 +97,15 @@ fn parse_response(raw: &[u8]) -> Result<ClientResponse, String> {
         .filter_map(|line| line.split_once(':'))
         .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
         .collect();
+    Ok((status, headers))
+}
+
+fn parse_response(raw: &[u8]) -> Result<ClientResponse, String> {
+    let text = String::from_utf8_lossy(raw);
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        return Err(format!("no header/body separator in {} bytes", raw.len()));
+    };
+    let (status, headers) = parse_response_head(head)?;
     // A body shorter than its advertised Content-Length means the
     // server hung up mid-response; surface that as an error (and thus
     // retryable) instead of silently returning the stump.
@@ -111,6 +126,148 @@ fn parse_response(raw: &[u8]) -> Result<ClientResponse, String> {
         headers,
         body: body.to_string(),
     })
+}
+
+/// Tries to lift one `Content-Length`-framed response off the front of
+/// `buf`. Returns the response, how many bytes it consumed, and
+/// whether the server announced `Connection: close` — or `None` when
+/// the buffer does not yet hold a complete response.
+fn try_parse_framed(buf: &[u8]) -> Result<Option<(ClientResponse, usize, bool)>, String> {
+    let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return Ok(None);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]);
+    let (status, headers) = parse_response_head(&head)?;
+    let length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let total = head_end + 4 + length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = String::from_utf8_lossy(&buf[head_end + 4..total]).into_owned();
+    let close = headers
+        .iter()
+        .any(|(n, v)| n == "connection" && v.eq_ignore_ascii_case("close"));
+    Ok(Some((
+        ClientResponse {
+            status,
+            headers,
+            body,
+        },
+        total,
+        close,
+    )))
+}
+
+/// A persistent keep-alive connection: many requests per socket, with
+/// optional pipelining (several [`Connection::send`]s before the
+/// matching [`Connection::recv`]s — the server answers strictly in
+/// order).
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    closing: bool,
+}
+
+impl Connection {
+    /// Opens a keep-alive connection to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Client`] on connect or socket-option failure.
+    pub fn connect(addr: &str) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ServeError::Client(format!("connect {addr}: {e}")))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .map_err(|e| ServeError::Client(format!("timeout: {e}")))?;
+        // Pipelined batches are small writes; don't let Nagle pace them.
+        let _ = stream.set_nodelay(true);
+        Ok(Connection {
+            stream,
+            buf: Vec::new(),
+            closing: false,
+        })
+    }
+
+    /// Writes one request without waiting for the response. Call
+    /// repeatedly to pipeline; collect answers with [`Connection::recv`]
+    /// in the same order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Client`] on write failure.
+    pub fn send(&mut self, method: &str, path: &str, body: Option<&str>) -> Result<(), ServeError> {
+        let body = body.unwrap_or("");
+        let text = format!(
+            "{method} {path} HTTP/1.1\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream
+            .write_all(text.as_bytes())
+            .map_err(|e| ServeError::Client(format!("write: {e}")))
+    }
+
+    /// Reads the next in-order response, blocking until its
+    /// `Content-Length`-framed body is complete.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Client`] on read failure, malformed framing, or
+    /// EOF mid-response.
+    pub fn recv(&mut self) -> Result<ClientResponse, ServeError> {
+        loop {
+            match try_parse_framed(&self.buf).map_err(ServeError::Client)? {
+                Some((resp, used, close)) => {
+                    self.buf.drain(..used);
+                    self.closing |= close;
+                    return Ok(resp);
+                }
+                None => {
+                    let mut chunk = [0u8; 8192];
+                    let n = self
+                        .stream
+                        .read(&mut chunk)
+                        .map_err(|e| ServeError::Client(format!("read: {e}")))?;
+                    if n == 0 {
+                        return Err(ServeError::Client(format!(
+                            "connection closed with {} buffered bytes and no complete response",
+                            self.buf.len()
+                        )));
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        }
+    }
+
+    /// One request–response round trip on this connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Client`] on write, read, or parse failure.
+    pub fn roundtrip(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<ClientResponse, ServeError> {
+        self.send(method, path, body)?;
+        self.recv()
+    }
+
+    /// Whether the server announced `Connection: close` on a response
+    /// already received — the caller should reconnect before sending
+    /// more.
+    #[must_use]
+    pub fn server_will_close(&self) -> bool {
+        self.closing
+    }
 }
 
 /// How [`request_with_retry`] paces its attempts and when its breaker
@@ -428,6 +585,10 @@ pub struct LoadgenReport {
     pub transport_resets: u64,
     /// Times the shared circuit breaker opened during the run.
     pub breaker_opens: u64,
+    /// Concurrent connections the run held open: the thread count for
+    /// the connect-per-request [`loadgen`], the socket-fleet size for
+    /// [`loadgen_keep_alive`].
+    pub connections: usize,
 }
 
 impl LoadgenReport {
@@ -578,6 +739,7 @@ pub fn loadgen(
         retryable_status: 0,
         transport_resets: 0,
         breaker_opens: breaker.as_ref().map_or(0, CircuitBreaker::opens),
+        connections: concurrency,
     };
     for tally in results {
         report.ok += tally.ok;
@@ -590,6 +752,275 @@ pub fn loadgen(
     }
     report.latencies.sort_unstable();
     Ok(report)
+}
+
+/// The one request a load run repeats: where to send it and what it
+/// says.
+#[derive(Clone, Copy)]
+struct RequestSpec<'a> {
+    addr: &'a str,
+    method: &'a str,
+    path: &'a str,
+    body: Option<&'a str>,
+}
+
+/// Drives one persistent connection through its request quota in
+/// pipelined batches, reconnecting when the server closes it (e.g. at
+/// its per-connection request cap).
+fn drive_connection(
+    spec: RequestSpec<'_>,
+    mut conn: Connection,
+    quota: u64,
+    pipeline: usize,
+    tally: &mut ThreadTally,
+) {
+    let mut remaining = quota;
+    let mut retried_stale = false;
+    while remaining > 0 {
+        let batch = (pipeline as u64).min(remaining);
+        let t0 = Instant::now();
+        let mut sent = 0u64;
+        for _ in 0..batch {
+            if conn.send(spec.method, spec.path, spec.body).is_err() {
+                break;
+            }
+            sent += 1;
+        }
+        let mut received = 0u64;
+        let mut broken = sent < batch;
+        for _ in 0..sent {
+            match conn.recv() {
+                Ok(resp) => {
+                    received += 1;
+                    if resp.status == 200 {
+                        tally.ok += 1;
+                        // Batch-relative latency: later responses in a
+                        // deep pipeline carry their queueing delay.
+                        tally.latencies.push(t0.elapsed());
+                    } else {
+                        if retryable_status(resp.status) {
+                            tally.retryable_status += 1;
+                        }
+                        tally.non_ok += 1;
+                    }
+                }
+                Err(_) => {
+                    broken = true;
+                    break;
+                }
+            }
+        }
+        if broken && received == 0 && !retried_stale {
+            // Stale keep-alive connection: the server closed it while
+            // it sat idle (keep-alive idle timeout, max-requests cap)
+            // and nothing came back. Standard client behavior is to
+            // retry the batch once on a fresh socket — the requests
+            // were never processed, so nothing is double-counted.
+            tally.transport_resets += 1;
+            match Connection::connect(spec.addr) {
+                Ok(fresh) => {
+                    conn = fresh;
+                    retried_stale = true;
+                    continue;
+                }
+                Err(_) => {
+                    tally.errors += remaining;
+                    return;
+                }
+            }
+        }
+        retried_stale = false;
+        let unanswered = batch - received;
+        if unanswered > 0 {
+            tally.errors += unanswered;
+            tally.transport_resets += 1;
+        }
+        remaining -= batch;
+        if broken || conn.server_will_close() {
+            match Connection::connect(spec.addr) {
+                Ok(fresh) => conn = fresh,
+                Err(_) => {
+                    tally.errors += remaining;
+                    tally.transport_resets += 1;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Fans `requests` identical requests over a fleet of `connections`
+/// persistent keep-alive connections, `pipeline` requests per write
+/// batch. Every socket is opened before the clock starts, so the
+/// server demonstrably holds the whole fleet concurrently; the fleet
+/// is then spread over up to `available_parallelism` driver threads.
+///
+/// # Errors
+///
+/// [`ServeError::Client`] when the initial probe request fails or any
+/// of the fleet's sockets cannot be opened — a dead or conn-capped
+/// server fails fast. Failures during the run are counted, not fatal.
+pub fn loadgen_keep_alive(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    connections: usize,
+    requests: u64,
+    pipeline: usize,
+) -> Result<LoadgenReport, ServeError> {
+    let connections = connections.max(1);
+    let pipeline = pipeline.max(1);
+    let spec = RequestSpec {
+        addr,
+        method,
+        path,
+        body,
+    };
+    // Probe first so misconfiguration is an error, not a zero report.
+    request(addr, method, path, body)?;
+    let per_conn = requests / connections as u64;
+    let remainder = requests % connections as u64;
+    let mut fleet: Vec<(Connection, u64)> = Vec::with_capacity(connections);
+    for c in 0..connections {
+        let quota = per_conn + u64::from((c as u64) < remainder);
+        fleet.push((Connection::connect(addr)?, quota));
+    }
+    let threads = std::thread::available_parallelism()
+        .map_or(8, std::num::NonZeroUsize::get)
+        .min(connections);
+    // Deal the fleet round-robin so quota remainders spread evenly.
+    let mut groups: Vec<Vec<(Connection, u64)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, pair) in fleet.into_iter().enumerate() {
+        groups[i % threads].push(pair);
+    }
+    let started = Instant::now();
+    let results: Vec<ThreadTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|group| {
+                scope.spawn(move || {
+                    let mut tally = ThreadTally::default();
+                    for (conn, quota) in group {
+                        drive_connection(spec, conn, quota, pipeline, &mut tally);
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen thread panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let mut report = LoadgenReport {
+        ok: 0,
+        non_ok: 0,
+        errors: 0,
+        elapsed,
+        latencies: Vec::new(),
+        retries: 0,
+        retryable_status: 0,
+        transport_resets: 0,
+        breaker_opens: 0,
+        connections,
+    };
+    for tally in results {
+        report.ok += tally.ok;
+        report.non_ok += tally.non_ok;
+        report.errors += tally.errors;
+        report.retryable_status += tally.retryable_status;
+        report.transport_resets += tally.transport_resets;
+        report.latencies.extend(tally.latencies);
+    }
+    report.latencies.sort_unstable();
+    Ok(report)
+}
+
+/// What one async job round trip produced.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The server-assigned job id.
+    pub id: u64,
+    /// Terminal state: `"done"` or `"failed"`.
+    pub state: String,
+    /// Progress events collected from the cursor stream.
+    pub events: Vec<serde::Value>,
+    /// The final `GET /v1/jobs/{id}` body — carries the full sweep
+    /// report (byte-identical to `/v1/sweep`) under `"report"` when
+    /// the job succeeded.
+    pub final_body: String,
+}
+
+/// Submits `spec` to `POST /v1/jobs` and follows the job to its
+/// terminal state: cursors `GET /v1/jobs/{id}/events` until the state
+/// leaves `"running"`, then fetches the final poll body.
+///
+/// # Errors
+///
+/// [`ServeError::Client`] on transport failure, a non-202 submit, a
+/// malformed body, or when the job outlives `deadline`.
+pub fn run_job(
+    addr: &str,
+    spec: Option<&str>,
+    poll_every: Duration,
+    deadline: Duration,
+) -> Result<JobOutcome, ServeError> {
+    let submitted = request(addr, "POST", "/v1/jobs", spec)?;
+    if submitted.status != 202 {
+        return Err(ServeError::Client(format!(
+            "job submit: status {} body {}",
+            submitted.status, submitted.body
+        )));
+    }
+    let parsed: serde::Value = serde_json::from_str(&submitted.body)
+        .map_err(|e| ServeError::Client(format!("job submit body: {e}")))?;
+    let id = parsed
+        .get("id")
+        .and_then(serde::Value::as_u64)
+        .ok_or_else(|| ServeError::Client(format!("no job id in {}", submitted.body)))?;
+    let started = Instant::now();
+    let mut cursor = 0u64;
+    let mut events: Vec<serde::Value> = Vec::new();
+    let state = loop {
+        let resp = request(
+            addr,
+            "GET",
+            &format!("/v1/jobs/{id}/events?since={cursor}"),
+            None,
+        )?;
+        let page: serde::Value = serde_json::from_str(&resp.body)
+            .map_err(|e| ServeError::Client(format!("job events body: {e}")))?;
+        if let Some(serde::Value::Array(batch)) = page.get("events") {
+            events.extend(batch.iter().cloned());
+        }
+        cursor = page
+            .get("next")
+            .and_then(serde::Value::as_u64)
+            .unwrap_or(cursor);
+        let state = page
+            .get("state")
+            .and_then(serde::Value::as_str)
+            .unwrap_or("running")
+            .to_string();
+        if state != "running" {
+            break state;
+        }
+        if started.elapsed() > deadline {
+            return Err(ServeError::Client(format!(
+                "job {id} still running after {deadline:?}"
+            )));
+        }
+        std::thread::sleep(poll_every);
+    };
+    let final_poll = request(addr, "GET", &format!("/v1/jobs/{id}"), None)?;
+    Ok(JobOutcome {
+        id,
+        state,
+        events,
+        final_body: final_poll.body,
+    })
 }
 
 #[cfg(test)]
@@ -622,6 +1053,7 @@ mod tests {
             retryable_status: 0,
             transport_resets: 0,
             breaker_opens: 0,
+            connections: 0,
         }
     }
 
@@ -738,6 +1170,87 @@ mod tests {
             BreakerState::Closed,
             "interleaved successes keep the streak below threshold"
         );
+    }
+
+    #[test]
+    fn framed_parser_waits_for_complete_responses() {
+        // No header/body separator yet.
+        assert!(try_parse_framed(b"HTTP/1.1 200 OK\r\n").unwrap().is_none());
+        // Head complete, body still short.
+        let partial = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nab";
+        assert!(try_parse_framed(partial).unwrap().is_none());
+        // Complete response followed by the start of the next one.
+        let mut raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n{}".to_vec();
+        raw.extend_from_slice(b"HTTP/1.1 404 Not Found\r\n");
+        let (resp, used, close) = try_parse_framed(&raw).unwrap().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "{}");
+        assert_eq!(used, raw.len() - b"HTTP/1.1 404 Not Found\r\n".len());
+        assert!(!close);
+        // Connection: close is surfaced.
+        let closing = b"HTTP/1.1 200 OK\r\nConnection: close\r\nContent-Length: 0\r\n\r\n";
+        let (_, _, close) = try_parse_framed(closing).unwrap().unwrap();
+        assert!(close);
+    }
+
+    #[test]
+    fn keep_alive_connection_pipelines_and_reuses_the_socket() {
+        let server = crate::Server::start(
+            &crate::ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                queue_depth: 8,
+                keep_alive: true,
+                keep_alive_max_requests: 64,
+                ..crate::ServerConfig::default()
+            },
+            crate::api::ApiContext::new(),
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+        let mut conn = Connection::connect(&addr).unwrap();
+        // Sequential reuse.
+        for _ in 0..3 {
+            let resp = conn.roundtrip("GET", "/healthz", None).unwrap();
+            assert_eq!(resp.status, 200);
+        }
+        // Pipelined batch: three sends, then three in-order receives.
+        conn.send("GET", "/healthz", None).unwrap();
+        conn.send("GET", "/nope", None).unwrap();
+        conn.send("GET", "/v1/solvers", None).unwrap();
+        assert_eq!(conn.recv().unwrap().status, 200);
+        assert_eq!(conn.recv().unwrap().status, 404);
+        let solvers = conn.recv().unwrap();
+        assert_eq!(solvers.status, 200);
+        assert!(solvers.body.contains("rfh"), "{}", solvers.body);
+        assert!(!conn.server_will_close());
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_loadgen_spreads_quota_over_the_fleet() {
+        let server = crate::Server::start(
+            &crate::ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                queue_depth: 32,
+                keep_alive: true,
+                keep_alive_max_requests: 64,
+                ..crate::ServerConfig::default()
+            },
+            crate::api::ApiContext::new(),
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+        let report = loadgen_keep_alive(&addr, "GET", "/healthz", None, 4, 40, 3).unwrap();
+        assert_eq!(
+            report.ok, 40,
+            "errors={} non_ok={}",
+            report.errors, report.non_ok
+        );
+        assert_eq!(report.connections, 4);
+        assert_eq!(report.latencies.len(), 40);
+        server.shutdown().unwrap();
     }
 
     #[test]

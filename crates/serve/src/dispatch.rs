@@ -1,0 +1,225 @@
+//! Request execution on the CPU worker pool: routing, per-request
+//! deadlines, chaos injection, and the completion hand-off back to the
+//! reactor.
+//!
+//! The reactor parses requests and pushes [`DispatchJob`]s onto the
+//! bounded admission queue; workers pop them, compute the [`Response`]
+//! (solver execution happens here, never on the reactor thread), and
+//! push a [`Completion`] that the reactor stitches back into the
+//! owning connection's write queue by `(token, seq)`.
+
+use crate::api::{ApiContext, ApiError, ApiOutcome, SimulateRequest, SolveRequest, SweepRequest};
+use crate::chaos::ChaosDecision;
+use crate::http::{Request, Response};
+use crate::jobs;
+use crate::metrics::StatusGauges;
+use crate::server::Shared;
+use serde::Deserialize;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One parsed request traveling from the reactor to a worker.
+#[derive(Debug)]
+pub(crate) struct DispatchJob {
+    /// The owning connection's reactor token.
+    pub token: u64,
+    /// Position in that connection's request pipeline.
+    pub seq: usize,
+    /// The parsed request.
+    pub request: Request,
+    /// When the request finished parsing (latency baseline).
+    pub started: Instant,
+}
+
+/// A computed response traveling from a worker back to the reactor.
+#[derive(Debug)]
+pub(crate) struct Completion {
+    /// The owning connection's reactor token.
+    pub token: u64,
+    /// Position in that connection's request pipeline.
+    pub seq: usize,
+    /// The response to serialize into the pipeline slot.
+    pub response: Response,
+    /// Chaos: cut the serialized bytes in half and hang up.
+    pub truncate: bool,
+}
+
+/// The worker thread body: pop, respond, hand the completion back.
+pub(crate) fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        shared.busy.fetch_add(1, Ordering::SeqCst);
+        let (response, truncate) = respond(&job, shared);
+        shared.busy.fetch_sub(1, Ordering::SeqCst);
+        shared.completions.lock().push(Completion {
+            token: job.token,
+            seq: job.seq,
+            response,
+            truncate,
+        });
+        shared.waker.wake();
+    }
+}
+
+/// Computes the response for one job: chaos decision, deadline-raced
+/// routing, and the metrics record.
+pub(crate) fn respond(job: &DispatchJob, shared: &Arc<Shared>) -> (Response, bool) {
+    let request = &job.request;
+    // Chaos touches only the API; probe endpoints stay honest so
+    // readiness checks keep working during a chaos run.
+    let decision = match &shared.chaos {
+        Some(chaos) if request.path.starts_with("/v1/") => chaos.decide(),
+        _ => ChaosDecision::NONE,
+    };
+    if let Some(delay) = decision.delay {
+        std::thread::sleep(delay);
+    }
+    let response = if decision.inject_fault {
+        shared.metrics.chaos_faults.fetch_add(1, Ordering::Relaxed);
+        Response::error(500, "chaos: injected fault").header("Retry-After", "1")
+    } else {
+        route_with_deadline(request, shared)
+    };
+    shared
+        .metrics
+        .record(&request.path, response.status, elapsed_us(job.started));
+    if decision.truncate {
+        shared.metrics.chaos_faults.fetch_add(1, Ordering::Relaxed);
+    }
+    (response, decision.truncate)
+}
+
+/// Routes the request, racing the handler against the configured
+/// deadline. On timeout the worker answers `504` immediately; the
+/// handler finishes on its detached thread and its result is dropped.
+fn route_with_deadline(request: &Request, shared: &Arc<Shared>) -> Response {
+    let Some(timeout) = shared.request_timeout else {
+        return route(request, shared);
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let req = request.clone();
+    let worker_shared = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name("wrsn-serve-handler".to_string())
+        .spawn(move || {
+            let _ = tx.send(route(&req, &worker_shared));
+        });
+    if spawned.is_err() {
+        // Thread exhaustion: degrade to inline handling rather than
+        // failing the request.
+        return route(request, shared);
+    }
+    match rx.recv_timeout(timeout) {
+        Ok(response) => response,
+        Err(_) => {
+            shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+            Response::error(504, "request deadline exceeded").header("Retry-After", "1")
+        }
+    }
+}
+
+pub(crate) fn elapsed_us(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+fn route(request: &Request, shared: &Arc<Shared>) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}"),
+        ("GET", "/statusz") => {
+            let gauges = StatusGauges {
+                workers_total: shared.workers,
+                workers_busy: shared.busy.load(Ordering::SeqCst),
+                queue_len: shared.queue.len(),
+                queue_capacity: shared.queue.capacity(),
+                conns_open: shared.conns_open.load(Ordering::SeqCst),
+                conns_max: shared.max_conns,
+                jobs_active: shared.jobs.active(),
+                jobs_submitted: shared.jobs.submitted(),
+                jobs_max: shared.jobs.capacity(),
+                store_entries: shared.api.store.as_ref().map(|s| s.len()),
+            };
+            json_response(200, &shared.metrics.to_statusz(&gauges))
+        }
+        ("GET", "/v1/solvers") => json_response(200, &shared.api.solvers().body),
+        ("POST", "/v1/solve") => {
+            handle_api(request, shared, |api, req: &SolveRequest| api.solve(req))
+        }
+        ("POST", "/v1/simulate") => handle_api(request, shared, |api, req: &SimulateRequest| {
+            api.simulate(req)
+        }),
+        ("POST", "/v1/sweep") => {
+            handle_api(request, shared, |api, req: &SweepRequest| api.sweep(req))
+        }
+        ("POST", "/v1/jobs") => jobs::submit(request, shared),
+        ("GET", path) if path.starts_with("/v1/jobs/") => route_job_get(path, shared),
+        ("GET", "/v1/jobs") => Response::error(405, "POST a sweep spec to submit a job"),
+        ("GET", "/v1/solve" | "/v1/simulate" | "/v1/sweep") => {
+            Response::error(405, "use POST with a JSON body")
+        }
+        ("POST", "/healthz" | "/statusz" | "/v1/solvers") => Response::error(405, "use GET"),
+        ("POST", path) if path.starts_with("/v1/jobs/") => {
+            Response::error(405, "use GET to poll a job")
+        }
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// `GET /v1/jobs/{id}` and `GET /v1/jobs/{id}/events?since=N`.
+fn route_job_get(path: &str, shared: &Shared) -> Response {
+    let rest = path.strip_prefix("/v1/jobs/").unwrap_or_default();
+    let (rest, query) = rest.split_once('?').unwrap_or((rest, ""));
+    let (id_part, tail) = match rest.split_once('/') {
+        Some((id, tail)) => (id, Some(tail)),
+        None => (rest, None),
+    };
+    let Ok(id) = id_part.parse::<u64>() else {
+        return Response::error(400, &format!("bad job id {id_part:?}"));
+    };
+    match tail {
+        None => jobs::poll(id, shared),
+        Some("events") => {
+            let since = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("since="))
+                .map_or(Ok(0), str::parse::<usize>);
+            match since {
+                Ok(since) => jobs::events(id, since, shared),
+                Err(_) => Response::error(400, "bad since cursor"),
+            }
+        }
+        Some(_) => Response::error(404, "no such endpoint"),
+    }
+}
+
+pub(crate) fn json_response(status: u16, body: &serde::Value) -> Response {
+    Response::json(
+        status,
+        serde_json::to_string(body).expect("a Value always serializes"),
+    )
+}
+
+fn handle_api<R, F>(request: &Request, shared: &Shared, handler: F) -> Response
+where
+    R: Deserialize + Default,
+    F: FnOnce(&ApiContext, &R) -> Result<ApiOutcome, ApiError>,
+{
+    let body = request.body_text();
+    let parsed: Result<R, _> = if body.trim().is_empty() {
+        Ok(R::default())
+    } else {
+        serde_json::from_str(&body)
+    };
+    let req = match parsed {
+        Ok(req) => req,
+        Err(e) => return Response::error(400, &format!("invalid request body: {e}")),
+    };
+    match handler(&shared.api, &req) {
+        Ok(outcome) => {
+            shared.metrics.add_cache(&outcome.cache);
+            json_response(200, &outcome.body)
+                .header("x-cache-hits", outcome.cache.hits.to_string())
+                .header("x-cache-misses", outcome.cache.misses.to_string())
+        }
+        Err(e) => Response::error(e.status, &e.message),
+    }
+}

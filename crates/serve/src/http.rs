@@ -5,6 +5,12 @@
 //! still closes after one request). Requests are capped at 16 KiB of
 //! head (request line + headers) and 1 MiB of body; both caps turn
 //! attackers' oversized payloads into cheap early rejections.
+//!
+//! Two parsing entry points share the grammar: [`read_request`] pulls
+//! one request off a blocking stream (tests, simple clients), while
+//! [`try_parse`] consumes zero or more complete requests from a byte
+//! buffer — the nonblocking reactor's pipelining path, where a single
+//! read may carry several back-to-back requests.
 
 use std::io::{Read, Write};
 
@@ -96,6 +102,24 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, ParseError> {
         }
     }
     let head = String::from_utf8_lossy(&head);
+    let (method, path, headers) = parse_head(&head)?;
+    let length = content_length(&headers)?;
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).map_err(ParseError::Io)?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Method, path, and lowercased headers from one request head.
+type ParsedHead = (String, String, Vec<(String, String)>);
+
+/// Parses the head lines shared by both entry points: the request line
+/// plus headers, already split on the blank line.
+fn parse_head(head: &str) -> Result<ParsedHead, ParseError> {
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
@@ -118,7 +142,12 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, ParseError> {
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
-    let content_length = headers
+    Ok((method.to_string(), path.to_string(), headers))
+}
+
+/// Extracts and validates the `Content-Length` of a parsed header set.
+fn content_length(headers: &[(String, String)]) -> Result<usize, ParseError> {
+    let length = headers
         .iter()
         .find(|(n, _)| n == "content-length")
         .map(|(_, v)| {
@@ -127,17 +156,54 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, ParseError> {
         })
         .transpose()?
         .unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
+    if length > MAX_BODY_BYTES {
         return Err(ParseError::TooLarge);
     }
-    let mut body = vec![0u8; content_length];
-    stream.read_exact(&mut body).map_err(ParseError::Io)?;
-    Ok(Request {
-        method: method.to_string(),
-        path: path.to_string(),
-        headers,
-        body,
-    })
+    Ok(length)
+}
+
+/// Attempts to parse one complete request from the front of `buf`
+/// without consuming it; returns the request plus the number of bytes
+/// it occupied, or `None` when the buffer holds only a prefix so far.
+///
+/// Calling this in a loop (advancing by the consumed count each time)
+/// is how the reactor supports HTTP/1.1 pipelining: every complete
+/// request sitting in the read buffer is surfaced before the next
+/// socket read.
+///
+/// # Errors
+///
+/// [`ParseError::Bad`] for malformed syntax, [`ParseError::TooLarge`]
+/// once the buffered head or the declared body exceeds its cap (a
+/// partial head longer than [`MAX_HEAD_BYTES`] fails immediately —
+/// waiting for more bytes cannot fix it).
+pub fn try_parse(buf: &[u8]) -> Result<Option<(Request, usize)>, ParseError> {
+    let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ParseError::TooLarge);
+        }
+        return Ok(None);
+    };
+    if head_end + 4 > MAX_HEAD_BYTES {
+        return Err(ParseError::TooLarge);
+    }
+    let head = String::from_utf8_lossy(&buf[..head_end]);
+    let (method, path, headers) = parse_head(&head)?;
+    let length = content_length(&headers)?;
+    let total = head_end + 4 + length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = buf[head_end + 4..total].to_vec();
+    Ok(Some((
+        Request {
+            method,
+            path,
+            headers,
+            body,
+        },
+        total,
+    )))
 }
 
 /// An HTTP response ready to serialize.
@@ -157,6 +223,8 @@ pub struct Response {
 pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -320,6 +388,67 @@ mod tests {
     }
 
     #[test]
+    fn try_parse_consumes_pipelined_requests_one_at_a_time() {
+        let wire = b"GET /healthz HTTP/1.1\r\n\r\nPOST /v1/solve HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}GET /statusz HTTP/1.1\r\n\r\n";
+        let mut buf = wire.to_vec();
+        let mut paths = Vec::new();
+        while let Some((req, used)) = try_parse(&buf).unwrap() {
+            paths.push(req.path.clone());
+            buf.drain(..used);
+        }
+        assert_eq!(paths, ["/healthz", "/v1/solve", "/statusz"]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn try_parse_waits_for_incomplete_heads_and_bodies() {
+        assert!(try_parse(b"GET /health").unwrap().is_none());
+        assert!(try_parse(b"").unwrap().is_none());
+        // Head complete, declared body still in flight.
+        let partial = b"POST /v1/solve HTTP/1.1\r\nContent-Length: 10\r\n\r\n{\"a\"";
+        assert!(try_parse(partial).unwrap().is_none());
+        // Once the body arrives the request parses whole.
+        let full = b"POST /v1/solve HTTP/1.1\r\nContent-Length: 10\r\n\r\n{\"a\":1234}";
+        let (req, used) = try_parse(full).unwrap().unwrap();
+        assert_eq!(req.body_text(), "{\"a\":1234}");
+        assert_eq!(used, full.len());
+    }
+
+    #[test]
+    fn try_parse_rejects_bad_syntax_and_oversize() {
+        assert!(matches!(
+            try_parse(b"NONSENSE\r\n\r\n"),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(
+            try_parse(b"GET / SPDY/3\r\n\r\n"),
+            Err(ParseError::Bad(_))
+        ));
+        let huge_head = format!("GET / HTTP/1.1\r\nX: {}", "y".repeat(MAX_HEAD_BYTES));
+        assert!(matches!(
+            try_parse(huge_head.as_bytes()),
+            Err(ParseError::TooLarge)
+        ));
+        let big_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            try_parse(big_body.as_bytes()),
+            Err(ParseError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn try_parse_matches_read_request_on_a_full_request() {
+        let wire = "POST /v1/solve HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n{}";
+        let blocking = parse(wire).unwrap();
+        let (buffered, used) = try_parse(wire.as_bytes()).unwrap().unwrap();
+        assert_eq!(blocking, buffered);
+        assert_eq!(used, wire.len());
+    }
+
+    #[test]
     fn response_serializes_with_default_headers() {
         let mut out = Vec::new();
         Response::json(200, "{\"ok\":true}")
@@ -344,7 +473,7 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_served_codes() {
-        for code in [200, 400, 404, 405, 413, 500, 503, 504] {
+        for code in [200, 201, 202, 400, 404, 405, 413, 500, 503, 504] {
             assert_ne!(reason(code), "Unknown", "{code}");
         }
         assert_eq!(reason(418), "Unknown");

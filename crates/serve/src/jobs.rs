@@ -1,0 +1,280 @@
+//! The async job API: bounded background sweeps with incremental
+//! progress.
+//!
+//! `POST /v1/jobs` accepts the same body as `/v1/sweep` but returns a
+//! job id immediately (`202`); the sweep runs on its own named thread
+//! via [`ApiContext::sweep_with_progress`], publishing every terminal
+//! seed to a [`ProgressFeed`]. Clients poll `GET /v1/jobs/{id}` for
+//! state and the final report, or `GET /v1/jobs/{id}/events?since=N`
+//! for the incremental event stream (cursor-based, so polling is
+//! idempotent and lossless). The final report is byte-identical to
+//! what a synchronous `/v1/sweep` with the same spec returns.
+//!
+//! Concurrency is bounded by [`crate::server::ServerConfig::max_jobs`];
+//! submissions past the cap are rejected with `503` + `Retry-After`,
+//! the same admission contract the request queue uses.
+
+use crate::api::{ApiContext, SweepRequest};
+use crate::dispatch::json_response;
+use crate::http::{Request, Response};
+use crate::server::Shared;
+use crate::signal;
+use parking_lot::Mutex;
+use serde::{Serialize as _, Value};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use wrsn_engine::ProgressFeed;
+
+/// Finished jobs kept for late polls; the oldest finished entry is
+/// evicted past this.
+const FINISHED_RETENTION: usize = 64;
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobPhase {
+    Running,
+    Done,
+    Failed,
+}
+
+impl JobPhase {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Failed => "failed",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct JobState {
+    phase: JobPhase,
+    report: Option<Value>,
+    error: Option<String>,
+}
+
+/// One submitted job: its progress feed plus the terminal state.
+#[derive(Debug)]
+struct JobEntry {
+    id: u64,
+    total: u64,
+    feed: Arc<ProgressFeed>,
+    state: Mutex<JobState>,
+}
+
+/// The job table: id allocation, the concurrency cap, and the handles
+/// shutdown joins.
+#[derive(Debug)]
+pub(crate) struct Jobs {
+    capacity: usize,
+    next_id: AtomicU64,
+    submitted: AtomicU64,
+    active: AtomicUsize,
+    table: Mutex<Vec<Arc<JobEntry>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Jobs {
+    /// An empty table admitting at most `capacity` concurrent jobs.
+    pub fn new(capacity: usize) -> Self {
+        Jobs {
+            capacity: capacity.max(1),
+            next_id: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+            table: Mutex::new(Vec::new()),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The concurrent-job cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently running.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Jobs accepted since startup.
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    fn get(&self, id: u64) -> Option<Arc<JobEntry>> {
+        self.table
+            .lock()
+            .iter()
+            .find(|e| e.id == id)
+            .map(Arc::clone)
+    }
+
+    fn insert(&self, entry: Arc<JobEntry>) {
+        let mut table = self.table.lock();
+        table.push(entry);
+        let finished = table
+            .iter()
+            .filter(|e| e.state.lock().phase != JobPhase::Running)
+            .count();
+        if finished > FINISHED_RETENTION {
+            if let Some(idx) = table
+                .iter()
+                .position(|e| e.state.lock().phase != JobPhase::Running)
+            {
+                table.remove(idx);
+            }
+        }
+    }
+
+    /// Joins every job thread spawned so far (shutdown path).
+    pub fn join_all(&self) {
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handles.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// `POST /v1/jobs`: validate the sweep spec, reserve a slot, spawn the
+/// job thread, answer `202` with the id.
+pub(crate) fn submit(request: &Request, shared: &Arc<Shared>) -> Response {
+    let body = request.body_text();
+    let parsed: Result<SweepRequest, _> = if body.trim().is_empty() {
+        Ok(SweepRequest::default())
+    } else {
+        serde_json::from_str(&body)
+    };
+    let req = match parsed {
+        Ok(req) => req,
+        Err(e) => return Response::error(400, &format!("invalid request body: {e}")),
+    };
+    if let Err(e) = ApiContext::validate_sweep(&req) {
+        return Response::error(e.status, &e.message);
+    }
+    if shared.stop.load(Ordering::SeqCst) || signal::shutdown_requested() {
+        return Response::error(503, "server shutting down").header("Retry-After", "1");
+    }
+    let jobs = &shared.jobs;
+    // Reserve the slot atomically so racing submits cannot overshoot.
+    if jobs
+        .active
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |a| {
+            (a < jobs.capacity).then_some(a + 1)
+        })
+        .is_err()
+    {
+        return Response::error(
+            503,
+            &format!("job capacity {} reached, try again", jobs.capacity),
+        )
+        .header("Retry-After", "1");
+    }
+    let id = jobs.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+    jobs.submitted.fetch_add(1, Ordering::Relaxed);
+    let feed = Arc::new(ProgressFeed::new(req.seeds));
+    let entry = Arc::new(JobEntry {
+        id,
+        total: req.seeds,
+        feed: Arc::clone(&feed),
+        state: Mutex::new(JobState {
+            phase: JobPhase::Running,
+            report: None,
+            error: None,
+        }),
+    });
+    jobs.insert(Arc::clone(&entry));
+    let total = req.seeds;
+    let worker_shared = Arc::clone(shared);
+    let worker_entry = Arc::clone(&entry);
+    let worker_req = req.clone();
+    let spawned = std::thread::Builder::new()
+        .name(format!("wrsn-serve-job-{id}"))
+        .spawn(move || run_job(&worker_entry, &worker_req, &worker_shared));
+    match spawned {
+        Ok(handle) => jobs.handles.lock().push(handle),
+        // Thread exhaustion: run inline; the submit answer is late but
+        // the job still completes and the contract holds.
+        Err(_) => run_job(&entry, &req, shared),
+    }
+    let body = Value::Object(vec![
+        ("id".to_string(), id.to_value()),
+        (
+            "state".to_string(),
+            Value::String(JobPhase::Running.as_str().to_string()),
+        ),
+        ("total".to_string(), total.to_value()),
+    ]);
+    json_response(202, &body)
+}
+
+fn run_job(entry: &Arc<JobEntry>, req: &SweepRequest, shared: &Arc<Shared>) {
+    let result = shared
+        .api
+        .sweep_with_progress(req, Some(Arc::clone(&entry.feed)));
+    {
+        let mut state = entry.state.lock();
+        match result {
+            Ok(outcome) => {
+                shared.metrics.add_cache(&outcome.cache);
+                state.phase = JobPhase::Done;
+                state.report = Some(outcome.body);
+                entry.feed.finish(None);
+            }
+            Err(e) => {
+                state.phase = JobPhase::Failed;
+                state.error = Some(e.message.clone());
+                entry.feed.finish(Some(e.message));
+            }
+        }
+    }
+    shared.jobs.active.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// `GET /v1/jobs/{id}`: state, progress counters, and — once done —
+/// the full sweep report (byte-identical to `/v1/sweep`).
+pub(crate) fn poll(id: u64, shared: &Shared) -> Response {
+    let Some(entry) = shared.jobs.get(id) else {
+        return Response::error(404, "no such job");
+    };
+    let snapshot = entry.feed.progress();
+    let state = entry.state.lock();
+    let mut fields = vec![
+        ("id".to_string(), entry.id.to_value()),
+        (
+            "state".to_string(),
+            Value::String(state.phase.as_str().to_string()),
+        ),
+        ("done".to_string(), snapshot.done.to_value()),
+        ("total".to_string(), entry.total.to_value()),
+    ];
+    if let Some(error) = &state.error {
+        fields.push(("error".to_string(), Value::String(error.clone())));
+    }
+    if let Some(report) = &state.report {
+        fields.push(("report".to_string(), report.clone()));
+    }
+    json_response(200, &Value::Object(fields))
+}
+
+/// `GET /v1/jobs/{id}/events?since=N`: the per-seed event stream from
+/// cursor `N`, plus the next cursor to poll with.
+pub(crate) fn events(id: u64, since: usize, shared: &Shared) -> Response {
+    let Some(entry) = shared.jobs.get(id) else {
+        return Response::error(404, "no such job");
+    };
+    let (next, events) = entry.feed.events_since(since);
+    let phase = entry.state.lock().phase;
+    let body = Value::Object(vec![
+        ("id".to_string(), entry.id.to_value()),
+        (
+            "state".to_string(),
+            Value::String(phase.as_str().to_string()),
+        ),
+        ("next".to_string(), next.to_value()),
+        ("events".to_string(), Value::Array(events)),
+    ]);
+    json_response(200, &body)
+}

@@ -1,10 +1,13 @@
 //! # wrsn-serve — a std-only HTTP serving layer
 //!
 //! Turns the one-shot experiment pipeline into a long-lived daemon: an
-//! HTTP/1.1 JSON service on [`std::net::TcpListener`] with a fixed-size
-//! worker thread pool, a bounded admission queue (overflow is rejected
-//! with `503` + `Retry-After`), and graceful shutdown (drain in-flight
-//! requests, then flush the shared [`wrsn_engine::ResultStore`]).
+//! HTTP/1.1 JSON service built on a readiness event loop — one reactor
+//! thread multiplexing every connection through `epoll` ([`sys`],
+//! [`reactor`](crate) internals) with per-connection state machines
+//! and full HTTP/1.1 pipelining — plus a fixed-size CPU worker pool
+//! behind a bounded admission queue (overflow is rejected with `503` +
+//! `Retry-After`), and graceful shutdown (drain in-flight requests,
+//! then flush the shared [`wrsn_engine::ResultStore`]).
 //!
 //! Endpoints:
 //!
@@ -15,14 +18,21 @@
 //!   [`wrsn_sim::FaultPlan`] knobs → [`wrsn_sim::SimReport`] metrics;
 //! - `POST /v1/sweep` — a small seed grid through the cached pipeline;
 //!   repeated identical requests return byte-identical bodies;
+//! - `POST /v1/jobs` — the same sweep spec, run asynchronously:
+//!   answers `202` with a job id immediately; `GET /v1/jobs/{id}`
+//!   polls state and the final report (byte-identical to `/v1/sweep`),
+//!   and `GET /v1/jobs/{id}/events?since=N` streams cursor-based
+//!   per-seed progress from the engine's progress feed;
 //! - `GET /v1/solvers` — the registry listing;
 //! - `GET /healthz`, `GET /statusz` — liveness and introspection
-//!   (uptime, worker/queue occupancy, per-endpoint request counts and
-//!   latency histograms, cumulative cache stats).
+//!   (uptime, worker/queue/connection/job occupancy, per-endpoint
+//!   request counts and latency histograms, cumulative cache stats).
 //!
-//! No dependencies beyond `std` and the workspace's own crates — the
-//! server builds offline. The [`client`] module holds the matching
-//! minimal HTTP client and the `loadgen` throughput/latency harness.
+//! No dependencies beyond `std`, the workspace's own crates, and a
+//! vendored shim over the `epoll`/`eventfd` syscalls — the server
+//! builds offline. The [`client`] module holds the matching minimal
+//! HTTP client (one-shot and persistent keep-alive connections) and
+//! the `loadgen` throughput/latency harness.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,15 +40,20 @@
 pub mod api;
 pub mod chaos;
 pub mod client;
+mod conn;
+mod dispatch;
 mod error;
 pub mod http;
+mod jobs;
 mod metrics;
 mod queue;
+mod reactor;
 mod server;
 pub mod signal;
+mod sys;
 
 pub use chaos::{ChaosDecision, ChaosPolicy, ChaosState};
 pub use error::ServeError;
-pub use metrics::{Histogram, Metrics};
+pub use metrics::{Histogram, Metrics, StatusGauges};
 pub use queue::BoundedQueue;
 pub use server::{Server, ServerConfig, ServerHandle};

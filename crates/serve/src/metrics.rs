@@ -132,15 +132,43 @@ pub struct Metrics {
 
 /// The endpoints tracked individually; anything else lands under
 /// `"other"`.
-const ENDPOINTS: [&str; 7] = [
+const ENDPOINTS: [&str; 8] = [
     "/v1/solve",
     "/v1/simulate",
     "/v1/sweep",
+    "/v1/jobs",
     "/v1/solvers",
     "/healthz",
     "/statusz",
     "other",
 ];
+
+/// Point-in-time occupancy gauges sampled by the caller for
+/// [`Metrics::to_statusz`] — they live in the server's shared state,
+/// not in the cumulative metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatusGauges {
+    /// Worker threads in the pool.
+    pub workers_total: usize,
+    /// Workers currently executing a request.
+    pub workers_busy: usize,
+    /// Dispatch jobs waiting in the admission queue.
+    pub queue_len: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Connections currently registered with the reactor.
+    pub conns_open: usize,
+    /// Connection cap (accepts beyond it are rejected with 503).
+    pub conns_max: usize,
+    /// Async jobs currently running.
+    pub jobs_active: usize,
+    /// Async jobs accepted since startup.
+    pub jobs_submitted: u64,
+    /// Concurrent async job cap.
+    pub jobs_max: usize,
+    /// Result-store entry count, when a store is attached.
+    pub store_entries: Option<usize>,
+}
 
 impl Default for Metrics {
     fn default() -> Self {
@@ -169,12 +197,19 @@ impl Metrics {
     }
 
     /// The stats bucket for `path` (unknown paths share `"other"`).
+    /// Job paths carry an id (`/v1/jobs/3/events`), so anything under
+    /// `/v1/jobs` folds into that one bucket.
     #[must_use]
     pub fn endpoint(&self, path: &str) -> &EndpointStats {
+        let name = if path.starts_with("/v1/jobs") {
+            "/v1/jobs"
+        } else {
+            path
+        };
         self.endpoints
             .iter()
-            .find(|(name, _)| *name == path)
-            .or_else(|| self.endpoints.iter().find(|(name, _)| *name == "other"))
+            .find(|(n, _)| *n == name)
+            .or_else(|| self.endpoints.iter().find(|(n, _)| *n == "other"))
             .map(|(_, stats)| stats)
             .expect("\"other\" is always present")
     }
@@ -213,17 +248,11 @@ impl Metrics {
         self.start.elapsed().as_secs_f64()
     }
 
-    /// The full `/statusz` document. Worker/queue occupancy and store
-    /// size are sampled by the caller (they live outside the metrics).
+    /// The full `/statusz` document. Occupancy gauges (workers, queue,
+    /// connections, jobs, store size) are sampled by the caller — they
+    /// live outside the metrics.
     #[must_use]
-    pub fn to_statusz(
-        &self,
-        workers_total: usize,
-        workers_busy: usize,
-        queue_len: usize,
-        queue_capacity: usize,
-        store_entries: Option<usize>,
-    ) -> Value {
+    pub fn to_statusz(&self, gauges: &StatusGauges) -> Value {
         let endpoints: Vec<(String, Value)> = self
             .endpoints
             .iter()
@@ -251,7 +280,7 @@ impl Metrics {
             ("misses".to_string(), cache.misses.to_value()),
             ("appended".to_string(), cache.appended.to_value()),
         ];
-        if let Some(entries) = store_entries {
+        if let Some(entries) = gauges.store_entries {
             cache_fields.push(("entries".to_string(), entries.to_value()));
         }
         Value::Object(vec![
@@ -264,15 +293,30 @@ impl Metrics {
             (
                 "workers".to_string(),
                 Value::Object(vec![
-                    ("total".to_string(), workers_total.to_value()),
-                    ("busy".to_string(), workers_busy.to_value()),
+                    ("total".to_string(), gauges.workers_total.to_value()),
+                    ("busy".to_string(), gauges.workers_busy.to_value()),
                 ]),
             ),
             (
                 "queue".to_string(),
                 Value::Object(vec![
-                    ("depth".to_string(), queue_len.to_value()),
-                    ("capacity".to_string(), queue_capacity.to_value()),
+                    ("depth".to_string(), gauges.queue_len.to_value()),
+                    ("capacity".to_string(), gauges.queue_capacity.to_value()),
+                ]),
+            ),
+            (
+                "conns".to_string(),
+                Value::Object(vec![
+                    ("open".to_string(), gauges.conns_open.to_value()),
+                    ("max".to_string(), gauges.conns_max.to_value()),
+                ]),
+            ),
+            (
+                "jobs".to_string(),
+                Value::Object(vec![
+                    ("active".to_string(), gauges.jobs_active.to_value()),
+                    ("submitted".to_string(), gauges.jobs_submitted.to_value()),
+                    ("max".to_string(), gauges.jobs_max.to_value()),
                 ]),
             ),
             (
@@ -336,6 +380,11 @@ mod tests {
         assert_eq!(solve.requests.load(Ordering::Relaxed), 2);
         assert_eq!(solve.errors.load(Ordering::Relaxed), 1);
         assert_eq!(m.endpoint("/unknown").requests.load(Ordering::Relaxed), 1);
+        // Job paths carry ids but share one bucket.
+        m.record("/v1/jobs", 202, 10);
+        m.record("/v1/jobs/3", 200, 10);
+        m.record("/v1/jobs/3/events?since=2", 200, 10);
+        assert_eq!(m.endpoint("/v1/jobs").requests.load(Ordering::Relaxed), 3);
     }
 
     #[test]
@@ -354,7 +403,18 @@ mod tests {
         });
         m.timeouts.fetch_add(2, Ordering::Relaxed);
         m.keepalive_reuses.fetch_add(3, Ordering::Relaxed);
-        let v = m.to_statusz(4, 2, 1, 64, Some(5));
+        let v = m.to_statusz(&StatusGauges {
+            workers_total: 4,
+            workers_busy: 2,
+            queue_len: 1,
+            queue_capacity: 64,
+            conns_open: 17,
+            conns_max: 4096,
+            jobs_active: 1,
+            jobs_submitted: 3,
+            jobs_max: 8,
+            store_entries: Some(5),
+        });
         assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
         assert_eq!(v.get("timeouts").and_then(Value::as_u64), Some(2));
         assert_eq!(v.get("chaos_faults").and_then(Value::as_u64), Some(0));
@@ -362,6 +422,12 @@ mod tests {
         let workers = v.get("workers").unwrap();
         assert_eq!(workers.get("total").and_then(Value::as_u64), Some(4));
         assert_eq!(workers.get("busy").and_then(Value::as_u64), Some(2));
+        let conns = v.get("conns").unwrap();
+        assert_eq!(conns.get("open").and_then(Value::as_u64), Some(17));
+        assert_eq!(conns.get("max").and_then(Value::as_u64), Some(4096));
+        let jobs = v.get("jobs").unwrap();
+        assert_eq!(jobs.get("active").and_then(Value::as_u64), Some(1));
+        assert_eq!(jobs.get("submitted").and_then(Value::as_u64), Some(3));
         let cache = v.get("cache").unwrap();
         assert_eq!(cache.get("hits").and_then(Value::as_u64), Some(9));
         assert_eq!(cache.get("entries").and_then(Value::as_u64), Some(5));

@@ -1,0 +1,489 @@
+//! The readiness event loop: one thread that owns the listener, every
+//! connection, and the epoll set.
+//!
+//! The reactor never computes a response itself — it accepts sockets,
+//! feeds bytes through each [`Conn`] state machine, pushes parsed
+//! requests onto the bounded admission queue, and stitches worker
+//! [`Completion`]s back into the owning connection's ordered write
+//! queue. Workers signal completions through the shared eventfd
+//! [`crate::sys::Waker`]; a 50 ms poll timeout doubles as the clock
+//! for idle sweeps and shutdown checks.
+//!
+//! Tokens are `generation << 32 | slot-index`, so a completion that
+//! arrives after its connection died (and the slot was reused) is
+//! recognized as stale and dropped instead of corrupting the new
+//! connection's pipeline.
+
+use crate::conn::{Conn, FlushStatus, Outgoing, Phase, ReadOutcome};
+use crate::dispatch::{Completion, DispatchJob};
+use crate::http::{ParseError, Request, Response};
+use crate::server::Shared;
+use crate::signal;
+use crate::sys::{event, Epoll};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Token for the listening socket.
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Token for the worker-completion eventfd.
+const WAKER_TOKEN: u64 = u64::MAX - 1;
+
+/// How long the reactor blocks in `epoll_wait`; bounds the latency of
+/// noticing a shutdown request with no traffic.
+const WAIT_MS: i32 = 50;
+/// How often idle/draining connections are swept.
+const SWEEP_EVERY: Duration = Duration::from_millis(500);
+/// How long shutdown waits for in-flight work and unflushed responses
+/// before abandoning unresponsive peers.
+const STOP_GRACE: Duration = Duration::from_secs(5);
+
+struct Slot {
+    gen: u32,
+    conn: Option<Conn>,
+}
+
+/// The reactor state; owned by the `wrsn-serve-reactor` thread.
+pub(crate) struct Reactor {
+    shared: Arc<Shared>,
+    epoll: Epoll,
+    listener: Option<TcpListener>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Requests dispatched to workers whose completions have not been
+    /// applied yet (across all connections).
+    inflight: usize,
+    stopping: bool,
+    stop_deadline: Option<Instant>,
+}
+
+impl Reactor {
+    pub fn new(listener: TcpListener, epoll: Epoll, shared: Arc<Shared>) -> Self {
+        Reactor {
+            shared,
+            epoll,
+            listener: Some(listener),
+            slots: Vec::new(),
+            free: Vec::new(),
+            inflight: 0,
+            stopping: false,
+            stop_deadline: None,
+        }
+    }
+
+    /// The event loop; returns once shutdown has drained.
+    pub fn run(mut self) {
+        {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            if self
+                .epoll
+                .add(listener.as_raw_fd(), LISTENER_TOKEN, event::READ)
+                .is_err()
+            {
+                return;
+            }
+        }
+        let _ = self
+            .epoll
+            .add(self.shared.waker.fd(), WAKER_TOKEN, event::READ);
+        let mut events = Vec::new();
+        let mut last_sweep = Instant::now();
+        loop {
+            if !self.stopping
+                && (self.shared.stop.load(Ordering::SeqCst) || signal::shutdown_requested())
+            {
+                self.stopping = true;
+                self.stop_deadline = Some(Instant::now() + STOP_GRACE);
+                if let Some(listener) = self.listener.take() {
+                    self.epoll.delete(listener.as_raw_fd());
+                }
+                // Workers drain the backlog, then exit on the closed
+                // queue; new parses get an inline 503.
+                self.shared.queue.close();
+            }
+            if self.stopping {
+                if self.quiescent() {
+                    break;
+                }
+                if self.stop_deadline.is_some_and(|d| Instant::now() >= d) {
+                    break;
+                }
+            }
+            events.clear();
+            if self.epoll.wait(&mut events, WAIT_MS).is_err() {
+                break;
+            }
+            for &(token, mask) in &events {
+                match token {
+                    LISTENER_TOKEN => self.accept_all(),
+                    WAKER_TOKEN => self.shared.waker.drain(),
+                    _ => self.service(token, mask),
+                }
+            }
+            self.apply_completions();
+            let now = Instant::now();
+            if now.saturating_duration_since(last_sweep) >= SWEEP_EVERY {
+                last_sweep = now;
+                self.sweep(now);
+            }
+        }
+        // Dropping the slots closes every remaining socket.
+    }
+
+    /// Shutdown is complete: nothing in flight, nothing left to write.
+    fn quiescent(&self) -> bool {
+        self.inflight == 0
+            && self.slots.iter().all(|slot| match &slot.conn {
+                None => true,
+                Some(conn) => {
+                    matches!(conn.phase, Phase::Draining { .. }) || !conn.has_pending_output()
+                }
+            })
+    }
+
+    fn token_of(&self, index: usize) -> u64 {
+        (u64::from(self.slots[index].gen) << 32) | index as u64
+    }
+
+    fn accept_all(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => self.admit(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                // Transient failure (e.g. EMFILE): give up this round;
+                // the level-triggered listener event retries next wait.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn admit(&mut self, mut stream: TcpStream) {
+        let shared = Arc::clone(&self.shared);
+        if shared.conns_open.load(Ordering::SeqCst) >= shared.max_conns {
+            // Admission control at the connection level: answer the 503
+            // inline (the socket is still blocking) and hang up.
+            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let response = Response::error(503, "connection limit reached, try again")
+                .header("Retry-After", "1");
+            let _ = response.write_to(&mut stream);
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        // Pipelined responses are many small writes on a long-lived
+        // socket; without TCP_NODELAY, Nagle holds each one for the
+        // peer's delayed ACK (~40 ms) and throughput collapses.
+        let _ = stream.set_nodelay(true);
+        let max_requests = if shared.keep_alive {
+            shared.keep_alive_max_requests
+        } else {
+            1
+        };
+        let index = self.free.pop().unwrap_or_else(|| {
+            self.slots.push(Slot { gen: 0, conn: None });
+            self.slots.len() - 1
+        });
+        let token = self.token_of(index);
+        let fd = stream.as_raw_fd();
+        let mut conn = Conn::new(stream, max_requests);
+        conn.interest = event::READ;
+        if self.epoll.add(fd, token, event::READ).is_err() {
+            self.free.push(index);
+            return;
+        }
+        self.slots[index].conn = Some(conn);
+        shared.conns_open.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn remove(&mut self, index: usize) {
+        let slot = &mut self.slots[index];
+        if let Some(conn) = slot.conn.take() {
+            self.epoll.delete(conn.stream.as_raw_fd());
+            slot.gen = slot.gen.wrapping_add(1);
+            self.free.push(index);
+            self.shared.conns_open.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn service(&mut self, token: u64, mask: u32) {
+        let index = (token & u64::from(u32::MAX)) as usize;
+        let gen = (token >> 32) as u32;
+        let valid = self
+            .slots
+            .get(index)
+            .is_some_and(|s| s.gen == gen && s.conn.is_some());
+        if !valid {
+            return;
+        }
+        if event::readable(mask) && !self.handle_readable(index) {
+            return;
+        }
+        if event::writable(mask) {
+            self.settle(index);
+        }
+    }
+
+    /// Read-side progress on one connection. Returns whether the
+    /// connection is still alive.
+    fn handle_readable(&mut self, index: usize) -> bool {
+        let shared = Arc::clone(&self.shared);
+        enum AfterRead {
+            Dispatch(Vec<(usize, Request)>, ReadOutcome),
+            Remove,
+        }
+        let step = {
+            let conn = self.slots[index].conn.as_mut().expect("validated");
+            if matches!(conn.phase, Phase::Draining { .. }) {
+                match conn.drain_read() {
+                    FlushStatus::Close => AfterRead::Remove,
+                    FlushStatus::Keep => return true,
+                }
+            } else {
+                let outcome = conn.fill();
+                if outcome == ReadOutcome::Error {
+                    AfterRead::Remove
+                } else {
+                    match conn.take_requests() {
+                        Ok(parsed) => AfterRead::Dispatch(parsed, outcome),
+                        Err(e) => {
+                            let response = match e {
+                                ParseError::TooLarge => {
+                                    Some(Response::error(413, "request too large"))
+                                }
+                                ParseError::Bad(why) => Some(Response::error(400, &why)),
+                                // try_parse never produces Io; treat a
+                                // stray one as a dead socket.
+                                ParseError::Io(_) => None,
+                            };
+                            match response {
+                                None => AfterRead::Remove,
+                                Some(response) => {
+                                    shared.metrics.record("other", response.status, 0);
+                                    let seq = conn.fail_next_request();
+                                    conn.enqueue(
+                                        seq,
+                                        Outgoing {
+                                            bytes: response.serialize(false),
+                                            close: true,
+                                            drain: true,
+                                        },
+                                    );
+                                    AfterRead::Dispatch(Vec::new(), outcome)
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        match step {
+            AfterRead::Remove => {
+                self.remove(index);
+                false
+            }
+            AfterRead::Dispatch(parsed, outcome) => {
+                for (seq, request) in parsed {
+                    self.dispatch(index, seq, request);
+                }
+                if outcome == ReadOutcome::Eof && !self.handle_eof(index) {
+                    return false;
+                }
+                self.settle(index)
+            }
+        }
+    }
+
+    /// Hands one parsed request to the worker pool (or rejects it
+    /// inline when the queue is full or closed).
+    fn dispatch(&mut self, index: usize, seq: usize, request: Request) {
+        let shared = Arc::clone(&self.shared);
+        if seq > 0 {
+            shared
+                .metrics
+                .keepalive_reuses
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let token = self.token_of(index);
+        {
+            let conn = self.slots[index].conn.as_mut().expect("validated");
+            conn.in_flight += 1;
+        }
+        self.inflight += 1;
+        let job = DispatchJob {
+            token,
+            seq,
+            request,
+            started: Instant::now(),
+        };
+        if shared.queue.try_push(job).is_err() {
+            // Admission control: answer the 503 here so a full worker
+            // pool never delays the rejection.
+            self.inflight -= 1;
+            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            let response =
+                Response::error(503, "server busy, try again").header("Retry-After", "1");
+            let conn = self.slots[index].conn.as_mut().expect("validated");
+            conn.in_flight -= 1;
+            conn.close_after = Some(seq);
+            conn.read_closed = true;
+            conn.enqueue(
+                seq,
+                Outgoing {
+                    bytes: response.serialize(false),
+                    close: true,
+                    drain: true,
+                },
+            );
+        }
+    }
+
+    /// The peer closed its write side. Returns whether the connection
+    /// is still alive.
+    fn handle_eof(&mut self, index: usize) -> bool {
+        let shared = Arc::clone(&self.shared);
+        enum AfterEof {
+            Keep,
+            Remove,
+        }
+        let step = {
+            let conn = self.slots[index].conn.as_mut().expect("validated");
+            conn.read_closed = true;
+            if conn.has_buffered_input() {
+                // Leftover bytes that can never become a request.
+                let response = Response::error(400, "connection closed mid-head");
+                shared.metrics.record("other", response.status, 0);
+                let seq = conn.fail_next_request();
+                conn.enqueue(
+                    seq,
+                    Outgoing {
+                        bytes: response.serialize(false),
+                        close: true,
+                        drain: false,
+                    },
+                );
+                AfterEof::Keep
+            } else if conn.in_flight == 0 && !conn.has_pending_output() {
+                // Clean close between requests.
+                AfterEof::Remove
+            } else {
+                // Serve what is already in flight, then close.
+                if conn.next_seq > 0 {
+                    conn.close_after = Some(conn.next_seq - 1);
+                }
+                AfterEof::Keep
+            }
+        };
+        match step {
+            AfterEof::Remove => {
+                self.remove(index);
+                false
+            }
+            AfterEof::Keep => true,
+        }
+    }
+
+    /// Flushes pending output and refreshes the epoll interest mask.
+    /// Returns whether the connection is still alive.
+    fn settle(&mut self, index: usize) -> bool {
+        let status = {
+            let Some(conn) = self.slots[index].conn.as_mut() else {
+                return false;
+            };
+            conn.flush()
+        };
+        if status == FlushStatus::Close {
+            self.remove(index);
+            return false;
+        }
+        let update = {
+            let conn = self.slots[index].conn.as_ref().expect("just flushed");
+            let want = conn.interest_now();
+            (conn.interest != want).then(|| (conn.stream.as_raw_fd(), want))
+        };
+        if let Some((fd, want)) = update {
+            let token = self.token_of(index);
+            if self.epoll.modify(fd, token, want).is_err() {
+                self.remove(index);
+                return false;
+            }
+            self.slots[index]
+                .conn
+                .as_mut()
+                .expect("just flushed")
+                .interest = want;
+        }
+        true
+    }
+
+    /// Applies every completion the workers queued since the last pass.
+    fn apply_completions(&mut self) {
+        let completions: Vec<Completion> = std::mem::take(&mut *self.shared.completions.lock());
+        let shared = Arc::clone(&self.shared);
+        for completion in completions {
+            self.inflight = self.inflight.saturating_sub(1);
+            let index = (completion.token & u64::from(u32::MAX)) as usize;
+            let gen = (completion.token >> 32) as u32;
+            let valid = self
+                .slots
+                .get(index)
+                .is_some_and(|s| s.gen == gen && s.conn.is_some());
+            if !valid {
+                // The connection died while its request was running.
+                continue;
+            }
+            let stopping =
+                self.stopping || shared.stop.load(Ordering::SeqCst) || signal::shutdown_requested();
+            {
+                let conn = self.slots[index].conn.as_mut().expect("validated");
+                conn.in_flight = conn.in_flight.saturating_sub(1);
+                let keep = shared.keep_alive
+                    && completion.seq + 1 < conn.max_requests
+                    && conn.close_after.is_none_or(|ca| completion.seq < ca)
+                    && !stopping;
+                let outgoing = if completion.truncate {
+                    // Cut the serialized response in half and hang up:
+                    // the client sees a short read, not a valid short
+                    // body.
+                    let bytes = completion.response.serialize(false);
+                    let cut = (bytes.len() / 2).max(1);
+                    Outgoing {
+                        bytes: bytes[..cut].to_vec(),
+                        close: true,
+                        drain: false,
+                    }
+                } else {
+                    Outgoing {
+                        bytes: completion.response.serialize(keep),
+                        close: !keep,
+                        drain: false,
+                    }
+                };
+                conn.enqueue(completion.seq, outgoing);
+            }
+            self.settle(index);
+        }
+    }
+
+    /// Closes connections past their idle or draining deadline.
+    fn sweep(&mut self, now: Instant) {
+        for index in 0..self.slots.len() {
+            let expired = self.slots[index]
+                .conn
+                .as_ref()
+                .is_some_and(|c| c.expired(now, self.shared.keep_alive_idle));
+            if expired {
+                self.remove(index);
+            }
+        }
+    }
+}

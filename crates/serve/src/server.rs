@@ -1,46 +1,43 @@
-//! The server: listener, acceptor, bounded admission queue, worker
-//! pool, routing, and graceful shutdown.
+//! The server: configuration, startup, shared state, and graceful
+//! shutdown around the readiness reactor.
 //!
-//! Threading model: one acceptor thread polls a non-blocking
-//! [`TcpListener`] (so it can notice shutdown between connections) and
-//! pushes accepted sockets onto a [`BoundedQueue`]; on overflow it
-//! answers `503` + `Retry-After` itself, inline, so rejection stays
-//! cheap no matter how busy the workers are. A fixed pool of worker
-//! threads pops sockets, serves one or more requests per connection
-//! (keep-alive, when enabled, with an idle timeout and a max-requests
-//! cap), routes each through [`ApiContext`], and closes. A per-request
-//! deadline ([`ServerConfig::request_timeout`]) turns slow handlers
-//! into `504`s instead of wedged workers, and an optional
-//! [`ChaosPolicy`] makes the server misbehave deterministically for
-//! resilience tests. Shutdown closes the queue; workers drain the
-//! backlog, finish in-flight requests, exit, and the shared result
-//! store is flushed to disk.
+//! Threading model: one reactor thread (`wrsn-serve-reactor`) owns the
+//! nonblocking listener and every connection, multiplexed through an
+//! epoll set (see [`crate::reactor`]); connections are per-socket
+//! state machines (read → parse → dispatch → buffered write,
+//! [`crate::conn`]) with full HTTP/1.1 pipelining. A fixed pool of CPU
+//! worker threads pops parsed requests off a [`BoundedQueue`] — the
+//! admission bound; overflow is answered `503` + `Retry-After` by the
+//! reactor inline — routes each through [`ApiContext`]
+//! ([`crate::dispatch`]), and hands the completion back through an
+//! eventfd wakeup. Long sweeps go through the bounded async job API
+//! ([`crate::jobs`]) on their own threads instead of occupying a
+//! worker for the whole run.
+//!
+//! A per-request deadline ([`ServerConfig::request_timeout`]) turns
+//! slow handlers into `504`s instead of wedged workers, and an
+//! optional [`ChaosPolicy`] makes the server misbehave
+//! deterministically for resilience tests. Shutdown closes the
+//! listener and the queue; workers drain the backlog, the reactor
+//! flushes in-flight responses, every thread (including job threads)
+//! joins, and the shared result store is flushed to disk.
 
-use crate::api::{ApiContext, ApiError, ApiOutcome, SimulateRequest, SolveRequest, SweepRequest};
-use crate::chaos::{ChaosDecision, ChaosPolicy, ChaosState};
-use crate::http::{read_request, ParseError, Request, Response};
+use crate::api::ApiContext;
+use crate::chaos::{ChaosPolicy, ChaosState};
+use crate::dispatch::{worker_loop, Completion, DispatchJob};
+use crate::jobs::Jobs;
 use crate::metrics::Metrics;
 use crate::queue::BoundedQueue;
+use crate::reactor::Reactor;
 use crate::signal;
+use crate::sys;
 use crate::ServeError;
-use serde::Deserialize;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
-
-/// How the acceptor sleeps between polls of a quiet listener. This
-/// bounds the accept latency a fresh connection can see, so it is kept
-/// small; at 1 kHz the idle polling cost is still negligible.
-const ACCEPT_POLL: Duration = Duration::from_millis(1);
-
-/// Per-connection socket timeouts — a stalled peer cannot pin a worker.
-const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
-
-/// How long to swallow unread request bytes before closing an
-/// error-answered connection (see [`drain_before_close`]).
-const DRAIN_TIMEOUT: Duration = Duration::from_millis(250);
+use std::time::Duration;
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -63,6 +60,12 @@ pub struct ServerConfig {
     /// How long a keep-alive connection may sit idle between requests
     /// before the server closes it.
     pub keep_alive_idle: Duration,
+    /// Most connections the reactor keeps open at once; accepts beyond
+    /// it are answered `503` + `Retry-After` and closed.
+    pub max_conns: usize,
+    /// Most async sweep jobs (`POST /v1/jobs`) running concurrently;
+    /// submissions past it are rejected with `503` + `Retry-After`.
+    pub max_jobs: usize,
     /// Deterministic misbehavior for resilience tests (`None` in
     /// production).
     pub chaos: Option<ChaosPolicy>,
@@ -78,23 +81,31 @@ impl Default for ServerConfig {
             keep_alive: false,
             keep_alive_max_requests: 32,
             keep_alive_idle: Duration::from_secs(5),
+            max_conns: 4096,
+            max_jobs: 8,
             chaos: None,
         }
     }
 }
 
-struct Shared {
-    api: ApiContext,
-    metrics: Metrics,
-    queue: BoundedQueue<TcpStream>,
-    busy: AtomicUsize,
-    workers: usize,
-    stop: AtomicBool,
-    request_timeout: Option<Duration>,
-    keep_alive: bool,
-    keep_alive_max_requests: usize,
-    keep_alive_idle: Duration,
-    chaos: Option<ChaosState>,
+/// State shared between the reactor, the worker pool, and job threads.
+pub(crate) struct Shared {
+    pub(crate) api: ApiContext,
+    pub(crate) metrics: Metrics,
+    pub(crate) queue: BoundedQueue<DispatchJob>,
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    pub(crate) waker: sys::Waker,
+    pub(crate) busy: AtomicUsize,
+    pub(crate) workers: usize,
+    pub(crate) stop: AtomicBool,
+    pub(crate) conns_open: AtomicUsize,
+    pub(crate) max_conns: usize,
+    pub(crate) request_timeout: Option<Duration>,
+    pub(crate) keep_alive: bool,
+    pub(crate) keep_alive_max_requests: usize,
+    pub(crate) keep_alive_idle: Duration,
+    pub(crate) chaos: Option<ChaosState>,
+    pub(crate) jobs: Jobs,
 }
 
 /// A running server. Dropping the handle without calling
@@ -106,45 +117,47 @@ pub struct Server;
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds, spawns the acceptor and worker pool, and returns the
+    /// Binds, spawns the reactor and worker pool, and returns the
     /// handle. The listener is ready (connections are accepted) before
     /// this returns.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Bind`] when the address cannot be bound;
-    /// [`ServeError::Config`] when the chaos policy is out of range.
+    /// [`ServeError::Bind`] when the address cannot be bound or the
+    /// epoll/eventfd setup fails; [`ServeError::Config`] when the
+    /// chaos policy is out of range.
     pub fn start(config: &ServerConfig, api: ApiContext) -> Result<ServerHandle, ServeError> {
         if let Some(chaos) = &config.chaos {
             chaos.validate().map_err(ServeError::Config)?;
         }
-        let listener = TcpListener::bind(&config.addr).map_err(|e| ServeError::Bind {
+        let bind_err = |message: String| ServeError::Bind {
             addr: config.addr.clone(),
-            message: e.to_string(),
-        })?;
-        let addr = listener.local_addr().map_err(|e| ServeError::Bind {
-            addr: config.addr.clone(),
-            message: e.to_string(),
-        })?;
+            message,
+        };
+        let listener = TcpListener::bind(&config.addr).map_err(|e| bind_err(e.to_string()))?;
+        let addr = listener.local_addr().map_err(|e| bind_err(e.to_string()))?;
         listener
             .set_nonblocking(true)
-            .map_err(|e| ServeError::Bind {
-                addr: config.addr.clone(),
-                message: format!("set_nonblocking: {e}"),
-            })?;
+            .map_err(|e| bind_err(format!("set_nonblocking: {e}")))?;
+        let epoll = sys::Epoll::new().map_err(|e| bind_err(format!("epoll_create1: {e}")))?;
+        let waker = sys::Waker::new().map_err(|e| bind_err(format!("eventfd: {e}")))?;
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             api,
             metrics: Metrics::new(),
             queue: BoundedQueue::new(config.queue_depth.max(1)),
+            completions: Mutex::new(Vec::new()),
+            waker,
             busy: AtomicUsize::new(0),
             workers,
             stop: AtomicBool::new(false),
+            conns_open: AtomicUsize::new(0),
+            max_conns: config.max_conns.max(1),
             request_timeout: config.request_timeout,
             keep_alive: config.keep_alive,
             keep_alive_max_requests: config.keep_alive_max_requests.max(1),
@@ -154,14 +167,15 @@ impl Server {
                 .clone()
                 .filter(|p| !p.is_empty())
                 .map(ChaosState::new),
+            jobs: Jobs::new(config.max_jobs),
         });
 
-        let acceptor = {
+        let reactor = {
             let shared = shared.clone();
             std::thread::Builder::new()
-                .name("wrsn-serve-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared))
-                .expect("spawning the acceptor thread")
+                .name("wrsn-serve-reactor".to_string())
+                .spawn(move || Reactor::new(listener, epoll, shared).run())
+                .expect("spawning the reactor thread")
         };
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
@@ -175,243 +189,9 @@ impl Server {
         Ok(ServerHandle {
             addr,
             shared,
-            acceptor: Some(acceptor),
+            reactor: Some(reactor),
             workers: handles,
         })
-    }
-}
-
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
-    loop {
-        if shared.stop.load(Ordering::SeqCst) || signal::shutdown_requested() {
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
-                let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-                if let Err(mut rejected) = shared.queue.try_push(stream) {
-                    // Admission control: answer the 503 here so a full
-                    // worker pool never delays the rejection.
-                    shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                    let response =
-                        Response::error(503, "server busy, try again").header("Retry-After", "1");
-                    let _ = response.write_to(&mut rejected);
-                    drain_before_close(&mut rejected);
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(_) => {
-                // Transient accept failure (e.g. EMFILE): back off a
-                // little and keep serving.
-                std::thread::sleep(ACCEPT_POLL);
-            }
-        }
-    }
-    // No more admissions; workers drain what was already accepted.
-    shared.queue.close();
-}
-
-fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(mut stream) = shared.queue.pop() {
-        shared.busy.fetch_add(1, Ordering::SeqCst);
-        handle_connection(&mut stream, shared);
-        shared.busy.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-fn handle_connection(stream: &mut TcpStream, shared: &Arc<Shared>) {
-    let max = if shared.keep_alive {
-        shared.keep_alive_max_requests
-    } else {
-        1
-    };
-    for served in 0..max {
-        if served > 0 {
-            // Between keep-alive requests an idle peer gets a shorter
-            // leash than the in-request socket timeout.
-            let _ = stream.set_read_timeout(Some(shared.keep_alive_idle));
-        }
-        let started = Instant::now();
-        let request = match read_request(stream) {
-            Ok(request) => request,
-            Err(e) => {
-                let response = match e {
-                    ParseError::TooLarge => Response::error(413, "request too large"),
-                    ParseError::Bad(why) => Response::error(400, &why),
-                    // Peer went away or idled out; nothing to answer.
-                    ParseError::Io(_) => return,
-                };
-                shared
-                    .metrics
-                    .record("other", response.status, elapsed_us(started));
-                let _ = response.write_to(stream);
-                drain_before_close(stream);
-                return;
-            }
-        };
-        if served > 0 {
-            shared
-                .metrics
-                .keepalive_reuses
-                .fetch_add(1, Ordering::Relaxed);
-            let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
-        }
-        let client_close = request
-            .header("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
-        let stopping = shared.stop.load(Ordering::SeqCst) || signal::shutdown_requested();
-        let keep = shared.keep_alive && served + 1 < max && !client_close && !stopping;
-
-        // Chaos touches only the API; probe endpoints stay honest so
-        // readiness checks keep working during a chaos run.
-        let decision = match &shared.chaos {
-            Some(chaos) if request.path.starts_with("/v1/") => chaos.decide(),
-            _ => ChaosDecision::NONE,
-        };
-        if let Some(delay) = decision.delay {
-            std::thread::sleep(delay);
-        }
-        let response = if decision.inject_fault {
-            shared.metrics.chaos_faults.fetch_add(1, Ordering::Relaxed);
-            Response::error(500, "chaos: injected fault").header("Retry-After", "1")
-        } else {
-            route_with_deadline(&request, shared)
-        };
-        shared
-            .metrics
-            .record(&request.path, response.status, elapsed_us(started));
-        if decision.truncate {
-            // Cut the serialized response in half and hang up: the
-            // client sees a short read, not a valid short body.
-            shared.metrics.chaos_faults.fetch_add(1, Ordering::Relaxed);
-            let bytes = response.serialize(false);
-            let cut = (bytes.len() / 2).max(1);
-            let _ = std::io::Write::write_all(stream, &bytes[..cut]);
-            let _ = std::io::Write::flush(stream);
-            return;
-        }
-        if response.write_to_with(stream, keep).is_err() || !keep {
-            return;
-        }
-    }
-}
-
-/// Routes the request, racing the handler against the configured
-/// deadline. On timeout the worker answers `504` immediately; the
-/// handler finishes on its detached thread and its result is dropped.
-fn route_with_deadline(request: &Request, shared: &Arc<Shared>) -> Response {
-    let Some(timeout) = shared.request_timeout else {
-        return route(request, shared);
-    };
-    let (tx, rx) = std::sync::mpsc::channel();
-    let req = request.clone();
-    let worker_shared = Arc::clone(shared);
-    let spawned = std::thread::Builder::new()
-        .name("wrsn-serve-handler".to_string())
-        .spawn(move || {
-            let _ = tx.send(route(&req, &worker_shared));
-        });
-    if spawned.is_err() {
-        // Thread exhaustion: degrade to inline handling rather than
-        // failing the request.
-        return route(request, shared);
-    }
-    match rx.recv_timeout(timeout) {
-        Ok(response) => response,
-        Err(_) => {
-            shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
-            Response::error(504, "request deadline exceeded").header("Retry-After", "1")
-        }
-    }
-}
-
-fn elapsed_us(started: Instant) -> u64 {
-    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
-}
-
-/// Half-closes and swallows whatever the peer has left of its request.
-///
-/// Needed when a response was written *before* the request was fully
-/// read (overflow 503s, 413s): closing a socket with unread bytes
-/// pending sends an RST, which can destroy the response before the
-/// peer reads it. Bounded by [`DRAIN_TIMEOUT`] so a stalled peer
-/// cannot pin the caller.
-fn drain_before_close(stream: &mut TcpStream) {
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(DRAIN_TIMEOUT));
-    let deadline = Instant::now() + DRAIN_TIMEOUT;
-    let mut sink = [0u8; 1024];
-    while let Ok(n) = std::io::Read::read(stream, &mut sink) {
-        if n == 0 || Instant::now() >= deadline {
-            break;
-        }
-    }
-}
-
-fn route(request: &Request, shared: &Shared) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}"),
-        ("GET", "/statusz") => {
-            let body = shared.metrics.to_statusz(
-                shared.workers,
-                shared.busy.load(Ordering::SeqCst),
-                shared.queue.len(),
-                shared.queue.capacity(),
-                shared.api.store.as_ref().map(|s| s.len()),
-            );
-            json_response(200, &body)
-        }
-        ("GET", "/v1/solvers") => json_response(200, &shared.api.solvers().body),
-        ("POST", "/v1/solve") => {
-            handle_api(request, shared, |api, req: &SolveRequest| api.solve(req))
-        }
-        ("POST", "/v1/simulate") => handle_api(request, shared, |api, req: &SimulateRequest| {
-            api.simulate(req)
-        }),
-        ("POST", "/v1/sweep") => {
-            handle_api(request, shared, |api, req: &SweepRequest| api.sweep(req))
-        }
-        ("GET", "/v1/solve" | "/v1/simulate" | "/v1/sweep") => {
-            Response::error(405, "use POST with a JSON body")
-        }
-        ("POST", "/healthz" | "/statusz" | "/v1/solvers") => Response::error(405, "use GET"),
-        _ => Response::error(404, "no such endpoint"),
-    }
-}
-
-fn json_response(status: u16, body: &serde::Value) -> Response {
-    Response::json(
-        status,
-        serde_json::to_string(body).expect("a Value always serializes"),
-    )
-}
-
-fn handle_api<R, F>(request: &Request, shared: &Shared, handler: F) -> Response
-where
-    R: Deserialize + Default,
-    F: FnOnce(&ApiContext, &R) -> Result<ApiOutcome, ApiError>,
-{
-    let body = request.body_text();
-    let parsed: Result<R, _> = if body.trim().is_empty() {
-        Ok(R::default())
-    } else {
-        serde_json::from_str(&body)
-    };
-    let req = match parsed {
-        Ok(req) => req,
-        Err(e) => return Response::error(400, &format!("invalid request body: {e}")),
-    };
-    match handler(&shared.api, &req) {
-        Ok(outcome) => {
-            shared.metrics.add_cache(&outcome.cache);
-            json_response(200, &outcome.body)
-                .header("x-cache-hits", outcome.cache.hits.to_string())
-                .header("x-cache-misses", outcome.cache.misses.to_string())
-        }
-        Err(e) => Response::error(e.status, &e.message),
     }
 }
 
@@ -429,7 +209,8 @@ impl ServerHandle {
     }
 
     /// Stops accepting, drains queued and in-flight requests, joins
-    /// every thread, and flushes the shared result store.
+    /// every thread (reactor, workers, job threads), and flushes the
+    /// shared result store.
     ///
     /// # Errors
     ///
@@ -437,12 +218,17 @@ impl ServerHandle {
     /// threads are already joined by then).
     pub fn shutdown(mut self) -> Result<(), ServeError> {
         self.shared.stop.store(true, Ordering::SeqCst);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        self.shared.waker.wake();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
+        // The reactor closes the queue on its way out; repeat here in
+        // case it died early, so the workers still unblock.
+        self.shared.queue.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        self.shared.jobs.join_all();
         if let Some(store) = &self.shared.api.store {
             store.sync()?;
         }
@@ -679,5 +465,123 @@ mod tests {
             Err(err) => assert!(matches!(err, ServeError::Config(_)), "{err}"),
             Ok(_) => panic!("out-of-range chaos probability was accepted"),
         }
+    }
+
+    #[test]
+    fn pipelined_requests_answer_in_order_on_one_connection() {
+        use std::io::{Read as _, Write as _};
+        let server = start_with(ServerConfig {
+            workers: 4,
+            keep_alive: true,
+            keep_alive_max_requests: 16,
+            ..ServerConfig::default()
+        });
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Write three requests back-to-back before reading anything;
+        // the last one closes the connection.
+        stream
+            .write_all(
+                b"GET /healthz HTTP/1.1\r\n\r\n\
+                  GET /nope HTTP/1.1\r\n\r\n\
+                  GET /statusz HTTP/1.1\r\nConnection: close\r\n\r\n",
+            )
+            .unwrap();
+        let mut wire = Vec::new();
+        stream.read_to_end(&mut wire).unwrap();
+        let text = String::from_utf8_lossy(&wire);
+        let statuses: Vec<&str> = text
+            .split("HTTP/1.1 ")
+            .skip(1)
+            .map(|chunk| &chunk[..3])
+            .collect();
+        assert_eq!(statuses, ["200", "404", "200"], "{text}");
+        assert!(
+            text.rfind("Connection: close").unwrap() > text.rfind("HTTP/1.1 200").unwrap(),
+            "final response closes: {text}"
+        );
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn max_conns_overflow_is_rejected_with_503() {
+        let server = start_with(ServerConfig {
+            workers: 1,
+            keep_alive: true,
+            max_conns: 1,
+            ..ServerConfig::default()
+        });
+        use std::io::Read as _;
+        // Occupy the single slot with an idle keep-alive connection.
+        let _held = std::net::TcpStream::connect(server.addr()).unwrap();
+        // Give the reactor a beat to register it.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut second = std::net::TcpStream::connect(server.addr()).unwrap();
+        second
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut wire = Vec::new();
+        second.read_to_end(&mut wire).unwrap();
+        let text = String::from_utf8_lossy(&wire);
+        assert!(text.starts_with("HTTP/1.1 503"), "{text}");
+        assert!(text.contains("Retry-After: 1"), "{text}");
+        assert!(
+            server
+                .metrics()
+                .rejected
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 1
+        );
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn job_round_trip_submits_polls_and_streams_events() {
+        let server = start(2, 8);
+        let addr = server.addr().to_string();
+        let spec = "{\"instance\": {\"posts\": 5, \"nodes\": 12, \"field\": 150.0}, \"seeds\": 3}";
+        let resp = request(&addr, "POST", "/v1/jobs", Some(spec)).unwrap();
+        assert_eq!(resp.status, 202, "{}", resp.body);
+        let v: serde::Value = serde_json::from_str(&resp.body).unwrap();
+        let id = v.get("id").and_then(serde::Value::as_u64).unwrap();
+        assert_eq!(v.get("total").and_then(serde::Value::as_u64), Some(3));
+        // Poll until done.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let report = loop {
+            assert!(std::time::Instant::now() < deadline, "job never finished");
+            let resp = request(&addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+            assert_eq!(resp.status, 200);
+            let v: serde::Value = serde_json::from_str(&resp.body).unwrap();
+            match v.get("state").and_then(serde::Value::as_str) {
+                Some("done") => break resp.body,
+                Some("running") => std::thread::sleep(Duration::from_millis(20)),
+                other => panic!("unexpected job state {other:?}: {}", resp.body),
+            }
+        };
+        assert!(report.contains("\"report\""));
+        // The event stream saw every seed, cursored from zero.
+        let resp = request(&addr, "GET", &format!("/v1/jobs/{id}/events?since=0"), None).unwrap();
+        assert_eq!(resp.status, 200);
+        let v: serde::Value = serde_json::from_str(&resp.body).unwrap();
+        let events = v.get("events").and_then(serde::Value::as_array).unwrap();
+        assert_eq!(events.len(), 3, "{}", resp.body);
+        assert_eq!(v.get("next").and_then(serde::Value::as_u64), Some(3));
+        // Cursoring past the end returns an empty page.
+        let resp = request(&addr, "GET", &format!("/v1/jobs/{id}/events?since=3"), None).unwrap();
+        let v: serde::Value = serde_json::from_str(&resp.body).unwrap();
+        let events = v.get("events").and_then(serde::Value::as_array).unwrap();
+        assert!(events.is_empty());
+        // Unknown ids and malformed ids are client errors.
+        assert_eq!(
+            request(&addr, "GET", "/v1/jobs/9999", None).unwrap().status,
+            404
+        );
+        assert_eq!(
+            request(&addr, "GET", "/v1/jobs/abc", None).unwrap().status,
+            400
+        );
+        server.shutdown().unwrap();
     }
 }

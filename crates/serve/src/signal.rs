@@ -1,8 +1,9 @@
 //! Minimal SIGINT/SIGTERM notification without external crates.
 //!
 //! Installing the handler flips a process-global [`AtomicBool`]; the
-//! server's acceptor polls it between `accept` attempts. This is the
-//! only place in the workspace that touches `unsafe` — one `libc`
+//! server's reactor polls it between readiness waits. Together with
+//! the epoll/eventfd wrappers in `sys.rs` this is one of the two
+//! places in the workspace that touch `unsafe` — one `libc`
 //! `signal(2)` registration per signal, with a handler that does
 //! nothing but a relaxed atomic store (async-signal-safe).
 

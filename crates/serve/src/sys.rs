@@ -1,0 +1,253 @@
+//! Safe wrappers over the raw `epoll(7)`/`eventfd(2)` FFI from the
+//! vendored `libc` shim: an [`Epoll`] readiness set and an eventfd
+//! [`Waker`] for cross-thread reactor wakeups.
+//!
+//! Together with `signal.rs` this is one of the two places in the
+//! workspace that touch `unsafe` — each call site wraps exactly one
+//! syscall whose arguments are owned, correctly-sized buffers, and
+//! both types close their file descriptor on drop.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Readiness interest / event bits re-exported as a plain mask.
+pub mod event {
+    /// The fd has data to read (or a pending accept).
+    pub const READ: u32 = libc::EPOLLIN | libc::EPOLLRDHUP;
+    /// The fd can accept more written bytes.
+    pub const WRITE: u32 = libc::EPOLLOUT;
+
+    /// Whether a readiness mask signals readable data, a peer hangup,
+    /// or an error condition — all of which a read must observe.
+    #[must_use]
+    pub fn readable(mask: u32) -> bool {
+        mask & (libc::EPOLLIN | libc::EPOLLRDHUP | libc::EPOLLERR | libc::EPOLLHUP) != 0
+    }
+
+    /// Whether a readiness mask signals writability (or an error the
+    /// write path must observe).
+    #[must_use]
+    pub fn writable(mask: u32) -> bool {
+        mask & (libc::EPOLLOUT | libc::EPOLLERR | libc::EPOLLHUP) != 0
+    }
+}
+
+fn check(ret: libc::c_int) -> io::Result<libc::c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned `epoll` instance: register fds with a `u64` token and an
+/// interest mask, then [`wait`](Epoll::wait) for readiness events.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a fresh epoll instance (close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_create1` failure, as an [`io::Error`].
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: no pointers; returns an owned fd we close on drop.
+        let fd = check(unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: libc::c_int, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        let mut ev = libc::epoll_event {
+            events: interest,
+            u64: token,
+        };
+        // SAFETY: `ev` is a live, correctly-typed epoll_event for the
+        // duration of the call; the kernel copies it before returning.
+        check(unsafe { libc::epoll_ctl(self.fd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` with the given token and interest mask.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` failure, as an [`io::Error`].
+    pub fn add(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(libc::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Replaces the interest mask of an already-registered `fd`.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` failure, as an [`io::Error`].
+    pub fn modify(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(libc::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Deregisters `fd`. Harmless to call for an fd the kernel already
+    /// dropped from the set (closing an fd deregisters it implicitly).
+    pub fn delete(&self, fd: RawFd) {
+        let _ = self.ctl(libc::EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Blocks up to `timeout_ms` for readiness, appending `(token,
+    /// readiness-mask)` pairs to `out`. Interrupted waits (`EINTR`, e.g.
+    /// a signal landing on this thread) return cleanly with no events.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_wait` failure, as an [`io::Error`].
+    pub fn wait(&self, out: &mut Vec<(u64, u32)>, timeout_ms: i32) -> io::Result<()> {
+        const CAPACITY: usize = 1024;
+        let mut events = [libc::epoll_event { events: 0, u64: 0 }; CAPACITY];
+        // SAFETY: the buffer outlives the call and its length is passed
+        // alongside it; the kernel fills at most `CAPACITY` entries.
+        let n = unsafe {
+            libc::epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                CAPACITY as libc::c_int,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for ev in events.iter().take(n as usize) {
+            // Copy out of the (possibly packed) struct before use.
+            let token = ev.u64;
+            let mask = ev.events;
+            out.push((token, mask));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: `fd` is owned by this instance and closed once.
+        unsafe { libc::close(self.fd) };
+    }
+}
+
+/// A cross-thread reactor wakeup built on `eventfd`: workers call
+/// [`wake`](Waker::wake) after queuing a completion, the reactor
+/// registers [`fd`](Waker::fd) for readiness and [`drain`](Waker::drain)s
+/// the counter when it fires.
+#[derive(Debug)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Creates a nonblocking, close-on-exec eventfd.
+    ///
+    /// # Errors
+    ///
+    /// The `eventfd` failure, as an [`io::Error`].
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: no pointers; returns an owned fd we close on drop.
+        let fd = check(unsafe { libc::eventfd(0, libc::EFD_CLOEXEC | libc::EFD_NONBLOCK) })?;
+        Ok(Waker { fd })
+    }
+
+    /// The fd to register with the reactor's [`Epoll`].
+    #[must_use]
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Signals the reactor. Safe to call from any thread; failures are
+    /// ignored (the reactor also wakes on its poll timeout).
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes 8 owned bytes, the eventfd wire format.
+        unsafe {
+            libc::write(
+                self.fd,
+                std::ptr::addr_of!(one).cast::<libc::c_void>(),
+                std::mem::size_of::<u64>(),
+            );
+        }
+    }
+
+    /// Resets the counter so the next [`wake`](Waker::wake) re-arms the
+    /// readiness edge.
+    pub fn drain(&self) {
+        let mut counter: u64 = 0;
+        // SAFETY: reads 8 bytes into an owned, correctly-sized buffer.
+        unsafe {
+            libc::read(
+                self.fd,
+                std::ptr::addr_of_mut!(counter).cast::<libc::c_void>(),
+                std::mem::size_of::<u64>(),
+            );
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: `fd` is owned by this instance and closed once.
+        unsafe { libc::close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn waker_readiness_round_trips_through_epoll() {
+        let epoll = Epoll::new().unwrap();
+        let waker = Waker::new().unwrap();
+        epoll.add(waker.fd(), 7, event::READ).unwrap();
+        let mut events = Vec::new();
+        epoll.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "nothing signalled yet");
+        waker.wake();
+        waker.wake();
+        epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(events.len(), 1, "coalesced into one readiness event");
+        assert_eq!(events[0].0, 7);
+        assert!(event::readable(events[0].1));
+        // Draining re-arms the edge.
+        waker.drain();
+        events.clear();
+        epoll.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn socket_readiness_is_reported_with_its_token() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll.add(listener.as_raw_fd(), 1, event::READ).unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut events = Vec::new();
+        epoll.wait(&mut events, 1000).unwrap();
+        assert!(events.iter().any(|&(t, m)| t == 1 && event::readable(m)));
+        let (peer, _) = listener.accept().unwrap();
+        peer.set_nonblocking(true).unwrap();
+        epoll.add(peer.as_raw_fd(), 2, event::READ).unwrap();
+        client.write_all(b"ping").unwrap();
+        events.clear();
+        epoll.wait(&mut events, 1000).unwrap();
+        assert!(events.iter().any(|&(t, m)| t == 2 && event::readable(m)));
+        epoll.delete(peer.as_raw_fd());
+    }
+}

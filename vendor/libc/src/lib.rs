@@ -1,0 +1,80 @@
+//! Offline stand-in for the `libc` crate, exposing only the raw
+//! `epoll(7)`/`eventfd(2)` surface `wrsn-serve`'s readiness event loop
+//! needs. Declarations mirror the Linux ABI; nothing here is invented —
+//! every constant and signature matches `<sys/epoll.h>` /
+//! `<sys/eventfd.h>` on the platforms the workspace targets.
+//!
+//! The crate itself only *declares* foreign functions; calling them is
+//! `unsafe` and is confined to the one `#[allow(unsafe_code)]` wrapper
+//! module inside `wrsn-serve`.
+
+#![no_std]
+#![allow(non_camel_case_types)]
+
+/// C `int`.
+pub type c_int = i32;
+/// C `void` (only ever used behind a pointer).
+pub type c_void = core::ffi::c_void;
+/// POSIX `ssize_t` on the 64-bit Linux targets this workspace builds.
+pub type ssize_t = isize;
+/// POSIX `size_t`.
+pub type size_t = usize;
+
+/// Readable readiness (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (`EPOLLERR`); always reported, no need to register.
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (`EPOLLHUP`); always reported, no need to register.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing half (`EPOLLRDHUP`).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// Register a new fd with an epoll instance.
+pub const EPOLL_CTL_ADD: c_int = 1;
+/// Deregister an fd.
+pub const EPOLL_CTL_DEL: c_int = 2;
+/// Change the event mask of a registered fd.
+pub const EPOLL_CTL_MOD: c_int = 3;
+/// Close-on-exec flag for [`epoll_create1`].
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+/// Close-on-exec flag for [`eventfd`].
+pub const EFD_CLOEXEC: c_int = 0o2000000;
+/// Nonblocking flag for [`eventfd`].
+pub const EFD_NONBLOCK: c_int = 0o4000;
+
+/// One `epoll_event` record. On x86-64 Linux the kernel ABI packs this
+/// struct; the attribute matches glibc's declaration.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// Caller-owned token returned verbatim with each event.
+    pub u64: u64,
+}
+
+extern "C" {
+    /// `epoll_create1(2)`: a new epoll instance, or -1 on error.
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    /// `epoll_ctl(2)`: add/modify/remove an fd's registration.
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    /// `epoll_wait(2)`: blocks up to `timeout` ms for readiness events.
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    /// `eventfd(2)`: a counter fd used as a cross-thread wakeup.
+    pub fn eventfd(initval: u32, flags: c_int) -> c_int;
+    /// `read(2)`.
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    /// `write(2)`.
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+    /// `close(2)`.
+    pub fn close(fd: c_int) -> c_int;
+}
