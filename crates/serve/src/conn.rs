@@ -154,11 +154,12 @@ impl Conn {
     /// sequence number. Stops at the keep-alive cap or an explicit
     /// `Connection: close`, after which remaining input is ignored.
     ///
-    /// # Errors
-    ///
-    /// The underlying [`http::ParseError`]; the caller answers it at
-    /// the sequence [`Conn::fail_next_request`] assigns.
-    pub fn take_requests(&mut self) -> Result<Vec<(usize, Request)>, http::ParseError> {
+    /// A parse failure is returned *with* the requests parsed before
+    /// it: those already consumed sequence numbers, so the caller must
+    /// dispatch them before answering the error at the sequence
+    /// [`Conn::fail_next_request`] assigns — otherwise the write window
+    /// has a permanent gap and the connection can never flush.
+    pub fn take_requests(&mut self) -> (Vec<(usize, Request)>, Option<http::ParseError>) {
         let mut parsed = Vec::new();
         while !self.read_closed {
             if self.next_seq >= self.max_requests {
@@ -166,8 +167,10 @@ impl Conn {
                 self.read_closed = true;
                 break;
             }
-            let Some((request, used)) = http::try_parse(&self.buf)? else {
-                break;
+            let (request, used) = match http::try_parse(&self.buf) {
+                Ok(Some(hit)) => hit,
+                Ok(None) => break,
+                Err(e) => return (parsed, Some(e)),
             };
             self.buf.drain(..used);
             let seq = self.next_seq;
@@ -181,13 +184,19 @@ impl Conn {
                 self.read_closed = true;
             }
         }
-        Ok(parsed)
+        (parsed, None)
     }
 
     /// Whether the input buffer still holds unparsed bytes (a partial
     /// request, or pipelined data past a close).
     pub fn has_buffered_input(&self) -> bool {
         !self.buf.is_empty()
+    }
+
+    /// Drops buffered input that will never become a request (pipelined
+    /// bytes past a `Connection: close` observed at EOF).
+    pub fn discard_input(&mut self) {
+        self.buf.clear();
     }
 
     /// Consumes the next sequence number for a request that failed
@@ -335,7 +344,8 @@ mod tests {
         // Give the kernel a beat to move the bytes.
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(conn.fill(), ReadOutcome::Open);
-        let reqs = conn.take_requests().unwrap();
+        let (reqs, err) = conn.take_requests();
+        assert!(err.is_none());
         let seqs: Vec<usize> = reqs.iter().map(|(s, _)| *s).collect();
         let paths: Vec<&str> = reqs.iter().map(|(_, r)| r.path.as_str()).collect();
         assert_eq!(seqs, [0, 1]);
@@ -352,7 +362,8 @@ mod tests {
             .unwrap();
         std::thread::sleep(Duration::from_millis(20));
         conn.fill();
-        let reqs = conn.take_requests().unwrap();
+        let (reqs, err) = conn.take_requests();
+        assert!(err.is_none());
         assert_eq!(reqs.len(), 1, "bytes after a close are ignored");
         assert_eq!(conn.close_after, Some(0));
         assert!(conn.read_closed);
@@ -367,10 +378,31 @@ mod tests {
             .unwrap();
         std::thread::sleep(Duration::from_millis(20));
         conn.fill();
-        let reqs = conn.take_requests().unwrap();
+        let (reqs, err) = conn.take_requests();
+        assert!(err.is_none());
         assert_eq!(reqs.len(), 2);
         assert_eq!(conn.close_after, Some(1));
         assert!(conn.read_closed);
+    }
+
+    #[test]
+    fn parse_error_keeps_the_valid_prefix() {
+        let (mut client, server) = pair();
+        let mut conn = Conn::new(server, 8);
+        client
+            .write_all(b"GET /a HTTP/1.1\r\n\r\nGARBAGE LINE\r\n\r\n")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        conn.fill();
+        let (reqs, err) = conn.take_requests();
+        assert!(err.is_some(), "the garbage request must surface an error");
+        assert_eq!(reqs.len(), 1, "the valid prefix survives the error");
+        assert_eq!(reqs[0].0, 0);
+        assert_eq!(reqs[0].1.path, "/a");
+        // The error response takes the next sequence, leaving the
+        // write window gap-free.
+        assert_eq!(conn.fail_next_request(), 1);
+        assert_eq!(conn.close_after, Some(1));
     }
 
     #[test]

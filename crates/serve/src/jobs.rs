@@ -194,7 +194,14 @@ pub(crate) fn submit(request: &Request, shared: &Arc<Shared>) -> Response {
         .name(format!("wrsn-serve-job-{id}"))
         .spawn(move || run_job(&worker_entry, &worker_req, &worker_shared));
     match spawned {
-        Ok(handle) => jobs.handles.lock().push(handle),
+        Ok(handle) => {
+            let mut handles = jobs.handles.lock();
+            // Reap finished threads opportunistically so a long-lived
+            // server does not accumulate one JoinHandle per job ever
+            // submitted; shutdown still joins whatever remains.
+            handles.retain(|h| !h.is_finished());
+            handles.push(handle);
+        }
         // Thread exhaustion: run inline; the submit answer is late but
         // the job still completes and the contract holds.
         Err(_) => run_job(&entry, &req, shared),

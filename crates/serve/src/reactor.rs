@@ -169,12 +169,16 @@ impl Reactor {
         let shared = Arc::clone(&self.shared);
         if shared.conns_open.load(Ordering::SeqCst) >= shared.max_conns {
             // Admission control at the connection level: answer the 503
-            // inline (the socket is still blocking) and hang up.
+            // best-effort and hang up. The write must never stall the
+            // reactor — a hostile peer that refuses to read simply
+            // loses the rejection body, which is acceptable.
             shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
             let response = Response::error(503, "connection limit reached, try again")
                 .header("Retry-After", "1");
-            let _ = response.write_to(&mut stream);
+            if stream.set_nonblocking(true).is_ok() {
+                use std::io::Write as _;
+                let _ = stream.write(&response.serialize(false));
+            }
             return;
         }
         if stream.set_nonblocking(true).is_err() {
@@ -253,9 +257,14 @@ impl Reactor {
                 if outcome == ReadOutcome::Error {
                     AfterRead::Remove
                 } else {
-                    match conn.take_requests() {
-                        Ok(parsed) => AfterRead::Dispatch(parsed, outcome),
-                        Err(e) => {
+                    // A parse error still yields the requests parsed
+                    // before it; they hold earlier sequence numbers, so
+                    // they must be dispatched for the error response's
+                    // slot to ever flush.
+                    let (parsed, error) = conn.take_requests();
+                    match error {
+                        None => AfterRead::Dispatch(parsed, outcome),
+                        Some(e) => {
                             let response = match e {
                                 ParseError::TooLarge => {
                                     Some(Response::error(413, "request too large"))
@@ -278,7 +287,7 @@ impl Reactor {
                                             drain: true,
                                         },
                                     );
-                                    AfterRead::Dispatch(Vec::new(), outcome)
+                                    AfterRead::Dispatch(parsed, outcome)
                                 }
                             }
                         }
@@ -357,9 +366,10 @@ impl Reactor {
         }
         let step = {
             let conn = self.slots[index].conn.as_mut().expect("validated");
+            let sealed = conn.read_closed;
             conn.read_closed = true;
-            if conn.has_buffered_input() {
-                // Leftover bytes that can never become a request.
+            if conn.has_buffered_input() && !sealed {
+                // A genuine partial request cut off mid-head.
                 let response = Response::error(400, "connection closed mid-head");
                 shared.metrics.record("other", response.status, 0);
                 let seq = conn.fail_next_request();
@@ -372,15 +382,22 @@ impl Reactor {
                     },
                 );
                 AfterEof::Keep
-            } else if conn.in_flight == 0 && !conn.has_pending_output() {
-                // Clean close between requests.
-                AfterEof::Remove
             } else {
-                // Serve what is already in flight, then close.
-                if conn.next_seq > 0 {
-                    conn.close_after = Some(conn.next_seq - 1);
+                // A sealed stream (`Connection: close`, keep-alive cap)
+                // deliberately ignores trailing pipelined bytes — no
+                // 400, and no new sequence that would override the
+                // close already promised at `close_after`.
+                conn.discard_input();
+                if conn.in_flight == 0 && !conn.has_pending_output() {
+                    // Clean close between requests.
+                    AfterEof::Remove
+                } else {
+                    // Serve what is already in flight, then close.
+                    if conn.next_seq > 0 && conn.close_after.is_none() {
+                        conn.close_after = Some(conn.next_seq - 1);
+                    }
+                    AfterEof::Keep
                 }
-                AfterEof::Keep
             }
         };
         match step {

@@ -500,6 +500,81 @@ fn pipelined_requests_on_one_connection_answer_in_order() {
 }
 
 #[test]
+fn pipelined_parse_error_still_answers_the_valid_prefix() {
+    let server = start_with(
+        ApiContext::new(),
+        ServerConfig {
+            workers: 2,
+            queue_depth: 16,
+            keep_alive: true,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.addr().to_string();
+
+    // A valid request pipelined ahead of garbage: the valid prefix must
+    // be answered (it already holds sequence 0) before the 400 closes
+    // the connection. Dropping the prefix would leave a permanent gap
+    // in the write window and wedge the socket forever.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\nGARBAGE LINE\r\n\r\n")
+        .unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .expect("both responses must flush; a stalled read means the 400 never advanced");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    assert!(text.contains("HTTP/1.1 400"), "{text}");
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn eof_after_connection_close_yields_one_clean_response() {
+    let server = start_with(
+        ApiContext::new(),
+        ServerConfig {
+            workers: 2,
+            queue_depth: 16,
+            keep_alive: true,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.addr().to_string();
+
+    // `Connection: close` followed by trailing pipelined bytes and an
+    // immediate FIN: the trailing bytes are deliberately ignored, so
+    // the server must answer exactly once, honoring the close — not
+    // tack on a spurious 400 or flip the response to keep-alive.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\nGET /ignored HTTP/1.1\r\n")
+        .unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    assert!(
+        text.to_ascii_lowercase().contains("connection: close"),
+        "the client's close must be honored: {text}"
+    );
+    assert_eq!(
+        text.matches("HTTP/1.1 ").count(),
+        1,
+        "exactly one response, no spurious 400: {text}"
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
 fn slow_client_partial_writes_do_not_stall_the_reactor() {
     let server = start_with(
         ApiContext::new(),
