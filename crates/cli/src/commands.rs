@@ -166,6 +166,20 @@ OPTIONS:
     --max-jobs N    most concurrent async jobs (POST /v1/jobs); excess
                     submissions get 503 + Retry-After [default: 8]
 
+Multi-tenant mode (off by default; without --tenants the server runs
+single-user, no auth, no limits):
+    --tenants FILE  JSONL tenant config, one object per line:
+                    {\"name\": .., \"key\": .., \"weight\": .., \"rps\": ..,
+                     \"burst\": .., \"queue_depth\": .., \"isolated\": ..,
+                     \"max_jobs\": ..}; a keyless entry configures the
+                    anonymous tenant. Requests authenticate with
+                    Authorization: Bearer KEY; over-rate requests get
+                    429 + Retry-After, and admission is weighted-fair
+                    (deficit round robin by weight)
+    --default-rps F    rate limit for tenants without one [default: 0=off]
+    --default-burst N  token-bucket burst for tenants without one
+                       [default: 16]
+
 Chaos injection (testing the client's resilience; /v1 paths only):
     --chaos P            probability of an injected 500    [default: 0]
     --chaos-truncate P   probability the response body is cut short
@@ -193,6 +207,12 @@ OPTIONS:
     --job           submit one async job (POST /v1/jobs) with --body as
                     the sweep spec, stream its events, and report the
                     round trip instead of load-testing
+    --tenant KEY    authenticate every request with
+                    Authorization: Bearer KEY
+    --tenants-file FILE  adversarial mode: drive every keyed tenant in
+                    the JSONL config concurrently (each gets the full
+                    --concurrency/--requests workload under its own
+                    key) and report one row per tenant
     --bench-json F  also write the machine-readable report to file F
     --json          machine-readable output";
 
@@ -1331,6 +1351,9 @@ fn serve_cmd(mut args: Args) -> Result<String, CliError> {
         args.get_or("keep-alive-max-requests", "a request cap", 32)?;
     let max_conns: usize = args.get_or("max-conns", "a connection cap", 4096)?;
     let max_jobs: usize = args.get_or("max-jobs", "a job cap", 8)?;
+    let tenants_file: Option<String> = args.opt("tenants", "a tenants file")?;
+    let default_rps: f64 = args.get_or("default-rps", "requests per second", 0.0)?;
+    let default_burst: u64 = args.get_or("default-burst", "a burst size", 16)?;
     let chaos_fault: Option<f64> = args.opt("chaos", "a probability")?;
     let chaos_truncate: Option<f64> = args.opt("chaos-truncate", "a probability")?;
     let chaos_latency: Option<f64> = args.opt("chaos-latency", "a probability")?;
@@ -1382,6 +1405,26 @@ fn serve_cmd(mut args: Args) -> Result<String, CliError> {
     } else {
         None
     };
+    if default_rps < 0.0 {
+        return Err(CliError::Msg("--default-rps must be non-negative".into()));
+    }
+    if default_burst == 0 {
+        return Err(CliError::Msg("--default-burst must be at least 1".into()));
+    }
+    let tenants = match &tenants_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Msg(format!("reading {path}: {e}")))?;
+            let specs = wrsn_serve::tenant::parse_tenants(&text)
+                .map_err(|why| CliError::Msg(format!("{path}: {why}")))?;
+            Some(specs)
+        }
+        None => None,
+    };
+    let tenants_note = match &tenants {
+        Some(specs) => format!(", {} tenant(s)", specs.len()),
+        None => String::new(),
+    };
     let store = cache_arg.map(open_cache).transpose()?;
     let cache_note = match &store {
         Some(store) => format!(
@@ -1410,6 +1453,9 @@ fn serve_cmd(mut args: Args) -> Result<String, CliError> {
         max_conns,
         max_jobs,
         chaos,
+        tenants,
+        default_rps,
+        default_burst,
         ..ServerConfig::default()
     };
     let handle = Server::start(&config, api).map_err(|e| CliError::Msg(e.to_string()))?;
@@ -1418,7 +1464,7 @@ fn serve_cmd(mut args: Args) -> Result<String, CliError> {
     // report, printed only after shutdown.
     eprintln!(
         "wrsn-serve listening on {bound} ({workers} worker(s), queue {queue_depth}, \
-         conns {max_conns}, jobs {max_jobs}{cache_note}{chaos_note})"
+         conns {max_conns}, jobs {max_jobs}{tenants_note}{cache_note}{chaos_note})"
     );
     handle
         .run_until_signal()
@@ -1435,6 +1481,8 @@ struct LoadgenRow {
     errors: u64,
     retries: u64,
     retryable_status: u64,
+    rate_limited: u64,
+    retries_by_status: serde::Value,
     transport_resets: u64,
     breaker_opens: u64,
     elapsed_s: f64,
@@ -1442,6 +1490,38 @@ struct LoadgenRow {
     p50_ms: f64,
     p95_ms: f64,
     p99_ms: f64,
+}
+
+/// The per-status retry totals as a `{"429": 31, "503": 4}` object.
+fn status_counts(list: &[(u16, u64)]) -> serde::Value {
+    use serde::Serialize as _;
+    serde::Value::Object(
+        list.iter()
+            .map(|&(status, count)| (status.to_string(), count.to_value()))
+            .collect(),
+    )
+}
+
+fn loadgen_row(requests: u64, report: &client::LoadgenReport) -> LoadgenRow {
+    let ms = |q: f64| report.quantile(q).as_secs_f64() * 1e3;
+    LoadgenRow {
+        requests,
+        connections: report.connections,
+        ok: report.ok,
+        non_ok: report.non_ok,
+        errors: report.errors,
+        retries: report.retries,
+        retryable_status: report.retryable_status,
+        rate_limited: report.rate_limited,
+        retries_by_status: status_counts(&report.retries_by_status),
+        transport_resets: report.transport_resets,
+        breaker_opens: report.breaker_opens,
+        elapsed_s: report.elapsed.as_secs_f64(),
+        throughput_rps: report.throughput_rps(),
+        p50_ms: ms(0.50),
+        p95_ms: ms(0.95),
+        p99_ms: ms(0.99),
+    }
 }
 
 fn loadgen_cmd(mut args: Args) -> Result<String, CliError> {
@@ -1455,6 +1535,8 @@ fn loadgen_cmd(mut args: Args) -> Result<String, CliError> {
     let connections: Option<usize> = args.opt("connections", "a connection count")?;
     let pipeline: usize = args.get_or("pipeline", "a batch depth", 1)?;
     let job = args.flag("job");
+    let tenant_key: Option<String> = args.opt("tenant", "an API key")?;
+    let tenants_file: Option<String> = args.opt("tenants-file", "a tenants file")?;
     let bench_json: Option<String> = args.opt("bench-json", "an output path")?;
     let json = args.flag("json");
     args.finish()?;
@@ -1476,23 +1558,48 @@ fn loadgen_cmd(mut args: Args) -> Result<String, CliError> {
     } else {
         Some(body.as_str())
     };
+    if let Some(file) = &tenants_file {
+        if tenant_key.is_some() {
+            return Err(CliError::Msg(
+                "--tenant and --tenants-file are mutually exclusive".into(),
+            ));
+        }
+        let spec = AdversarialSpec {
+            addr: &addr,
+            method: &method,
+            path: &path,
+            body: body_opt,
+            concurrency,
+            requests,
+            retries,
+        };
+        return loadgen_adversarial(file, &spec, bench_json.as_deref(), json);
+    }
     let report = match connections {
         // Open-loop: a fixed fleet of persistent keep-alive connections
         // driven with pipelined batches.
-        Some(conns) => {
-            client::loadgen_keep_alive(&addr, &method, &path, body_opt, conns, requests, pipeline)
-        }
+        Some(conns) => client::loadgen_keep_alive_auth(
+            &addr,
+            &method,
+            &path,
+            body_opt,
+            tenant_key.as_deref(),
+            conns,
+            requests,
+            pipeline,
+        ),
         // Closed-loop: one connection per request, optional retries.
         None => {
             let retry = (retries > 0).then(|| client::RetryPolicy {
                 max_retries: retries,
                 ..client::RetryPolicy::default()
             });
-            client::loadgen(
+            client::loadgen_auth(
                 &addr,
                 &method,
                 &path,
                 body_opt,
+                tenant_key.as_deref(),
                 concurrency,
                 requests,
                 retry.as_ref(),
@@ -1500,23 +1607,7 @@ fn loadgen_cmd(mut args: Args) -> Result<String, CliError> {
         }
     }
     .map_err(|e| CliError::Msg(e.to_string()))?;
-    let ms = |q: f64| report.quantile(q).as_secs_f64() * 1e3;
-    let row = LoadgenRow {
-        requests,
-        connections: report.connections,
-        ok: report.ok,
-        non_ok: report.non_ok,
-        errors: report.errors,
-        retries: report.retries,
-        retryable_status: report.retryable_status,
-        transport_resets: report.transport_resets,
-        breaker_opens: report.breaker_opens,
-        elapsed_s: report.elapsed.as_secs_f64(),
-        throughput_rps: report.throughput_rps(),
-        p50_ms: ms(0.50),
-        p95_ms: ms(0.95),
-        p99_ms: ms(0.99),
-    };
+    let row = loadgen_row(requests, &report);
     if let Some(path) = &bench_json {
         let text = serde_json::to_string_pretty(&row).expect("serializable");
         std::fs::write(path, text.as_bytes())
@@ -1543,6 +1634,10 @@ fn loadgen_cmd(mut args: Args) -> Result<String, CliError> {
         row.retryable_status.to_string(),
     ]);
     table.row(&[
+        "rate limited (429)".to_string(),
+        row.rate_limited.to_string(),
+    ]);
+    table.row(&[
         "transport resets".to_string(),
         row.transport_resets.to_string(),
     ]);
@@ -1555,6 +1650,117 @@ fn loadgen_cmd(mut args: Args) -> Result<String, CliError> {
     table.row(&["p50 (ms)".to_string(), format!("{:.2}", row.p50_ms)]);
     table.row(&["p95 (ms)".to_string(), format!("{:.2}", row.p95_ms)]);
     table.row(&["p99 (ms)".to_string(), format!("{:.2}", row.p99_ms)]);
+    Ok(table.render())
+}
+
+/// The shared workload of an adversarial multi-tenant run: every
+/// tenant fires the same requests at the same server, concurrently.
+struct AdversarialSpec<'a> {
+    addr: &'a str,
+    method: &'a str,
+    path: &'a str,
+    body: Option<&'a str>,
+    concurrency: usize,
+    requests: u64,
+    retries: u32,
+}
+
+/// `loadgen --tenants-file`: drive every keyed tenant in the config
+/// against the server at once — each under its own API key with the
+/// full workload — and report one row per tenant, so fairness (who got
+/// throughput, who got 429s) is directly measurable.
+fn loadgen_adversarial(
+    file: &str,
+    spec: &AdversarialSpec<'_>,
+    bench_json: Option<&str>,
+    json: bool,
+) -> Result<String, CliError> {
+    use serde::Serialize as _;
+    let text =
+        std::fs::read_to_string(file).map_err(|e| CliError::Msg(format!("reading {file}: {e}")))?;
+    let tenants = wrsn_serve::tenant::parse_tenants(&text)
+        .map_err(|why| CliError::Msg(format!("{file}: {why}")))?;
+    let keyed: Vec<_> = tenants.iter().filter(|t| t.key.is_some()).collect();
+    if keyed.is_empty() {
+        return Err(CliError::Msg(format!("{file}: no keyed tenants to drive")));
+    }
+    let retry = (spec.retries > 0).then(|| client::RetryPolicy {
+        max_retries: spec.retries,
+        ..client::RetryPolicy::default()
+    });
+    let results: Vec<(String, Result<client::LoadgenReport, String>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = keyed
+                .iter()
+                .map(|tenant| {
+                    let retry = retry.clone();
+                    scope.spawn(move || {
+                        let report = client::loadgen_auth(
+                            spec.addr,
+                            spec.method,
+                            spec.path,
+                            spec.body,
+                            tenant.key.as_deref(),
+                            spec.concurrency,
+                            spec.requests,
+                            retry.as_ref(),
+                        )
+                        .map_err(|e| e.to_string());
+                        (tenant.name.clone(), report)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("loadgen tenant thread panicked"))
+                .collect()
+        });
+    let mut rows: Vec<(String, LoadgenRow)> = Vec::new();
+    for (name, result) in results {
+        match result {
+            Ok(report) => rows.push((name, loadgen_row(spec.requests, &report))),
+            Err(why) => return Err(CliError::Msg(format!("tenant {name}: {why}"))),
+        }
+    }
+    let doc = serde::Value::Object(
+        rows.iter()
+            .map(|(name, row)| (name.clone(), row.to_value()))
+            .collect(),
+    );
+    if let Some(path) = bench_json {
+        let text = serde_json::to_string_pretty(&doc).expect("serializable");
+        std::fs::write(path, text.as_bytes())
+            .map_err(|e| CliError::Msg(format!("writing {path}: {e}")))?;
+    }
+    if json {
+        return Ok(serde_json::to_string_pretty(&doc).expect("serializable"));
+    }
+    let mut table = Table::new(
+        &format!(
+            "loadgen {} {} ({} requests x {} tenant(s), {} thread(s) each)",
+            spec.method,
+            spec.path,
+            spec.requests,
+            rows.len(),
+            spec.concurrency
+        ),
+        &[
+            "tenant", "ok", "non-200", "429s", "errors", "retries", "req/s", "p50 ms", "p99 ms",
+        ],
+    );
+    for (name, row) in &rows {
+        table.row(&[
+            name.clone(),
+            row.ok.to_string(),
+            row.non_ok.to_string(),
+            row.rate_limited.to_string(),
+            row.errors.to_string(),
+            row.retries.to_string(),
+            format!("{:.1}", row.throughput_rps),
+            format!("{:.2}", row.p50_ms),
+            format!("{:.2}", row.p99_ms),
+        ]);
+    }
     Ok(table.render())
 }
 

@@ -76,7 +76,27 @@ pub fn seed_fingerprint(
     capture_history: bool,
     seed: u64,
 ) -> Fingerprint {
+    seed_fingerprint_in(None, source, solver, engine_version, capture_history, seed)
+}
+
+/// [`seed_fingerprint`] under an optional cache namespace. `None`
+/// produces exactly the same fingerprint as [`seed_fingerprint`], so
+/// existing caches stay valid; a `Some` namespace (the serve layer's
+/// isolated tenants) keys a disjoint slice of the store.
+#[must_use]
+pub fn seed_fingerprint_in(
+    namespace: Option<&str>,
+    source: &InstanceSource,
+    solver: &str,
+    engine_version: &str,
+    capture_history: bool,
+    seed: u64,
+) -> Fingerprint {
     let mut fp = FingerprintBuilder::new("wrsn-seedrun-v1");
+    if let Some(ns) = namespace {
+        fp.push_str("tenant");
+        fp.push_str(ns);
+    }
     fp.push_str(engine_version);
     fp.push_str(solver);
     match source {
@@ -170,6 +190,7 @@ pub struct Experiment {
     record_timings: bool,
     shard: Option<(u32, u32)>,
     cache: Option<Arc<ResultStore>>,
+    cache_namespace: Option<String>,
     on_seed: Option<Arc<SeedObserver>>,
     progress: Option<Arc<ProgressFeed>>,
 }
@@ -191,6 +212,7 @@ impl fmt::Debug for Experiment {
             .field("record_timings", &self.record_timings)
             .field("shard", &self.shard)
             .field("cache", &self.cache.as_ref().map(|s| s.dir().to_path_buf()))
+            .field("cache_namespace", &self.cache_namespace)
             .field("on_seed", &self.on_seed.as_ref().map(|_| "<callback>"))
             .field("progress", &self.progress.as_ref().map(|_| "<feed>"))
             .finish()
@@ -218,6 +240,7 @@ impl Experiment {
             record_timings: true,
             shard: None,
             cache: None,
+            cache_namespace: None,
             on_seed: None,
             progress: None,
         }
@@ -352,6 +375,16 @@ impl Experiment {
         self
     }
 
+    /// Keys every cache fingerprint under `namespace` (see
+    /// [`seed_fingerprint_in`]): runs in different namespaces never
+    /// share cached results. The default — no namespace — fingerprints
+    /// exactly as before, so existing stores stay valid.
+    #[must_use]
+    pub fn cache_namespace(mut self, namespace: impl Into<String>) -> Self {
+        self.cache_namespace = Some(namespace.into());
+        self
+    }
+
     /// Installs a per-seed progress callback (see [`SeedEvent`]).
     #[must_use]
     pub fn on_seed<F>(mut self, callback: F) -> Self
@@ -457,7 +490,8 @@ impl Experiment {
         if let Some(store) = &self.cache {
             let mut misses = Vec::with_capacity(pending.len());
             for seed in pending {
-                let key = seed_fingerprint(
+                let key = seed_fingerprint_in(
+                    self.cache_namespace.as_deref(),
                     &self.source,
                     &self.solver,
                     ENGINE_VERSION,
@@ -635,7 +669,8 @@ impl Experiment {
                     run.attempts = *attempts;
                     run.setup_ms = 0.0;
                     run.solve_ms = 0.0;
-                    let key = seed_fingerprint(
+                    let key = seed_fingerprint_in(
+                        self.cache_namespace.as_deref(),
                         &self.source,
                         &self.solver,
                         ENGINE_VERSION,

@@ -244,9 +244,13 @@ impl ApiContext {
     }
 
     /// Runs one (instance, solver, seed) cell through the cached
-    /// experiment pipeline and returns the run report.
+    /// experiment pipeline and returns the run report. A `Some`
+    /// namespace keys the cache per tenant; `None` uses the shared
+    /// default namespace (byte-identical fingerprints to a
+    /// single-tenant server).
     fn run_cell(
         &self,
+        namespace: Option<&str>,
         instance: &InstanceParams,
         solver: &str,
         seeds: std::ops::Range<u64>,
@@ -257,6 +261,9 @@ impl ApiContext {
             .solver(solver)
             .seeds(seeds)
             .record_timings(false);
+        if let Some(ns) = namespace {
+            experiment = experiment.cache_namespace(ns);
+        }
         if let Some(store) = &self.store {
             experiment = experiment.cache(store.clone());
         }
@@ -279,8 +286,27 @@ impl ApiContext {
     /// [`ApiError`] with status 400 for invalid parameters or an
     /// unknown solver, 500 for store failures.
     pub fn solve(&self, req: &SolveRequest) -> Result<ApiOutcome, ApiError> {
-        let (report, cache) =
-            self.run_cell(&req.instance, &req.solver, req.seed..req.seed + 1, None)?;
+        self.solve_in(None, req)
+    }
+
+    /// [`solve`](ApiContext::solve) under an optional per-tenant cache
+    /// namespace. `None` is byte-identical to [`solve`](ApiContext::solve).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](ApiContext::solve).
+    pub fn solve_in(
+        &self,
+        namespace: Option<&str>,
+        req: &SolveRequest,
+    ) -> Result<ApiOutcome, ApiError> {
+        let (report, cache) = self.run_cell(
+            namespace,
+            &req.instance,
+            &req.solver,
+            req.seed..req.seed + 1,
+            None,
+        )?;
         let run = &report.runs[0];
         let mut fields = vec![
             ("solver".to_string(), Value::String(req.solver.clone())),
@@ -471,6 +497,20 @@ impl ApiContext {
         self.sweep_with_progress(req, None)
     }
 
+    /// [`sweep`](ApiContext::sweep) under an optional per-tenant cache
+    /// namespace. `None` is byte-identical to [`sweep`](ApiContext::sweep).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`sweep`](ApiContext::sweep).
+    pub fn sweep_in(
+        &self,
+        namespace: Option<&str>,
+        req: &SweepRequest,
+    ) -> Result<ApiOutcome, ApiError> {
+        self.sweep_with_progress_in(namespace, req, None)
+    }
+
     /// [`sweep`](ApiContext::sweep) with an optional progress feed that
     /// observes every terminal seed (including cache hits) as the sweep
     /// runs — the async job API streams it to `/v1/jobs/{id}/events`.
@@ -484,9 +524,29 @@ impl ApiContext {
         req: &SweepRequest,
         progress: Option<Arc<ProgressFeed>>,
     ) -> Result<ApiOutcome, ApiError> {
+        self.sweep_with_progress_in(None, req, progress)
+    }
+
+    /// [`sweep_with_progress`](ApiContext::sweep_with_progress) under an
+    /// optional per-tenant cache namespace.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`sweep`](ApiContext::sweep).
+    pub fn sweep_with_progress_in(
+        &self,
+        namespace: Option<&str>,
+        req: &SweepRequest,
+        progress: Option<Arc<ProgressFeed>>,
+    ) -> Result<ApiOutcome, ApiError> {
         let end = Self::validate_sweep(req)?;
-        let (report, cache) =
-            self.run_cell(&req.instance, &req.solver, req.seed_start..end, progress)?;
+        let (report, cache) = self.run_cell(
+            namespace,
+            &req.instance,
+            &req.solver,
+            req.seed_start..end,
+            progress,
+        )?;
         Ok(ApiOutcome {
             body: report.to_value(),
             cache,

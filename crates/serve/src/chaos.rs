@@ -140,7 +140,13 @@ impl ChaosState {
         if self.policy.is_empty() {
             return ChaosDecision::NONE;
         }
-        let mut rng = self.rng.lock().expect("chaos rng lock");
+        // Recover a poisoned guard: a worker panicking mid-roll must
+        // not disable chaos (or panic every later request) — the RNG
+        // state is always valid to keep drawing from.
+        let mut rng = self
+            .rng
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let delay = (self.policy.latency_prob > 0.0
             && rng.random::<f64>() < self.policy.latency_prob)
             .then_some(self.policy.latency);

@@ -61,6 +61,23 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> Result<ClientResponse, ServeError> {
+    request_auth(addr, method, path, body, None)
+}
+
+/// [`request`] with an optional API key sent as
+/// `Authorization: Bearer {key}` — how a tenant identifies itself to a
+/// multi-tenant server.
+///
+/// # Errors
+///
+/// Same as [`request`].
+pub fn request_auth(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    key: Option<&str>,
+) -> Result<ClientResponse, ServeError> {
     let client = |m: String| ServeError::Client(m);
     let mut stream =
         TcpStream::connect(addr).map_err(|e| client(format!("connect {addr}: {e}")))?;
@@ -68,9 +85,10 @@ pub fn request(
         .set_read_timeout(Some(Duration::from_secs(60)))
         .map_err(|e| client(format!("timeout: {e}")))?;
     let body = body.unwrap_or("");
+    let auth = bearer_header(key);
     let text = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+         Content-Length: {}\r\n{auth}Connection: close\r\n\r\n{body}",
         body.len()
     );
     stream
@@ -81,6 +99,15 @@ pub fn request(
         .read_to_end(&mut raw)
         .map_err(|e| client(format!("read: {e}")))?;
     parse_response(&raw).map_err(client)
+}
+
+/// The `Authorization` header line (with trailing CRLF) for an optional
+/// API key; empty when no key is configured.
+fn bearer_header(key: Option<&str>) -> String {
+    match key {
+        Some(key) => format!("Authorization: Bearer {key}\r\n"),
+        None => String::new(),
+    }
 }
 
 /// Parses a response head (status line + header lines, no trailing
@@ -202,10 +229,27 @@ impl Connection {
     ///
     /// [`ServeError::Client`] on write failure.
     pub fn send(&mut self, method: &str, path: &str, body: Option<&str>) -> Result<(), ServeError> {
+        self.send_auth(method, path, body, None)
+    }
+
+    /// [`Connection::send`] with an optional API key sent as
+    /// `Authorization: Bearer {key}`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Client`] on write failure.
+    pub fn send_auth(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        key: Option<&str>,
+    ) -> Result<(), ServeError> {
         let body = body.unwrap_or("");
+        let auth = bearer_header(key);
         let text = format!(
             "{method} {path} HTTP/1.1\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\n\r\n{body}",
+             Content-Length: {}\r\n{auth}\r\n{body}",
             body.len()
         );
         self.stream
@@ -390,13 +434,19 @@ impl CircuitBreaker {
     /// [`CircuitBreaker::try_acquire`], not by the clock alone).
     #[must_use]
     pub fn state(&self) -> BreakerState {
-        self.inner.lock().expect("breaker lock").state
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .state
     }
 
     /// How many times the breaker has opened.
     #[must_use]
     pub fn opens(&self) -> u64 {
-        self.inner.lock().expect("breaker lock").opens
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .opens
     }
 
     /// Whether a request may proceed right now. While open, returns
@@ -405,7 +455,10 @@ impl CircuitBreaker {
     /// the probe reports back).
     #[must_use]
     pub fn try_acquire(&self) -> bool {
-        let mut inner = self.inner.lock().expect("breaker lock");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match inner.state {
             BreakerState::Closed => true,
             BreakerState::HalfOpen => false,
@@ -426,7 +479,10 @@ impl CircuitBreaker {
     /// Reports a successful request: closes the breaker and resets the
     /// failure streak.
     pub fn record_success(&self) {
-        let mut inner = self.inner.lock().expect("breaker lock");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.state = BreakerState::Closed;
         inner.consecutive_failures = 0;
         inner.opened_at = None;
@@ -436,7 +492,10 @@ impl CircuitBreaker {
     /// breaker immediately; in the closed state the failure streak
     /// opens it at the threshold.
     pub fn record_failure(&self) {
-        let mut inner = self.inner.lock().expect("breaker lock");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
         let trip = match inner.state {
             BreakerState::HalfOpen => true,
@@ -461,9 +520,33 @@ pub struct RetryOutcome {
     pub retries: u64,
     /// Retryable statuses observed along the way (429/5xx).
     pub retryable_status: u64,
+    /// Rate-limit rejections (`429`) observed along the way — its own
+    /// bucket so throttling is distinguishable from overload `503`s.
+    pub rate_limited: u64,
+    /// Retryable statuses observed along the way, broken down by status
+    /// code (sorted by status).
+    pub retries_by_status: Vec<(u16, u64)>,
     /// Transport-level failures observed along the way (connection
     /// reset, truncated response, refused connect).
     pub transport_resets: u64,
+}
+
+/// Bumps `status`'s counter in a sorted `(status, count)` list.
+fn bump_status(list: &mut Vec<(u16, u64)>, status: u16) {
+    match list.binary_search_by_key(&status, |&(s, _)| s) {
+        Ok(i) => list[i].1 += 1,
+        Err(i) => list.insert(i, (status, 1)),
+    }
+}
+
+/// Folds `from` into `into`, summing counts per status.
+fn merge_status(into: &mut Vec<(u16, u64)>, from: &[(u16, u64)]) {
+    for &(status, count) in from {
+        match into.binary_search_by_key(&status, |&(s, _)| s) {
+            Ok(i) => into[i].1 += count,
+            Err(i) => into.insert(i, (status, count)),
+        }
+    }
 }
 
 /// [`request`] wrapped in retries with decorrelated-jitter backoff.
@@ -487,6 +570,24 @@ pub fn request_with_retry(
     policy: &RetryPolicy,
     breaker: Option<&CircuitBreaker>,
 ) -> Result<RetryOutcome, ServeError> {
+    request_with_retry_auth(addr, method, path, body, None, policy, breaker)
+}
+
+/// [`request_with_retry`] with an optional API key sent as
+/// `Authorization: Bearer {key}` on every attempt.
+///
+/// # Errors
+///
+/// Same as [`request_with_retry`].
+pub fn request_with_retry_auth(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    key: Option<&str>,
+    policy: &RetryPolicy,
+    breaker: Option<&CircuitBreaker>,
+) -> Result<RetryOutcome, ServeError> {
     let mut rng = SmallRng::seed_from_u64(policy.seed);
     let mut prev = policy.base;
     let mut outcome = RetryOutcome {
@@ -497,6 +598,8 @@ pub fn request_with_retry(
         },
         retries: 0,
         retryable_status: 0,
+        rate_limited: 0,
+        retries_by_status: Vec::new(),
         transport_resets: 0,
     };
     let mut attempts = 0u32;
@@ -513,7 +616,7 @@ pub fn request_with_retry(
                 );
             }
         }
-        let result = request(addr, method, path, body);
+        let result = request_auth(addr, method, path, body, key);
         let retry_after = match &result {
             Ok(resp) if !retryable_status(resp.status) => {
                 if let Some(b) = breaker {
@@ -524,6 +627,10 @@ pub fn request_with_retry(
             }
             Ok(resp) => {
                 outcome.retryable_status += 1;
+                if resp.status == 429 {
+                    outcome.rate_limited += 1;
+                }
+                bump_status(&mut outcome.retries_by_status, resp.status);
                 resp.header("retry-after")
                     .and_then(|v| v.parse::<u64>().ok())
                     .map(Duration::from_secs)
@@ -580,6 +687,13 @@ pub struct LoadgenReport {
     /// observed along the way — distinguishable from transport resets
     /// so retry behavior is measurable.
     pub retryable_status: u64,
+    /// Rate-limit rejections (`429`) observed along the way — its own
+    /// bucket so a throttled tenant can see exactly how often the
+    /// server pushed back, separately from overload `503`s.
+    pub rate_limited: u64,
+    /// Retryable statuses observed along the way broken down by status
+    /// code (sorted by status) — e.g. `[(429, 31), (503, 4)]`.
+    pub retries_by_status: Vec<(u16, u64)>,
     /// Transport-level failures (connection reset, truncated response)
     /// observed along the way, whether or not a retry recovered them.
     pub transport_resets: u64,
@@ -624,6 +738,8 @@ struct ThreadTally {
     errors: u64,
     retries: u64,
     retryable_status: u64,
+    rate_limited: u64,
+    retries_by_status: Vec<(u16, u64)>,
     transport_resets: u64,
     latencies: Vec<Duration>,
 }
@@ -648,16 +764,37 @@ pub fn loadgen(
     requests: u64,
     retry: Option<&RetryPolicy>,
 ) -> Result<LoadgenReport, ServeError> {
+    loadgen_auth(addr, method, path, body, None, concurrency, requests, retry)
+}
+
+/// [`loadgen`] with an optional API key sent as
+/// `Authorization: Bearer {key}` on every request — the harness for
+/// driving one tenant's share of a multi-tenant server.
+///
+/// # Errors
+///
+/// Same as [`loadgen`].
+#[allow(clippy::too_many_arguments)]
+pub fn loadgen_auth(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    key: Option<&str>,
+    concurrency: usize,
+    requests: u64,
+    retry: Option<&RetryPolicy>,
+) -> Result<LoadgenReport, ServeError> {
     let breaker = retry.map(CircuitBreaker::from_policy);
     // Probe first so misconfiguration is an error, not a zero report
     // (under chaos the probe itself retries, so an injected fault
     // cannot fail an otherwise healthy run).
     match retry {
         Some(policy) => {
-            request_with_retry(addr, method, path, body, policy, breaker.as_ref())?;
+            request_with_retry_auth(addr, method, path, body, key, policy, breaker.as_ref())?;
         }
         None => {
-            request(addr, method, path, body)?;
+            request_auth(addr, method, path, body, key)?;
         }
     }
     let concurrency = concurrency.max(1);
@@ -683,11 +820,23 @@ pub fn loadgen(
                     let t0 = Instant::now();
                     match &policy {
                         Some(policy) => {
-                            match request_with_retry(addr, method, path, body, policy, breaker_ref)
-                            {
+                            match request_with_retry_auth(
+                                addr,
+                                method,
+                                path,
+                                body,
+                                key,
+                                policy,
+                                breaker_ref,
+                            ) {
                                 Ok(outcome) => {
                                     tally.retries += outcome.retries;
                                     tally.retryable_status += outcome.retryable_status;
+                                    tally.rate_limited += outcome.rate_limited;
+                                    merge_status(
+                                        &mut tally.retries_by_status,
+                                        &outcome.retries_by_status,
+                                    );
                                     tally.transport_resets += outcome.transport_resets;
                                     if outcome.response.status == 200 {
                                         tally.ok += 1;
@@ -699,7 +848,7 @@ pub fn loadgen(
                                 Err(_) => tally.errors += 1,
                             }
                         }
-                        None => match request(addr, method, path, body) {
+                        None => match request_auth(addr, method, path, body, key) {
                             Ok(resp) if resp.status == 200 => {
                                 tally.ok += 1;
                                 tally.latencies.push(t0.elapsed());
@@ -710,6 +859,10 @@ pub fn loadgen(
                                 // terminal statuses.
                                 if retryable_status(resp.status) {
                                     tally.retryable_status += 1;
+                                    bump_status(&mut tally.retries_by_status, resp.status);
+                                }
+                                if resp.status == 429 {
+                                    tally.rate_limited += 1;
                                 }
                                 tally.non_ok += 1;
                             }
@@ -737,6 +890,8 @@ pub fn loadgen(
         latencies: Vec::new(),
         retries: 0,
         retryable_status: 0,
+        rate_limited: 0,
+        retries_by_status: Vec::new(),
         transport_resets: 0,
         breaker_opens: breaker.as_ref().map_or(0, CircuitBreaker::opens),
         connections: concurrency,
@@ -747,6 +902,8 @@ pub fn loadgen(
         report.errors += tally.errors;
         report.retries += tally.retries;
         report.retryable_status += tally.retryable_status;
+        report.rate_limited += tally.rate_limited;
+        merge_status(&mut report.retries_by_status, &tally.retries_by_status);
         report.transport_resets += tally.transport_resets;
         report.latencies.extend(tally.latencies);
     }
@@ -762,6 +919,7 @@ struct RequestSpec<'a> {
     method: &'a str,
     path: &'a str,
     body: Option<&'a str>,
+    key: Option<&'a str>,
 }
 
 /// Drives one persistent connection through its request quota in
@@ -781,7 +939,10 @@ fn drive_connection(
         let t0 = Instant::now();
         let mut sent = 0u64;
         for _ in 0..batch {
-            if conn.send(spec.method, spec.path, spec.body).is_err() {
+            if conn
+                .send_auth(spec.method, spec.path, spec.body, spec.key)
+                .is_err()
+            {
                 break;
             }
             sent += 1;
@@ -800,6 +961,10 @@ fn drive_connection(
                     } else {
                         if retryable_status(resp.status) {
                             tally.retryable_status += 1;
+                            bump_status(&mut tally.retries_by_status, resp.status);
+                        }
+                        if resp.status == 429 {
+                            tally.rate_limited += 1;
                         }
                         tally.non_ok += 1;
                     }
@@ -869,6 +1034,35 @@ pub fn loadgen_keep_alive(
     requests: u64,
     pipeline: usize,
 ) -> Result<LoadgenReport, ServeError> {
+    loadgen_keep_alive_auth(
+        addr,
+        method,
+        path,
+        body,
+        None,
+        connections,
+        requests,
+        pipeline,
+    )
+}
+
+/// [`loadgen_keep_alive`] with an optional API key sent as
+/// `Authorization: Bearer {key}` on every request.
+///
+/// # Errors
+///
+/// Same as [`loadgen_keep_alive`].
+#[allow(clippy::too_many_arguments)]
+pub fn loadgen_keep_alive_auth(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    key: Option<&str>,
+    connections: usize,
+    requests: u64,
+    pipeline: usize,
+) -> Result<LoadgenReport, ServeError> {
     let connections = connections.max(1);
     let pipeline = pipeline.max(1);
     let spec = RequestSpec {
@@ -876,9 +1070,10 @@ pub fn loadgen_keep_alive(
         method,
         path,
         body,
+        key,
     };
     // Probe first so misconfiguration is an error, not a zero report.
-    request(addr, method, path, body)?;
+    request_auth(addr, method, path, body, key)?;
     let per_conn = requests / connections as u64;
     let remainder = requests % connections as u64;
     let mut fleet: Vec<(Connection, u64)> = Vec::with_capacity(connections);
@@ -922,6 +1117,8 @@ pub fn loadgen_keep_alive(
         latencies: Vec::new(),
         retries: 0,
         retryable_status: 0,
+        rate_limited: 0,
+        retries_by_status: Vec::new(),
         transport_resets: 0,
         breaker_opens: 0,
         connections,
@@ -931,6 +1128,8 @@ pub fn loadgen_keep_alive(
         report.non_ok += tally.non_ok;
         report.errors += tally.errors;
         report.retryable_status += tally.retryable_status;
+        report.rate_limited += tally.rate_limited;
+        merge_status(&mut report.retries_by_status, &tally.retries_by_status);
         report.transport_resets += tally.transport_resets;
         report.latencies.extend(tally.latencies);
     }
@@ -1051,6 +1250,8 @@ mod tests {
             latencies,
             retries: 0,
             retryable_status: 0,
+            rate_limited: 0,
+            retries_by_status: Vec::new(),
             transport_resets: 0,
             breaker_opens: 0,
             connections: 0,

@@ -26,6 +26,8 @@ pub(crate) struct DispatchJob {
     pub token: u64,
     /// Position in that connection's request pipeline.
     pub seq: usize,
+    /// Index of the tenant the reactor admitted this request under.
+    pub tenant: usize,
     /// The parsed request.
     pub request: Request,
     /// When the request finished parsing (latency baseline).
@@ -78,11 +80,20 @@ pub(crate) fn respond(job: &DispatchJob, shared: &Arc<Shared>) -> (Response, boo
         shared.metrics.chaos_faults.fetch_add(1, Ordering::Relaxed);
         Response::error(500, "chaos: injected fault").header("Retry-After", "1")
     } else {
-        route_with_deadline(request, shared)
+        route_with_deadline(request, job.tenant, shared)
     };
+    let micros = elapsed_us(job.started);
     shared
         .metrics
-        .record(&request.path, response.status, elapsed_us(job.started));
+        .record(&request.path, response.status, micros);
+    if request.path.starts_with("/v1/") {
+        shared
+            .tenants
+            .tenant(job.tenant)
+            .stats
+            .latency
+            .record(micros);
+    }
     if decision.truncate {
         shared.metrics.chaos_faults.fetch_add(1, Ordering::Relaxed);
     }
@@ -92,9 +103,9 @@ pub(crate) fn respond(job: &DispatchJob, shared: &Arc<Shared>) -> (Response, boo
 /// Routes the request, racing the handler against the configured
 /// deadline. On timeout the worker answers `504` immediately; the
 /// handler finishes on its detached thread and its result is dropped.
-fn route_with_deadline(request: &Request, shared: &Arc<Shared>) -> Response {
+fn route_with_deadline(request: &Request, tenant: usize, shared: &Arc<Shared>) -> Response {
     let Some(timeout) = shared.request_timeout else {
-        return route(request, shared);
+        return route(request, tenant, shared);
     };
     let (tx, rx) = std::sync::mpsc::channel();
     let req = request.clone();
@@ -102,12 +113,12 @@ fn route_with_deadline(request: &Request, shared: &Arc<Shared>) -> Response {
     let spawned = std::thread::Builder::new()
         .name("wrsn-serve-handler".to_string())
         .spawn(move || {
-            let _ = tx.send(route(&req, &worker_shared));
+            let _ = tx.send(route(&req, tenant, &worker_shared));
         });
     if spawned.is_err() {
         // Thread exhaustion: degrade to inline handling rather than
         // failing the request.
-        return route(request, shared);
+        return route(request, tenant, shared);
     }
     match rx.recv_timeout(timeout) {
         Ok(response) => response,
@@ -122,7 +133,7 @@ pub(crate) fn elapsed_us(started: Instant) -> u64 {
     u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
-fn route(request: &Request, shared: &Arc<Shared>) -> Response {
+fn route(request: &Request, tenant: usize, shared: &Arc<Shared>) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}"),
         ("GET", "/statusz") => {
@@ -138,19 +149,33 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
                 jobs_max: shared.jobs.capacity(),
                 store_entries: shared.api.store.as_ref().map(|s| s.len()),
             };
-            json_response(200, &shared.metrics.to_statusz(&gauges))
+            let mut status = shared.metrics.to_statusz(&gauges);
+            if let serde::Value::Object(pairs) = &mut status {
+                pairs.push((
+                    "tenants".to_string(),
+                    shared.tenants.to_value(&shared.queue),
+                ));
+            }
+            json_response(200, &status)
         }
         ("GET", "/v1/solvers") => json_response(200, &shared.api.solvers().body),
         ("POST", "/v1/solve") => {
-            handle_api(request, shared, |api, req: &SolveRequest| api.solve(req))
+            handle_api(request, tenant, shared, |api, ns, req: &SolveRequest| {
+                api.solve_in(ns, req)
+            })
         }
-        ("POST", "/v1/simulate") => handle_api(request, shared, |api, req: &SimulateRequest| {
-            api.simulate(req)
-        }),
+        ("POST", "/v1/simulate") => handle_api(
+            request,
+            tenant,
+            shared,
+            |api, _ns, req: &SimulateRequest| api.simulate(req),
+        ),
         ("POST", "/v1/sweep") => {
-            handle_api(request, shared, |api, req: &SweepRequest| api.sweep(req))
+            handle_api(request, tenant, shared, |api, ns, req: &SweepRequest| {
+                api.sweep_in(ns, req)
+            })
         }
-        ("POST", "/v1/jobs") => jobs::submit(request, shared),
+        ("POST", "/v1/jobs") => jobs::submit(request, tenant, shared),
         ("GET", path) if path.starts_with("/v1/jobs/") => route_job_get(path, shared),
         ("GET", "/v1/jobs") => Response::error(405, "POST a sweep spec to submit a job"),
         ("GET", "/v1/solve" | "/v1/simulate" | "/v1/sweep") => {
@@ -198,10 +223,10 @@ pub(crate) fn json_response(status: u16, body: &serde::Value) -> Response {
     )
 }
 
-fn handle_api<R, F>(request: &Request, shared: &Shared, handler: F) -> Response
+fn handle_api<R, F>(request: &Request, tenant: usize, shared: &Shared, handler: F) -> Response
 where
     R: Deserialize + Default,
-    F: FnOnce(&ApiContext, &R) -> Result<ApiOutcome, ApiError>,
+    F: FnOnce(&ApiContext, Option<&str>, &R) -> Result<ApiOutcome, ApiError>,
 {
     let body = request.body_text();
     let parsed: Result<R, _> = if body.trim().is_empty() {
@@ -213,9 +238,13 @@ where
         Ok(req) => req,
         Err(e) => return Response::error(400, &format!("invalid request body: {e}")),
     };
-    match handler(&shared.api, &req) {
+    // Isolated tenants read and write their own cache namespace; every
+    // other tenant shares the default namespace.
+    let namespace = shared.tenants.tenant(tenant).namespace();
+    match handler(&shared.api, namespace, &req) {
         Ok(outcome) => {
             shared.metrics.add_cache(&outcome.cache);
+            shared.tenants.add_cache(tenant, &outcome.cache);
             json_response(200, &outcome.body)
                 .header("x-cache-hits", outcome.cache.hits.to_string())
                 .header("x-cache-misses", outcome.cache.misses.to_string())

@@ -226,9 +226,12 @@ pub fn reason(status: u16) -> &'static str {
         201 => "Created",
         202 => "Accepted",
         400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
@@ -473,7 +476,9 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_served_codes() {
-        for code in [200, 201, 202, 400, 404, 405, 413, 500, 503, 504] {
+        for code in [
+            200, 201, 202, 400, 401, 403, 404, 405, 413, 429, 500, 503, 504,
+        ] {
             assert_ne!(reason(code), "Unknown", "{code}");
         }
         assert_eq!(reason(418), "Unknown");

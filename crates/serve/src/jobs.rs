@@ -138,9 +138,9 @@ impl Jobs {
     }
 }
 
-/// `POST /v1/jobs`: validate the sweep spec, reserve a slot, spawn the
-/// job thread, answer `202` with the id.
-pub(crate) fn submit(request: &Request, shared: &Arc<Shared>) -> Response {
+/// `POST /v1/jobs`: validate the sweep spec, reserve a global slot and
+/// a per-tenant slot, spawn the job thread, answer `202` with the id.
+pub(crate) fn submit(request: &Request, tenant: usize, shared: &Arc<Shared>) -> Response {
     let body = request.body_text();
     let parsed: Result<SweepRequest, _> = if body.trim().is_empty() {
         Ok(SweepRequest::default())
@@ -172,6 +172,17 @@ pub(crate) fn submit(request: &Request, shared: &Arc<Shared>) -> Response {
         )
         .header("Retry-After", "1");
     }
+    // The tenant's own slice of the job slots; release the global slot
+    // if this tenant is already at its cap.
+    let owner = shared.tenants.tenant(tenant);
+    if !owner.try_reserve_job() {
+        jobs.active.fetch_sub(1, Ordering::SeqCst);
+        return Response::error(
+            503,
+            &format!("tenant job capacity {} reached, try again", owner.max_jobs),
+        )
+        .header("Retry-After", "1");
+    }
     let id = jobs.next_id.fetch_add(1, Ordering::SeqCst) + 1;
     jobs.submitted.fetch_add(1, Ordering::Relaxed);
     let feed = Arc::new(ProgressFeed::new(req.seeds));
@@ -192,7 +203,7 @@ pub(crate) fn submit(request: &Request, shared: &Arc<Shared>) -> Response {
     let worker_req = req.clone();
     let spawned = std::thread::Builder::new()
         .name(format!("wrsn-serve-job-{id}"))
-        .spawn(move || run_job(&worker_entry, &worker_req, &worker_shared));
+        .spawn(move || run_job(&worker_entry, &worker_req, tenant, &worker_shared));
     match spawned {
         Ok(handle) => {
             let mut handles = jobs.handles.lock();
@@ -204,7 +215,7 @@ pub(crate) fn submit(request: &Request, shared: &Arc<Shared>) -> Response {
         }
         // Thread exhaustion: run inline; the submit answer is late but
         // the job still completes and the contract holds.
-        Err(_) => run_job(&entry, &req, shared),
+        Err(_) => run_job(&entry, &req, tenant, shared),
     }
     let body = Value::Object(vec![
         ("id".to_string(), id.to_value()),
@@ -217,15 +228,18 @@ pub(crate) fn submit(request: &Request, shared: &Arc<Shared>) -> Response {
     json_response(202, &body)
 }
 
-fn run_job(entry: &Arc<JobEntry>, req: &SweepRequest, shared: &Arc<Shared>) {
-    let result = shared
-        .api
-        .sweep_with_progress(req, Some(Arc::clone(&entry.feed)));
+fn run_job(entry: &Arc<JobEntry>, req: &SweepRequest, tenant: usize, shared: &Arc<Shared>) {
+    let owner = shared.tenants.tenant(tenant);
+    let result =
+        shared
+            .api
+            .sweep_with_progress_in(owner.namespace(), req, Some(Arc::clone(&entry.feed)));
     {
         let mut state = entry.state.lock();
         match result {
             Ok(outcome) => {
                 shared.metrics.add_cache(&outcome.cache);
+                shared.tenants.add_cache(tenant, &outcome.cache);
                 state.phase = JobPhase::Done;
                 state.report = Some(outcome.body);
                 entry.feed.finish(None);
@@ -237,6 +251,7 @@ fn run_job(entry: &Arc<JobEntry>, req: &SweepRequest, shared: &Arc<Shared>) {
             }
         }
     }
+    owner.release_job();
     shared.jobs.active.fetch_sub(1, Ordering::SeqCst);
 }
 

@@ -28,6 +28,15 @@
 //!   (uptime, worker/queue/connection/job occupancy, per-endpoint
 //!   request counts and latency histograms, cumulative cache stats).
 //!
+//! The serving stack is multi-tenant ([`tenant`]): per-tenant API
+//! keys (`Authorization: Bearer`, constant-time compare), a
+//! deterministic token-bucket rate limiter per tenant (`429` with the
+//! exact refill delay in `Retry-After`), a deficit-round-robin
+//! weighted-fair admission queue with per-tenant depth caps, and
+//! per-tenant cache namespaces plus `/statusz` breakdowns. A server
+//! started without a tenant config keeps the exact single-user
+//! behavior: one anonymous tenant, no auth, no limits.
+//!
 //! No dependencies beyond `std`, the workspace's own crates, and a
 //! vendored shim over the `epoll`/`eventfd` syscalls — the server
 //! builds offline. The [`client`] module holds the matching minimal
@@ -51,9 +60,11 @@ mod reactor;
 mod server;
 pub mod signal;
 mod sys;
+pub mod tenant;
 
 pub use chaos::{ChaosDecision, ChaosPolicy, ChaosState};
 pub use error::ServeError;
 pub use metrics::{Histogram, Metrics, StatusGauges};
 pub use queue::BoundedQueue;
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use tenant::{FairQueue, TenantSpec, TokenBucket};

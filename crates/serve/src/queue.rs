@@ -1,7 +1,7 @@
 //! The bounded admission queue between the acceptor and the workers.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 struct State<T> {
     items: VecDeque<T>,
@@ -38,7 +38,7 @@ impl<T> BoundedQueue<T> {
     ///
     /// Returns `Err(item)` on overflow or after [`BoundedQueue::close`].
     pub fn try_push(&self, item: T) -> Result<(), T> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.lock();
         if state.closed || state.items.len() >= self.capacity {
             return Err(item);
         }
@@ -52,7 +52,7 @@ impl<T> BoundedQueue<T> {
     /// closed *and* drained (returning `None`). Closing does not drop
     /// queued items — workers finish the backlog first.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.lock();
         loop {
             if let Some(item) = state.items.pop_front() {
                 return Some(item);
@@ -60,14 +60,17 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.available.wait(state).expect("queue lock poisoned");
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: pushes start failing immediately, pops drain
     /// the backlog and then return `None`. Idempotent.
     pub fn close(&self) {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.lock();
         state.closed = true;
         drop(state);
         self.available.notify_all();
@@ -76,7 +79,7 @@ impl<T> BoundedQueue<T> {
     /// Items currently queued.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock poisoned").items.len()
+        self.lock().items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -89,6 +92,15 @@ impl<T> BoundedQueue<T> {
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Locks the state, recovering from poisoning: a panicking handler
+    /// must never wedge admission for every subsequent request. The
+    /// queue's invariants hold across unwinds (every mutation is a
+    /// single `VecDeque` operation), so the inner state is always safe
+    /// to reuse.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -126,6 +138,36 @@ mod tests {
         assert_eq!(q.pop(), Some(1), "backlog still drains");
         assert_eq!(q.pop(), None, "then pops see the close");
         q.close(); // idempotent
+    }
+
+    #[test]
+    fn poisoned_lock_stays_serviceable() {
+        // A panic while holding the state lock (what a panicking
+        // handler unwinding through queue internals looks like) must
+        // not take the queue down with it: pushes, pops, and close all
+        // keep working on the recovered guard.
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = q.state.lock().unwrap();
+            panic!("job panicked while the queue lock was held");
+        }));
+        std::panic::set_hook(prev);
+        assert!(poison.is_err());
+        assert!(
+            q.state.is_poisoned(),
+            "the panic must have poisoned the lock"
+        );
+
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        q.close();
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

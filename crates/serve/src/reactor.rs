@@ -313,7 +313,9 @@ impl Reactor {
     }
 
     /// Hands one parsed request to the worker pool (or rejects it
-    /// inline when the queue is full or closed).
+    /// inline: `401`/`403` for failed auth, `429` past the tenant's
+    /// rate limit, `503` when the tenant's sub-queue is full or the
+    /// queue is closed — none of which may ever occupy a worker).
     fn dispatch(&mut self, index: usize, seq: usize, request: Request) {
         let shared = Arc::clone(&self.shared);
         if seq > 0 {
@@ -321,6 +323,37 @@ impl Reactor {
                 .metrics
                 .keepalive_reuses
                 .fetch_add(1, Ordering::Relaxed);
+        }
+        // Tenant admission runs before the request can touch queue
+        // space: identity first, then the token bucket.
+        let tenant = match shared.tenants.resolve(&request) {
+            Ok(tenant) => tenant,
+            Err(response) => {
+                shared.metrics.record(&request.path, response.status, 0);
+                self.reject(index, seq, response);
+                return;
+            }
+        };
+        if request.path.starts_with("/v1/") {
+            let stats = &shared.tenants.tenant(tenant).stats;
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            if let Err(wait_us) = shared.tenants.admit(tenant) {
+                stats.rate_limited.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.record(&request.path, 429, 0);
+                // Advertise the exact refill delay, rounded up to the
+                // header's whole-second granularity.
+                let retry_after = wait_us.div_ceil(1_000_000).max(1);
+                let response = Response::error(
+                    429,
+                    &format!(
+                        "tenant {:?} over its rate limit, retry in {wait_us} us",
+                        shared.tenants.tenant(tenant).name
+                    ),
+                )
+                .header("Retry-After", retry_after.to_string());
+                self.reject(index, seq, response);
+                return;
+            }
         }
         let token = self.token_of(index);
         {
@@ -331,29 +364,43 @@ impl Reactor {
         let job = DispatchJob {
             token,
             seq,
+            tenant,
             request,
             started: Instant::now(),
         };
-        if shared.queue.try_push(job).is_err() {
+        if shared.queue.try_push(tenant, job).is_err() {
             // Admission control: answer the 503 here so a full worker
             // pool never delays the rejection.
             self.inflight -= 1;
             shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            shared
+                .tenants
+                .tenant(tenant)
+                .stats
+                .queue_rejected
+                .fetch_add(1, Ordering::Relaxed);
             let response =
                 Response::error(503, "server busy, try again").header("Retry-After", "1");
             let conn = self.slots[index].conn.as_mut().expect("validated");
             conn.in_flight -= 1;
-            conn.close_after = Some(seq);
-            conn.read_closed = true;
-            conn.enqueue(
-                seq,
-                Outgoing {
-                    bytes: response.serialize(false),
-                    close: true,
-                    drain: true,
-                },
-            );
+            self.reject(index, seq, response);
         }
+    }
+
+    /// Answers `response` inline and seals the connection after it:
+    /// the rejection never reaches the worker pool.
+    fn reject(&mut self, index: usize, seq: usize, response: Response) {
+        let conn = self.slots[index].conn.as_mut().expect("validated");
+        conn.close_after = Some(seq);
+        conn.read_closed = true;
+        conn.enqueue(
+            seq,
+            Outgoing {
+                bytes: response.serialize(false),
+                close: true,
+                drain: true,
+            },
+        );
     }
 
     /// The peer closed its write side. Returns whether the connection

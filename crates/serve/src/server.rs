@@ -27,10 +27,10 @@ use crate::chaos::{ChaosPolicy, ChaosState};
 use crate::dispatch::{worker_loop, Completion, DispatchJob};
 use crate::jobs::Jobs;
 use crate::metrics::Metrics;
-use crate::queue::BoundedQueue;
 use crate::reactor::Reactor;
 use crate::signal;
 use crate::sys;
+use crate::tenant::{FairQueue, TenantDefaults, TenantSpec, TenantTable};
 use crate::ServeError;
 use parking_lot::Mutex;
 use std::net::{SocketAddr, TcpListener};
@@ -69,6 +69,15 @@ pub struct ServerConfig {
     /// Deterministic misbehavior for resilience tests (`None` in
     /// production).
     pub chaos: Option<ChaosPolicy>,
+    /// The tenant roster (`--tenants FILE`). `None` keeps the exact
+    /// single-user behavior: one anonymous tenant, no auth, no rate
+    /// limit, a plain FIFO admission queue.
+    pub tenants: Option<Vec<TenantSpec>>,
+    /// Default sustained requests/second for tenants that omit `rps`
+    /// (0 = unlimited).
+    pub default_rps: f64,
+    /// Default token-bucket burst for tenants that omit `burst`.
+    pub default_burst: u64,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +93,9 @@ impl Default for ServerConfig {
             max_conns: 4096,
             max_jobs: 8,
             chaos: None,
+            tenants: None,
+            default_rps: 0.0,
+            default_burst: 16,
         }
     }
 }
@@ -92,7 +104,8 @@ impl Default for ServerConfig {
 pub(crate) struct Shared {
     pub(crate) api: ApiContext,
     pub(crate) metrics: Metrics,
-    pub(crate) queue: BoundedQueue<DispatchJob>,
+    pub(crate) tenants: TenantTable,
+    pub(crate) queue: FairQueue<DispatchJob>,
     pub(crate) completions: Mutex<Vec<Completion>>,
     pub(crate) waker: sys::Waker,
     pub(crate) busy: AtomicUsize,
@@ -135,6 +148,20 @@ impl Server {
         if let Some(chaos) = &config.chaos {
             chaos.validate().map_err(ServeError::Config)?;
         }
+        let tenants = match &config.tenants {
+            Some(specs) => TenantTable::from_specs(
+                specs,
+                &TenantDefaults {
+                    rps: config.default_rps,
+                    burst: config.default_burst.max(1),
+                    queue_depth: config.queue_depth.max(1),
+                    max_jobs: config.max_jobs.max(1),
+                },
+            )
+            .map_err(ServeError::Config)?,
+            None => TenantTable::single_user(config.queue_depth.max(1), config.max_jobs.max(1)),
+        };
+        let queue = FairQueue::for_tenants(&tenants);
         let bind_err = |message: String| ServeError::Bind {
             addr: config.addr.clone(),
             message,
@@ -150,7 +177,8 @@ impl Server {
         let shared = Arc::new(Shared {
             api,
             metrics: Metrics::new(),
-            queue: BoundedQueue::new(config.queue_depth.max(1)),
+            tenants,
+            queue,
             completions: Mutex::new(Vec::new()),
             waker,
             busy: AtomicUsize::new(0),

@@ -10,8 +10,10 @@
 //! - [`LogWriter`] appends one record per call and flushes it — an O(1)
 //!   incremental update. An append interrupted by a crash can leave one
 //!   torn final line; [`read_log`] detects that case (last line, no
-//!   trailing newline, invalid JSON) and drops the torn line rather
-//!   than failing, so the log loses at most the record in flight.
+//!   trailing newline, invalid JSON), truncates the torn bytes off the
+//!   file with a logged warning, and returns the intact prefix, so the
+//!   log loses at most the record in flight and stays safe to append
+//!   to. Interior corruption is never repaired — it is a hard error.
 
 use crate::StoreError;
 use serde::Value;
@@ -48,8 +50,10 @@ pub fn write_log(path: &Path, header: &Value, records: &[Value]) -> Result<(), S
 /// Reads a log back as `(header, records)`.
 ///
 /// A torn final line (crash mid-append: last line, not
-/// newline-terminated, not valid JSON) is dropped silently; any other
-/// malformed line is an error.
+/// newline-terminated, not valid JSON) is truncated off the file with a
+/// logged warning — at most one record, the one in flight when the
+/// process died, is lost, and the file is left safe to append to. Any
+/// other malformed line is an error.
 ///
 /// # Errors
 ///
@@ -72,11 +76,53 @@ pub fn read_log(path: &Path) -> Result<(Value, Vec<Value>), StoreError> {
         match serde_json::from_str::<Value>(raw) {
             Ok(v) => records.push(v),
             // Only the unterminated final line may be torn by a crash.
-            Err(_) if i + 1 == lines.len() && !terminated => break,
+            // Repair the file in place: leaving the fragment on disk
+            // would fuse it with the next append into interior garbage
+            // that no later open could read past.
+            Err(_) if i + 1 == lines.len() && !terminated => {
+                let keep = text.len() - raw.len();
+                truncate_torn_tail(path, keep, raw.len());
+                break;
+            }
             Err(e) => return Err(StoreError::parse(path, i + 1, e)),
         }
     }
     Ok((header, records))
+}
+
+/// Cuts a torn trailing line off the log. Best-effort: a read-only
+/// file (or a racing writer) only costs us the repair, not the open —
+/// the caller already dropped the fragment from the parsed records.
+fn truncate_torn_tail(path: &Path, keep_bytes: usize, torn_bytes: usize) {
+    let result = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .and_then(|f| f.set_len(keep_bytes as u64));
+    match result {
+        Ok(()) => eprintln!(
+            "wrsn-store: {}: dropped a torn trailing line ({torn_bytes} bytes) \
+             left by an interrupted append",
+            path.display()
+        ),
+        Err(e) => eprintln!(
+            "wrsn-store: {}: found a torn trailing line ({torn_bytes} bytes) \
+             but could not truncate it: {e}",
+            path.display()
+        ),
+    }
+}
+
+/// Whether the file's final byte is a newline (`len` is its current
+/// size, already known to be non-zero).
+fn ends_with_newline(path: &Path, len: u64) -> Result<bool, StoreError> {
+    use std::io::{Read as _, Seek as _, SeekFrom};
+    let mut f = File::open(path).map_err(|e| StoreError::io(path, e))?;
+    f.seek(SeekFrom::Start(len - 1))
+        .map_err(|e| StoreError::io(path, e))?;
+    let mut last = [0u8; 1];
+    f.read_exact(&mut last)
+        .map_err(|e| StoreError::io(path, e))?;
+    Ok(last[0] == b'\n')
 }
 
 /// An open log accepting O(1) record appends.
@@ -106,11 +152,20 @@ impl LogWriter {
     ///
     /// [`StoreError::Io`] when the file cannot be opened.
     pub fn append_to(path: &Path) -> Result<Self, StoreError> {
-        let file = OpenOptions::new()
+        let mut file = OpenOptions::new()
             .append(true)
             .open(path)
             .map_err(|e| StoreError::io(path, e))?;
-        let bytes = file.metadata().map_err(|e| StoreError::io(path, e))?.len();
+        let mut bytes = file.metadata().map_err(|e| StoreError::io(path, e))?.len();
+        // A crash exactly between a record and its newline leaves a
+        // complete final line with no terminator; appending after it
+        // would fuse two records onto one line. Complete it instead.
+        if bytes > 0 && !ends_with_newline(path, bytes)? {
+            file.write_all(b"\n")
+                .and_then(|()| file.flush())
+                .map_err(|e| StoreError::io(path, e))?;
+            bytes += 1;
+        }
         Ok(LogWriter {
             path: path.to_path_buf(),
             file,
@@ -205,11 +260,44 @@ mod tests {
     }
 
     #[test]
-    fn torn_trailing_line_is_dropped() {
+    fn torn_trailing_line_is_dropped_and_truncated_on_disk() {
         let path = temp("torn.jsonl");
         std::fs::write(&path, "{\"version\": 2}\n{\"seed\": 0}\n{\"se").unwrap();
         let (_, r) = read_log(&path).unwrap();
         assert_eq!(r, vec![obj(&[("seed", 0)])]);
+        // The torn bytes are gone from disk, not just skipped in
+        // memory: the file ends at the last intact newline.
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "{\"version\": 2}\n{\"seed\": 0}\n"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn appends_after_a_torn_tail_stay_readable() {
+        let path = temp("torn-then-append.jsonl");
+        std::fs::write(&path, "{\"version\": 2}\n{\"seed\": 0}\n{\"se").unwrap();
+        let (_, r) = read_log(&path).unwrap();
+        assert_eq!(r.len(), 1);
+        let mut w = LogWriter::append_to(&path).unwrap();
+        w.append(&obj(&[("seed", 1)])).unwrap();
+        let (_, r) = read_log(&path).unwrap();
+        assert_eq!(r, vec![obj(&[("seed", 0)]), obj(&[("seed", 1)])]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn unterminated_final_record_is_completed_before_appending() {
+        // The other crash window: the record landed but its newline
+        // did not. The record must survive and the next append must
+        // not fuse onto its line.
+        let path = temp("no-newline.jsonl");
+        std::fs::write(&path, "{\"version\": 2}\n{\"seed\": 0}").unwrap();
+        let mut w = LogWriter::append_to(&path).unwrap();
+        w.append(&obj(&[("seed", 1)])).unwrap();
+        let (_, r) = read_log(&path).unwrap();
+        assert_eq!(r, vec![obj(&[("seed", 0)]), obj(&[("seed", 1)])]);
         let _ = std::fs::remove_file(path);
     }
 

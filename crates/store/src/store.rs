@@ -507,6 +507,42 @@ mod tests {
     }
 
     #[test]
+    fn reopen_survives_a_partial_final_record() {
+        // Crash-during-append: the newest segment ends mid-record. The
+        // reopen must keep every intact entry, lose only the record in
+        // flight, and leave the directory fully writable again.
+        let dir = temp_dir("torn-reopen");
+        let store = ResultStore::open(&dir).unwrap();
+        store.put(&key("a"), 1u64.to_value()).unwrap();
+        store.put(&key("b"), 2u64.to_value()).unwrap();
+        store.sync().unwrap();
+        drop(store);
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| {
+                p.file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with("seg-"))
+            })
+            .expect("one segment written");
+        let mut file = std::fs::OpenOptions::new().append(true).open(&seg).unwrap();
+        use std::io::Write as _;
+        file.write_all(b"{\"key\": \"0123456789abcdef\", \"val")
+            .unwrap();
+        drop(file);
+
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 2, "intact entries survive the torn tail");
+        assert_eq!(reopened.get(&key("a")), Some(1u64.to_value()));
+        assert_eq!(reopened.get(&key("b")), Some(2u64.to_value()));
+        reopened.put(&key("c"), 3u64.to_value()).unwrap();
+        drop(reopened);
+        let again = ResultStore::open(&dir).unwrap();
+        assert_eq!(again.len(), 3, "appends after the repair round-trip");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
     fn existing_keys_are_not_duplicated() {
         let dir = temp_dir("dedup");
         let store = ResultStore::open(&dir).unwrap();

@@ -13,9 +13,10 @@ use std::time::Duration;
 use wrsn::engine::ResultStore;
 use wrsn::serve::api::ApiContext;
 use wrsn::serve::client::{
-    loadgen, request, request_with_retry, run_job, ClientResponse, Connection, RetryPolicy,
+    loadgen, request, request_auth, request_with_retry, request_with_retry_auth, run_job,
+    ClientResponse, Connection, RetryPolicy,
 };
-use wrsn::serve::{ChaosPolicy, Server, ServerConfig, ServerHandle};
+use wrsn::serve::{ChaosPolicy, Server, ServerConfig, ServerHandle, TenantSpec};
 
 fn scratch(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join("wrsn-serving-test").join(name);
@@ -645,6 +646,321 @@ fn async_job_report_is_byte_identical_to_the_synchronous_sweep() {
         serde_json::to_string(report).unwrap(),
         sweep.body,
         "async and synchronous sweeps must serve identical bytes"
+    );
+    server.shutdown().unwrap();
+}
+
+/// A keyed tenant spec with everything else defaulted — the builder
+/// the multi-tenant tests share.
+fn tenant_spec(name: &str, key: Option<&str>, weight: u32) -> TenantSpec {
+    TenantSpec {
+        name: name.to_string(),
+        key: key.map(str::to_string),
+        weight,
+        rps: None,
+        burst: None,
+        queue_depth: None,
+        isolated: false,
+        max_jobs: None,
+    }
+}
+
+#[test]
+fn api_keys_gate_the_api_with_401_and_403() {
+    let server = start_with(
+        ApiContext::new(),
+        ServerConfig {
+            workers: 2,
+            queue_depth: 16,
+            tenants: Some(vec![tenant_spec("alpha", Some("alpha-key"), 2)]),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.addr().to_string();
+    let body = format!("{{{SMALL},\"solver\":\"idb\"}}");
+
+    // Probes never need credentials — readiness checks keep working.
+    let health = request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+
+    // No credentials on the API: 401 (the config has no keyless entry).
+    let missing = request(&addr, "POST", "/v1/solve", Some(&body)).unwrap();
+    assert_eq!(missing.status, 401, "{}", missing.body);
+
+    // A key the config does not know: 403.
+    let unknown = request_auth(&addr, "POST", "/v1/solve", Some(&body), Some("nope")).unwrap();
+    assert_eq!(unknown.status, 403, "{}", unknown.body);
+
+    // The right key: served normally.
+    let ok = request_auth(&addr, "POST", "/v1/solve", Some(&body), Some("alpha-key")).unwrap();
+    assert_eq!(ok.status, 200, "{}", ok.body);
+
+    // The tenant breakdown surfaces in /statusz (a probe, so keyless).
+    let statusz = request(&addr, "GET", "/statusz", None).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&statusz.body).unwrap();
+    let alpha = v.get("tenants").and_then(|t| t.get("alpha")).unwrap();
+    assert_eq!(
+        alpha.get("requests").and_then(serde_json::Value::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        alpha.get("weight").and_then(serde_json::Value::as_u64),
+        Some(2)
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn isolated_tenants_get_private_cache_namespaces() {
+    let store = Arc::new(ResultStore::open(scratch("tenant-namespaces")).unwrap());
+    let (api, calls) = counted_api(store);
+    let mut isolated_a = tenant_spec("iso-a", Some("a-key"), 1);
+    isolated_a.isolated = true;
+    let mut isolated_b = tenant_spec("iso-b", Some("b-key"), 1);
+    isolated_b.isolated = true;
+    let shared = tenant_spec("shared", Some("c-key"), 1);
+    let server = start_with(
+        api,
+        ServerConfig {
+            workers: 2,
+            queue_depth: 16,
+            tenants: Some(vec![isolated_a, isolated_b, shared]),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.addr().to_string();
+    let body = format!("{{{SMALL},\"solver\":\"counted\",\"seeds\":2}}");
+    let sweep =
+        |key: &str| request_auth(&addr, "POST", "/v1/sweep", Some(&body), Some(key)).unwrap();
+
+    // Tenant a computes its two seeds, then hits its own namespace.
+    let first = sweep("a-key");
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(calls.load(Ordering::SeqCst), 2);
+    let again = sweep("a-key");
+    assert_eq!(again.header("x-cache-hits"), Some("2"));
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        2,
+        "a's repeat must hit its cache"
+    );
+
+    // Tenant b is isolated too: the identical request recomputes under
+    // b's namespace instead of reading a's entries.
+    let other = sweep("b-key");
+    assert_eq!(other.header("x-cache-misses"), Some("2"));
+    assert_eq!(calls.load(Ordering::SeqCst), 4, "b must not see a's cache");
+
+    // All three bodies are byte-identical — namespaces isolate cache
+    // entries, never change results.
+    assert_eq!(first.body, again.body);
+    assert_eq!(first.body, other.body);
+
+    // The shared tenant lives in the default namespace, disjoint from
+    // both isolated ones, and its stats surface per tenant.
+    let shared_resp = sweep("c-key");
+    assert_eq!(shared_resp.header("x-cache-misses"), Some("2"));
+    assert_eq!(calls.load(Ordering::SeqCst), 6);
+    assert_eq!(first.body, shared_resp.body);
+    let statusz = request(&addr, "GET", "/statusz", None).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&statusz.body).unwrap();
+    let tenants = v.get("tenants").unwrap();
+    assert_eq!(
+        tenants
+            .get("iso-a")
+            .and_then(|t| t.get("cache_hits"))
+            .and_then(serde_json::Value::as_u64),
+        Some(2)
+    );
+    assert_eq!(
+        tenants
+            .get("iso-b")
+            .and_then(|t| t.get("cache_misses"))
+            .and_then(serde_json::Value::as_u64),
+        Some(2)
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn weighted_fair_admission_keeps_an_interactive_tenant_responsive_under_flood() {
+    // The headline multi-tenant scenario: an aggressor floods sweeps at
+    // full tilt while an interactive tenant (weight 3 vs 1) issues
+    // solves, all under a 10%-fault chaos policy. The interactive
+    // tenant's p99 must stay within 3x its unloaded p99, every 429 must
+    // land on the aggressor, and both tenants' sweep bodies must be
+    // byte-identical to a clean single-tenant server's answer.
+    let sweep_body =
+        r#"{"instance":{"posts":6,"nodes":30,"field":200.0},"solver":"idb","seeds":6}"#.to_string();
+    let solve_body = format!("{{{SMALL},\"solver\":\"idb\"}}");
+
+    // 1. Clean single-tenant baseline: reference bytes + unloaded p99.
+    let clean = start(ApiContext::new(), 2, 32);
+    let clean_addr = clean.addr().to_string();
+    let want = post(&clean_addr, "/v1/sweep", &sweep_body);
+    assert_eq!(want.status, 200, "{}", want.body);
+    let mut unloaded = Vec::new();
+    for _ in 0..30 {
+        let t0 = std::time::Instant::now();
+        let resp = post(&clean_addr, "/v1/solve", &solve_body);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        unloaded.push(t0.elapsed());
+    }
+    unloaded.sort_unstable();
+    let unloaded_p99 = unloaded[unloaded.len() - 1];
+    clean.shutdown().unwrap();
+
+    // 2. The contested server: aggressor rate-limited and weight 1,
+    //    interactive unlimited and weight 3, 10% injected faults.
+    let mut aggressor = tenant_spec("aggressor", Some("agg-key"), 1);
+    aggressor.rps = Some(120.0);
+    aggressor.burst = Some(8);
+    let interactive = tenant_spec("interactive", Some("int-key"), 3);
+    let server = start_with(
+        ApiContext::new(),
+        ServerConfig {
+            workers: 2,
+            queue_depth: 32,
+            chaos: Some(ChaosPolicy::seeded(42).faults(0.1)),
+            tenants: Some(vec![aggressor, interactive]),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.addr().to_string();
+
+    let stop = Arc::new(AtomicUsize::new(0));
+    let flood = {
+        let addr = addr.clone();
+        let sweep_body = sweep_body.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let (mut sent, mut limited) = (0u64, 0u64);
+            while stop.load(Ordering::SeqCst) == 0 {
+                if let Ok(resp) = request_auth(
+                    &addr,
+                    "POST",
+                    "/v1/sweep",
+                    Some(&sweep_body),
+                    Some("agg-key"),
+                ) {
+                    sent += 1;
+                    if resp.status == 429 {
+                        limited += 1;
+                        assert!(
+                            resp.header("retry-after").is_some(),
+                            "429 must carry Retry-After"
+                        );
+                    }
+                }
+            }
+            (sent, limited)
+        })
+    };
+
+    // 3. The interactive tenant's session: every solve must terminate
+    //    in a 200 (chaos 500s are retried) and never see a 429.
+    let mut latencies = Vec::new();
+    for i in 0..40 {
+        let t0 = std::time::Instant::now();
+        let outcome = request_with_retry_auth(
+            &addr,
+            "POST",
+            "/v1/solve",
+            Some(&solve_body),
+            Some("int-key"),
+            &fast_retry(100 + i),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            outcome.response.status, 200,
+            "interactive request failed terminally: {}",
+            outcome.response.body
+        );
+        assert_eq!(
+            outcome.rate_limited, 0,
+            "the interactive tenant must never be throttled"
+        );
+        latencies.push(t0.elapsed());
+    }
+    stop.store(1, Ordering::SeqCst);
+    let (flood_sent, flood_limited) = flood.join().unwrap();
+    assert!(flood_sent > 0, "the aggressor never got a request through");
+    assert!(
+        flood_limited > 0,
+        "the aggressor should have been rate limited ({flood_sent} sent)"
+    );
+
+    // 4. p99 bound: within 3x the unloaded p99, floored at 25 ms so the
+    //    bound absorbs one worst-case chaos retry (backoff plus the
+    //    non-preemptible sweep already in service) without ever letting
+    //    a starved tenant — whose waits are hundreds of ms — slip by.
+    latencies.sort_unstable();
+    let p99 = latencies[latencies.len() - 1];
+    let bound = unloaded_p99.max(Duration::from_millis(25)) * 3;
+    assert!(
+        p99 <= bound,
+        "interactive p99 {p99:?} exceeds bound {bound:?} (unloaded {unloaded_p99:?})"
+    );
+
+    // 5. Both tenants' sweeps still serve the clean server's bytes.
+    for key in ["agg-key", "int-key"] {
+        let outcome = request_with_retry_auth(
+            &addr,
+            "POST",
+            "/v1/sweep",
+            Some(&sweep_body),
+            Some(key),
+            &fast_retry(7),
+            None,
+        )
+        .unwrap();
+        assert_eq!(outcome.response.status, 200, "{key}");
+        assert_eq!(
+            outcome.response.body, want.body,
+            "{key}: sweep bytes must match the clean single-tenant run"
+        );
+    }
+
+    // 6. /statusz confirms the 429s are confined to the aggressor.
+    let statusz = request(&addr, "GET", "/statusz", None).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&statusz.body).unwrap();
+    let tenants = v.get("tenants").unwrap();
+    let limited = |name: &str| {
+        tenants
+            .get(name)
+            .and_then(|t| t.get("rate_limited"))
+            .and_then(serde_json::Value::as_u64)
+            .unwrap()
+    };
+    assert!(limited("aggressor") > 0);
+    assert_eq!(limited("interactive"), 0);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn a_server_without_tenants_still_serves_anonymously() {
+    // Back-compat: no tenant config means the exact single-user
+    // behavior — no auth required, no rate limit, FIFO admission.
+    let server = start(ApiContext::new(), 2, 16);
+    let addr = server.addr().to_string();
+    let body = format!("{{{SMALL},\"solver\":\"idb\"}}");
+    for _ in 0..5 {
+        let resp = post(&addr, "/v1/solve", &body);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+    // A stray Bearer key is ignored rather than rejected.
+    let keyed = request_auth(&addr, "POST", "/v1/solve", Some(&body), Some("whatever")).unwrap();
+    assert_eq!(keyed.status, 200, "{}", keyed.body);
+    let statusz = request(&addr, "GET", "/statusz", None).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&statusz.body).unwrap();
+    let anon = v.get("tenants").and_then(|t| t.get("anonymous")).unwrap();
+    assert!(
+        anon.get("requests")
+            .and_then(serde_json::Value::as_u64)
+            .unwrap()
+            >= 6,
+        "anonymous tenant carries all single-user traffic"
     );
     server.shutdown().unwrap();
 }

@@ -1,0 +1,157 @@
+//! Property tests for the multi-tenant admission primitives: the
+//! deterministic token bucket (rate-limit arithmetic is exact over an
+//! explicit microsecond clock) and the deficit-round-robin fair queue
+//! (backlogged classes share pops in proportion to their weights).
+
+use proptest::prelude::*;
+use wrsn::serve::{FairQueue, TokenBucket};
+
+/// A strategy over bucket shapes: integral rates keep the float
+/// arithmetic well away from representability edge cases.
+fn arb_bucket() -> impl Strategy<Value = (f64, u64)> {
+    (1u32..=2_000, 1u64..=64).prop_map(|(rate, burst)| (f64::from(rate), burst))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Over any arrival pattern in a window of `T` microseconds, the
+    /// bucket admits at most `burst + rate * T` requests — the defining
+    /// token-bucket envelope. No interleaving can beat it.
+    #[test]
+    fn bucket_never_admits_past_the_rate_envelope(
+        (rate, burst) in arb_bucket(),
+        gaps in proptest::collection::vec(0u64..50_000, 1..200),
+    ) {
+        let mut bucket = TokenBucket::new(rate, burst);
+        let mut now = 0u64;
+        let mut admitted = 0u64;
+        for gap in &gaps {
+            now += gap;
+            if bucket.try_take(now).is_ok() {
+                admitted += 1;
+            }
+        }
+        let envelope = burst as f64 + rate * (now as f64) / 1e6;
+        // One extra token of slack for the ceil on refill arithmetic.
+        prop_assert!(
+            (admitted as f64) <= envelope + 1.0,
+            "admitted {admitted} past envelope {envelope:.3} (rate {rate}, burst {burst})"
+        );
+    }
+
+    /// The advertised `Retry-After` delay is exact: one microsecond
+    /// before it a retry still bounces, and at the advertised instant
+    /// it succeeds.
+    #[test]
+    fn bucket_refusals_carry_the_exact_refill_delay(
+        (rate, burst) in arb_bucket(),
+        start in 0u64..1_000_000,
+    ) {
+        let mut bucket = TokenBucket::new(rate, burst);
+        for _ in 0..burst {
+            prop_assert_eq!(bucket.try_take(start), Ok(()));
+        }
+        let wait = bucket.try_take(start).expect_err("burst exhausted");
+        if wait > 1 {
+            prop_assert!(
+                bucket.try_take(start + wait - 1).is_err(),
+                "admitted {}us early", 1
+            );
+        }
+        prop_assert_eq!(
+            bucket.try_take(start + wait),
+            Ok(()),
+            "still refused at the advertised refill instant (+{}us)",
+            wait
+        );
+    }
+
+    /// The refill clock is monotonic: a timestamp earlier than one
+    /// already seen is clamped, so out-of-order polls can never mint
+    /// extra tokens or panic on the subtraction.
+    #[test]
+    fn bucket_clamps_backwards_timestamps(
+        (rate, burst) in arb_bucket(),
+        times in proptest::collection::vec(0u64..10_000_000, 1..200),
+    ) {
+        let mut shuffled = TokenBucket::new(rate, burst);
+        let mut admitted = 0u64;
+        for &t in &times {
+            if shuffled.try_take(t).is_ok() {
+                admitted += 1;
+            }
+        }
+        // Replaying the same instants in order admits at least as much:
+        // going backwards never helps a client.
+        let mut ordered_times = times.clone();
+        ordered_times.sort_unstable();
+        let mut ordered = TokenBucket::new(rate, burst);
+        let mut ordered_admitted = 0u64;
+        for &t in &ordered_times {
+            if ordered.try_take(t).is_ok() {
+                ordered_admitted += 1;
+            }
+        }
+        prop_assert!(
+            admitted <= ordered_admitted,
+            "out-of-order arrivals admitted {admitted} > in-order {ordered_admitted}"
+        );
+    }
+
+    /// With every class permanently backlogged, deficit round-robin
+    /// hands each class pops in exact proportion to its weight: over
+    /// `k` full rounds, class `i` with weight `w_i` gets `k * w_i`
+    /// pops, give or take one round's quantum.
+    #[test]
+    fn fair_queue_shares_converge_to_the_weights(
+        weights in proptest::collection::vec(1u32..=8, 2..6),
+        rounds in 4u64..40,
+    ) {
+        let classes: Vec<(u32, usize)> =
+            weights.iter().map(|&w| (w, 64usize)).collect();
+        let queue: FairQueue<usize> = FairQueue::new(&classes);
+        // Saturate every class, and keep it saturated after every pop
+        // so no class ever runs dry and forfeits its turn.
+        for (class, _) in classes.iter().enumerate() {
+            while queue.try_push(class, class).is_ok() {}
+        }
+        let weight_sum: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        let total = rounds * weight_sum;
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..total {
+            let class = queue.pop().expect("every class is backlogged");
+            counts[class] += 1;
+            // Refill immediately; ignore a full sub-queue.
+            let _ = queue.try_push(class, class);
+        }
+        for (class, &got) in counts.iter().enumerate() {
+            let fair = rounds * u64::from(weights[class]);
+            let slack = u64::from(weights[class]);
+            prop_assert!(
+                got.abs_diff(fair) <= slack,
+                "class {class} (weight {}) got {got} of {total} pops, fair share {fair}",
+                weights[class]
+            );
+        }
+    }
+
+    /// A single-class fair queue is exactly FIFO — the degenerate case
+    /// the untenanted server runs on, so order must match the old
+    /// bounded queue byte for byte.
+    #[test]
+    fn fair_queue_with_one_class_is_fifo(
+        items in proptest::collection::vec(any::<u32>(), 1..64),
+    ) {
+        let queue: FairQueue<u32> = FairQueue::new(&[(1, items.len())]);
+        for &item in &items {
+            queue.try_push(0, item).expect("within capacity");
+        }
+        queue.close();
+        let mut drained = Vec::new();
+        while let Some(item) = queue.pop() {
+            drained.push(item);
+        }
+        prop_assert_eq!(drained, items);
+    }
+}
