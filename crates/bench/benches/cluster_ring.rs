@@ -1,0 +1,60 @@
+//! Consistent-hash ring microbenchmarks: ring construction (the cost a
+//! node pays once at startup, rebuilt from scratch on every membership
+//! change), owner lookups (paid on every clustered request before any
+//! work is admitted), and the exact arc-share computation backing
+//! `/statusz`. The lookup must stay trivially cheap next to even a
+//! cached solve round-trip, or the fabric would tax the hit path it
+//! exists to accelerate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wrsn_cluster::{HashRing, Peer, DEFAULT_VNODES};
+
+fn peers(n: usize) -> Vec<Peer> {
+    (0..n)
+        .map(|i| Peer {
+            id: format!("node-{i}"),
+            addr: format!("10.0.0.{i}:7421"),
+        })
+        .collect()
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster ring");
+
+    for n in [3usize, 16] {
+        group.bench_function(format!("build {n} peers x {DEFAULT_VNODES} vnodes"), |b| {
+            b.iter(|| HashRing::new(peers(n), 7, DEFAULT_VNODES).expect("valid ring"));
+        });
+    }
+
+    let ring = HashRing::new(peers(16), 7, DEFAULT_VNODES).expect("valid ring");
+    // Keys shaped like the two real routing inputs: a 32-hex
+    // fingerprint (direct parse) and a free-form string (hashed).
+    let hex_keys: Vec<String> = (0..256)
+        .map(|i: u128| format!("{:032x}", i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        .collect();
+    let raw_keys: Vec<String> = (0..256).map(|i| format!("simulate:{i}")).collect();
+
+    group.bench_function("owner lookup, fingerprint key", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % hex_keys.len();
+            ring.owner_index(&hex_keys[i])
+        });
+    });
+    group.bench_function("owner lookup, raw key", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % raw_keys.len();
+            ring.owner_index(&raw_keys[i])
+        });
+    });
+    group.bench_function("exact shares, 16 peers", |b| {
+        b.iter(|| ring.shares());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring);
+criterion_main!(benches);

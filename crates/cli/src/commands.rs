@@ -40,6 +40,7 @@ COMMANDS:
     serve      run the HTTP serving layer over the solver registry
     loadgen    drive a running server and report throughput/latency
     cache      maintain the content-addressed result store (gc)
+    cluster    inspect a serve-cluster fleet (status)
     help       show this message (or `wrsn <command> --help`)
 
 Run `wrsn <command> --help` for per-command options.";
@@ -185,7 +186,21 @@ Chaos injection (testing the client's resilience; /v1 paths only):
     --chaos-truncate P   probability the response body is cut short
     --chaos-latency P    probability of an added delay
     --chaos-latency-ms MS  delay per latency hit           [default: 25]
-    --chaos-seed K       seed for the chaos RNG            [default: 0]";
+    --chaos-seed K       seed for the chaos RNG            [default: 0]
+
+Cluster mode (requires --cache; without --cluster-peers the server is
+byte-for-byte the single-node service):
+    --cluster-peers LIST  comma-separated id=addr entries naming every
+                    node of the fleet (a bare addr doubles as its id);
+                    all nodes must agree on the list
+    --node-id ID    this node's entry in the peer list        [required
+                    with --cluster-peers]
+    --gossip-interval-ms MS  delay between anti-entropy ticks
+                                                      [default: 1000]
+    --cluster-seed K    shared seed for the consistent-hash ring; all
+                    nodes must agree                      [default: 0]
+    --cluster-vnodes V  virtual nodes per peer on the ring
+                                                      [default: 128]";
 
 const LOADGEN_HELP: &str = "\
 wrsn loadgen — drive a running `wrsn serve` and measure it
@@ -207,6 +222,11 @@ OPTIONS:
     --job           submit one async job (POST /v1/jobs) with --body as
                     the sweep spec, stream its events, and report the
                     round trip instead of load-testing
+    --addrs A,B,... round-robin the workload across several cluster
+                    nodes (each gets requests/N) and report one row per
+                    node next to the aggregate; overrides --addr
+                    (incompatible with --connections/--job/
+                    --tenants-file)
     --tenant KEY    authenticate every request with
                     Authorization: Bearer KEY
     --tenants-file FILE  adversarial mode: drive every keyed tenant in
@@ -229,6 +249,19 @@ OPTIONS (gc):
     --cache [DIR]   store directory   [default dir: bench_results/cache]
     --max-bytes N   on-disk size budget after the unreachable pass
     --json          machine-readable GcReport output";
+
+const CLUSTER_HELP: &str = "\
+wrsn cluster — inspect a serve-cluster fleet
+
+SUBCOMMANDS:
+    status          fetch /statusz from every node and show the fleet:
+                    per-node key share, forwarded hits/misses, gossip
+                    progress, cache entries, and the keys digest (equal
+                    digests mean converged caches)
+
+OPTIONS (status):
+    --addrs A,B,... comma-separated node addresses           [required]
+    --json          machine-readable output";
 
 const FIELDEXP_HELP: &str = "\
 wrsn fieldexp — replay the Section II field experiment
@@ -346,6 +379,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "serve" if wants_help => Ok(SERVE_HELP.to_string()),
         "loadgen" if wants_help => Ok(LOADGEN_HELP.to_string()),
         "cache" if wants_help => Ok(CACHE_HELP.to_string()),
+        "cluster" if wants_help => Ok(CLUSTER_HELP.to_string()),
         "solve" => solve(Args::parse(rest.to_vec())?),
         "sweep" => sweep(Args::parse(rest.to_vec())?),
         "merge" => merge(Args::parse(rest.to_vec())?),
@@ -355,6 +389,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "serve" => serve_cmd(Args::parse(rest.to_vec())?),
         "loadgen" => loadgen_cmd(Args::parse(rest.to_vec())?),
         "cache" => cache_cmd(rest),
+        "cluster" => cluster_cmd(rest),
         other => Err(CliError::Msg(format!(
             "unknown command {other:?}\n\n{USAGE}"
         ))),
@@ -1359,6 +1394,15 @@ fn serve_cmd(mut args: Args) -> Result<String, CliError> {
     let chaos_latency: Option<f64> = args.opt("chaos-latency", "a probability")?;
     let chaos_latency_ms: u64 = args.get_or("chaos-latency-ms", "milliseconds", 25)?;
     let chaos_seed: u64 = args.get_or("chaos-seed", "an integer seed", 0)?;
+    let cluster_peers: Option<String> = args.opt("cluster-peers", "a peer list")?;
+    let node_id: Option<String> = args.opt("node-id", "a node id")?;
+    let gossip_interval_ms: u64 = args.get_or("gossip-interval-ms", "milliseconds", 1000)?;
+    let cluster_seed: u64 = args.get_or("cluster-seed", "an integer seed", 0)?;
+    let cluster_vnodes: usize = args.get_or(
+        "cluster-vnodes",
+        "a virtual-node count",
+        wrsn_cluster::DEFAULT_VNODES,
+    )?;
     args.finish()?;
     if workers == 0 {
         return Err(CliError::Msg("--workers must be at least 1".into()));
@@ -1425,6 +1469,56 @@ fn serve_cmd(mut args: Args) -> Result<String, CliError> {
         Some(specs) => format!(", {} tenant(s)", specs.len()),
         None => String::new(),
     };
+    let cluster = match &cluster_peers {
+        Some(spec) => {
+            if cache_arg.is_none() {
+                return Err(CliError::Msg(
+                    "--cluster-peers requires --cache (the fabric shares the result store)".into(),
+                ));
+            }
+            let peers = wrsn_cluster::parse_peers(spec)
+                .map_err(|why| CliError::Msg(format!("--cluster-peers: {why}")))?;
+            let node_id = node_id
+                .ok_or_else(|| CliError::Msg("--cluster-peers requires --node-id".into()))?;
+            if gossip_interval_ms == 0 {
+                return Err(CliError::Msg(
+                    "--gossip-interval-ms must be at least 1".into(),
+                ));
+            }
+            if cluster_vnodes == 0 {
+                return Err(CliError::Msg("--cluster-vnodes must be at least 1".into()));
+            }
+            let config = wrsn_cluster::ClusterConfig {
+                node_id,
+                peers,
+                seed: cluster_seed,
+                vnodes: cluster_vnodes,
+                gossip_interval: Duration::from_millis(gossip_interval_ms),
+            };
+            // Validate membership now so a typoed --node-id fails at
+            // startup, not on the first forwarded request.
+            config
+                .ring()
+                .map_err(|why| CliError::Msg(format!("cluster config: {why}")))?;
+            Some(config)
+        }
+        None => {
+            if node_id.is_some() {
+                return Err(CliError::Msg("--node-id requires --cluster-peers".into()));
+            }
+            None
+        }
+    };
+    let cluster_note = match &cluster {
+        Some(c) => format!(
+            ", cluster node {} of {} ({} vnodes, gossip {}ms)",
+            c.node_id,
+            c.peers.len(),
+            c.vnodes,
+            gossip_interval_ms
+        ),
+        None => String::new(),
+    };
     let store = cache_arg.map(open_cache).transpose()?;
     let cache_note = match &store {
         Some(store) => format!(
@@ -1456,6 +1550,7 @@ fn serve_cmd(mut args: Args) -> Result<String, CliError> {
         tenants,
         default_rps,
         default_burst,
+        cluster,
         ..ServerConfig::default()
     };
     let handle = Server::start(&config, api).map_err(|e| CliError::Msg(e.to_string()))?;
@@ -1464,7 +1559,7 @@ fn serve_cmd(mut args: Args) -> Result<String, CliError> {
     // report, printed only after shutdown.
     eprintln!(
         "wrsn-serve listening on {bound} ({workers} worker(s), queue {queue_depth}, \
-         conns {max_conns}, jobs {max_jobs}{tenants_note}{cache_note}{chaos_note})"
+         conns {max_conns}, jobs {max_jobs}{tenants_note}{cache_note}{chaos_note}{cluster_note})"
     );
     handle
         .run_until_signal()
@@ -1537,6 +1632,7 @@ fn loadgen_cmd(mut args: Args) -> Result<String, CliError> {
     let job = args.flag("job");
     let tenant_key: Option<String> = args.opt("tenant", "an API key")?;
     let tenants_file: Option<String> = args.opt("tenants-file", "a tenants file")?;
+    let addrs: Option<String> = args.opt("addrs", "a comma-separated address list")?;
     let bench_json: Option<String> = args.opt("bench-json", "an output path")?;
     let json = args.flag("json");
     args.finish()?;
@@ -1558,6 +1654,23 @@ fn loadgen_cmd(mut args: Args) -> Result<String, CliError> {
     } else {
         Some(body.as_str())
     };
+    if let Some(list) = &addrs {
+        if connections.is_some() || job || tenants_file.is_some() {
+            return Err(CliError::Msg(
+                "--addrs is incompatible with --connections/--job/--tenants-file".into(),
+            ));
+        }
+        let spec = MultiNodeSpec {
+            method: &method,
+            path: &path,
+            body: body_opt,
+            key: tenant_key.as_deref(),
+            concurrency,
+            requests,
+            retries,
+        };
+        return loadgen_multi(list, &spec, bench_json.as_deref(), json);
+    }
     if let Some(file) = &tenants_file {
         if tenant_key.is_some() {
             return Err(CliError::Msg(
@@ -1650,6 +1763,185 @@ fn loadgen_cmd(mut args: Args) -> Result<String, CliError> {
     table.row(&["p50 (ms)".to_string(), format!("{:.2}", row.p50_ms)]);
     table.row(&["p95 (ms)".to_string(), format!("{:.2}", row.p95_ms)]);
     table.row(&["p99 (ms)".to_string(), format!("{:.2}", row.p99_ms)]);
+    Ok(table.render())
+}
+
+/// The shared workload of a `--addrs` multi-node run.
+struct MultiNodeSpec<'a> {
+    method: &'a str,
+    path: &'a str,
+    body: Option<&'a str>,
+    key: Option<&'a str>,
+    concurrency: usize,
+    requests: u64,
+    retries: u32,
+}
+
+/// `loadgen --addrs`: split the request budget round-robin across a
+/// fleet of cluster nodes (each node's share driven by its own thread
+/// pool, all nodes concurrently) and report one row per node next to
+/// the aggregate — per-node p50/p95/p99 makes a slow or cold node
+/// stand out immediately.
+fn loadgen_multi(
+    list: &str,
+    spec: &MultiNodeSpec<'_>,
+    bench_json: Option<&str>,
+    json: bool,
+) -> Result<String, CliError> {
+    use serde::Serialize as _;
+    let nodes: Vec<String> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    if nodes.is_empty() {
+        return Err(CliError::Msg("--addrs needs at least one address".into()));
+    }
+    let n = nodes.len() as u64;
+    if spec.requests < n {
+        return Err(CliError::Msg(format!(
+            "--requests {} is fewer than the {} node(s) in --addrs",
+            spec.requests, n
+        )));
+    }
+    let retry = (spec.retries > 0).then(|| client::RetryPolicy {
+        max_retries: spec.retries,
+        ..client::RetryPolicy::default()
+    });
+    let results: Vec<(String, u64, Result<client::LoadgenReport, String>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = nodes
+                .iter()
+                .enumerate()
+                .map(|(i, addr)| {
+                    // Round-robin split: the first (requests % n) nodes
+                    // carry one extra request.
+                    let share = spec.requests / n + u64::from((i as u64) < spec.requests % n);
+                    let retry = retry.clone();
+                    scope.spawn(move || {
+                        let report = client::loadgen_auth(
+                            addr,
+                            spec.method,
+                            spec.path,
+                            spec.body,
+                            spec.key,
+                            spec.concurrency.min(share.max(1) as usize),
+                            share,
+                            retry.as_ref(),
+                        )
+                        .map_err(|e| e.to_string());
+                        (addr.clone(), share, report)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("loadgen node thread panicked"))
+                .collect()
+        });
+    let mut rows: Vec<(String, LoadgenRow)> = Vec::new();
+    let mut agg = client::LoadgenReport {
+        ok: 0,
+        non_ok: 0,
+        errors: 0,
+        elapsed: Duration::ZERO,
+        latencies: Vec::new(),
+        retries: 0,
+        retryable_status: 0,
+        rate_limited: 0,
+        retries_by_status: Vec::new(),
+        transport_resets: 0,
+        breaker_opens: 0,
+        connections: 0,
+    };
+    for (addr, share, result) in results {
+        let report = match result {
+            Ok(report) => report,
+            Err(why) => return Err(CliError::Msg(format!("node {addr}: {why}"))),
+        };
+        agg.ok += report.ok;
+        agg.non_ok += report.non_ok;
+        agg.errors += report.errors;
+        // The nodes run concurrently, so fleet wall-clock is the
+        // slowest node, not the sum.
+        agg.elapsed = agg.elapsed.max(report.elapsed);
+        agg.latencies.extend_from_slice(&report.latencies);
+        agg.retries += report.retries;
+        agg.retryable_status += report.retryable_status;
+        agg.rate_limited += report.rate_limited;
+        for &(status, count) in &report.retries_by_status {
+            match agg.retries_by_status.iter_mut().find(|(s, _)| *s == status) {
+                Some((_, total)) => *total += count,
+                None => agg.retries_by_status.push((status, count)),
+            }
+        }
+        agg.transport_resets += report.transport_resets;
+        agg.breaker_opens += report.breaker_opens;
+        agg.connections += report.connections;
+        rows.push((addr, loadgen_row(share, &report)));
+    }
+    agg.latencies.sort_unstable();
+    agg.retries_by_status.sort_unstable();
+    let total = loadgen_row(spec.requests, &agg);
+    let doc = serde::Value::Object(vec![
+        (
+            "nodes".to_string(),
+            serde::Value::Object(
+                rows.iter()
+                    .map(|(addr, row)| (addr.clone(), row.to_value()))
+                    .collect(),
+            ),
+        ),
+        ("aggregate".to_string(), total.to_value()),
+    ]);
+    if let Some(path) = bench_json {
+        let text = serde_json::to_string_pretty(&doc).expect("serializable");
+        std::fs::write(path, text.as_bytes())
+            .map_err(|e| CliError::Msg(format!("writing {path}: {e}")))?;
+    }
+    if json {
+        return Ok(serde_json::to_string_pretty(&doc).expect("serializable"));
+    }
+    let mut table = Table::new(
+        &format!(
+            "loadgen {} {} ({} requests round-robin over {} node(s))",
+            spec.method,
+            spec.path,
+            spec.requests,
+            rows.len()
+        ),
+        &[
+            "node", "requests", "ok", "non-200", "errors", "retries", "req/s", "p50 ms", "p95 ms",
+            "p99 ms",
+        ],
+    );
+    for (addr, row) in &rows {
+        table.row(&[
+            addr.clone(),
+            row.requests.to_string(),
+            row.ok.to_string(),
+            row.non_ok.to_string(),
+            row.errors.to_string(),
+            row.retries.to_string(),
+            format!("{:.1}", row.throughput_rps),
+            format!("{:.2}", row.p50_ms),
+            format!("{:.2}", row.p95_ms),
+            format!("{:.2}", row.p99_ms),
+        ]);
+    }
+    table.row(&[
+        "(aggregate)".to_string(),
+        total.requests.to_string(),
+        total.ok.to_string(),
+        total.non_ok.to_string(),
+        total.errors.to_string(),
+        total.retries.to_string(),
+        format!("{:.1}", total.throughput_rps),
+        format!("{:.2}", total.p50_ms),
+        format!("{:.2}", total.p95_ms),
+        format!("{:.2}", total.p99_ms),
+    ]);
     Ok(table.render())
 }
 
@@ -1854,6 +2146,213 @@ fn cache_gc(mut args: Args) -> Result<String, CliError> {
         report.bytes_before,
         report.bytes_after,
         report.bytes_reclaimed()
+    );
+    Ok(out)
+}
+
+fn cluster_cmd(rest: &[String]) -> Result<String, CliError> {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Ok(CLUSTER_HELP.to_string());
+    };
+    match sub.as_str() {
+        "status" => cluster_status(Args::parse(rest.to_vec())?),
+        other => Err(CliError::Msg(format!(
+            "unknown cluster subcommand {other:?}\n\n{CLUSTER_HELP}"
+        ))),
+    }
+}
+
+/// One node's row in `wrsn cluster status`, or why it could not be
+/// fetched.
+enum NodeStatus {
+    Up {
+        cluster: serde::Value,
+        entries: Option<u64>,
+        keys_digest: Option<String>,
+    },
+    Down(String),
+}
+
+/// Fetches one node's `/statusz` cluster section plus its anti-entropy
+/// manifest digest.
+fn fetch_node_status(addr: &str) -> NodeStatus {
+    let status = match client::request(addr, "GET", "/statusz", None) {
+        Ok(resp) if resp.status == 200 => resp,
+        Ok(resp) => return NodeStatus::Down(format!("/statusz answered {}", resp.status)),
+        Err(e) => return NodeStatus::Down(e.to_string()),
+    };
+    let Ok(doc) = serde_json::from_str::<serde::Value>(&status.body) else {
+        return NodeStatus::Down("unparseable /statusz".to_string());
+    };
+    let Some(cluster) = doc.get("cluster").cloned() else {
+        return NodeStatus::Down("not in cluster mode (no cluster section)".to_string());
+    };
+    let entries = doc
+        .get("cache")
+        .and_then(|c| c.get("entries"))
+        .and_then(serde::Value::as_u64);
+    let keys_digest = client::request(addr, "GET", "/v1/cluster/segments", None)
+        .ok()
+        .filter(|resp| resp.status == 200)
+        .and_then(|resp| serde_json::from_str::<serde::Value>(&resp.body).ok())
+        .and_then(|m| {
+            m.get("keys_digest")
+                .and_then(serde::Value::as_str)
+                .map(str::to_string)
+        });
+    NodeStatus::Up {
+        cluster,
+        entries,
+        keys_digest,
+    }
+}
+
+fn cluster_status(mut args: Args) -> Result<String, CliError> {
+    use serde::Serialize as _;
+    let addrs: String = args.require("addrs", "a comma-separated address list")?;
+    let json = args.flag("json");
+    args.finish()?;
+    let nodes: Vec<&str> = addrs
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if nodes.is_empty() {
+        return Err(CliError::Msg("--addrs needs at least one address".into()));
+    }
+    let statuses: Vec<(String, NodeStatus)> = nodes
+        .iter()
+        .map(|addr| ((*addr).to_string(), fetch_node_status(addr)))
+        .collect();
+    let digests: Vec<&str> = statuses
+        .iter()
+        .filter_map(|(_, s)| match s {
+            NodeStatus::Up { keys_digest, .. } => keys_digest.as_deref(),
+            NodeStatus::Down(_) => None,
+        })
+        .collect();
+    let converged = !digests.is_empty() && digests.iter().all(|d| *d == digests[0]);
+    if json {
+        let doc = serde::Value::Object(vec![
+            (
+                "nodes".to_string(),
+                serde::Value::Object(
+                    statuses
+                        .iter()
+                        .map(|(addr, status)| {
+                            let value = match status {
+                                NodeStatus::Up {
+                                    cluster,
+                                    entries,
+                                    keys_digest,
+                                } => {
+                                    let mut fields = vec![
+                                        (
+                                            "status".to_string(),
+                                            serde::Value::String("up".to_string()),
+                                        ),
+                                        ("cluster".to_string(), cluster.clone()),
+                                    ];
+                                    if let Some(entries) = entries {
+                                        fields.push(("entries".to_string(), entries.to_value()));
+                                    }
+                                    if let Some(digest) = keys_digest {
+                                        fields.push((
+                                            "keys_digest".to_string(),
+                                            serde::Value::String(digest.clone()),
+                                        ));
+                                    }
+                                    serde::Value::Object(fields)
+                                }
+                                NodeStatus::Down(why) => serde::Value::Object(vec![
+                                    (
+                                        "status".to_string(),
+                                        serde::Value::String("down".to_string()),
+                                    ),
+                                    ("error".to_string(), serde::Value::String(why.clone())),
+                                ]),
+                            };
+                            (addr.clone(), value)
+                        })
+                        .collect(),
+                ),
+            ),
+            ("converged".to_string(), serde::Value::Bool(converged)),
+        ]);
+        return Ok(serde_json::to_string_pretty(&doc).expect("serializable"));
+    }
+    let mut table = Table::new(
+        &format!("cluster status ({} node(s))", statuses.len()),
+        &[
+            "node", "id", "share", "fwd hit", "fwd miss", "ticks", "pulled", "pushed", "entries",
+            "digest",
+        ],
+    );
+    for (addr, status) in &statuses {
+        match status {
+            NodeStatus::Up {
+                cluster,
+                entries,
+                keys_digest,
+            } => {
+                let str_of = |v: Option<&serde::Value>| {
+                    v.map_or_else(
+                        || "?".to_string(),
+                        |v| match v {
+                            serde::Value::String(s) => s.clone(),
+                            other => serde_json::to_string(other).unwrap_or_default(),
+                        },
+                    )
+                };
+                let forwarded = cluster.get("forwarded");
+                let gossip = cluster.get("gossip");
+                let share = cluster
+                    .get("owned_share")
+                    .and_then(serde::Value::as_f64)
+                    .map_or_else(|| "?".to_string(), |s| format!("{s:.3}"));
+                // The digest prefix is plenty to eyeball equality; the
+                // full value is in --json.
+                let digest = keys_digest
+                    .as_deref()
+                    .map_or("?", |d| &d[..d.len().min(16)]);
+                table.row(&[
+                    addr.clone(),
+                    str_of(cluster.get("node_id")),
+                    share,
+                    str_of(forwarded.and_then(|f| f.get("hits"))),
+                    str_of(forwarded.and_then(|f| f.get("misses"))),
+                    str_of(gossip.and_then(|g| g.get("ticks"))),
+                    str_of(gossip.and_then(|g| g.get("segments_pulled"))),
+                    str_of(gossip.and_then(|g| g.get("segments_pushed"))),
+                    entries.map_or_else(|| "?".to_string(), |e| e.to_string()),
+                    digest.to_string(),
+                ]);
+            }
+            NodeStatus::Down(why) => {
+                table.row(&[
+                    addr.clone(),
+                    "DOWN".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    why.clone(),
+                ]);
+            }
+        }
+    }
+    let mut out = table.render();
+    let _ = writeln!(
+        out,
+        "\ncaches {}",
+        if converged {
+            "converged (all reachable digests equal)"
+        } else {
+            "NOT converged (digests differ or no node reachable)"
+        }
     );
     Ok(out)
 }

@@ -1,0 +1,94 @@
+//! # wrsn-cluster — distributed cache fabric primitives
+//!
+//! A fleet of `wrsn serve` nodes shards the 128-bit result-store
+//! fingerprint space so one node's sweep warms every node's cache.
+//! This crate holds the pieces that must agree byte-for-byte across
+//! the fleet, with no I/O of their own:
+//!
+//! - [`HashRing`] — a consistent-hash ring with virtual nodes, built
+//!   deterministically from a shared cluster seed and the static peer
+//!   list, so every node computes the same owner for every key;
+//! - [`Peer`] / [`parse_peers`] — the `id=addr` peer-list grammar
+//!   shared by `serve --cluster-peers` and `wrsn cluster status`;
+//! - [`Manifest`] / [`plan_pull`] / [`plan_push`] — the anti-entropy
+//!   exchange: which segments a node advertises, and which a gossip
+//!   tick should pull from (or push to) a peer;
+//! - [`ClusterConfig`] — the validated bundle the serving layer boots
+//!   from.
+//!
+//! The serving layer (`wrsn-serve`) wires these to sockets: forwarding
+//! cache misses to the owning node and running the gossip tick.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod manifest;
+mod ring;
+
+pub use manifest::{plan_pull, plan_push, Manifest};
+pub use ring::{parse_peers, HashRing, Peer, DEFAULT_VNODES};
+
+use std::time::Duration;
+
+/// The validated configuration a clustered server boots from.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// This node's id; must name one entry of `peers`.
+    pub node_id: String,
+    /// Every node in the fleet, including this one.
+    pub peers: Vec<Peer>,
+    /// Shared cluster seed feeding the ring's point hashes. All nodes
+    /// must agree or they will compute different owners.
+    pub seed: u64,
+    /// Virtual nodes per peer ([`DEFAULT_VNODES`] balances shares to
+    /// within a small factor of 1/N).
+    pub vnodes: usize,
+    /// Delay between anti-entropy ticks.
+    pub gossip_interval: Duration,
+}
+
+impl ClusterConfig {
+    /// Builds the ring and locates this node on it.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the peer list is empty, `vnodes`
+    /// is zero, or `node_id` names no peer.
+    pub fn ring(&self) -> Result<(HashRing, usize), String> {
+        let ring = HashRing::new(self.peers.clone(), self.seed, self.vnodes)?;
+        let index = ring
+            .index_of(&self.node_id)
+            .ok_or_else(|| format!("--node-id {:?} is not in --cluster-peers", self.node_id))?;
+        Ok((ring, index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_locates_self_on_the_ring() {
+        let config = ClusterConfig {
+            node_id: "b".to_string(),
+            peers: parse_peers("a=127.0.0.1:1,b=127.0.0.1:2").unwrap(),
+            seed: 7,
+            vnodes: 16,
+            gossip_interval: Duration::from_millis(500),
+        };
+        let (ring, index) = config.ring().unwrap();
+        assert_eq!(ring.peers()[index].id, "b");
+    }
+
+    #[test]
+    fn config_rejects_unknown_node_id() {
+        let config = ClusterConfig {
+            node_id: "ghost".to_string(),
+            peers: parse_peers("a=127.0.0.1:1").unwrap(),
+            seed: 0,
+            vnodes: 8,
+            gossip_interval: Duration::from_secs(1),
+        };
+        assert!(config.ring().is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Anti-entropy manifests: what a node advertises and how a gossip
+//! tick decides what to transfer.
+//!
+//! A node's manifest lists its on-disk segments plus the set of
+//! segment names it has *seen* — its own files and every foreign
+//! segment it has already imported. Imported records land in the
+//! importer's own active segment (writers never append to files they
+//! did not create), so file-level listings never converge across a
+//! fleet; the `seen` set is what stops a segment from being shipped
+//! again, and the store's order-independent `keys_digest` is what
+//! proves two nodes hold the same results.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use wrsn_store::SegmentInfo;
+
+/// One node's advertised anti-entropy state.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// The advertising node's id.
+    #[serde(default)]
+    pub node_id: String,
+    /// Live entries in the node's store.
+    #[serde(default)]
+    pub entries: u64,
+    /// Order-independent digest of the node's key set (equal digests
+    /// mean equal caches, regardless of segment layout).
+    #[serde(default)]
+    pub keys_digest: String,
+    /// The node's on-disk segment files.
+    #[serde(default)]
+    pub segments: Vec<SegmentInfo>,
+    /// Every segment name the node already holds or has imported.
+    #[serde(default)]
+    pub seen: Vec<String>,
+}
+
+/// Segment names a node should pull from `remote`: everything the
+/// remote has on disk that the local node has not seen yet.
+#[must_use]
+pub fn plan_pull(local_seen: &BTreeSet<String>, remote: &Manifest) -> Vec<String> {
+    remote
+        .segments
+        .iter()
+        .map(|s| s.name.clone())
+        .filter(|name| !local_seen.contains(name))
+        .collect()
+}
+
+/// Segment names a node should push to `remote`: everything local
+/// that the remote has neither on disk nor in its seen set.
+#[must_use]
+pub fn plan_push(local: &Manifest, remote: &Manifest) -> Vec<String> {
+    let remote_seen: BTreeSet<&str> = remote
+        .seen
+        .iter()
+        .map(String::as_str)
+        .chain(remote.segments.iter().map(|s| s.name.as_str()))
+        .collect();
+    local
+        .segments
+        .iter()
+        .map(|s| s.name.clone())
+        .filter(|name| !remote_seen.contains(name.as_str()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(node: &str, segments: &[&str], seen: &[&str]) -> Manifest {
+        Manifest {
+            node_id: node.to_string(),
+            entries: segments.len() as u64,
+            keys_digest: String::new(),
+            segments: segments
+                .iter()
+                .map(|name| SegmentInfo {
+                    name: (*name).to_string(),
+                    bytes: 10,
+                })
+                .collect(),
+            seen: seen.iter().map(|s| (*s).to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn pull_skips_already_seen_segments() {
+        let local: BTreeSet<String> = ["seg-a.jsonl".to_string()].into_iter().collect();
+        let remote = manifest("r", &["seg-a.jsonl", "seg-b.jsonl"], &[]);
+        assert_eq!(plan_pull(&local, &remote), vec!["seg-b.jsonl".to_string()]);
+    }
+
+    #[test]
+    fn push_skips_segments_the_remote_holds_or_imported() {
+        let local = manifest("l", &["seg-a.jsonl", "seg-b.jsonl", "seg-c.jsonl"], &[]);
+        // Remote holds seg-a on disk and has already imported seg-b's
+        // records into its own files.
+        let remote = manifest("r", &["seg-a.jsonl"], &["seg-b.jsonl"]);
+        assert_eq!(plan_push(&local, &remote), vec!["seg-c.jsonl".to_string()]);
+    }
+
+    #[test]
+    fn converged_nodes_plan_nothing() {
+        let local = manifest("l", &["seg-l.jsonl"], &["seg-r.jsonl"]);
+        let remote = manifest("r", &["seg-r.jsonl"], &["seg-l.jsonl"]);
+        let local_seen: BTreeSet<String> = local
+            .seen
+            .iter()
+            .cloned()
+            .chain(local.segments.iter().map(|s| s.name.clone()))
+            .collect();
+        assert!(plan_pull(&local_seen, &remote).is_empty());
+        assert!(plan_push(&local, &remote).is_empty());
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = manifest("n1", &["seg-x.jsonl"], &["seg-y.jsonl"]);
+        let text = serde_json::to_string(&m).unwrap();
+        let back: Manifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,320 @@
+//! The consistent-hash ring sharding the fingerprint space.
+//!
+//! Every peer contributes `vnodes` points on a ring over `[0, 2^128)`;
+//! a key belongs to the peer owning the first point at or clockwise
+//! past the key's position. Points are FNV-128 hashes of
+//! `(cluster seed, peer id, vnode index)` — pure functions of the
+//! shared configuration — so every node in a fleet derives an
+//! identical ring without any coordination. Cache keys are already
+//! 32-hex-digit fingerprints of the work they name; they map onto the
+//! ring by direct hex parse, so the ring shards the genuine
+//! fingerprint space rather than a re-hash of it.
+
+use serde::{Deserialize, Serialize};
+use wrsn_store::FingerprintBuilder;
+
+/// Virtual nodes per peer unless overridden: enough that per-peer
+/// shares stay within a small factor of 1/N.
+pub const DEFAULT_VNODES: usize = 128;
+
+/// One node of the fleet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Peer {
+    /// Stable name used in ring hashing and status output.
+    pub id: String,
+    /// The node's `host:port` listen address.
+    pub addr: String,
+}
+
+/// Parses a `--cluster-peers` list: comma-separated `id=addr` entries
+/// (a bare `addr` uses the address as its id).
+///
+/// # Errors
+///
+/// A human-readable message for an empty list, an empty id or
+/// address, or a duplicated id.
+///
+/// # Examples
+///
+/// ```
+/// let peers = wrsn_cluster::parse_peers("n1=10.0.0.1:7421,n2=10.0.0.2:7421").unwrap();
+/// assert_eq!(peers[1].id, "n2");
+/// ```
+pub fn parse_peers(spec: &str) -> Result<Vec<Peer>, String> {
+    let mut peers = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (id, addr) = match entry.split_once('=') {
+            Some((id, addr)) => (id.trim(), addr.trim()),
+            None => (entry, entry),
+        };
+        if id.is_empty() || addr.is_empty() {
+            return Err(format!("bad peer entry {entry:?} (want id=addr)"));
+        }
+        if peers.iter().any(|p: &Peer| p.id == id) {
+            return Err(format!("duplicate peer id {id:?}"));
+        }
+        peers.push(Peer {
+            id: id.to_string(),
+            addr: addr.to_string(),
+        });
+    }
+    if peers.is_empty() {
+        return Err("empty peer list".to_string());
+    }
+    Ok(peers)
+}
+
+/// A consistent-hash ring over the 128-bit fingerprint space.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Ring points sorted by position: `(position, peer index)`.
+    points: Vec<(u128, usize)>,
+    peers: Vec<Peer>,
+    vnodes: usize,
+}
+
+/// The ring position of one `(seed, peer, vnode)` triple.
+fn ring_point(seed: u64, peer_id: &str, vnode: u64) -> u128 {
+    let mut b = FingerprintBuilder::new("wrsn-cluster-ring-v1");
+    b.push_u64(seed);
+    b.push_str(peer_id);
+    b.push_u64(vnode);
+    avalanche(hex_to_u128(&b.finish().to_hex()))
+}
+
+/// Parses 32 lowercase hex digits back to the underlying u128.
+fn hex_to_u128(hex: &str) -> u128 {
+    u128::from_str_radix(hex, 16).expect("fingerprints render as hex")
+}
+
+/// A bijective avalanche finalizer over `u128`. FNV-1a is fine as a
+/// content hash but its high bits are visibly non-uniform for short
+/// structured inputs, which skews ring arcs badly; one xor-shift-
+/// multiply pass per half (murmur3's fmix64 constants) with cross-
+/// feeding restores uniformity while staying a pure deterministic
+/// function every node computes identically.
+fn avalanche(x: u128) -> u128 {
+    fn fmix64(mut x: u64) -> u64 {
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        x ^= x >> 33;
+        x
+    }
+    let lo = fmix64(x as u64);
+    let hi = fmix64((x >> 64) as u64 ^ lo);
+    (u128::from(hi) << 64) | u128::from(fmix64(lo.wrapping_add(hi)))
+}
+
+impl HashRing {
+    /// Builds the ring. Peers are sorted by id first, so any
+    /// permutation of the same peer list yields an identical ring.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for an empty peer list or zero
+    /// `vnodes`.
+    pub fn new(mut peers: Vec<Peer>, seed: u64, vnodes: usize) -> Result<Self, String> {
+        if peers.is_empty() {
+            return Err("a ring needs at least one peer".to_string());
+        }
+        if vnodes == 0 {
+            return Err("a ring needs at least one virtual node per peer".to_string());
+        }
+        peers.sort_by(|a, b| a.id.cmp(&b.id));
+        let mut points = Vec::with_capacity(peers.len() * vnodes);
+        for (index, peer) in peers.iter().enumerate() {
+            for vnode in 0..vnodes {
+                points.push((ring_point(seed, &peer.id, vnode as u64), index));
+            }
+        }
+        // Ties (astronomically unlikely) break by peer index so the
+        // ring stays identical on every node.
+        points.sort_unstable();
+        Ok(HashRing {
+            points,
+            peers,
+            vnodes,
+        })
+    }
+
+    /// The ring position of `key`: a 32-hex-digit fingerprint parses
+    /// directly (then passes the same avalanche permutation as the
+    /// ring points, so fingerprint clustering cannot skew ownership);
+    /// anything else is hashed first.
+    #[must_use]
+    pub fn key_point(key: &str) -> u128 {
+        if key.len() == 32 && key.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return avalanche(u128::from_str_radix(key, 16).expect("checked hex"));
+        }
+        let mut b = FingerprintBuilder::new("wrsn-cluster-key-v1");
+        b.push_str(key);
+        avalanche(hex_to_u128(&b.finish().to_hex()))
+    }
+
+    /// Index (into [`HashRing::peers`]) of the peer owning `key`: the
+    /// first ring point at or clockwise past the key's position.
+    #[must_use]
+    pub fn owner_index(&self, key: &str) -> usize {
+        let point = HashRing::key_point(key);
+        let at = self.points.partition_point(|&(p, _)| p < point);
+        let (_, peer) = self.points[at % self.points.len()];
+        peer
+    }
+
+    /// The peer owning `key`.
+    #[must_use]
+    pub fn owner(&self, key: &str) -> &Peer {
+        &self.peers[self.owner_index(key)]
+    }
+
+    /// The peers in ring order (sorted by id).
+    #[must_use]
+    pub fn peers(&self) -> &[Peer] {
+        &self.peers
+    }
+
+    /// Index of the peer named `id`, if present.
+    #[must_use]
+    pub fn index_of(&self, id: &str) -> Option<usize> {
+        self.peers.iter().position(|p| p.id == id)
+    }
+
+    /// Virtual nodes per peer.
+    #[must_use]
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Fraction of the ring each peer owns (sums to 1). This is the
+    /// exact arc measure, not a sampled estimate.
+    #[must_use]
+    pub fn shares(&self) -> Vec<f64> {
+        let mut owned = vec![0f64; self.peers.len()];
+        if self.points.len() == 1 {
+            owned[self.points[0].1] = 1.0;
+            return owned;
+        }
+        let total = 2f64.powi(128);
+        for (i, &(point, peer)) in self.points.iter().enumerate() {
+            // The arc ending at each point belongs to that point's
+            // peer; the first point also owns the wrap-around arc.
+            // With ≥2 points every arc fits in a u128.
+            let arc = if i == 0 {
+                let last = self.points[self.points.len() - 1].0;
+                point.wrapping_sub(last)
+            } else {
+                point - self.points[i - 1].0
+            };
+            owned[peer] += arc as f64 / total;
+        }
+        owned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peers(n: usize) -> Vec<Peer> {
+        (0..n)
+            .map(|i| Peer {
+                id: format!("node-{i}"),
+                addr: format!("127.0.0.1:{}", 7000 + i),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parse_peers_accepts_both_forms() {
+        let got = parse_peers("a=1.2.3.4:1, 5.6.7.8:2 ,c=9.9.9.9:3").unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].id, "a");
+        assert_eq!(got[1].id, "5.6.7.8:2");
+        assert_eq!(got[1].addr, "5.6.7.8:2");
+    }
+
+    #[test]
+    fn parse_peers_rejects_bad_input() {
+        assert!(parse_peers("").is_err());
+        assert!(parse_peers(" , ").is_err());
+        assert!(parse_peers("a=,b=x").is_err());
+        assert!(parse_peers("a=1:1,a=2:2").is_err());
+    }
+
+    #[test]
+    fn ring_is_order_insensitive() {
+        let forward = HashRing::new(peers(5), 42, 64).unwrap();
+        let mut shuffled = peers(5);
+        shuffled.reverse();
+        let backward = HashRing::new(shuffled, 42, 64).unwrap();
+        for i in 0..200 {
+            let key = format!("key-{i}");
+            assert_eq!(forward.owner(&key).id, backward.owner(&key).id);
+        }
+    }
+
+    #[test]
+    fn seed_and_vnodes_change_the_ring() {
+        let a = HashRing::new(peers(4), 1, 64).unwrap();
+        let b = HashRing::new(peers(4), 2, 64).unwrap();
+        let moved = (0..500)
+            .filter(|i| {
+                let key = format!("key-{i}");
+                a.owner(&key).id != b.owner(&key).id
+            })
+            .count();
+        assert!(moved > 0, "a different seed must reshuffle ownership");
+    }
+
+    #[test]
+    fn hex_keys_map_directly_onto_the_ring() {
+        // A 32-hex key parses (then permutes); it must not collide
+        // with the hash of its own textual form.
+        let hex = "00c0ffee00c0ffee00c0ffee00c0ffee";
+        assert_eq!(HashRing::key_point(hex), HashRing::key_point(hex));
+        let mut b = FingerprintBuilder::new("wrsn-cluster-key-v1");
+        b.push_str(hex);
+        assert_ne!(
+            HashRing::key_point(hex),
+            super::avalanche(super::hex_to_u128(&b.finish().to_hex())),
+            "direct parse, not re-hash"
+        );
+        // Nearby fingerprints scatter to distant ring points.
+        assert_ne!(
+            HashRing::key_point("00000000000000000000000000000001")
+                .abs_diff(HashRing::key_point("00000000000000000000000000000002")),
+            1
+        );
+    }
+
+    #[test]
+    fn shares_sum_to_one_and_stay_balanced() {
+        let ring = HashRing::new(peers(4), 9, DEFAULT_VNODES).unwrap();
+        let shares = ring.shares();
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "{sum}");
+        for share in shares {
+            assert!(share > 0.25 / 2.5, "{share} too small");
+            assert!(share < 0.25 * 2.5, "{share} too large");
+        }
+    }
+
+    #[test]
+    fn single_peer_owns_everything() {
+        let ring = HashRing::new(peers(1), 0, 8).unwrap();
+        assert_eq!(ring.owner("anything").id, "node-0");
+        assert!((ring.shares()[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_or_degenerate_rings_are_rejected() {
+        assert!(HashRing::new(vec![], 0, 8).is_err());
+        assert!(HashRing::new(peers(2), 0, 0).is_err());
+    }
+}

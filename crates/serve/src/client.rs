@@ -78,6 +78,39 @@ pub fn request_auth(
     body: Option<&str>,
     key: Option<&str>,
 ) -> Result<ClientResponse, ServeError> {
+    request_raw(addr, method, path, body, &bearer_header(key))
+}
+
+/// [`request`] with arbitrary extra header lines — the cluster
+/// forwarding path, which must tag requests with its loop-guard header
+/// while passing the caller's `Authorization` through.
+///
+/// # Errors
+///
+/// Same as [`request`].
+pub fn request_with_headers(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    extra: &[(&str, &str)],
+) -> Result<ClientResponse, ServeError> {
+    let mut lines = String::new();
+    for (name, value) in extra {
+        lines.push_str(&format!("{name}: {value}\r\n"));
+    }
+    request_raw(addr, method, path, body, &lines)
+}
+
+/// The shared one-shot request core: `extra` is zero or more complete
+/// `Name: value\r\n` header lines.
+fn request_raw(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    extra: &str,
+) -> Result<ClientResponse, ServeError> {
     let client = |m: String| ServeError::Client(m);
     let mut stream =
         TcpStream::connect(addr).map_err(|e| client(format!("connect {addr}: {e}")))?;
@@ -85,10 +118,9 @@ pub fn request_auth(
         .set_read_timeout(Some(Duration::from_secs(60)))
         .map_err(|e| client(format!("timeout: {e}")))?;
     let body = body.unwrap_or("");
-    let auth = bearer_header(key);
     let text = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\n{auth}Connection: close\r\n\r\n{body}",
+         Content-Length: {}\r\n{extra}Connection: close\r\n\r\n{body}",
         body.len()
     );
     stream
@@ -588,6 +620,38 @@ pub fn request_with_retry_auth(
     policy: &RetryPolicy,
     breaker: Option<&CircuitBreaker>,
 ) -> Result<RetryOutcome, ServeError> {
+    retry_via(policy, breaker, || {
+        request_auth(addr, method, path, body, key)
+    })
+}
+
+/// [`request_with_retry`] sending arbitrary extra headers on every
+/// attempt (see [`request_with_headers`]).
+///
+/// # Errors
+///
+/// Same as [`request_with_retry`].
+pub fn request_with_retry_headers(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    extra: &[(&str, &str)],
+    policy: &RetryPolicy,
+    breaker: Option<&CircuitBreaker>,
+) -> Result<RetryOutcome, ServeError> {
+    retry_via(policy, breaker, || {
+        request_with_headers(addr, method, path, body, extra)
+    })
+}
+
+/// The shared retry loop: backoff, `Retry-After`, and breaker wiring
+/// around any one-shot request closure.
+fn retry_via(
+    policy: &RetryPolicy,
+    breaker: Option<&CircuitBreaker>,
+    attempt: impl Fn() -> Result<ClientResponse, ServeError>,
+) -> Result<RetryOutcome, ServeError> {
     let mut rng = SmallRng::seed_from_u64(policy.seed);
     let mut prev = policy.base;
     let mut outcome = RetryOutcome {
@@ -616,7 +680,7 @@ pub fn request_with_retry_auth(
                 );
             }
         }
-        let result = request_auth(addr, method, path, body, key);
+        let result = attempt();
         let retry_after = match &result {
             Ok(resp) if !retryable_status(resp.status) => {
                 if let Some(b) = breaker {

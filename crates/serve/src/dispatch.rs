@@ -10,6 +10,7 @@
 
 use crate::api::{ApiContext, ApiError, ApiOutcome, SimulateRequest, SolveRequest, SweepRequest};
 use crate::chaos::ChaosDecision;
+use crate::cluster;
 use crate::http::{Request, Response};
 use crate::jobs;
 use crate::metrics::StatusGauges;
@@ -134,6 +135,19 @@ pub(crate) fn elapsed_us(started: Instant) -> u64 {
 }
 
 fn route(request: &Request, tenant: usize, shared: &Arc<Shared>) -> Response {
+    // Cluster routing runs before local handling: a request whose key
+    // another node owns (and that the local cache cannot answer) is
+    // forwarded there; anything else falls through to the local path.
+    if request.method == "POST"
+        && matches!(
+            request.path.as_str(),
+            "/v1/solve" | "/v1/simulate" | "/v1/sweep"
+        )
+    {
+        if let Some(response) = cluster::maybe_forward(request, tenant, shared) {
+            return response;
+        }
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}"),
         ("GET", "/statusz") => {
@@ -155,6 +169,9 @@ fn route(request: &Request, tenant: usize, shared: &Arc<Shared>) -> Response {
                     "tenants".to_string(),
                     shared.tenants.to_value(&shared.queue),
                 ));
+                if let Some(cluster) = &shared.cluster {
+                    pairs.push(("cluster".to_string(), cluster.to_value()));
+                }
             }
             json_response(200, &status)
         }
@@ -176,6 +193,13 @@ fn route(request: &Request, tenant: usize, shared: &Arc<Shared>) -> Response {
             })
         }
         ("POST", "/v1/jobs") => jobs::submit(request, tenant, shared),
+        ("GET", "/v1/cluster/segments") => cluster::manifest_response(shared),
+        ("GET", path) if path.starts_with("/v1/cluster/segments/") => {
+            cluster::segment_get(path, shared)
+        }
+        ("POST", path) if path.starts_with("/v1/cluster/segments/") => {
+            cluster::segment_put(path, request, shared)
+        }
         ("GET", path) if path.starts_with("/v1/jobs/") => route_job_get(path, shared),
         ("GET", "/v1/jobs") => Response::error(405, "POST a sweep spec to submit a job"),
         ("GET", "/v1/solve" | "/v1/simulate" | "/v1/sweep") => {

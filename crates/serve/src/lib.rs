@@ -49,6 +49,7 @@
 pub mod api;
 pub mod chaos;
 pub mod client;
+mod cluster;
 mod conn;
 mod dispatch;
 mod error;
@@ -63,6 +64,7 @@ mod sys;
 pub mod tenant;
 
 pub use chaos::{ChaosDecision, ChaosPolicy, ChaosState};
+pub use cluster::{FORWARDED_HEADER, SERVED_BY_HEADER};
 pub use error::ServeError;
 pub use metrics::{Histogram, Metrics, StatusGauges};
 pub use queue::BoundedQueue;

@@ -132,11 +132,12 @@ pub struct Metrics {
 
 /// The endpoints tracked individually; anything else lands under
 /// `"other"`.
-const ENDPOINTS: [&str; 8] = [
+const ENDPOINTS: [&str; 9] = [
     "/v1/solve",
     "/v1/simulate",
     "/v1/sweep",
     "/v1/jobs",
+    "/v1/cluster",
     "/v1/solvers",
     "/healthz",
     "/statusz",
@@ -197,12 +198,14 @@ impl Metrics {
     }
 
     /// The stats bucket for `path` (unknown paths share `"other"`).
-    /// Job paths carry an id (`/v1/jobs/3/events`), so anything under
-    /// `/v1/jobs` folds into that one bucket.
+    /// Job paths carry an id (`/v1/jobs/3/events`) and cluster paths a
+    /// segment name, so each family folds into one bucket.
     #[must_use]
     pub fn endpoint(&self, path: &str) -> &EndpointStats {
         let name = if path.starts_with("/v1/jobs") {
             "/v1/jobs"
+        } else if path.starts_with("/v1/cluster") {
+            "/v1/cluster"
         } else {
             path
         };

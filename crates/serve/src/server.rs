@@ -24,6 +24,7 @@
 
 use crate::api::ApiContext;
 use crate::chaos::{ChaosPolicy, ChaosState};
+use crate::cluster::{gossip_loop, ClusterState};
 use crate::dispatch::{worker_loop, Completion, DispatchJob};
 use crate::jobs::Jobs;
 use crate::metrics::Metrics;
@@ -78,6 +79,10 @@ pub struct ServerConfig {
     pub default_rps: f64,
     /// Default token-bucket burst for tenants that omit `burst`.
     pub default_burst: u64,
+    /// Cluster fabric membership (`--cluster-peers`). `None` keeps the
+    /// exact single-node behavior: no forwarding, no gossip thread, no
+    /// `cluster` section in `/statusz`.
+    pub cluster: Option<wrsn_cluster::ClusterConfig>,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +101,7 @@ impl Default for ServerConfig {
             tenants: None,
             default_rps: 0.0,
             default_burst: 16,
+            cluster: None,
         }
     }
 }
@@ -119,6 +125,7 @@ pub(crate) struct Shared {
     pub(crate) keep_alive_idle: Duration,
     pub(crate) chaos: Option<ChaosState>,
     pub(crate) jobs: Jobs,
+    pub(crate) cluster: Option<ClusterState>,
 }
 
 /// A running server. Dropping the handle without calling
@@ -132,6 +139,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    gossip: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -148,6 +156,17 @@ impl Server {
         if let Some(chaos) = &config.chaos {
             chaos.validate().map_err(ServeError::Config)?;
         }
+        let cluster = match &config.cluster {
+            Some(spec) => {
+                if api.store.is_none() {
+                    return Err(ServeError::Config(
+                        "cluster mode requires a cache store (--cache)".to_string(),
+                    ));
+                }
+                Some(ClusterState::new(spec.clone()).map_err(ServeError::Config)?)
+            }
+            None => None,
+        };
         let tenants = match &config.tenants {
             Some(specs) => TenantTable::from_specs(
                 specs,
@@ -196,6 +215,7 @@ impl Server {
                 .filter(|p| !p.is_empty())
                 .map(ChaosState::new),
             jobs: Jobs::new(config.max_jobs),
+            cluster,
         });
 
         let reactor = {
@@ -214,11 +234,19 @@ impl Server {
                 .expect("spawning a worker thread");
             handles.push(handle);
         }
+        let gossip = shared.cluster.as_ref().map(|_| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("wrsn-serve-gossip".to_string())
+                .spawn(move || gossip_loop(&shared))
+                .expect("spawning the gossip thread")
+        });
         Ok(ServerHandle {
             addr,
             shared,
             reactor: Some(reactor),
             workers: handles,
+            gossip,
         })
     }
 }
@@ -255,6 +283,9 @@ impl ServerHandle {
         self.shared.queue.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(gossip) = self.gossip.take() {
+            let _ = gossip.join();
         }
         self.shared.jobs.join_all();
         if let Some(store) = &self.shared.api.store {

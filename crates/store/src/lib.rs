@@ -37,4 +37,6 @@ mod store;
 
 pub use error::StoreError;
 pub use fingerprint::{Fingerprint, FingerprintBuilder};
-pub use store::{CacheStats, GcReport, ResultStore, DEFAULT_SEGMENT_BYTES};
+pub use store::{
+    CacheStats, GcReport, ImportReport, ResultStore, SegmentInfo, DEFAULT_SEGMENT_BYTES,
+};

@@ -1,7 +1,7 @@
 //! The content-addressed result store: a directory of JSONL segments.
 
 use crate::jsonl::{read_log, write_log, LogWriter};
-use crate::{Fingerprint, StoreError};
+use crate::{Fingerprint, FingerprintBuilder, StoreError};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
@@ -57,6 +57,24 @@ impl GcReport {
     }
 }
 
+/// One on-disk segment file as listed in a store manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SegmentInfo {
+    /// File name within the store directory (`seg-….jsonl`).
+    pub name: String,
+    /// Current size of the file in bytes.
+    pub bytes: u64,
+}
+
+/// What [`ResultStore::import_segment_text`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ImportReport {
+    /// Records freshly appended (their key was absent).
+    pub imported: u64,
+    /// Records skipped because their key was already present.
+    pub skipped: u64,
+}
+
 #[derive(Debug, Clone, PartialEq)]
 struct StoredEntry {
     value: Value,
@@ -106,7 +124,28 @@ struct Inner {
 pub struct ResultStore {
     dir: PathBuf,
     segment_bytes: u64,
+    /// Per-store random discriminator baked into new segment names so
+    /// segments created by different stores — other hosts, other
+    /// processes, or two stores in one process — never collide when
+    /// exchanged or merged into one directory.
+    disc: String,
     inner: Mutex<Inner>,
+}
+
+/// A short random hex discriminator from std entropy (the store crate
+/// carries no RNG dependency): `RandomState`'s per-instance seed mixed
+/// with the pid and wall clock.
+fn fresh_discriminator() -> String {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher as _};
+    let mut h = RandomState::new().build_hasher();
+    h.write_u64(u64::from(std::process::id()));
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    h.write_u128(nanos);
+    format!("{:08x}", h.finish() as u32)
 }
 
 fn header() -> Value {
@@ -203,6 +242,7 @@ impl ResultStore {
         let store = ResultStore {
             dir,
             segment_bytes: bytes,
+            disc: fresh_discriminator(),
             inner: Mutex::new(Inner {
                 entries,
                 writer: None,
@@ -316,18 +356,34 @@ impl ResultStore {
         value: Value,
         tag: Option<&str>,
     ) -> Result<bool, StoreError> {
-        let hex = key.to_hex();
         let mut inner = self.inner.lock();
-        if inner.entries.contains_key(&hex) {
+        self.insert_raw(&mut inner, &key.to_hex(), value, tag)
+    }
+
+    /// Put-if-absent under an already-held lock, keyed by the raw hex
+    /// string — the shared path for local puts and segment imports.
+    fn insert_raw(
+        &self,
+        inner: &mut Inner,
+        hex: &str,
+        value: Value,
+        tag: Option<&str>,
+    ) -> Result<bool, StoreError> {
+        if inner.entries.contains_key(hex) {
             return Ok(false);
         }
         if inner.writer.is_none() {
-            let name = format!("seg-{:08}-{}.jsonl", inner.next_seq, std::process::id());
+            let name = format!(
+                "seg-{:08}-{}-{}.jsonl",
+                inner.next_seq,
+                std::process::id(),
+                self.disc
+            );
             inner.next_seq += 1;
             inner.writer = Some(LogWriter::create(&self.dir.join(name), &header(), &[])?);
         }
         let writer = inner.writer.as_mut().expect("just ensured");
-        writer.append(&record(&hex, &value, tag))?;
+        writer.append(&record(hex, &value, tag))?;
         let rotate = writer.bytes() >= self.segment_bytes;
         if rotate {
             // Close the full segment; the next put opens a fresh one.
@@ -336,7 +392,7 @@ impl ResultStore {
         let order = inner.next_order;
         inner.next_order += 1;
         inner.entries.insert(
-            hex,
+            hex.to_string(),
             StoredEntry {
                 value,
                 tag: tag.map(ToString::to_string),
@@ -462,6 +518,140 @@ impl ResultStore {
     /// [`StoreError::Io`] when the directory cannot be listed.
     pub fn segment_count(&self) -> Result<usize, StoreError> {
         Ok(ResultStore::segment_files(&self.dir)?.len())
+    }
+
+    /// Whether `name` is a well-formed segment file name: `seg-….jsonl`
+    /// with no path separators or parent references, so names arriving
+    /// over the network can be joined onto the store directory safely.
+    #[must_use]
+    pub fn is_segment_name(name: &str) -> bool {
+        name.starts_with("seg-")
+            && name.ends_with(".jsonl")
+            && !name.contains('/')
+            && !name.contains('\\')
+            && !name.contains("..")
+    }
+
+    /// The on-disk segment files as manifest rows, sorted by name.
+    /// Taken under the store lock so sizes are stable (appends hold the
+    /// same lock).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory cannot be listed.
+    pub fn segments(&self) -> Result<Vec<SegmentInfo>, StoreError> {
+        let _guard = self.inner.lock();
+        let mut out = Vec::new();
+        for path in ResultStore::segment_files(&self.dir)? {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let bytes = std::fs::metadata(&path)
+                .map_err(|e| StoreError::io(&path, e))?
+                .len();
+            out.push(SegmentInfo { name, bytes });
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(out)
+    }
+
+    /// Reads one segment file verbatim (header line plus records) for
+    /// transfer to a peer. Taken under the store lock so a concurrent
+    /// append can never be observed mid-line.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Parse`] for a name failing
+    /// [`ResultStore::is_segment_name`]; [`StoreError::Io`] when the
+    /// file cannot be read.
+    pub fn read_segment(&self, name: &str) -> Result<String, StoreError> {
+        let path = self.dir.join(name);
+        if !ResultStore::is_segment_name(name) {
+            return Err(StoreError::parse(&path, 1, "not a segment file name"));
+        }
+        let _guard = self.inner.lock();
+        std::fs::read_to_string(&path).map_err(|e| StoreError::io(&path, e))
+    }
+
+    /// Imports segment text (as produced by [`ResultStore::read_segment`]
+    /// on a peer) with put-if-absent semantics: records whose key is
+    /// already present are skipped, everything else is appended to this
+    /// store's own active segment. The whole import runs under one lock
+    /// acquisition. A torn final line (sender crashed mid-append) is
+    /// tolerated exactly as on open: the fragment is dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Parse`] for a missing/foreign header or a
+    /// malformed interior record; [`StoreError::Io`] when the local
+    /// append fails.
+    pub fn import_segment_text(&self, text: &str) -> Result<ImportReport, StoreError> {
+        let pseudo = self.dir.join("<import>");
+        let terminated = text.ends_with('\n');
+        let lines: Vec<&str> = text.lines().collect();
+        if lines.is_empty() || lines[0].trim().is_empty() {
+            return Err(StoreError::parse(
+                &pseudo,
+                1,
+                "empty segment (missing header)",
+            ));
+        }
+        let head: Value = serde_json::from_str(lines[0])
+            .map_err(|e| StoreError::parse(&pseudo, 1, format!("bad header: {e}")))?;
+        if head.get("kind").and_then(Value::as_str) != Some(STORE_KIND) {
+            return Err(StoreError::parse(
+                &pseudo,
+                1,
+                "not a wrsn result-store segment",
+            ));
+        }
+        let mut report = ImportReport::default();
+        let mut inner = self.inner.lock();
+        for (i, raw) in lines.iter().enumerate().skip(1) {
+            if raw.trim().is_empty() {
+                continue;
+            }
+            let rec = match serde_json::from_str::<Value>(raw) {
+                Ok(v) => v,
+                Err(_) if i + 1 == lines.len() && !terminated => break,
+                Err(e) => return Err(StoreError::parse(&pseudo, i + 1, e)),
+            };
+            let (Some(key), Some(value)) =
+                (rec.get("key").and_then(Value::as_str), rec.get("value"))
+            else {
+                return Err(StoreError::parse(
+                    &pseudo,
+                    i + 1,
+                    "segment record missing key/value",
+                ));
+            };
+            let tag = rec.get("tag").and_then(Value::as_str);
+            if self.insert_raw(&mut inner, key, value.clone(), tag)? {
+                report.imported += 1;
+            } else {
+                report.skipped += 1;
+            }
+        }
+        Ok(report)
+    }
+
+    /// An order-independent digest of the key set, `{count}:{32 hex}`:
+    /// the XOR of a per-key FNV-128 hash. Two stores holding the same
+    /// keys — regardless of segment layout, insertion order, or which
+    /// node computed each entry — report the same digest, which is how
+    /// cluster anti-entropy decides a fleet has converged.
+    #[must_use]
+    pub fn keys_digest(&self) -> String {
+        let inner = self.inner.lock();
+        let mut acc: u128 = 0;
+        for key in inner.entries.keys() {
+            let mut b = FingerprintBuilder::new("wrsn-store-digest-v1");
+            b.push_str(key);
+            acc ^= u128::from_str_radix(&b.finish().to_hex(), 16).unwrap_or(0);
+        }
+        format!("{}:{acc:032x}", inner.entries.len())
     }
 }
 
@@ -733,6 +923,138 @@ mod tests {
         let report = store.gc(|_| true, Some(0)).unwrap();
         assert_eq!(report.kept, 0, "budget 0 clears everything: {report:?}");
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn two_stores_in_one_directory_never_clobber_segments() {
+        // Same pid, same directory, same next_seq: before the per-store
+        // discriminator both stores would write the same segment file.
+        let dir = temp_dir("disc-collision");
+        let a = ResultStore::open(&dir).unwrap();
+        let b = ResultStore::open(&dir).unwrap();
+        a.put(&key("from-a"), 1u64.to_value()).unwrap();
+        b.put(&key("from-b"), 2u64.to_value()).unwrap();
+        drop((a, b));
+        let merged = ResultStore::open(&dir).unwrap();
+        assert_eq!(merged.len(), 2, "both writers' segments survive");
+        assert_eq!(merged.get(&key("from-a")), Some(1u64.to_value()));
+        assert_eq!(merged.get(&key("from-b")), Some(2u64.to_value()));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn legacy_segment_names_still_load() {
+        let dir = temp_dir("legacy-names");
+        std::fs::create_dir_all(&dir).unwrap();
+        let hex = key("old").to_hex();
+        // Pre-discriminator name shape: seg-{seq}-{pid}.jsonl.
+        write_log(
+            &dir.join("seg-00000001-4242.jsonl"),
+            &header(),
+            &[record(&hex, &7u64.to_value(), None)],
+        )
+        .unwrap();
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.get(&key("old")), Some(7u64.to_value()));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn segment_names_are_validated() {
+        assert!(ResultStore::is_segment_name("seg-00000001-1-abcd.jsonl"));
+        assert!(ResultStore::is_segment_name("seg-00000000-compact.jsonl"));
+        assert!(!ResultStore::is_segment_name("notseg.jsonl"));
+        assert!(!ResultStore::is_segment_name("seg-1.txt"));
+        assert!(!ResultStore::is_segment_name("../seg-1.jsonl"));
+        assert!(!ResultStore::is_segment_name("seg-..-x.jsonl"));
+        assert!(!ResultStore::is_segment_name("seg-a/b.jsonl"));
+    }
+
+    #[test]
+    fn manifest_lists_segments_and_read_rejects_bad_names() {
+        let dir = temp_dir("manifest");
+        let store = ResultStore::open(&dir).unwrap();
+        store.put(&key("a"), 1u64.to_value()).unwrap();
+        let segments = store.segments().unwrap();
+        assert_eq!(segments.len(), 1);
+        assert!(segments[0].name.starts_with("seg-"));
+        assert!(segments[0].bytes > 0);
+        let text = store.read_segment(&segments[0].name).unwrap();
+        assert!(text.contains(&key("a").to_hex()));
+        assert!(store.read_segment("../../etc/passwd").is_err());
+        assert!(store.read_segment("seg-missing-0.jsonl").is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn import_is_put_if_absent_and_round_trips() {
+        let dir_a = temp_dir("import-a");
+        let dir_b = temp_dir("import-b");
+        let a = ResultStore::open(&dir_a).unwrap();
+        let b = ResultStore::open(&dir_b).unwrap();
+        a.put_tagged(&key("x"), 1u64.to_value(), "t").unwrap();
+        a.put(&key("y"), 2u64.to_value()).unwrap();
+        b.put(&key("y"), 2u64.to_value()).unwrap();
+        let name = a.segments().unwrap()[0].name.clone();
+        let text = a.read_segment(&name).unwrap();
+        let report = b.import_segment_text(&text).unwrap();
+        assert_eq!(report.imported, 1, "only the absent key lands");
+        assert_eq!(report.skipped, 1, "the present key is left untouched");
+        assert_eq!(b.get(&key("x")), Some(1u64.to_value()));
+        assert_eq!(a.keys_digest(), b.keys_digest(), "same key set converges");
+        // Re-importing is a no-op.
+        let again = b.import_segment_text(&text).unwrap();
+        assert_eq!(again.imported, 0);
+        assert_eq!(again.skipped, 2);
+        let _ = std::fs::remove_dir_all(dir_a);
+        let _ = std::fs::remove_dir_all(dir_b);
+    }
+
+    #[test]
+    fn import_rejects_foreign_or_garbled_text() {
+        let dir = temp_dir("import-bad");
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.import_segment_text("").is_err());
+        assert!(store
+            .import_segment_text("{\"kind\": \"other\"}\n")
+            .is_err());
+        let garbled = format!(
+            "{}\nnot json\n{}\n",
+            serde_json::to_string(&header()).unwrap(),
+            serde_json::to_string(&record(&key("a").to_hex(), &1u64.to_value(), None)).unwrap(),
+        );
+        assert!(store.import_segment_text(&garbled).is_err());
+        // A torn final line (no trailing newline) is tolerated.
+        let torn = format!(
+            "{}\n{}\n{{\"key\": \"ab",
+            serde_json::to_string(&header()).unwrap(),
+            serde_json::to_string(&record(&key("a").to_hex(), &1u64.to_value(), None)).unwrap(),
+        );
+        let report = store.import_segment_text(&torn).unwrap();
+        assert_eq!(report.imported, 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn keys_digest_is_order_independent_and_counts() {
+        let dir_a = temp_dir("digest-a");
+        let dir_b = temp_dir("digest-b");
+        let a = ResultStore::open(&dir_a).unwrap();
+        let b = ResultStore::open(&dir_b).unwrap();
+        assert_eq!(a.keys_digest(), b.keys_digest(), "both empty");
+        assert!(a.keys_digest().starts_with("0:"));
+        a.put(&key("p"), 1u64.to_value()).unwrap();
+        a.put(&key("q"), 2u64.to_value()).unwrap();
+        b.put(&key("q"), 2u64.to_value()).unwrap();
+        assert_ne!(a.keys_digest(), b.keys_digest());
+        b.put(&key("p"), 1u64.to_value()).unwrap();
+        assert_eq!(
+            a.keys_digest(),
+            b.keys_digest(),
+            "insertion order is invisible"
+        );
+        let _ = std::fs::remove_dir_all(dir_a);
+        let _ = std::fs::remove_dir_all(dir_b);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   seed sweeps, structured run reports
 //! - [`store`] — the content-addressed result store backing `--cache`
 //!   sweeps and sharded, mergeable experiment logs
+//! - [`cluster`] — the distributed cache fabric: a deterministic
+//!   consistent-hash ring over the fingerprint space and the
+//!   anti-entropy manifests a serve fleet gossips with
 //! - [`serve`] — a std-only HTTP serving layer over the solver registry
 //!   and result store, plus a loopback client and load generator
 //!
@@ -41,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub use wrsn_charging as charging;
+pub use wrsn_cluster as cluster;
 pub use wrsn_core as core;
 pub use wrsn_energy as energy;
 pub use wrsn_engine as engine;

@@ -1,0 +1,149 @@
+//! Property tests for the cluster fabric's consistent-hash ring: every
+//! node must derive identical ownership from the shared configuration,
+//! per-peer shares must stay near 1/N at the default vnode count, and
+//! membership changes must remap only the departed or arrived share of
+//! the key space — the property that makes consistent hashing worth
+//! its name.
+
+use proptest::prelude::*;
+use wrsn::cluster::{HashRing, Peer, DEFAULT_VNODES};
+
+fn peers(n: usize) -> Vec<Peer> {
+    (0..n)
+        .map(|i| Peer {
+            id: format!("node-{i}"),
+            addr: format!("127.0.0.1:{}", 7000 + i),
+        })
+        .collect()
+}
+
+/// Sample keys shaped like the fleet's real routing keys: 32-hex
+/// fingerprints (mapped onto the ring by direct parse) and arbitrary
+/// strings (hashed first).
+fn keys(count: usize) -> Vec<String> {
+    (0..count)
+        .map(|i| {
+            if i % 2 == 0 {
+                format!("{:032x}", (i as u128).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            } else {
+                format!("sweep:{i}:seed-{}", i * 31)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Ownership is a pure function of (peer set, seed, vnodes): any
+    /// permutation of the peer list — each node passes its own
+    /// `--cluster-peers` string — yields the same owner for every key.
+    #[test]
+    fn ownership_is_deterministic_across_peer_orderings(
+        n in 2usize..6,
+        seed in 0u64..1_000,
+        rotation in 0usize..5,
+    ) {
+        let canonical = HashRing::new(peers(n), seed, 64).expect("valid ring");
+        let mut rotated = peers(n);
+        rotated.rotate_left(rotation % n);
+        rotated.reverse();
+        let permuted = HashRing::new(rotated, seed, 64).expect("valid ring");
+        for key in keys(128) {
+            prop_assert_eq!(
+                &canonical.owner(&key).id,
+                &permuted.owner(&key).id,
+                "key {} must have one owner fleet-wide", key
+            );
+        }
+    }
+
+    /// At the default vnode count every peer's exact arc share stays
+    /// within a factor of two of the ideal 1/N — the balance bound the
+    /// sizing in DESIGN.md relies on.
+    #[test]
+    fn shares_stay_within_bound_of_ideal(
+        n in 2usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let ring = HashRing::new(peers(n), seed, DEFAULT_VNODES).expect("valid ring");
+        let shares = ring.shares();
+        let sum: f64 = shares.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "shares must sum to 1, got {}", sum);
+        let ideal = 1.0 / n as f64;
+        for (peer, share) in ring.peers().iter().zip(&shares) {
+            prop_assert!(
+                *share > ideal / 2.0 && *share < ideal * 2.0,
+                "{} owns {:.4}, ideal {:.4}", peer.id, share, ideal
+            );
+        }
+    }
+
+    /// Removing one peer remaps only the keys that peer owned: every
+    /// key owned by a survivor keeps its owner. (Joins are the same
+    /// statement read backwards, so this covers both directions.)
+    #[test]
+    fn leave_remaps_only_the_departed_share(
+        n in 3usize..7,
+        seed in 0u64..1_000,
+        departed in 0usize..7,
+    ) {
+        let departed = departed % n;
+        let before = HashRing::new(peers(n), seed, DEFAULT_VNODES).expect("valid ring");
+        let survivors: Vec<Peer> = peers(n)
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| *i != departed)
+            .map(|(_, p)| p)
+            .collect();
+        let after = HashRing::new(survivors, seed, DEFAULT_VNODES).expect("valid ring");
+        let departed_id = format!("node-{departed}");
+        let sample = keys(512);
+        let mut moved = 0usize;
+        let mut orphaned = 0usize;
+        for key in &sample {
+            let old = &before.owner(key).id;
+            if *old == departed_id {
+                orphaned += 1;
+                continue;
+            }
+            if old != &after.owner(key).id {
+                moved += 1;
+            }
+        }
+        prop_assert_eq!(
+            moved, 0,
+            "{} surviving keys changed owner on a leave", moved
+        );
+        // Sanity: the departed peer actually owned a plausible share
+        // (within a factor of ~2.5 of 1/n on a 512-key sample).
+        let expected = sample.len() as f64 / n as f64;
+        prop_assert!(
+            (orphaned as f64) < expected * 2.5,
+            "departed peer owned {} of {} keys, expected about {:.0}",
+            orphaned, sample.len(), expected
+        );
+    }
+
+    /// A join remaps at most the joiner's share: comparing N vs N+1
+    /// peers, every moved key lands on the new peer.
+    #[test]
+    fn join_only_steals_for_the_joiner(
+        n in 2usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let before = HashRing::new(peers(n), seed, DEFAULT_VNODES).expect("valid ring");
+        let after = HashRing::new(peers(n + 1), seed, DEFAULT_VNODES).expect("valid ring");
+        let joiner = format!("node-{n}");
+        for key in keys(512) {
+            let old = &before.owner(&key).id;
+            let new = &after.owner(&key).id;
+            if old != new {
+                prop_assert_eq!(
+                    new, &joiner,
+                    "key {} moved to {} instead of the joiner", key, new
+                );
+            }
+        }
+    }
+}
