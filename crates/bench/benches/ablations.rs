@@ -47,24 +47,36 @@ fn main() {
     // Each RFH variant gets a registry name, so the ablation sweeps run
     // through exactly the same pipeline as the headline figures.
     let mut registry = SolverRegistry::with_defaults();
-    registry.register("irfh-merge-always", || {
-        Box::new(Rfh::iterative(7).merge_policy(MergePolicy::Always))
-    });
-    registry.register("irfh-merge-never", || {
-        Box::new(Rfh::iterative(7).merge_policy(MergePolicy::Never))
-    });
-    registry.register("irfh-workload-energy", || {
-        Box::new(Rfh::iterative(7).workload_metric(WorkloadMetric::EnergyRate))
-    });
-    registry.register("irfh-workload-descendants", || {
-        Box::new(Rfh::iterative(7).workload_metric(WorkloadMetric::DescendantCount))
-    });
-    registry.register("irfh-alloc-lagrange", || {
-        Box::new(Rfh::iterative(7).allocator(AllocatorKind::LagrangeRounding))
-    });
-    registry.register("irfh-alloc-greedy", || {
-        Box::new(Rfh::iterative(7).allocator(AllocatorKind::GreedyMarginal))
-    });
+    registry
+        .register("irfh-merge-always", || {
+            Box::new(Rfh::iterative(7).merge_policy(MergePolicy::Always))
+        })
+        .unwrap();
+    registry
+        .register("irfh-merge-never", || {
+            Box::new(Rfh::iterative(7).merge_policy(MergePolicy::Never))
+        })
+        .unwrap();
+    registry
+        .register("irfh-workload-energy", || {
+            Box::new(Rfh::iterative(7).workload_metric(WorkloadMetric::EnergyRate))
+        })
+        .unwrap();
+    registry
+        .register("irfh-workload-descendants", || {
+            Box::new(Rfh::iterative(7).workload_metric(WorkloadMetric::DescendantCount))
+        })
+        .unwrap();
+    registry
+        .register("irfh-alloc-lagrange", || {
+            Box::new(Rfh::iterative(7).allocator(AllocatorKind::LagrangeRounding))
+        })
+        .unwrap();
+    registry
+        .register("irfh-alloc-greedy", || {
+            Box::new(Rfh::iterative(7).allocator(AllocatorKind::GreedyMarginal))
+        })
+        .unwrap();
 
     let sampler = InstanceSampler::new(Field::square(500.0), N, M);
     let mut rows = Vec::new();

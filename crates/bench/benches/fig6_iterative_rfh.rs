@@ -22,7 +22,9 @@ struct Row {
 
 fn main() {
     let mut registry = SolverRegistry::with_defaults();
-    registry.register("irfh10", || Box::new(Rfh::iterative(ITERATIONS)));
+    registry
+        .register("irfh10", || Box::new(Rfh::iterative(ITERATIONS)))
+        .unwrap();
     let node_budgets = [400u32, 600, 800, 1000];
     let mut rows = Vec::new();
     let mut table = Table::new(

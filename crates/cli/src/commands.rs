@@ -3,7 +3,7 @@
 
 use crate::args::{Args, ArgsError};
 use crate::render;
-use serde::Serialize;
+use serde::{Deserialize as _, Serialize};
 use std::error::Error;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use wrsn_charging::FieldExperiment;
 use wrsn_core::reduction::reduce;
-use wrsn_core::{BranchAndBound, Instance, InstanceSpec, Solution, Solver};
+use wrsn_core::{BranchAndBound, Instance, InstanceSpec, ScenarioSpec, Solution, Solver};
 use wrsn_energy::Energy;
 use wrsn_engine::{
     cache_tag, merge_checkpoints, EngineError, Experiment, InstanceParams, InstanceSource,
@@ -19,6 +19,7 @@ use wrsn_engine::{
     Table,
 };
 use wrsn_sat::{CnfFormula, DpllSolver};
+use wrsn_sched::plan_tour_schedule;
 use wrsn_serve::api::ApiContext;
 use wrsn_serve::{client, ChaosPolicy, Server, ServerConfig};
 use wrsn_sim::{ChargerPolicy, FaultPlan, PatrolTour, SimConfig, Simulator};
@@ -57,7 +58,10 @@ OPTIONS:
     --eta E         single-node charging efficiency      [default: 1.0]
     --cap C         max nodes per post                   [optional]
     --algo A        rfh | irfh | idb | bnb | exhaustive | uniform | lifetime
+                    | sched-tour | sched-place | sched-bilevel
                                                          [default: irfh]
+    --scenario J    charging-scenario JSON (ScenarioSpec) parameterizing
+                    the sched-* solvers                  [optional]
     --draw          render the field map and routing tree as ASCII
     --save PATH     write the generated instance spec as JSON
     --load PATH     solve a saved instance spec instead of sampling
@@ -68,7 +72,7 @@ const SWEEP_HELP: &str = "\
 wrsn sweep — run a solver over many random instances in parallel
 
 Takes the instance options of `wrsn solve` (--posts, --nodes, --field,
---levels, --eta, --cap, --load), plus:
+--levels, --eta, --cap, --load, --scenario), plus:
     --algo A        solver name from the registry        [default: irfh]
     --seeds S       number of seeds to sweep             [default: 10]
     --seed-start K  first seed                           [default: 0]
@@ -126,7 +130,13 @@ All `wrsn solve` options, plus:
     --chargers K    charger fleet size (tour policy)     [default: 1]
     --power W       charger radiated power in watts (finite => refills take time)
     --timeline R    sample state of charge every R rounds and plot it
+    --sched-tour    drive the tour policy along the sched-tour solver's
+                    planned visit order (uses --scenario when given)
     --json          machine-readable output
+
+The tour policy audits patrol feasibility at setup: posts whose battery
+window is shorter than their charger's cycle are reported (and listed in
+the JSON output as tour_infeasible_posts).
 
 Failure injection (any of these enables the fault plan):
     --fault-seed K     seed for the probabilistic faults    [default: 0]
@@ -406,6 +416,7 @@ struct InstanceOptions {
     eta: f64,
     cap: Option<u32>,
     load: Option<String>,
+    scenario: Option<ScenarioSpec>,
 }
 
 impl InstanceOptions {
@@ -418,6 +429,7 @@ impl InstanceOptions {
             eta: args.get_or("eta", "an efficiency in (0,1]", 1.0)?,
             cap: args.opt("cap", "a per-post cap")?,
             load: args.opt("load", "a file path")?,
+            scenario: parse_scenario(args)?,
         };
         if opts.posts == 0 || opts.nodes == 0 || opts.field <= 0.0 || opts.levels == 0 {
             return Err(CliError::Msg(
@@ -456,10 +468,36 @@ impl InstanceOptions {
                 eta: self.eta,
                 cap: self.cap,
                 spec: None,
+                scenario: self.scenario.clone(),
             };
             params.source().map_err(CliError::from)
         }
     }
+
+    /// The solver registry for these options: the defaults, with the
+    /// scheduling solvers rebound to `--scenario` when one was given.
+    fn registry(&self) -> SolverRegistry {
+        let base = SolverRegistry::with_defaults();
+        match &self.scenario {
+            Some(spec) => base.scenario_overlay(spec),
+            None => base,
+        }
+    }
+}
+
+/// Parses and validates the `--scenario` flag (a [`ScenarioSpec`] JSON
+/// object) shared by `solve`, `sweep`, and `simulate`.
+fn parse_scenario(args: &mut Args) -> Result<Option<ScenarioSpec>, CliError> {
+    let Some(text) = args.opt::<String>("scenario", "a scenario JSON object")? else {
+        return Ok(None);
+    };
+    let value: serde::Value = serde_json::from_str(&text)
+        .map_err(|e| CliError::Msg(format!("--scenario is not valid JSON: {e}")))?;
+    let spec =
+        ScenarioSpec::from_value(&value).map_err(|e| CliError::Msg(format!("--scenario: {e}")))?;
+    spec.validate()
+        .map_err(|m| CliError::Msg(format!("--scenario: {m}")))?;
+    Ok(Some(spec))
 }
 
 struct SolveSetup {
@@ -467,6 +505,7 @@ struct SolveSetup {
     solution: Solution,
     seed: u64,
     json: bool,
+    scenario: Option<ScenarioSpec>,
 }
 
 fn setup_solve(args: &mut Args) -> Result<SolveSetup, CliError> {
@@ -482,7 +521,7 @@ fn setup_solve(args: &mut Args) -> Result<SolveSetup, CliError> {
         std::fs::write(&path, spec.to_json())
             .map_err(|e| CliError::Msg(format!("writing {path}: {e}")))?;
     }
-    let solver = SolverRegistry::with_defaults().create(&algo)?;
+    let solver = opts.registry().create(&algo)?;
     let solution = solver
         .solve(&instance)
         .map_err(|e| CliError::Msg(format!("{algo} failed: {e}")))?;
@@ -491,6 +530,7 @@ fn setup_solve(args: &mut Args) -> Result<SolveSetup, CliError> {
         solution,
         seed,
         json,
+        scenario: opts.scenario,
     })
 }
 
@@ -638,7 +678,7 @@ fn sweep(mut args: Args) -> Result<String, CliError> {
         });
     }
     let algo = algo_opt.unwrap_or_else(|| "irfh".to_string());
-    let registry = SolverRegistry::with_defaults();
+    let registry = opts.registry();
     let mut experiment = Experiment::new(opts.source()?)
         .solver(&algo)
         .seeds(seed_start..seed_start + seeds)
@@ -648,6 +688,9 @@ fn sweep(mut args: Args) -> Result<String, CliError> {
         .keep_going(keep_going)
         .resume(resume)
         .record_timings(!no_timings);
+    if let Some(spec) = &opts.scenario {
+        experiment = experiment.scenario(spec.clone());
+    }
     if let Some(path) = &checkpoint {
         experiment = experiment.checkpoint(path);
     }
@@ -769,7 +812,7 @@ fn sweep_compare(cfg: SweepCompare<'_>) -> Result<String, CliError> {
             "--compare needs at least two solver names (e.g. --compare rfh,irfh,idb)".into(),
         ));
     }
-    let registry = SolverRegistry::with_defaults();
+    let registry = cfg.opts.registry();
     let mut reports = Vec::new();
     for algo in &algos {
         let mut experiment = Experiment::new(cfg.opts.source()?)
@@ -780,6 +823,9 @@ fn sweep_compare(cfg: SweepCompare<'_>) -> Result<String, CliError> {
             .retry(RetryPolicy::attempts(cfg.max_retries + 1))
             .keep_going(cfg.keep_going)
             .record_timings(!cfg.no_timings);
+        if let Some(spec) = &cfg.opts.scenario {
+            experiment = experiment.scenario(spec.clone());
+        }
         if let Some(store) = &cfg.store {
             experiment = experiment.cache(store.clone());
         }
@@ -937,6 +983,7 @@ struct SimulateReport {
     capacity_floor_hits: u64,
     charger_downtime_rounds: u64,
     breakdown_deaths: u64,
+    tour_infeasible_posts: Vec<usize>,
 }
 
 /// Parses `--kill R:P[,R:P...]` entries into (round, post) pairs.
@@ -1028,6 +1075,7 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
     let battery_fade: Option<f64> = args.opt("battery-fade", "a fraction")?;
     let fade_floor: Option<f64> = args.opt("fade-floor", "a fraction")?;
     let charger_down: Option<String> = args.opt("charger-down", "FROM:UNTIL entries")?;
+    let sched_tour = args.flag("sched-tour");
     let setup = setup_solve(&mut args)?;
     args.finish()?;
     // Range-check the probabilistic knobs up front so the error names
@@ -1116,6 +1164,34 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
     if chargers == 0 {
         return Err(CliError::Msg("--chargers must be at least 1".into()));
     }
+    // With --sched-tour the patrol follows the scheduling solver's
+    // planned visit order instead of the simulator's own 2-opt tour.
+    let mut planned_schedule = None;
+    let tour_order = if sched_tour {
+        if !matches!(charger, ChargerPolicy::PatrolTour { .. }) {
+            return Err(CliError::Msg(
+                "--sched-tour needs --policy tour (it drives the patrol chargers)".into(),
+            ));
+        }
+        let mut spec = setup.scenario.clone().unwrap_or_default();
+        spec.charger_speed_mps = speed;
+        spec.chargers = chargers;
+        spec.battery_j = battery;
+        spec.bits_per_report = bits;
+        let schedule = plan_tour_schedule(&setup.instance, &setup.solution, &spec).ok_or(
+            CliError::NonGeometric {
+                what: "--sched-tour",
+            },
+        )?;
+        // The simulator wants a full permutation; posts the scheduler
+        // deemed unsavable still get (hopeless) visits, at the end.
+        let mut order = schedule.visit_order.clone();
+        order.extend(schedule.infeasible.iter().copied());
+        planned_schedule = Some(schedule);
+        Some(order)
+    } else {
+        None
+    };
     let config = SimConfig {
         round_interval_s: 1.0,
         bits_per_report: bits,
@@ -1124,6 +1200,7 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
         record_soc_every: timeline,
         charger_power_w: power,
         faults,
+        tour_order,
     };
     let sim = Simulator::new(&setup.instance, &setup.solution, config.clone());
     let report = sim.run(rounds);
@@ -1149,6 +1226,7 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
         capacity_floor_hits: report.capacity_floor_hits,
         charger_downtime_rounds: report.charger_downtime_rounds,
         breakdown_deaths: report.breakdown_deaths,
+        tour_infeasible_posts: report.tour_infeasible_posts.clone(),
     };
     if setup.json {
         return Ok(serde_json::to_string_pretty(&result).expect("serializable"));
@@ -1205,6 +1283,29 @@ fn simulate(mut args: Args) -> Result<String, CliError> {
             "patrol tour: {:.0} m, cycle {:.1}s at {speed} m/s across {chargers} charger(s)",
             tour.length(),
             tour.cycle_s(speed)
+        );
+    }
+    if let Some(schedule) = &planned_schedule {
+        let _ = writeln!(
+            out,
+            "sched-tour: {} route(s), {} post(s) scheduled, feasible: {}",
+            schedule.routes.len(),
+            schedule.visit_order.len(),
+            schedule.is_feasible()
+        );
+    }
+    if !report.tour_infeasible_posts.is_empty() {
+        let posts: Vec<String> = report
+            .tour_infeasible_posts
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let _ = writeln!(
+            out,
+            "WARNING: patrol tour cannot sustain {} post(s): {} — their battery \
+             windows are shorter than the charger cycle",
+            posts.len(),
+            posts.join(", ")
         );
     }
     if !report.soc_timeline.is_empty() {

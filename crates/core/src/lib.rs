@@ -55,6 +55,7 @@ mod instance;
 mod rfh;
 mod routing;
 mod sampler;
+mod scenario;
 mod solution;
 mod spec;
 
@@ -74,6 +75,7 @@ pub use instance::{
 pub use rfh::{AllocatorKind, MergePolicy, Rfh, RfhReport, WorkloadMetric};
 pub use routing::{RoutingTree, TreeError};
 pub use sampler::InstanceSampler;
+pub use scenario::ScenarioSpec;
 pub use solution::Solution;
 pub use spec::{GainSpec, InstanceSpec, SpecError};
 

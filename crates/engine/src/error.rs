@@ -15,6 +15,13 @@ pub enum EngineError {
         /// Every name the registry does know, sorted.
         known: Vec<String>,
     },
+    /// A solver name was registered twice; shadowing a registration
+    /// silently would let a sweep labeled with one algorithm run
+    /// another. Use `SolverRegistry::replace` to overwrite on purpose.
+    DuplicateSolver {
+        /// The already-registered name.
+        name: String,
+    },
     /// The instance source could not produce a valid instance.
     Build(BuildError),
     /// A saved instance spec failed to parse or validate.
@@ -70,6 +77,10 @@ impl fmt::Display for EngineError {
             EngineError::UnknownSolver { name, known } => {
                 write!(f, "unknown solver {name:?} (known: {})", known.join(", "))
             }
+            EngineError::DuplicateSolver { name } => write!(
+                f,
+                "solver {name:?} is already registered; use replace() to overwrite it"
+            ),
             EngineError::Build(e) => write!(f, "building instance: {e}"),
             EngineError::Spec(e) => write!(f, "instance spec: {e}"),
             EngineError::Solve {
@@ -168,6 +179,7 @@ mod tests {
             }),
             EngineError::BadShard { index: 5, count: 4 },
             EngineError::NoSeeds,
+            EngineError::DuplicateSolver { name: "idb".into() },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

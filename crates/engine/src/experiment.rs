@@ -14,7 +14,7 @@ use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
-use wrsn_core::{Instance, InstanceSampler, InstanceSpec};
+use wrsn_core::{Instance, InstanceSampler, InstanceSpec, ScenarioSpec};
 use wrsn_store::{CacheStats, Fingerprint, FingerprintBuilder, ResultStore};
 
 /// The engine crate version baked into every cache fingerprint, so a
@@ -92,10 +92,40 @@ pub fn seed_fingerprint_in(
     capture_history: bool,
     seed: u64,
 ) -> Fingerprint {
+    seed_fingerprint_scenario(
+        namespace,
+        None,
+        source,
+        solver,
+        engine_version,
+        capture_history,
+        seed,
+    )
+}
+
+/// [`seed_fingerprint_in`] extended with an optional charging scenario.
+/// `None` produces exactly the same fingerprint as before, so caches of
+/// scenario-free sweeps stay valid; a `Some` scenario folds its
+/// canonical JSON into the key, so any scenario-parameter change
+/// invalidates cached scheduling runs.
+#[must_use]
+pub fn seed_fingerprint_scenario(
+    namespace: Option<&str>,
+    scenario: Option<&ScenarioSpec>,
+    source: &InstanceSource,
+    solver: &str,
+    engine_version: &str,
+    capture_history: bool,
+    seed: u64,
+) -> Fingerprint {
     let mut fp = FingerprintBuilder::new("wrsn-seedrun-v1");
     if let Some(ns) = namespace {
         fp.push_str("tenant");
         fp.push_str(ns);
+    }
+    if let Some(spec) = scenario {
+        fp.push_str("scenario");
+        fp.push_str(&spec.canonical_json());
     }
     fp.push_str(engine_version);
     fp.push_str(solver);
@@ -191,6 +221,7 @@ pub struct Experiment {
     shard: Option<(u32, u32)>,
     cache: Option<Arc<ResultStore>>,
     cache_namespace: Option<String>,
+    scenario: Option<ScenarioSpec>,
     on_seed: Option<Arc<SeedObserver>>,
     progress: Option<Arc<ProgressFeed>>,
 }
@@ -213,6 +244,7 @@ impl fmt::Debug for Experiment {
             .field("shard", &self.shard)
             .field("cache", &self.cache.as_ref().map(|s| s.dir().to_path_buf()))
             .field("cache_namespace", &self.cache_namespace)
+            .field("scenario", &self.scenario)
             .field("on_seed", &self.on_seed.as_ref().map(|_| "<callback>"))
             .field("progress", &self.progress.as_ref().map(|_| "<feed>"))
             .finish()
@@ -241,6 +273,7 @@ impl Experiment {
             shard: None,
             cache: None,
             cache_namespace: None,
+            scenario: None,
             on_seed: None,
             progress: None,
         }
@@ -385,6 +418,18 @@ impl Experiment {
         self
     }
 
+    /// Declares the charging scenario this sweep runs under, folding it
+    /// into every cache fingerprint. Callers that rebind the scheduling
+    /// solvers via [`SolverRegistry::scenario_overlay`] must set this
+    /// with the same spec, or cached results from different scenarios
+    /// would collide under one key. Scenario-free sweeps (the default)
+    /// fingerprint exactly as before.
+    #[must_use]
+    pub fn scenario(mut self, spec: ScenarioSpec) -> Self {
+        self.scenario = Some(spec);
+        self
+    }
+
     /// Installs a per-seed progress callback (see [`SeedEvent`]).
     #[must_use]
     pub fn on_seed<F>(mut self, callback: F) -> Self
@@ -490,8 +535,9 @@ impl Experiment {
         if let Some(store) = &self.cache {
             let mut misses = Vec::with_capacity(pending.len());
             for seed in pending {
-                let key = seed_fingerprint_in(
+                let key = seed_fingerprint_scenario(
                     self.cache_namespace.as_deref(),
+                    self.scenario.as_ref(),
                     &self.source,
                     &self.solver,
                     ENGINE_VERSION,
@@ -669,8 +715,9 @@ impl Experiment {
                     run.attempts = *attempts;
                     run.setup_ms = 0.0;
                     run.solve_ms = 0.0;
-                    let key = seed_fingerprint_in(
+                    let key = seed_fingerprint_scenario(
                         self.cache_namespace.as_deref(),
+                        self.scenario.as_ref(),
                         &self.source,
                         &self.solver,
                         ENGINE_VERSION,
@@ -915,12 +962,14 @@ mod tests {
         // 5-seed sequential sweep) yields a panicking solver: that is
         // exactly seed 2 in both runs below, which share the counter.
         let calls = std::sync::atomic::AtomicUsize::new(0);
-        registry.register("flaky", move || {
-            if calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst) % 5 == 2 {
-                panic!("injected panic in solver construction");
-            }
-            Box::new(wrsn_core::Idb::new(1))
-        });
+        registry
+            .register("flaky", move || {
+                if calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst) % 5 == 2 {
+                    panic!("injected panic in solver construction");
+                }
+                Box::new(wrsn_core::Idb::new(1))
+            })
+            .unwrap();
         let base = Experiment::sampled(sampler(5, 10))
             .solver("flaky")
             .seeds(0..5)
@@ -946,12 +995,14 @@ mod tests {
         let mut registry = SolverRegistry::with_defaults();
         let calls = std::sync::atomic::AtomicUsize::new(0);
         // Fails on its first two constructions, then behaves.
-        registry.register("transient", move || {
-            if calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst) < 2 {
-                panic!("transient fault");
-            }
-            Box::new(wrsn_core::Idb::new(1))
-        });
+        registry
+            .register("transient", move || {
+                if calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst) < 2 {
+                    panic!("transient fault");
+                }
+                Box::new(wrsn_core::Idb::new(1))
+            })
+            .unwrap();
         let report = Experiment::sampled(sampler(5, 10))
             .solver("transient")
             .seeds(0..3)
@@ -1067,10 +1118,12 @@ mod tests {
         let mut registry = SolverRegistry::with_defaults();
         let calls = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let counter = calls.clone();
-        registry.register("counted", move || {
-            counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-            Box::new(wrsn_core::Idb::new(1))
-        });
+        registry
+            .register("counted", move || {
+                counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                Box::new(wrsn_core::Idb::new(1))
+            })
+            .unwrap();
         (registry, calls)
     }
 

@@ -49,8 +49,8 @@ pub use checkpoint::{
 };
 pub use error::EngineError;
 pub use experiment::{
-    cache_tag, seed_fingerprint, seed_fingerprint_in, Experiment, InstanceSource, SeedEvent,
-    ENGINE_VERSION,
+    cache_tag, seed_fingerprint, seed_fingerprint_in, seed_fingerprint_scenario, Experiment,
+    InstanceSource, SeedEvent, ENGINE_VERSION,
 };
 pub use params::InstanceParams;
 pub use registry::{SolverFactory, SolverRegistry};

@@ -5,7 +5,7 @@
 
 use crate::{EngineError, InstanceSource};
 use serde::{Deserialize, Serialize};
-use wrsn_core::{ChargeSpec, InstanceSampler, InstanceSpec};
+use wrsn_core::{ChargeSpec, InstanceSampler, InstanceSpec, ScenarioSpec};
 use wrsn_energy::TxLevels;
 use wrsn_geom::Field;
 
@@ -69,6 +69,12 @@ pub struct InstanceParams {
     /// above are ignored and every seed rebuilds this exact instance.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub spec: Option<InstanceSpec>,
+    /// An optional charging scenario for the scheduling solvers
+    /// (`sched-tour`, `sched-place`, `sched-bilevel`): front ends
+    /// overlay it onto the registry and fold it into cache
+    /// fingerprints. Absent means those solvers run their defaults.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub scenario: Option<ScenarioSpec>,
 }
 
 impl Default for InstanceParams {
@@ -81,6 +87,7 @@ impl Default for InstanceParams {
             eta: default_eta(),
             cap: None,
             spec: None,
+            scenario: None,
         }
     }
 }
@@ -96,6 +103,9 @@ impl InstanceParams {
     /// [`EngineError::Build`] when a pinned spec describes an invalid
     /// instance.
     pub fn source(&self) -> Result<InstanceSource, EngineError> {
+        if let Some(scenario) = &self.scenario {
+            scenario.validate().map_err(EngineError::InvalidRequest)?;
+        }
         if let Some(spec) = &self.spec {
             // Validate eagerly so bad specs fail at request time, not
             // per seed deep inside a sweep.
@@ -189,6 +199,7 @@ mod tests {
             eta: 0.8,
             cap: Some(6),
             spec: None,
+            scenario: None,
         };
         let by_params = p.source().unwrap();
         let by_hand = InstanceSource::Sampled(
@@ -213,5 +224,38 @@ mod tests {
         let back = InstanceParams::from_value(&v).unwrap();
         assert_eq!(back.posts, 9);
         assert_eq!(back.cap, Some(3));
+        assert!(back.scenario.is_none());
+    }
+
+    #[test]
+    fn scenario_round_trips_and_is_validated() {
+        let p = InstanceParams {
+            posts: 6,
+            nodes: 12,
+            field: 150.0,
+            scenario: Some(ScenarioSpec {
+                chargers: 2,
+                ..ScenarioSpec::default()
+            }),
+            ..InstanceParams::default()
+        };
+        assert!(p.source().is_ok());
+        let text = serde_json::to_string(&p.to_value()).unwrap();
+        let v: serde::Value = serde_json::from_str(&text).unwrap();
+        let back = InstanceParams::from_value(&v).unwrap();
+        assert_eq!(back.scenario.as_ref().unwrap().chargers, 2);
+        // An invalid scenario is rejected at request time and names the
+        // offending parameter.
+        let bad = InstanceParams {
+            scenario: Some(ScenarioSpec {
+                duty_target: 0.0,
+                ..ScenarioSpec::default()
+            }),
+            ..p
+        };
+        let Err(EngineError::InvalidRequest(msg)) = bad.source() else {
+            panic!("invalid scenario must be rejected");
+        };
+        assert!(msg.contains("duty_target"));
     }
 }

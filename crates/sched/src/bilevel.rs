@@ -1,0 +1,397 @@
+//! Bi-level deploy-then-schedule metaheuristic.
+//!
+//! The outer level searches deployments with simulated annealing; the
+//! inner level evaluates each candidate by optimally routing it (the
+//! paper's objective) *and* by the steady-state feasibility of the
+//! charging schedule a mobile-charger fleet could run over it. The
+//! combined objective `cost × (1 + infeasible_fraction)` pulls the
+//! anneal toward deployments that are cheap to recharge *and*
+//! physically serviceable before batteries run dry.
+
+use crate::profile::EnergyProfile;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use wrsn_core::{
+    optimal_cost, CostEvaluator, Deployment, Instance, RoutingTree, ScenarioSpec, Solution,
+    SolveError, Solver,
+};
+use wrsn_sim::PatrolTour;
+
+/// A stable FNV-1a digest of an instance, mixed into the bi-level
+/// solver's RNG seed so each instance anneals its own deterministic
+/// trajectory even inside a fixed-seed sweep.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_core::InstanceSampler;
+/// use wrsn_geom::Field;
+/// use wrsn_sched::instance_digest;
+///
+/// let a = InstanceSampler::new(Field::square(100.0), 4, 8).sample(1);
+/// let b = InstanceSampler::new(Field::square(100.0), 4, 8).sample(2);
+/// assert_eq!(instance_digest(&a), instance_digest(&a));
+/// assert_ne!(instance_digest(&a), instance_digest(&b));
+/// ```
+#[must_use]
+pub fn instance_digest(instance: &Instance) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{instance:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Fraction of posts whose battery deadline is shorter than the
+/// steady-state patrol period of the charger route that owns them.
+///
+/// The fleet's tour geometry is planned once over the instance (it does
+/// not depend on the deployment), so per-candidate evaluation only
+/// recomputes dwell loads and battery windows — O(posts) on top of the
+/// routing itself. Instances without geometry score 0 (no spatial
+/// schedule to violate), which reduces the anneal to pure cost search.
+pub(crate) fn infeasible_fraction(
+    instance: &Instance,
+    counts: &[u32],
+    tree: &RoutingTree,
+    spec: &ScenarioSpec,
+    routes: &[(Vec<usize>, f64)],
+) -> f64 {
+    if routes.is_empty() {
+        return 0.0;
+    }
+    let profile = EnergyProfile::new(instance, counts, tree, spec);
+    let mut bad = 0usize;
+    for (members, travel_s) in routes {
+        let load: f64 = members
+            .iter()
+            .map(|&p| profile.demand_w[p] / spec.charger_power_w)
+            .sum();
+        let cycle_s = if load < 1.0 {
+            travel_s / (1.0 - load)
+        } else {
+            f64::INFINITY
+        };
+        bad += members
+            .iter()
+            .filter(|&&p| profile.window_s[p] < cycle_s)
+            .count();
+    }
+    bad as f64 / instance.num_posts() as f64
+}
+
+/// Plans the fleet's route memberships and travel times once per
+/// instance: the full patrol tour split across the fleet, exactly the
+/// partition [`plan_tour_schedule`](crate::plan_tour_schedule) and the
+/// simulator use.
+fn plan_routes(instance: &Instance, spec: &ScenarioSpec) -> Vec<(Vec<usize>, f64)> {
+    let Some(geo) = instance.geometry() else {
+        return Vec::new();
+    };
+    let full = PatrolTour::plan(geo.base_station, geo.posts.clone());
+    let mut used = vec![false; geo.posts.len()];
+    full.split(spec.chargers as usize)
+        .into_iter()
+        .map(|sub| {
+            let members: Vec<usize> = sub
+                .stops_in_order()
+                .into_iter()
+                .map(|pt| {
+                    let p = geo
+                        .posts
+                        .iter()
+                        .enumerate()
+                        .position(|(i, q)| {
+                            !used[i]
+                                && q.x.to_bits() == pt.x.to_bits()
+                                && q.y.to_bits() == pt.y.to_bits()
+                        })
+                        .expect("tour stops are instance posts");
+                    used[p] = true;
+                    p
+                })
+                .collect();
+            (members, sub.length() / spec.charger_speed_mps)
+        })
+        .collect()
+}
+
+/// Bi-level deploy-then-schedule solver.
+///
+/// Starts from the cost-greedy deployment (IDB(1)'s coordinate ascent)
+/// and anneals single-node moves between posts, scoring every candidate
+/// by `routing cost × (1 + infeasible_fraction)`. The anneal is seeded
+/// by `spec.seed` mixed with [`instance_digest`], so identical inputs
+/// replay identical trajectories — the property the engine's result
+/// cache and the shard-merge tests rely on.
+///
+/// # Examples
+///
+/// ```
+/// use wrsn_core::{InstanceSampler, ScenarioSpec, Solver};
+/// use wrsn_geom::Field;
+/// use wrsn_sched::SchedBilevel;
+///
+/// let inst = InstanceSampler::new(Field::square(200.0), 6, 15).sample(4);
+/// let a = SchedBilevel::new(ScenarioSpec::default()).solve(&inst)?;
+/// let b = SchedBilevel::new(ScenarioSpec::default()).solve(&inst)?;
+/// assert_eq!(a.deployment().counts(), b.deployment().counts());
+/// # Ok::<(), wrsn_core::SolveError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedBilevel {
+    spec: ScenarioSpec,
+}
+
+impl SchedBilevel {
+    /// Creates the solver for one charging scenario.
+    #[must_use]
+    pub fn new(spec: ScenarioSpec) -> Self {
+        SchedBilevel { spec }
+    }
+
+    /// The scenario whose schedule feasibility shapes the anneal.
+    #[must_use]
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+}
+
+impl Default for SchedBilevel {
+    fn default() -> Self {
+        SchedBilevel::new(ScenarioSpec::default())
+    }
+}
+
+impl Solver for SchedBilevel {
+    fn name(&self) -> &'static str {
+        "SchedBilevel"
+    }
+
+    #[allow(clippy::needless_range_loop)] // probes every post index
+    fn solve(&self, instance: &Instance) -> Result<Solution, SolveError> {
+        let n = instance.num_posts();
+        let cap = instance
+            .max_nodes_per_post()
+            .unwrap_or(instance.num_nodes());
+        let mut eval = CostEvaluator::new(instance);
+        if eval.set_deployment(&vec![1u32; n]).is_none() {
+            let dep = Deployment::ones(n);
+            return Err(match optimal_cost(instance, &dep) {
+                Err(e) => e,
+                Ok(_) => SolveError::Unroutable { post: 0 },
+            });
+        }
+        // Lower level, warm start: cost-greedy coordinate ascent.
+        let mut counts = vec![1u32; n];
+        for _ in 0..(instance.num_nodes() - n as u32) {
+            let mut best: Option<(f64, usize)> = None;
+            for p in 0..n {
+                if counts[p] >= cap {
+                    continue;
+                }
+                let cost = eval.probe_add(p);
+                if best.is_none_or(|(b, _)| cost < b) {
+                    best = Some((cost, p));
+                }
+            }
+            let (_, p) = best.expect("cap feasibility was validated at build time");
+            eval.commit_add(p);
+            counts[p] += 1;
+        }
+        let routes = plan_routes(instance, &self.spec);
+        let objective = |eval: &mut CostEvaluator<'_>, counts: &[u32]| -> Option<f64> {
+            let cost = eval.set_deployment(counts)?;
+            let tree = RoutingTree::new(eval.parents(), instance)
+                .expect("shortest-path parents use existing links");
+            let frac = infeasible_fraction(instance, counts, &tree, &self.spec, &routes);
+            Some(cost * (1.0 + frac))
+        };
+        let mut current = objective(&mut eval, &counts).expect("warm start is routable");
+        let mut best_counts = counts.clone();
+        let mut best = current;
+        // Upper level: anneal single-node moves. With no spare nodes
+        // every move is blocked, so skip the loop entirely.
+        if instance.num_nodes() > n as u32 && n >= 2 {
+            let mut rng = SmallRng::seed_from_u64(self.spec.seed ^ instance_digest(instance));
+            let t0 = self.spec.sa_temp * current.max(f64::MIN_POSITIVE);
+            let decay = (1e-3f64).powf(1.0 / f64::from(self.spec.sa_iters));
+            let mut temp = t0;
+            for _ in 0..self.spec.sa_iters {
+                // Donor: a post with a spare node; recipient: a post
+                // below the cap. Scan cyclically from random starts so
+                // the move is always well-defined when one exists.
+                let pick = |rng: &mut SmallRng| (rng.random::<f64>() * n as f64) as usize % n;
+                let start_a = pick(&mut rng);
+                let start_b = pick(&mut rng);
+                let a = (0..n).map(|k| (start_a + k) % n).find(|&p| counts[p] > 1);
+                let Some(a) = a else { break };
+                let Some(b) = (0..n)
+                    .map(|k| (start_b + k) % n)
+                    .find(|&p| p != a && counts[p] < cap)
+                else {
+                    break;
+                };
+                counts[a] -= 1;
+                counts[b] += 1;
+                let cand = objective(&mut eval, &counts);
+                let accept = match cand {
+                    None => false,
+                    Some(j) => j < current || rng.random::<f64>() < (-(j - current) / temp).exp(),
+                };
+                if accept {
+                    current = cand.expect("accepted moves are routable");
+                    if current < best {
+                        best = current;
+                        best_counts.copy_from_slice(&counts);
+                    }
+                } else {
+                    counts[a] += 1;
+                    counts[b] -= 1;
+                }
+                temp *= decay;
+            }
+        }
+        eval.set_deployment(&best_counts)
+            .expect("best candidate was routable when accepted");
+        let dep = eval.deployment();
+        let tree = RoutingTree::new(eval.parents(), instance)
+            .expect("shortest-path parents use existing links");
+        Ok(Solution::evaluated(self.name(), instance, dep, tree))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrsn_core::{Idb, InstanceBuilder, InstanceSampler};
+    use wrsn_energy::Energy;
+    use wrsn_geom::Field;
+
+    #[test]
+    fn solves_with_exact_budget_and_valid_deployment() {
+        let inst = InstanceSampler::new(Field::square(200.0), 8, 20).sample(1);
+        let sol = SchedBilevel::default().solve(&inst).unwrap();
+        assert!(sol.deployment().is_valid_for(&inst));
+        assert_eq!(sol.deployment().total(), 20);
+        assert_eq!(sol.algorithm(), "SchedBilevel");
+    }
+
+    #[test]
+    fn replays_identically_for_one_seed() {
+        let inst = InstanceSampler::new(Field::square(300.0), 12, 36).sample(9);
+        let spec = ScenarioSpec {
+            battery_j: 0.005,
+            charger_speed_mps: 1.0,
+            sa_iters: 150,
+            ..ScenarioSpec::default()
+        };
+        let a = SchedBilevel::new(spec.clone()).solve(&inst).unwrap();
+        let b = SchedBilevel::new(spec.clone()).solve(&inst).unwrap();
+        assert_eq!(a.deployment().counts(), b.deployment().counts());
+        assert_eq!(a.total_cost(), b.total_cost());
+        // Other scenario seeds stay valid (their trajectories may or may
+        // not converge to the same deployment).
+        for s in 1..=3 {
+            let spec = ScenarioSpec {
+                seed: s,
+                ..spec.clone()
+            };
+            let c = SchedBilevel::new(spec).solve(&inst).unwrap();
+            assert!(c.deployment().is_valid_for(&inst));
+        }
+    }
+
+    #[test]
+    fn relaxed_scenario_never_loses_to_the_cost_greedy_start() {
+        // With huge batteries the penalty term is zero, the objective
+        // collapses to pure routing cost, and SA keeps the best-so-far,
+        // which starts at the IDB(1) deployment.
+        let spec = ScenarioSpec {
+            battery_j: 1e6,
+            ..ScenarioSpec::default()
+        };
+        for seed in [2u64, 5, 11] {
+            let inst = InstanceSampler::new(Field::square(250.0), 10, 25).sample(seed);
+            let sched = SchedBilevel::new(spec.clone()).solve(&inst).unwrap();
+            let idb = Idb::new(1).solve(&inst).unwrap();
+            assert!(
+                sched.total_cost().as_njoules() <= idb.total_cost().as_njoules() * (1.0 + 1e-9),
+                "seed {seed}: {} vs {}",
+                sched.total_cost(),
+                idb.total_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn penalized_objective_never_exceeds_the_warm_start() {
+        // Under a tight scenario the anneal may trade routing cost for
+        // feasibility, but its combined objective can only improve on
+        // the warm start (= the IDB(1) deployment).
+        let inst = InstanceSampler::new(Field::square(300.0), 12, 30).sample(3);
+        let idb = Idb::new(1).solve(&inst).unwrap();
+        // Pick a battery size where the warm start is *partially*
+        // infeasible, so feasibility-improving moves actually pay.
+        let spec_for = |battery_j: f64| ScenarioSpec {
+            battery_j,
+            charger_speed_mps: 1.0,
+            charger_power_w: 2.0,
+            ..ScenarioSpec::default()
+        };
+        let spec = [0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1]
+            .into_iter()
+            .map(spec_for)
+            .find(|spec| {
+                let routes = plan_routes(&inst, spec);
+                let frac = infeasible_fraction(
+                    &inst,
+                    idb.deployment().counts(),
+                    idb.tree(),
+                    spec,
+                    &routes,
+                );
+                frac > 0.0 && frac < 1.0
+            })
+            .unwrap_or_else(|| spec_for(0.004));
+        let routes = plan_routes(&inst, &spec);
+        let score = |sol: &Solution| {
+            let frac =
+                infeasible_fraction(&inst, sol.deployment().counts(), sol.tree(), &spec, &routes);
+            sol.total_cost().as_njoules() * (1.0 + frac)
+        };
+        let sched = SchedBilevel::new(spec.clone()).solve(&inst).unwrap();
+        assert!(score(&sched) <= score(&idb) * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn explicit_instances_anneal_on_pure_cost() {
+        let e = Energy::from_njoules(4.0);
+        let inst = InstanceBuilder::new(2, 5)
+            .rx_energy(Energy::from_njoules(2.0))
+            .uplink(0, 2, e)
+            .uplink(1, 0, e)
+            .build()
+            .unwrap();
+        assert!(plan_routes(&inst, &ScenarioSpec::default()).is_empty());
+        let sol = SchedBilevel::default().solve(&inst).unwrap();
+        let idb = Idb::new(1).solve(&inst).unwrap();
+        assert_eq!(sol.deployment().total(), 5);
+        assert!(sol.total_cost() <= idb.total_cost());
+    }
+
+    #[test]
+    fn no_spare_nodes_short_circuits_the_anneal() {
+        let inst = InstanceSampler::new(Field::square(150.0), 5, 5).sample(2);
+        let sol = SchedBilevel::default().solve(&inst).unwrap();
+        assert_eq!(sol.deployment().counts(), &[1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn digest_is_stable_and_instance_sensitive() {
+        let a = InstanceSampler::new(Field::square(100.0), 4, 8).sample(1);
+        let b = InstanceSampler::new(Field::square(100.0), 4, 8).sample(2);
+        assert_eq!(instance_digest(&a), instance_digest(&a));
+        assert_ne!(instance_digest(&a), instance_digest(&b));
+    }
+}

@@ -1,0 +1,57 @@
+//! # wrsn-sched — charging-scenario solvers
+//!
+//! The source paper holds the charger out of scope ("sensor nodes can
+//! always be recharged in time"); the related work makes charging
+//! itself the decision variable. This crate adds three solver families
+//! that flow through the ordinary [`wrsn_core::Solver`] contract — so
+//! the engine's sweeps, result cache, HTTP serving, and chaos tests all
+//! pick them up unchanged — while exposing their scheduling artifacts
+//! (tours, dwell times, witness sets, charger sites) through side APIs
+//! the simulator and CLI consume:
+//!
+//! - [`SchedTour`] — **mobile-charger tour scheduling** against battery
+//!   deadlines: a deadline-balancing deployment (extra nodes go to the
+//!   post whose pooled battery runs dry first) plus
+//!   [`plan_tour_schedule`], a nearest-deadline-first route per charger
+//!   refined by deadline-aware 2-opt over travel and dwell, with
+//!   infeasibility detection and a minimal witness set of posts no
+//!   schedule can save.
+//! - [`SchedPlace`] — **static RF-charger placement** with duty-cycle
+//!   guarantees: greedy max-coverage over a candidate site lattice,
+//!   local-search refinement, and a per-post received-power model that
+//!   reuses the instance's `wrsn-charging` gain curve.
+//! - [`SchedBilevel`] — **bi-level deploy-then-schedule**: simulated
+//!   annealing over deployments, scoring each candidate by routing cost
+//!   plus a charging-schedule feasibility penalty; seeded and
+//!   replay-deterministic.
+//!
+//! All three read their knobs from a [`wrsn_core::ScenarioSpec`], the
+//! same declarative parameter block the CLI, the HTTP API, and the
+//! engine's cache fingerprints share.
+//!
+//! # Examples
+//!
+//! ```
+//! use wrsn_core::{InstanceSampler, ScenarioSpec, Solver};
+//! use wrsn_geom::Field;
+//! use wrsn_sched::{plan_tour_schedule, SchedTour};
+//!
+//! let inst = InstanceSampler::new(Field::square(200.0), 8, 20).sample(1);
+//! let spec = ScenarioSpec::default();
+//! let sol = SchedTour::new(spec.clone()).solve(&inst)?;
+//! let schedule = plan_tour_schedule(&inst, &sol, &spec).expect("geometric");
+//! assert_eq!(schedule.visit_order.len() + schedule.infeasible.len(), 8);
+//! # Ok::<(), wrsn_core::SolveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bilevel;
+mod place;
+mod profile;
+mod tour;
+
+pub use bilevel::{instance_digest, SchedBilevel};
+pub use place::{candidate_sites, plan_placement, PlacementPlan, SchedPlace};
+pub use tour::{plan_tour_schedule, ChargerRoute, SchedTour, TourSchedule};

@@ -270,7 +270,15 @@ impl ApiContext {
         if let Some(feed) = progress {
             experiment = experiment.progress(feed);
         }
-        let mut report = experiment.run(&self.registry)?;
+        // A request scenario rebinds the scheduling solvers and keys the
+        // cache fingerprints (via Experiment::scenario), so differently
+        // parameterized requests never collide in the store.
+        let mut report = match &instance.scenario {
+            Some(spec) => experiment
+                .scenario(spec.clone())
+                .run(&self.registry.scenario_overlay(spec))?,
+            None => experiment.run(&self.registry)?,
+        };
         // The cache block is stripped from the body so identical
         // requests serialize byte-identically whether they hit or miss;
         // the stats flow to /statusz and the x-cache-* headers instead.
@@ -319,7 +327,10 @@ impl ApiContext {
             // cache by design — it is a debugging aid, not the hot path.
             let source = req.instance.source()?;
             let instance = source.instance(req.seed)?;
-            let solver = self.registry.create(&req.solver)?;
+            let solver = match &req.instance.scenario {
+                Some(spec) => self.registry.scenario_overlay(spec).create(&req.solver)?,
+                None => self.registry.create(&req.solver)?,
+            };
             let solution = solver
                 .solve(&instance)
                 .map_err(|e| ApiError::bad_request(format!("solve failed: {e}")))?;
@@ -427,6 +438,7 @@ impl ApiContext {
             record_soc_every: None,
             charger_power_w: f64::INFINITY,
             faults,
+            tour_order: None,
         };
         let report = Simulator::new(&instance, &solution, config).run(req.rounds);
         let body = Value::Object(vec![

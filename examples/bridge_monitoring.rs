@@ -76,6 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         record_soc_every: None,
         charger_power_w: f64::INFINITY,
         faults: None,
+        tour_order: None,
     };
     let rounds = 24 * 60 * 60 / 10;
     let report = Simulator::new(&instance, &best, config.clone()).run(rounds);

@@ -14,7 +14,7 @@ use wrsn::sim::{ChargerPolicy, SimConfig, Simulator};
 /// the CLI and benches use (plus an `idb2` registration to cover δ=2).
 fn solvers() -> Vec<Box<dyn Solver>> {
     let mut registry = SolverRegistry::with_defaults();
-    registry.register("idb2", || Box::new(Idb::new(2)));
+    registry.register("idb2", || Box::new(Idb::new(2))).unwrap();
     ["rfh", "irfh", "idb", "idb2", "bnb"]
         .iter()
         .map(|name| registry.create(name).expect("registered"))
@@ -97,6 +97,7 @@ fn simulator_validates_the_analytic_metric_for_each_solver() {
         record_soc_every: None,
         charger_power_w: f64::INFINITY,
         faults: None,
+        tour_order: None,
     };
     for solver in solvers() {
         let sol = solver.solve(&inst).unwrap();

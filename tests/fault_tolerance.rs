@@ -77,12 +77,14 @@ fn interrupted_sweep_resumes_to_the_same_report() {
 fn a_panicking_seed_does_not_sink_a_keep_going_sweep() {
     let mut registry = SolverRegistry::with_defaults();
     let constructions = AtomicUsize::new(0);
-    registry.register("flaky", move || {
-        if constructions.fetch_add(1, Ordering::SeqCst) == 2 {
-            panic!("synthetic fault on the third construction");
-        }
-        Box::new(Idb::new(1))
-    });
+    registry
+        .register("flaky", move || {
+            if constructions.fetch_add(1, Ordering::SeqCst) == 2 {
+                panic!("synthetic fault on the third construction");
+            }
+            Box::new(Idb::new(1))
+        })
+        .unwrap();
     let report = Experiment::sampled(InstanceSampler::new(Field::square(150.0), 5, 12))
         .solver("flaky")
         .seeds(0..5)
@@ -104,12 +106,14 @@ fn a_panicking_seed_does_not_sink_a_keep_going_sweep() {
 fn retries_recover_a_transient_panic() {
     let mut registry = SolverRegistry::with_defaults();
     let calls = AtomicUsize::new(0);
-    registry.register("transient", move || {
-        if calls.fetch_add(1, Ordering::SeqCst) == 0 {
-            panic!("cold start");
-        }
-        Box::new(Idb::new(1))
-    });
+    registry
+        .register("transient", move || {
+            if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("cold start");
+            }
+            Box::new(Idb::new(1))
+        })
+        .unwrap();
     let report = Experiment::sampled(InstanceSampler::new(Field::square(150.0), 5, 12))
         .solver("transient")
         .seeds(0..3)

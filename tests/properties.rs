@@ -38,6 +38,7 @@ fn run_faulted(seed: u64, plan: FaultPlan) -> SimReport {
         record_soc_every: Some(20),
         charger_power_w: f64::INFINITY,
         faults: Some(plan),
+        tour_order: None,
     };
     Simulator::new(&inst, &sol, config).run(120)
 }

@@ -139,10 +139,12 @@ fn counted_api(store: Arc<ResultStore>) -> (ApiContext, Arc<AtomicUsize>) {
     let mut api = ApiContext::new();
     let calls = Arc::new(AtomicUsize::new(0));
     let counter = calls.clone();
-    api.registry.register("counted", move || {
-        counter.fetch_add(1, Ordering::SeqCst);
-        Box::new(wrsn::core::Idb::new(1))
-    });
+    api.registry
+        .register("counted", move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+            Box::new(wrsn::core::Idb::new(1))
+        })
+        .unwrap();
     api.store = Some(store);
     (api, calls)
 }
@@ -200,6 +202,66 @@ fn concurrent_identical_sweeps_share_one_solve_and_one_body() {
     server.shutdown().unwrap();
 }
 
+#[test]
+fn scheduling_solvers_serve_and_scenarios_key_the_cache() {
+    let store = Arc::new(ResultStore::open(scratch("sched-serve")).unwrap());
+    let mut api = ApiContext::new();
+    api.store = Some(store);
+    let server = start(api, 2, 16);
+    let addr = server.addr().to_string();
+
+    // All three scheduling solvers answer /v1/solve with a positive cost.
+    for solver in ["sched-tour", "sched-place", "sched-bilevel"] {
+        let resp = post(
+            &addr,
+            "/v1/solve",
+            &format!("{{{SMALL},\"solver\":\"{solver}\"}}"),
+        );
+        assert_eq!(resp.status, 200, "{solver}: {}", resp.body);
+        let v: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        assert!(
+            v.get("cost_uj")
+                .and_then(serde_json::Value::as_f64)
+                .unwrap()
+                > 0.0,
+            "{solver}"
+        );
+    }
+
+    // A scenario inside the instance params parameterizes the solver and
+    // keys the cache: identical requests hit, a different scenario misses.
+    let with = |chargers: u32| {
+        format!(
+            "{{\"instance\":{{\"posts\":5,\"nodes\":12,\"field\":150.0,\
+             \"scenario\":{{\"chargers\":{chargers}}}}},\"solver\":\"sched-tour\"}}"
+        )
+    };
+    let first = post(&addr, "/v1/solve", &with(1));
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(first.header("x-cache-misses"), Some("1"));
+    let repeat = post(&addr, "/v1/solve", &with(1));
+    assert_eq!(repeat.status, 200);
+    assert_eq!(repeat.header("x-cache-hits"), Some("1"));
+    assert_eq!(
+        repeat.body, first.body,
+        "cached replay must be byte-identical"
+    );
+    let other = post(&addr, "/v1/solve", &with(2));
+    assert_eq!(other.status, 200, "{}", other.body);
+    assert_eq!(other.header("x-cache-misses"), Some("1"));
+
+    // An invalid scenario is rejected up front with a 400 naming the field.
+    let bad = post(
+        &addr,
+        "/v1/solve",
+        "{\"instance\":{\"posts\":5,\"nodes\":12,\"field\":150.0,\
+         \"scenario\":{\"duty_target\":0.0}},\"solver\":\"sched-tour\"}",
+    );
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    assert!(bad.body.contains("duty_target"), "{}", bad.body);
+    server.shutdown().unwrap();
+}
+
 /// A registry whose `"gated"` solver blocks inside the factory until
 /// the test opens the gate — how the overflow test pins the worker.
 #[allow(clippy::type_complexity)]
@@ -209,15 +271,17 @@ fn gated_api() -> (ApiContext, Arc<(Mutex<bool>, Condvar)>, Arc<AtomicUsize>) {
     let entered = Arc::new(AtomicUsize::new(0));
     let factory_gate = gate.clone();
     let factory_entered = entered.clone();
-    api.registry.register("gated", move || {
-        factory_entered.fetch_add(1, Ordering::SeqCst);
-        let (lock, cvar) = &*factory_gate;
-        let mut open = lock.lock().unwrap();
-        while !*open {
-            open = cvar.wait(open).unwrap();
-        }
-        Box::new(wrsn::core::Idb::new(1))
-    });
+    api.registry
+        .register("gated", move || {
+            factory_entered.fetch_add(1, Ordering::SeqCst);
+            let (lock, cvar) = &*factory_gate;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cvar.wait(open).unwrap();
+            }
+            Box::new(wrsn::core::Idb::new(1))
+        })
+        .unwrap();
     (api, gate, entered)
 }
 
