@@ -14,9 +14,9 @@ use wrsn_core::reduction::reduce;
 use wrsn_core::{BranchAndBound, Instance, InstanceSpec, ScenarioSpec, Solution, Solver};
 use wrsn_energy::Energy;
 use wrsn_engine::{
-    cache_tag, merge_checkpoints, EngineError, Experiment, InstanceParams, InstanceSource,
-    ResultStore, RetryPolicy, RunReport, SeedEvent, SolverRegistry, SweepCheckpoint, SweepRunner,
-    Table,
+    cache_tag, merge_checkpoints, DurabilityPolicy, EngineError, Experiment, InstanceParams,
+    InstanceSource, ResultStore, RetryPolicy, RunReport, SeedEvent, SolverRegistry, StoreOptions,
+    SweepCheckpoint, SweepRunner, Table,
 };
 use wrsn_sat::{CnfFormula, DpllSolver};
 use wrsn_sched::plan_tour_schedule;
@@ -157,7 +157,11 @@ wrsn serve — a std-only HTTP/1.1 JSON service over the solver registry
 
 Endpoints: POST /v1/solve, /v1/simulate, /v1/sweep; GET /v1/solvers,
 /healthz, /statusz. Runs until SIGINT/SIGTERM, then drains in-flight
-requests and flushes the result store.
+requests and flushes the result store. A second SIGINT/SIGTERM while
+the drain is in flight forces an immediate exit (status 128+signal);
+segments, checkpoints, and job journals are crash-consistent, so the
+next start recovers every committed result and resumes interrupted
+jobs.
 
 OPTIONS:
     --addr A:P      bind address                    [default: 127.0.0.1:7421]
@@ -166,6 +170,11 @@ OPTIONS:
                     with 503 + Retry-After          [default: 64]
     --cache [DIR]   share the result store at DIR across requests
                     [default dir: bench_results/cache]
+    --durability D  fsync discipline for the store and job checkpoints
+                    (requires --cache): 'flush' leaves durability to the
+                    OS page cache; 'fsync' syncs on segment seal, store
+                    flush, and checkpoint batch, so a crash never loses
+                    an acknowledged result       [default: flush]
     --request-timeout-ms MS  per-request deadline; slow handlers are
                     answered with 504 + Retry-After  [default: off]
     --keep-alive    serve multiple requests per connection (HTTP/1.1
@@ -254,11 +263,20 @@ SUBCOMMANDS:
                     version/fingerprint scheme, optionally enforce a
                     size budget (oldest entries evicted first), and
                     compact the store into a single segment
+    verify          read-only health check: parse every live segment,
+                    flag interior corruption and torn tails, count
+                    quarantined files. Exits nonzero when any live
+                    segment is corrupt (torn tails are repairable and
+                    stay clean)
 
 OPTIONS (gc):
     --cache [DIR]   store directory   [default dir: bench_results/cache]
     --max-bytes N   on-disk size budget after the unreachable pass
-    --json          machine-readable GcReport output";
+    --json          machine-readable GcReport output
+
+OPTIONS (verify):
+    --cache [DIR]   store directory   [default dir: bench_results/cache]
+    --json          machine-readable VerifyReport output";
 
 const CLUSTER_HELP: &str = "\
 wrsn cluster — inspect a serve-cluster fleet
@@ -610,10 +628,25 @@ fn parse_shard(text: &str) -> Result<(u32, u32), CliError> {
 
 /// Opens the result store behind `--cache [DIR]`.
 fn open_cache(dir: Option<String>) -> Result<Arc<ResultStore>, CliError> {
+    open_cache_with(dir, DurabilityPolicy::default())
+}
+
+/// [`open_cache`] under an explicit fsync discipline (`serve
+/// --durability`).
+fn open_cache_with(
+    dir: Option<String>,
+    durability: DurabilityPolicy,
+) -> Result<Arc<ResultStore>, CliError> {
     let dir = dir.unwrap_or_else(|| DEFAULT_CACHE_DIR.to_string());
-    ResultStore::open(Path::new(&dir))
-        .map(Arc::new)
-        .map_err(|e| CliError::Msg(e.to_string()))
+    ResultStore::open_with(
+        Path::new(&dir),
+        StoreOptions {
+            durability,
+            ..StoreOptions::default()
+        },
+    )
+    .map(Arc::new)
+    .map_err(|e| CliError::Msg(e.to_string()))
 }
 
 fn sweep(mut args: Args) -> Result<String, CliError> {
@@ -1481,6 +1514,7 @@ fn serve_cmd(mut args: Args) -> Result<String, CliError> {
     let workers: usize = args.get_or("workers", "a worker count", 4)?;
     let queue_depth: usize = args.get_or("queue-depth", "a queue capacity", 64)?;
     let cache_arg = args.flag_or_value("cache");
+    let durability_arg: Option<String> = args.opt("durability", "flush or fsync")?;
     let timeout_ms: Option<u64> = args.opt("request-timeout-ms", "milliseconds")?;
     let keep_alive = args.flag("keep-alive");
     let keep_alive_max_requests: usize =
@@ -1620,12 +1654,28 @@ fn serve_cmd(mut args: Args) -> Result<String, CliError> {
         ),
         None => String::new(),
     };
-    let store = cache_arg.map(open_cache).transpose()?;
+    let durability = match &durability_arg {
+        Some(text) => {
+            if cache_arg.is_none() {
+                return Err(CliError::Msg(
+                    "--durability requires --cache (there is no disk without a store)".into(),
+                ));
+            }
+            DurabilityPolicy::parse(text).ok_or_else(|| {
+                CliError::Msg(format!("--durability expects flush or fsync, got {text:?}"))
+            })?
+        }
+        None => DurabilityPolicy::default(),
+    };
+    let store = cache_arg
+        .map(|dir| open_cache_with(dir, durability))
+        .transpose()?;
     let cache_note = match &store {
         Some(store) => format!(
-            ", cache {} ({} entries)",
+            ", cache {} ({} entries, {})",
             store.dir().display(),
-            store.len()
+            store.len(),
+            store.durability().as_str()
         ),
         None => String::new(),
     };
@@ -1822,13 +1872,27 @@ fn loadgen_cmd(mut args: Args) -> Result<String, CliError> {
     }
     .map_err(|e| CliError::Msg(e.to_string()))?;
     let row = loadgen_row(requests, &report);
+    let mut doc = row.to_value();
+    // When the server exposes an io section (a store is attached), the
+    // durability counters ride along in the bench artifact so a perf
+    // row records the fsync cost it was measured under.
+    if let serde::Value::Object(pairs) = &mut doc {
+        let server_io = client::request(&addr, "GET", "/statusz", None)
+            .ok()
+            .filter(|resp| resp.status == 200)
+            .and_then(|resp| serde_json::from_str::<serde::Value>(&resp.body).ok())
+            .and_then(|status| status.get("io").cloned());
+        if let Some(io) = server_io {
+            pairs.push(("server_io".to_string(), io));
+        }
+    }
     if let Some(path) = &bench_json {
-        let text = serde_json::to_string_pretty(&row).expect("serializable");
+        let text = serde_json::to_string_pretty(&doc).expect("serializable");
         std::fs::write(path, text.as_bytes())
             .map_err(|e| CliError::Msg(format!("writing {path}: {e}")))?;
     }
     if json {
-        return Ok(serde_json::to_string_pretty(&row).expect("serializable"));
+        return Ok(serde_json::to_string_pretty(&doc).expect("serializable"));
     }
     let drive = match connections {
         Some(c) => format!("{c} keep-alive connection(s), pipeline {pipeline}"),
@@ -2212,9 +2276,61 @@ fn cache_cmd(rest: &[String]) -> Result<String, CliError> {
     };
     match sub.as_str() {
         "gc" => cache_gc(Args::parse(rest.to_vec())?),
+        "verify" => cache_verify(Args::parse(rest.to_vec())?),
         other => Err(CliError::Msg(format!(
             "unknown cache subcommand {other:?}\n\n{CACHE_HELP}"
         ))),
+    }
+}
+
+fn cache_verify(mut args: Args) -> Result<String, CliError> {
+    let cache_arg = args.flag_or_value("cache");
+    let json = args.flag("json");
+    args.finish()?;
+    let dir = cache_arg
+        .flatten()
+        .unwrap_or_else(|| DEFAULT_CACHE_DIR.to_string());
+    let report =
+        ResultStore::verify_dir(Path::new(&dir)).map_err(|e| CliError::Msg(e.to_string()))?;
+    let rendered = if json {
+        serde_json::to_string_pretty(&report).expect("serializable")
+    } else {
+        let mut out = String::new();
+        let _ = writeln!(out, "cache verify in {dir}:");
+        for segment in &report.segments {
+            let verdict = match &segment.error {
+                Some(why) => format!("CORRUPT: {why}"),
+                None if segment.torn_tail => "clean (torn tail, repairable)".to_string(),
+                None => "clean".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {} — {} record(s), {} byte(s): {verdict}",
+                segment.name, segment.records, segment.bytes
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {} record(s), {} distinct key(s), {} quarantined file(s)",
+            report.records, report.keys, report.quarantined
+        );
+        let _ = write!(
+            out,
+            "verdict: {}",
+            if report.is_clean() {
+                "clean"
+            } else {
+                "CORRUPT"
+            }
+        );
+        out
+    };
+    if report.is_clean() {
+        Ok(rendered)
+    } else {
+        // Nonzero exit so CI and scripts can gate on store health; the
+        // report still lands on stderr via the error path.
+        Err(CliError::Msg(rendered))
     }
 }
 
@@ -3314,6 +3430,62 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("--request-timeout-ms"));
+    }
+
+    #[test]
+    fn serve_documents_and_validates_durability() {
+        let help = run_str("serve --help").unwrap();
+        assert!(help.contains("--durability"));
+        assert!(
+            help.contains("second SIGINT/SIGTERM"),
+            "signal escalation is documented"
+        );
+        assert!(run_str("serve --durability fsync")
+            .unwrap_err()
+            .to_string()
+            .contains("requires --cache"));
+        assert!(run_str("serve --cache /tmp/x --durability nonsense")
+            .unwrap_err()
+            .to_string()
+            .contains("flush or fsync"));
+    }
+
+    #[test]
+    fn cache_verify_reports_a_clean_and_a_corrupt_store() {
+        let dir = std::env::temp_dir().join("wrsn-cli-cache-verify");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            for i in 0..3u64 {
+                let mut b = wrsn_engine::FingerprintBuilder::new("cli-verify");
+                b.push_u64(i);
+                store.put(&b.finish(), i.to_value()).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        let out = run_str(&format!("cache verify --cache {}", dir.display())).unwrap();
+        assert!(out.contains("verdict: clean"), "{out}");
+        let json = run_str(&format!("cache verify --cache {} --json", dir.display())).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            v.get("records").and_then(serde_json::Value::as_u64),
+            Some(3)
+        );
+        // Mangle an interior record line; verify must now fail.
+        let segment = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|e| e == "jsonl"))
+            .unwrap();
+        let text = std::fs::read_to_string(&segment).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines[1] = "{broken".to_string();
+        std::fs::write(&segment, format!("{}\n", lines.join("\n"))).unwrap();
+        let err = run_str(&format!("cache verify --cache {}", dir.display())).unwrap_err();
+        assert!(err.to_string().contains("CORRUPT"), "{err}");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

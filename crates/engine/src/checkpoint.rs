@@ -26,6 +26,7 @@ use std::ops::Range;
 use std::path::Path;
 use std::sync::Arc;
 use wrsn_store::jsonl::{self, LogWriter};
+use wrsn_store::Vfs;
 
 /// The checkpoint format version this build writes (it also reads v1).
 pub const CHECKPOINT_VERSION: u32 = 2;
@@ -315,6 +316,10 @@ impl SweepCheckpoint {
 pub struct CheckpointLog {
     writer: LogWriter,
     feed: Option<Arc<ProgressFeed>>,
+    /// Whether each append is fsynced (the `DurabilityPolicy::Fsync`
+    /// per-batch discipline); the flush-only default matches the
+    /// historical behavior.
+    durable: bool,
 }
 
 impl CheckpointLog {
@@ -327,7 +332,40 @@ impl CheckpointLog {
     pub fn open(path: &Path, state: &SweepCheckpoint) -> Result<Self, EngineError> {
         let writer = LogWriter::create(path, &state.header_value(), &state.record_values())
             .map_err(|e| checkpoint_err(path, e))?;
-        Ok(CheckpointLog { writer, feed: None })
+        Ok(CheckpointLog {
+            writer,
+            feed: None,
+            durable: false,
+        })
+    }
+
+    /// [`CheckpointLog::open`] through an explicit [`Vfs`] (the seam
+    /// disk-fault injection uses). With `durable`, the initial compact
+    /// write and every subsequent append batch are fsynced, so a
+    /// checkpointed seed survives power loss, not just process death.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Checkpoint`] on any filesystem failure.
+    pub fn open_on(
+        vfs: &dyn Vfs,
+        path: &Path,
+        state: &SweepCheckpoint,
+        durable: bool,
+    ) -> Result<Self, EngineError> {
+        let writer = LogWriter::create_on(
+            vfs,
+            path,
+            &state.header_value(),
+            &state.record_values(),
+            durable,
+        )
+        .map_err(|e| checkpoint_err(path, e))?;
+        Ok(CheckpointLog {
+            writer,
+            feed: None,
+            durable,
+        })
     }
 
     /// Mirrors every subsequent append into `feed`, so in-memory
@@ -350,6 +388,9 @@ impl CheckpointLog {
         self.writer
             .append(&run_record(run))
             .map_err(|e| checkpoint_err(&path, e))?;
+        if self.durable {
+            self.writer.sync().map_err(|e| checkpoint_err(&path, e))?;
+        }
         if let Some(feed) = &self.feed {
             feed.publish_run(run);
         }
@@ -366,6 +407,9 @@ impl CheckpointLog {
         self.writer
             .append(&failure_record(failure))
             .map_err(|e| checkpoint_err(&path, e))?;
+        if self.durable {
+            self.writer.sync().map_err(|e| checkpoint_err(&path, e))?;
+        }
         if let Some(feed) = &self.feed {
             feed.publish_failure(failure);
         }
@@ -648,6 +692,28 @@ mod tests {
         assert_eq!(back.runs.iter().map(|r| r.seed).collect::<Vec<_>>(), [0, 1]);
         assert_eq!(back.failures.len(), 1);
         assert_eq!(back.failures[0].seed, 2);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn durable_log_fsyncs_every_append_batch() {
+        let ckpt = SweepCheckpoint::new("demo", "idb", 0..4);
+        let path = temp_path("durable.jsonl");
+        let fs = wrsn_store::RealFs::new();
+        let mut log = CheckpointLog::open_on(&fs, &path, &ckpt, true).unwrap();
+        let after_open = fs.stats().snapshot().fsyncs;
+        assert!(after_open >= 2, "compact write fsyncs file + directory");
+        log.append_run(&run(0)).unwrap();
+        log.append_run(&run(1)).unwrap();
+        assert_eq!(
+            fs.stats().snapshot().fsyncs,
+            after_open + 2,
+            "one fsync per append batch"
+        );
+        drop(log);
+        // An injected fsync failure surfaces as a checkpoint error.
+        let faulty = wrsn_store::FaultFs::seeded(5).fsync_errors(1.0);
+        assert!(CheckpointLog::open_on(&faulty, &path, &ckpt, true).is_err());
         let _ = std::fs::remove_file(path);
     }
 

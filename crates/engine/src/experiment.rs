@@ -15,7 +15,9 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 use wrsn_core::{Instance, InstanceSampler, InstanceSpec, ScenarioSpec};
-use wrsn_store::{CacheStats, Fingerprint, FingerprintBuilder, ResultStore};
+use wrsn_store::{
+    CacheStats, DurabilityPolicy, Fingerprint, FingerprintBuilder, RealFs, ResultStore, Vfs,
+};
 
 /// The engine crate version baked into every cache fingerprint, so a
 /// rebuilt engine (potentially different solver behavior) never reuses
@@ -224,6 +226,8 @@ pub struct Experiment {
     scenario: Option<ScenarioSpec>,
     on_seed: Option<Arc<SeedObserver>>,
     progress: Option<Arc<ProgressFeed>>,
+    vfs: Option<Arc<dyn Vfs>>,
+    durability: DurabilityPolicy,
 }
 
 impl fmt::Debug for Experiment {
@@ -247,6 +251,8 @@ impl fmt::Debug for Experiment {
             .field("scenario", &self.scenario)
             .field("on_seed", &self.on_seed.as_ref().map(|_| "<callback>"))
             .field("progress", &self.progress.as_ref().map(|_| "<feed>"))
+            .field("vfs", &self.vfs)
+            .field("durability", &self.durability)
             .finish()
     }
 }
@@ -276,6 +282,8 @@ impl Experiment {
             scenario: None,
             on_seed: None,
             progress: None,
+            vfs: None,
+            durability: DurabilityPolicy::default(),
         }
     }
 
@@ -427,6 +435,27 @@ impl Experiment {
     #[must_use]
     pub fn scenario(mut self, spec: ScenarioSpec) -> Self {
         self.scenario = Some(spec);
+        self
+    }
+
+    /// Routes the checkpoint log through `vfs` instead of the real
+    /// filesystem. Production callers never need this; fault-injection
+    /// tests pass a [`wrsn_store::FaultFs`] here to exercise crash and
+    /// ENOSPC recovery deterministically.
+    #[must_use]
+    pub fn vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = Some(vfs);
+        self
+    }
+
+    /// Sets the fsync discipline for the checkpoint log. Under
+    /// [`DurabilityPolicy::Fsync`] every appended batch is fsynced
+    /// before the seed is considered committed, so a crash never loses
+    /// an acknowledged run. The default [`DurabilityPolicy::Flush`]
+    /// only flushes to the OS page cache.
+    #[must_use]
+    pub fn durability(mut self, durability: DurabilityPolicy) -> Self {
+        self.durability = durability;
         self
     }
 
@@ -609,7 +638,12 @@ impl Experiment {
         // its first seed leaves a loadable log behind.
         let log = match &self.checkpoint {
             Some(path) => {
-                let mut log = CheckpointLog::open(path, &state)?;
+                let vfs: Arc<dyn Vfs> = match &self.vfs {
+                    Some(vfs) => Arc::clone(vfs),
+                    None => Arc::new(RealFs::new()),
+                };
+                let mut log =
+                    CheckpointLog::open_on(&*vfs, path, &state, self.durability.is_fsync())?;
                 // With a log present the feed rides on its appends so
                 // disk and memory stay one-to-one; without one, the
                 // observer below publishes directly.

@@ -61,5 +61,6 @@ pub use table::Table;
 // Result-store types surface through the engine so consumers (CLI,
 // benches) don't need a direct wrsn-store dependency for common use.
 pub use wrsn_store::{
-    CacheStats, Fingerprint, FingerprintBuilder, GcReport, ResultStore, StoreError,
+    CacheStats, DurabilityPolicy, FaultFs, Fingerprint, FingerprintBuilder, GcReport, IoSnapshot,
+    IoStats, RealFs, ResultStore, StoreError, StoreOptions, VerifyReport, Vfs,
 };

@@ -255,6 +255,7 @@ impl ApiContext {
         solver: &str,
         seeds: std::ops::Range<u64>,
         progress: Option<Arc<ProgressFeed>>,
+        checkpoint: Option<&std::path::Path>,
     ) -> Result<(wrsn_engine::RunReport, CacheStats), ApiError> {
         let source = instance.source()?;
         let mut experiment = Experiment::new(source)
@@ -266,6 +267,15 @@ impl ApiContext {
         }
         if let Some(store) = &self.store {
             experiment = experiment.cache(store.clone());
+            // The checkpoint rides the store's fsync discipline so a
+            // durable server never acknowledges a seed it could lose.
+            experiment = experiment.durability(store.durability());
+        }
+        if let Some(path) = checkpoint {
+            // Resume is safe unconditionally: a missing checkpoint file
+            // just starts the sweep from scratch, and completed seeds
+            // in an existing one are skipped (failed seeds retry).
+            experiment = experiment.checkpoint(path).resume(true);
         }
         if let Some(feed) = progress {
             experiment = experiment.progress(feed);
@@ -313,6 +323,7 @@ impl ApiContext {
             &req.instance,
             &req.solver,
             req.seed..req.seed + 1,
+            None,
             None,
         )?;
         let run = &report.runs[0];
@@ -551,6 +562,27 @@ impl ApiContext {
         req: &SweepRequest,
         progress: Option<Arc<ProgressFeed>>,
     ) -> Result<ApiOutcome, ApiError> {
+        self.sweep_job_in(namespace, req, progress, None)
+    }
+
+    /// The async job API's sweep: like
+    /// [`sweep_with_progress_in`](ApiContext::sweep_with_progress_in),
+    /// plus an optional checkpoint path. With a checkpoint the sweep
+    /// journals every completed seed there (under the store's
+    /// [`wrsn_engine::DurabilityPolicy`]) and resumes past already
+    /// completed seeds on restart, so an interrupted job replays to a
+    /// byte-identical report instead of starting over.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`sweep`](ApiContext::sweep).
+    pub fn sweep_job_in(
+        &self,
+        namespace: Option<&str>,
+        req: &SweepRequest,
+        progress: Option<Arc<ProgressFeed>>,
+        checkpoint: Option<&std::path::Path>,
+    ) -> Result<ApiOutcome, ApiError> {
         let end = Self::validate_sweep(req)?;
         let (report, cache) = self.run_cell(
             namespace,
@@ -558,6 +590,7 @@ impl ApiContext {
             &req.solver,
             req.seed_start..end,
             progress,
+            checkpoint,
         )?;
         Ok(ApiOutcome {
             body: report.to_value(),

@@ -162,6 +162,9 @@ fn route(request: &Request, tenant: usize, shared: &Arc<Shared>) -> Response {
                 jobs_submitted: shared.jobs.submitted(),
                 jobs_max: shared.jobs.capacity(),
                 store_entries: shared.api.store.as_ref().map(|s| s.len()),
+                io: shared.api.store.as_ref().map(|s| s.io_stats()),
+                durability: shared.api.store.as_ref().map(|s| s.durability().as_str()),
+                jobs_resumed: shared.jobs.resumed(),
             };
             let mut status = shared.metrics.to_statusz(&gauges);
             if let serde::Value::Object(pairs) = &mut status {

@@ -1,14 +1,24 @@
 //! The async job API: bounded background sweeps with incremental
-//! progress.
+//! progress and restart-surviving durability.
 //!
 //! `POST /v1/jobs` accepts the same body as `/v1/sweep` but returns a
 //! job id immediately (`202`); the sweep runs on its own named thread
-//! via [`ApiContext::sweep_with_progress`], publishing every terminal
+//! via [`ApiContext::sweep_job_in`], publishing every terminal
 //! seed to a [`ProgressFeed`]. Clients poll `GET /v1/jobs/{id}` for
 //! state and the final report, or `GET /v1/jobs/{id}/events?since=N`
 //! for the incremental event stream (cursor-based, so polling is
 //! idempotent and lossless). The final report is byte-identical to
 //! what a synchronous `/v1/sweep` with the same spec returns.
+//!
+//! When the server has a result store (`--cache`), every job is also
+//! durable: the spec is journaled to `{store}/jobs/job-NNNNNNNN.json`
+//! before the `202` is sent, the sweep streams a checkpoint next to it,
+//! and the journal is atomically rewritten with the final report when
+//! the job finishes. On startup [`restore`] replays that directory —
+//! finished journals are reloaded so late polls still answer, and
+//! `running` journals (a crash mid-sweep) are respawned with resume, so
+//! `GET /v1/jobs/{id}` survives a `kill -9` with a report byte-identical
+//! to an uninterrupted run.
 //!
 //! Concurrency is bounded by [`crate::server::ServerConfig::max_jobs`];
 //! submissions past the cap are rejected with `503` + `Retry-After`,
@@ -20,7 +30,9 @@ use crate::http::{Request, Response};
 use crate::server::Shared;
 use crate::signal;
 use parking_lot::Mutex;
-use serde::{Serialize as _, Value};
+use serde::{Deserialize as _, Serialize as _, Value};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -55,34 +67,46 @@ struct JobState {
     error: Option<String>,
 }
 
-/// One submitted job: its progress feed plus the terminal state.
+/// One submitted job: its spec, progress feed, and terminal state.
 #[derive(Debug)]
 struct JobEntry {
     id: u64,
     total: u64,
+    /// The tenant cache namespace the job runs under, captured at
+    /// submit so a restart (where tenant indices may differ) resumes
+    /// with identical cache fingerprints.
+    namespace: Option<String>,
+    request: SweepRequest,
     feed: Arc<ProgressFeed>,
     state: Mutex<JobState>,
 }
 
-/// The job table: id allocation, the concurrency cap, and the handles
-/// shutdown joins.
+/// The job table: id allocation, the concurrency cap, the journal
+/// directory, and the handles shutdown joins.
 #[derive(Debug)]
 pub(crate) struct Jobs {
     capacity: usize,
+    /// Journal directory (`{store}/jobs`); `None` runs jobs in-memory
+    /// only, exactly the pre-durability behavior.
+    dir: Option<PathBuf>,
     next_id: AtomicU64,
     submitted: AtomicU64,
+    resumed: AtomicU64,
     active: AtomicUsize,
     table: Mutex<Vec<Arc<JobEntry>>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Jobs {
-    /// An empty table admitting at most `capacity` concurrent jobs.
-    pub fn new(capacity: usize) -> Self {
+    /// An empty table admitting at most `capacity` concurrent jobs,
+    /// journaling under `dir` when given.
+    pub fn new(capacity: usize, dir: Option<PathBuf>) -> Self {
         Jobs {
             capacity: capacity.max(1),
+            dir,
             next_id: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
+            resumed: AtomicU64::new(0),
             active: AtomicUsize::new(0),
             table: Mutex::new(Vec::new()),
             handles: Mutex::new(Vec::new()),
@@ -102,6 +126,11 @@ impl Jobs {
     /// Jobs accepted since startup.
     pub fn submitted(&self) -> u64 {
         self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Jobs resumed from their journals at startup.
+    pub fn resumed(&self) -> u64 {
+        self.resumed.load(Ordering::Relaxed)
     }
 
     fn get(&self, id: u64) -> Option<Arc<JobEntry>> {
@@ -124,7 +153,13 @@ impl Jobs {
                 .iter()
                 .position(|e| e.state.lock().phase != JobPhase::Running)
             {
-                table.remove(idx);
+                let evicted = table.remove(idx);
+                // An evicted job can no longer be polled, so its
+                // journal has nothing left to restore.
+                if let Some(dir) = &self.dir {
+                    let _ = std::fs::remove_file(journal_path(dir, evicted.id));
+                    let _ = std::fs::remove_file(checkpoint_path(dir, evicted.id));
+                }
             }
         }
     }
@@ -138,8 +173,58 @@ impl Jobs {
     }
 }
 
+fn journal_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("job-{id:08}.json"))
+}
+
+fn checkpoint_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("job-{id:08}.checkpoint.jsonl"))
+}
+
+/// Writes a journal document durably: temp file, `fsync`, atomic
+/// rename. A crash leaves either the old journal or the new one, never
+/// a torn half of each.
+fn write_journal(path: &Path, value: &Value) -> std::io::Result<()> {
+    let text = serde_json::to_string(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// The journal document for `entry` in its current state. `running`
+/// journals carry the spec (enough to respawn); terminal journals add
+/// the report or error so late polls survive a restart.
+fn journal_value(entry: &JobEntry, state: &JobState) -> Value {
+    let mut fields = vec![
+        ("id".to_string(), entry.id.to_value()),
+        (
+            "state".to_string(),
+            Value::String(state.phase.as_str().to_string()),
+        ),
+        ("total".to_string(), entry.total.to_value()),
+        ("request".to_string(), entry.request.to_value()),
+    ];
+    if let Some(ns) = &entry.namespace {
+        fields.push(("namespace".to_string(), Value::String(ns.clone())));
+    }
+    if let Some(error) = &state.error {
+        fields.push(("error".to_string(), Value::String(error.clone())));
+    }
+    if let Some(report) = &state.report {
+        fields.push(("report".to_string(), report.clone()));
+    }
+    Value::Object(fields)
+}
+
 /// `POST /v1/jobs`: validate the sweep spec, reserve a global slot and
-/// a per-tenant slot, spawn the job thread, answer `202` with the id.
+/// a per-tenant slot, journal the spec, spawn the job thread, answer
+/// `202` with the id.
 pub(crate) fn submit(request: &Request, tenant: usize, shared: &Arc<Shared>) -> Response {
     let body = request.body_text();
     let parsed: Result<SweepRequest, _> = if body.trim().is_empty() {
@@ -189,6 +274,8 @@ pub(crate) fn submit(request: &Request, tenant: usize, shared: &Arc<Shared>) -> 
     let entry = Arc::new(JobEntry {
         id,
         total: req.seeds,
+        namespace: owner.namespace().map(str::to_string),
+        request: req,
         feed: Arc::clone(&feed),
         state: Mutex::new(JobState {
             phase: JobPhase::Running,
@@ -196,14 +283,22 @@ pub(crate) fn submit(request: &Request, tenant: usize, shared: &Arc<Shared>) -> 
             error: None,
         }),
     });
+    // Journal before answering 202: once the client holds the id, a
+    // crash must not forget the job. A journal failure downgrades the
+    // job to in-memory-only rather than rejecting it.
+    if let Some(dir) = &jobs.dir {
+        let value = journal_value(&entry, &entry.state.lock());
+        if let Err(e) = write_journal(&journal_path(dir, id), &value) {
+            eprintln!("wrsn-serve: job {id} journal write failed, job is not durable: {e}");
+        }
+    }
     jobs.insert(Arc::clone(&entry));
-    let total = req.seeds;
+    let total = entry.total;
     let worker_shared = Arc::clone(shared);
     let worker_entry = Arc::clone(&entry);
-    let worker_req = req.clone();
     let spawned = std::thread::Builder::new()
         .name(format!("wrsn-serve-job-{id}"))
-        .spawn(move || run_job(&worker_entry, &worker_req, tenant, &worker_shared));
+        .spawn(move || run_job(&worker_entry, Some(tenant), &worker_shared));
     match spawned {
         Ok(handle) => {
             let mut handles = jobs.handles.lock();
@@ -215,7 +310,7 @@ pub(crate) fn submit(request: &Request, tenant: usize, shared: &Arc<Shared>) -> 
         }
         // Thread exhaustion: run inline; the submit answer is late but
         // the job still completes and the contract holds.
-        Err(_) => run_job(&entry, &req, tenant, shared),
+        Err(_) => run_job(&entry, Some(tenant), shared),
     }
     let body = Value::Object(vec![
         ("id".to_string(), id.to_value()),
@@ -228,18 +323,29 @@ pub(crate) fn submit(request: &Request, tenant: usize, shared: &Arc<Shared>) -> 
     json_response(202, &body)
 }
 
-fn run_job(entry: &Arc<JobEntry>, req: &SweepRequest, tenant: usize, shared: &Arc<Shared>) {
-    let owner = shared.tenants.tenant(tenant);
-    let result =
-        shared
-            .api
-            .sweep_with_progress_in(owner.namespace(), req, Some(Arc::clone(&entry.feed)));
+/// Runs one job to its terminal state and finalizes its journal.
+/// `tenant` is `Some` for freshly submitted jobs (which hold a tenant
+/// slot to release) and `None` for jobs respawned by [`restore`].
+fn run_job(entry: &Arc<JobEntry>, tenant: Option<usize>, shared: &Arc<Shared>) {
+    let checkpoint = shared
+        .jobs
+        .dir
+        .as_ref()
+        .map(|dir| checkpoint_path(dir, entry.id));
+    let result = shared.api.sweep_job_in(
+        entry.namespace.as_deref(),
+        &entry.request,
+        Some(Arc::clone(&entry.feed)),
+        checkpoint.as_deref(),
+    );
     {
         let mut state = entry.state.lock();
         match result {
             Ok(outcome) => {
                 shared.metrics.add_cache(&outcome.cache);
-                shared.tenants.add_cache(tenant, &outcome.cache);
+                if let Some(tenant) = tenant {
+                    shared.tenants.add_cache(tenant, &outcome.cache);
+                }
                 state.phase = JobPhase::Done;
                 state.report = Some(outcome.body);
                 entry.feed.finish(None);
@@ -250,9 +356,151 @@ fn run_job(entry: &Arc<JobEntry>, req: &SweepRequest, tenant: usize, shared: &Ar
                 entry.feed.finish(Some(e.message));
             }
         }
+        // Rewrite the journal with the terminal state so a restart
+        // serves the same poll answer, then drop the checkpoint — the
+        // report is now the durable artifact.
+        if let Some(dir) = &shared.jobs.dir {
+            let path = journal_path(dir, entry.id);
+            if let Err(e) = write_journal(&path, &journal_value(entry, &state)) {
+                eprintln!("wrsn-serve: job {} journal finalize failed: {e}", entry.id);
+            } else if let Some(checkpoint) = &checkpoint {
+                let _ = std::fs::remove_file(checkpoint);
+            }
+        }
     }
-    owner.release_job();
+    if let Some(tenant) = tenant {
+        shared.tenants.tenant(tenant).release_job();
+    }
     shared.jobs.active.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Replays the journal directory on startup: terminal journals are
+/// reloaded so `GET /v1/jobs/{id}` keeps answering across restarts, and
+/// `running` journals — jobs a crash or kill interrupted — are
+/// respawned with their checkpoint so completed seeds replay instead of
+/// recomputing. Unreadable journals are skipped with a warning; they
+/// never block startup.
+pub(crate) fn restore(shared: &Arc<Shared>) {
+    let Some(dir) = shared.jobs.dir.clone() else {
+        return;
+    };
+    let Ok(listing) = std::fs::read_dir(&dir) else {
+        return;
+    };
+    let mut journals: Vec<PathBuf> = listing
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name().is_some_and(|n| {
+                let name = n.to_string_lossy();
+                name.starts_with("job-") && name.ends_with(".json")
+            })
+        })
+        .collect();
+    journals.sort();
+    let mut max_id = 0u64;
+    for path in journals {
+        let parsed = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str::<Value>(&text).map_err(|e| e.to_string()));
+        let value = match parsed {
+            Ok(value) => value,
+            Err(why) => {
+                eprintln!(
+                    "wrsn-serve: skipping unreadable job journal {}: {why}",
+                    path.display()
+                );
+                continue;
+            }
+        };
+        let Some(id) = value.get("id").and_then(Value::as_u64) else {
+            continue;
+        };
+        let Some(request) = value
+            .get("request")
+            .and_then(|r| SweepRequest::from_value(r).ok())
+        else {
+            eprintln!(
+                "wrsn-serve: skipping job journal {} without a sweep spec",
+                path.display()
+            );
+            continue;
+        };
+        max_id = max_id.max(id);
+        let total = value.get("total").and_then(Value::as_u64).unwrap_or(0);
+        let namespace = value
+            .get("namespace")
+            .and_then(Value::as_str)
+            .map(str::to_string);
+        let phase = value.get("state").and_then(Value::as_str).unwrap_or("");
+        let feed = Arc::new(ProgressFeed::new(total));
+        match phase {
+            "done" | "failed" => {
+                let error = value
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .map(str::to_string);
+                feed.finish(error.clone());
+                let entry = Arc::new(JobEntry {
+                    id,
+                    total,
+                    namespace,
+                    request,
+                    feed,
+                    state: Mutex::new(JobState {
+                        phase: if phase == "done" {
+                            JobPhase::Done
+                        } else {
+                            JobPhase::Failed
+                        },
+                        report: value.get("report").cloned(),
+                        error,
+                    }),
+                });
+                shared.jobs.table.lock().push(entry);
+            }
+            "running" => {
+                let entry = Arc::new(JobEntry {
+                    id,
+                    total,
+                    namespace,
+                    request,
+                    feed,
+                    state: Mutex::new(JobState {
+                        phase: JobPhase::Running,
+                        report: None,
+                        error: None,
+                    }),
+                });
+                shared.jobs.table.lock().push(Arc::clone(&entry));
+                shared.jobs.active.fetch_add(1, Ordering::SeqCst);
+                shared.jobs.resumed.fetch_add(1, Ordering::Relaxed);
+                let worker_shared = Arc::clone(shared);
+                let worker_entry = Arc::clone(&entry);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("wrsn-serve-job-{id}"))
+                    .spawn(move || run_job(&worker_entry, None, &worker_shared));
+                match spawned {
+                    Ok(handle) => shared.jobs.handles.lock().push(handle),
+                    Err(_) => run_job(&entry, None, shared),
+                }
+            }
+            other => {
+                eprintln!(
+                    "wrsn-serve: skipping job journal {} with unknown state {other:?}",
+                    path.display()
+                );
+            }
+        }
+    }
+    // Fresh ids continue past everything journaled so a restart never
+    // reuses an id a client may still be polling.
+    let _ = shared
+        .jobs
+        .next_id
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+            (cur < max_id).then_some(max_id)
+        });
 }
 
 /// `GET /v1/jobs/{id}`: state, progress counters, and — once done —
@@ -263,13 +511,20 @@ pub(crate) fn poll(id: u64, shared: &Shared) -> Response {
     };
     let snapshot = entry.feed.progress();
     let state = entry.state.lock();
+    // A journal-restored done entry has an empty feed; its work is
+    // nonetheless complete, so report full progress.
+    let done = if state.phase == JobPhase::Done {
+        entry.total
+    } else {
+        snapshot.done
+    };
     let mut fields = vec![
         ("id".to_string(), entry.id.to_value()),
         (
             "state".to_string(),
             Value::String(state.phase.as_str().to_string()),
         ),
-        ("done".to_string(), snapshot.done.to_value()),
+        ("done".to_string(), done.to_value()),
         ("total".to_string(), entry.total.to_value()),
     ];
     if let Some(error) = &state.error {

@@ -5,7 +5,7 @@
 use serde::{Serialize as _, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
-use wrsn_engine::CacheStats;
+use wrsn_engine::{CacheStats, IoSnapshot};
 
 /// Upper bounds (microseconds) of the latency histogram buckets; one
 /// final overflow bucket catches everything slower.
@@ -169,6 +169,13 @@ pub struct StatusGauges {
     pub jobs_max: usize,
     /// Result-store entry count, when a store is attached.
     pub store_entries: Option<usize>,
+    /// Result-store I/O health (fsyncs, errors, quarantines), when a
+    /// store is attached; gates the `io` section of `/statusz`.
+    pub io: Option<IoSnapshot>,
+    /// The store's fsync discipline (`"flush"` or `"fsync"`).
+    pub durability: Option<&'static str>,
+    /// Jobs resumed from their journals at the last startup.
+    pub jobs_resumed: u64,
 }
 
 impl Default for Metrics {
@@ -286,7 +293,31 @@ impl Metrics {
         if let Some(entries) = gauges.store_entries {
             cache_fields.push(("entries".to_string(), entries.to_value()));
         }
-        Value::Object(vec![
+        // The `io` section reports durability health and only exists
+        // when a store is attached — a storeless server has no disk.
+        let io = gauges.io.map(|io| {
+            let mut fields = vec![
+                ("fsyncs".to_string(), io.fsyncs.to_value()),
+                ("io_errors_real".to_string(), io.real_errors.to_value()),
+                (
+                    "io_errors_injected".to_string(),
+                    io.injected_errors.to_value(),
+                ),
+                (
+                    "quarantined_segments".to_string(),
+                    io.quarantined.to_value(),
+                ),
+                ("jobs_resumed".to_string(), gauges.jobs_resumed.to_value()),
+            ];
+            if let Some(durability) = gauges.durability {
+                fields.push((
+                    "durability".to_string(),
+                    Value::String(durability.to_string()),
+                ));
+            }
+            Value::Object(fields)
+        });
+        let mut doc = Value::Object(vec![
             ("status".to_string(), Value::String("ok".to_string())),
             (
                 "engine_version".to_string(),
@@ -340,7 +371,15 @@ impl Metrics {
             ),
             ("cache".to_string(), Value::Object(cache_fields)),
             ("endpoints".to_string(), Value::Object(endpoints)),
-        ])
+        ]);
+        if let (Value::Object(pairs), Some(io)) = (&mut doc, io) {
+            let at = pairs.iter().position(|(k, _)| k == "endpoints");
+            match at {
+                Some(at) => pairs.insert(at, ("io".to_string(), io)),
+                None => pairs.push(("io".to_string(), io)),
+            }
+        }
+        doc
     }
 }
 
@@ -417,6 +456,9 @@ mod tests {
             jobs_submitted: 3,
             jobs_max: 8,
             store_entries: Some(5),
+            io: None,
+            durability: None,
+            jobs_resumed: 0,
         });
         assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
         assert_eq!(v.get("timeouts").and_then(Value::as_u64), Some(2));
@@ -440,5 +482,35 @@ mod tests {
             endpoints.get("/v1/solve").is_none(),
             "unused endpoints are omitted"
         );
+        assert!(v.get("io").is_none(), "no io section without a store");
+    }
+
+    #[test]
+    fn statusz_io_section_appears_with_a_store() {
+        let m = Metrics::new();
+        let v = m.to_statusz(&StatusGauges {
+            io: Some(IoSnapshot {
+                fsyncs: 12,
+                real_errors: 1,
+                injected_errors: 3,
+                quarantined: 2,
+            }),
+            durability: Some("fsync"),
+            jobs_resumed: 4,
+            ..StatusGauges::default()
+        });
+        let io = v.get("io").expect("io section with a store");
+        assert_eq!(io.get("fsyncs").and_then(Value::as_u64), Some(12));
+        assert_eq!(io.get("io_errors_real").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            io.get("io_errors_injected").and_then(Value::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            io.get("quarantined_segments").and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(io.get("jobs_resumed").and_then(Value::as_u64), Some(4));
+        assert_eq!(io.get("durability").and_then(Value::as_str), Some("fsync"));
     }
 }

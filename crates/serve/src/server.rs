@@ -26,7 +26,7 @@ use crate::api::ApiContext;
 use crate::chaos::{ChaosPolicy, ChaosState};
 use crate::cluster::{gossip_loop, ClusterState};
 use crate::dispatch::{worker_loop, Completion, DispatchJob};
-use crate::jobs::Jobs;
+use crate::jobs::{self, Jobs};
 use crate::metrics::Metrics;
 use crate::reactor::Reactor;
 use crate::signal;
@@ -193,6 +193,21 @@ impl Server {
         let epoll = sys::Epoll::new().map_err(|e| bind_err(format!("epoll_create1: {e}")))?;
         let waker = sys::Waker::new().map_err(|e| bind_err(format!("eventfd: {e}")))?;
         let workers = config.workers.max(1);
+        // With a store attached, jobs journal their specs and reports
+        // under it so they survive a crash or restart (see crate::jobs).
+        let jobs_dir = api.store.as_ref().and_then(|store| {
+            let dir = store.dir().join("jobs");
+            match std::fs::create_dir_all(&dir) {
+                Ok(()) => Some(dir),
+                Err(e) => {
+                    eprintln!(
+                        "wrsn-serve: cannot create job journal dir {}: {e}; jobs are not durable",
+                        dir.display()
+                    );
+                    None
+                }
+            }
+        });
         let shared = Arc::new(Shared {
             api,
             metrics: Metrics::new(),
@@ -214,9 +229,13 @@ impl Server {
                 .clone()
                 .filter(|p| !p.is_empty())
                 .map(ChaosState::new),
-            jobs: Jobs::new(config.max_jobs),
+            jobs: Jobs::new(config.max_jobs, jobs_dir),
             cluster,
         });
+        // Reload finished jobs and respawn interrupted ones before the
+        // listener opens, so the first poll after a restart already
+        // sees them.
+        jobs::restore(&shared);
 
         let reactor = {
             let shared = shared.clone();
@@ -594,6 +613,105 @@ mod tests {
                 >= 1
         );
         server.shutdown().unwrap();
+    }
+
+    fn cached_context(dir: &std::path::Path) -> ApiContext {
+        let mut api = ApiContext::new();
+        api.store = Some(std::sync::Arc::new(
+            wrsn_engine::ResultStore::open(dir).unwrap(),
+        ));
+        api
+    }
+
+    fn poll_job_until_done(addr: &str, id: u64) -> serde::Value {
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            assert!(std::time::Instant::now() < deadline, "job never finished");
+            let resp = request(addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+            assert_eq!(resp.status, 200, "{}", resp.body);
+            let v: serde::Value = serde_json::from_str(&resp.body).unwrap();
+            match v.get("state").and_then(serde::Value::as_str) {
+                Some("done") => break v,
+                Some("running") => std::thread::sleep(Duration::from_millis(20)),
+                other => panic!("unexpected job state {other:?}: {}", resp.body),
+            }
+        }
+    }
+
+    #[test]
+    fn finished_jobs_survive_a_server_restart() {
+        let dir = std::env::temp_dir().join("wrsn-serve-job-restart");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..ServerConfig::default()
+        };
+        let spec = "{\"instance\": {\"posts\": 5, \"nodes\": 12, \"field\": 150.0}, \"seeds\": 3}";
+        let server = Server::start(&config, cached_context(&dir)).unwrap();
+        let addr = server.addr().to_string();
+        let resp = request(&addr, "POST", "/v1/jobs", Some(spec)).unwrap();
+        assert_eq!(resp.status, 202, "{}", resp.body);
+        let v: serde::Value = serde_json::from_str(&resp.body).unwrap();
+        let id = v.get("id").and_then(serde::Value::as_u64).unwrap();
+        let before = poll_job_until_done(&addr, id);
+        server.shutdown().unwrap();
+        // A fresh server over the same store remembers the finished job
+        // from its journal, byte-identical report included.
+        let server = Server::start(&config, cached_context(&dir)).unwrap();
+        let addr = server.addr().to_string();
+        let after = poll_job_until_done(&addr, id);
+        assert_eq!(
+            serde_json::to_string(before.get("report").unwrap()).unwrap(),
+            serde_json::to_string(after.get("report").unwrap()).unwrap(),
+            "restored report must be byte-identical"
+        );
+        assert_eq!(
+            after.get("done").and_then(serde::Value::as_u64),
+            Some(3),
+            "restored terminal jobs report full progress"
+        );
+        // New submissions continue past the restored id.
+        let resp = request(&addr, "POST", "/v1/jobs", Some(spec)).unwrap();
+        let v: serde::Value = serde_json::from_str(&resp.body).unwrap();
+        assert!(v.get("id").and_then(serde::Value::as_u64).unwrap() > id);
+        server.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn interrupted_jobs_resume_on_restart() {
+        let dir = std::env::temp_dir().join("wrsn-serve-job-resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let jobs = dir.join("jobs");
+        std::fs::create_dir_all(&jobs).unwrap();
+        // A journal a crashed server would leave behind: submitted (and
+        // acknowledged with a 202) but still running, no report yet.
+        std::fs::write(
+            jobs.join("job-00000007.json"),
+            "{\"id\":7,\"state\":\"running\",\"total\":3,\"request\":             {\"instance\":{\"posts\":5,\"nodes\":12,\"field\":150.0},\"seeds\":3}}\n",
+        )
+        .unwrap();
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(&config, cached_context(&dir)).unwrap();
+        let addr = server.addr().to_string();
+        let v = poll_job_until_done(&addr, 7);
+        assert!(v.get("report").is_some(), "resumed job produced a report");
+        // The resumption is visible in the statusz io section.
+        let resp = request(&addr, "GET", "/statusz", None).unwrap();
+        let status: serde::Value = serde_json::from_str(&resp.body).unwrap();
+        let io = status.get("io").expect("io section with a store");
+        assert_eq!(
+            io.get("jobs_resumed").and_then(serde::Value::as_u64),
+            Some(1)
+        );
+        server.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

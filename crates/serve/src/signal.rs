@@ -5,7 +5,15 @@
 //! the epoll/eventfd wrappers in `sys.rs` this is one of the two
 //! places in the workspace that touch `unsafe` — one `libc`
 //! `signal(2)` registration per signal, with a handler that does
-//! nothing but a relaxed atomic store (async-signal-safe).
+//! nothing but an atomic swap (async-signal-safe).
+//!
+//! A second SIGINT/SIGTERM while the graceful drain is already in
+//! flight escalates to an immediate `_exit(128 + signal)` — the
+//! conventional "killed by signal" exit status — so an operator whose
+//! drain is wedged (a stuck job, a full disk) is never forced to reach
+//! for `kill -9`. Skipping the drain is safe by design: segment
+//! appends and job journals are crash-consistent, so the next startup
+//! recovers exactly the committed state.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -38,9 +46,15 @@ mod unix {
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
 
-    extern "C" fn on_signal(_sig: i32) {
-        // Only async-signal-safe work here: one atomic store.
-        SHUTDOWN.store(true, Ordering::SeqCst);
+    extern "C" fn on_signal(sig: i32) {
+        // Only async-signal-safe work here: one atomic swap, and on
+        // escalation `_exit(2)` (also async-signal-safe — no atexit
+        // handlers, no unwinding, no allocation).
+        if SHUTDOWN.swap(true, Ordering::SeqCst) {
+            // Second signal during the drain: force immediate exit
+            // with the conventional fatal-signal status.
+            unsafe { libc::_exit(128 + sig) };
+        }
     }
 
     extern "C" {

@@ -13,13 +13,23 @@
 //!   trailing newline, invalid JSON), truncates the torn bytes off the
 //!   file with a logged warning, and returns the intact prefix, so the
 //!   log loses at most the record in flight and stays safe to append
-//!   to. Interior corruption is never repaired — it is a hard error.
+//!   to. Interior corruption is never repaired — it is a hard error
+//!   here (the [`ResultStore`](crate::ResultStore) layer above
+//!   downgrades it to segment quarantine).
+//!
+//! Every function has a `_on` variant taking a [`Vfs`], the seam where
+//! [`FaultFs`](crate::FaultFs) injects disk faults; the plain names
+//! run on a private [`RealFs`].
 
+use crate::vfs::{RealFs, Vfs, VfsFile};
 use crate::StoreError;
 use serde::Value;
-use std::fs::{File, OpenOptions};
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
+
+/// The default filesystem backing the non-`_on` entry points.
+fn real_fs() -> RealFs {
+    RealFs::new()
+}
 
 /// Renders one log line (compact JSON, no interior newlines).
 fn line(value: &Value) -> String {
@@ -33,6 +43,23 @@ fn line(value: &Value) -> String {
 ///
 /// [`StoreError::Io`] when the temp file cannot be written or renamed.
 pub fn write_log(path: &Path, header: &Value, records: &[Value]) -> Result<(), StoreError> {
+    write_log_on(&real_fs(), path, header, records, false)
+}
+
+/// [`write_log`] through an explicit [`Vfs`]. With `durable`, the temp
+/// file is fsynced before the rename and the directory after it, so the
+/// rewrite survives power loss, not just process death.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] when any write, fsync, or the rename fails.
+pub fn write_log_on(
+    vfs: &dyn Vfs,
+    path: &Path,
+    header: &Value,
+    records: &[Value],
+    durable: bool,
+) -> Result<(), StoreError> {
     let mut text = String::new();
     text.push_str(&line(header));
     text.push('\n');
@@ -43,8 +70,18 @@ pub fn write_log(path: &Path, header: &Value, records: &[Value]) -> Result<(), S
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
-    std::fs::write(&tmp, text).map_err(|e| StoreError::io(&tmp, e))?;
-    std::fs::rename(&tmp, path).map_err(|e| StoreError::io(path, e))
+    vfs.write(&tmp, text.as_bytes())
+        .map_err(|e| StoreError::io(&tmp, e))?;
+    if durable {
+        vfs.fsync_path(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+    }
+    vfs.rename(&tmp, path)
+        .map_err(|e| StoreError::io(path, e))?;
+    if durable {
+        let dir = path.parent().unwrap_or_else(|| Path::new("."));
+        vfs.fsync_dir(dir).map_err(|e| StoreError::io(dir, e))?;
+    }
+    Ok(())
 }
 
 /// Reads a log back as `(header, records)`.
@@ -60,7 +97,18 @@ pub fn write_log(path: &Path, header: &Value, records: &[Value]) -> Result<(), S
 /// [`StoreError::Io`] when the file cannot be read; [`StoreError::Parse`]
 /// for an empty log, a bad header, or a malformed interior line.
 pub fn read_log(path: &Path) -> Result<(Value, Vec<Value>), StoreError> {
-    let text = std::fs::read_to_string(path).map_err(|e| StoreError::io(path, e))?;
+    read_log_on(&real_fs(), path)
+}
+
+/// [`read_log`] through an explicit [`Vfs`].
+///
+/// # Errors
+///
+/// As [`read_log`].
+pub fn read_log_on(vfs: &dyn Vfs, path: &Path) -> Result<(Value, Vec<Value>), StoreError> {
+    let text = vfs
+        .read_to_string(path)
+        .map_err(|e| StoreError::io(path, e))?;
     let terminated = text.ends_with('\n');
     let lines: Vec<&str> = text.lines().collect();
     if lines.is_empty() || lines[0].trim().is_empty() {
@@ -81,7 +129,7 @@ pub fn read_log(path: &Path) -> Result<(Value, Vec<Value>), StoreError> {
             // that no later open could read past.
             Err(_) if i + 1 == lines.len() && !terminated => {
                 let keep = text.len() - raw.len();
-                truncate_torn_tail(path, keep, raw.len());
+                truncate_torn_tail(vfs, path, keep, raw.len());
                 break;
             }
             Err(e) => return Err(StoreError::parse(path, i + 1, e)),
@@ -93,12 +141,8 @@ pub fn read_log(path: &Path) -> Result<(Value, Vec<Value>), StoreError> {
 /// Cuts a torn trailing line off the log. Best-effort: a read-only
 /// file (or a racing writer) only costs us the repair, not the open —
 /// the caller already dropped the fragment from the parsed records.
-fn truncate_torn_tail(path: &Path, keep_bytes: usize, torn_bytes: usize) {
-    let result = OpenOptions::new()
-        .write(true)
-        .open(path)
-        .and_then(|f| f.set_len(keep_bytes as u64));
-    match result {
+fn truncate_torn_tail(vfs: &dyn Vfs, path: &Path, keep_bytes: usize, torn_bytes: usize) {
+    match vfs.set_len(path, keep_bytes as u64) {
         Ok(()) => eprintln!(
             "wrsn-store: {}: dropped a torn trailing line ({torn_bytes} bytes) \
              left by an interrupted append",
@@ -112,24 +156,11 @@ fn truncate_torn_tail(path: &Path, keep_bytes: usize, torn_bytes: usize) {
     }
 }
 
-/// Whether the file's final byte is a newline (`len` is its current
-/// size, already known to be non-zero).
-fn ends_with_newline(path: &Path, len: u64) -> Result<bool, StoreError> {
-    use std::io::{Read as _, Seek as _, SeekFrom};
-    let mut f = File::open(path).map_err(|e| StoreError::io(path, e))?;
-    f.seek(SeekFrom::Start(len - 1))
-        .map_err(|e| StoreError::io(path, e))?;
-    let mut last = [0u8; 1];
-    f.read_exact(&mut last)
-        .map_err(|e| StoreError::io(path, e))?;
-    Ok(last[0] == b'\n')
-}
-
 /// An open log accepting O(1) record appends.
 #[derive(Debug)]
 pub struct LogWriter {
     path: PathBuf,
-    file: File,
+    file: Box<dyn VfsFile>,
     bytes: u64,
 }
 
@@ -142,8 +173,24 @@ impl LogWriter {
     ///
     /// [`StoreError::Io`] on any filesystem failure.
     pub fn create(path: &Path, header: &Value, records: &[Value]) -> Result<Self, StoreError> {
-        write_log(path, header, records)?;
-        LogWriter::append_to(path)
+        LogWriter::create_on(&real_fs(), path, header, records, false)
+    }
+
+    /// [`LogWriter::create`] through an explicit [`Vfs`]; with
+    /// `durable` the initial full write is fsynced (file + directory).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on any filesystem failure.
+    pub fn create_on(
+        vfs: &dyn Vfs,
+        path: &Path,
+        header: &Value,
+        records: &[Value],
+        durable: bool,
+    ) -> Result<Self, StoreError> {
+        write_log_on(vfs, path, header, records, durable)?;
+        LogWriter::append_to_on(vfs, path)
     }
 
     /// Opens an existing log for appending without rewriting it.
@@ -152,15 +199,23 @@ impl LogWriter {
     ///
     /// [`StoreError::Io`] when the file cannot be opened.
     pub fn append_to(path: &Path) -> Result<Self, StoreError> {
-        let mut file = OpenOptions::new()
-            .append(true)
-            .open(path)
+        LogWriter::append_to_on(&real_fs(), path)
+    }
+
+    /// [`LogWriter::append_to`] through an explicit [`Vfs`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file cannot be opened.
+    pub fn append_to_on(vfs: &dyn Vfs, path: &Path) -> Result<Self, StoreError> {
+        let mut bytes = vfs
+            .metadata_len(path)
             .map_err(|e| StoreError::io(path, e))?;
-        let mut bytes = file.metadata().map_err(|e| StoreError::io(path, e))?.len();
+        let mut file = vfs.open_append(path).map_err(|e| StoreError::io(path, e))?;
         // A crash exactly between a record and its newline leaves a
         // complete final line with no terminator; appending after it
         // would fuse two records onto one line. Complete it instead.
-        if bytes > 0 && !ends_with_newline(path, bytes)? {
+        if bytes > 0 && vfs.last_byte(path).map_err(|e| StoreError::io(path, e))? != Some(b'\n') {
             file.write_all(b"\n")
                 .and_then(|()| file.flush())
                 .map_err(|e| StoreError::io(path, e))?;
@@ -216,6 +271,7 @@ impl LogWriter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::FaultFs;
     use serde::Serialize as _;
 
     fn temp(name: &str) -> PathBuf {
@@ -275,6 +331,22 @@ mod tests {
     }
 
     #[test]
+    fn torn_tail_truncation_is_idempotent_across_reopens() {
+        // First read repairs the file; every later read must find it
+        // already clean and leave the bytes untouched.
+        let path = temp("torn-idempotent.jsonl");
+        std::fs::write(&path, "{\"version\": 2}\n{\"seed\": 0}\n{\"se").unwrap();
+        let _ = read_log(&path).unwrap();
+        let repaired = std::fs::read(&path).unwrap();
+        for _ in 0..3 {
+            let (_, r) = read_log(&path).unwrap();
+            assert_eq!(r, vec![obj(&[("seed", 0)])]);
+            assert_eq!(std::fs::read(&path).unwrap(), repaired);
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
     fn appends_after_a_torn_tail_stay_readable() {
         let path = temp("torn-then-append.jsonl");
         std::fs::write(&path, "{\"version\": 2}\n{\"seed\": 0}\n{\"se").unwrap();
@@ -318,6 +390,41 @@ mod tests {
         let missing = temp("never-written.jsonl");
         let _ = std::fs::remove_file(&missing);
         assert!(read_log(&missing).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn durable_write_log_fsyncs_file_and_directory() {
+        let path = temp("durable.jsonl");
+        let fs = RealFs::new();
+        write_log_on(&fs, &path, &obj(&[("version", 2)]), &[], true).unwrap();
+        assert_eq!(fs.stats().snapshot().fsyncs, 2, "tmp file + directory");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn injected_fsync_failure_surfaces_from_durable_write() {
+        let path = temp("durable-fault.jsonl");
+        let fs = FaultFs::seeded(11).fsync_errors(1.0);
+        let err = write_log_on(&fs, &path, &obj(&[("version", 2)]), &[], true).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn writer_on_fault_fs_reports_torn_append() {
+        let path = temp("fault-append.jsonl");
+        let fs = FaultFs::seeded(0);
+        let mut w = LogWriter::create_on(&fs, &path, &obj(&[("version", 2)]), &[], false).unwrap();
+        w.append(&obj(&[("seed", 0)])).unwrap();
+        drop(w);
+        // Arm a crash point mid-record and append through a fresh
+        // writer: the torn tail must be dropped by the next read.
+        let crash = FaultFs::seeded(0).crash_after_bytes(4);
+        let mut w = LogWriter::append_to_on(&crash, &path).unwrap();
+        assert!(w.append(&obj(&[("seed", 1)])).is_err());
+        let (_, r) = read_log(&path).unwrap();
+        assert_eq!(r, vec![obj(&[("seed", 0)])]);
         let _ = std::fs::remove_file(path);
     }
 }

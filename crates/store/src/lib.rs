@@ -19,6 +19,10 @@
 //!   result-store segments and the engine's sweep checkpoints/shard
 //!   logs, so a checkpoint flush is O(1) per seed instead of a full
 //!   rewrite.
+//! - [`Vfs`] — the injectable filesystem seam: [`RealFs`] for
+//!   production, seed-driven [`FaultFs`] for deterministic disk-fault
+//!   injection (ENOSPC, torn writes, fsync failures, byte-exact crash
+//!   points), plus the [`DurabilityPolicy`] fsync discipline.
 //! - [`ResultStore`] — a directory of JSONL segment files mapping
 //!   fingerprints to JSON payloads. Writers only ever append to their
 //!   own active segment (safe for concurrent shard processes); on open,
@@ -34,9 +38,12 @@ mod error;
 mod fingerprint;
 pub mod jsonl;
 mod store;
+mod vfs;
 
 pub use error::StoreError;
 pub use fingerprint::{Fingerprint, FingerprintBuilder};
 pub use store::{
-    CacheStats, GcReport, ImportReport, ResultStore, SegmentInfo, DEFAULT_SEGMENT_BYTES,
+    CacheStats, GcReport, ImportReport, ResultStore, SegmentInfo, SegmentVerify, StoreOptions,
+    VerifyReport, DEFAULT_SEGMENT_BYTES, QUARANTINE_SUFFIX,
 };
+pub use vfs::{DurabilityPolicy, FaultFs, IoSnapshot, IoStats, RealFs, Vfs, VfsFile};

@@ -77,4 +77,8 @@ extern "C" {
     pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
     /// `close(2)`.
     pub fn close(fd: c_int) -> c_int;
+    /// `_exit(2)`: immediate process termination without atexit
+    /// handlers or unwinding — async-signal-safe, which `exit(3)` is
+    /// not. Used by the serve signal handler's second-signal escalation.
+    pub fn _exit(status: c_int) -> !;
 }
